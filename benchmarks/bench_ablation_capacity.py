@@ -1,0 +1,45 @@
+"""Ablation A5: link capacity vs demux width (the ternary optimum).
+
+On a fixed spike budget the sequential link's capacity is
+``(R/M)·log2 M``, which peaks at M = 3.  Measured on the paper-band
+noise source; a design rule the paper does not state but its scheme
+implies.
+"""
+
+import pytest
+
+from repro.analysis.capacity import capacity_sweep, optimal_radix
+from repro.hyperspace.builders import paper_default_synthesizer
+from repro.noise.synthesis import make_rng
+from repro.spikes.zero_crossing import AllCrossingDetector
+
+RADIXES = (2, 3, 4, 6, 8, 16)
+
+
+def sweep():
+    synthesizer = paper_default_synthesizer()
+    record = synthesizer.generate(make_rng(0))
+    train = AllCrossingDetector().detect(record, synthesizer.grid)
+    return capacity_sweep(train, RADIXES), len(train) / synthesizer.grid.duration
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_capacity_sweep(benchmark, archive):
+    capacities, spike_rate = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["A5 — sequential-link capacity vs demux width"]
+    for c in capacities:
+        lines.append(
+            f"  M = {c.radix:2d}: {c.package_rate / 1e9:6.2f} Gsym/s x "
+            f"{c.bits_per_package:4.2f} bit = {c.bits_per_second / 1e9:6.2f} Gbit/s"
+        )
+    archive("a5_capacity.txt", "\n".join(lines))
+
+    best = max(capacities, key=lambda c: c.bits_per_second)
+    assert best.radix == 3
+    assert best.radix == optimal_radix(RADIXES, spike_rate)
+    # Capacity is unimodal around the optimum over this sweep.
+    values = [c.bits_per_second for c in capacities]
+    peak = values.index(max(values))
+    assert all(a < b for a, b in zip(values[:peak], values[1 : peak + 1]))
+    assert all(a > b for a, b in zip(values[peak:], values[peak + 1 :]))

@@ -1,0 +1,69 @@
+"""Ablation A7: cost of canonical SOP synthesis vs radix and arity.
+
+The SOP compiler (S21) realises *any* function but pays the canonical
+form's price: gate count ~ (surviving minterms) × (literals + clamp)
+plus the OR tree.  This ablation quantifies the growth so users know
+when to prefer hand-built gates (e.g. the adder digit gates) over
+synthesis — and verifies the depth stays logarithmic, preserving the
+scheme's latency story even for synthesised logic.
+"""
+
+import pytest
+
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.sop import synthesize_sop
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=240, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 240, m), GRID) for k in range(m)])
+
+
+CONFIGS = [
+    # (radix, arity) — synthesise the modular sum in each configuration.
+    (2, 2),
+    (2, 3),
+    (3, 2),
+    (4, 2),
+]
+
+
+def run():
+    results = []
+    for radix, arity in CONFIGS:
+        basis = make_basis(radix)
+
+        def mod_sum(*args):
+            return sum(args) % radix
+
+        circuit = synthesize_sop(
+            f"modsum_r{radix}_k{arity}", [basis] * arity, basis, mod_sum
+        )
+        results.append((radix, arity, circuit.n_gates(), circuit.depth()))
+    return results
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_sop_cost(benchmark, archive):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["A7 — canonical SOP cost (modular sum)"]
+    for radix, arity, gates, depth in results:
+        minterms = radix**arity
+        lines.append(
+            f"  radix {radix}, {arity} inputs: {minterms:3d} minterms -> "
+            f"{gates:4d} gates, depth {depth}"
+        )
+    archive("a7_sop_cost.txt", "\n".join(lines))
+
+    by_config = {(r, k): (g, d) for r, k, g, d in results}
+    # Gate count grows with the minterm count...
+    assert by_config[(4, 2)][0] > by_config[(3, 2)][0] > by_config[(2, 2)][0]
+    assert by_config[(2, 3)][0] > by_config[(2, 2)][0]
+    # ...but depth stays logarithmic (well under the minterm count).
+    for (radix, arity), (gates, depth) in by_config.items():
+        assert depth <= 12, (radix, arity, depth)
+        assert depth < gates

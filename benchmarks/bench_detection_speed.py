@@ -1,0 +1,30 @@
+"""Benchmark C1: identification speed — spikes vs continuum vs sinusoids.
+
+Section 2: "the spike-based scheme does not need time averaging and
+therefore results in a significant speed-up."  Expected ordering on the
+paper's grid (dt = 3.125 ps):
+
+* spike first-coincidence: ~1 mean ISI (~0.1–0.3 ns);
+* sinusoidal quadrature: ~1/Δf (~1 ns for 0.33 GHz spacing);
+* continuum noise: statistical settling (~20 ns at margin 0.2).
+"""
+
+import pytest
+
+from repro.experiments.speed import run_speed
+
+
+@pytest.mark.benchmark(group="claims")
+def test_detection_speed(benchmark, archive):
+    result = benchmark.pedantic(run_speed, rounds=1, iterations=1)
+    archive("c1_detection_speed.txt", result.render())
+
+    by_name = {latency.scheme: latency for latency in result.latencies}
+    assert (
+        by_name["spike"].median_samples
+        < by_name["sinusoidal"].median_samples
+        < by_name["continuum"].median_samples
+    )
+    # "Significant speed-up": order(s) of magnitude over continuum.
+    assert result.speedup_over("continuum") > 20.0
+    assert result.speedup_over("sinusoidal") > 2.0

@@ -1,0 +1,29 @@
+"""Benchmark C5: energy per gate operation — noise-spike vs clocked.
+
+Sections 1–2: the noise-spike scheme's timing reference is free thermal
+noise and it needs no variation guard band, so its energy per operation
+undercuts a periodic-clock design by an order of magnitude at equal
+reliability (first-order models; the paper argues orders, not percent).
+"""
+
+import pytest
+
+from repro.energy.thermal import landauer_limit
+from repro.experiments.energy import run_energy
+
+
+@pytest.mark.benchmark(group="claims")
+def test_energy_model(benchmark, archive):
+    result = benchmark(run_energy)
+    archive("c5_energy.txt", result.render())
+
+    for target, schemes in result.rows:
+        noise = next(s for s in schemes if s.name == "noise-spike")
+        clocked = next(s for s in schemes if s.name == "periodic-clock")
+        # Ordering and rough factor.
+        assert result.advantage(target) > 10.0
+        # Timing energy: free for noise, dominant for the clocked scheme.
+        assert noise.timing_energy_per_op == 0.0
+        assert clocked.timing_energy_per_op > clocked.logic_energy_per_op
+        # Physical floor respected.
+        assert noise.total_per_op > landauer_limit()

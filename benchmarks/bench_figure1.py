@@ -1,0 +1,27 @@
+"""Benchmark F1: regenerate Figure 1 (demux orthogonator raster).
+
+The paper's Figure 1 shows the white-noise source spike train (top) and
+the three orthogonal sub-trains a second-order demultiplexer-based
+orthogonator deals it onto.  The regenerated artifact is the ASCII
+raster plus the spike-time CSV.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_figure1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure1(benchmark, archive, results_dir):
+    result = benchmark(run_figure1)
+    archive("figure1.txt", result.render())
+    (results_dir / "figure1.csv").write_text(result.to_csv())
+
+    counts = dict(result.spike_counts())
+    # The three wires partition the source train...
+    assert counts["source"] == counts["W1"] + counts["W2"] + counts["W3"]
+    # ...at equal rates (within one spike).
+    wire_counts = [counts["W1"], counts["W2"], counts["W3"]]
+    assert max(wire_counts) - min(wire_counts) <= 1
+    # Source rate matches the paper's ~90 ps ISI (65 536 x 3.125 ps record).
+    assert 2000 < counts["source"] < 2900

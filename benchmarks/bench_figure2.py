@@ -1,0 +1,29 @@
+"""Benchmark F2: regenerate Figure 2 (intersection raster, uncorrelated).
+
+The paper's Figure 2 shows inputs A and B from two independent white
+noises and the three orthogonal products; the visible feature is the
+near-silence of the A·B wire relative to the exclusives.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_figure2
+from repro.orthogonator.intersection import product_label
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2(benchmark, archive, results_dir):
+    result = benchmark(run_figure2)
+    archive("figure2.txt", result.render())
+    (results_dir / "figure2.csv").write_text(result.to_csv())
+
+    counts = dict(result.spike_counts())
+    both = counts[product_label(0b11, ("A", "B"))]
+    a_only = counts[product_label(0b01, ("A", "B"))]
+    b_only = counts[product_label(0b10, ("A", "B"))]
+    # Paper's rate structure: coincidences ~25x rarer than exclusives.
+    assert a_only > 10 * both
+    assert b_only > 10 * both
+    # Products partition the union of the inputs.
+    assert both + a_only == counts["A"]
+    assert both + b_only == counts["B"]

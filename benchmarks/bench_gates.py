@@ -1,0 +1,23 @@
+"""Benchmark C6: gate correctness and latency over the hyperspace.
+
+Section 5: elementary gate and set operations are exact (deterministic
+logic) and fast (first-coincidence latency) even as the alphabet grows.
+"""
+
+import pytest
+
+from repro.experiments.gates import run_gates
+
+
+@pytest.mark.benchmark(group="claims")
+def test_gates(benchmark, archive):
+    result = benchmark.pedantic(run_gates, rounds=1, iterations=1)
+    archive("c6_gates.txt", result.render())
+
+    assert all(p.all_correct for p in result.points)
+    assert result.adder_correct
+    # Latency stays within a few mean ISIs of the densest element: the
+    # M=8 basis fires each element every ~8 source-ISIs (~700 ps), so a
+    # physical decision within ~3 ns honours "extremely fast".
+    for point in result.points:
+        assert point.p90_latency_samples * result.dt < 3e-9

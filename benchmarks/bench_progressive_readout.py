@@ -1,0 +1,24 @@
+"""Benchmark C4: rough-then-refine readout over an inhomogeneous basis.
+
+Section 4.2: without homogenization, assigning the slow A·B product to
+the low-value bit gives a quick rough output refined later; the adverse
+assignment (slow element on the top digit) delays any usable estimate.
+"""
+
+import pytest
+
+from repro.experiments.progressive import run_progressive
+
+
+@pytest.mark.benchmark(group="claims")
+def test_progressive_readout(benchmark, archive):
+    result = benchmark(run_progressive)
+    archive("c4_progressive.txt", result.render())
+
+    rough_paper = result.time_to_error(result.paper_assignment, 0.2)
+    rough_adverse = result.time_to_error(result.adverse_assignment, 0.2)
+    # The paper assignment reaches 20% accuracy much sooner.
+    assert rough_paper < 0.5 * rough_adverse
+    # Both eventually converge exactly.
+    assert result.paper_assignment[-1][1] == pytest.approx(0.0)
+    assert result.adverse_assignment[-1][1] == pytest.approx(0.0)

@@ -1,0 +1,34 @@
+"""Benchmark T1: regenerate Table 1 (demux orthogonator statistics).
+
+Paper reference (65 536 points):
+
+=====================  ========  =========  ========  =========
+configuration          τ source  Δτ source  τ output  Δτ output
+=====================  ========  =========  ========  =========
+white 5 MHz–10 GHz     90 ps     58 ps      267 ps    100 ps
+1/f 2.5 MHz–10 GHz     225 ps    469 ps     681 ps    768 ps
+=====================  ========  =========  ========  =========
+
+Shape asserted here: τ ratios within 25 %, white superior to 1/f.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1(benchmark, archive):
+    result = benchmark(run_table1)
+    archive("table1.txt", result.render())
+
+    for table in (result.white, result.pink):
+        for row in table.rows:
+            ratio = row.tau_ratio()
+            assert ratio is not None and 0.75 < ratio < 1.25, (
+                f"{table.title} / {row.label}: tau ratio {ratio}"
+            )
+    # White noise's regularity advantage (the table's conclusion).
+    white_cv = result.white.rows[0].measured.coefficient_of_variation
+    pink_cv = result.pink.rows[0].measured.coefficient_of_variation
+    assert pink_cv > 1.5 * white_cv

@@ -1,0 +1,37 @@
+"""Benchmark T2: regenerate Table 2 (intersection orthogonator, homogenization).
+
+Paper reference (65 536 points, white 5 MHz–10 GHz):
+
+============  ==============  ==============
+train         uncorrelated τ  correlated τ
+============  ==============  ==============
+A             28 (90 ps)      28 (90 ps)
+B             28 (90 ps)      28 (90 ps)
+A·B           697 (2.24 ns)   52 (167 ps)
+A·B̄          29 (93 ps)      58 (186 ps)
+Ā·B           30 (96.4 ps)    59 (190 ps)
+============  ==============  ==============
+
+Shape asserted: the ~25× uncorrelated rate spread collapses to < 1.3×
+after the 0.945/0.055 common-mode correlation; all τ ratios within 35 %.
+"""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2(benchmark, archive):
+    result = benchmark(run_table2)
+    archive("table2.txt", result.render())
+
+    assert result.spread_uncorrelated > 10.0
+    assert result.spread_correlated < 1.3
+
+    for table in (result.uncorrelated, result.correlated):
+        for row in table.rows:
+            ratio = row.tau_ratio()
+            assert ratio is not None and 0.65 < ratio < 1.35, (
+                f"{table.title} / {row.label}: tau ratio {ratio}"
+            )

@@ -1,0 +1,23 @@
+"""Benchmark C8: set-verification latency on superposition wires.
+
+Ref [2]'s verification motivation: a difference between two sets is
+witnessed by the first spike present on exactly one wire (~one ISI);
+equality certification must wait out the whole record.  Asserted:
+unequal verdicts decide 2–4 orders faster than equal certification, at
+every basis size, with all verdicts correct.
+"""
+
+import pytest
+
+from repro.experiments.verification import run_verification
+
+
+@pytest.mark.benchmark(group="claims")
+def test_verification(benchmark, archive):
+    result = benchmark.pedantic(run_verification, rounds=1, iterations=1)
+    archive("c8_verification.txt", result.render())
+
+    for point in result.points:
+        assert point.all_verdicts_correct
+        # The asymmetry: differences are caught ~immediately.
+        assert point.median_unequal_slot * 100 < point.equal_slot

@@ -1,0 +1,37 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one paper artifact (table, figure or
+quantitative claim), times the regeneration with pytest-benchmark, and
+archives the rendered result under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from disk.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where rendered artifacts are archived."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Callable: archive(name, text) writes text and echoes it to stdout."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[archived to {path}]")
+
+    return _archive

@@ -1,0 +1,72 @@
+"""Sequential logic on spike packages: a self-clocked counter.
+
+Section 3(i): the demultiplexer-based orthogonator's spike packages
+define a discrete computer time, which "makes easy/natural to construct
+sequential logic operations".  This example transmits a symbol stream
+(one value per package) and runs two clocked machines over it — a
+modulo counter and an accumulator — with no external clock anywhere:
+the noise itself paces the computation.
+
+Run: ``python examples/sequential_counter.py``
+"""
+
+from repro import DemuxOrthogonator, zero_crossings
+from repro.hyperspace.builders import paper_default_synthesizer
+from repro.logic.sequential import (
+    PackageClock,
+    SymbolStream,
+    accumulator_machine,
+    counter_machine,
+)
+from repro.noise.synthesis import make_rng
+from repro.units import format_time
+
+
+def main() -> None:
+    # Noise -> spikes -> 4-wire demux: the packages are the clock.
+    synthesizer = paper_default_synthesizer()
+    record = synthesizer.generate(make_rng(2016))
+    source = zero_crossings(record, synthesizer.grid)
+    output = DemuxOrthogonator.with_outputs(4).transform(source)
+
+    clock = PackageClock(output)
+    spans = clock.tick_duration_samples()
+    dt = synthesizer.grid.dt
+    print(f"computer time: {clock.n_packages} packages "
+          f"(mean tick {format_time(float(spans.mean()) * dt)}, "
+          f"jitter {format_time(float(spans.std()) * dt)}) — "
+          "a self-clocked, variable-period machine\n")
+
+    stream = SymbolStream(clock)
+    message = [3, 1, 2, 0, 2, 3, 1, 1]
+    wire = stream.encode(message)
+    print(f"input stream : {message}")
+    print(f"wire spikes  : {len(wire)} (one per package)")
+
+    # Counter: counts ticks modulo 4 regardless of symbol values.
+    counter = counter_machine(4)
+    counted = stream.decode(counter.run_stream(stream, wire))[: len(message)]
+    print(f"counter out  : {counted}")
+
+    # Accumulator: running sum modulo 4.
+    accumulator = accumulator_machine(4)
+    summed = stream.decode(accumulator.run_stream(stream, wire))[: len(message)]
+    print(f"accumulator  : {summed}")
+
+    expected = []
+    total = 0
+    for value in message:
+        total = (total + value) % 4
+        expected.append(total)
+    assert summed == expected
+    assert counted == [(k + 1) % 4 for k in range(len(message))]
+
+    first = clock.packages[0]
+    last = clock.packages[len(message) - 1]
+    elapsed = (last.end - first.start) * dt
+    print(f"\n8 sequential operations completed in {format_time(elapsed)} "
+          "of physical time, clocked by noise alone.")
+
+
+if __name__ == "__main__":
+    main()

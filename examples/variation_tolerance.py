@@ -1,0 +1,77 @@
+"""Variation tolerance: random spike logic survives delays, periodic fails.
+
+Section 6: delayed periodic spike trains alias exactly onto other basis
+elements — a circuit built on them silently computes with wrong values
+when processing/environmental variations shift its delays.  Random
+trains are unique fingerprints: the same delays at worst suppress the
+verdict, which a checker can detect and retry.
+
+This example runs both schemes through the event-driven simulator's
+delay line and prints the verdicts side by side.
+
+Run: ``python examples/variation_tolerance.py``
+"""
+
+from repro import build_demux_basis
+from repro.baselines.periodic import identification_verdict, periodic_spike_basis
+from repro.hyperspace.builders import paper_default_synthesizer
+from repro.simulator.networks import delayed_identification_network
+from repro.units import format_time
+
+
+def describe(verdict, truth) -> str:
+    if verdict is None:
+        return "NO VERDICT (detectable, safe)"
+    if verdict == truth:
+        return f"correct ({verdict})"
+    return f"WRONG -> {verdict} (silent corruption!)"
+
+
+def main() -> None:
+    synthesizer = paper_default_synthesizer()
+    grid = synthesizer.grid
+    spacing = 32  # samples between periodic wires (= 100 ps)
+
+    periodic = periodic_spike_basis(4, spacing, grid)
+    random = build_demux_basis(4, synthesizer=synthesizer, rng=6)
+
+    truth = 1  # the element each wire actually carries
+    delays = [0, 2, spacing, 2 * spacing]
+
+    print("verdicts for a wire carrying element 1, after a delay line")
+    print(f"(coincidence window 2 samples, confidence >= 50%)\n")
+    print(f"{'delay':>10s} | {'periodic basis':<34s} | {'random basis':<30s}")
+    for delay in delays:
+        row = []
+        for basis in (periodic, random):
+            delayed = basis.trains[truth].shifted(delay, wrap=True)
+            verdict = identification_verdict(
+                basis, delayed, window=2, min_confidence=0.5
+            )
+            row.append(describe(verdict, truth))
+        print(f"{format_time(delay * grid.dt):>10s} | {row[0]:<34s} | {row[1]:<30s}")
+
+    # The same failure demonstrated on an actual event-driven circuit:
+    # signal -> delay line -> coincidence detectors against references.
+    print("\nevent-driven circuit (delay = one periodic spacing):")
+    engine, probes = delayed_identification_network(
+        periodic.trains[0], list(periodic.trains), delay=spacing
+    )
+    engine.run(until=grid.n_samples + spacing + 4)
+    hits = {i: len(p.slots) for i, p in enumerate(probes) if p.slots}
+    print(f"  periodic: coincidence counts by reference: {hits}")
+    print("  -> every spike of element 0 now matches element 1: aliased.")
+
+    engine, probes = delayed_identification_network(
+        random.trains[0], list(random.trains), delay=spacing
+    )
+    engine.run(until=grid.n_samples + spacing + 4)
+    hits = {i: len(p.slots) for i, p in enumerate(probes) if p.slots}
+    total = len(random.trains[0])
+    print(f"  random:   coincidence counts by reference: {hits} "
+          f"(out of {total} spikes)")
+    print("  -> chance-level residue only; no confident wrong match.")
+
+
+if __name__ == "__main__":
+    main()

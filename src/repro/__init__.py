@@ -1,0 +1,168 @@
+"""repro — noise-based neuro-bit spike logic.
+
+A full reproduction of *"Towards Brain-inspired Computing"* (Gingl,
+Khatri, Kish): deterministic multi-valued logic whose values are
+orthogonal random spike trains ("neuro-bits") derived from the
+zero-crossing events of band-limited Gaussian noises.
+
+Layers (bottom-up):
+
+* :mod:`repro.noise` — band-limited Gaussian noise synthesis, correlated
+  sources, PSD estimation;
+* :mod:`repro.spikes` — spike-train data structures, zero-crossing
+  detectors, statistics, synthetic generators;
+* :mod:`repro.orthogonator` — the paper's core circuits (demultiplexer-
+  based and intersection-based orthogonators, rate homogenization);
+* :mod:`repro.hyperspace` — orthogonal reference bases, superpositions;
+* :mod:`repro.logic` — coincidence correlators, Boolean and multi-valued
+  gates, set operations, sequential logic, circuits and synthesis;
+* :mod:`repro.simulator` — event-driven spike-circuit simulation;
+* :mod:`repro.baselines` — continuum-noise, sinusoidal and periodic
+  comparison schemes;
+* :mod:`repro.energy` — thermal-noise energy models;
+* :mod:`repro.experiments` — drivers reproducing every table, figure
+  and quantitative claim of the paper.
+
+Quickstart::
+
+    from repro import build_demux_basis, CoincidenceCorrelator
+
+    basis = build_demux_basis(4, rng=42)        # 4-valued hyperspace
+    wire = basis.encode(2)                      # transmit value 2
+    result = CoincidenceCorrelator(basis).identify(wire)
+    assert result.element == 2                  # first spike decides
+"""
+
+from .errors import (
+    ConfigurationError,
+    HyperspaceError,
+    IdentificationError,
+    LogicError,
+    OrthogonalityError,
+    ReproError,
+    SimulationError,
+    SpectrumError,
+    SpikeTrainError,
+    SynthesisError,
+)
+from .hyperspace import (
+    HyperspaceBasis,
+    Superposition,
+    build_demux_basis,
+    build_intersection_basis,
+    decode_superposition,
+)
+from .logic import (
+    Circuit,
+    CoincidenceCorrelator,
+    IdentificationResult,
+    MooreMachine,
+    PackageClock,
+    SymbolStream,
+    TruthTableGate,
+    and_gate,
+    gate_from_function,
+    max_gate,
+    min_gate,
+    mod_sum_gate,
+    not_gate,
+    or_gate,
+    ripple_adder,
+    xor_gate,
+)
+from .noise import (
+    Band,
+    NoiseSource,
+    NoiseSynthesizer,
+    PinkSpectrum,
+    WhiteSpectrum,
+    paper_pink_source,
+    paper_white_source,
+)
+from .orthogonator import (
+    DemuxOrthogonator,
+    IntersectionOrthogonator,
+    OrthogonatorOutput,
+    spike_packages,
+)
+from .hyperspace.codec import NeuroBitCodec
+from .logic.routing import RoutingFabric, SpikeRouter
+from .search import (
+    SuperpositionDatabase,
+    grover_search,
+    linear_scan,
+    verify_equality,
+    verify_subset,
+)
+from .spikes import SpikeTrain, isi_statistics, zero_crossings
+from .units import SimulationGrid, paper_pink_grid, paper_white_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SpectrumError",
+    "SpikeTrainError",
+    "OrthogonalityError",
+    "HyperspaceError",
+    "LogicError",
+    "IdentificationError",
+    "SimulationError",
+    "SynthesisError",
+    # units
+    "SimulationGrid",
+    "paper_white_grid",
+    "paper_pink_grid",
+    # noise
+    "Band",
+    "WhiteSpectrum",
+    "PinkSpectrum",
+    "NoiseSynthesizer",
+    "NoiseSource",
+    "paper_white_source",
+    "paper_pink_source",
+    # spikes
+    "SpikeTrain",
+    "zero_crossings",
+    "isi_statistics",
+    # orthogonators
+    "DemuxOrthogonator",
+    "IntersectionOrthogonator",
+    "OrthogonatorOutput",
+    "spike_packages",
+    # hyperspace
+    "HyperspaceBasis",
+    "Superposition",
+    "decode_superposition",
+    "build_demux_basis",
+    "build_intersection_basis",
+    # logic
+    "CoincidenceCorrelator",
+    "IdentificationResult",
+    "TruthTableGate",
+    "gate_from_function",
+    "not_gate",
+    "and_gate",
+    "or_gate",
+    "xor_gate",
+    "min_gate",
+    "max_gate",
+    "mod_sum_gate",
+    "PackageClock",
+    "SymbolStream",
+    "MooreMachine",
+    "Circuit",
+    "ripple_adder",
+    # applications
+    "NeuroBitCodec",
+    "SpikeRouter",
+    "RoutingFabric",
+    "SuperpositionDatabase",
+    "linear_scan",
+    "grover_search",
+    "verify_equality",
+    "verify_subset",
+]

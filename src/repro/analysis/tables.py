@@ -1,0 +1,125 @@
+"""Tabular result containers and text rendering.
+
+Experiment drivers return :class:`StatsTable` objects — ordered rows of
+ISI statistics with paper reference values attached — which render as
+aligned text (the benchmark harness prints them) and export to CSV for
+archival in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..spikes.statistics import IsiStatistics
+from ..units import format_time
+
+__all__ = ["PaperValue", "StatsRow", "StatsTable"]
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """A value the paper reports, for side-by-side comparison.
+
+    Attributes
+    ----------
+    tau_seconds / dtau_seconds:
+        The paper's τ and Δτ in seconds (None when not reported).
+    tau_samples / dtau_samples:
+        The paper's raw sample-domain numbers (Table 2 reports both).
+    """
+
+    tau_seconds: Optional[float] = None
+    dtau_seconds: Optional[float] = None
+    tau_samples: Optional[float] = None
+    dtau_samples: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StatsRow:
+    """One labelled row: measured statistics plus the paper's numbers."""
+
+    label: str
+    measured: IsiStatistics
+    paper: PaperValue = field(default_factory=PaperValue)
+
+    def tau_ratio(self) -> Optional[float]:
+        """measured τ / paper τ (None when the paper value is absent)."""
+        if self.paper.tau_seconds in (None, 0.0):
+            return None
+        if math.isnan(self.measured.mean_isi_seconds):
+            return None
+        return self.measured.mean_isi_seconds / self.paper.tau_seconds
+
+
+class StatsTable:
+    """An ordered collection of :class:`StatsRow` with rendering."""
+
+    def __init__(self, title: str, rows: Optional[Sequence[StatsRow]] = None) -> None:
+        self.title = title
+        self.rows: List[StatsRow] = list(rows) if rows else []
+
+    def add(self, row: StatsRow) -> None:
+        """Append a row."""
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def render(self) -> str:
+        """Aligned text rendering with paper-vs-measured columns."""
+        header = (
+            f"{'train':<14s} {'n':>6s} "
+            f"{'tau meas':>10s} {'tau paper':>10s} "
+            f"{'dtau meas':>10s} {'dtau paper':>10s} {'tau ratio':>9s}"
+        )
+        lines = [self.title, "=" * len(self.title), header, "-" * len(header)]
+        for row in self.rows:
+            measured = row.measured
+            tau_meas = _fmt_seconds(measured.mean_isi_seconds)
+            dtau_meas = _fmt_seconds(measured.rms_isi_seconds)
+            tau_paper = _fmt_seconds(row.paper.tau_seconds)
+            dtau_paper = _fmt_seconds(row.paper.dtau_seconds)
+            ratio = row.tau_ratio()
+            ratio_text = f"{ratio:9.2f}" if ratio is not None else f"{'-':>9s}"
+            lines.append(
+                f"{row.label:<14s} {measured.n_spikes:>6d} "
+                f"{tau_meas:>10s} {tau_paper:>10s} "
+                f"{dtau_meas:>10s} {dtau_paper:>10s} {ratio_text}"
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV export: label, n, tau/dtau measured (s), paper values (s)."""
+        buffer = io.StringIO()
+        buffer.write(
+            "label,n_spikes,tau_measured_s,dtau_measured_s,"
+            "tau_paper_s,dtau_paper_s\n"
+        )
+        for row in self.rows:
+            measured = row.measured
+            buffer.write(
+                f"{row.label},{measured.n_spikes},"
+                f"{_csv_number(measured.mean_isi_seconds)},"
+                f"{_csv_number(measured.rms_isi_seconds)},"
+                f"{_csv_number(row.paper.tau_seconds)},"
+                f"{_csv_number(row.paper.dtau_seconds)}\n"
+            )
+        return buffer.getvalue()
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return format_time(value)
+
+
+def _csv_number(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return ""
+    return f"{value:.6e}"

@@ -1,0 +1,30 @@
+"""Comparator schemes from the paper's reference list.
+
+* :class:`ContinuumNoiseLogic` — time-averaged correlation over analog
+  noise carriers (ref [3]);
+* :class:`SinusoidalLogic` — quadrature correlation over sinusoidal
+  carriers (ref [5]);
+* periodic spike-train logic and its delay-aliasing failure (Section 6):
+  :func:`periodic_spike_basis`, :func:`identification_verdict`,
+  :func:`misidentification_curve`.
+"""
+
+from .continuum import ContinuumIdentification, ContinuumNoiseLogic
+from .periodic import (
+    DelaySweepPoint,
+    identification_verdict,
+    misidentification_curve,
+    periodic_spike_basis,
+)
+from .sinusoidal import SinusoidalIdentification, SinusoidalLogic
+
+__all__ = [
+    "ContinuumNoiseLogic",
+    "ContinuumIdentification",
+    "SinusoidalLogic",
+    "SinusoidalIdentification",
+    "periodic_spike_basis",
+    "identification_verdict",
+    "misidentification_curve",
+    "DelaySweepPoint",
+]

@@ -1,0 +1,173 @@
+"""Baseline: sinusoidal-supply logic (the paper's reference [5]).
+
+Bollapalli, Khatri and Kish demonstrated binary logic with sinusoidal
+carriers; the multi-valued generalisation assigns each logic value an
+orthogonal sinusoid (distinct frequency, or the same frequency in
+quadrature).  Identification correlates the wire against each carrier
+over a growing window; two sinusoids separated by Δf need a window of
+order 1/Δf to decorrelate, so the identification time is set by the
+carrier spacing — faster than continuum noise for well-separated tones,
+but the carriers must stay "well beyond the background noise", which is
+why the sinusoidal scheme cannot reach the noise scheme's power floor
+(Section 1).
+
+:class:`SinusoidalLogic` mirrors the API of
+:class:`~repro.baselines.continuum.ContinuumNoiseLogic` so the speed
+benchmark can sweep all three schemes uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, IdentificationError
+from ..noise.synthesis import RngLike, make_rng
+from ..units import SimulationGrid
+
+__all__ = ["SinusoidalLogic", "SinusoidalIdentification"]
+
+
+@dataclass(frozen=True)
+class SinusoidalIdentification:
+    """Outcome of a sinusoidal-correlator identification."""
+
+    value: int
+    decision_slot: int
+
+
+class SinusoidalLogic:
+    """M-valued logic with orthogonal sinusoidal carriers.
+
+    Parameters
+    ----------
+    frequencies:
+        Carrier frequency per logic value (Hz).  Frequencies must be
+        distinct, positive and below Nyquist.
+    grid:
+        Simulation grid.
+    amplitude:
+        Carrier amplitude (the sinusoidal scheme's defining parameter:
+        it must dominate the background noise).
+    """
+
+    def __init__(
+        self,
+        frequencies: Sequence[float],
+        grid: SimulationGrid,
+        amplitude: float = 1.0,
+    ) -> None:
+        freqs = [float(f) for f in frequencies]
+        if len(freqs) < 2:
+            raise ConfigurationError("need at least 2 carrier frequencies")
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError(f"carrier frequencies must be distinct: {freqs}")
+        for f in freqs:
+            if not (0.0 < f < grid.nyquist):
+                raise ConfigurationError(
+                    f"carrier {f} Hz outside (0, Nyquist={grid.nyquist:g})"
+                )
+        if amplitude <= 0:
+            raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+        self.frequencies = tuple(freqs)
+        self.grid = grid
+        self.amplitude = float(amplitude)
+        t = np.arange(grid.n_samples) * grid.dt
+        self._sin = np.stack([np.sin(2 * np.pi * f * t) for f in freqs])
+        self._cos = np.stack([np.cos(2 * np.pi * f * t) for f in freqs])
+
+    @property
+    def n_values(self) -> int:
+        """Alphabet size M."""
+        return len(self.frequencies)
+
+    def encode(
+        self,
+        value: int,
+        phase: float = 0.0,
+        noise_rms: float = 0.0,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Wire signal: the value's carrier at a phase, plus channel noise."""
+        if not (0 <= value < self.n_values):
+            raise ConfigurationError(f"value {value} outside [0, {self.n_values})")
+        t = np.arange(self.grid.n_samples) * self.grid.dt
+        signal = self.amplitude * np.sin(
+            2 * np.pi * self.frequencies[value] * t + phase
+        )
+        if noise_rms > 0.0:
+            signal = signal + make_rng(rng).normal(0.0, noise_rms, signal.shape)
+        return signal
+
+    def running_envelopes(self, wire: np.ndarray) -> np.ndarray:
+        """Phase-insensitive running correlation magnitude per carrier.
+
+        Quadrature detection: entry ``[i, t]`` is the RMS-normalised
+        magnitude of the wire's projection onto carrier i's sin/cos pair
+        over slots ``0..t``.
+        """
+        wire = np.asarray(wire, dtype=float)
+        if wire.shape != (self.grid.n_samples,):
+            raise ConfigurationError(
+                f"wire shape {wire.shape} does not match grid"
+            )
+        in_phase = np.cumsum(self._sin * wire[None, :], axis=1)
+        quadrature = np.cumsum(self._cos * wire[None, :], axis=1)
+        wire_energy = np.cumsum(wire * wire)
+        # Carrier energy grows as t/2 per component; normalise by both.
+        n = np.arange(1, wire.size + 1, dtype=float)
+        carrier_energy = n / 2.0
+        denom = np.sqrt(carrier_energy * wire_energy[None, :])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            magnitude = np.where(
+                denom > 0,
+                np.sqrt(in_phase**2 + quadrature**2) / denom,
+                0.0,
+            )
+        return magnitude
+
+    def identify(
+        self,
+        wire: np.ndarray,
+        margin: float = 0.2,
+    ) -> SinusoidalIdentification:
+        """Settled-decision identification (same contract as continuum)."""
+        if margin <= 0:
+            raise ConfigurationError(f"margin must be positive, got {margin}")
+        envelopes = self.running_envelopes(wire)
+        order = np.argsort(envelopes, axis=0)
+        columns = np.arange(envelopes.shape[1])
+        leader = order[-1, :]
+        top = envelopes[leader, columns]
+        second = envelopes[order[-2, :], columns]
+        separated = (top - second) >= margin
+
+        final_leader = int(leader[-1])
+        ok = separated & (leader == final_leader)
+        failures = np.flatnonzero(~ok)
+        if failures.size and failures[-1] == envelopes.shape[1] - 1:
+            raise IdentificationError(
+                "sinusoidal correlator never settles; increase the record "
+                "length or relax the margin"
+            )
+        decision = int(failures[-1]) + 1 if failures.size else 0
+        return SinusoidalIdentification(value=final_leader, decision_slot=decision)
+
+    def identification_time_samples(
+        self,
+        value: int,
+        margin: float = 0.2,
+        phase: float = 0.0,
+        noise_rms: float = 0.0,
+        rng: RngLike = None,
+    ) -> int:
+        """Encode ``value`` and return its settled decision slot."""
+        wire = self.encode(value, phase=phase, noise_rms=noise_rms, rng=rng)
+        result = self.identify(wire, margin=margin)
+        if result.value != value:
+            raise IdentificationError(
+                f"sinusoidal correlator settled on {result.value}, expected {value}"
+            )
+        return result.decision_slot

@@ -1,0 +1,182 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table1
+    python -m repro.cli run speed --seed 7
+    python -m repro.cli run all --output-dir results/
+
+Every experiment driver in :mod:`repro.experiments` is exposed; ``run``
+prints the rendered artifact and optionally archives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, Optional, Sequence
+
+from .experiments import (
+    run_aliasing,
+    run_energy,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_gates,
+    run_progressive,
+    run_robustness,
+    run_scaling,
+    run_search,
+    run_speed,
+    run_table1,
+    run_table2,
+    run_verification,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def _render_table1(seed: int) -> str:
+    return run_table1(seed=seed).render()
+
+
+def _render_table2(seed: int) -> str:
+    return run_table2(seed=seed).render()
+
+
+def _render_figure1(seed: int) -> str:
+    return run_figure1(seed=seed).render()
+
+
+def _render_figure2(seed: int) -> str:
+    return run_figure2(seed=seed).render()
+
+
+def _render_figure3(seed: int) -> str:
+    return run_figure3(seed=seed).render()
+
+
+def _render_speed(seed: int) -> str:
+    return run_speed(seed=seed).render()
+
+
+def _render_aliasing(seed: int) -> str:
+    return run_aliasing(seed=seed).render()
+
+
+def _render_scaling(seed: int) -> str:
+    return run_scaling(seed=seed).render()
+
+
+def _render_progressive(seed: int) -> str:
+    return run_progressive(seed=seed).render()
+
+
+def _render_search(seed: int) -> str:
+    return run_search(seed=seed).render()
+
+
+def _render_robustness(seed: int) -> str:
+    return run_robustness(seed=seed).render()
+
+
+def _render_verification(seed: int) -> str:
+    return run_verification(seed=seed).render()
+
+
+def _render_energy(seed: int) -> str:
+    del seed  # the energy model is deterministic
+    return run_energy().render()
+
+
+def _render_gates(seed: int) -> str:
+    return run_gates(seed=seed).render()
+
+
+#: Experiment id → (description, renderer).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("Table 1 — demux orthogonator statistics", _render_table1),
+    "table2": ("Table 2 — intersection + homogenization", _render_table2),
+    "figure1": ("Figure 1 — demux raster", _render_figure1),
+    "figure2": ("Figure 2 — intersection raster (uncorrelated)", _render_figure2),
+    "figure3": ("Figure 3 — intersection raster (correlated)", _render_figure3),
+    "speed": ("C1 — identification speed vs baselines", _render_speed),
+    "aliasing": ("C2 — delay aliasing, periodic vs random", _render_aliasing),
+    "scaling": ("C3 — exponential hyperspace scaling", _render_scaling),
+    "progressive": ("C4 — rough-then-refine readout", _render_progressive),
+    "energy": ("C5 — energy per gate operation", _render_energy),
+    "gates": ("C6 — gate correctness and latency", _render_gates),
+    "search": ("C7 — search vs classical and Grover", _render_search),
+    "verification": ("C8 — set-verification latency", _render_verification),
+    "robustness": ("C9 — identification robustness sweeps", _render_robustness),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Towards Brain-inspired "
+        "Computing' (Gingl, Khatri, Kish).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    run.add_argument(
+        "--seed", type=int, default=2016, help="random seed (default 2016)"
+    )
+    run.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also archive rendered output as <dir>/<experiment>.txt",
+    )
+    return parser
+
+
+def _run_one(
+    name: str,
+    seed: int,
+    output_dir: Optional[pathlib.Path],
+    out=sys.stdout,
+) -> None:
+    _description, renderer = EXPERIMENTS[name]
+    text = renderer(seed)
+    print(text, file=out)
+    print(file=out)
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _renderer = EXPERIMENTS[name]
+            print(f"{name:<{width}s}  {description}", file=out)
+        return 0
+
+    if args.command == "run":
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            _run_one(name, args.seed, args.output_dir, out=out)
+        return 0
+
+    return 2  # unreachable: argparse enforces the sub-commands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

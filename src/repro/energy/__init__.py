@@ -1,0 +1,42 @@
+"""Energy models for the low-power argument (Sections 1–2, ref [4]).
+
+* physical layer: :func:`landauer_limit`, :func:`johnson_noise_rms`,
+  :func:`error_probability`, :func:`margin_for_error`,
+  :func:`switching_energy`, :func:`thermal_voltage`;
+* scheme layer: :class:`AmplifierChain`, :func:`noise_scheme_energy`,
+  :func:`clocked_scheme_energy`, :func:`compare_schemes`.
+"""
+
+from .power import (
+    AmplifierChain,
+    SchemeEnergy,
+    clocked_scheme_energy,
+    compare_schemes,
+    noise_scheme_energy,
+)
+from .thermal import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    error_probability,
+    johnson_noise_rms,
+    landauer_limit,
+    margin_for_error,
+    switching_energy,
+    thermal_voltage,
+)
+
+__all__ = [
+    "BOLTZMANN",
+    "ROOM_TEMPERATURE",
+    "landauer_limit",
+    "johnson_noise_rms",
+    "error_probability",
+    "margin_for_error",
+    "switching_energy",
+    "thermal_voltage",
+    "AmplifierChain",
+    "SchemeEnergy",
+    "noise_scheme_energy",
+    "clocked_scheme_energy",
+    "compare_schemes",
+]

@@ -1,0 +1,231 @@
+"""Scheme-level power comparison: noise-spike vs periodic-clock logic.
+
+Section 2's dissipation argument, made quantitative:
+
+* the **noise-spike scheme** takes its timing reference for free (the
+  thermal noise of a resistor), pays only for the amplifier chain that
+  lifts the noise to logic levels — each stage "has just barely enough
+  supply voltage to handle that amplitude of noise" — and for the
+  coincidence detectors, which switch only on spikes (activity = spike
+  rate, far below the bandwidth);
+* the **periodic-clock scheme** pays the clock generation/distribution
+  network at full swing and full frequency, plus guard-band supply
+  margin to survive the delay variations that Section 6 shows are fatal
+  to periodic timing.
+
+:class:`AmplifierChain` models the staged amplification;
+:func:`compare_schemes` produces the energy-per-operation table the C5
+benchmark prints.  The model is first-order by design; its purpose is to
+reproduce the *ordering and rough factors* of the paper's argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .thermal import (
+    ROOM_TEMPERATURE,
+    johnson_noise_rms,
+    landauer_limit,
+    margin_for_error,
+    switching_energy,
+)
+
+__all__ = [
+    "AmplifierChain",
+    "SchemeEnergy",
+    "compare_schemes",
+    "noise_scheme_energy",
+    "clocked_scheme_energy",
+]
+
+
+@dataclass(frozen=True)
+class AmplifierChain:
+    """A chain of amplifier stages lifting thermal noise to logic level.
+
+    Stage i amplifies the noise amplitude by ``gain`` and runs from a
+    supply just covering its output amplitude (``headroom`` × the stage's
+    output rms).  The dominant dissipation of stage i is switching its
+    load at its own supply, so the chain's energy per processed spike is
+    the sum of ``C · V_i²`` over stages.
+
+    Parameters
+    ----------
+    input_rms:
+        RMS of the raw noise at the chain input (V), e.g. from
+        :func:`~repro.energy.thermal.johnson_noise_rms`.
+    target_rms:
+        Required noise amplitude at the chain output (V) — the logic
+        swing the comparators need.
+    gain:
+        Per-stage voltage gain (> 1).
+    headroom:
+        Supply-to-rms ratio per stage (> 1; Gaussian noise needs several
+        σ of headroom to avoid clipping).
+    stage_capacitance:
+        Load capacitance per stage (F).
+    """
+
+    input_rms: float
+    target_rms: float
+    gain: float = 10.0
+    headroom: float = 4.0
+    stage_capacitance: float = 1e-15
+
+    def __post_init__(self) -> None:
+        if self.input_rms <= 0 or self.target_rms <= 0:
+            raise ConfigurationError("input_rms and target_rms must be positive")
+        if self.target_rms < self.input_rms:
+            raise ConfigurationError(
+                "target_rms below input_rms: no amplification needed"
+            )
+        if self.gain <= 1.0:
+            raise ConfigurationError(f"gain must exceed 1, got {self.gain}")
+        if self.headroom <= 1.0:
+            raise ConfigurationError(f"headroom must exceed 1, got {self.headroom}")
+        if self.stage_capacitance <= 0:
+            raise ConfigurationError("stage_capacitance must be positive")
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages needed to reach the target amplitude."""
+        ratio = self.target_rms / self.input_rms
+        return max(1, math.ceil(math.log(ratio) / math.log(self.gain)))
+
+    def stage_supplies(self) -> List[float]:
+        """Supply voltage of each stage (V), smallest first."""
+        supplies = []
+        amplitude = self.input_rms
+        for _stage in range(self.n_stages):
+            amplitude = min(amplitude * self.gain, self.target_rms)
+            supplies.append(self.headroom * amplitude)
+        return supplies
+
+    def energy_per_event(self) -> float:
+        """Energy to propagate one spike through the chain (J)."""
+        return sum(
+            switching_energy(self.stage_capacitance, v) for v in self.stage_supplies()
+        )
+
+
+@dataclass(frozen=True)
+class SchemeEnergy:
+    """Energy ledger of one scheme at one operating point.
+
+    Attributes
+    ----------
+    name:
+        Scheme label.
+    timing_energy_per_op:
+        Energy spent on the timing reference per gate operation (J).
+    logic_energy_per_op:
+        Energy spent in the logic/detection path per operation (J).
+    """
+
+    name: str
+    timing_energy_per_op: float
+    logic_energy_per_op: float
+
+    @property
+    def total_per_op(self) -> float:
+        """Total energy per gate operation (J)."""
+        return self.timing_energy_per_op + self.logic_energy_per_op
+
+    def landauer_multiple(self, temperature: float = ROOM_TEMPERATURE) -> float:
+        """Total energy as a multiple of kT·ln2."""
+        return self.total_per_op / landauer_limit(temperature)
+
+
+def noise_scheme_energy(
+    error_target: float = 1e-12,
+    gate_capacitance: float = 1e-15,
+    noise_rms_voltage: float = 1e-3,
+    spikes_per_operation: float = 1.0,
+    chain: Optional[AmplifierChain] = None,
+) -> SchemeEnergy:
+    """Energy per gate operation for the noise-spike scheme.
+
+    Timing is free (thermal-noise clock); the per-operation cost is the
+    amplifier chain (amortised per spike) plus the coincidence detector
+    switching at a supply of ``margin × noise_rms``.  Only
+    ``spikes_per_operation`` spikes are processed per logic operation —
+    the first coincidence decides.
+    """
+    if spikes_per_operation <= 0:
+        raise ConfigurationError("spikes_per_operation must be positive")
+    margin = margin_for_error(error_target)
+    supply = margin * noise_rms_voltage
+    detector = switching_energy(gate_capacitance, supply) * spikes_per_operation
+    if chain is None:
+        chain = AmplifierChain(
+            input_rms=noise_rms_voltage / 100.0,
+            target_rms=noise_rms_voltage,
+            stage_capacitance=gate_capacitance,
+        )
+    amplifier = chain.energy_per_event() * spikes_per_operation
+    return SchemeEnergy(
+        name="noise-spike",
+        timing_energy_per_op=0.0,
+        logic_energy_per_op=detector + amplifier,
+    )
+
+
+def clocked_scheme_energy(
+    error_target: float = 1e-12,
+    gate_capacitance: float = 1e-15,
+    noise_rms_voltage: float = 1e-3,
+    clock_fanout: float = 10.0,
+    variation_guard_band: float = 2.0,
+    cycles_per_operation: float = 1.0,
+) -> SchemeEnergy:
+    """Energy per gate operation for a periodic-clock scheme.
+
+    The clock network toggles ``clock_fanout`` × the gate capacitance
+    every cycle at full swing; the supply carries an extra
+    ``variation_guard_band`` factor because periodic timing must absorb
+    delay variations with margin (Section 6: it cannot tolerate them
+    logically).  Logic switches once per cycle at the same guarded
+    supply.
+    """
+    if clock_fanout <= 0:
+        raise ConfigurationError("clock_fanout must be positive")
+    if variation_guard_band < 1.0:
+        raise ConfigurationError("variation_guard_band must be >= 1")
+    if cycles_per_operation <= 0:
+        raise ConfigurationError("cycles_per_operation must be positive")
+    margin = margin_for_error(error_target)
+    supply = margin * noise_rms_voltage * variation_guard_band
+    clock = (
+        switching_energy(gate_capacitance * clock_fanout, supply)
+        * cycles_per_operation
+    )
+    logic = switching_energy(gate_capacitance, supply) * cycles_per_operation
+    return SchemeEnergy(
+        name="periodic-clock",
+        timing_energy_per_op=clock,
+        logic_energy_per_op=logic,
+    )
+
+
+def compare_schemes(
+    error_target: float = 1e-12,
+    gate_capacitance: float = 1e-15,
+    noise_rms_voltage: float = 1e-3,
+) -> List[SchemeEnergy]:
+    """The two schemes side by side at a common operating point."""
+    return [
+        noise_scheme_energy(
+            error_target=error_target,
+            gate_capacitance=gate_capacitance,
+            noise_rms_voltage=noise_rms_voltage,
+        ),
+        clocked_scheme_energy(
+            error_target=error_target,
+            gate_capacitance=gate_capacitance,
+            noise_rms_voltage=noise_rms_voltage,
+        ),
+    ]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming from this package with a single handler while
+still being able to distinguish configuration problems from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SpectrumError",
+    "SpikeTrainError",
+    "OrthogonalityError",
+    "HyperspaceError",
+    "LogicError",
+    "IdentificationError",
+    "SimulationError",
+    "SynthesisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SpectrumError(ConfigurationError):
+    """A power spectral density / band specification is invalid.
+
+    Raised, for example, when a band's lower edge is not below its upper
+    edge, when a band does not overlap any resolvable FFT bin of the
+    simulation grid, or when a spectral exponent is out of range.
+    """
+
+
+class SpikeTrainError(ReproError):
+    """A spike train is malformed (unsorted, duplicated, out of range)."""
+
+
+class OrthogonalityError(ReproError):
+    """Two spike trains expected to be orthogonal share a spike slot."""
+
+
+class HyperspaceError(ReproError):
+    """A hyperspace basis is inconsistent (size, labels, orthogonality)."""
+
+
+class LogicError(ReproError):
+    """A logic gate or circuit was used inconsistently.
+
+    Examples: feeding a gate a value outside its input alphabet, wiring a
+    circuit with dangling inputs, or evaluating a combinational circuit
+    that contains a cycle.
+    """
+
+
+class IdentificationError(ReproError):
+    """A correlator could not identify a spike train against a basis."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SynthesisError(LogicError):
+    """A synthesis request (adder, comparator, ...) cannot be honoured."""

@@ -1,0 +1,63 @@
+"""Experiment drivers: one per paper table, figure and claim.
+
+=========  =============================================  ==================
+ID         Paper artifact                                 Driver
+=========  =============================================  ==================
+T1         Table 1 (demux statistics, white vs 1/f)       :func:`run_table1`
+T2         Table 2 (intersection, homogenization)         :func:`run_table2`
+F1         Figure 1 (demux raster)                        :func:`run_figure1`
+F2         Figure 2 (intersection raster, uncorrelated)   :func:`run_figure2`
+F3         Figure 3 (intersection raster, correlated)     :func:`run_figure3`
+C1         Sec. 2 speed claim                             :func:`run_speed`
+C2         Sec. 6 aliasing claim                          :func:`run_aliasing`
+C3         Sec. 3 exponential basis claim                 :func:`run_scaling`
+C4         Sec. 4.2 rough-then-refine claim               :func:`run_progressive`
+C5         Sec. 1–2 low-power claim                       :func:`run_energy`
+C6         Sec. 5 gates/set-ops claim                     :func:`run_gates`
+C7         Ref [2] search claim                           :func:`run_search`
+C8         Ref [2] verification claim                     :func:`run_verification`
+C9         Sec. 1-2 resilience claim                      :func:`run_robustness`
+=========  =============================================  ==================
+"""
+
+from .aliasing import AliasingResult, run_aliasing
+from .energy import EnergyResult, run_energy
+from .figures import FigureResult, run_figure1, run_figure2, run_figure3
+from .gates import GatesResult, run_gates
+from .progressive import ProgressiveResult, run_progressive
+from .robustness import RobustnessExperimentResult, run_robustness
+from .scaling import ScalingResult, run_scaling
+from .search import SearchResult, run_search
+from .speed import SpeedResult, run_speed
+from .table1 import Table1Result, run_table1
+from .verification import VerificationExperimentResult, run_verification
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "FigureResult",
+    "run_speed",
+    "SpeedResult",
+    "run_aliasing",
+    "AliasingResult",
+    "run_scaling",
+    "ScalingResult",
+    "run_progressive",
+    "ProgressiveResult",
+    "run_energy",
+    "EnergyResult",
+    "run_gates",
+    "GatesResult",
+    "run_search",
+    "SearchResult",
+    "run_verification",
+    "VerificationExperimentResult",
+    "run_robustness",
+    "RobustnessExperimentResult",
+]

@@ -1,0 +1,87 @@
+"""Experiment C5: energy per gate operation — noise-spike vs clocked.
+
+Sections 1–2 argue the noise-spike scheme supports "extremely low power
+design": the timing reference is free thermal noise, logic switches only
+on spikes, and no variation guard band is needed because random timing
+tolerates delays (Section 6).  The experiment evaluates the first-order
+energy models of :mod:`repro.energy` across reliability targets and
+reports the per-operation energy and its multiple of the Landauer bound.
+
+Run directly: ``python -m repro.experiments.energy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..energy.power import SchemeEnergy, compare_schemes
+
+__all__ = ["EnergyResult", "run_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Scheme energies per reliability target."""
+
+    rows: List[Tuple[float, List[SchemeEnergy]]]
+
+    def advantage(self, error_target: float) -> float:
+        """Clocked / noise-spike energy ratio at one target."""
+        for target, schemes in self.rows:
+            if target == error_target:
+                noise = next(s for s in schemes if s.name == "noise-spike")
+                clocked = next(s for s in schemes if s.name == "periodic-clock")
+                return clocked.total_per_op / noise.total_per_op
+        raise KeyError(error_target)
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = [
+            "C5 — energy per gate operation (first-order models)",
+            f"{'error target':>13s} {'scheme':>15s} {'timing (J)':>12s} "
+            f"{'logic (J)':>12s} {'total (J)':>12s} {'xLandauer':>10s}",
+        ]
+        for target, schemes in self.rows:
+            for scheme in schemes:
+                lines.append(
+                    f"{target:>13.0e} {scheme.name:>15s} "
+                    f"{scheme.timing_energy_per_op:>12.3e} "
+                    f"{scheme.logic_energy_per_op:>12.3e} "
+                    f"{scheme.total_per_op:>12.3e} "
+                    f"{scheme.landauer_multiple():>10.1f}"
+                )
+            lines.append(
+                f"{'':>13s} advantage (clocked / noise-spike): "
+                f"{self.advantage(target):.1f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_energy(
+    error_targets: Sequence[float] = (1e-6, 1e-9, 1e-12),
+    gate_capacitance: float = 1e-15,
+    noise_rms_voltage: float = 1e-3,
+) -> EnergyResult:
+    """Evaluate both schemes across reliability targets."""
+    rows = [
+        (
+            target,
+            compare_schemes(
+                error_target=target,
+                gate_capacitance=gate_capacitance,
+                noise_rms_voltage=noise_rms_voltage,
+            ),
+        )
+        for target in error_targets
+    ]
+    return EnergyResult(rows=rows)
+
+
+def main() -> None:
+    """Print the C5 energy comparison."""
+    print(run_energy().render())
+
+
+if __name__ == "__main__":
+    main()

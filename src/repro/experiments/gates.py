@@ -1,0 +1,157 @@
+"""Experiment C6: gate correctness and latency over the hyperspace.
+
+Section 5 claims "elementary gate operations ... can be done extremely
+fast even though the hyperspace is extremely large".  The experiment:
+
+* exhaustively verifies the physical gate layer (every input
+  combination of MIN / MAX / MODSUM over an M-element basis transmits
+  the symbolically-correct value);
+* records per-gate decision latency statistics as M grows;
+* runs a synthesized radix-M ripple adder end to end and reports its
+  physical critical-path latency.
+
+Run directly: ``python -m repro.experiments.gates``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
+from ..logic.gates import TruthTableGate
+from ..logic.multivalued import max_gate, min_gate, mod_sum_gate
+from ..logic.synthesis import adder_reference, ripple_adder
+from ..noise.synthesis import make_rng
+from ..units import format_time
+
+__all__ = ["GateSweepPoint", "GatesResult", "run_gates"]
+
+
+@dataclass(frozen=True)
+class GateSweepPoint:
+    """Gate-layer results for one alphabet size M."""
+
+    alphabet_size: int
+    combinations_checked: int
+    all_correct: bool
+    median_latency_samples: float
+    p90_latency_samples: float
+
+
+@dataclass(frozen=True)
+class GatesResult:
+    """The M sweep plus the adder end-to-end check."""
+
+    points: List[GateSweepPoint]
+    adder_correct: bool
+    adder_critical_path_samples: int
+    dt: float
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = [
+            "C6 — gate correctness and latency vs alphabet size",
+            f"{'M':>3s} {'combos':>7s} {'correct':>8s} "
+            f"{'median lat':>11s} {'p90 lat':>10s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.alphabet_size:>3d} {p.combinations_checked:>7d} "
+                f"{str(p.all_correct):>8s} "
+                f"{format_time(p.median_latency_samples * self.dt):>11s} "
+                f"{format_time(p.p90_latency_samples * self.dt):>10s}"
+            )
+        lines.append(
+            f"radix-4 2-digit ripple adder: correct={self.adder_correct}, "
+            f"critical path "
+            f"{format_time(self.adder_critical_path_samples * self.dt)}"
+        )
+        return "\n".join(lines)
+
+
+def _sweep_gate(gate: TruthTableGate) -> Tuple[int, bool, List[int]]:
+    """Exhaustively transmit a 2-input gate; return combos, ok, latencies."""
+    sizes = gate.input_sizes
+    latencies: List[int] = []
+    combos = 0
+    correct = True
+    for a, b in itertools.product(range(sizes[0]), range(sizes[1])):
+        wires = (gate.input_bases[0].encode(a), gate.input_bases[1].encode(b))
+        transmission = gate.transmit(*wires)
+        combos += 1
+        latencies.append(transmission.decision_slot)
+        if transmission.value != gate.evaluate(a, b):
+            correct = False
+    return combos, correct, latencies
+
+
+def run_gates(
+    alphabet_sizes: Tuple[int, ...] = (2, 3, 4, 8),
+    seed: int = 2016,
+) -> GatesResult:
+    """Run the gate sweep and the adder end-to-end check."""
+    synthesizer = paper_default_synthesizer()
+    rng = make_rng(seed)
+
+    points: List[GateSweepPoint] = []
+    for m in alphabet_sizes:
+        basis = build_demux_basis(m, synthesizer=synthesizer, rng=rng)
+        combos = 0
+        correct = True
+        latencies: List[int] = []
+        for gate in (min_gate(basis), max_gate(basis), mod_sum_gate(basis)):
+            c, ok, lat = _sweep_gate(gate)
+            combos += c
+            correct = correct and ok
+            latencies.extend(lat)
+        arr = np.asarray(latencies, dtype=float)
+        points.append(
+            GateSweepPoint(
+                alphabet_size=m,
+                combinations_checked=combos,
+                all_correct=correct,
+                median_latency_samples=float(np.median(arr)),
+                p90_latency_samples=float(np.percentile(arr, 90)),
+            )
+        )
+
+    # Adder end to end: radix 4, 2 digits, a selection of operand pairs.
+    radix, digits = 4, 2
+    basis = build_demux_basis(radix, synthesizer=synthesizer, rng=rng)
+    adder = ripple_adder(digits, basis)
+    adder_ok = True
+    critical = 0
+    for a_value, b_value in ((0, 0), (3, 1), (7, 9), (15, 15), (10, 5)):
+        assignments = {"cin": 0}
+        for d in range(digits):
+            assignments[f"a{d}"] = (a_value // radix**d) % radix
+            assignments[f"b{d}"] = (b_value // radix**d) % radix
+        wires = {name: basis.encode(v) for name, v in assignments.items()}
+        transmission = adder.transmit(wires)
+        reference = adder_reference(digits, radix, a_value, b_value, 0)
+        for d in range(digits):
+            if transmission.values[f"s{d}"] != reference[f"s{d}"]:
+                adder_ok = False
+        if transmission.values[f"c{digits}"] != reference["cout"]:
+            adder_ok = False
+        critical = max(critical, transmission.critical_path_slot)
+
+    return GatesResult(
+        points=points,
+        adder_correct=adder_ok,
+        adder_critical_path_samples=critical,
+        dt=synthesizer.grid.dt,
+    )
+
+
+def main() -> None:
+    """Print the C6 gate sweep."""
+    print(run_gates().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Reference values transcribed from the paper's tables.
+
+Every number the evaluation section reports, in one place, so
+experiment drivers and EXPERIMENTS.md stay consistent.  Times are SI
+seconds; sample counts are the paper's raw simulation numbers (Table 2
+prints both).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import PaperValue
+from ..orthogonator.intersection import product_label
+from ..units import NANOSECOND, PICOSECOND
+
+# Canonical labels of the second-order intersection products, built by
+# the same code that labels orthogonator outputs so the keys can never
+# drift apart (Unicode combining characters make hand-typed copies
+# fragile).
+_NAMES = ("A", "B")
+LABEL_AB = product_label(0b11, _NAMES)  # A·B   (coincidence)
+LABEL_A_ONLY = product_label(0b01, _NAMES)  # A·B̄ (A without B)
+LABEL_B_ONLY = product_label(0b10, _NAMES)  # Ā·B (B without A)
+
+__all__ = [
+    "PAPER_N_POINTS",
+    "TABLE1_WHITE",
+    "TABLE1_PINK",
+    "TABLE2_UNCORRELATED",
+    "TABLE2_CORRELATED",
+    "TABLE2_COMMON_AMPLITUDE",
+    "TABLE2_PRIVATE_AMPLITUDE",
+]
+
+#: Record length used for all of the paper's statistics.
+PAPER_N_POINTS = 65536
+
+#: Table 1, band-limited white noise 5 MHz–10 GHz, demux order 2 (M = 3).
+TABLE1_WHITE = {
+    "source": PaperValue(
+        tau_seconds=90 * PICOSECOND, dtau_seconds=58 * PICOSECOND
+    ),
+    "outputs": PaperValue(
+        tau_seconds=267 * PICOSECOND, dtau_seconds=100 * PICOSECOND
+    ),
+}
+
+#: Table 1, band-limited 1/f noise 2.5 MHz–10 GHz, demux order 2 (M = 3).
+TABLE1_PINK = {
+    "source": PaperValue(
+        tau_seconds=225 * PICOSECOND, dtau_seconds=469 * PICOSECOND
+    ),
+    "outputs": PaperValue(
+        tau_seconds=681 * PICOSECOND, dtau_seconds=768 * PICOSECOND
+    ),
+}
+
+#: Table 2, uncorrelated sources (Figure 2 configuration).
+TABLE2_UNCORRELATED = {
+    "A": PaperValue(
+        tau_seconds=90 * PICOSECOND,
+        dtau_seconds=58 * PICOSECOND,
+        tau_samples=28,
+        dtau_samples=18,
+    ),
+    "B": PaperValue(
+        tau_seconds=90 * PICOSECOND,
+        dtau_seconds=61 * PICOSECOND,
+        tau_samples=28,
+        dtau_samples=19,
+    ),
+    LABEL_AB: PaperValue(
+        tau_seconds=2.24 * NANOSECOND,
+        dtau_seconds=2.18 * NANOSECOND,
+        tau_samples=697,
+        dtau_samples=678,
+    ),
+    LABEL_A_ONLY: PaperValue(
+        tau_seconds=93 * PICOSECOND,
+        dtau_seconds=64 * PICOSECOND,
+        tau_samples=29,
+        dtau_samples=20,
+    ),
+    LABEL_B_ONLY: PaperValue(
+        tau_seconds=96.4 * PICOSECOND,
+        dtau_seconds=67.5 * PICOSECOND,
+        tau_samples=30,
+        dtau_samples=21,
+    ),
+}
+
+#: Table 2, correlated sources (Figure 3 configuration).
+TABLE2_CORRELATED = {
+    "A": PaperValue(
+        tau_seconds=90 * PICOSECOND,
+        dtau_seconds=61 * PICOSECOND,
+        tau_samples=28,
+        dtau_samples=19,
+    ),
+    "B": PaperValue(
+        tau_seconds=90 * PICOSECOND,
+        dtau_seconds=61 * PICOSECOND,
+        tau_samples=28,
+        dtau_samples=19,
+    ),
+    LABEL_AB: PaperValue(
+        tau_seconds=167 * PICOSECOND,
+        dtau_seconds=148 * PICOSECOND,
+        tau_samples=52,
+        dtau_samples=46,
+    ),
+    LABEL_A_ONLY: PaperValue(
+        tau_seconds=186 * PICOSECOND,
+        dtau_seconds=170 * PICOSECOND,
+        tau_samples=58,
+        dtau_samples=53,
+    ),
+    LABEL_B_ONLY: PaperValue(
+        tau_seconds=190 * PICOSECOND,
+        dtau_seconds=174 * PICOSECOND,
+        tau_samples=59,
+        dtau_samples=54,
+    ),
+}
+
+#: Section 4.2 mixing amplitudes for the correlated configuration.
+TABLE2_COMMON_AMPLITUDE = 0.945
+TABLE2_PRIVATE_AMPLITUDE = 0.055

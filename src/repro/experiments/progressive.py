@@ -1,0 +1,104 @@
+"""Experiment C4: progressive (rough-then-refine) readout.
+
+Section 4.2: without homogenization the coincidence product A·B is slow;
+assigning it to the *low-value* bit and the fast exclusive products to
+high-value bits yields "a rough output" quickly that is "gradually
+refined" — an anytime readout.  The experiment transmits a word over an
+uncorrelated intersection basis in both digit assignments and compares
+the running-estimate error profiles.
+
+Run directly: ``python -m repro.experiments.progressive``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.progressive import progressive_readout, value_error_profile
+from ..hyperspace.builders import build_intersection_basis, paper_default_synthesizer
+from ..noise.synthesis import make_rng
+from ..units import format_time
+
+__all__ = ["ProgressiveResult", "run_progressive"]
+
+
+@dataclass(frozen=True)
+class ProgressiveResult:
+    """Error profiles for both digit-to-rate assignments.
+
+    Each profile is a list of (slot, relative error) pairs; the "paper"
+    assignment puts the slow element on the least significant digit.
+    """
+
+    paper_assignment: List[Tuple[int, float]]
+    adverse_assignment: List[Tuple[int, float]]
+    dt: float
+
+    def time_to_error(self, profile: List[Tuple[int, float]], target: float) -> float:
+        """First time (seconds) the profile's error drops below ``target``."""
+        for slot, error in profile:
+            if error <= target:
+                return slot * self.dt
+        return float("inf")
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = ["C4 — progressive readout (uncorrelated intersection basis)"]
+        for name, profile in (
+            ("slow element on LOW digit (paper)", self.paper_assignment),
+            ("slow element on HIGH digit (adverse)", self.adverse_assignment),
+        ):
+            steps = ", ".join(
+                f"{format_time(slot * self.dt)}: {error:.3f}" for slot, error in profile
+            )
+            lines.append(f"  {name}: {steps}")
+        rough = self.time_to_error(self.paper_assignment, 0.2)
+        adverse = self.time_to_error(self.adverse_assignment, 0.2)
+        lines.append(
+            f"  time to 20% accuracy: paper {format_time(rough)}, "
+            f"adverse {format_time(adverse)}"
+        )
+        return "\n".join(lines)
+
+
+def run_progressive(seed: int = 2016, radix: int = 3) -> ProgressiveResult:
+    """Run the rough-then-refine comparison on a 3-digit word.
+
+    The basis is the uncorrelated second-order intersection output: one
+    slow element (the coincidence product, index 0 in label order) and
+    two fast ones.  The transmitted digits are all the radix's maximum
+    value so every digit contributes to the error until detected.
+    """
+    synthesizer = paper_default_synthesizer()
+    basis = build_intersection_basis(
+        2, synthesizer=synthesizer, common_amplitude=0.0, rng=make_rng(seed)
+    )
+    # Element 0 is A·B (slow); 1 and 2 are the fast exclusives.
+    slow, fast_a, fast_b = 0, 1, 2
+
+    # Paper assignment: slow element carries digit 0 (weight 1).
+    paper_digits = [slow, fast_a, fast_b]
+    # Adverse assignment: slow element carries the top digit.
+    adverse_digits = [fast_a, fast_b, slow]
+
+    paper_profile = value_error_profile(
+        progressive_readout(basis, paper_digits, radix), paper_digits, radix
+    )
+    adverse_profile = value_error_profile(
+        progressive_readout(basis, adverse_digits, radix), adverse_digits, radix
+    )
+    return ProgressiveResult(
+        paper_assignment=paper_profile,
+        adverse_assignment=adverse_profile,
+        dt=basis.grid.dt,
+    )
+
+
+def main() -> None:
+    """Print the C4 progressive-readout comparison."""
+    print(run_progressive().render())
+
+
+if __name__ == "__main__":
+    main()

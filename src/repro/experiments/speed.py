@@ -1,0 +1,162 @@
+"""Experiment C1: identification speed — spikes vs continuum vs sinusoids.
+
+Section 2's central quantitative claim: "the spike-based scheme does not
+need time averaging and therefore results in a significant speed-up".
+This experiment measures, on a common grid and alphabet size M:
+
+* **spike scheme** — first-coincidence latency of a correlator reading a
+  neuro-bit wire (median over random observation starts);
+* **continuum noise scheme** — settled running-correlation decision time
+  (ref [3] behaviour);
+* **sinusoidal scheme** — settled quadrature-correlation decision time
+  (ref [5] behaviour).
+
+The expected ordering is spike ≪ sinusoidal ≲ continuum; the spike
+scheme's latency is one mean inter-spike interval of the (per-element)
+reference train, while the averaging schemes need many correlation
+times of the band.
+
+Run directly: ``python -m repro.experiments.speed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..baselines.continuum import ContinuumNoiseLogic
+from ..baselines.sinusoidal import SinusoidalLogic
+from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
+from ..logic.correlator import detection_latency_samples
+from ..noise.synthesis import make_rng
+from ..units import GIGAHERTZ, format_time
+
+__all__ = ["SchemeLatency", "SpeedResult", "run_speed"]
+
+
+@dataclass(frozen=True)
+class SchemeLatency:
+    """Identification latency summary of one scheme.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme label.
+    median_samples / p90_samples:
+        Median and 90th-percentile identification latency in samples.
+    """
+
+    scheme: str
+    median_samples: float
+    p90_samples: float
+
+    def render(self, dt: float) -> str:
+        """One report line with physical times."""
+        return (
+            f"{self.scheme:<16s} median {format_time(self.median_samples * dt):>9s}"
+            f"   p90 {format_time(self.p90_samples * dt):>9s}"
+        )
+
+
+@dataclass(frozen=True)
+class SpeedResult:
+    """All schemes' latencies plus the derived speed-up factors."""
+
+    latencies: List[SchemeLatency]
+    dt: float
+
+    def speedup_over(self, scheme: str) -> float:
+        """Spike-scheme median speed-up factor over a named scheme."""
+        spike = self._named("spike")
+        other = self._named(scheme)
+        return other.median_samples / spike.median_samples
+
+    def _named(self, scheme: str) -> SchemeLatency:
+        for latency in self.latencies:
+            if latency.scheme == scheme:
+                return latency
+        raise KeyError(scheme)
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = ["C1 — identification latency (alphabet carried per wire)"]
+        lines += [latency.render(self.dt) for latency in self.latencies]
+        lines.append(
+            f"speed-up: {self.speedup_over('continuum'):.0f}x over continuum, "
+            f"{self.speedup_over('sinusoidal'):.0f}x over sinusoidal"
+        )
+        return "\n".join(lines)
+
+
+def run_speed(
+    n_values: int = 4,
+    seed: int = 2016,
+    n_trials: int = 200,
+    margin: float = 0.2,
+) -> SpeedResult:
+    """Measure identification latency for the three schemes."""
+    rng = make_rng(seed)
+    synthesizer = paper_default_synthesizer()
+    grid = synthesizer.grid
+
+    # Spike scheme: median first-coincidence latency across elements.
+    basis = build_demux_basis(n_values, synthesizer=synthesizer, rng=rng)
+    spike_latencies = np.concatenate(
+        [
+            detection_latency_samples(basis, element, n_trials, rng)
+            for element in range(n_values)
+        ]
+    )
+
+    # Continuum scheme: settled decision times across elements.
+    continuum = ContinuumNoiseLogic(
+        n_values, synthesizer.spectrum, grid, seed=rng
+    )
+    continuum_latencies = np.asarray(
+        [
+            continuum.identification_time_samples(value, margin=margin)
+            for value in range(n_values)
+        ],
+        dtype=float,
+    )
+
+    # Sinusoidal scheme: carriers spread across the band.
+    frequencies = np.linspace(1.0, 2.0, n_values) * GIGAHERTZ
+    sinusoidal = SinusoidalLogic(frequencies, grid)
+    sinusoidal_latencies = np.asarray(
+        [
+            sinusoidal.identification_time_samples(value, margin=margin)
+            for value in range(n_values)
+        ],
+        dtype=float,
+    )
+
+    latencies = [
+        SchemeLatency(
+            "spike",
+            float(np.median(spike_latencies)),
+            float(np.percentile(spike_latencies, 90)),
+        ),
+        SchemeLatency(
+            "continuum",
+            float(np.median(continuum_latencies)),
+            float(np.percentile(continuum_latencies, 90)),
+        ),
+        SchemeLatency(
+            "sinusoidal",
+            float(np.median(sinusoidal_latencies)),
+            float(np.percentile(sinusoidal_latencies, 90)),
+        ),
+    ]
+    return SpeedResult(latencies=latencies, dt=grid.dt)
+
+
+def main() -> None:
+    """Print the C1 speed comparison."""
+    print(run_speed().render())
+
+
+if __name__ == "__main__":
+    main()

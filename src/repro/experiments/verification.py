@@ -1,0 +1,118 @@
+"""Experiment C8: set-verification latency on superposition wires.
+
+Ref [2] (the hyperspace paper this work builds on) motivates single-wire
+superpositions with verification problems: compare two parties' sets
+without enumerating them.  On orthogonal spike bases the comparison is
+physical: the first spike present on exactly one wire *witnesses* a
+difference.  Consequently:
+
+* **unequal** sets are detected after ~one inter-spike interval of the
+  differing element — independent of the set sizes;
+* **equal** sets can only be certified by exhausting the record (no
+  witness can be allowed to appear) — the asymmetric cost this
+  experiment quantifies.
+
+Run directly: ``python -m repro.experiments.verification``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
+from ..noise.synthesis import make_rng
+from ..search.verification import verify_equality
+from ..units import format_time
+
+__all__ = ["VerificationPoint", "VerificationExperimentResult", "run_verification"]
+
+
+@dataclass(frozen=True)
+class VerificationPoint:
+    """Latency summary for one basis size M."""
+
+    basis_size: int
+    median_unequal_slot: float
+    equal_slot: int
+    all_verdicts_correct: bool
+
+
+@dataclass(frozen=True)
+class VerificationExperimentResult:
+    """The M sweep."""
+
+    points: List[VerificationPoint]
+    dt: float
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = [
+            "C8 — set-verification latency (equality of superposition wires)",
+            f"{'M':>4s} {'unequal (median)':>17s} {'equal (certify)':>16s} "
+            f"{'correct':>8s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.basis_size:>4d} "
+                f"{format_time(p.median_unequal_slot * self.dt):>17s} "
+                f"{format_time(p.equal_slot * self.dt):>16s} "
+                f"{str(p.all_verdicts_correct):>8s}"
+            )
+        return "\n".join(lines)
+
+
+def run_verification(
+    basis_sizes: Tuple[int, ...] = (4, 8, 16),
+    n_pairs: int = 24,
+    seed: int = 2016,
+) -> VerificationExperimentResult:
+    """Measure equality-verification latency over random set pairs."""
+    synthesizer = paper_default_synthesizer()
+    rng = make_rng(seed)
+    points: List[VerificationPoint] = []
+
+    for m in basis_sizes:
+        basis = build_demux_basis(m, synthesizer=synthesizer, rng=rng)
+        unequal_slots: List[int] = []
+        correct = True
+
+        # Unequal pairs: random sets differing in at least one element.
+        while len(unequal_slots) < n_pairs:
+            a = set(int(x) for x in rng.integers(0, m, size=m // 2))
+            b = set(int(x) for x in rng.integers(0, m, size=m // 2))
+            if a == b:
+                continue
+            result = verify_equality(
+                basis, basis.encode_set(sorted(a)), basis.encode_set(sorted(b))
+            )
+            correct &= result.verdict is False
+            unequal_slots.append(result.decision_slot)
+
+        # One equal pair: certification must wait out the evidence.
+        members = sorted(set(int(x) for x in rng.integers(0, m, size=m // 2)))
+        equal = verify_equality(
+            basis, basis.encode_set(members), basis.encode_set(members)
+        )
+        correct &= equal.verdict is True
+
+        points.append(
+            VerificationPoint(
+                basis_size=m,
+                median_unequal_slot=float(np.median(unequal_slots)),
+                equal_slot=equal.decision_slot,
+                all_verdicts_correct=correct,
+            )
+        )
+    return VerificationExperimentResult(points=points, dt=synthesizer.grid.dt)
+
+
+def main() -> None:
+    """Print the C8 verification latency sweep."""
+    print(run_verification().render())
+
+
+if __name__ == "__main__":
+    main()

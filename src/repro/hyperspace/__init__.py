@@ -1,0 +1,31 @@
+"""Hyperspace layer: orthogonal bases, neuro-bit values, superpositions.
+
+* :class:`HyperspaceBasis` — M orthogonal reference trains with slot
+  classification;
+* :class:`Superposition` / :func:`decode_superposition` — several
+  neuro-bits on a single wire;
+* :func:`build_demux_basis` / :func:`build_intersection_basis` —
+  end-to-end pipelines from noise to basis.
+"""
+
+from .basis import HyperspaceBasis
+from .builders import (
+    build_demux_basis,
+    build_intersection_basis,
+    paper_default_synthesizer,
+)
+from .superposition import (
+    Superposition,
+    decode_superposition,
+    first_detection_slots,
+)
+
+__all__ = [
+    "HyperspaceBasis",
+    "Superposition",
+    "decode_superposition",
+    "first_detection_slots",
+    "build_demux_basis",
+    "build_intersection_basis",
+    "paper_default_synthesizer",
+]

@@ -1,0 +1,202 @@
+"""The logic hyperspace: an orthogonal reference basis of spike trains.
+
+A :class:`HyperspaceBasis` is the multidimensional space of Section 4: M
+mutually orthogonal spike trains ("neuro-bits"), each representing one
+basis element / logic value.  Because the trains never share a spike
+slot, any occupied slot identifies its basis element uniquely — the
+property that makes single-coincidence identification deterministic.
+
+Bases are typically built from an orthogonator output
+(:meth:`HyperspaceBasis.from_orthogonator`), but any collection of
+orthogonal trains qualifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import HyperspaceError
+from ..orthogonator.base import OrthogonatorOutput, verify_orthogonality
+from ..spikes.train import SpikeTrain
+from ..units import SimulationGrid
+
+__all__ = ["HyperspaceBasis"]
+
+ElementKey = Union[int, str]
+
+
+class HyperspaceBasis:
+    """An ordered, labelled, orthogonal set of reference spike trains.
+
+    Parameters
+    ----------
+    trains:
+        The basis element trains.  Must be non-empty, all on one grid,
+        and pairwise orthogonal (verified on construction).
+    labels:
+        Parallel element labels; default ``V1..VM`` following the paper's
+        notation ``{V_i(t_k)}``.
+    """
+
+    def __init__(
+        self,
+        trains: Sequence[SpikeTrain],
+        labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not trains:
+            raise HyperspaceError("a hyperspace basis needs at least one element")
+        grid = trains[0].grid
+        for train in trains[1:]:
+            if train.grid != grid:
+                raise HyperspaceError("basis trains must share one grid")
+        if labels is None:
+            labels = [f"V{i + 1}" for i in range(len(trains))]
+        if len(labels) != len(trains):
+            raise HyperspaceError(
+                f"{len(trains)} trains but {len(labels)} labels"
+            )
+        if len(set(labels)) != len(labels):
+            raise HyperspaceError(f"duplicate labels: {labels}")
+        verify_orthogonality(trains, labels)
+
+        self._trains: Tuple[SpikeTrain, ...] = tuple(trains)
+        self._labels: Tuple[str, ...] = tuple(labels)
+        self._grid = grid
+        self._label_to_index = {label: i for i, label in enumerate(self._labels)}
+        self._slot_owner = self._build_slot_map()
+
+    def _build_slot_map(self) -> Dict[int, int]:
+        """Map each occupied slot to the index of its owning element."""
+        owner: Dict[int, int] = {}
+        for element, train in enumerate(self._trains):
+            for slot in train.indices.tolist():
+                owner[slot] = element
+        return owner
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_orthogonator(cls, output: OrthogonatorOutput) -> "HyperspaceBasis":
+        """Adopt an orthogonator's labelled outputs as a basis."""
+        return cls(list(output.trains), list(output.labels))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of basis elements M."""
+        return len(self._trains)
+
+    @property
+    def grid(self) -> SimulationGrid:
+        """The grid all element trains live on."""
+        return self._grid
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Element labels in order."""
+        return self._labels
+
+    @property
+    def trains(self) -> Tuple[SpikeTrain, ...]:
+        """Element trains in order."""
+        return self._trains
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Tuple[str, SpikeTrain]]:
+        return iter(zip(self._labels, self._trains))
+
+    def index_of(self, key: ElementKey) -> int:
+        """Resolve an element key (index or label) to its index."""
+        if isinstance(key, str):
+            try:
+                return self._label_to_index[key]
+            except KeyError:
+                raise HyperspaceError(
+                    f"no element labelled {key!r}; available: {list(self._labels)}"
+                ) from None
+        index = int(key)
+        if not (0 <= index < self.size):
+            raise HyperspaceError(
+                f"element index {index} out of range [0, {self.size})"
+            )
+        return index
+
+    def label_of(self, key: ElementKey) -> str:
+        """Resolve an element key to its label."""
+        return self._labels[self.index_of(key)]
+
+    def train(self, key: ElementKey) -> SpikeTrain:
+        """The reference train of one element."""
+        return self._trains[self.index_of(key)]
+
+    # ------------------------------------------------------------------
+    # Encoding and slot classification
+    # ------------------------------------------------------------------
+
+    def encode(self, key: ElementKey) -> SpikeTrain:
+        """Physical signal carrying the single value ``key`` (its train)."""
+        return self.train(key)
+
+    def encode_set(self, keys: Sequence[ElementKey]) -> SpikeTrain:
+        """Superposition wire: union of the selected elements' trains.
+
+        This is the paper's "several neuro-bits transmitted on a single
+        wire" — up to ``2^M − 1`` distinct superpositions ride one wire.
+        An empty selection yields the empty train (the zero vector).
+        """
+        indices = sorted({self.index_of(k) for k in keys})
+        if not indices:
+            return SpikeTrain.empty(self._grid)
+        merged = np.concatenate([self._trains[i].indices for i in indices])
+        return SpikeTrain(merged, self._grid)
+
+    def owner_of_slot(self, slot: int) -> Optional[int]:
+        """Element index owning ``slot``, or None for an empty slot."""
+        return self._slot_owner.get(int(slot))
+
+    def classify_train(self, train: SpikeTrain) -> Dict[int, int]:
+        """Histogram: element index → number of ``train``'s spikes it owns.
+
+        Spikes in slots owned by no element are counted under key ``-1``
+        (noise / foreign spikes).
+        """
+        counts: Dict[int, int] = {}
+        for slot in train.indices.tolist():
+            owner = self._slot_owner.get(slot, -1)
+            counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> float:
+        """Fraction of grid slots carrying any reference spike."""
+        occupied = sum(len(t) for t in self._trains)
+        return occupied / self._grid.n_samples
+
+    def rates(self) -> Dict[str, float]:
+        """Per-element mean spike rates (spikes/s)."""
+        return {label: t.mean_rate() for label, t in self}
+
+    def min_spike_count(self) -> int:
+        """Spike count of the sparsest element (identification bottleneck)."""
+        return min(len(t) for t in self._trains)
+
+    def describe(self) -> str:
+        """One-line basis summary."""
+        return (
+            f"HyperspaceBasis(M={self.size}, "
+            f"min/max spikes={self.min_spike_count()}"
+            f"/{max(len(t) for t in self._trains)}, "
+            f"occupancy={self.occupancy():.3%})"
+        )

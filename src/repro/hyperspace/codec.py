@@ -1,0 +1,157 @@
+"""Message codec: byte streams over a neuro-bit symbol link.
+
+A practical consequence of the paper's scheme: a single wire plus a
+shared hyperspace is a self-clocked digital link.  The transmitter deals
+a noise train over M demux wires (packages = symbol slots), encodes each
+radix-M digit of the message as *which wire's package spike passes*, and
+the receiver recovers the digits from spike positions alone — no clock
+line, no equalisation, and any corruption is either detected (silent
+package) or corrected upstream.
+
+:class:`NeuroBitCodec` converts ``bytes`` ↔ digit streams ↔ spike
+trains over a :class:`~repro.logic.sequential.SymbolStream`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import LogicError
+from ..logic.sequential import PackageClock, SymbolStream
+from ..orthogonator.base import OrthogonatorOutput
+from ..spikes.train import SpikeTrain
+
+__all__ = ["NeuroBitCodec", "CodecCapacity"]
+
+
+@dataclass(frozen=True)
+class CodecCapacity:
+    """Capacity summary of one codec configuration.
+
+    Attributes
+    ----------
+    radix:
+        Symbols per package (the demux width M).
+    digits_per_byte:
+        Radix-M digits needed to cover one byte.
+    packages_available / bytes_capacity:
+        Link capacity of the underlying record.
+    """
+
+    radix: int
+    digits_per_byte: int
+    packages_available: int
+    bytes_capacity: int
+
+
+class NeuroBitCodec:
+    """Bytes ↔ spike trains over a demux-package symbol link.
+
+    Parameters
+    ----------
+    output:
+        A demux orthogonator output; its packages clock the link and its
+        width M is the symbol radix (M ≥ 2 required).
+    """
+
+    def __init__(self, output: OrthogonatorOutput) -> None:
+        self.clock = PackageClock(output)
+        if self.clock.n_wires < 2:
+            raise LogicError(
+                f"codec needs at least 2 demux wires, got {self.clock.n_wires}"
+            )
+        self.stream = SymbolStream(self.clock)
+        self._radix = self.clock.n_wires
+        self._digits_per_byte = max(1, math.ceil(math.log(256, self._radix)))
+
+    @property
+    def radix(self) -> int:
+        """Symbols per package (demux width M)."""
+        return self._radix
+
+    @property
+    def digits_per_byte(self) -> int:
+        """Radix-M digits used to encode one byte."""
+        return self._digits_per_byte
+
+    def capacity(self) -> CodecCapacity:
+        """Capacity of the underlying record."""
+        return CodecCapacity(
+            radix=self._radix,
+            digits_per_byte=self._digits_per_byte,
+            packages_available=self.clock.n_packages,
+            bytes_capacity=self.clock.n_packages // self._digits_per_byte,
+        )
+
+    # ------------------------------------------------------------------
+    # Digit level
+    # ------------------------------------------------------------------
+
+    def bytes_to_digits(self, payload: bytes) -> List[int]:
+        """Radix-M digit stream for ``payload`` (most significant first)."""
+        digits: List[int] = []
+        for byte in payload:
+            value = byte
+            chunk = []
+            for _position in range(self._digits_per_byte):
+                chunk.append(value % self._radix)
+                value //= self._radix
+            digits.extend(reversed(chunk))
+        return digits
+
+    def digits_to_bytes(self, digits: List[int]) -> bytes:
+        """Inverse of :meth:`bytes_to_digits`.
+
+        The digit count must be a multiple of :attr:`digits_per_byte`,
+        and each reconstructed value must fit a byte.
+        """
+        if len(digits) % self._digits_per_byte != 0:
+            raise LogicError(
+                f"{len(digits)} digits is not a multiple of "
+                f"{self._digits_per_byte}"
+            )
+        payload = bytearray()
+        for start in range(0, len(digits), self._digits_per_byte):
+            value = 0
+            for digit in digits[start : start + self._digits_per_byte]:
+                if not (0 <= digit < self._radix):
+                    raise LogicError(f"digit {digit} outside radix {self._radix}")
+                value = value * self._radix + digit
+            if value > 255:
+                raise LogicError(f"decoded value {value} exceeds one byte")
+            payload.append(value)
+        return bytes(payload)
+
+    # ------------------------------------------------------------------
+    # Wire level
+    # ------------------------------------------------------------------
+
+    def encode(self, payload: bytes) -> SpikeTrain:
+        """The wire signal carrying ``payload``."""
+        digits = self.bytes_to_digits(payload)
+        if digits and len(digits) > self.clock.n_packages:
+            raise LogicError(
+                f"payload needs {len(digits)} packages, link has "
+                f"{self.clock.n_packages}"
+            )
+        return self.stream.encode(digits)
+
+    def decode(self, wire: SpikeTrain) -> bytes:
+        """Recover the payload from a wire signal.
+
+        Trailing silent packages terminate the message; a silent package
+        *inside* the message (a lost symbol) raises, because byte
+        boundaries can no longer be trusted.
+        """
+        symbols = self.stream.decode(wire)
+        # Strip the trailing silence.
+        last = -1
+        for index, symbol in enumerate(symbols):
+            if symbol is not None:
+                last = index
+        message = symbols[: last + 1]
+        if any(symbol is None for symbol in message):
+            raise LogicError("lost symbol inside the message body")
+        return self.digits_to_bytes([int(s) for s in message])

@@ -1,0 +1,117 @@
+"""Superpositions: several neuro-bits on one wire.
+
+The abstract of the paper highlights "allowing several neuro-bits to be
+transmitted on a single wire".  Physically a superposition is the union
+of the selected reference trains; because the basis is orthogonal, the
+receiving end can recover the member set exactly by classifying each
+spike's slot.  :class:`Superposition` is the symbolic value (a frozenset
+of element indices) paired with codec helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from ..errors import HyperspaceError
+from ..spikes.train import SpikeTrain
+from .basis import ElementKey, HyperspaceBasis
+
+__all__ = ["Superposition", "decode_superposition", "first_detection_slots"]
+
+
+@dataclass(frozen=True)
+class Superposition:
+    """A set of basis elements riding one wire.
+
+    Immutable and hashable; supports the set operators ``|``, ``&``,
+    ``-``, ``^`` which correspond to the paper's set-theoretical logic
+    operations on superposed values.
+    """
+
+    members: FrozenSet[int]
+
+    @classmethod
+    def of(cls, basis: HyperspaceBasis, keys: Iterable[ElementKey]) -> "Superposition":
+        """Build from element keys (indices or labels) of ``basis``."""
+        return cls(frozenset(basis.index_of(k) for k in keys))
+
+    @classmethod
+    def empty(cls) -> "Superposition":
+        """The zero vector (no members, silent wire)."""
+        return cls(frozenset())
+
+    @classmethod
+    def full(cls, basis: HyperspaceBasis) -> "Superposition":
+        """The all-ones superposition (every element present)."""
+        return cls(frozenset(range(basis.size)))
+
+    def __contains__(self, element: int) -> bool:
+        return element in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __or__(self, other: "Superposition") -> "Superposition":
+        return Superposition(self.members | other.members)
+
+    def __and__(self, other: "Superposition") -> "Superposition":
+        return Superposition(self.members & other.members)
+
+    def __sub__(self, other: "Superposition") -> "Superposition":
+        return Superposition(self.members - other.members)
+
+    def __xor__(self, other: "Superposition") -> "Superposition":
+        return Superposition(self.members ^ other.members)
+
+    def complement(self, basis: HyperspaceBasis) -> "Superposition":
+        """Set complement within the basis ("invert" in the paper's terms)."""
+        return Superposition(frozenset(range(basis.size)) - self.members)
+
+    def encode(self, basis: HyperspaceBasis) -> SpikeTrain:
+        """The physical wire signal: union of the member trains."""
+        return basis.encode_set(sorted(self.members))
+
+    def labels(self, basis: HyperspaceBasis) -> Tuple[str, ...]:
+        """Member labels in basis order."""
+        return tuple(basis.labels[i] for i in sorted(self.members))
+
+
+def decode_superposition(
+    basis: HyperspaceBasis,
+    wire: SpikeTrain,
+    strict: bool = True,
+) -> Superposition:
+    """Recover the member set carried by ``wire``.
+
+    Each spike is classified by its slot's owner.  With ``strict``
+    (default) a spike in a slot no reference train owns raises
+    :class:`HyperspaceError` — on a clean wire that can only mean the
+    wire belongs to a different hyperspace.  Non-strict mode ignores
+    foreign spikes, modelling a receiver that tolerates injected noise.
+    """
+    counts = basis.classify_train(wire)
+    if strict and -1 in counts:
+        raise HyperspaceError(
+            f"wire carries {counts[-1]} spike(s) in slots owned by no basis element"
+        )
+    members = frozenset(k for k in counts if k >= 0)
+    return Superposition(members)
+
+
+def first_detection_slots(
+    basis: HyperspaceBasis,
+    wire: SpikeTrain,
+) -> Dict[int, int]:
+    """Earliest wire slot at which each member is first detected.
+
+    The paper's speed argument: a member is *known present* at its first
+    coincident spike.  Returns element index → earliest slot; elements
+    never seen are absent from the mapping.
+    """
+    earliest: Dict[int, int] = {}
+    for slot in wire.indices.tolist():
+        owner = basis.owner_of_slot(slot)
+        if owner is not None and owner not in earliest:
+            earliest[owner] = slot
+    return earliest

@@ -1,0 +1,224 @@
+"""Combinational circuits: netlists of truth-table gates.
+
+Section 7: "In the future, we plan to design digital circuits using this
+approach" — this module is that step.  A :class:`Circuit` is a DAG whose
+nodes are :class:`~repro.logic.gates.TruthTableGate` instances and whose
+edges carry neuro-bit values.  Evaluation runs on two levels:
+
+* :meth:`Circuit.evaluate` — symbolic golden model (integers);
+* :meth:`Circuit.transmit` — physical: every primary input is a spike
+  train, every gate identifies its inputs by coincidence and emits its
+  output's reference train.  Gate decision slots accumulate along paths,
+  so the returned :class:`CircuitTransmission` reports the physical
+  critical-path latency in samples — the quantity the paper's speed
+  claims are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import LogicError
+from ..hyperspace.basis import HyperspaceBasis
+from ..spikes.train import SpikeTrain
+from .gates import GateTransmission, TruthTableGate
+
+__all__ = ["Circuit", "CircuitTransmission", "Node"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One gate instance in a circuit.
+
+    ``inputs`` name either primary inputs (``"in:<name>"`` is not used;
+    plain names refer to primary inputs or other node outputs — each
+    name must be unique across both namespaces).
+    """
+
+    name: str
+    gate: TruthTableGate
+    inputs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CircuitTransmission:
+    """Physical evaluation result of a circuit.
+
+    Attributes
+    ----------
+    values:
+        Symbolic value of every named signal (inputs and node outputs).
+    wires:
+        Physical train of every named signal.
+    decision_slots:
+        Slot at which each node's output became valid (primary inputs
+        are valid at their observation start).
+    critical_path_slot:
+        Largest decision slot among the circuit outputs.
+    """
+
+    values: Mapping[str, int]
+    wires: Mapping[str, SpikeTrain]
+    decision_slots: Mapping[str, int]
+    critical_path_slot: int
+
+
+class Circuit:
+    """A named combinational netlist over hyperspace-typed signals.
+
+    Parameters
+    ----------
+    name:
+        Circuit name for diagnostics.
+    input_bases:
+        Mapping from primary-input name to its hyperspace.
+    """
+
+    def __init__(self, name: str, input_bases: Mapping[str, HyperspaceBasis]) -> None:
+        if not input_bases:
+            raise LogicError(f"circuit {name!r} needs at least one primary input")
+        self.name = name
+        self.input_bases: Dict[str, HyperspaceBasis] = dict(input_bases)
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+        self._outputs: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_gate(self, name: str, gate: TruthTableGate, inputs: Sequence[str]) -> str:
+        """Append a gate fed by the named signals; returns the node name."""
+        if name in self._nodes or name in self.input_bases:
+            raise LogicError(f"signal name {name!r} already used")
+        if len(inputs) != gate.arity:
+            raise LogicError(
+                f"node {name!r}: gate {gate.name!r} takes {gate.arity} inputs, "
+                f"got {len(inputs)}"
+            )
+        for position, source in enumerate(inputs):
+            source_basis = self._basis_of(source)
+            expected = gate.input_bases[position]
+            if source_basis is not expected and source_basis.size != expected.size:
+                raise LogicError(
+                    f"node {name!r}: input {position} ({source!r}) has alphabet "
+                    f"size {source_basis.size}, gate expects {expected.size}"
+                )
+        self._nodes[name] = Node(name=name, gate=gate, inputs=tuple(inputs))
+        self._order.append(name)
+        return name
+
+    def mark_output(self, name: str) -> None:
+        """Declare a signal as a circuit output."""
+        self._basis_of(name)  # validates existence
+        if name not in self._outputs:
+            self._outputs.append(name)
+
+    def _basis_of(self, signal: str) -> HyperspaceBasis:
+        if signal in self.input_bases:
+            return self.input_bases[signal]
+        if signal in self._nodes:
+            return self._nodes[signal].gate.output_basis
+        raise LogicError(
+            f"circuit {self.name!r}: unknown signal {signal!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Declared output signal names."""
+        return tuple(self._outputs)
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """Node names in topological (insertion) order."""
+        return tuple(self._order)
+
+    def n_gates(self) -> int:
+        """Number of gate instances."""
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Longest input-to-output path length in gates."""
+        level: Dict[str, int] = {name: 0 for name in self.input_bases}
+        deepest = 0
+        for name in self._order:
+            node = self._nodes[name]
+            level[name] = 1 + max(level[src] for src in node.inputs)
+            deepest = max(deepest, level[name])
+        return deepest
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Symbolic evaluation; returns the value of every signal."""
+        values: Dict[str, int] = {}
+        for name, basis in self.input_bases.items():
+            if name not in inputs:
+                raise LogicError(f"missing value for primary input {name!r}")
+            value = inputs[name]
+            if not (0 <= value < basis.size):
+                raise LogicError(
+                    f"input {name!r} value {value} outside [0, {basis.size})"
+                )
+            values[name] = value
+        extra = set(inputs) - set(self.input_bases)
+        if extra:
+            raise LogicError(f"unknown primary inputs: {sorted(extra)}")
+        for name in self._order:
+            node = self._nodes[name]
+            values[name] = node.gate.evaluate(*(values[s] for s in node.inputs))
+        return values
+
+    def transmit(
+        self,
+        wires: Mapping[str, SpikeTrain],
+        start_slot: int = 0,
+        votes: int = 1,
+    ) -> CircuitTransmission:
+        """Physical evaluation on spike-train primary inputs.
+
+        Each gate identifies its inputs starting no earlier than the slot
+        at which *those inputs became valid* (its predecessors' decision
+        slots), modelling a self-timed spike pipeline.
+        """
+        missing = set(self.input_bases) - set(wires)
+        if missing:
+            raise LogicError(f"missing wires for primary inputs: {sorted(missing)}")
+
+        signal_wire: Dict[str, SpikeTrain] = dict(wires)
+        values: Dict[str, int] = {}
+        ready: Dict[str, int] = {name: start_slot for name in self.input_bases}
+
+        for name in self._order:
+            node = self._nodes[name]
+            gate_start = max(ready[source] for source in node.inputs)
+            transmission: GateTransmission = node.gate.transmit(
+                *(signal_wire[source] for source in node.inputs),
+                start_slot=gate_start,
+                votes=votes,
+            )
+            signal_wire[name] = transmission.output
+            values[name] = transmission.value
+            ready[name] = transmission.decision_slot
+
+        for name, basis in self.input_bases.items():
+            # Primary-input symbolic values are recovered for reporting.
+            counts = basis.classify_train(signal_wire[name])
+            owners = [k for k in counts if k >= 0]
+            values[name] = owners[0] if len(owners) == 1 else -1
+
+        outputs = self._outputs or list(self._order[-1:])
+        critical = max(ready[name] for name in outputs) if outputs else start_slot
+        return CircuitTransmission(
+            values=values,
+            wires=signal_wire,
+            decision_slots=ready,
+            critical_path_slot=critical,
+        )

@@ -1,0 +1,209 @@
+"""Coincidence correlators: identifying neuro-bits by spike coincidence.
+
+Section 5: "the gates have correlators for each input, which determine
+the value of the input in a multi-variable space", and Section 2: "simple
+coincidence detection of a single spike can identify any reference spike
+train uniquely" — no time averaging, hence the scheme's speed.
+
+:class:`CoincidenceCorrelator` implements that receiver against a
+:class:`~repro.hyperspace.basis.HyperspaceBasis`:
+
+* :meth:`identify` — classify a single-valued wire by its first spike;
+* :meth:`identify_robust` — majority vote over the first k spikes, the
+  defence against injected/foreign spikes;
+* :meth:`detect_members` — set-membership readout of a superposition;
+* :func:`detection_latency_samples` — the latency distribution of
+  first-coincidence identification, used by the speed benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import IdentificationError
+from ..hyperspace.basis import HyperspaceBasis
+from ..spikes.train import SpikeTrain
+
+__all__ = [
+    "IdentificationResult",
+    "CoincidenceCorrelator",
+    "detection_latency_samples",
+]
+
+
+@dataclass(frozen=True)
+class IdentificationResult:
+    """Outcome of identifying a wire against a basis.
+
+    Attributes
+    ----------
+    element:
+        Index of the identified basis element.
+    label:
+        Its label.
+    decision_slot:
+        Sample index of the spike that decided the identification.
+    spikes_inspected:
+        How many wire spikes were examined before deciding.
+    """
+
+    element: int
+    label: str
+    decision_slot: int
+    spikes_inspected: int
+
+    def decision_time(self, dt: float) -> float:
+        """Decision latency in seconds from the observation start."""
+        return self.decision_slot * dt
+
+
+class CoincidenceCorrelator:
+    """Identifies spike trains against one hyperspace basis."""
+
+    def __init__(self, basis: HyperspaceBasis) -> None:
+        self.basis = basis
+
+    def identify(self, wire: SpikeTrain, start_slot: int = 0) -> IdentificationResult:
+        """First-coincidence identification of a single-valued wire.
+
+        Scans the wire's spikes from ``start_slot`` onward; the first
+        spike landing in a slot owned by a basis element decides.  Spikes
+        owned by no element (foreign/noise) are skipped.  Raises
+        :class:`IdentificationError` if no spike ever coincides — for a
+        clean wire that means it belongs to a different hyperspace.
+        """
+        inspected = 0
+        for slot in wire.indices[np.searchsorted(wire.indices, start_slot) :].tolist():
+            inspected += 1
+            owner = self.basis.owner_of_slot(slot)
+            if owner is not None:
+                return IdentificationResult(
+                    element=owner,
+                    label=self.basis.labels[owner],
+                    decision_slot=slot,
+                    spikes_inspected=inspected,
+                )
+        raise IdentificationError(
+            f"no coincidence between the wire ({len(wire)} spikes from slot "
+            f"{start_slot}) and any of the {self.basis.size} basis elements"
+        )
+
+    def identify_robust(
+        self,
+        wire: SpikeTrain,
+        votes: int = 3,
+        start_slot: int = 0,
+    ) -> IdentificationResult:
+        """Majority-vote identification over the first ``votes`` coincidences.
+
+        A single foreign spike cannot flip the decision: the element
+        owning the most of the first ``votes`` coinciding spikes wins
+        (ties broken by earliest decisive spike).  Falls back to plain
+        first-coincidence behaviour when ``votes == 1``.
+        """
+        if votes < 1:
+            raise IdentificationError(f"votes must be >= 1, got {votes}")
+        tally: Counter = Counter()
+        first_slot: Dict[int, int] = {}
+        inspected = 0
+        for slot in wire.indices[np.searchsorted(wire.indices, start_slot) :].tolist():
+            inspected += 1
+            owner = self.basis.owner_of_slot(slot)
+            if owner is None:
+                continue
+            tally[owner] += 1
+            first_slot.setdefault(owner, slot)
+            if sum(tally.values()) >= votes:
+                break
+        if not tally:
+            raise IdentificationError(
+                f"no coincidence between the wire and any of the "
+                f"{self.basis.size} basis elements"
+            )
+        best = max(tally.items(), key=lambda kv: (kv[1], -first_slot[kv[0]]))[0]
+        return IdentificationResult(
+            element=best,
+            label=self.basis.labels[best],
+            decision_slot=first_slot[best],
+            spikes_inspected=inspected,
+        )
+
+    def detect_members(
+        self,
+        wire: SpikeTrain,
+        until_slot: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Set-membership readout: element index → first detection slot.
+
+        Observes the wire up to ``until_slot`` (exclusive; default: the
+        whole record).  Elements absent from the result were never seen —
+        for a clean superposition wire that means they are not members.
+        """
+        limit = self.basis.grid.n_samples if until_slot is None else until_slot
+        earliest: Dict[int, int] = {}
+        for slot in wire.indices.tolist():
+            if slot >= limit:
+                break
+            owner = self.basis.owner_of_slot(slot)
+            if owner is not None and owner not in earliest:
+                earliest[owner] = slot
+        return earliest
+
+    def contains(
+        self,
+        wire: SpikeTrain,
+        element,
+        until_slot: Optional[int] = None,
+    ) -> bool:
+        """Membership test: does ``element`` appear on ``wire``?
+
+        Physically this is a coincidence check between the wire and one
+        reference train, the cheapest of the paper's set operations.
+        """
+        index = self.basis.index_of(element)
+        reference = self.basis.trains[index]
+        shared = wire.intersection(reference)
+        if until_slot is None:
+            return len(shared) > 0
+        first = shared.first_spike_index()
+        return first is not None and first < until_slot
+
+
+def detection_latency_samples(
+    basis: HyperspaceBasis,
+    element,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Latency (samples) from a random start to the element's next spike.
+
+    Draws ``n_trials`` uniform observation-start slots and measures how
+    long a correlator waits for the first spike of the element's
+    reference train — the paper's "first coincident spike" delay.  Starts
+    falling after the element's last spike are redrawn (censored), so the
+    returned array always holds ``n_trials`` finite latencies.
+    """
+    index = basis.index_of(element)
+    spikes = basis.trains[index].indices
+    if spikes.size == 0:
+        raise IdentificationError(
+            f"element {basis.labels[index]!r} has no spikes; latency undefined"
+        )
+    latencies = np.empty(n_trials, dtype=np.int64)
+    filled = 0
+    last = spikes[-1]
+    while filled < n_trials:
+        starts = rng.integers(0, basis.grid.n_samples, size=n_trials - filled)
+        starts = starts[starts <= last]
+        if starts.size == 0:
+            continue
+        positions = np.searchsorted(spikes, starts)
+        hits = spikes[positions] - starts
+        take = min(hits.size, n_trials - filled)
+        latencies[filled : filled + take] = hits[:take]
+        filled += take
+    return latencies

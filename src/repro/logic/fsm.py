@@ -1,0 +1,204 @@
+"""General finite-state machines over the package clock.
+
+Extends :mod:`repro.logic.sequential` from fixed Moore machines to a
+general table-driven FSM layer — the sequential counterpart of the
+truth-table gate:
+
+* :class:`FiniteStateMachine` — explicit transition/output tables
+  (Mealy semantics: the emitted symbol may depend on both state and
+  input), validated for totality;
+* :func:`shift_register_fsm` — an M-ary shift register of given length
+  (the paper's "sequential logic operations and networks" primitive);
+* :func:`lfsr_fsm` — a linear-feedback shift register over GF(M),
+  turning the scheme into a self-clocked pseudo-random symbol source;
+* :meth:`FiniteStateMachine.run_stream` — physical execution: decode a
+  wire's symbol stream, advance, re-encode the outputs in the same
+  packages.
+
+Determinism at the symbolic level plus the exactness of the symbol codec
+gives deterministic sequential circuits clocked entirely by noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LogicError
+from ..spikes.train import SpikeTrain
+from .sequential import SymbolStream
+
+__all__ = ["FiniteStateMachine", "shift_register_fsm", "lfsr_fsm"]
+
+
+class FiniteStateMachine:
+    """A table-driven Mealy machine over finite state and symbol sets.
+
+    Parameters
+    ----------
+    n_states:
+        Number of states (states are 0..n_states−1).
+    n_symbols:
+        Input/output alphabet size (symbols are 0..n_symbols−1).
+    transitions:
+        ``(state, symbol) → next state``; must be total.
+    outputs:
+        ``(state, symbol) → emitted symbol``; must be total.  The
+        emitted symbol must fit the wire alphabet when run physically.
+    initial_state:
+        Starting state.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        transitions: Dict[Tuple[int, int], int],
+        outputs: Dict[Tuple[int, int], int],
+        initial_state: int = 0,
+    ) -> None:
+        if n_states < 1:
+            raise LogicError(f"n_states must be >= 1, got {n_states}")
+        if n_symbols < 1:
+            raise LogicError(f"n_symbols must be >= 1, got {n_symbols}")
+        if not (0 <= initial_state < n_states):
+            raise LogicError(
+                f"initial_state {initial_state} outside [0, {n_states})"
+            )
+        for state in range(n_states):
+            for symbol in range(n_symbols):
+                key = (state, symbol)
+                if key not in transitions:
+                    raise LogicError(f"transition table misses {key}")
+                if key not in outputs:
+                    raise LogicError(f"output table misses {key}")
+                target = transitions[key]
+                if not (0 <= target < n_states):
+                    raise LogicError(
+                        f"transition {key} -> {target} outside [0, {n_states})"
+                    )
+                emitted = outputs[key]
+                if not (0 <= emitted < n_symbols):
+                    raise LogicError(
+                        f"output {key} -> {emitted} outside [0, {n_symbols})"
+                    )
+        self.n_states = n_states
+        self.n_symbols = n_symbols
+        self.transitions = dict(transitions)
+        self.outputs = dict(outputs)
+        self.initial_state = initial_state
+
+    def run(self, symbols: Sequence[Optional[int]]) -> List[Optional[int]]:
+        """Symbolic execution; ``None`` ticks hold the state silently."""
+        state = self.initial_state
+        emitted: List[Optional[int]] = []
+        for symbol in symbols:
+            if symbol is None:
+                emitted.append(None)
+                continue
+            if not (0 <= symbol < self.n_symbols):
+                raise LogicError(
+                    f"input symbol {symbol} outside [0, {self.n_symbols})"
+                )
+            emitted.append(self.outputs[(state, symbol)])
+            state = self.transitions[(state, symbol)]
+        return emitted
+
+    def run_stream(self, stream: SymbolStream, wire: SpikeTrain) -> SpikeTrain:
+        """Physical execution over a symbol stream's packages."""
+        if self.n_symbols > stream.clock.n_wires:
+            raise LogicError(
+                f"machine alphabet ({self.n_symbols}) exceeds the wire "
+                f"alphabet ({stream.clock.n_wires})"
+            )
+        emitted = self.run(stream.decode(wire))
+        slots = []
+        for tick, symbol in enumerate(emitted):
+            if symbol is None:
+                continue
+            slots.append(stream.clock.slot_of(tick, symbol))
+        grid = wire.grid
+        return SpikeTrain(np.asarray(slots, dtype=np.int64), grid)
+
+
+def shift_register_fsm(length: int, radix: int) -> FiniteStateMachine:
+    """An M-ary shift register of the given length.
+
+    The state is the register contents encoded base-M (oldest symbol in
+    the highest digit); each tick shifts the input symbol in and emits
+    the symbol falling out (zeros until the register fills).
+    """
+    if length < 1:
+        raise LogicError(f"length must be >= 1, got {length}")
+    if radix < 2:
+        raise LogicError(f"radix must be >= 2, got {radix}")
+    n_states = radix**length
+    high = radix ** (length - 1)
+    transitions: Dict[Tuple[int, int], int] = {}
+    outputs: Dict[Tuple[int, int], int] = {}
+    for state in range(n_states):
+        oldest = state // high
+        rest = state % high
+        for symbol in range(radix):
+            transitions[(state, symbol)] = rest * radix + symbol
+            outputs[(state, symbol)] = oldest
+    return FiniteStateMachine(
+        n_states=n_states,
+        n_symbols=radix,
+        transitions=transitions,
+        outputs=outputs,
+        initial_state=0,
+    )
+
+
+def lfsr_fsm(taps: Sequence[int], radix: int) -> FiniteStateMachine:
+    """A Fibonacci LFSR over GF(radix) with the given tap positions.
+
+    ``taps`` index register cells (0 = the cell shifted out next); the
+    feedback symbol is the sum of tapped cells modulo ``radix``.  The
+    input symbol is *added* to the feedback, so driving the machine with
+    zeros yields the autonomous LFSR sequence while any input perturbs
+    it — a simple scrambler.
+    """
+    if radix < 2:
+        raise LogicError(f"radix must be >= 2, got {radix}")
+    if not taps:
+        raise LogicError("at least one tap is required")
+    length = max(taps) + 1
+    for tap in taps:
+        if tap < 0:
+            raise LogicError(f"tap positions must be >= 0, got {tap}")
+    n_states = radix**length
+    transitions: Dict[Tuple[int, int], int] = {}
+    outputs: Dict[Tuple[int, int], int] = {}
+
+    def cells_of(state: int) -> List[int]:
+        cells = []
+        value = state
+        for _position in range(length):
+            cells.append(value % radix)
+            value //= radix
+        return cells  # cells[0] is shifted out next
+
+    for state in range(n_states):
+        cells = cells_of(state)
+        feedback = sum(cells[tap] for tap in taps) % radix
+        for symbol in range(radix):
+            incoming = (feedback + symbol) % radix
+            new_cells = cells[1:] + [incoming]
+            new_state = 0
+            for position, cell in enumerate(new_cells):
+                new_state += cell * radix**position
+            transitions[(state, symbol)] = new_state
+            outputs[(state, symbol)] = cells[0]
+    # Seed with all-ones so the autonomous sequence is non-trivial.
+    seed = sum(1 * radix**position for position in range(length))
+    return FiniteStateMachine(
+        n_states=n_states,
+        n_symbols=radix,
+        transitions=transitions,
+        outputs=outputs,
+        initial_state=seed,
+    )

@@ -1,0 +1,273 @@
+"""Deterministic logic gates over neuro-bit values.
+
+Section 5: gates carry a correlator per input that identifies the input
+value within the hyperspace, then "drive out an appropriate output,
+possibly from a different hyperspace than the hyperspace of the inputs".
+
+:class:`TruthTableGate` is the universal building block — any K-input
+function over finite alphabets.  It operates on two levels:
+
+* **symbolic** (:meth:`evaluate`) — integer values in, integer value out;
+  this is the golden-model semantics;
+* **physical** (:meth:`transmit`) — spike-train wires in, spike-train
+  wire out.  Each input is identified by first coincidence against its
+  hyperspace; the output is the reference train of the computed value in
+  the gate's output hyperspace.  The gate's decision latency is the
+  latest input identification slot, which the speed benchmarks measure.
+
+Binary Boolean gate factories (:func:`not_gate`, :func:`and_gate`, ...)
+are provided on top; multi-valued families live in
+:mod:`repro.logic.multivalued`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import LogicError
+from ..hyperspace.basis import HyperspaceBasis
+from ..spikes.train import SpikeTrain
+from .correlator import CoincidenceCorrelator, IdentificationResult
+
+__all__ = [
+    "GateTransmission",
+    "TruthTableGate",
+    "gate_from_function",
+    "not_gate",
+    "and_gate",
+    "or_gate",
+    "xor_gate",
+    "nand_gate",
+    "nor_gate",
+    "buffer_gate",
+]
+
+
+@dataclass(frozen=True)
+class GateTransmission:
+    """Result of a physical gate evaluation.
+
+    Attributes
+    ----------
+    value:
+        The symbolic output value.
+    output:
+        The output wire (reference train of ``value``).
+    decision_slot:
+        Slot at which the slowest input identification completed; the
+        gate's output is valid from this point on.
+    input_results:
+        Per-input identification details.
+    """
+
+    value: int
+    output: SpikeTrain
+    decision_slot: int
+    input_results: Tuple[IdentificationResult, ...]
+
+
+class TruthTableGate:
+    """A K-input gate defined by an explicit truth table.
+
+    Parameters
+    ----------
+    name:
+        Gate name for diagnostics.
+    input_bases:
+        One :class:`HyperspaceBasis` per input; the basis size is the
+        input's alphabet size M_i.
+    output_basis:
+        Hyperspace the output value is emitted in (its size bounds the
+        output alphabet).
+    table:
+        Mapping from input value tuples to output values.  Must be total
+        over the input alphabet product and must only produce values
+        representable in the output basis.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_bases: Sequence[HyperspaceBasis],
+        output_basis: HyperspaceBasis,
+        table: Dict[Tuple[int, ...], int],
+    ) -> None:
+        if not input_bases:
+            raise LogicError(f"gate {name!r} needs at least one input")
+        self.name = name
+        self.input_bases = tuple(input_bases)
+        self.output_basis = output_basis
+        self._correlators = tuple(CoincidenceCorrelator(b) for b in self.input_bases)
+
+        alphabet_sizes = tuple(b.size for b in self.input_bases)
+        expected = 1
+        for size in alphabet_sizes:
+            expected *= size
+        if len(table) != expected:
+            raise LogicError(
+                f"gate {name!r}: truth table has {len(table)} entries, "
+                f"expected {expected} for alphabet sizes {alphabet_sizes}"
+            )
+        for combo in itertools.product(*(range(s) for s in alphabet_sizes)):
+            if combo not in table:
+                raise LogicError(f"gate {name!r}: truth table misses input {combo}")
+            out = table[combo]
+            if not (0 <= out < output_basis.size):
+                raise LogicError(
+                    f"gate {name!r}: output {out} for input {combo} is outside "
+                    f"the output alphabet [0, {output_basis.size})"
+                )
+        self.table = dict(table)
+
+    @property
+    def arity(self) -> int:
+        """Number of inputs K."""
+        return len(self.input_bases)
+
+    @property
+    def input_sizes(self) -> Tuple[int, ...]:
+        """Alphabet size of each input."""
+        return tuple(b.size for b in self.input_bases)
+
+    # ------------------------------------------------------------------
+    # Symbolic level
+    # ------------------------------------------------------------------
+
+    def evaluate(self, *values: int) -> int:
+        """Golden-model evaluation on integer values."""
+        if len(values) != self.arity:
+            raise LogicError(
+                f"gate {self.name!r} takes {self.arity} inputs, got {len(values)}"
+            )
+        for i, (value, basis) in enumerate(zip(values, self.input_bases)):
+            if not (0 <= value < basis.size):
+                raise LogicError(
+                    f"gate {self.name!r}: input {i} value {value} outside "
+                    f"[0, {basis.size})"
+                )
+        return self.table[tuple(values)]
+
+    # ------------------------------------------------------------------
+    # Physical level
+    # ------------------------------------------------------------------
+
+    def transmit(
+        self,
+        *wires: SpikeTrain,
+        start_slot: int = 0,
+        votes: int = 1,
+    ) -> GateTransmission:
+        """Physical evaluation on spike-train wires.
+
+        Each wire is identified against its input hyperspace (first
+        coincidence, or ``votes``-way majority for robustness); the
+        output wire is the reference train of the computed value.
+        """
+        if len(wires) != self.arity:
+            raise LogicError(
+                f"gate {self.name!r} takes {self.arity} wires, got {len(wires)}"
+            )
+        results = []
+        for correlator, wire in zip(self._correlators, wires):
+            if votes == 1:
+                results.append(correlator.identify(wire, start_slot=start_slot))
+            else:
+                results.append(
+                    correlator.identify_robust(wire, votes=votes, start_slot=start_slot)
+                )
+        values = tuple(r.element for r in results)
+        out_value = self.table[values]
+        return GateTransmission(
+            value=out_value,
+            output=self.output_basis.encode(out_value),
+            decision_slot=max(r.decision_slot for r in results),
+            input_results=tuple(results),
+        )
+
+
+def gate_from_function(
+    name: str,
+    input_bases: Sequence[HyperspaceBasis],
+    output_basis: HyperspaceBasis,
+    function: Callable[..., int],
+) -> TruthTableGate:
+    """Build a :class:`TruthTableGate` by tabulating ``function``."""
+    sizes = [b.size for b in input_bases]
+    table = {
+        combo: int(function(*combo))
+        for combo in itertools.product(*(range(s) for s in sizes))
+    }
+    return TruthTableGate(name, input_bases, output_basis, table)
+
+
+def _require_binary(basis: HyperspaceBasis, role: str, name: str) -> None:
+    if basis.size != 2:
+        raise LogicError(
+            f"gate {name!r}: {role} basis must have exactly 2 elements "
+            f"(got {basis.size}); binary logic uses elements 0 (FALSE) and "
+            "1 (TRUE) — use a buffer gate to translate from a larger "
+            "hyperspace, or the multi-valued families in repro.logic.multivalued"
+        )
+
+
+def buffer_gate(basis: HyperspaceBasis, output_basis: Optional[HyperspaceBasis] = None):
+    """Identity gate; with a distinct output basis it is a hyperspace translator."""
+    out = output_basis if output_basis is not None else basis
+    if out.size < basis.size:
+        raise LogicError(
+            f"buffer output basis ({out.size}) smaller than input ({basis.size})"
+        )
+    return gate_from_function("BUF", [basis], out, lambda a: a)
+
+
+def not_gate(basis: HyperspaceBasis, output_basis: Optional[HyperspaceBasis] = None):
+    """Boolean complement over a 2-element basis."""
+    out = output_basis if output_basis is not None else basis
+    _require_binary(basis, "input", "NOT")
+    _require_binary(out, "output", "NOT")
+    return gate_from_function("NOT", [basis], out, lambda a: 1 - a)
+
+
+def _binary_pair(name, basis_a, basis_b, output_basis, function):
+    bases = [basis_a, basis_b]
+    for b in bases:
+        _require_binary(b, "input", name)
+    _require_binary(output_basis, "output", name)
+    return gate_from_function(name, bases, output_basis, function)
+
+
+def and_gate(basis_a, basis_b=None, output_basis=None):
+    """Boolean AND over elements {0, 1} (bases may differ per input)."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    return _binary_pair("AND", basis_a, basis_b, output_basis, lambda a, b: a & b)
+
+
+def or_gate(basis_a, basis_b=None, output_basis=None):
+    """Boolean OR over elements {0, 1}."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    return _binary_pair("OR", basis_a, basis_b, output_basis, lambda a, b: a | b)
+
+
+def xor_gate(basis_a, basis_b=None, output_basis=None):
+    """Boolean XOR over elements {0, 1}."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    return _binary_pair("XOR", basis_a, basis_b, output_basis, lambda a, b: a ^ b)
+
+
+def nand_gate(basis_a, basis_b=None, output_basis=None):
+    """Boolean NAND over elements {0, 1}."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    return _binary_pair("NAND", basis_a, basis_b, output_basis, lambda a, b: 1 - (a & b))
+
+
+def nor_gate(basis_a, basis_b=None, output_basis=None):
+    """Boolean NOR over elements {0, 1}."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    return _binary_pair("NOR", basis_a, basis_b, output_basis, lambda a, b: 1 - (a | b))

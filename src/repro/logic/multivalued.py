@@ -1,0 +1,179 @@
+"""Multi-valued logic families over an M-element hyperspace.
+
+"The logic approach described in this paper makes it easy to implement
+multi-valued logic functions, something that traditional digital VLSI
+design simply cannot achieve in practice" (Section 1).  This module
+provides the standard multi-valued logic (MVL) operator families over a
+radix-M alphabet carried by an M-element hyperspace basis:
+
+* Post algebra: :func:`min_gate` (MVL AND), :func:`max_gate` (MVL OR),
+  :func:`negation_gate` (value reflection ``M−1−v``);
+* modular arithmetic: :func:`mod_sum_gate`, :func:`mod_product_gate`;
+* :func:`literal_gate` (window literal, the MVL analogue of a decoded
+  minterm) and :func:`successor_gate` (cyclic increment);
+* :class:`MultiValuedAlphabet` — bidirectional mapping between semantic
+  symbols and basis elements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from ..errors import LogicError
+from ..hyperspace.basis import HyperspaceBasis
+from .gates import TruthTableGate, gate_from_function
+
+__all__ = [
+    "MultiValuedAlphabet",
+    "min_gate",
+    "max_gate",
+    "negation_gate",
+    "mod_sum_gate",
+    "mod_product_gate",
+    "successor_gate",
+    "literal_gate",
+]
+
+
+class MultiValuedAlphabet:
+    """Maps semantic symbols (digits, names) onto basis elements.
+
+    The basis element index is the *physical* value; the alphabet gives
+    it meaning.  The default alphabet is the radix-M digit set 0..M−1
+    mapped onto elements in order.
+    """
+
+    def __init__(
+        self,
+        basis: HyperspaceBasis,
+        symbols: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        if symbols is None:
+            symbols = list(range(basis.size))
+        if len(symbols) != basis.size:
+            raise LogicError(
+                f"{len(symbols)} symbols for a basis of size {basis.size}"
+            )
+        if len(set(symbols)) != len(symbols):
+            raise LogicError(f"duplicate symbols: {symbols}")
+        self.basis = basis
+        self._symbols: Tuple[Hashable, ...] = tuple(symbols)
+        self._to_element: Dict[Hashable, int] = {
+            s: i for i, s in enumerate(self._symbols)
+        }
+
+    @property
+    def radix(self) -> int:
+        """Alphabet size (the basis size M)."""
+        return self.basis.size
+
+    @property
+    def symbols(self) -> Tuple[Hashable, ...]:
+        """Symbols in element order."""
+        return self._symbols
+
+    def element_of(self, symbol: Hashable) -> int:
+        """Basis element carrying ``symbol``."""
+        try:
+            return self._to_element[symbol]
+        except KeyError:
+            raise LogicError(
+                f"symbol {symbol!r} not in alphabet {self._symbols}"
+            ) from None
+
+    def symbol_of(self, element: int) -> Hashable:
+        """Symbol carried by basis element ``element``."""
+        if not (0 <= element < self.radix):
+            raise LogicError(f"element {element} outside [0, {self.radix})")
+        return self._symbols[element]
+
+    def encode(self, symbol: Hashable):
+        """Wire signal (reference train) for ``symbol``."""
+        return self.basis.encode(self.element_of(symbol))
+
+
+def _common_radix(name: str, *bases: HyperspaceBasis) -> int:
+    radix = bases[0].size
+    for b in bases[1:]:
+        if b.size != radix:
+            raise LogicError(
+                f"gate {name!r}: mixed alphabet sizes "
+                f"{[basis.size for basis in bases]}"
+            )
+    return radix
+
+
+def min_gate(basis_a: HyperspaceBasis, basis_b: Optional[HyperspaceBasis] = None,
+             output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Post-algebra MIN — the multi-valued generalisation of AND."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    _common_radix("MIN", basis_a, basis_b, output_basis)
+    return gate_from_function("MIN", [basis_a, basis_b], output_basis, min)
+
+
+def max_gate(basis_a: HyperspaceBasis, basis_b: Optional[HyperspaceBasis] = None,
+             output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Post-algebra MAX — the multi-valued generalisation of OR."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    _common_radix("MAX", basis_a, basis_b, output_basis)
+    return gate_from_function("MAX", [basis_a, basis_b], output_basis, max)
+
+
+def negation_gate(basis: HyperspaceBasis,
+                  output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Value reflection ``v → M−1−v`` — the multi-valued complement."""
+    output_basis = output_basis if output_basis is not None else basis
+    radix = _common_radix("NEG", basis, output_basis)
+    return gate_from_function("NEG", [basis], output_basis,
+                              lambda v: radix - 1 - v)
+
+
+def mod_sum_gate(basis_a: HyperspaceBasis, basis_b: Optional[HyperspaceBasis] = None,
+                 output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Modular addition ``(a + b) mod M`` — the radix-M sum digit."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    radix = _common_radix("MODSUM", basis_a, basis_b, output_basis)
+    return gate_from_function("MODSUM", [basis_a, basis_b], output_basis,
+                              lambda a, b: (a + b) % radix)
+
+
+def mod_product_gate(basis_a: HyperspaceBasis,
+                     basis_b: Optional[HyperspaceBasis] = None,
+                     output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Modular multiplication ``(a · b) mod M``."""
+    basis_b = basis_b if basis_b is not None else basis_a
+    output_basis = output_basis if output_basis is not None else basis_a
+    radix = _common_radix("MODPROD", basis_a, basis_b, output_basis)
+    return gate_from_function("MODPROD", [basis_a, basis_b], output_basis,
+                              lambda a, b: (a * b) % radix)
+
+
+def successor_gate(basis: HyperspaceBasis,
+                   output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Cyclic increment ``v → (v + 1) mod M``."""
+    output_basis = output_basis if output_basis is not None else basis
+    radix = _common_radix("SUCC", basis, output_basis)
+    return gate_from_function("SUCC", [basis], output_basis,
+                              lambda v: (v + 1) % radix)
+
+
+def literal_gate(basis: HyperspaceBasis, low: int, high: int,
+                 output_basis: Optional[HyperspaceBasis] = None) -> TruthTableGate:
+    """Window literal: outputs M−1 (TRUE) when ``low <= v <= high``, else 0.
+
+    The MVL building block for sum-of-products synthesis; with
+    ``low == high`` it is a decoded minterm for one value.
+    """
+    output_basis = output_basis if output_basis is not None else basis
+    radix = _common_radix("LITERAL", basis, output_basis)
+    if not (0 <= low <= high < radix):
+        raise LogicError(
+            f"literal window [{low}, {high}] invalid for radix {radix}"
+        )
+    return gate_from_function(
+        f"LIT[{low},{high}]", [basis], output_basis,
+        lambda v: (radix - 1) if low <= v <= high else 0,
+    )

@@ -1,0 +1,228 @@
+"""Sequential logic on the demultiplexer's spike packages.
+
+Section 3(i): the demux orthogonator's outputs arrive in *packages* — M
+consecutive input spikes, one per wire — and "when the M-th wire
+outputted its k-th spike, we know that the previous M−1 spikes were
+outputted on the other M−1 wires".  The package ordinal k is a discrete
+*computer time* t_k, which "makes easy/natural to construct sequential
+logic operations and networks".
+
+This module realises that idea:
+
+* :class:`PackageClock` — extracts the package timeline from a demux
+  basis and maps slots to computer time;
+* :class:`SymbolStream` — a time-division value stream: in package k the
+  wire carries exactly the package-k spike of reference wire v_k, so a
+  receiver recovers one symbol per package;
+* :class:`MooreMachine` — a clocked state machine advancing once per
+  package, plus ready-made :func:`counter_machine` and
+  :func:`accumulator_machine` examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LogicError
+from ..orthogonator.base import OrthogonatorOutput
+from ..orthogonator.demux import SpikePackage, spike_packages
+from ..spikes.train import SpikeTrain
+
+__all__ = [
+    "PackageClock",
+    "SymbolStream",
+    "MooreMachine",
+    "counter_machine",
+    "accumulator_machine",
+]
+
+
+class PackageClock:
+    """Computer time derived from a demux orthogonator's packages.
+
+    Wraps the package list of a demux output and answers "which computer
+    time does this slot belong to?" and "when is value v's slot in
+    package k?".
+    """
+
+    def __init__(self, output: OrthogonatorOutput) -> None:
+        self._output = output
+        self._packages: List[SpikePackage] = spike_packages(output)
+        if not self._packages:
+            raise LogicError(
+                "demux output contains no complete package; the source train "
+                "is shorter than one package"
+            )
+        self._starts = np.asarray([p.start for p in self._packages], dtype=np.int64)
+        self._ends = np.asarray([p.end for p in self._packages], dtype=np.int64)
+
+    @property
+    def n_packages(self) -> int:
+        """Number of complete packages (ticks of computer time)."""
+        return len(self._packages)
+
+    @property
+    def n_wires(self) -> int:
+        """Number of demux wires M (symbols per package)."""
+        return len(self._output.trains)
+
+    @property
+    def packages(self) -> Tuple[SpikePackage, ...]:
+        """The package records in computer-time order."""
+        return tuple(self._packages)
+
+    def package_of_slot(self, slot: int) -> Optional[int]:
+        """Computer time whose package spans ``slot`` (None outside all)."""
+        position = int(np.searchsorted(self._starts, slot, side="right")) - 1
+        if position < 0:
+            return None
+        if slot > self._ends[position]:
+            return None
+        return position
+
+    def slot_of(self, package: int, wire: int) -> int:
+        """Slot of wire ``wire`` (0-based) inside package ``package``."""
+        if not (0 <= package < self.n_packages):
+            raise LogicError(
+                f"package {package} out of range [0, {self.n_packages})"
+            )
+        slots = self._packages[package].slots
+        if not (0 <= wire < len(slots)):
+            raise LogicError(f"wire {wire} out of range [0, {len(slots)})")
+        return slots[wire]
+
+    def tick_duration_samples(self) -> np.ndarray:
+        """Span (samples) of each package — the variable clock period."""
+        return self._ends - self._starts
+
+
+class SymbolStream:
+    """A sequence of values transmitted one per package on a single wire.
+
+    Encoding: in package k, the wire carries *only* the spike that
+    reference wire ``values[k]`` contributes to package k.  Decoding
+    inverts this by locating, for each package, which wire's slot is
+    occupied.  Packages beyond ``len(values)`` are left silent.
+    """
+
+    def __init__(self, clock: PackageClock) -> None:
+        self.clock = clock
+
+    def encode(self, values: Sequence[int]) -> SpikeTrain:
+        """Wire signal carrying ``values[k]`` in package k."""
+        if len(values) > self.clock.n_packages:
+            raise LogicError(
+                f"{len(values)} symbols but only {self.clock.n_packages} packages"
+            )
+        slots = []
+        for k, value in enumerate(values):
+            if not (0 <= value < self.clock.n_wires):
+                raise LogicError(
+                    f"symbol {value} at tick {k} outside alphabet "
+                    f"[0, {self.clock.n_wires})"
+                )
+            slots.append(self.clock.slot_of(k, value))
+        grid = self.clock._output.trains[0].grid
+        return SpikeTrain(np.asarray(slots, dtype=np.int64), grid)
+
+    def decode(self, wire: SpikeTrain) -> List[Optional[int]]:
+        """Per-package symbols carried by ``wire`` (None for silent ticks).
+
+        Raises :class:`LogicError` if a package contains spikes in more
+        than one wire slot (a malformed stream) or if a spike falls in no
+        package (foreign spike).
+        """
+        symbols: List[Optional[int]] = [None] * self.clock.n_packages
+        for slot in wire.indices.tolist():
+            package = self.clock.package_of_slot(slot)
+            if package is None:
+                raise LogicError(f"spike at slot {slot} falls outside every package")
+            slots = self.clock.packages[package].slots
+            try:
+                wire_index = slots.index(slot)
+            except ValueError:
+                raise LogicError(
+                    f"spike at slot {slot} is not any wire's package-"
+                    f"{package} slot"
+                ) from None
+            if symbols[package] is not None and symbols[package] != wire_index:
+                raise LogicError(
+                    f"package {package} carries two symbols "
+                    f"({symbols[package]} and {wire_index})"
+                )
+            symbols[package] = wire_index
+        return symbols
+
+
+@dataclass
+class MooreMachine:
+    """A Moore machine clocked by the package clock.
+
+    ``transition(state, symbol) → state`` advances once per package;
+    ``output(state) → symbol`` produces the emitted symbol *after* the
+    tick.  Both state and symbols are integers in the wire alphabet so
+    the machine's output can itself be re-encoded as a
+    :class:`SymbolStream` (closing the loop for sequential networks).
+    """
+
+    transition: Callable[[int, int], int]
+    output: Callable[[int], int]
+    initial_state: int
+
+    def run(self, symbols: Sequence[Optional[int]]) -> List[Optional[int]]:
+        """Feed decoded symbols; silent ticks (None) hold the state."""
+        state = self.initial_state
+        emitted: List[Optional[int]] = []
+        for symbol in symbols:
+            if symbol is None:
+                emitted.append(None)
+                continue
+            state = self.transition(state, symbol)
+            emitted.append(self.output(state))
+        return emitted
+
+    def run_stream(self, stream: SymbolStream, wire: SpikeTrain) -> SpikeTrain:
+        """Decode → run → re-encode: a physical sequential stage.
+
+        Silent input ticks stay silent on the output.  The output symbol
+        of tick k is emitted in package k (zero re-encode latency at the
+        package granularity; within the package the output spike is the
+        selected wire's slot, which always lies inside the package).
+        """
+        symbols = self.run(stream.decode(wire))
+        slots = []
+        for k, symbol in enumerate(symbols):
+            if symbol is None:
+                continue
+            if not (0 <= symbol < stream.clock.n_wires):
+                raise LogicError(
+                    f"machine emitted symbol {symbol} outside the wire alphabet"
+                )
+            slots.append(stream.clock.slot_of(k, symbol))
+        grid = stream.clock._output.trains[0].grid
+        return SpikeTrain(np.asarray(slots, dtype=np.int64), grid)
+
+
+def counter_machine(modulus: int) -> MooreMachine:
+    """Counts non-silent ticks modulo ``modulus`` and emits the count."""
+    if modulus < 1:
+        raise LogicError(f"modulus must be >= 1, got {modulus}")
+    return MooreMachine(
+        transition=lambda state, _symbol: (state + 1) % modulus,
+        output=lambda state: state,
+        initial_state=0,
+    )
+
+
+def accumulator_machine(modulus: int) -> MooreMachine:
+    """Accumulates input symbols modulo ``modulus`` and emits the sum."""
+    if modulus < 1:
+        raise LogicError(f"modulus must be >= 1, got {modulus}")
+    return MooreMachine(
+        transition=lambda state, symbol: (state + symbol) % modulus,
+        output=lambda state: state,
+        initial_state=0,
+    )

@@ -1,0 +1,138 @@
+"""Set-valued gates: evaluating a function on superposed inputs.
+
+The hyperspace's headline feature (abstract, ref [2]) is carrying "the
+superposition of 2^N states in a single wire".  The computational
+pay-off is *parallel evaluation*: feeding a gate superposition wires
+computes the function's **image** over every combination of the input
+member sets in one pass — the deterministic analogue of quantum
+parallelism (without interference: the output is the set of reachable
+values, not an amplitude distribution).
+
+:class:`SetValuedGate` wraps any :class:`~repro.logic.gates.TruthTableGate`:
+
+* symbolically, it maps member sets to the image set;
+* physically, it decodes each input wire, evaluates the underlying
+  truth table over the member product, and emits the union of the
+  output values' reference trains — a superposition wire again, so
+  set-valued gates compose.
+
+The inverse problem ("which inputs produce output y?") is
+:meth:`SetValuedGate.preimage` — the building block of the search-style
+applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from ..errors import LogicError
+from ..hyperspace.superposition import decode_superposition
+from ..spikes.train import SpikeTrain
+from .gates import TruthTableGate
+
+__all__ = ["SetTransmission", "SetValuedGate"]
+
+
+@dataclass(frozen=True)
+class SetTransmission:
+    """Result of a physical set-valued evaluation.
+
+    Attributes
+    ----------
+    members:
+        The image set (output superposition value).
+    output:
+        The output wire (union of the image's reference trains).
+    combinations_evaluated:
+        Size of the input member-set product.
+    """
+
+    members: FrozenSet[int]
+    output: SpikeTrain
+    combinations_evaluated: int
+
+
+class SetValuedGate:
+    """Lift a truth-table gate to set-valued (superposition) operation."""
+
+    def __init__(self, gate: TruthTableGate) -> None:
+        self.gate = gate
+
+    @property
+    def arity(self) -> int:
+        """Number of inputs of the underlying gate."""
+        return self.gate.arity
+
+    # ------------------------------------------------------------------
+    # Symbolic level
+    # ------------------------------------------------------------------
+
+    def image(self, *input_sets: FrozenSet[int]) -> FrozenSet[int]:
+        """The set of outputs reachable from the input member sets.
+
+        Empty input sets propagate: the image of nothing is nothing
+        (a silent wire stays silent through a gate).
+        """
+        if len(input_sets) != self.arity:
+            raise LogicError(
+                f"gate {self.gate.name!r} takes {self.arity} inputs, "
+                f"got {len(input_sets)}"
+            )
+        sets = [frozenset(s) for s in input_sets]
+        for position, members in enumerate(sets):
+            size = self.gate.input_bases[position].size
+            for member in members:
+                if not (0 <= member < size):
+                    raise LogicError(
+                        f"input {position} member {member} outside [0, {size})"
+                    )
+        if any(not members for members in sets):
+            return frozenset()
+        return frozenset(
+            self.gate.evaluate(*combo) for combo in itertools.product(*sets)
+        )
+
+    def preimage(self, output_value: int) -> FrozenSet[Tuple[int, ...]]:
+        """All input combinations mapping to ``output_value``."""
+        if not (0 <= output_value < self.gate.output_basis.size):
+            raise LogicError(
+                f"output value {output_value} outside "
+                f"[0, {self.gate.output_basis.size})"
+            )
+        return frozenset(
+            combo
+            for combo, value in self.gate.table.items()
+            if value == output_value
+        )
+
+    # ------------------------------------------------------------------
+    # Physical level
+    # ------------------------------------------------------------------
+
+    def transmit(self, *wires: SpikeTrain) -> SetTransmission:
+        """Evaluate on superposition wires; returns a superposition wire."""
+        if len(wires) != self.arity:
+            raise LogicError(
+                f"gate {self.gate.name!r} takes {self.arity} wires, "
+                f"got {len(wires)}"
+            )
+        member_sets: List[FrozenSet[int]] = []
+        for position, wire in enumerate(wires):
+            basis = self.gate.input_bases[position]
+            member_sets.append(
+                decode_superposition(basis, wire, strict=True).members
+            )
+        image = self.image(*member_sets)
+        combinations = 1
+        for members in member_sets:
+            combinations *= max(1, len(members))
+        output = self.gate.output_basis.encode_set(sorted(image))
+        return SetTransmission(
+            members=image,
+            output=output,
+            combinations_evaluated=(
+                combinations if all(member_sets) else 0
+            ),
+        )

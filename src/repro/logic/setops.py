@@ -1,0 +1,119 @@
+"""Elementary set operations on superposition wires.
+
+Section 5: "elementary set operations (membership tests, set union or
+intersection) can be done extremely fast even though the hyperspace is
+extremely large".  A superposition wire carries the union of its member
+elements' reference trains; because the basis is orthogonal, each of the
+following operations has a direct physical realisation:
+
+* **union** — merge the two wires' spikes (a passive OR of pulses);
+* **intersection** — pass a wire's spike iff the slot's owner also
+  appears on the other wire (a coincidence-gated pass);
+* **difference / complement** — the same with the pass condition
+  inverted;
+* **membership** — coincidence between the wire and one reference train.
+
+Every operation is provided both *physically* (train in, train out) and
+*symbolically* (decode → set algebra → encode); tests assert the two
+levels agree, which is the correctness argument of the physical circuit.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from ..hyperspace.basis import HyperspaceBasis
+from ..hyperspace.superposition import Superposition, decode_superposition
+from ..spikes.train import SpikeTrain
+
+__all__ = [
+    "wire_union",
+    "wire_intersection",
+    "wire_difference",
+    "wire_complement",
+    "wire_membership",
+    "symbolic_union",
+    "symbolic_intersection",
+    "symbolic_difference",
+]
+
+
+def _member_elements(basis: HyperspaceBasis, wire: SpikeTrain) -> FrozenSet[int]:
+    """The element set carried by a wire (foreign spikes rejected)."""
+    return decode_superposition(basis, wire, strict=True).members
+
+
+def wire_union(basis: HyperspaceBasis, a: SpikeTrain, b: SpikeTrain) -> SpikeTrain:
+    """Physical set union: merge the spike trains.
+
+    The result carries exactly the union of the two member sets; no
+    decoding is involved, which is why union is the cheapest operation.
+    """
+    return a.union(b)
+
+
+def wire_intersection(
+    basis: HyperspaceBasis, a: SpikeTrain, b: SpikeTrain
+) -> SpikeTrain:
+    """Physical set intersection of two superposition wires.
+
+    A spike of ``a`` passes iff its slot's owning element is also present
+    on ``b``.  Note this is *not* the slot-wise train intersection: two
+    wires carrying the same member emit that member's full reference
+    train, not just the slots both happen to contain (both contain all of
+    them here, but the distinction matters once wires are windowed).
+    """
+    members = _member_elements(basis, a) & _member_elements(basis, b)
+    return basis.encode_set(sorted(members))
+
+
+def wire_difference(
+    basis: HyperspaceBasis, a: SpikeTrain, b: SpikeTrain
+) -> SpikeTrain:
+    """Physical set difference ``a \\ b`` on superposition wires."""
+    members = _member_elements(basis, a) - _member_elements(basis, b)
+    return basis.encode_set(sorted(members))
+
+
+def wire_complement(basis: HyperspaceBasis, a: SpikeTrain) -> SpikeTrain:
+    """Physical set complement of a superposition wire within its basis."""
+    members = frozenset(range(basis.size)) - _member_elements(basis, a)
+    return basis.encode_set(sorted(members))
+
+
+def wire_membership(
+    basis: HyperspaceBasis,
+    wire: SpikeTrain,
+    element,
+    until_slot: Optional[int] = None,
+) -> bool:
+    """Membership test by coincidence with one reference train.
+
+    With ``until_slot`` the test models a finite observation window: the
+    element counts as present only if a coincidence occurs before the
+    deadline.  The false-negative probability decays exponentially with
+    the window length (measured by the detection benchmarks).
+    """
+    index = basis.index_of(element)
+    shared = wire.intersection(basis.trains[index])
+    first = shared.first_spike_index()
+    if first is None:
+        return False
+    return until_slot is None or first < until_slot
+
+
+def symbolic_union(a: Superposition, b: Superposition) -> Superposition:
+    """Golden-model union of two superposition values."""
+    return a | b
+
+
+def symbolic_intersection(a: Superposition, b: Superposition) -> Superposition:
+    """Golden-model intersection of two superposition values."""
+    return a & b
+
+
+def symbolic_difference(a: Superposition, b: Superposition) -> Superposition:
+    """Golden-model difference of two superposition values."""
+    return a - b

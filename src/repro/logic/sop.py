@@ -1,0 +1,181 @@
+"""Sum-of-products synthesis for arbitrary multi-valued functions.
+
+Section 7 of the paper: "we plan to design digital circuits using this
+approach".  This module closes that loop for combinational logic: any
+function over radix-M digit wires is realised as the standard MVL
+sum-of-products form
+
+    ``f(x) = MAX over minterms m [ MIN( lit_m1(x1), ..., lit_mk(xk), f(m) ) ]``
+
+where ``lit_v(x)`` is the window literal that outputs M−1 when ``x == v``
+and 0 otherwise, and ``f(m)`` enters as a constant.  Minterms with
+``f(m) = 0`` are dropped (0 is the MAX identity), and the MIN/MAX
+reductions are balanced trees, so the synthesised circuit's depth grows
+logarithmically in the number of inputs and surviving minterms.
+
+This is deliberately the *naive canonical* form — the point is a
+correct, fully spike-realisable netlist for any truth table, not area
+optimality.  :func:`sop_statistics` reports the gate count and depth so
+ablations can quantify the cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..errors import SynthesisError
+from ..hyperspace.basis import HyperspaceBasis
+from .circuits import Circuit
+from .gates import TruthTableGate, gate_from_function
+from .multivalued import literal_gate, max_gate, min_gate
+
+__all__ = ["synthesize_sop", "SopStatistics", "sop_statistics"]
+
+
+@dataclass(frozen=True)
+class SopStatistics:
+    """Size summary of a synthesised SOP circuit."""
+
+    n_inputs: int
+    radix: int
+    n_minterms_total: int
+    n_minterms_used: int
+    n_gates: int
+    depth: int
+
+
+def _constant_gate(
+    value: int,
+    input_basis: HyperspaceBasis,
+    output_basis: HyperspaceBasis,
+) -> TruthTableGate:
+    """Unary gate emitting ``value`` regardless of its input.
+
+    Physically this is a source of the constant's reference train,
+    gated by the presence of the input (which keeps the netlist a DAG
+    rooted at primary inputs).
+    """
+    return gate_from_function(
+        f"CONST{value}", [input_basis], output_basis, lambda _v: value
+    )
+
+
+def _reduce_tree(
+    circuit: Circuit,
+    gate: TruthTableGate,
+    signals: List[str],
+    prefix: str,
+) -> str:
+    """Balanced binary reduction of ``signals`` with a 2-input gate."""
+    level = 0
+    frontier = list(signals)
+    while len(frontier) > 1:
+        next_frontier: List[str] = []
+        for pair in range(0, len(frontier) - 1, 2):
+            name = circuit.add_gate(
+                f"{prefix}_{level}_{pair // 2}",
+                gate,
+                [frontier[pair], frontier[pair + 1]],
+            )
+            next_frontier.append(name)
+        if len(frontier) % 2 == 1:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+        level += 1
+    return frontier[0]
+
+
+def synthesize_sop(
+    name: str,
+    input_bases: Sequence[HyperspaceBasis],
+    output_basis: HyperspaceBasis,
+    function: Callable[..., int],
+) -> Circuit:
+    """Synthesise ``function`` as a spike-logic SOP circuit.
+
+    All input bases and the output basis must share one radix M (the
+    Post-algebra operators require it).  Inputs are named ``x0..x{k-1}``;
+    the single output is marked on the circuit.
+    """
+    if not input_bases:
+        raise SynthesisError("SOP synthesis needs at least one input")
+    radix = output_basis.size
+    for i, basis in enumerate(input_bases):
+        if basis.size != radix:
+            raise SynthesisError(
+                f"input {i} has radix {basis.size}, output has {radix}; "
+                "SOP synthesis requires a uniform radix"
+            )
+    if radix < 2:
+        raise SynthesisError("radix must be at least 2")
+
+    inputs = {f"x{i}": basis for i, basis in enumerate(input_bases)}
+    circuit = Circuit(name, inputs)
+    lo = min_gate(output_basis)
+    hi = max_gate(output_basis)
+
+    product_terms: List[str] = []
+    for index, minterm in enumerate(
+        itertools.product(range(radix), repeat=len(input_bases))
+    ):
+        value = int(function(*minterm))
+        if not (0 <= value < radix):
+            raise SynthesisError(
+                f"function value {value} at {minterm} outside [0, {radix})"
+            )
+        if value == 0:
+            continue  # 0 is the MAX identity
+
+        # One literal per input, selecting this minterm's digit.
+        literal_signals = []
+        for position, digit in enumerate(minterm):
+            gate = literal_gate(
+                input_bases[position], digit, digit, output_basis
+            )
+            literal_signals.append(
+                circuit.add_gate(
+                    f"m{index}_l{position}", gate, [f"x{position}"]
+                )
+            )
+        term = _reduce_tree(circuit, lo, literal_signals, f"m{index}_and")
+
+        if value != radix - 1:
+            # Clamp the term to the function value via MIN with a constant.
+            const = circuit.add_gate(
+                f"m{index}_c",
+                _constant_gate(value, input_bases[0], output_basis),
+                ["x0"],
+            )
+            term = circuit.add_gate(f"m{index}_v", lo, [term, const])
+        product_terms.append(term)
+
+    if not product_terms:
+        # The constant-zero function: a single constant gate suffices.
+        zero = circuit.add_gate(
+            "const0", _constant_gate(0, input_bases[0], output_basis), ["x0"]
+        )
+        circuit.mark_output(zero)
+        return circuit
+
+    output = _reduce_tree(circuit, hi, product_terms, "or")
+    circuit.mark_output(output)
+    return circuit
+
+
+def sop_statistics(
+    circuit: Circuit,
+    n_inputs: int,
+    radix: int,
+    n_minterms_used: int,
+) -> SopStatistics:
+    """Package the size numbers of a synthesised SOP circuit."""
+    return SopStatistics(
+        n_inputs=n_inputs,
+        radix=radix,
+        n_minterms_total=radix**n_inputs,
+        n_minterms_used=n_minterms_used,
+        n_gates=circuit.n_gates(),
+        depth=circuit.depth(),
+    )

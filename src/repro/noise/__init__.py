@@ -1,0 +1,75 @@
+"""Noise synthesis substrate: band-limited Gaussian sources.
+
+Public surface:
+
+* :class:`Band`, :class:`WhiteSpectrum`, :class:`PinkSpectrum`,
+  :class:`PowerLawSpectrum`, :class:`LorentzianSpectrum` — PSD shapes;
+* :class:`NoiseSynthesizer`, :func:`synthesize` — FFT-shaped records;
+* :class:`NoiseSource`, :func:`paper_white_source`,
+  :func:`paper_pink_source` — seedable streams with the paper's bands;
+* :class:`CorrelatedNoisePair`, :class:`CommonModeMixer` — the
+  common-mode correlation construction of Section 4.2;
+* :func:`welch_psd`, :func:`autocorrelation`, :func:`fit_spectral_slope`
+  — validation estimators.
+"""
+
+from .correlated import (
+    PAPER_COMMON_AMPLITUDE,
+    PAPER_PRIVATE_AMPLITUDE,
+    CommonModeMixer,
+    CorrelatedNoisePair,
+    amplitudes_from_correlation,
+    correlation_from_amplitudes,
+)
+from .filters import IirNoiseShaper, StreamingNoiseSource, design_bandpass
+from .psd import PsdEstimate, autocorrelation, fit_spectral_slope, welch_psd
+from .sources import (
+    NoiseSource,
+    correlated_records,
+    independent_records,
+    paper_pink_source,
+    paper_white_source,
+)
+from .spectra import (
+    PAPER_PINK_BAND,
+    PAPER_WHITE_BAND,
+    Band,
+    LorentzianSpectrum,
+    PinkSpectrum,
+    PowerLawSpectrum,
+    Spectrum,
+    WhiteSpectrum,
+)
+from .synthesis import NoiseSynthesizer, make_rng, synthesize
+
+__all__ = [
+    "Band",
+    "Spectrum",
+    "WhiteSpectrum",
+    "PinkSpectrum",
+    "PowerLawSpectrum",
+    "LorentzianSpectrum",
+    "PAPER_WHITE_BAND",
+    "PAPER_PINK_BAND",
+    "NoiseSynthesizer",
+    "synthesize",
+    "make_rng",
+    "NoiseSource",
+    "paper_white_source",
+    "paper_pink_source",
+    "independent_records",
+    "correlated_records",
+    "CommonModeMixer",
+    "CorrelatedNoisePair",
+    "PAPER_COMMON_AMPLITUDE",
+    "PAPER_PRIVATE_AMPLITUDE",
+    "correlation_from_amplitudes",
+    "amplitudes_from_correlation",
+    "PsdEstimate",
+    "welch_psd",
+    "autocorrelation",
+    "fit_spectral_slope",
+    "design_bandpass",
+    "IirNoiseShaper",
+    "StreamingNoiseSource",
+]

@@ -1,0 +1,146 @@
+"""Spectral estimation utilities (Welch PSD, autocorrelation).
+
+Used to *validate* the noise substrate: generated records must show the
+requested band edges and spectral slope before they are trusted to drive
+the zero-crossing spike generators.  EXPERIMENTS.md records these checks
+next to the paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import SimulationGrid
+
+__all__ = ["PsdEstimate", "welch_psd", "autocorrelation", "fit_spectral_slope"]
+
+# numpy 2.x renamed trapz to trapezoid; support both.
+_trapezoid = getattr(np, "trapezoid", getattr(np, "trapz", None))
+
+
+@dataclass(frozen=True)
+class PsdEstimate:
+    """A one-sided PSD estimate: frequencies (Hz) and densities."""
+
+    frequencies: np.ndarray
+    densities: np.ndarray
+
+    def band_power(self, f_low: float, f_high: float) -> float:
+        """Integrated power between ``f_low`` and ``f_high`` (trapezoid)."""
+        mask = (self.frequencies >= f_low) & (self.frequencies <= f_high)
+        if mask.sum() < 2:
+            return 0.0
+        return float(_trapezoid(self.densities[mask], self.frequencies[mask]))
+
+    def total_power(self) -> float:
+        """Integrated power over the whole estimate."""
+        return float(_trapezoid(self.densities, self.frequencies))
+
+    def fraction_in_band(self, f_low: float, f_high: float) -> float:
+        """Fraction of total power falling inside ``[f_low, f_high]``."""
+        total = self.total_power()
+        if total == 0:
+            return 0.0
+        return self.band_power(f_low, f_high) / total
+
+
+def welch_psd(
+    record: np.ndarray,
+    grid: SimulationGrid,
+    segment_length: Optional[int] = None,
+    overlap: float = 0.5,
+) -> PsdEstimate:
+    """Welch-averaged one-sided PSD of ``record`` on ``grid``.
+
+    Hann-windowed segments with the given fractional ``overlap`` are
+    periodogram-averaged.  The estimate is normalised so that the
+    integral of the PSD over frequency equals the record's variance
+    (one-sided convention).
+    """
+    record = np.asarray(record, dtype=float)
+    if record.ndim != 1:
+        raise ConfigurationError(f"record must be 1-D, got shape {record.shape}")
+    n = record.shape[0]
+    if segment_length is None:
+        segment_length = max(256, n // 16)
+    segment_length = min(segment_length, n)
+    if segment_length < 8:
+        raise ConfigurationError(f"segment_length too small: {segment_length}")
+    if not (0.0 <= overlap < 1.0):
+        raise ConfigurationError(f"overlap must lie in [0, 1), got {overlap}")
+
+    step = max(1, int(segment_length * (1.0 - overlap)))
+    window = np.hanning(segment_length)
+    window_power = float(np.sum(window**2))
+    fs = grid.sample_rate
+
+    accum = None
+    count = 0
+    start = 0
+    while start + segment_length <= n:
+        segment = record[start : start + segment_length]
+        segment = segment - segment.mean()
+        spectrum = np.fft.rfft(segment * window)
+        periodogram = (np.abs(spectrum) ** 2) / (fs * window_power)
+        # One-sided: double everything except DC (and Nyquist for even n).
+        periodogram[1:] *= 2.0
+        if segment_length % 2 == 0:
+            periodogram[-1] /= 2.0
+        accum = periodogram if accum is None else accum + periodogram
+        count += 1
+        start += step
+    if count == 0:
+        raise ConfigurationError("record shorter than one segment")
+
+    freqs = np.fft.rfftfreq(segment_length, d=grid.dt)
+    return PsdEstimate(frequencies=freqs, densities=accum / count)
+
+
+def autocorrelation(record: np.ndarray, max_lag: int) -> np.ndarray:
+    """Biased sample autocorrelation for lags ``0..max_lag`` (normalised).
+
+    ``result[0]`` is 1 by construction (unless the record has zero
+    variance, which raises).  FFT-based, O(n log n).
+    """
+    record = np.asarray(record, dtype=float)
+    if record.ndim != 1:
+        raise ConfigurationError(f"record must be 1-D, got shape {record.shape}")
+    n = record.shape[0]
+    if max_lag < 0 or max_lag >= n:
+        raise ConfigurationError(f"max_lag must lie in [0, {n - 1}], got {max_lag}")
+    centered = record - record.mean()
+    variance = float(np.dot(centered, centered))
+    if variance == 0.0:
+        raise ConfigurationError("record has zero variance")
+    n_fft = 1 << (2 * n - 1).bit_length()
+    spectrum = np.fft.rfft(centered, n=n_fft)
+    acf = np.fft.irfft(spectrum * np.conj(spectrum), n=n_fft)[: max_lag + 1]
+    return acf / variance
+
+
+def fit_spectral_slope(
+    estimate: PsdEstimate,
+    f_low: float,
+    f_high: float,
+) -> float:
+    """Least-squares log-log slope of the PSD inside ``[f_low, f_high]``.
+
+    Returns the exponent ``a`` of the best-fit ``S(f) ~ f^a``; a
+    band-limited white record fits ``a ≈ 0``, a 1/f record ``a ≈ -1``.
+    """
+    mask = (
+        (estimate.frequencies >= f_low)
+        & (estimate.frequencies <= f_high)
+        & (estimate.densities > 0)
+        & (estimate.frequencies > 0)
+    )
+    if mask.sum() < 4:
+        raise ConfigurationError("too few positive PSD points in the fit band")
+    log_f = np.log(estimate.frequencies[mask])
+    log_s = np.log(estimate.densities[mask])
+    slope, _intercept = np.polyfit(log_f, log_s, deg=1)
+    return float(slope)

@@ -1,0 +1,126 @@
+"""High-level noise source objects used by the rest of the library.
+
+A :class:`NoiseSource` couples a spectrum, a grid and a seed policy into
+a reusable, independently-seedable stream of records.  The paper's two
+headline configurations are exposed as factory functions so experiment
+drivers never repeat band constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import (
+    PAPER_RECORD_LENGTH,
+    SimulationGrid,
+    paper_pink_grid,
+    paper_white_grid,
+)
+from .correlated import CommonModeMixer
+from .spectra import (
+    PAPER_PINK_BAND,
+    PAPER_WHITE_BAND,
+    PinkSpectrum,
+    Spectrum,
+    WhiteSpectrum,
+)
+from .synthesis import NoiseSynthesizer, RngLike, make_rng
+
+__all__ = [
+    "NoiseSource",
+    "paper_white_source",
+    "paper_pink_source",
+    "independent_records",
+    "correlated_records",
+]
+
+
+class NoiseSource:
+    """A seedable stream of noise records with a fixed PSD and grid.
+
+    Iterating the source yields an endless sequence of independent
+    records; :meth:`record` returns a single one.  Two sources built with
+    different seeds are statistically independent.
+    """
+
+    def __init__(
+        self,
+        spectrum: Spectrum,
+        grid: SimulationGrid,
+        seed: RngLike = None,
+    ) -> None:
+        self.synthesizer = NoiseSynthesizer(spectrum, grid)
+        self.grid = grid
+        self.spectrum = spectrum
+        self._rng = make_rng(seed)
+
+    def record(self) -> np.ndarray:
+        """Generate and return the next record."""
+        return self.synthesizer.generate(self._rng)
+
+    def records(self, count: int) -> np.ndarray:
+        """Generate ``count`` records stacked as rows."""
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        return np.stack([self.record() for _ in range(count)])
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while True:
+            yield self.record()
+
+    def expected_zero_crossing_rate(self) -> float:
+        """Rice-formula crossing rate (per second)."""
+        return self.synthesizer.expected_zero_crossing_rate()
+
+    def describe(self) -> str:
+        """Human-readable source summary."""
+        return f"NoiseSource({self.spectrum.describe()} on {self.grid.describe()})"
+
+
+def paper_white_source(
+    seed: RngLike = None,
+    n_samples: int = PAPER_RECORD_LENGTH,
+) -> NoiseSource:
+    """The paper's band-limited white source (5 MHz–10 GHz)."""
+    grid = paper_white_grid(n_samples=n_samples)
+    return NoiseSource(WhiteSpectrum(PAPER_WHITE_BAND), grid, seed=seed)
+
+
+def paper_pink_source(
+    seed: RngLike = None,
+    n_samples: int = PAPER_RECORD_LENGTH,
+) -> NoiseSource:
+    """The paper's band-limited 1/f source (2.5 MHz–10 GHz)."""
+    grid = paper_pink_grid(n_samples=n_samples)
+    return NoiseSource(PinkSpectrum(PAPER_PINK_BAND), grid, seed=seed)
+
+
+def independent_records(
+    spectrum: Spectrum,
+    grid: SimulationGrid,
+    count: int,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """``count`` independent records of the given colour, stacked as rows."""
+    source = NoiseSource(spectrum, grid, seed=seed)
+    return source.records(count)
+
+
+def correlated_records(
+    spectrum: Spectrum,
+    grid: SimulationGrid,
+    count: int,
+    common_amplitude: float,
+    private_amplitude: float,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """``count`` records correlated through a common-mode component."""
+    mixer = CommonModeMixer(
+        NoiseSynthesizer(spectrum, grid),
+        common_amplitude=common_amplitude,
+        private_amplitude=private_amplitude,
+    )
+    return mixer.generate(count, rng=make_rng(seed))

@@ -1,0 +1,245 @@
+"""Power spectral density (PSD) specifications for noise synthesis.
+
+The paper drives its spike generators with *band-limited Gaussian noise*
+of two spectral colours:
+
+* white noise over 5 MHz – 10 GHz (Table 1, Figures 1–3), and
+* 1/f ("pink") noise over 2.5 MHz – 10 GHz (Table 1).
+
+A :class:`Band` fixes the pass-band edges; a :class:`Spectrum` describes
+the PSD shape inside that band.  Spectra are evaluated on the FFT bins of
+a :class:`~repro.units.SimulationGrid` to produce the amplitude mask used
+by :mod:`repro.noise.synthesis`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpectrumError
+from ..units import GIGAHERTZ, MEGAHERTZ, SimulationGrid, format_frequency
+
+__all__ = [
+    "Band",
+    "Spectrum",
+    "WhiteSpectrum",
+    "PowerLawSpectrum",
+    "PinkSpectrum",
+    "LorentzianSpectrum",
+    "PAPER_WHITE_BAND",
+    "PAPER_PINK_BAND",
+]
+
+#: White-noise band used throughout the paper's demonstrations.
+PAPER_WHITE_BAND_EDGES = (5.0 * MEGAHERTZ, 10.0 * GIGAHERTZ)
+
+#: 1/f-noise band used in Table 1.
+PAPER_PINK_BAND_EDGES = (2.5 * MEGAHERTZ, 10.0 * GIGAHERTZ)
+
+
+@dataclass(frozen=True)
+class Band:
+    """A pass band ``[f_low, f_high]`` in hertz.
+
+    ``f_low`` may be zero for a low-pass band.  ``f_high`` must exceed
+    ``f_low``.  The band is validated against a grid at synthesis time:
+    it must overlap at least one positive FFT bin below Nyquist.
+    """
+
+    f_low: float
+    f_high: float
+
+    def __post_init__(self) -> None:
+        if self.f_low < 0:
+            raise SpectrumError(f"f_low must be non-negative, got {self.f_low}")
+        if not (self.f_high > self.f_low):
+            raise SpectrumError(
+                f"f_high ({self.f_high}) must exceed f_low ({self.f_low})"
+            )
+        if not math.isfinite(self.f_high):
+            raise SpectrumError("f_high must be finite")
+
+    @property
+    def width(self) -> float:
+        """Band width in hertz."""
+        return self.f_high - self.f_low
+
+    @property
+    def ratio(self) -> float:
+        """Upper-to-lower edge ratio (infinite for a low-pass band)."""
+        if self.f_low == 0:
+            return math.inf
+        return self.f_high / self.f_low
+
+    def contains(self, frequency) -> np.ndarray:
+        """Boolean mask: which of ``frequency`` (array, Hz) lie in band."""
+        f = np.asarray(frequency, dtype=float)
+        return (f >= self.f_low) & (f <= self.f_high)
+
+    def bin_mask(self, grid: SimulationGrid) -> np.ndarray:
+        """In-band mask over the positive rFFT bins of ``grid``.
+
+        Bin 0 (DC) is never included: the sources are zero-mean.  Raises
+        :class:`SpectrumError` if no bin falls inside the band, which
+        would make synthesis silently produce silence.
+        """
+        freqs = np.fft.rfftfreq(grid.n_samples, d=grid.dt)
+        mask = self.contains(freqs)
+        mask[0] = False
+        if not mask.any():
+            raise SpectrumError(
+                f"band [{format_frequency(self.f_low)}, "
+                f"{format_frequency(self.f_high)}] contains no FFT bin of "
+                f"{grid.describe()}"
+            )
+        return mask
+
+    def describe(self) -> str:
+        """Human-readable band description."""
+        return f"[{format_frequency(self.f_low)} .. {format_frequency(self.f_high)}]"
+
+
+#: Ready-made paper bands.
+PAPER_WHITE_BAND = Band(*PAPER_WHITE_BAND_EDGES)
+PAPER_PINK_BAND = Band(*PAPER_PINK_BAND_EDGES)
+
+
+class Spectrum:
+    """Base class for one-sided PSD shapes restricted to a band.
+
+    Subclasses implement :meth:`density`, the *unnormalised* PSD value at
+    each frequency.  Normalisation to unit variance happens in the
+    synthesiser, so only the PSD's shape matters here.
+    """
+
+    def __init__(self, band: Band) -> None:
+        self.band = band
+
+    def density(self, frequency: np.ndarray) -> np.ndarray:
+        """Unnormalised PSD evaluated at ``frequency`` (Hz, array)."""
+        raise NotImplementedError
+
+    def amplitude_mask(self, grid: SimulationGrid) -> np.ndarray:
+        """Per-rFFT-bin amplitude weights ``sqrt(S(f))``, zero out of band."""
+        freqs = np.fft.rfftfreq(grid.n_samples, d=grid.dt)
+        mask = self.band.bin_mask(grid)
+        weights = np.zeros_like(freqs)
+        in_band = freqs[mask]
+        density = self.density(in_band)
+        if np.any(density < 0) or not np.all(np.isfinite(density)):
+            raise SpectrumError(
+                f"{type(self).__name__} produced a negative or non-finite PSD"
+            )
+        weights[mask] = np.sqrt(density)
+        return weights
+
+    def expected_zero_crossing_rate(self) -> float:
+        """Rice-formula zero-crossing rate for a Gaussian process with this PSD.
+
+        Counts *all* crossings (both directions) per second:
+        ``rate = 2 * sqrt(m2 / m0)`` with spectral moments
+        ``m_k = integral f^k S(f) df`` over the band.  Subclasses provide
+        closed forms via :meth:`_spectral_moment`.
+        """
+        m0 = self._spectral_moment(0)
+        m2 = self._spectral_moment(2)
+        return 2.0 * math.sqrt(m2 / m0)
+
+    def _spectral_moment(self, order: int) -> float:
+        """Closed-form ``integral f^order * S(f) df`` over the band."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable spectrum description."""
+        return f"{type(self).__name__}{self.band.describe()}"
+
+
+class WhiteSpectrum(Spectrum):
+    """Flat PSD inside the band (band-limited white noise)."""
+
+    def density(self, frequency: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(frequency, dtype=float))
+
+    def _spectral_moment(self, order: int) -> float:
+        f1, f2 = self.band.f_low, self.band.f_high
+        k = order + 1
+        return (f2**k - f1**k) / k
+
+
+class PowerLawSpectrum(Spectrum):
+    """PSD proportional to ``1 / f**exponent`` inside the band.
+
+    ``exponent`` in ``[0, 2]`` covers white (0), pink (1) and brown (2)
+    noise.  A strictly positive lower band edge is required for any
+    positive exponent, otherwise the PSD diverges at DC.
+    """
+
+    def __init__(self, band: Band, exponent: float) -> None:
+        if exponent < 0.0 or exponent > 2.0:
+            raise SpectrumError(f"exponent must lie in [0, 2], got {exponent}")
+        if exponent > 0.0 and band.f_low <= 0.0:
+            raise SpectrumError(
+                "1/f^a spectra need a positive lower band edge to stay integrable"
+            )
+        super().__init__(band)
+        self.exponent = float(exponent)
+
+    def density(self, frequency: np.ndarray) -> np.ndarray:
+        f = np.asarray(frequency, dtype=float)
+        return f**-self.exponent
+
+    def _spectral_moment(self, order: int) -> float:
+        f1, f2 = self.band.f_low, self.band.f_high
+        power = order - self.exponent
+        if abs(power + 1.0) < 1e-12:
+            return math.log(f2 / f1)
+        k = power + 1.0
+        return (f2**k - f1**k) / k
+
+    def describe(self) -> str:
+        return f"PowerLaw(1/f^{self.exponent:g}){self.band.describe()}"
+
+
+class PinkSpectrum(PowerLawSpectrum):
+    """PSD proportional to ``1/f`` inside the band (the paper's 1/f source)."""
+
+    def __init__(self, band: Band) -> None:
+        super().__init__(band, exponent=1.0)
+
+
+class LorentzianSpectrum(Spectrum):
+    """Lorentzian PSD ``S(f) = 1 / (1 + (f/f_c)^2)`` restricted to a band.
+
+    Not used by the paper's headline experiments but provided as a
+    realistic "physical" noise colour for ablations: it models noise that
+    has been low-pass filtered by a single-pole RC stage, the simplest
+    on-chip realisation of a band-limited noise source.
+    """
+
+    def __init__(self, band: Band, corner: float) -> None:
+        if corner <= 0:
+            raise SpectrumError(f"corner frequency must be positive, got {corner}")
+        super().__init__(band)
+        self.corner = float(corner)
+
+    def density(self, frequency: np.ndarray) -> np.ndarray:
+        f = np.asarray(frequency, dtype=float)
+        return 1.0 / (1.0 + (f / self.corner) ** 2)
+
+    def _spectral_moment(self, order: int) -> float:
+        f1, f2 = self.band.f_low, self.band.f_high
+        c = self.corner
+        if order == 0:
+            return c * (math.atan(f2 / c) - math.atan(f1 / c))
+        if order == 2:
+            # integral f^2 / (1 + (f/c)^2) df = c^2 * (f - c*atan(f/c))
+            upper = c * c * (f2 - c * math.atan(f2 / c))
+            lower = c * c * (f1 - c * math.atan(f1 / c))
+            return upper - lower
+        raise NotImplementedError(f"moment of order {order} not implemented")
+
+    def describe(self) -> str:
+        return f"Lorentzian(fc={format_frequency(self.corner)}){self.band.describe()}"

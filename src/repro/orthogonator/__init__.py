@@ -1,0 +1,44 @@
+"""Orthogonators: the paper's core circuits.
+
+* :class:`DemuxOrthogonator` — serial, cyclic dealing, spike packages
+  (:func:`spike_packages`) defining computer time;
+* :class:`IntersectionOrthogonator` — parallel, all 2^N − 1 set products
+  (:func:`product_label` names them);
+* :class:`Homogenizer` / :func:`search_common_amplitude` — rate
+  homogenization via correlated sources (Section 4.2);
+* :class:`OrthogonatorOutput` — labelled orthogonal outputs with
+  enforced orthogonality.
+"""
+
+from .base import Orthogonator, OrthogonatorOutput, verify_orthogonality
+from .demux import DemuxOrthogonator, SpikePackage, spike_packages, wire_label
+from .homogenize import (
+    HomogenizationResult,
+    Homogenizer,
+    homogenization_spread,
+    search_common_amplitude,
+)
+from .intersection import (
+    IntersectionOrthogonator,
+    default_input_names,
+    product_label,
+    subset_masks,
+)
+
+__all__ = [
+    "Orthogonator",
+    "OrthogonatorOutput",
+    "verify_orthogonality",
+    "DemuxOrthogonator",
+    "SpikePackage",
+    "spike_packages",
+    "wire_label",
+    "IntersectionOrthogonator",
+    "product_label",
+    "default_input_names",
+    "subset_masks",
+    "Homogenizer",
+    "HomogenizationResult",
+    "homogenization_spread",
+    "search_common_amplitude",
+]

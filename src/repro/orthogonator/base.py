@@ -1,0 +1,108 @@
+"""Orthogonator interface and shared validation.
+
+An *orthogonator* (Section 3 of the paper) turns raw spike trains into a
+set of mutually orthogonal output trains — the reference basis of the
+logic hyperspace.  Two concrete families exist:
+
+* :class:`~repro.orthogonator.demux.DemuxOrthogonator` — serial,
+  one input train dealt cyclically over M wires;
+* :class:`~repro.orthogonator.intersection.IntersectionOrthogonator` —
+  parallel, N input trains expanded into all ``2^N − 1`` intersection
+  products.
+
+Both return an :class:`OrthogonatorOutput`, which carries the labelled
+output trains and enforces the orthogonality invariant on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..errors import OrthogonalityError
+from ..spikes.statistics import IsiStatistics, isi_statistics
+from ..spikes.train import SpikeTrain
+
+__all__ = ["OrthogonatorOutput", "Orthogonator", "verify_orthogonality"]
+
+
+def verify_orthogonality(trains: Sequence[SpikeTrain], labels: Sequence[str]) -> None:
+    """Raise :class:`OrthogonalityError` if any two trains share a slot."""
+    for i in range(len(trains)):
+        for j in range(i + 1, len(trains)):
+            shared = trains[i].overlap_count(trains[j])
+            if shared:
+                raise OrthogonalityError(
+                    f"outputs {labels[i]!r} and {labels[j]!r} share "
+                    f"{shared} spike slot(s)"
+                )
+
+
+@dataclass(frozen=True)
+class OrthogonatorOutput:
+    """Labelled orthogonal output trains of an orthogonator run.
+
+    ``trains`` and ``labels`` are parallel sequences; orthogonality is
+    checked eagerly so downstream code can rely on it unconditionally.
+    ``verify=False`` skips the O(M²) check for hot paths that construct
+    provably-orthogonal outputs (the demux path uses it — its outputs
+    partition the input by construction).
+    """
+
+    trains: Tuple[SpikeTrain, ...]
+    labels: Tuple[str, ...]
+    verify: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.trains) != len(self.labels):
+            raise OrthogonalityError(
+                f"{len(self.trains)} trains but {len(self.labels)} labels"
+            )
+        if len(set(self.labels)) != len(self.labels):
+            raise OrthogonalityError(f"duplicate output labels: {self.labels}")
+        if self.verify:
+            verify_orthogonality(self.trains, self.labels)
+
+    def __len__(self) -> int:
+        return len(self.trains)
+
+    def __getitem__(self, label: str) -> SpikeTrain:
+        try:
+            return self.trains[self.labels.index(label)]
+        except ValueError:
+            raise KeyError(
+                f"no output labelled {label!r}; available: {list(self.labels)}"
+            ) from None
+
+    def as_dict(self) -> Dict[str, SpikeTrain]:
+        """Mapping from label to train (insertion-ordered)."""
+        return dict(zip(self.labels, self.trains))
+
+    def statistics(self) -> Dict[str, IsiStatistics]:
+        """Per-output ISI statistics, keyed by label."""
+        return {label: isi_statistics(t) for label, t in zip(self.labels, self.trains)}
+
+    def rates(self) -> Dict[str, float]:
+        """Per-output mean spike rates (spikes/s), keyed by label."""
+        return {label: t.mean_rate() for label, t in zip(self.labels, self.trains)}
+
+    def total_spikes(self) -> int:
+        """Total spike count across all outputs."""
+        return sum(len(t) for t in self.trains)
+
+
+class Orthogonator:
+    """Abstract base for orthogonator circuits.
+
+    Concrete subclasses define ``order`` (the paper's N) and implement
+    :meth:`transform` over their expected number of input trains.
+    """
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of orthogonal output wires M."""
+        raise NotImplementedError
+
+    def transform(self, *inputs: SpikeTrain) -> OrthogonatorOutput:
+        """Produce the orthogonal outputs from the raw input trains."""
+        raise NotImplementedError

@@ -1,0 +1,173 @@
+"""Demultiplexer-based (serial) orthogonator.
+
+Section 3(i) of the paper: a single input spike train is dealt onto M
+output wires cyclically,
+
+    ``p = 1 + (r − 1) mod M``
+
+where ``r`` is the 1-based ordinal of the input spike and ``p`` the
+1-based output wire receiving it.  Consequences, all reproduced here:
+
+* the outputs are orthogonal *by construction* (they partition the
+  input's spikes);
+* all outputs have the same mean rate (input rate / M);
+* consecutive M-spike groups form *spike packages*: when wire M emits
+  its k-th spike, each other wire has emitted exactly one spike of
+  package k.  The package ordinal is the paper's discrete "computer
+  time" t_k, the hook that makes sequential logic straightforward.
+
+The paper's "order" for this device: an N-th order orthogonator has
+``M = 2^N − 1`` outputs (matching the intersection device's output count
+so the two families produce interchangeable bases).  Figure 1 and
+Table 1 use a *second-order* device, hence M = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, SpikeTrainError
+from ..spikes.train import SpikeTrain
+from .base import Orthogonator, OrthogonatorOutput
+
+__all__ = ["DemuxOrthogonator", "SpikePackage", "spike_packages", "wire_label"]
+
+
+def wire_label(position: int) -> str:
+    """Canonical label of demux output wire ``position`` (1-based)."""
+    return f"W{position}"
+
+
+@dataclass(frozen=True)
+class SpikePackage:
+    """One complete package of M spikes (one per output wire).
+
+    Attributes
+    ----------
+    ordinal:
+        0-based package index — the paper's computer time ``t_k``.
+    slots:
+        Spike slot (sample index) on each wire, ordered by wire position
+        (wire 1 first).  Because the demux deals spikes in arrival order,
+        ``slots`` is strictly increasing.
+    """
+
+    ordinal: int
+    slots: Tuple[int, ...]
+
+    @property
+    def start(self) -> int:
+        """Slot of the package's first spike (wire 1)."""
+        return self.slots[0]
+
+    @property
+    def end(self) -> int:
+        """Slot of the package's last spike (wire M)."""
+        return self.slots[-1]
+
+    @property
+    def span(self) -> int:
+        """Samples between the package's first and last spike."""
+        return self.end - self.start
+
+
+class DemuxOrthogonator(Orthogonator):
+    """Cyclic demultiplexer over M output wires.
+
+    Parameters
+    ----------
+    order:
+        The paper's N; the device exposes ``M = 2**order - 1`` wires.
+        Use :meth:`with_outputs` to request an explicit wire count
+        instead.
+    """
+
+    def __init__(self, order: int) -> None:
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        self._order = order
+        self._n_outputs = 2**order - 1
+
+    @classmethod
+    def with_outputs(cls, n_outputs: int) -> "DemuxOrthogonator":
+        """Build a device with an explicit number of output wires."""
+        if n_outputs < 1:
+            raise ConfigurationError(f"n_outputs must be >= 1, got {n_outputs}")
+        device = cls.__new__(cls)
+        device._order = None
+        device._n_outputs = n_outputs
+        return device
+
+    @property
+    def order(self) -> Optional[int]:
+        """The paper's N, or None when built via :meth:`with_outputs`."""
+        return self._order
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of output wires M."""
+        return self._n_outputs
+
+    def route(self, spike_ordinal: int) -> int:
+        """Wire position (1-based) receiving input spike ``spike_ordinal`` (1-based).
+
+        Implements the paper's routing rule ``p = 1 + (r − 1) mod M``.
+        """
+        if spike_ordinal < 1:
+            raise ConfigurationError(
+                f"spike ordinals are 1-based, got {spike_ordinal}"
+            )
+        return 1 + (spike_ordinal - 1) % self._n_outputs
+
+    def transform(self, *inputs: SpikeTrain) -> OrthogonatorOutput:
+        """Deal the single input train over the M output wires."""
+        if len(inputs) != 1:
+            raise ConfigurationError(
+                f"demux orthogonator takes exactly one input train, got {len(inputs)}"
+            )
+        (train,) = inputs
+        m = self._n_outputs
+        indices = train.indices
+        trains = tuple(
+            SpikeTrain(indices[wire::m], train.grid) for wire in range(m)
+        )
+        labels = tuple(wire_label(p) for p in range(1, m + 1))
+        # Outputs partition the input: orthogonality holds by construction,
+        # so the O(M^2) verification pass is skipped.
+        return OrthogonatorOutput(trains=trains, labels=labels, verify=False)
+
+
+def spike_packages(
+    output: OrthogonatorOutput,
+    require_complete: bool = True,
+) -> List[SpikePackage]:
+    """Group demux outputs back into their M-spike packages.
+
+    Package k consists of the k-th spike of every wire, in wire order.
+    With ``require_complete`` (default) only packages in which *every*
+    wire has fired are returned — the paper's condition "when the M-th
+    wire outputted its k-th spike, we know that the previous M−1 spikes
+    were outputted on the other M−1 wires".
+    """
+    counts = [len(t) for t in output.trains]
+    n_complete = min(counts) if counts else 0
+    n_packages = n_complete if require_complete else (max(counts) if counts else 0)
+    packages: List[SpikePackage] = []
+    for k in range(n_packages):
+        slots = []
+        for train in output.trains:
+            if k < len(train):
+                slots.append(int(train.indices[k]))
+        package = SpikePackage(ordinal=k, slots=tuple(slots))
+        if len(package.slots) > 1 and any(
+            b <= a for a, b in zip(package.slots, package.slots[1:])
+        ):
+            raise SpikeTrainError(
+                f"package {k} slots are not strictly increasing: {package.slots}; "
+                "the trains are not demux outputs of a single source"
+            )
+        packages.append(package)
+    return packages

@@ -1,0 +1,176 @@
+"""Output-rate homogenization via correlated source noises.
+
+Section 4.2: with independent sources the intersection orthogonator's
+coincidence product ``A·B`` fires far more rarely than the exclusive
+products.  Mixing a strong common-mode noise into both sources makes
+their zero crossings nearly coincide, boosting ``A·B`` until all three
+outputs fire at comparable rates (Figure 3 / Table 2's "correlated"
+columns, mixing amplitudes 0.945 / 0.055).
+
+This module provides:
+
+* :func:`homogenization_spread` — the max/min output-rate ratio used as
+  the imbalance metric;
+* :class:`Homogenizer` — runs the correlated-source pipeline at a given
+  common-mode amplitude;
+* :func:`search_common_amplitude` — a bisection search for the amplitude
+  that minimises the spread, reproducing (and checking) the paper's
+  hand-picked 0.945.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..noise.correlated import CommonModeMixer
+from ..noise.synthesis import NoiseSynthesizer, RngLike, make_rng
+from ..spikes.zero_crossing import AllCrossingDetector
+from .base import OrthogonatorOutput
+from .intersection import IntersectionOrthogonator
+
+__all__ = [
+    "homogenization_spread",
+    "HomogenizationResult",
+    "Homogenizer",
+    "search_common_amplitude",
+]
+
+
+def homogenization_spread(output: OrthogonatorOutput) -> float:
+    """Max/min ratio of output spike rates (1.0 = perfectly homogeneous).
+
+    Returns ``inf`` when any output is silent — the strongest possible
+    imbalance signal.
+    """
+    counts = [len(t) for t in output.trains]
+    if not counts:
+        return math.nan
+    lowest = min(counts)
+    if lowest == 0:
+        return math.inf
+    return max(counts) / lowest
+
+
+@dataclass(frozen=True)
+class HomogenizationResult:
+    """Outcome of one homogenization run.
+
+    Attributes
+    ----------
+    common_amplitude / private_amplitude:
+        Mixing amplitudes used for the source noises.
+    correlation:
+        Implied source correlation coefficient.
+    output:
+        The orthogonator output produced from the correlated sources.
+    spread:
+        Max/min output-rate ratio (1.0 is perfect).
+    """
+
+    common_amplitude: float
+    private_amplitude: float
+    correlation: float
+    output: OrthogonatorOutput
+    spread: float
+
+    def rates(self) -> Dict[str, float]:
+        """Per-output spike rates, keyed by product label."""
+        return self.output.rates()
+
+
+class Homogenizer:
+    """Correlated-source pipeline for a 2-input intersection orthogonator.
+
+    Generates ``n_inputs`` source noises correlated through a common-mode
+    component, extracts zero-crossing trains, and runs them through an
+    :class:`IntersectionOrthogonator`.
+    """
+
+    def __init__(
+        self,
+        synthesizer: NoiseSynthesizer,
+        n_inputs: int = 2,
+    ) -> None:
+        if n_inputs < 2:
+            raise ConfigurationError(
+                f"homogenization needs at least 2 inputs, got {n_inputs}"
+            )
+        self.synthesizer = synthesizer
+        self.orthogonator = IntersectionOrthogonator(n_inputs)
+        self._detector = AllCrossingDetector()
+
+    def run(
+        self,
+        common_amplitude: float,
+        rng: RngLike = None,
+    ) -> HomogenizationResult:
+        """Run the pipeline with the given common-mode amplitude.
+
+        Following the paper's convention, the two mixing amplitudes add
+        linearly to one: ``private = 1 − common`` (the paper's pair is
+        0.945 / 0.055).  The mixer re-normalises the mixed records to
+        unit variance, so only the common/private *ratio* matters.
+        """
+        if not (0.0 <= common_amplitude <= 1.0):
+            raise ConfigurationError(
+                f"common_amplitude must lie in [0, 1], got {common_amplitude}"
+            )
+        private_amplitude = 1.0 - common_amplitude
+        mixer = CommonModeMixer(
+            self.synthesizer,
+            common_amplitude=common_amplitude,
+            private_amplitude=private_amplitude,
+        )
+        records = mixer.generate(self.orthogonator.n_inputs, rng=make_rng(rng))
+        grid = self.synthesizer.grid
+        trains = [self._detector.detect(record, grid) for record in records]
+        output = self.orthogonator.transform(*trains)
+        return HomogenizationResult(
+            common_amplitude=common_amplitude,
+            private_amplitude=private_amplitude,
+            correlation=mixer.correlation,
+            output=output,
+            spread=homogenization_spread(output),
+        )
+
+
+def search_common_amplitude(
+    homogenizer: Homogenizer,
+    seed: int = 0,
+    lo: float = 0.5,
+    hi: float = 0.999,
+    n_grid: int = 12,
+    n_refine: int = 3,
+) -> HomogenizationResult:
+    """Search for the common-mode amplitude minimising the rate spread.
+
+    A coarse grid scan followed by ``n_refine`` local refinements; every
+    candidate is evaluated with the same seed so the search surface is
+    deterministic.  Returns the best result found.  The paper's value
+    (0.945) should land near the optimum for the white-noise band.
+    """
+    if not (0.0 <= lo < hi <= 1.0):
+        raise ConfigurationError(f"invalid search interval [{lo}, {hi}]")
+    if n_grid < 3:
+        raise ConfigurationError(f"n_grid must be >= 3, got {n_grid}")
+
+    best: Optional[HomogenizationResult] = None
+    for _round in range(n_refine):
+        candidates = np.linspace(lo, hi, n_grid)
+        results = [homogenizer.run(float(c), rng=seed) for c in candidates]
+        spreads = [r.spread for r in results]
+        best_idx = int(np.nanargmin(spreads))
+        round_best = results[best_idx]
+        if best is None or round_best.spread < best.spread:
+            best = round_best
+        # Narrow the interval around the winner for the next round.
+        step = (hi - lo) / (n_grid - 1)
+        lo = max(0.0, candidates[best_idx] - step)
+        hi = min(1.0, candidates[best_idx] + step)
+    assert best is not None
+    return best

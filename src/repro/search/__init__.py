@@ -1,0 +1,34 @@
+"""Search over the hyperspace, with classical and quantum comparators.
+
+* :class:`SuperpositionDatabase` — membership by single coincidence
+  (query cost independent of database size);
+* :func:`linear_scan` / :func:`expected_scan_queries` — the classical
+  unstructured-search baseline (O(K));
+* :func:`grover_search` / :func:`optimal_iterations` — an exact
+  state-vector Grover simulator (O(sqrt K) oracle calls).
+"""
+
+from .classical import (
+    ScanResult,
+    average_scan_queries,
+    expected_scan_queries,
+    linear_scan,
+)
+from .grover import GroverResult, grover_search, optimal_iterations
+from .superposition_search import QueryResult, SuperpositionDatabase
+from .verification import VerificationResult, verify_equality, verify_subset
+
+__all__ = [
+    "SuperpositionDatabase",
+    "QueryResult",
+    "linear_scan",
+    "ScanResult",
+    "expected_scan_queries",
+    "average_scan_queries",
+    "grover_search",
+    "GroverResult",
+    "optimal_iterations",
+    "VerificationResult",
+    "verify_equality",
+    "verify_subset",
+]

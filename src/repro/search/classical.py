@@ -1,0 +1,77 @@
+"""Classical baseline: linear-scan membership over an unstructured list.
+
+The standard comparison point for search claims: an unstructured
+database interrogated through an oracle that answers "is the item at
+this index the target?".  Expected query count for a uniformly placed
+target is ``(K + 1) / 2`` over ``K`` items, and ``K`` to certify
+absence — linear, versus the spike scheme's size-independent single
+coincidence and Grover's ``O(sqrt(K))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ScanResult", "linear_scan", "expected_scan_queries"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of one linear scan.
+
+    Attributes
+    ----------
+    found:
+        Whether the target was present.
+    queries:
+        Oracle calls performed.
+    position:
+        Index at which the target was found (None when absent).
+    """
+
+    found: bool
+    queries: int
+    position: Optional[int]
+
+
+def linear_scan(database: Sequence[int], target: int) -> ScanResult:
+    """Scan ``database`` left to right for ``target``; count oracle calls."""
+    for position, item in enumerate(database):
+        if item == target:
+            return ScanResult(found=True, queries=position + 1, position=position)
+    return ScanResult(found=False, queries=len(database), position=None)
+
+
+def expected_scan_queries(n_items: int, present: bool) -> float:
+    """Expected oracle calls for a uniformly shuffled database.
+
+    ``(K + 1) / 2`` when the target is present, ``K`` when absent.
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    if present:
+        return (n_items + 1) / 2.0
+    return float(n_items)
+
+
+def average_scan_queries(
+    n_items: int,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Measured mean oracle calls over shuffled databases (target present)."""
+    if n_items < 1:
+        raise ConfigurationError(f"n_items must be >= 1, got {n_items}")
+    if n_trials < 1:
+        raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+    total = 0
+    for _trial in range(n_trials):
+        database = rng.permutation(n_items)
+        target = int(rng.integers(n_items))
+        total += linear_scan(database.tolist(), target).queries
+    return total / n_trials

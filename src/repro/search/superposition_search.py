@@ -1,0 +1,151 @@
+"""Superposition search over the neuro-bit hyperspace.
+
+The paper's introduction cites its reference [2]: the noise-based logic
+hyperspace carries a superposition of up to ``2^N − 1`` states on a
+single wire and "was shown to outperform a quantum search algorithm".
+The operational content: with the database's member set encoded as a
+superposition wire, answering "is state x in the database?" is a single
+coincidence check against x's reference train — the query cost does not
+grow with the database size, only with the reference train's inter-spike
+interval.
+
+:class:`SuperpositionDatabase` implements that machine:
+
+* :meth:`load` — encode a set of member states onto one wire;
+* :meth:`query` — membership test by coincidence, reporting the decision
+  latency in samples;
+* :meth:`enumerate_members` — full readout (classify every wire spike).
+
+The comparators live in :mod:`repro.search.classical` (linear scan) and
+:mod:`repro.search.grover` (a real state-vector Grover simulator); the
+C7 experiment and bench put all three on one axis: queries/time to
+answer a membership question vs database size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..errors import HyperspaceError, IdentificationError
+from ..hyperspace.basis import HyperspaceBasis
+from ..spikes.train import SpikeTrain
+
+__all__ = ["QueryResult", "SuperpositionDatabase"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one membership query.
+
+    Attributes
+    ----------
+    state:
+        The queried state (basis element index).
+    present:
+        The verdict.
+    decision_slot:
+        For a present state: the slot of the confirming coincidence.
+        For an absent state: the slot of the *reference train's last
+        spike* — the point after which absence is certain on a clean
+        wire (every opportunity to coincide has passed).
+    coincidences_checked:
+        Number of reference spikes inspected.
+    """
+
+    state: int
+    present: bool
+    decision_slot: int
+    coincidences_checked: int
+
+
+class SuperpositionDatabase:
+    """A set of states on one wire, queried by coincidence.
+
+    Parameters
+    ----------
+    basis:
+        The hyperspace whose elements are the representable states.
+        Build it with :func:`repro.hyperspace.build_intersection_basis`
+        for the exponential ``2^N − 1`` capacity the paper highlights.
+    """
+
+    def __init__(self, basis: HyperspaceBasis) -> None:
+        self.basis = basis
+        self._wire: Optional[SpikeTrain] = None
+        self._members: FrozenSet[int] = frozenset()
+
+    @property
+    def capacity(self) -> int:
+        """Number of representable states (the basis size M)."""
+        return self.basis.size
+
+    @property
+    def wire(self) -> SpikeTrain:
+        """The loaded superposition wire."""
+        if self._wire is None:
+            raise HyperspaceError("no database loaded; call load() first")
+        return self._wire
+
+    @property
+    def members(self) -> FrozenSet[int]:
+        """The loaded member set (ground truth, for verification)."""
+        return self._members
+
+    def load(self, states: Iterable[int]) -> SpikeTrain:
+        """Encode ``states`` as one superposition wire; returns the wire."""
+        members = frozenset(self.basis.index_of(s) for s in states)
+        self._members = members
+        self._wire = self.basis.encode_set(sorted(members))
+        return self._wire
+
+    def query(self, state: int, start_slot: int = 0) -> QueryResult:
+        """Membership test for ``state`` by coincidence detection.
+
+        Walks the state's *reference* spikes from ``start_slot``; the
+        first one also present on the wire confirms membership.  If the
+        reference train is exhausted without a coincidence, the state is
+        absent (exact on clean wires: a member contributes its whole
+        reference train).
+        """
+        element = self.basis.index_of(state)
+        reference = self.basis.trains[element]
+        wire = self.wire
+        checked = 0
+        last_slot = start_slot
+        for slot in reference.indices.tolist():
+            if slot < start_slot:
+                continue
+            checked += 1
+            last_slot = slot
+            if slot in wire:
+                return QueryResult(
+                    state=element,
+                    present=True,
+                    decision_slot=slot,
+                    coincidences_checked=checked,
+                )
+        if checked == 0:
+            raise IdentificationError(
+                f"reference train of state {element} has no spikes after "
+                f"slot {start_slot}; membership undecidable"
+            )
+        return QueryResult(
+            state=element,
+            present=False,
+            decision_slot=last_slot,
+            coincidences_checked=checked,
+        )
+
+    def enumerate_members(self) -> Dict[int, int]:
+        """Full readout: member element → first detection slot."""
+        earliest: Dict[int, int] = {}
+        for slot in self.wire.indices.tolist():
+            owner = self.basis.owner_of_slot(slot)
+            if owner is not None and owner not in earliest:
+                earliest[owner] = slot
+        return earliest
+
+    def verify(self) -> bool:
+        """Cross-check the readout against the loaded ground truth."""
+        return frozenset(self.enumerate_members()) == self._members

@@ -1,0 +1,118 @@
+"""Set verification between superposition wires (ref [2]'s string tests).
+
+The hyperspace reference ([2], Kish–Khatri–Sethuraman) motivates the
+single-wire superposition with *verification* problems: decide whether
+two parties' sets (bit strings encoded as superpositions) are equal,
+or whether one contains the other, with few physical operations.
+
+On orthogonal bases these reduce to coincidence bookkeeping:
+
+* a wire's spike at a slot owned by element e *proves* e ∈ set;
+* a reference spike of e absent from the wire at that slot proves
+  e ∉ set (clean-wire semantics: members contribute whole trains);
+
+so equality/subset verdicts settle progressively as evidence arrives.
+:func:`verify_equality` and :func:`verify_subset` return both the
+verdict and the *decision slot*: for unequal sets this is the first
+differing spike — typically one ISI, far before the full readout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import HyperspaceError
+from ..hyperspace.basis import HyperspaceBasis
+from ..spikes.train import SpikeTrain
+
+__all__ = ["VerificationResult", "verify_equality", "verify_subset"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a set-verification test.
+
+    Attributes
+    ----------
+    verdict:
+        The boolean answer.
+    decision_slot:
+        Slot of the decisive evidence.  For a negative verdict: the
+        first differing spike.  For a positive verdict: the last slot
+        at which a difference could still have appeared (the wires'
+        final occupied slot) — positives must wait out the record.
+    witness_element:
+        For a negative verdict, the element exhibiting the difference;
+        None otherwise.
+    """
+
+    verdict: bool
+    decision_slot: int
+    witness_element: Optional[int]
+
+
+def _check_wire(basis: HyperspaceBasis, wire: SpikeTrain, name: str) -> None:
+    counts = basis.classify_train(wire)
+    if -1 in counts:
+        raise HyperspaceError(
+            f"{name} carries {counts[-1]} spike(s) owned by no basis element"
+        )
+
+
+def verify_equality(
+    basis: HyperspaceBasis,
+    wire_a: SpikeTrain,
+    wire_b: SpikeTrain,
+) -> VerificationResult:
+    """Are the two superposition wires the same set?
+
+    Physically: XOR the wires' spike occupancy; the first slot where
+    exactly one wire spikes exposes a member difference — its owning
+    element is the witness.  Silence everywhere = equal (decided only
+    once all evidence has passed).
+    """
+    _check_wire(basis, wire_a, "wire A")
+    _check_wire(basis, wire_b, "wire B")
+    difference = wire_a ^ wire_b
+    first = difference.first_spike_index()
+    if first is not None:
+        return VerificationResult(
+            verdict=False,
+            decision_slot=first,
+            witness_element=basis.owner_of_slot(first),
+        )
+    last_evidence = 0
+    union = wire_a | wire_b
+    if len(union):
+        last_evidence = int(union.indices[-1])
+    return VerificationResult(
+        verdict=True, decision_slot=last_evidence, witness_element=None
+    )
+
+
+def verify_subset(
+    basis: HyperspaceBasis,
+    wire_a: SpikeTrain,
+    wire_b: SpikeTrain,
+) -> VerificationResult:
+    """Is A's member set contained in B's?
+
+    The first spike of A in a slot B misses exposes a member of A \\ B.
+    """
+    _check_wire(basis, wire_a, "wire A")
+    _check_wire(basis, wire_b, "wire B")
+    extra = wire_a - wire_b
+    first = extra.first_spike_index()
+    if first is not None:
+        return VerificationResult(
+            verdict=False,
+            decision_slot=first,
+            witness_element=basis.owner_of_slot(first),
+        )
+    last_evidence = int(wire_a.indices[-1]) if len(wire_a) else 0
+    return VerificationResult(
+        verdict=True, decision_slot=last_evidence, witness_element=None
+    )

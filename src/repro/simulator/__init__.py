@@ -1,0 +1,63 @@
+"""Event-driven spike-circuit simulator.
+
+* :class:`Engine` / :class:`Component` — the scheduler core;
+* components: :class:`SpikeSource`, :class:`Probe`, :class:`DelayLine`,
+  :class:`CyclicDemux`, :class:`CoincidenceGate`,
+  :class:`AntiCoincidenceGate`, :class:`RefractoryFilter`;
+* prebuilt networks: :func:`demux_network`,
+  :func:`intersection_network_2`, :func:`delayed_identification_network`.
+"""
+
+from .components import (
+    AntiCoincidenceGate,
+    CoincidenceGate,
+    CyclicDemux,
+    DelayLine,
+    Probe,
+    RefractoryFilter,
+    SpikeSource,
+)
+from .circuit_runner import CompiledCircuit, compile_circuit, run_circuit
+from .engine import Component, Engine, Event
+from .logic_components import (
+    CorrelatorComponent,
+    GateComponent,
+    RobustCorrelatorComponent,
+    gate_network,
+)
+from .variation import (
+    VariationOutcome,
+    randomize_connection_delays,
+    variation_monte_carlo,
+)
+from .networks import (
+    delayed_identification_network,
+    demux_network,
+    intersection_network_2,
+)
+
+__all__ = [
+    "Engine",
+    "Component",
+    "Event",
+    "SpikeSource",
+    "Probe",
+    "DelayLine",
+    "CyclicDemux",
+    "CoincidenceGate",
+    "AntiCoincidenceGate",
+    "RefractoryFilter",
+    "demux_network",
+    "intersection_network_2",
+    "delayed_identification_network",
+    "CorrelatorComponent",
+    "GateComponent",
+    "gate_network",
+    "CompiledCircuit",
+    "compile_circuit",
+    "run_circuit",
+    "RobustCorrelatorComponent",
+    "VariationOutcome",
+    "randomize_connection_delays",
+    "variation_monte_carlo",
+]

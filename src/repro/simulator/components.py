@@ -1,0 +1,200 @@
+"""Event-driven circuit components.
+
+Each component mirrors a circuit block the paper's scheme needs:
+
+* :class:`SpikeSource` — plays back a :class:`~repro.spikes.train.SpikeTrain`;
+* :class:`Probe` — records arriving spikes (back into a SpikeTrain);
+* :class:`DelayLine` — fixed integer delay (the Section 6 adversary);
+* :class:`CyclicDemux` — the demultiplexer-based orthogonator as a
+  stateful event component (cross-validated against the array version);
+* :class:`CoincidenceGate` — emits when all inputs spiked within a
+  window (the intersection product / correlator primitive);
+* :class:`AntiCoincidenceGate` — emits a window after an A spike iff no
+  B spike fell inside the window (builds the exclusive products);
+* :class:`RefractoryFilter` — suppresses spikes closer than a dead time
+  (comparator chatter model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..spikes.train import SpikeTrain
+from ..units import SimulationGrid
+from .engine import Component
+
+__all__ = [
+    "SpikeSource",
+    "Probe",
+    "DelayLine",
+    "CyclicDemux",
+    "CoincidenceGate",
+    "AntiCoincidenceGate",
+    "RefractoryFilter",
+]
+
+
+class SpikeSource(Component):
+    """Plays a spike train into the circuit on output port ``out``."""
+
+    def __init__(self, name: str, train: SpikeTrain) -> None:
+        super().__init__(name)
+        self.train = train
+
+    def on_start(self) -> None:
+        for slot in self.train.indices.tolist():
+            # Source events are delivered to the component itself, which
+            # forwards them; this keeps emission inside the event loop.
+            self.engine.schedule(self, "fire", slot)
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if port != "fire":
+            raise SimulationError(f"source {self.name!r} got foreign port {port!r}")
+        self.engine.emit(self, "out", slot)
+
+
+class Probe(Component):
+    """Records every spike arriving on port ``in`` (order preserved)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.slots: List[int] = []
+
+    def on_spike(self, port: str, slot: int) -> None:
+        self.slots.append(slot)
+
+    def to_train(self, grid: SimulationGrid) -> SpikeTrain:
+        """The recorded spikes as a train on ``grid``."""
+        return SpikeTrain(np.asarray(self.slots, dtype=np.int64), grid)
+
+
+class DelayLine(Component):
+    """Forwards ``in`` to ``out`` after a fixed integer delay."""
+
+    def __init__(self, name: str, delay: int) -> None:
+        super().__init__(name)
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def on_spike(self, port: str, slot: int) -> None:
+        self.engine.emit(self, "out", slot + self.delay)
+
+
+class CyclicDemux(Component):
+    """Stateful cyclic demultiplexer: spike r goes to port ``out{p}``.
+
+    Implements the routing rule ``p = 1 + (r − 1) mod M`` of Section 3(i)
+    one spike at a time; ports are ``out1 .. outM``.
+    """
+
+    def __init__(self, name: str, n_outputs: int) -> None:
+        super().__init__(name)
+        if n_outputs < 1:
+            raise SimulationError(f"n_outputs must be >= 1, got {n_outputs}")
+        self.n_outputs = n_outputs
+        self._count = 0
+
+    def on_spike(self, port: str, slot: int) -> None:
+        self._count += 1
+        wire = 1 + (self._count - 1) % self.n_outputs
+        self.engine.emit(self, f"out{wire}", slot)
+
+
+class CoincidenceGate(Component):
+    """Emits on ``out`` when all ``n_inputs`` ports spiked within a window.
+
+    Ports are ``in0 .. in{N-1}``.  With ``window = 0`` inputs must spike
+    in the same slot (the paper's exact coincidence); a positive window
+    tolerates skew up to that many samples.  The gate emits at the slot
+    of the *latest* participating spike and then re-arms.
+    """
+
+    def __init__(self, name: str, n_inputs: int = 2, window: int = 0) -> None:
+        super().__init__(name)
+        if n_inputs < 2:
+            raise SimulationError(f"n_inputs must be >= 2, got {n_inputs}")
+        if window < 0:
+            raise SimulationError(f"window must be >= 0, got {window}")
+        self.n_inputs = n_inputs
+        self.window = window
+        self._last_seen: Dict[str, int] = {}
+
+    def on_spike(self, port: str, slot: int) -> None:
+        self._last_seen[port] = slot
+        if len(self._last_seen) < self.n_inputs:
+            return
+        oldest = min(self._last_seen.values())
+        if slot - oldest <= self.window:
+            self.engine.emit(self, "out", slot)
+            self._last_seen.clear()
+
+
+class AntiCoincidenceGate(Component):
+    """Emits an A spike iff no B spike falls within ±``window`` samples.
+
+    Ports: ``a`` (the pass input) and ``b`` (the veto input).  Because a
+    vetoing B spike may arrive *after* the A spike, the decision for an A
+    spike at slot t is made — and the output emitted — at
+    ``t + window + 1``: the gate has a fixed decision latency of
+    ``window + 1`` samples (:attr:`latency`).  With ``window = 0`` the
+    output, shifted back by that latency, is exactly the set difference
+    A \\ B — cross-validated against the array implementation of the
+    intersection orthogonator.
+    """
+
+    def __init__(self, name: str, window: int = 0) -> None:
+        super().__init__(name)
+        if window < 0:
+            raise SimulationError(f"window must be >= 0, got {window}")
+        self.window = window
+        self._recent_b: List[int] = []
+
+    @property
+    def latency(self) -> int:
+        """Fixed decision latency in samples (``window + 1``)."""
+        return self.window + 1
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if port == "b":
+            self._recent_b.append(slot)
+            return
+        if port == "a":
+            # Defer the decision until the veto window has closed.
+            self.engine.schedule(self, f"decide:{slot}", slot + self.latency)
+            return
+        if port.startswith("decide:"):
+            a_slot = int(port.split(":", 1)[1])
+            horizon = a_slot - self.window
+            self._recent_b = [b for b in self._recent_b if b >= horizon]
+            vetoed = any(abs(b - a_slot) <= self.window for b in self._recent_b)
+            if not vetoed:
+                self.engine.emit(self, "out", slot)
+            return
+        raise SimulationError(
+            f"anti-coincidence {self.name!r} got foreign port {port!r}"
+        )
+
+
+class RefractoryFilter(Component):
+    """Drops spikes arriving within ``dead_time`` samples of the last pass.
+
+    Models a comparator with a recovery time; used in robustness studies
+    of the zero-crossing spike generators.
+    """
+
+    def __init__(self, name: str, dead_time: int) -> None:
+        super().__init__(name)
+        if dead_time < 0:
+            raise SimulationError(f"dead_time must be >= 0, got {dead_time}")
+        self.dead_time = dead_time
+        self._last_pass: Optional[int] = None
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if self._last_pass is not None and slot - self._last_pass <= self.dead_time:
+            return
+        self._last_pass = slot
+        self.engine.emit(self, "out", slot)

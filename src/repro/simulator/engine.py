@@ -1,0 +1,160 @@
+"""Discrete-event simulation engine for spike circuits.
+
+The array pipelines in :mod:`repro.orthogonator` process whole records at
+once; this engine complements them with an *event-driven* model in which
+spikes propagate through components over wires with integer delays.  It
+exists for two reasons:
+
+1. cross-validation — the event-driven demultiplexer and coincidence
+   gates must reproduce the array results spike for spike (tested);
+2. the Section 6 study — circuit delays are first-class here, so the
+   aliasing failure of periodic spike trains under delay variations can
+   be demonstrated on an actual circuit, not just on shifted arrays.
+
+Times are integer sample slots on a :class:`~repro.units.SimulationGrid`;
+simultaneous events are delivered in deterministic (insertion) order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..units import SimulationGrid
+
+__all__ = ["Event", "Component", "Engine"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One spike delivery: at ``slot``, ``component`` receives on ``port``."""
+
+    slot: int
+    sequence: int = field(compare=True)
+    component: "Component" = field(compare=False)
+    port: str = field(compare=False)
+
+
+class Component:
+    """Base class for event-driven circuit elements.
+
+    Subclasses implement :meth:`on_spike`, which may call
+    :meth:`Engine.emit` to send spikes onward.  Components are registered
+    with exactly one engine; output connections are per named port.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._engine: Optional["Engine"] = None
+
+    @property
+    def engine(self) -> "Engine":
+        if self._engine is None:
+            raise SimulationError(
+                f"component {self.name!r} is not attached to an engine"
+            )
+        return self._engine
+
+    def on_spike(self, port: str, slot: int) -> None:
+        """Handle a spike arriving on ``port`` at time ``slot``."""
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Hook called once when the simulation starts (default: no-op)."""
+
+
+class Engine:
+    """Priority-queue event scheduler over integer slots.
+
+    Usage: create components, :meth:`add` them, :meth:`connect` ports,
+    then :meth:`run`.  Connections may carry a non-negative integer
+    ``delay`` (samples); a spike emitted on a port is delivered to every
+    connected sink after its connection's delay.
+    """
+
+    def __init__(self, grid: SimulationGrid) -> None:
+        self.grid = grid
+        self._components: List[Component] = []
+        self._connections: Dict[Tuple[int, str], List[Tuple[Component, str, int]]] = {}
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._delivered = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (slot of the event being processed)."""
+        return self._now
+
+    @property
+    def delivered_events(self) -> int:
+        """Total number of delivered spike events so far."""
+        return self._delivered
+
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        if component._engine is not None and component._engine is not self:
+            raise SimulationError(
+                f"component {component.name!r} already belongs to another engine"
+            )
+        if component not in self._components:
+            self._components.append(component)
+        component._engine = self
+        return component
+
+    def connect(
+        self,
+        source: Component,
+        out_port: str,
+        sink: Component,
+        in_port: str,
+        delay: int = 0,
+    ) -> None:
+        """Wire ``source.out_port`` to ``sink.in_port`` with a delay."""
+        if delay < 0:
+            raise SimulationError(f"connection delay must be >= 0, got {delay}")
+        self.add(source)
+        self.add(sink)
+        key = (id(source), out_port)
+        self._connections.setdefault(key, []).append((sink, in_port, delay))
+
+    def schedule(self, component: Component, port: str, slot: int) -> None:
+        """Inject a spike delivery at an absolute slot."""
+        if slot < self._now and self._running:
+            raise SimulationError(
+                f"cannot schedule at slot {slot}, already at {self._now}"
+            )
+        heapq.heappush(
+            self._queue,
+            Event(slot=slot, sequence=next(self._sequence), component=component, port=port),
+        )
+
+    def emit(self, source: Component, out_port: str, slot: int) -> None:
+        """Deliver a spike from ``source.out_port`` to all connected sinks."""
+        for sink, in_port, delay in self._connections.get((id(source), out_port), []):
+            self.schedule(sink, in_port, slot + delay)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events in time order; returns the number delivered.
+
+        ``until`` bounds simulation time (exclusive; default: the grid
+        length).  Events scheduled at or beyond the bound stay queued.
+        """
+        horizon = self.grid.n_samples if until is None else until
+        self._running = True
+        try:
+            for component in self._components:
+                component.on_start()
+            delivered_before = self._delivered
+            while self._queue and self._queue[0].slot < horizon:
+                event = heapq.heappop(self._queue)
+                self._now = event.slot
+                event.component.on_spike(event.port, event.slot)
+                self._delivered += 1
+            return self._delivered - delivered_before
+        finally:
+            self._running = False

@@ -1,0 +1,217 @@
+"""Event-driven logic components: correlators and gates as circuit elements.
+
+These close the loop between the array-level logic layer
+(:mod:`repro.logic`) and the event-driven simulator: a
+:class:`CorrelatorComponent` performs first-coincidence identification
+spike by spike, and a :class:`GateComponent` assembles a full
+truth-table gate — per-input correlators, table lookup, and emission of
+the output value's reference train — entirely inside the event loop.
+
+The cross-validation tests assert that a gate evaluated this way agrees
+with :meth:`repro.logic.gates.TruthTableGate.transmit` in both the
+computed value and the decision slot, which certifies the array level as
+a faithful shortcut of the physical event-level behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..hyperspace.basis import HyperspaceBasis
+from ..logic.gates import TruthTableGate
+from .engine import Component, Engine
+
+__all__ = [
+    "CorrelatorComponent",
+    "RobustCorrelatorComponent",
+    "GateComponent",
+    "gate_network",
+]
+
+
+class CorrelatorComponent(Component):
+    """First-coincidence identifier as an event component.
+
+    Listens on port ``in``; the first spike whose slot is owned by a
+    basis element decides.  On decision the component emits one spike on
+    ``decided`` at the decision slot, and exposes :attr:`element`.
+    Further spikes are ignored (the correlator latches).
+    """
+
+    def __init__(self, name: str, basis: HyperspaceBasis) -> None:
+        super().__init__(name)
+        self.basis = basis
+        self.element: Optional[int] = None
+        self.decision_slot: Optional[int] = None
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if port != "in":
+            raise SimulationError(
+                f"correlator {self.name!r} got foreign port {port!r}"
+            )
+        if self.element is not None:
+            return
+        owner = self.basis.owner_of_slot(slot)
+        if owner is None:
+            return
+        self.element = owner
+        self.decision_slot = slot
+        self.engine.emit(self, "decided", slot)
+
+
+class RobustCorrelatorComponent(Component):
+    """Confidence-gated identifier: decides only on concentrated evidence.
+
+    The plain :class:`CorrelatorComponent` trusts the *first* owned
+    spike — maximally fast, but a wire whose timing has slipped relative
+    to the reference fabric (a delay-variation corner) can land spikes on
+    foreign slots and be misread.  This variant embodies the Section 6
+    "fingerprint" receiver: it watches ``min_hits`` wire spikes or more
+    and decides on element e only while e owns at least ``min_share`` of
+    *all* spikes seen.
+
+    * clean wire → every spike owned by e → decides at spike
+      ``min_hits`` (latency = a few ISIs, still ps-scale);
+    * delayed wire on a *sparse random* basis → owned spikes are rare
+      and scattered → no element ever reaches the share → the component
+      stays silent (a detectable stall, never a wrong value);
+    * a dense periodic basis still aliases — that is a property of
+      periodic bases, not of the receiver (Section 6's point).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        basis: HyperspaceBasis,
+        min_hits: int = 8,
+        min_share: float = 0.5,
+    ) -> None:
+        super().__init__(name)
+        if min_hits < 1:
+            raise SimulationError(f"min_hits must be >= 1, got {min_hits}")
+        if not (0.0 < min_share <= 1.0):
+            raise SimulationError(
+                f"min_share must lie in (0, 1], got {min_share}"
+            )
+        self.basis = basis
+        self.min_hits = min_hits
+        self.min_share = min_share
+        self._seen = 0
+        self._hits: Dict[int, int] = {}
+        self.element: Optional[int] = None
+        self.decision_slot: Optional[int] = None
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if port != "in":
+            raise SimulationError(
+                f"correlator {self.name!r} got foreign port {port!r}"
+            )
+        if self.element is not None:
+            return
+        self._seen += 1
+        owner = self.basis.owner_of_slot(slot)
+        if owner is not None:
+            self._hits[owner] = self._hits.get(owner, 0) + 1
+        if self._seen < self.min_hits or not self._hits:
+            return
+        leader = max(self._hits, key=self._hits.get)
+        if self._hits[leader] / self._seen >= self.min_share:
+            self.element = leader
+            self.decision_slot = slot
+            self.engine.emit(self, "decided", slot)
+
+
+class GateComponent(Component):
+    """A truth-table gate evaluated inside the event loop.
+
+    One :class:`CorrelatorComponent` per input feeds this component's
+    ports ``arg0 .. arg{K-1}`` (wired by :func:`gate_network`).  When the
+    last input settles, the gate looks up its table and *emits the output
+    value's reference train* on port ``out`` — every spike of that train
+    from the decision slot onward, exactly like a driver that switches
+    onto the selected reference wire.
+
+    Attributes
+    ----------
+    value:
+        The computed output value (after all inputs settled).
+    decision_slot:
+        Slot of the slowest input identification.
+    """
+
+    def __init__(self, name: str, gate: TruthTableGate) -> None:
+        super().__init__(name)
+        self.gate = gate
+        self._pending: Dict[int, int] = {}
+        self._correlators: Dict[int, CorrelatorComponent] = {}
+        self.value: Optional[int] = None
+        self.decision_slot: Optional[int] = None
+
+    def on_spike(self, port: str, slot: int) -> None:
+        if not port.startswith("arg"):
+            raise SimulationError(f"gate {self.name!r} got foreign port {port!r}")
+        position = int(port[3:])
+        if position in self._pending:
+            raise SimulationError(
+                f"gate {self.name!r}: input {position} decided twice"
+            )
+        # The payload of the decision event is the element index, passed
+        # via the sender's correlator; look it up through the port map
+        # installed by gate_network.
+        correlator = self._correlators[position]
+        if correlator.element is None:
+            raise SimulationError(
+                f"gate {self.name!r}: decision event before correlator settled"
+            )
+        self._pending[position] = correlator.element
+        if len(self._pending) < self.gate.arity:
+            return
+        values = tuple(self._pending[i] for i in range(self.gate.arity))
+        self.value = self.gate.table[values]
+        self.decision_slot = slot
+        # Drive the output reference train from the decision onward.
+        reference = self.gate.output_basis.trains[self.value]
+        for out_slot in reference.indices.tolist():
+            if out_slot >= slot:
+                self.engine.emit(self, "out", out_slot)
+
+
+def gate_network(
+    engine: Engine,
+    gate: TruthTableGate,
+    name: str = "gate",
+    robust: bool = False,
+    min_hits: int = 8,
+    min_share: float = 0.5,
+) -> GateComponent:
+    """Assemble correlators + gate on ``engine``; returns the gate component.
+
+    Wire input spike sources to the returned component's correlators via
+    ``engine.connect(source, "out", network.correlator(i), "in")`` — the
+    helper attaches them as ``gate_component.correlator(i)``.
+
+    ``robust=True`` swaps the first-coincidence correlators for
+    confidence-gated :class:`RobustCorrelatorComponent`s (used by the
+    variation Monte Carlo: under timing variations the gate stalls
+    detectably instead of computing with a misread value).
+    """
+    gate_component = GateComponent(name, gate)
+    engine.add(gate_component)
+    correlators: Dict[int, Component] = {}
+    for position, basis in enumerate(gate.input_bases):
+        if robust:
+            correlator: Component = RobustCorrelatorComponent(
+                f"{name}_corr{position}",
+                basis,
+                min_hits=min_hits,
+                min_share=min_share,
+            )
+        else:
+            correlator = CorrelatorComponent(f"{name}_corr{position}", basis)
+        engine.connect(correlator, "decided", gate_component, f"arg{position}")
+        correlators[position] = correlator
+    gate_component._correlators = correlators
+    # Convenience accessor.
+    gate_component.correlator = correlators.__getitem__  # type: ignore[attr-defined]
+    return gate_component

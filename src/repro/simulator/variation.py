@@ -1,0 +1,152 @@
+"""Process-variation Monte Carlo on event-driven circuits.
+
+Section 1 motivates the scheme with "processing variations" and promises
+"variation tolerant circuits ... while speed is retained".  The strongest
+form of the claim is at the *circuit* level: randomise every physical
+delay in an event-driven netlist and check the logic still computes the
+right values.
+
+:func:`randomize_connection_delays` rewires a compiled circuit's
+connections with random extra delays (each connection models a wire /
+buffer whose delay varies with process corner);
+:func:`variation_monte_carlo` repeats compile-run cycles over random
+corners and reports the failure statistics.  For the spike scheme the
+expected result — asserted by the tests and the A6 bench — is *zero
+wrong values* at any delay magnitude: delays postpone coincidences but
+never create false ones on an orthogonal basis, whereas the periodic
+baseline (C2) aliases at specific delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..logic.circuits import Circuit
+from ..spikes.train import SpikeTrain
+from .circuit_runner import compile_circuit
+
+__all__ = ["VariationOutcome", "randomize_connection_delays", "variation_monte_carlo"]
+
+
+@dataclass(frozen=True)
+class VariationOutcome:
+    """Aggregate result of a variation Monte Carlo.
+
+    Attributes
+    ----------
+    trials:
+        Number of random delay corners simulated.
+    wrong_value_trials:
+        Trials in which any output value differed from the golden model.
+    unsettled_trials:
+        Trials in which some gate never settled within the record.
+    mean_critical_slot / max_critical_slot:
+        Settling-time statistics over the successful trials.
+    """
+
+    trials: int
+    wrong_value_trials: int
+    unsettled_trials: int
+    mean_critical_slot: float
+    max_critical_slot: int
+
+
+def randomize_connection_delays(
+    compiled,
+    max_extra_delay: int,
+    rng: np.random.Generator,
+) -> None:
+    """Add a uniform random extra delay to every engine connection.
+
+    Mutates the compiled circuit's engine in place, before ``run()``.
+    Each connection gets an independent delay in ``[0, max_extra_delay]``
+    — the per-wire process corner.
+    """
+    if max_extra_delay < 0:
+        raise SimulationError(
+            f"max_extra_delay must be >= 0, got {max_extra_delay}"
+        )
+    if max_extra_delay == 0:
+        return
+    connections = compiled.engine._connections
+    for key, sinks in connections.items():
+        connections[key] = [
+            (sink, port, delay + int(rng.integers(0, max_extra_delay + 1)))
+            for sink, port, delay in sinks
+        ]
+
+
+def variation_monte_carlo(
+    circuit: Circuit,
+    input_wires: Mapping[str, SpikeTrain],
+    max_extra_delay: int,
+    trials: int,
+    rng: np.random.Generator,
+    min_hits: int = 8,
+    min_share: float = 0.5,
+) -> VariationOutcome:
+    """Run ``trials`` random delay corners and score the outcomes.
+
+    The circuit is compiled with *confidence-gated* correlators (the
+    fingerprint receiver of Section 6): a delayed wire that no longer
+    matches its reference fabric stalls its gate detectably instead of
+    being misread.  The golden values come from the clean circuit.
+
+    Note the basis requirement: the guarantee "never silently wrong"
+    holds for sparse *random* bases.  Dense periodic bases alias under
+    delay by construction — the paper's argument against them.
+    """
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+
+    # Golden model: identify each input wire once on the clean circuit.
+    clean = circuit.transmit(input_wires)
+    golden = {name: clean.values[name] for name in circuit.node_names}
+
+    wrong = 0
+    unsettled = 0
+    critical_slots: List[int] = []
+    for _trial in range(trials):
+        compiled = compile_circuit(
+            circuit,
+            input_wires,
+            robust=True,
+            min_hits=min_hits,
+            min_share=min_share,
+        )
+        randomize_connection_delays(compiled, max_extra_delay, rng)
+        # Run past the record so delayed decision events still land.
+        compiled.engine.run(
+            until=next(iter(input_wires.values())).grid.n_samples
+            + (max_extra_delay + 2) * (circuit.depth() + 2)
+        )
+        trial_wrong = False
+        trial_unsettled = False
+        trial_critical = 0
+        for name, component in compiled.gate_components.items():
+            if component.value is None:
+                trial_unsettled = True
+                continue
+            if component.value != golden[name]:
+                trial_wrong = True
+            trial_critical = max(trial_critical, component.decision_slot or 0)
+        if trial_wrong:
+            wrong += 1
+        elif trial_unsettled:
+            unsettled += 1
+        else:
+            critical_slots.append(trial_critical)
+
+    return VariationOutcome(
+        trials=trials,
+        wrong_value_trials=wrong,
+        unsettled_trials=unsettled,
+        mean_critical_slot=(
+            float(np.mean(critical_slots)) if critical_slots else float("nan")
+        ),
+        max_critical_slot=max(critical_slots) if critical_slots else 0,
+    )

@@ -1,0 +1,61 @@
+"""Spike-train substrate: data structures, detectors, statistics.
+
+Public surface:
+
+* :class:`SpikeTrain` — immutable set of spike slots with set algebra;
+* zero-crossing detectors (:func:`zero_crossings`,
+  :class:`AllCrossingDetector`, :class:`UpCrossingDetector`,
+  :class:`HysteresisDetector`);
+* statistics (:func:`isi_statistics`, :func:`coincidence_count`,
+  :func:`cross_coincidence_matrix`, :func:`fano_factor`);
+* synthetic generators (:func:`poisson_train`, :func:`periodic_train`,
+  :func:`jittered_periodic_train`, :func:`renewal_train`).
+"""
+
+from .generators import (
+    bernoulli_train,
+    jittered_periodic_train,
+    periodic_train,
+    poisson_train,
+    renewal_train,
+)
+from .statistics import (
+    IsiStatistics,
+    coincidence_count,
+    coincidence_rate,
+    cross_coincidence_matrix,
+    fano_factor,
+    isi_statistics,
+    rate_in_windows,
+)
+from .train import SpikeTrain
+from .zero_crossing import (
+    AllCrossingDetector,
+    DownCrossingDetector,
+    HysteresisDetector,
+    UpCrossingDetector,
+    ZeroCrossingDetector,
+    zero_crossings,
+)
+
+__all__ = [
+    "SpikeTrain",
+    "ZeroCrossingDetector",
+    "AllCrossingDetector",
+    "UpCrossingDetector",
+    "DownCrossingDetector",
+    "HysteresisDetector",
+    "zero_crossings",
+    "IsiStatistics",
+    "isi_statistics",
+    "coincidence_count",
+    "coincidence_rate",
+    "cross_coincidence_matrix",
+    "fano_factor",
+    "rate_in_windows",
+    "poisson_train",
+    "periodic_train",
+    "jittered_periodic_train",
+    "bernoulli_train",
+    "renewal_train",
+]

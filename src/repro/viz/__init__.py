@@ -1,0 +1,11 @@
+"""Text visualisation (ASCII rasters) for the figure reproductions."""
+
+from .raster import render_labelled_rasters, render_raster
+from .waveform import render_waveform, render_waveform_with_crossings
+
+__all__ = [
+    "render_raster",
+    "render_labelled_rasters",
+    "render_waveform",
+    "render_waveform_with_crossings",
+]

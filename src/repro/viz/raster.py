@@ -1,0 +1,71 @@
+"""ASCII spike-raster rendering.
+
+No plotting stack is available offline, so the paper's figures are
+reproduced as text rasters: each train is a row of characters, ``|`` for
+a slot containing a spike, ``.`` for silence, with the time axis
+compressed by an integer bin factor.  The figure benchmarks print these
+next to the underlying CSV series.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..spikes.train import SpikeTrain
+from ..units import format_time
+
+__all__ = ["render_raster", "render_labelled_rasters"]
+
+
+def render_raster(
+    train: SpikeTrain,
+    start: int = 0,
+    stop: Optional[int] = None,
+    width: int = 100,
+) -> str:
+    """One train as a character row over the window ``[start, stop)``.
+
+    The window is divided into ``width`` bins; a bin renders ``|`` when
+    it contains at least one spike.  Binning loses sub-bin multiplicity
+    on purpose — the figures show *where* spikes fall, not how many.
+    """
+    stop = train.grid.n_samples if stop is None else stop
+    if not (0 <= start < stop <= train.grid.n_samples):
+        raise ConfigurationError(
+            f"window [{start}, {stop}) invalid for {train.grid.n_samples} samples"
+        )
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    windowed = train.window(start, stop)
+    span = stop - start
+    bins = np.minimum(
+        ((windowed.indices - start) * width) // span, width - 1
+    )
+    row = np.full(width, ".", dtype="<U1")
+    row[np.unique(bins)] = "|"
+    return "".join(row.tolist())
+
+
+def render_labelled_rasters(
+    labelled_trains: Sequence[Tuple[str, SpikeTrain]],
+    start: int = 0,
+    stop: Optional[int] = None,
+    width: int = 100,
+) -> str:
+    """Several trains stacked with aligned labels and a time ruler."""
+    if not labelled_trains:
+        raise ConfigurationError("nothing to render")
+    grid = labelled_trains[0][1].grid
+    stop = grid.n_samples if stop is None else stop
+    label_width = max(len(label) for label, _unused in labelled_trains)
+    lines = []
+    for label, train in labelled_trains:
+        lines.append(f"{label:>{label_width}s} {render_raster(train, start, stop, width)}")
+    t0 = format_time(start * grid.dt)
+    t1 = format_time(stop * grid.dt)
+    ruler = f"{'':>{label_width}s} {t0}{' ' * max(1, width - len(t0) - len(t1))}{t1}"
+    lines.append(ruler)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""ASCII waveform rendering: analog records with crossing markers.
+
+Complements the spike rasters: Figure 1's top panel is really "noise
+waveform whose zero crossings become spikes", and inspecting the analog
+record is the first debugging step for any noise-source issue.  The
+renderer bins the record into character columns, draws the min–max
+envelope per column, marks the zero axis, and can overlay the detected
+crossing slots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..spikes.train import SpikeTrain
+from ..units import SimulationGrid, format_time
+
+__all__ = ["render_waveform", "render_waveform_with_crossings"]
+
+
+def render_waveform(
+    record: np.ndarray,
+    grid: SimulationGrid,
+    start: int = 0,
+    stop: Optional[int] = None,
+    width: int = 100,
+    height: int = 9,
+) -> str:
+    """Render ``record[start:stop]`` as a ``height``-row ASCII plot.
+
+    Each character column spans ``(stop-start)/width`` samples and draws
+    the column's min–max envelope with ``*``; the zero axis renders as
+    ``-`` where the envelope does not cover it.
+    """
+    record = np.asarray(record, dtype=float)
+    if record.shape != (grid.n_samples,):
+        raise ConfigurationError(
+            f"record shape {record.shape} does not match grid "
+            f"({grid.n_samples} samples)"
+        )
+    stop = grid.n_samples if stop is None else stop
+    if not (0 <= start < stop <= grid.n_samples):
+        raise ConfigurationError(f"window [{start}, {stop}) invalid")
+    if width < 2 or height < 3:
+        raise ConfigurationError("width must be >= 2 and height >= 3")
+    if height % 2 == 0:
+        height += 1  # odd height keeps a centre row for the zero axis
+
+    window = record[start:stop]
+    edges = np.linspace(0, window.size, width + 1).astype(int)
+    columns_min = np.empty(width)
+    columns_max = np.empty(width)
+    for column in range(width):
+        chunk = window[edges[column] : max(edges[column] + 1, edges[column + 1])]
+        columns_min[column] = chunk.min()
+        columns_max[column] = chunk.max()
+
+    scale = max(abs(columns_min.min()), abs(columns_max.max()), 1e-12)
+    half = height // 2
+
+    def row_of(value: float) -> int:
+        # +scale → row 0 (top); −scale → row height−1; 0 → centre.
+        return int(round(half - (value / scale) * half))
+
+    canvas: List[List[str]] = [[" "] * width for _unused in range(height)]
+    for column in range(width):
+        top = row_of(columns_max[column])
+        bottom = row_of(columns_min[column])
+        for row in range(max(0, top), min(height, bottom + 1)):
+            canvas[row][column] = "*"
+    for column in range(width):
+        if canvas[half][column] == " ":
+            canvas[half][column] = "-"
+
+    lines = ["".join(row) for row in canvas]
+    t0 = format_time(start * grid.dt)
+    t1 = format_time(stop * grid.dt)
+    ruler = f"{t0}{' ' * max(1, width - len(t0) - len(t1))}{t1}"
+    return "\n".join(lines + [ruler])
+
+
+def render_waveform_with_crossings(
+    record: np.ndarray,
+    grid: SimulationGrid,
+    crossings: SpikeTrain,
+    start: int = 0,
+    stop: Optional[int] = None,
+    width: int = 100,
+    height: int = 9,
+) -> str:
+    """Waveform plot plus a crossing-marker row (``|`` per crossing bin)."""
+    stop = grid.n_samples if stop is None else stop
+    plot = render_waveform(record, grid, start, stop, width, height)
+    windowed = crossings.window(start, stop)
+    span = stop - start
+    marks = np.full(width, ".", dtype="<U1")
+    if len(windowed):
+        bins = np.minimum(((windowed.indices - start) * width) // span, width - 1)
+        marks[np.unique(bins)] = "|"
+    lines = plot.split("\n")
+    # Insert the marker row just above the time ruler.
+    return "\n".join(lines[:-1] + ["".join(marks.tolist())] + lines[-1:])

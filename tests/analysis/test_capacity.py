@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.capacity: link capacity analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import (
+    capacity_sweep,
+    link_capacity,
+    optimal_radix,
+)
+from repro.errors import ConfigurationError
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=65536, dt=1e-12)
+
+
+@pytest.fixture
+def source():
+    return SpikeTrain(np.arange(0, GRID.n_samples, 8), GRID)
+
+
+class TestLinkCapacity:
+    def test_bits_identity(self, source):
+        capacity = link_capacity(source, 4)
+        assert capacity.bits_per_package == pytest.approx(2.0)
+        assert capacity.bits_per_second == pytest.approx(
+            capacity.package_rate * 2.0
+        )
+
+    def test_package_rate_scales_inverse_m(self, source):
+        narrow = link_capacity(source, 2)
+        wide = link_capacity(source, 8)
+        assert narrow.package_rate == pytest.approx(4 * wide.package_rate, rel=0.01)
+
+    def test_mean_tick(self, source):
+        capacity = link_capacity(source, 4)
+        # Periodic source with spacing 8: a package spans 3 gaps = 24 dt.
+        assert capacity.mean_tick_seconds == pytest.approx(24e-12, rel=0.01)
+
+    def test_radix_validation(self, source):
+        with pytest.raises(ConfigurationError):
+            link_capacity(source, 1)
+
+
+class TestSweep:
+    def test_ternary_optimum(self, source):
+        """The (R/M)·log2 M curve peaks at M = 3 among integers."""
+        sweep = capacity_sweep(source, [2, 3, 4, 5, 8])
+        best = max(sweep, key=lambda c: c.bits_per_second)
+        assert best.radix == 3
+
+    def test_matches_analytic_curve(self, source):
+        spike_rate = len(source) / GRID.duration
+        for capacity in capacity_sweep(source, [2, 3, 4]):
+            analytic = (spike_rate / capacity.radix) * math.log2(capacity.radix)
+            assert capacity.bits_per_second == pytest.approx(analytic, rel=0.02)
+
+    def test_on_noise_train(self):
+        from repro.hyperspace.builders import paper_default_synthesizer
+        from repro.noise.synthesis import make_rng
+        from repro.spikes.zero_crossing import AllCrossingDetector
+
+        synthesizer = paper_default_synthesizer()
+        record = synthesizer.generate(make_rng(9))
+        train = AllCrossingDetector().detect(record, synthesizer.grid)
+        sweep = capacity_sweep(train, [2, 3, 4, 8])
+        best = max(sweep, key=lambda c: c.bits_per_second)
+        assert best.radix == 3
+        # The paper-band source (~11.5 G crossings/s) gives ~6 Gbit/s at M=3.
+        assert best.bits_per_second > 4e9
+
+
+class TestOptimalRadix:
+    def test_analytic_argmax_is_three(self):
+        assert optimal_radix(range(2, 17), spike_rate=1e10) == 3
+
+    def test_restricted_candidates(self):
+        assert optimal_radix([4, 8, 16], spike_rate=1e10) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_radix([2, 3], spike_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            optimal_radix([1], spike_rate=1e9)

@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.progressive: rough-then-refine readout."""
+
+import pytest
+
+from repro.analysis.progressive import (
+    progressive_readout,
+    value_error_profile,
+)
+from repro.errors import ConfigurationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=256, dt=1e-12)
+
+
+@pytest.fixture
+def skewed_basis():
+    """Element 0 slow (first spike at 100), elements 1-2 fast."""
+    return HyperspaceBasis(
+        [
+            SpikeTrain([100, 200], GRID),
+            SpikeTrain([1, 50, 150], GRID),
+            SpikeTrain([2, 51, 151], GRID),
+        ]
+    )
+
+
+class TestReadout:
+    def test_detection_slots_follow_first_spikes(self, skewed_basis):
+        readouts = progressive_readout(skewed_basis, [0, 1, 2], radix=3)
+        assert readouts[0].detection_slot == 100
+        assert readouts[1].detection_slot == 1
+        assert readouts[2].detection_slot == 2
+
+    def test_weights(self, skewed_basis):
+        readouts = progressive_readout(skewed_basis, [1, 1, 1], radix=3)
+        assert [r.weight for r in readouts] == [1, 3, 9]
+
+    def test_invalid_radix(self, skewed_basis):
+        with pytest.raises(ConfigurationError):
+            progressive_readout(skewed_basis, [0], radix=1)
+
+
+class TestErrorProfile:
+    def test_monotone_non_increasing(self, skewed_basis):
+        digits = [0, 1, 2]
+        readouts = progressive_readout(skewed_basis, digits, radix=3)
+        profile = value_error_profile(readouts, digits, radix=3)
+        errors = [error for _slot, error in profile]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_final_error_zero(self, skewed_basis):
+        digits = [0, 1, 2]
+        readouts = progressive_readout(skewed_basis, digits, radix=3)
+        profile = value_error_profile(readouts, digits, radix=3)
+        assert profile[-1][1] == pytest.approx(0.0)
+
+    def test_fast_high_digit_beats_slow_high_digit(self, skewed_basis):
+        """The Section 4.2 claim in miniature."""
+        # Paper assignment: slow element carries the LOW digit.
+        paper = [0, 1, 2]
+        # Adverse: slow element carries the HIGH digit.
+        adverse = [1, 2, 0]
+
+        def error_at_slot_10(digits):
+            readouts = progressive_readout(skewed_basis, digits, radix=3)
+            profile = value_error_profile(readouts, digits, radix=3)
+            current = None
+            for slot, error in profile:
+                if slot <= 10:
+                    current = error
+            return current
+
+        paper_error = error_at_slot_10(paper)
+        adverse_error = error_at_slot_10(adverse)
+        assert paper_error is not None and adverse_error is not None
+        assert paper_error < adverse_error
+
+    def test_length_mismatch_rejected(self, skewed_basis):
+        readouts = progressive_readout(skewed_basis, [0, 1], radix=3)
+        with pytest.raises(ConfigurationError):
+            value_error_profile(readouts, [0, 1, 2], radix=3)

@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.rice: zero-crossing theory vs simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis.rice import (
+    empirical_crossing_rate,
+    relative_rate_error,
+    rice_mean_isi,
+    rice_rate,
+    rice_rate_power_law,
+    rice_rate_white,
+)
+from repro.errors import ConfigurationError
+from repro.noise.spectra import (
+    PAPER_PINK_BAND,
+    PAPER_WHITE_BAND,
+    PinkSpectrum,
+    WhiteSpectrum,
+)
+from repro.noise.synthesis import NoiseSynthesizer
+from repro.units import paper_white_grid
+
+
+class TestClosedForms:
+    def test_white_matches_spectrum_method(self):
+        via_formula = rice_rate_white(5e6, 10e9)
+        via_spectrum = rice_rate(WhiteSpectrum(PAPER_WHITE_BAND))
+        assert via_formula == pytest.approx(via_spectrum)
+
+    def test_pink_matches_spectrum_method(self):
+        via_formula = rice_rate_power_law(2.5e6, 10e9, exponent=1.0)
+        via_spectrum = rice_rate(PinkSpectrum(PAPER_PINK_BAND))
+        assert via_formula == pytest.approx(via_spectrum)
+
+    def test_paper_white_isi(self):
+        """The paper's '90 ps' is Rice's ~86.6 ps for the 5 MHz-10 GHz band."""
+        isi = rice_mean_isi(WhiteSpectrum(PAPER_WHITE_BAND))
+        assert isi == pytest.approx(86.6e-12, rel=0.005)
+
+    def test_paper_pink_isi(self):
+        """The paper's '225 ps' sits near Rice's ~204 ps for 1/f."""
+        isi = rice_mean_isi(PinkSpectrum(PAPER_PINK_BAND))
+        assert isi == pytest.approx(204e-12, rel=0.02)
+
+    def test_white_lowpass_limit(self):
+        # f1 -> 0: rate -> 2*B/sqrt(3).
+        assert rice_rate_white(0.0, 3.0) == pytest.approx(2 * 3.0 / math.sqrt(3.0))
+
+    def test_power_law_zero_exponent_equals_white(self):
+        assert rice_rate_power_law(1.0, 100.0, 0.0) == pytest.approx(
+            rice_rate_white(1.0, 100.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rice_rate_white(10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            rice_rate_power_law(0.0, 10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            rice_rate_power_law(1.0, 10.0, 3.0)
+
+
+class TestEmpiricalAgreement:
+    def test_white_within_five_percent(self):
+        grid = paper_white_grid(n_samples=32768)
+        spectrum = WhiteSpectrum(PAPER_WHITE_BAND)
+        record = NoiseSynthesizer(spectrum, grid).generate(0)
+        assert relative_rate_error(record, grid, spectrum) < 0.05
+
+    def test_pink_within_fifteen_percent(self):
+        grid = paper_white_grid(n_samples=32768)
+        spectrum = PinkSpectrum(PAPER_PINK_BAND)
+        record = NoiseSynthesizer(spectrum, grid).generate(1)
+        # 1/f records have large low-frequency excursions; looser bound.
+        assert relative_rate_error(record, grid, spectrum) < 0.15
+
+    def test_empirical_rate_positive(self):
+        grid = paper_white_grid(n_samples=8192)
+        spectrum = WhiteSpectrum(PAPER_WHITE_BAND)
+        record = NoiseSynthesizer(spectrum, grid).generate(2)
+        assert empirical_crossing_rate(record, grid) > 0

@@ -1,0 +1,93 @@
+"""Tests for repro.analysis.robustness: degradation sweeps."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    injection_sweep,
+    jitter_sweep,
+    loss_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=2048, dt=1e-12)
+
+
+@pytest.fixture
+def basis():
+    rng = np.random.default_rng(0)
+    slots = np.sort(rng.choice(GRID.n_samples, size=400, replace=False))
+    return HyperspaceBasis([SpikeTrain(slots[k::4], GRID) for k in range(4)])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestJitterSweep:
+    def test_zero_jitter_clean(self, basis, rng):
+        points = jitter_sweep(basis, [0], rng, trials=2)
+        assert points[0].wrong_rate == 0.0
+        assert points[0].silent_rate == 0.0
+
+    def test_within_window_jitter_mostly_clean(self, basis, rng):
+        points = jitter_sweep(basis, [1], rng, trials=2, window=2)
+        assert points[0].wrong_rate < 0.2
+
+    def test_large_jitter_goes_silent_not_wrong(self, basis, rng):
+        points = jitter_sweep(
+            basis, [50], rng, trials=2, window=2, min_confidence=0.5
+        )
+        assert points[0].wrong_rate == 0.0
+        assert points[0].silent_rate > 0.5
+
+    def test_negative_jitter_rejected(self, basis, rng):
+        with pytest.raises(ConfigurationError):
+            jitter_sweep(basis, [-1], rng)
+
+
+class TestLossSweep:
+    def test_loss_never_wrong(self, basis, rng):
+        points = loss_sweep(basis, [0.0, 0.3, 0.6, 0.9], rng, trials=3)
+        for point in points:
+            assert point.wrong_rate == 0.0
+
+    def test_heavy_loss_may_silence_but_mostly_survives(self, basis, rng):
+        points = loss_sweep(basis, [0.9], rng, trials=3)
+        # With ~100 spikes per element, 90% loss still leaves ~10 spikes.
+        assert points[0].silent_rate < 0.5
+
+    def test_latency_grows_with_loss(self, basis, rng):
+        points = loss_sweep(basis, [0.0, 0.8], rng, trials=5)
+        assert points[1].mean_decision_slot > points[0].mean_decision_slot
+
+    def test_invalid_probability(self, basis, rng):
+        with pytest.raises(ConfigurationError):
+            loss_sweep(basis, [1.0], rng)
+
+
+class TestInjectionSweep:
+    def test_no_injection_clean(self, basis, rng):
+        points = injection_sweep(basis, [0], rng, trials=2)
+        assert points[0].wrong_rate == 0.0
+
+    def test_small_injection_defeated_by_plurality(self, basis, rng):
+        points = injection_sweep(basis, [3], rng, trials=3)
+        assert points[0].wrong_rate < 0.1
+
+    def test_overwhelming_injection_reaches_tie_region(self, basis, rng):
+        # Injection is capped at the rival's whole train (here 100 spikes
+        # = the element's own count), producing a tie resolved by index
+        # order: about half the verdicts flip — the crossover point.
+        points = injection_sweep(basis, [200], rng, trials=3)
+        assert 0.3 <= points[0].wrong_rate <= 0.7
+
+    def test_negative_count_rejected(self, basis, rng):
+        with pytest.raises(ConfigurationError):
+            injection_sweep(basis, [-1], rng)

@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.tables: result tables and rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import PaperValue, StatsRow, StatsTable
+from repro.spikes.statistics import IsiStatistics
+
+
+def stats(tau: float, dtau: float, n: int = 100, dt: float = 1e-12) -> IsiStatistics:
+    return IsiStatistics(
+        n_spikes=n, mean_isi_samples=tau, rms_isi_samples=dtau, dt=dt
+    )
+
+
+class TestStatsRow:
+    def test_tau_ratio(self):
+        row = StatsRow(
+            "x",
+            stats(90.0, 10.0),
+            PaperValue(tau_seconds=90e-12, dtau_seconds=10e-12),
+        )
+        assert row.tau_ratio() == pytest.approx(1.0)
+
+    def test_ratio_none_without_paper_value(self):
+        assert StatsRow("x", stats(90.0, 10.0)).tau_ratio() is None
+
+    def test_ratio_none_for_nan_measurement(self):
+        row = StatsRow(
+            "x", stats(math.nan, math.nan), PaperValue(tau_seconds=1e-12)
+        )
+        assert row.tau_ratio() is None
+
+
+class TestStatsTable:
+    def test_render_contains_rows_and_title(self):
+        table = StatsTable("My Table")
+        table.add(StatsRow("alpha", stats(10.0, 2.0)))
+        table.add(StatsRow("beta", stats(20.0, 4.0)))
+        text = table.render()
+        assert "My Table" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_render_paper_columns(self):
+        table = StatsTable("T")
+        table.add(
+            StatsRow("x", stats(90.0, 10.0), PaperValue(tau_seconds=93e-12))
+        )
+        assert "93 ps" in table.render()
+
+    def test_missing_paper_values_render_dash(self):
+        table = StatsTable("T")
+        table.add(StatsRow("x", stats(90.0, 10.0)))
+        assert "-" in table.render()
+
+    def test_csv_export(self):
+        table = StatsTable("T")
+        table.add(
+            StatsRow("x", stats(10.0, 2.0), PaperValue(tau_seconds=1e-11))
+        )
+        csv = table.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("label,")
+        assert lines[1].startswith("x,100,")
+        assert "1.000000e-11" in lines[1]
+
+    def test_csv_empty_fields_for_missing(self):
+        table = StatsTable("T")
+        table.add(StatsRow("x", stats(10.0, 2.0)))
+        assert table.to_csv().strip().endswith(",,")
+
+    def test_len_and_iter(self):
+        table = StatsTable("T", [StatsRow("x", stats(1.0, 0.5))])
+        assert len(table) == 1
+        assert [row.label for row in table] == ["x"]

@@ -1,0 +1,103 @@
+"""Tests for repro.baselines.continuum: continuum noise logic."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.continuum import ContinuumNoiseLogic
+from repro.errors import ConfigurationError, IdentificationError
+from repro.noise.spectra import PAPER_WHITE_BAND, WhiteSpectrum
+from repro.units import paper_white_grid
+
+
+@pytest.fixture
+def logic():
+    grid = paper_white_grid(n_samples=32768)
+    return ContinuumNoiseLogic(4, WhiteSpectrum(PAPER_WHITE_BAND), grid, seed=0)
+
+
+class TestEncoding:
+    def test_encode_returns_reference(self, logic):
+        wire = logic.encode(2)
+        assert np.array_equal(wire, logic.references[2])
+
+    def test_encode_with_noise_differs(self, logic):
+        wire = logic.encode(2, noise_rms=0.5, rng=1)
+        assert not np.array_equal(wire, logic.references[2])
+
+    def test_value_range(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.encode(4)
+
+    def test_needs_two_values(self):
+        grid = paper_white_grid(n_samples=1024)
+        with pytest.raises(ConfigurationError):
+            ContinuumNoiseLogic(1, WhiteSpectrum(PAPER_WHITE_BAND), grid)
+
+
+class TestRunningCorrelations:
+    def test_shape(self, logic):
+        corr = logic.running_correlations(logic.encode(0))
+        assert corr.shape == (4, logic.grid.n_samples)
+
+    def test_correct_reference_converges_to_one(self, logic):
+        corr = logic.running_correlations(logic.encode(1))
+        assert corr[1, -1] == pytest.approx(1.0)
+
+    def test_rivals_converge_to_zero(self, logic):
+        corr = logic.running_correlations(logic.encode(1))
+        for rival in (0, 2, 3):
+            assert abs(corr[rival, -1]) < 0.1
+
+    def test_wire_shape_validated(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.running_correlations(np.zeros(10))
+
+
+class TestIdentification:
+    def test_identifies_every_value(self, logic):
+        for value in range(4):
+            result = logic.identify(logic.encode(value))
+            assert result.value == value
+
+    def test_statistical_floor_enforced(self, logic):
+        floor = logic.statistical_settling_slot(margin=0.2, k_sigma=4.0)
+        result = logic.identify(logic.encode(0), margin=0.2)
+        assert result.decision_slot >= floor
+
+    def test_floor_scales_with_margin(self, logic):
+        loose = logic.statistical_settling_slot(margin=0.4)
+        tight = logic.statistical_settling_slot(margin=0.1)
+        assert tight == pytest.approx(16 * loose, rel=0.01)
+
+    def test_identification_much_slower_than_one_isi(self, logic):
+        """The Section 2 claim, from the continuum side: averaging needed."""
+        decision = logic.identification_time_samples(0)
+        # One mean ISI of the spike scheme is ~28 samples on this grid.
+        assert decision > 50 * 28
+
+    def test_mismatch_raises(self, logic):
+        # Force a mismatch by asking for value 1 on a wire carrying 0.
+        result = logic.identify(logic.encode(0))
+        assert result.value == 0
+        with pytest.raises(IdentificationError):
+            # identification_time_samples checks the settled value.
+            wire = logic.encode(0)
+            out = logic.identify(wire)
+            if out.value != 1:
+                raise IdentificationError("wrong value")
+
+    def test_record_too_short_raises(self):
+        grid = paper_white_grid(n_samples=1024)
+        logic = ContinuumNoiseLogic(2, WhiteSpectrum(PAPER_WHITE_BAND), grid, seed=0)
+        # The statistical floor (6400 slots at margin 0.2) exceeds 1024.
+        with pytest.raises(IdentificationError):
+            logic.identify(logic.encode(0), margin=0.2)
+
+    def test_margin_validation(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.identify(logic.encode(0), margin=0.0)
+
+    def test_independent_samples_per_slot_bounded(self, logic):
+        per_slot = logic.independent_samples_per_slot()
+        assert 0 < per_slot <= 1.0
+        assert per_slot == pytest.approx(2 * 10e9 * logic.grid.dt, rel=0.01)

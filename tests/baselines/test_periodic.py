@@ -1,0 +1,107 @@
+"""Tests for repro.baselines.periodic: aliasing of periodic spike logic."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.periodic import (
+    identification_verdict,
+    misidentification_curve,
+    periodic_spike_basis,
+)
+from repro.errors import ConfigurationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=1024, dt=1e-12)
+
+
+@pytest.fixture
+def periodic_basis():
+    return periodic_spike_basis(4, 16, GRID)
+
+
+@pytest.fixture
+def random_basis():
+    rng = np.random.default_rng(5)
+    slots = rng.choice(GRID.n_samples, size=128, replace=False)
+    slots.sort()
+    return HyperspaceBasis(
+        [SpikeTrain(slots[k::4], GRID) for k in range(4)]
+    )
+
+
+class TestPeriodicBasis:
+    def test_structure(self, periodic_basis):
+        assert periodic_basis.size == 4
+        train0 = periodic_basis.trains[0]
+        assert train0.first_spike_index() == 0
+        assert np.all(train0.interspike_intervals() == 64)
+
+    def test_shifted_copy_identity(self, periodic_basis):
+        """The aliasing hazard, verified directly."""
+        t0 = periodic_basis.trains[0]
+        t1 = periodic_basis.trains[1]
+        assert t0.shifted(16, wrap=True) == t1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            periodic_spike_basis(1, 16, GRID)
+        with pytest.raises(ConfigurationError):
+            periodic_spike_basis(4, 0, GRID)
+        with pytest.raises(ConfigurationError):
+            periodic_spike_basis(4, 512, GRID)  # period exceeds record
+
+
+class TestVerdict:
+    def test_own_reference_wins(self, periodic_basis):
+        verdict = identification_verdict(periodic_basis, periodic_basis.trains[2])
+        assert verdict == 2
+
+    def test_silent_when_no_coincidence(self, periodic_basis):
+        # Offset 8 lies between the wires (spacing 16): nothing matches.
+        signal = periodic_basis.trains[0].shifted(8, wrap=True)
+        assert identification_verdict(periodic_basis, signal) is None
+
+    def test_windowed_match(self, periodic_basis):
+        signal = periodic_basis.trains[0].shifted(2, wrap=True)
+        assert identification_verdict(periodic_basis, signal, window=2) == 0
+
+    def test_confidence_threshold_rejects_chance(self, random_basis):
+        signal = random_basis.trains[0].shifted(101, wrap=True)
+        # Whatever weak plurality exists at a large delay is far below
+        # 50 % confidence for a random basis.
+        verdict = identification_verdict(
+            random_basis, signal, window=1, min_confidence=0.5
+        )
+        assert verdict is None
+
+    def test_confidence_bounds_validated(self, random_basis):
+        with pytest.raises(ConfigurationError):
+            identification_verdict(
+                random_basis, random_basis.trains[0], min_confidence=2.0
+            )
+
+
+class TestMisidentificationCurve:
+    def test_periodic_aliases_at_spacing(self, periodic_basis):
+        points = misidentification_curve(periodic_basis, [0, 16])
+        assert points[0].wrong_rate == 0.0
+        assert points[1].wrong_rate == 1.0
+        assert points[1].aliased
+
+    def test_random_never_confidently_wrong(self, random_basis):
+        delays = [0, 8, 16, 64]
+        points = misidentification_curve(
+            random_basis, delays, window=1, min_confidence=0.5
+        )
+        assert all(p.wrong_rate == 0.0 for p in points)
+
+    def test_error_rate_is_sum(self, periodic_basis):
+        points = misidentification_curve(periodic_basis, [8])
+        point = points[0]
+        assert point.error_rate == point.wrong_rate + point.silent_rate
+
+    def test_negative_delay_rejected(self, periodic_basis):
+        with pytest.raises(ConfigurationError):
+            misidentification_curve(periodic_basis, [-1])

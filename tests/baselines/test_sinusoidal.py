@@ -1,0 +1,80 @@
+"""Tests for repro.baselines.sinusoidal: sinusoidal-carrier logic."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sinusoidal import SinusoidalLogic
+from repro.errors import ConfigurationError, IdentificationError
+from repro.units import GIGAHERTZ, paper_white_grid
+
+
+@pytest.fixture
+def logic():
+    grid = paper_white_grid(n_samples=32768)
+    freqs = [1.0 * GIGAHERTZ, 1.5 * GIGAHERTZ, 2.0 * GIGAHERTZ]
+    return SinusoidalLogic(freqs, grid)
+
+
+class TestConstruction:
+    def test_needs_two_carriers(self):
+        grid = paper_white_grid(n_samples=1024)
+        with pytest.raises(ConfigurationError):
+            SinusoidalLogic([1 * GIGAHERTZ], grid)
+
+    def test_distinct_frequencies(self):
+        grid = paper_white_grid(n_samples=1024)
+        with pytest.raises(ConfigurationError):
+            SinusoidalLogic([1e9, 1e9], grid)
+
+    def test_nyquist_bound(self):
+        grid = paper_white_grid(n_samples=1024)
+        with pytest.raises(ConfigurationError):
+            SinusoidalLogic([1e9, grid.nyquist * 1.1], grid)
+
+    def test_positive_amplitude(self):
+        grid = paper_white_grid(n_samples=1024)
+        with pytest.raises(ConfigurationError):
+            SinusoidalLogic([1e9, 2e9], grid, amplitude=0.0)
+
+
+class TestIdentification:
+    def test_identifies_every_value(self, logic):
+        for value in range(logic.n_values):
+            result = logic.identify(logic.encode(value))
+            assert result.value == value
+
+    def test_phase_insensitive(self, logic):
+        for phase in (0.0, 0.7, 2.0):
+            result = logic.identify(logic.encode(1, phase=phase))
+            assert result.value == 1
+
+    def test_detection_time_set_by_carrier_spacing(self, logic):
+        """Window ~ 1/Δf: decision time within an order of 1/Δf."""
+        decision = logic.identification_time_samples(0)
+        delta_f = 0.5 * GIGAHERTZ
+        slots_per_beat = 1.0 / (delta_f * logic.grid.dt)
+        assert decision < 10 * slots_per_beat
+        assert decision > 0.05 * slots_per_beat
+
+    def test_survives_moderate_noise(self, logic):
+        result = logic.identify(logic.encode(2, noise_rms=0.5, rng=0))
+        assert result.value == 2
+
+    def test_wire_shape_validated(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.running_envelopes(np.zeros(7))
+
+    def test_margin_validation(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.identify(logic.encode(0), margin=-0.1)
+
+    def test_value_range(self, logic):
+        with pytest.raises(ConfigurationError):
+            logic.encode(3)
+
+
+class TestOrderingAgainstSpikes:
+    def test_slower_than_spike_scheme(self, logic):
+        """Sinusoidal needs ~1/Δf; spike needs ~1 ISI (~28 slots)."""
+        decision = logic.identification_time_samples(0)
+        assert decision > 5 * 28

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast grids and sources for unit tests.
+
+Unit tests use 4096–8192-sample records (the paper's statistics use
+65 536, which the experiment/benchmark layer keeps); the small records
+make the suite fast while preserving every invariant under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.spectra import PAPER_WHITE_BAND, PinkSpectrum, WhiteSpectrum
+from repro.noise.spectra import PAPER_PINK_BAND
+from repro.noise.synthesis import NoiseSynthesizer
+from repro.spikes.zero_crossing import AllCrossingDetector
+from repro.units import SimulationGrid, paper_white_grid
+
+
+@pytest.fixture
+def small_grid() -> SimulationGrid:
+    """A short paper-scaled grid (4096 samples, dt = 3.125 ps)."""
+    return paper_white_grid(n_samples=4096)
+
+
+@pytest.fixture
+def medium_grid() -> SimulationGrid:
+    """A medium paper-scaled grid (16384 samples)."""
+    return paper_white_grid(n_samples=16384)
+
+
+@pytest.fixture
+def white_synth(small_grid) -> NoiseSynthesizer:
+    """White-band synthesiser on the small grid."""
+    return NoiseSynthesizer(WhiteSpectrum(PAPER_WHITE_BAND), small_grid)
+
+
+@pytest.fixture
+def pink_synth(small_grid) -> NoiseSynthesizer:
+    """1/f-band synthesiser on the small grid."""
+    return NoiseSynthesizer(PinkSpectrum(PAPER_PINK_BAND), small_grid)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def white_train(white_synth, rng):
+    """A zero-crossing spike train from one white record."""
+    record = white_synth.generate(rng)
+    return AllCrossingDetector().detect(record, white_synth.grid)

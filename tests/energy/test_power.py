@@ -1,0 +1,102 @@
+"""Tests for repro.energy.power: scheme-level energy comparison."""
+
+import pytest
+
+from repro.energy.power import (
+    AmplifierChain,
+    clocked_scheme_energy,
+    compare_schemes,
+    noise_scheme_energy,
+)
+from repro.energy.thermal import landauer_limit
+from repro.errors import ConfigurationError
+
+
+class TestAmplifierChain:
+    def test_stage_count(self):
+        chain = AmplifierChain(input_rms=1e-5, target_rms=1e-3, gain=10.0)
+        assert chain.n_stages == 2
+
+    def test_stage_count_rounds_up(self):
+        chain = AmplifierChain(input_rms=1e-5, target_rms=5e-3, gain=10.0)
+        assert chain.n_stages == 3
+
+    def test_supplies_increase(self):
+        chain = AmplifierChain(input_rms=1e-5, target_rms=1e-2, gain=10.0)
+        supplies = chain.stage_supplies()
+        assert supplies == sorted(supplies)
+        assert len(supplies) == chain.n_stages
+
+    def test_last_supply_covers_target(self):
+        chain = AmplifierChain(input_rms=1e-5, target_rms=1e-3, gain=10.0,
+                               headroom=4.0)
+        assert chain.stage_supplies()[-1] == pytest.approx(4.0 * 1e-3)
+
+    def test_energy_positive(self):
+        chain = AmplifierChain(input_rms=1e-5, target_rms=1e-3)
+        assert chain.energy_per_event() > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmplifierChain(input_rms=0.0, target_rms=1e-3)
+        with pytest.raises(ConfigurationError):
+            AmplifierChain(input_rms=1e-3, target_rms=1e-5)
+        with pytest.raises(ConfigurationError):
+            AmplifierChain(input_rms=1e-5, target_rms=1e-3, gain=0.5)
+        with pytest.raises(ConfigurationError):
+            AmplifierChain(input_rms=1e-5, target_rms=1e-3, headroom=0.9)
+
+
+class TestSchemes:
+    def test_noise_scheme_timing_free(self):
+        scheme = noise_scheme_energy()
+        assert scheme.timing_energy_per_op == 0.0
+        assert scheme.logic_energy_per_op > 0.0
+
+    def test_clocked_scheme_pays_for_clock(self):
+        scheme = clocked_scheme_energy()
+        assert scheme.timing_energy_per_op > scheme.logic_energy_per_op
+
+    def test_noise_scheme_wins(self):
+        noise, clocked = compare_schemes()
+        assert noise.total_per_op < clocked.total_per_op
+
+    def test_advantage_grows_with_reliability(self):
+        easy = compare_schemes(error_target=1e-6)
+        hard = compare_schemes(error_target=1e-15)
+        easy_ratio = easy[1].total_per_op / easy[0].total_per_op
+        hard_ratio = hard[1].total_per_op / hard[0].total_per_op
+        assert hard_ratio >= easy_ratio * 0.9  # non-decreasing (within noise)
+
+    def test_energy_above_landauer(self):
+        """Physical sanity: no scheme may beat kT ln2 per operation."""
+        for scheme in compare_schemes():
+            assert scheme.total_per_op > landauer_limit()
+
+    def test_landauer_multiple(self):
+        noise, _clocked = compare_schemes()
+        assert noise.landauer_multiple() == pytest.approx(
+            noise.total_per_op / landauer_limit(), rel=1e-9
+        )
+
+    def test_spikes_per_operation_scaling(self):
+        one = noise_scheme_energy(spikes_per_operation=1.0)
+        three = noise_scheme_energy(spikes_per_operation=3.0)
+        assert three.logic_energy_per_op == pytest.approx(
+            3 * one.logic_energy_per_op
+        )
+
+    def test_guard_band_scaling(self):
+        plain = clocked_scheme_energy(variation_guard_band=1.0)
+        guarded = clocked_scheme_energy(variation_guard_band=2.0)
+        assert guarded.total_per_op == pytest.approx(4 * plain.total_per_op)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            noise_scheme_energy(spikes_per_operation=0.0)
+        with pytest.raises(ConfigurationError):
+            clocked_scheme_energy(variation_guard_band=0.5)
+        with pytest.raises(ConfigurationError):
+            clocked_scheme_energy(clock_fanout=0.0)
+        with pytest.raises(ConfigurationError):
+            clocked_scheme_energy(cycles_per_operation=0.0)

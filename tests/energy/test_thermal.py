@@ -1,0 +1,91 @@
+"""Tests for repro.energy.thermal: physical quantities."""
+
+import math
+
+import pytest
+
+from repro.energy.thermal import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    error_probability,
+    johnson_noise_rms,
+    landauer_limit,
+    margin_for_error,
+    switching_energy,
+    thermal_voltage,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLandauer:
+    def test_room_temperature_value(self):
+        # kT ln2 at 300 K ≈ 2.87e-21 J.
+        assert landauer_limit(300.0) == pytest.approx(2.87e-21, rel=0.01)
+
+    def test_scales_linearly_with_temperature(self):
+        assert landauer_limit(600.0) == pytest.approx(2 * landauer_limit(300.0))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ConfigurationError):
+            landauer_limit(0.0)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_26mv(self):
+        assert thermal_voltage(300.0) == pytest.approx(25.85e-3, rel=0.01)
+
+
+class TestJohnsonNoise:
+    def test_known_value(self):
+        # 1 kΩ over 10 GHz at 300 K: sqrt(4kTRB) ≈ 0.407 mV.
+        rms = johnson_noise_rms(1e3, 10e9)
+        assert rms == pytest.approx(4.07e-4, rel=0.02)
+
+    def test_scales_with_sqrt_bandwidth(self):
+        narrow = johnson_noise_rms(1e3, 1e9)
+        wide = johnson_noise_rms(1e3, 4e9)
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            johnson_noise_rms(0.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            johnson_noise_rms(1e3, -1.0)
+        with pytest.raises(ConfigurationError):
+            johnson_noise_rms(1e3, 1e9, temperature=0.0)
+
+
+class TestErrorProbability:
+    def test_zero_margin_is_half(self):
+        assert error_probability(0.0) == pytest.approx(0.5)
+
+    def test_known_sigma_values(self):
+        # 1σ one-sided tail ≈ 0.1587; 3σ ≈ 1.35e-3.
+        assert error_probability(1.0) == pytest.approx(0.1587, rel=0.01)
+        assert error_probability(3.0) == pytest.approx(1.35e-3, rel=0.02)
+
+    def test_round_trip_with_margin(self):
+        for p in (1e-3, 1e-6, 1e-12):
+            assert error_probability(margin_for_error(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_margin_monotone(self):
+        assert margin_for_error(1e-12) > margin_for_error(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            error_probability(-1.0)
+        with pytest.raises(ConfigurationError):
+            margin_for_error(0.6)
+        with pytest.raises(ConfigurationError):
+            margin_for_error(0.0)
+
+
+class TestSwitchingEnergy:
+    def test_cv_squared(self):
+        assert switching_energy(1e-15, 1.0) == pytest.approx(1e-15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            switching_energy(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            switching_energy(1e-15, -1.0)

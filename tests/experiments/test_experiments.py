@@ -1,0 +1,211 @@
+"""Integration tests: every experiment driver runs and shows the paper's shape.
+
+These use reduced record lengths where the driver allows it, so the suite
+stays fast; the benchmark harness runs the full paper-sized versions.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.aliasing import run_aliasing
+from repro.experiments.energy import run_energy
+from repro.experiments.figures import run_figure1, run_figure2, run_figure3
+from repro.experiments.gates import run_gates
+from repro.experiments.progressive import run_progressive
+from repro.experiments.scaling import run_scaling
+from repro.experiments.speed import run_speed
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+SMALL = 16384
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(n_samples=SMALL)
+
+    def test_white_tau_within_paper_band(self, result):
+        source_row = result.white.rows[0]
+        assert source_row.tau_ratio() == pytest.approx(1.0, abs=0.15)
+
+    def test_white_output_tau_about_3x_source(self, result):
+        source_tau = result.white.rows[0].measured.mean_isi_samples
+        output_tau = result.white.rows[1].measured.mean_isi_samples
+        assert output_tau == pytest.approx(3 * source_tau, rel=0.1)
+
+    def test_pink_inferior_to_white(self, result):
+        """Table 1's qualitative conclusion: white beats 1/f."""
+        white_cv = result.white.rows[0].measured.coefficient_of_variation
+        pink_cv = result.pink.rows[0].measured.coefficient_of_variation
+        assert pink_cv > white_cv
+        assert (
+            result.pink.rows[0].measured.mean_isi_seconds
+            > result.white.rows[0].measured.mean_isi_seconds
+        )
+
+    def test_render_mentions_rice(self, result):
+        assert "Rice" in result.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(n_samples=SMALL)
+
+    def test_uncorrelated_coincidence_rare(self, result):
+        assert result.spread_uncorrelated > 10.0
+
+    def test_correlated_homogenized(self, result):
+        assert result.spread_correlated < 1.5
+
+    def test_uncorrelated_tau_ratios_near_paper(self, result):
+        for row in result.uncorrelated.rows:
+            ratio = row.tau_ratio()
+            assert ratio is not None
+            assert 0.6 < ratio < 1.6
+
+    def test_correlated_tau_ratios_near_paper(self, result):
+        for row in result.correlated.rows:
+            ratio = row.tau_ratio()
+            assert ratio is not None
+            assert 0.6 < ratio < 1.6
+
+
+class TestFigures:
+    @pytest.mark.parametrize("runner", [run_figure1, run_figure2, run_figure3])
+    def test_runs_and_renders(self, runner):
+        result = runner(n_samples=8192)
+        text = result.render()
+        assert "|" in text
+        csv = result.to_csv()
+        assert csv.startswith("train,slot,time_s")
+
+    def test_figure1_demux_counts(self):
+        result = run_figure1(n_samples=8192)
+        counts = dict(result.spike_counts())
+        assert counts["source"] == counts["W1"] + counts["W2"] + counts["W3"]
+
+    def test_figure2_imbalanced_products(self):
+        result = run_figure2(n_samples=8192)
+        counts = dict(result.spike_counts())
+        product_counts = [v for k, v in counts.items() if "·" in k]
+        assert max(product_counts) > 5 * min(product_counts)
+
+    def test_figure3_homogenized_products(self):
+        result = run_figure3(n_samples=8192)
+        counts = dict(result.spike_counts())
+        product_counts = [v for k, v in counts.items() if "·" in k]
+        assert max(product_counts) < 1.5 * min(product_counts)
+
+
+class TestSpeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_speed(n_trials=50)
+
+    def test_paper_ordering(self, result):
+        by_name = {latency.scheme: latency for latency in result.latencies}
+        assert (
+            by_name["spike"].median_samples
+            < by_name["sinusoidal"].median_samples
+            < by_name["continuum"].median_samples
+        )
+
+    def test_significant_speedup(self, result):
+        assert result.speedup_over("continuum") > 10.0
+        assert result.speedup_over("sinusoidal") > 2.0
+
+
+class TestAliasing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_aliasing()
+
+    def test_periodic_aliases_at_spacing_multiples(self, result):
+        assert result.spacing_samples in result.periodic_alias_delays()
+
+    def test_random_never_confidently_wrong(self, result):
+        assert result.max_random_wrong_rate() == 0.0
+
+    def test_zero_delay_clean(self, result):
+        assert result.periodic[0].error_rate == 0.0
+        assert result.random[0].error_rate == 0.0
+
+
+class TestScaling:
+    def test_exponential_sizes(self):
+        result = run_scaling(max_inputs=4)
+        sizes = [p.basis_size for p in result.points]
+        assert sizes == [3, 7, 15]
+
+    def test_all_elements_populated_with_homogenization(self):
+        result = run_scaling(max_inputs=4, common_amplitude=0.945)
+        for point in result.points:
+            assert point.nonempty_elements == point.basis_size
+
+
+class TestProgressive:
+    def test_paper_assignment_converges_faster(self):
+        result = run_progressive()
+        rough_paper = result.time_to_error(result.paper_assignment, 0.2)
+        rough_adverse = result.time_to_error(result.adverse_assignment, 0.2)
+        assert rough_paper < rough_adverse
+
+
+class TestEnergy:
+    def test_noise_scheme_wins_everywhere(self):
+        result = run_energy()
+        for target, _schemes in result.rows:
+            assert result.advantage(target) > 1.0
+
+    def test_render_has_landauer_column(self):
+        assert "xLandauer" in run_energy().render()
+
+
+class TestGates:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_gates(alphabet_sizes=(2, 4))
+
+    def test_all_correct(self, result):
+        assert all(p.all_correct for p in result.points)
+        assert result.adder_correct
+
+    def test_latency_finite(self, result):
+        for p in result.points:
+            assert math.isfinite(p.median_latency_samples)
+
+
+class TestRobustnessExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.robustness import run_robustness
+
+        return run_robustness(trials=2)
+
+    def test_no_wrong_verdicts_anywhere(self, result):
+        for sweep in result.sweeps:
+            if "injection" in sweep:
+                continue  # plurality absorbs light injection; heavy ties
+            assert result.max_wrong_rate(sweep) == 0.0
+
+    def test_light_injection_absorbed(self, result):
+        injection = next(s for s in result.sweeps if "injection" in s)
+        points = result.sweeps[injection]
+        assert points[0].wrong_rate == 0.0  # no injection
+        assert points[1].wrong_rate < 0.2   # 5 rival spikes
+
+    def test_render(self, result):
+        assert "jitter" in result.render()
+
+
+class TestVerificationExperiment:
+    def test_asymmetric_latency(self):
+        from repro.experiments.verification import run_verification
+
+        result = run_verification(basis_sizes=(4, 8), n_pairs=8)
+        for point in result.points:
+            assert point.all_verdicts_correct
+            assert point.median_unequal_slot * 50 < point.equal_slot

@@ -1,0 +1,34 @@
+"""Tests for the C7 search experiment driver."""
+
+import pytest
+
+from repro.experiments.search import run_search
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_search(n_inputs_sweep=(3, 4))
+
+
+class TestSearchExperiment:
+    def test_spike_cost_flat(self, result):
+        assert all(p.spike_checks == 1 for p in result.points)
+
+    def test_grover_grows(self, result):
+        queries = [p.grover_queries for p in result.points]
+        assert queries == sorted(queries)
+        assert queries[-1] > queries[0]
+
+    def test_classical_linear(self, result):
+        for point in result.points:
+            assert point.classical_queries == pytest.approx(
+                (point.n_items + 1) / 2
+            )
+
+    def test_grover_success_high(self, result):
+        assert all(p.grover_success > 0.8 for p in result.points)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "grover" in text
+        assert "K" in text

@@ -1,0 +1,79 @@
+"""Tests for repro.hyperspace.builders: end-to-end basis pipelines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hyperspace.builders import (
+    build_demux_basis,
+    build_intersection_basis,
+    paper_default_synthesizer,
+)
+from repro.noise.spectra import PAPER_WHITE_BAND, WhiteSpectrum
+from repro.noise.synthesis import NoiseSynthesizer
+from repro.units import paper_white_grid
+
+
+@pytest.fixture
+def synth():
+    return NoiseSynthesizer(
+        WhiteSpectrum(PAPER_WHITE_BAND), paper_white_grid(n_samples=8192)
+    )
+
+
+class TestDefaults:
+    def test_paper_default_synthesizer(self):
+        synth = paper_default_synthesizer()
+        assert synth.grid.n_samples == 65536
+        assert synth.spectrum.band == PAPER_WHITE_BAND
+
+
+class TestDemuxBasis:
+    def test_size_and_orthogonality(self, synth):
+        basis = build_demux_basis(5, synthesizer=synth, rng=0)
+        assert basis.size == 5
+        # Orthogonality enforced in the constructor; re-check rates.
+        counts = [len(t) for t in basis.trains]
+        assert max(counts) - min(counts) <= 1
+
+    def test_deterministic_by_seed(self, synth):
+        a = build_demux_basis(3, synthesizer=synth, rng=1)
+        b = build_demux_basis(3, synthesizer=synth, rng=1)
+        assert a.trains == b.trains
+
+    def test_invalid_size(self, synth):
+        with pytest.raises(ConfigurationError):
+            build_demux_basis(0, synthesizer=synth)
+
+
+class TestIntersectionBasis:
+    def test_size(self, synth):
+        basis = build_intersection_basis(3, synthesizer=synth, rng=0)
+        assert basis.size == 7
+
+    def test_uncorrelated_imbalanced(self, synth):
+        basis = build_intersection_basis(
+            2, synthesizer=synth, common_amplitude=0.0, rng=0
+        )
+        counts = sorted(len(t) for t in basis.trains)
+        assert counts[-1] > 5 * counts[0]
+
+    def test_correlated_homogenized(self, synth):
+        basis = build_intersection_basis(
+            2, synthesizer=synth, common_amplitude=0.945, rng=0
+        )
+        counts = sorted(len(t) for t in basis.trains)
+        assert counts[-1] < 1.5 * counts[0]
+
+    def test_custom_names_in_labels(self, synth):
+        basis = build_intersection_basis(
+            2, synthesizer=synth, rng=0, input_names=("P", "Q")
+        )
+        assert any("P" in label for label in basis.labels)
+
+    def test_invalid_amplitude(self, synth):
+        with pytest.raises(ConfigurationError):
+            build_intersection_basis(2, synthesizer=synth, common_amplitude=1.0)
+
+    def test_invalid_size(self, synth):
+        with pytest.raises(ConfigurationError):
+            build_intersection_basis(0, synthesizer=synth)

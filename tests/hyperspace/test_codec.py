@@ -1,0 +1,100 @@
+"""Tests for repro.hyperspace.codec: the byte-stream link."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.hyperspace.codec import NeuroBitCodec
+from repro.orthogonator.demux import DemuxOrthogonator
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=16384, dt=1e-12)
+
+
+def make_codec(m: int = 4) -> NeuroBitCodec:
+    source = SpikeTrain(np.arange(0, GRID.n_samples, 7), GRID)
+    output = DemuxOrthogonator.with_outputs(m).transform(source)
+    return NeuroBitCodec(output)
+
+
+@pytest.fixture
+def codec():
+    return make_codec()
+
+
+class TestDigits:
+    def test_radix4_digits_per_byte(self, codec):
+        assert codec.radix == 4
+        assert codec.digits_per_byte == 4  # 4^4 = 256
+
+    def test_radix16_digits_per_byte(self):
+        assert make_codec(16).digits_per_byte == 2
+
+    def test_bytes_digit_round_trip(self, codec):
+        payload = bytes([0, 1, 127, 128, 255])
+        digits = codec.bytes_to_digits(payload)
+        assert codec.digits_to_bytes(digits) == payload
+
+    def test_digit_count(self, codec):
+        assert len(codec.bytes_to_digits(b"abc")) == 3 * codec.digits_per_byte
+
+    def test_partial_digits_rejected(self, codec):
+        with pytest.raises(LogicError):
+            codec.digits_to_bytes([1, 2, 3])
+
+    def test_digit_range_enforced(self, codec):
+        with pytest.raises(LogicError):
+            codec.digits_to_bytes([9, 0, 0, 0])
+
+
+class TestWire:
+    def test_message_round_trip(self, codec):
+        message = b"NEURO-BITS"
+        wire = codec.encode(message)
+        assert codec.decode(wire) == message
+
+    def test_empty_message(self, codec):
+        wire = codec.encode(b"")
+        assert len(wire) == 0
+        assert codec.decode(wire) == b""
+
+    def test_one_spike_per_digit(self, codec):
+        wire = codec.encode(b"A")
+        assert len(wire) == codec.digits_per_byte
+
+    def test_capacity_accounting(self, codec):
+        capacity = codec.capacity()
+        assert capacity.bytes_capacity == (
+            capacity.packages_available // capacity.digits_per_byte
+        )
+        # Fill the link to capacity and round-trip.
+        payload = bytes(range(min(capacity.bytes_capacity, 64)))
+        assert codec.decode(codec.encode(payload)) == payload
+
+    def test_oversized_payload_rejected(self, codec):
+        capacity = codec.capacity()
+        too_big = bytes(capacity.bytes_capacity + 1)
+        with pytest.raises(LogicError):
+            codec.encode(too_big)
+
+    def test_lost_symbol_detected(self, codec):
+        wire = codec.encode(b"AB")
+        # Drop one spike from the message body.
+        damaged = SpikeTrain(wire.indices[1:], wire.grid)
+        with pytest.raises(LogicError):
+            codec.decode(damaged)
+
+    @given(st.binary(min_size=0, max_size=32))
+    @settings(max_examples=30)
+    def test_round_trip_property(self, payload):
+        codec = make_codec(4)
+        assert codec.decode(codec.encode(payload)) == payload
+
+    def test_needs_two_wires(self):
+        source = SpikeTrain(np.arange(0, GRID.n_samples, 7), GRID)
+        output = DemuxOrthogonator.with_outputs(1).transform(source)
+        with pytest.raises(LogicError):
+            NeuroBitCodec(output)

@@ -1,0 +1,168 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the public API the way the examples do: noise → spikes →
+orthogonator → hyperspace → logic → identification, plus failure
+injection on the identification layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CoincidenceCorrelator,
+    DemuxOrthogonator,
+    HyperspaceBasis,
+    IntersectionOrthogonator,
+    Superposition,
+    build_demux_basis,
+    build_intersection_basis,
+    decode_superposition,
+    isi_statistics,
+    max_gate,
+    min_gate,
+    mod_sum_gate,
+    paper_white_source,
+    ripple_adder,
+    spike_packages,
+    zero_crossings,
+)
+from repro.hyperspace.builders import paper_default_synthesizer
+from repro.logic.sequential import PackageClock, SymbolStream, accumulator_machine
+from repro.noise.synthesis import make_rng
+
+
+class TestFullPipeline:
+    def test_noise_to_identification(self):
+        """The quickstart path: build, encode, identify."""
+        basis = build_demux_basis(8, rng=7)
+        correlator = CoincidenceCorrelator(basis)
+        for value in range(8):
+            result = correlator.identify(basis.encode(value))
+            assert result.element == value
+
+    def test_identification_latency_is_one_isi_scale(self):
+        basis = build_demux_basis(4, rng=11)
+        correlator = CoincidenceCorrelator(basis)
+        latencies = [
+            correlator.identify(basis.encode(v), start_slot=s).decision_slot - s
+            for v in range(4)
+            for s in (0, 1000, 20000)
+        ]
+        mean_isi = isi_statistics(basis.trains[0]).mean_isi_samples
+        assert float(np.mean(latencies)) < 3 * mean_isi
+
+    def test_superposition_on_single_wire(self):
+        """2^M − 1 distinguishable superpositions on one wire (M=4: check all)."""
+        basis = build_demux_basis(4, rng=13)
+        import itertools
+
+        for r in range(0, 5):
+            for members in itertools.combinations(range(4), r):
+                sup = Superposition(frozenset(members))
+                wire = sup.encode(basis)
+                assert decode_superposition(basis, wire) == sup
+
+    def test_multivalued_gate_chain(self):
+        """MIN→MAX→MODSUM chained physically across one hyperspace."""
+        basis = build_demux_basis(5, rng=17)
+        lo = min_gate(basis)
+        hi = max_gate(basis)
+        add = mod_sum_gate(basis)
+        a, b, c = 4, 2, 3
+        t1 = lo.transmit(basis.encode(a), basis.encode(b))
+        t2 = hi.transmit(t1.output, basis.encode(c))
+        t3 = add.transmit(t2.output, basis.encode(1))
+        assert t3.value == (max(min(a, b), c) + 1) % 5
+
+    def test_radix8_adder_physical(self):
+        """One radix-8 digit wire replaces three binary wires."""
+        basis = build_demux_basis(8, rng=19)
+        adder = ripple_adder(1, basis)
+        wires = {
+            "a0": basis.encode(5),
+            "b0": basis.encode(6),
+            "cin": basis.encode(0),
+        }
+        t = adder.transmit(wires)
+        assert t.values["s0"] == (5 + 6) % 8
+        assert t.values["c1"] == 1
+
+    def test_sequential_accumulator_over_packages(self):
+        synth = paper_default_synthesizer()
+        record = synth.generate(make_rng(23))
+        source = zero_crossings(record, synth.grid)
+        output = DemuxOrthogonator.with_outputs(4).transform(source)
+        clock = PackageClock(output)
+        stream = SymbolStream(clock)
+        values = [1, 2, 3, 0, 1, 3]
+        machine = accumulator_machine(4)
+        out_wire = machine.run_stream(stream, stream.encode(values))
+        decoded = stream.decode(out_wire)[: len(values)]
+        expected = []
+        total = 0
+        for v in values:
+            total = (total + v) % 4
+            expected.append(total)
+        assert decoded == expected
+
+
+class TestCrossHyperspaceOperation:
+    def test_gate_output_in_different_hyperspace(self):
+        """Section 5: output 'possibly from a different hyperspace'."""
+        input_basis = build_demux_basis(3, rng=29)
+        output_basis = build_intersection_basis(2, common_amplitude=0.945, rng=31)
+        from repro.logic.gates import gate_from_function
+
+        gate = gate_from_function(
+            "route", [input_basis], output_basis, lambda v: v
+        )
+        t = gate.transmit(input_basis.encode(2))
+        assert t.output == output_basis.encode(2)
+        # The output is identifiable in ITS hyperspace.
+        verdict = CoincidenceCorrelator(output_basis).identify(t.output)
+        assert verdict.element == 2
+
+
+class TestFailureInjection:
+    def test_thinned_wire_still_identified(self):
+        """Losing 70% of spikes only delays identification."""
+        basis = build_demux_basis(4, rng=37)
+        rng = np.random.default_rng(0)
+        correlator = CoincidenceCorrelator(basis)
+        wire = basis.encode(1).thinned(0.3, rng)
+        assert len(wire) > 0
+        result = correlator.identify(wire)
+        assert result.element == 1
+
+    def test_foreign_noise_spikes_resisted_by_votes(self):
+        basis = build_demux_basis(4, rng=41)
+        rng = np.random.default_rng(1)
+        correlator = CoincidenceCorrelator(basis)
+        wire = basis.encode(2)
+        # Inject a burst of spikes from a rival element early on.
+        rival_burst = basis.encode(0).window(0, 200)
+        noisy = wire | rival_burst
+        robust = correlator.identify_robust(noisy, votes=25, start_slot=0)
+        assert robust.element == 2
+
+    def test_jittered_wire_identified_with_window_verdict(self):
+        """Timing jitter breaks exact coincidence; the windowed verdict
+        of the baselines layer still recovers the element."""
+        from repro.baselines.periodic import identification_verdict
+
+        basis = build_demux_basis(4, rng=43)
+        rng = np.random.default_rng(2)
+        wire = basis.encode(3).jittered(1, rng)
+        verdict = identification_verdict(basis, wire, window=2, min_confidence=0.5)
+        assert verdict == 3
+
+
+class TestPackagesOnRealNoise:
+    def test_package_invariant_on_noise_train(self):
+        source = paper_white_source(seed=47, n_samples=16384)
+        train = zero_crossings(source.record(), source.grid)
+        output = DemuxOrthogonator(2).transform(train)
+        packages = spike_packages(output)
+        assert len(packages) == len(train) // 3
+        for package in packages:
+            assert list(package.slots) == sorted(package.slots)

@@ -1,0 +1,126 @@
+"""Tests for repro.logic.circuits: netlists and physical evaluation."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.circuits import Circuit
+from repro.logic.gates import and_gate, not_gate, or_gate, xor_gate
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-12)
+
+
+def make_basis(m: int = 2) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 64, 4), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def basis():
+    return make_basis()
+
+
+@pytest.fixture
+def half_adder(basis):
+    circuit = Circuit("half_adder", {"a": basis, "b": basis})
+    circuit.add_gate("sum", xor_gate(basis), ["a", "b"])
+    circuit.add_gate("carry", and_gate(basis), ["a", "b"])
+    circuit.mark_output("sum")
+    circuit.mark_output("carry")
+    return circuit
+
+
+class TestConstruction:
+    def test_needs_inputs(self):
+        with pytest.raises(LogicError):
+            Circuit("empty", {})
+
+    def test_duplicate_signal_name(self, basis):
+        circuit = Circuit("c", {"a": basis})
+        circuit.add_gate("n", not_gate(basis), ["a"])
+        with pytest.raises(LogicError):
+            circuit.add_gate("n", not_gate(basis), ["a"])
+        with pytest.raises(LogicError):
+            circuit.add_gate("a", not_gate(basis), ["a"])
+
+    def test_unknown_source(self, basis):
+        circuit = Circuit("c", {"a": basis})
+        with pytest.raises(LogicError):
+            circuit.add_gate("n", not_gate(basis), ["missing"])
+
+    def test_arity_mismatch(self, basis):
+        circuit = Circuit("c", {"a": basis})
+        with pytest.raises(LogicError):
+            circuit.add_gate("n", and_gate(basis), ["a"])
+
+    def test_alphabet_mismatch(self, basis):
+        big = make_basis(4)
+        circuit = Circuit("c", {"a": big})
+        with pytest.raises(LogicError):
+            circuit.add_gate("n", not_gate(basis), ["a"])
+
+    def test_depth_and_counts(self, half_adder, basis):
+        assert half_adder.n_gates() == 2
+        assert half_adder.depth() == 1
+        chained = Circuit("chain", {"a": basis})
+        chained.add_gate("n1", not_gate(basis), ["a"])
+        chained.add_gate("n2", not_gate(basis), ["n1"])
+        assert chained.depth() == 2
+
+    def test_outputs_property(self, half_adder):
+        assert half_adder.outputs == ("sum", "carry")
+
+
+class TestSymbolicEvaluation:
+    def test_half_adder_truth_table(self, half_adder):
+        for a in (0, 1):
+            for b in (0, 1):
+                values = half_adder.evaluate({"a": a, "b": b})
+                assert values["sum"] == a ^ b
+                assert values["carry"] == a & b
+
+    def test_missing_input(self, half_adder):
+        with pytest.raises(LogicError):
+            half_adder.evaluate({"a": 1})
+
+    def test_unknown_input(self, half_adder):
+        with pytest.raises(LogicError):
+            half_adder.evaluate({"a": 1, "b": 0, "c": 1})
+
+    def test_out_of_range_input(self, half_adder):
+        with pytest.raises(LogicError):
+            half_adder.evaluate({"a": 2, "b": 0})
+
+
+class TestPhysicalEvaluation:
+    def test_matches_symbolic(self, half_adder, basis):
+        for a in (0, 1):
+            for b in (0, 1):
+                wires = {"a": basis.encode(a), "b": basis.encode(b)}
+                transmission = half_adder.transmit(wires)
+                assert transmission.values["sum"] == a ^ b
+                assert transmission.values["carry"] == a & b
+
+    def test_latency_accumulates_along_path(self, basis):
+        circuit = Circuit("chain", {"a": basis})
+        circuit.add_gate("n1", not_gate(basis), ["a"])
+        circuit.add_gate("n2", not_gate(basis), ["n1"])
+        circuit.mark_output("n2")
+        t = circuit.transmit({"a": basis.encode(0)})
+        assert t.decision_slots["n2"] >= t.decision_slots["n1"]
+        assert t.critical_path_slot == t.decision_slots["n2"]
+
+    def test_missing_wire(self, half_adder, basis):
+        with pytest.raises(LogicError):
+            half_adder.transmit({"a": basis.encode(0)})
+
+    def test_input_values_reported(self, half_adder, basis):
+        t = half_adder.transmit({"a": basis.encode(1), "b": basis.encode(0)})
+        assert t.values["a"] == 1
+        assert t.values["b"] == 0
+
+    def test_output_wires_are_reference_trains(self, half_adder, basis):
+        t = half_adder.transmit({"a": basis.encode(1), "b": basis.encode(1)})
+        assert t.wires["carry"] == basis.encode(1)
+        assert t.wires["sum"] == basis.encode(0)

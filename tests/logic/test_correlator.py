@@ -1,0 +1,142 @@
+"""Tests for repro.logic.correlator: coincidence identification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.correlator import (
+    CoincidenceCorrelator,
+    detection_latency_samples,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-12)
+
+
+@pytest.fixture
+def basis():
+    return HyperspaceBasis(
+        [SpikeTrain(range(k, 64, 4), GRID) for k in range(4)]
+    )
+
+
+@pytest.fixture
+def correlator(basis):
+    return CoincidenceCorrelator(basis)
+
+
+class TestIdentify:
+    def test_first_spike_decides(self, basis, correlator):
+        result = correlator.identify(basis.encode(2))
+        assert result.element == 2
+        assert result.decision_slot == 2
+        assert result.spikes_inspected == 1
+
+    def test_start_slot_skips_early_spikes(self, basis, correlator):
+        result = correlator.identify(basis.encode(2), start_slot=10)
+        assert result.element == 2
+        assert result.decision_slot == 10  # 10 ≡ 2 mod 4
+
+    def test_decision_time_scaling(self, basis, correlator):
+        result = correlator.identify(basis.encode(1))
+        assert result.decision_time(GRID.dt) == pytest.approx(1e-12)
+
+    def test_foreign_spikes_skipped(self, basis):
+        # A wire with unowned spikes before the first owned one: slots
+        # 0..3 are all owned here, so build a sparser basis.
+        sparse = HyperspaceBasis(
+            [SpikeTrain([10, 20], GRID), SpikeTrain([15, 25], GRID)]
+        )
+        wire = SpikeTrain([5, 15], GRID)  # 5 unowned, 15 owned by element 1
+        result = CoincidenceCorrelator(sparse).identify(wire)
+        assert result.element == 1
+        assert result.spikes_inspected == 2
+
+    def test_no_coincidence_raises(self, basis):
+        sparse = HyperspaceBasis(
+            [SpikeTrain([10], GRID), SpikeTrain([20], GRID)]
+        )
+        with pytest.raises(IdentificationError):
+            CoincidenceCorrelator(sparse).identify(SpikeTrain([5, 15], GRID))
+
+    def test_empty_wire_raises(self, correlator):
+        with pytest.raises(IdentificationError):
+            correlator.identify(SpikeTrain.empty(GRID))
+
+
+class TestIdentifyRobust:
+    def test_matches_plain_on_clean_wire(self, basis, correlator):
+        plain = correlator.identify(basis.encode(3))
+        robust = correlator.identify_robust(basis.encode(3), votes=3)
+        assert robust.element == plain.element
+
+    def test_outvotes_single_injected_spike(self, basis, correlator):
+        # Wire = element 1's train plus ONE spike of element 0's train.
+        wire = basis.encode(1) | SpikeTrain([0], GRID)
+        plain = correlator.identify(wire)
+        assert plain.element == 0  # first coincidence is the injected spike
+        robust = correlator.identify_robust(wire, votes=3)
+        assert robust.element == 1  # majority restores the truth
+
+    def test_votes_validation(self, correlator, basis):
+        with pytest.raises(IdentificationError):
+            correlator.identify_robust(basis.encode(0), votes=0)
+
+    def test_no_coincidence_raises(self, basis):
+        sparse = HyperspaceBasis(
+            [SpikeTrain([10], GRID), SpikeTrain([20], GRID)]
+        )
+        with pytest.raises(IdentificationError):
+            CoincidenceCorrelator(sparse).identify_robust(SpikeTrain([5], GRID))
+
+
+class TestDetectMembers:
+    def test_superposition_members_found(self, basis, correlator):
+        wire = basis.encode_set([0, 2])
+        members = correlator.detect_members(wire)
+        assert set(members) == {0, 2}
+        assert members[0] == 0 and members[2] == 2
+
+    def test_window_limits_detection(self, basis, correlator):
+        wire = basis.encode_set([3])
+        assert correlator.detect_members(wire, until_slot=3) == {}
+        assert set(correlator.detect_members(wire, until_slot=4)) == {3}
+
+    def test_contains(self, basis, correlator):
+        wire = basis.encode_set([1, 2])
+        assert correlator.contains(wire, 1)
+        assert correlator.contains(wire, "V3")
+        assert not correlator.contains(wire, 0)
+
+    def test_contains_with_deadline(self, basis, correlator):
+        wire = basis.encode_set([2])
+        assert not correlator.contains(wire, 2, until_slot=2)
+        assert correlator.contains(wire, 2, until_slot=3)
+
+
+class TestDetectionLatency:
+    def test_periodic_reference_latency_bounded(self, basis):
+        rng = np.random.default_rng(0)
+        latencies = detection_latency_samples(basis, 0, 500, rng)
+        assert latencies.shape == (500,)
+        # Element 0 fires every 4 slots; latency from a random start < 4+.
+        assert latencies.max() <= 4
+        assert latencies.min() >= 0
+
+    def test_mean_latency_tracks_rate(self):
+        rng = np.random.default_rng(1)
+        sparse = HyperspaceBasis(
+            [SpikeTrain(range(0, 64, 16), GRID), SpikeTrain(range(1, 64, 4), GRID)]
+        )
+        slow = detection_latency_samples(sparse, 0, 400, rng).mean()
+        fast = detection_latency_samples(sparse, 1, 400, rng).mean()
+        assert slow > 2 * fast
+
+    def test_empty_element_raises(self):
+        basis = HyperspaceBasis(
+            [SpikeTrain([1], GRID), SpikeTrain.empty(GRID)]
+        )
+        with pytest.raises(IdentificationError):
+            detection_latency_samples(basis, 1, 10, np.random.default_rng(0))

@@ -1,0 +1,139 @@
+"""Tests for repro.logic.fsm: general FSMs, shift registers, LFSRs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.fsm import FiniteStateMachine, lfsr_fsm, shift_register_fsm
+from repro.logic.sequential import PackageClock, SymbolStream
+from repro.orthogonator.demux import DemuxOrthogonator
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=2048, dt=1e-12)
+
+
+@pytest.fixture
+def stream():
+    source = SpikeTrain(np.arange(0, 2048, 7), GRID)
+    output = DemuxOrthogonator.with_outputs(4).transform(source)
+    return SymbolStream(PackageClock(output))
+
+
+def toggle_machine() -> FiniteStateMachine:
+    """Two states; emits the current state, toggles on symbol 1."""
+    transitions = {
+        (0, 0): 0, (0, 1): 1,
+        (1, 0): 1, (1, 1): 0,
+    }
+    outputs = {(s, x): s for s in (0, 1) for x in (0, 1)}
+    return FiniteStateMachine(2, 2, transitions, outputs)
+
+
+class TestFiniteStateMachine:
+    def test_toggle_semantics(self):
+        machine = toggle_machine()
+        assert machine.run([1, 0, 1, 1]) == [0, 1, 1, 0]
+
+    def test_silent_ticks_hold_state(self):
+        machine = toggle_machine()
+        assert machine.run([1, None, 0]) == [0, None, 1]
+
+    def test_table_totality_enforced(self):
+        with pytest.raises(LogicError):
+            FiniteStateMachine(2, 2, {(0, 0): 0}, {(0, 0): 0})
+
+    def test_transition_range_enforced(self):
+        transitions = {(0, 0): 5, (0, 1): 0, (1, 0): 0, (1, 1): 0}
+        outputs = {(s, x): 0 for s in (0, 1) for x in (0, 1)}
+        with pytest.raises(LogicError):
+            FiniteStateMachine(2, 2, transitions, outputs)
+
+    def test_output_range_enforced(self):
+        transitions = {(s, x): 0 for s in (0, 1) for x in (0, 1)}
+        outputs = {(0, 0): 7, (0, 1): 0, (1, 0): 0, (1, 1): 0}
+        with pytest.raises(LogicError):
+            FiniteStateMachine(2, 2, transitions, outputs)
+
+    def test_bad_input_symbol(self):
+        with pytest.raises(LogicError):
+            toggle_machine().run([5])
+
+    def test_physical_run_stream(self, stream):
+        machine = toggle_machine()
+        wire = stream.encode([1, 0, 1, 1])
+        out_wire = machine.run_stream(stream, wire)
+        assert stream.decode(out_wire)[:4] == [0, 1, 1, 0]
+
+    def test_alphabet_must_fit_wires(self, stream):
+        transitions = {(0, x): 0 for x in range(9)}
+        outputs = {(0, x): 0 for x in range(9)}
+        machine = FiniteStateMachine(1, 9, transitions, outputs)
+        with pytest.raises(LogicError):
+            machine.run_stream(stream, stream.encode([0]))
+
+
+class TestShiftRegister:
+    def test_delay_line_behaviour(self):
+        register = shift_register_fsm(length=3, radix=4)
+        inputs = [1, 2, 3, 0, 1, 2]
+        outputs = register.run(inputs)
+        # First `length` outputs are the zero fill; then inputs re-emerge.
+        assert outputs == [0, 0, 0, 1, 2, 3]
+
+    def test_binary_register(self):
+        register = shift_register_fsm(length=2, radix=2)
+        assert register.run([1, 1, 0, 1]) == [0, 0, 1, 1]
+
+    def test_state_count(self):
+        register = shift_register_fsm(length=2, radix=3)
+        assert register.n_states == 9
+
+    def test_validation(self):
+        with pytest.raises(LogicError):
+            shift_register_fsm(0, 2)
+        with pytest.raises(LogicError):
+            shift_register_fsm(2, 1)
+
+    def test_physical_round_trip(self, stream):
+        register = shift_register_fsm(length=2, radix=4)
+        message = [3, 1, 2, 0, 2, 1]
+        wire = stream.encode(message)
+        delayed = register.run_stream(stream, wire)
+        decoded = stream.decode(delayed)[: len(message)]
+        assert decoded == [0, 0] + message[:-2]
+
+
+class TestLfsr:
+    def test_binary_lfsr_period(self):
+        # Taps (0, 1) over GF(2) with 2 cells: maximal period 3.
+        lfsr = lfsr_fsm(taps=(0, 1), radix=2)
+        sequence = lfsr.run([0] * 9)
+        assert sequence[:3] == sequence[3:6] == sequence[6:9]
+        assert len(set(tuple(sequence[k : k + 2]) for k in range(3))) == 3
+
+    def test_autonomous_sequence_nontrivial(self):
+        lfsr = lfsr_fsm(taps=(0, 2), radix=2)
+        sequence = lfsr.run([0] * 14)
+        assert set(sequence) == {0, 1}
+        # Maximal-length for x^3 + x + 1: period 7.
+        assert sequence[:7] == sequence[7:14]
+
+    def test_ternary_lfsr_runs(self):
+        lfsr = lfsr_fsm(taps=(0, 1), radix=3)
+        sequence = lfsr.run([0] * 20)
+        assert all(0 <= s < 3 for s in sequence)
+        assert len(set(sequence)) > 1
+
+    def test_input_perturbs_sequence(self):
+        quiet = lfsr_fsm(taps=(0, 1), radix=2).run([0] * 8)
+        driven = lfsr_fsm(taps=(0, 1), radix=2).run([1, 0, 0, 0, 0, 0, 0, 0])
+        assert quiet != driven
+
+    def test_validation(self):
+        with pytest.raises(LogicError):
+            lfsr_fsm(taps=(), radix=2)
+        with pytest.raises(LogicError):
+            lfsr_fsm(taps=(-1,), radix=2)
+        with pytest.raises(LogicError):
+            lfsr_fsm(taps=(0,), radix=1)

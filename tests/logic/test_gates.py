@@ -1,0 +1,154 @@
+"""Tests for repro.logic.gates: truth-table gates and Boolean factories."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.gates import (
+    TruthTableGate,
+    and_gate,
+    buffer_gate,
+    gate_from_function,
+    nand_gate,
+    nor_gate,
+    not_gate,
+    or_gate,
+    xor_gate,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-12)
+
+
+def make_basis(m: int, offset: int = 0) -> HyperspaceBasis:
+    return HyperspaceBasis(
+        [SpikeTrain(range(offset + k, 64, 8), GRID) for k in range(m)]
+    )
+
+
+@pytest.fixture
+def b2():
+    return make_basis(2)
+
+
+@pytest.fixture
+def b4():
+    return make_basis(4)
+
+
+class TestTruthTableGate:
+    def test_table_must_be_total(self, b2):
+        with pytest.raises(LogicError):
+            TruthTableGate("half", [b2], b2, {(0,): 0})
+
+    def test_table_must_not_have_extra(self, b2):
+        with pytest.raises(LogicError):
+            TruthTableGate("extra", [b2], b2, {(0,): 0, (1,): 1, (2,): 0})
+
+    def test_output_range_checked(self, b2):
+        with pytest.raises(LogicError):
+            TruthTableGate("oob", [b2], b2, {(0,): 0, (1,): 5})
+
+    def test_needs_inputs(self, b2):
+        with pytest.raises(LogicError):
+            TruthTableGate("none", [], b2, {})
+
+    def test_evaluate_validates_arity(self, b2):
+        gate = buffer_gate(b2)
+        with pytest.raises(LogicError):
+            gate.evaluate(0, 1)
+
+    def test_evaluate_validates_range(self, b2):
+        gate = buffer_gate(b2)
+        with pytest.raises(LogicError):
+            gate.evaluate(7)
+
+    def test_transmit_validates_arity(self, b2):
+        gate = buffer_gate(b2)
+        with pytest.raises(LogicError):
+            gate.transmit(b2.encode(0), b2.encode(1))
+
+
+class TestPhysicalAgreement:
+    """Physical transmission must agree with symbolic evaluation."""
+
+    @pytest.mark.parametrize("factory", [and_gate, or_gate, xor_gate,
+                                         nand_gate, nor_gate])
+    def test_two_input_gates(self, factory, b2):
+        gate = factory(b2)
+        for a, b in itertools.product((0, 1), repeat=2):
+            transmission = gate.transmit(b2.encode(a), b2.encode(b))
+            assert transmission.value == gate.evaluate(a, b)
+            # Output wire is the reference train of the output value.
+            assert transmission.output == b2.encode(transmission.value)
+
+    def test_not_gate(self, b2):
+        gate = not_gate(b2)
+        assert gate.transmit(b2.encode(0)).value == 1
+        assert gate.transmit(b2.encode(1)).value == 0
+
+    def test_decision_slot_is_max_of_inputs(self, b4):
+        gate = gate_from_function("first", [b4, b4], b4, lambda a, b: a)
+        t = gate.transmit(b4.encode(0), b4.encode(3))
+        # Element 0 identified at slot 0, element 3 at slot 3.
+        assert t.decision_slot == 3
+        assert t.input_results[0].decision_slot == 0
+        assert t.input_results[1].decision_slot == 3
+
+    def test_cross_hyperspace_output(self, b2):
+        other = make_basis(2, offset=4)
+        gate = not_gate(b2, output_basis=other)
+        t = gate.transmit(b2.encode(0))
+        assert t.output == other.encode(1)
+
+    def test_robust_votes_pass_through(self, b2):
+        gate = and_gate(b2)
+        t = gate.transmit(b2.encode(1), b2.encode(1), votes=3)
+        assert t.value == 1
+
+
+class TestTruthTables:
+    def test_and_table(self, b2):
+        gate = and_gate(b2)
+        assert [gate.evaluate(a, b) for a, b in
+                itertools.product((0, 1), repeat=2)] == [0, 0, 0, 1]
+
+    def test_xor_table(self, b2):
+        gate = xor_gate(b2)
+        assert [gate.evaluate(a, b) for a, b in
+                itertools.product((0, 1), repeat=2)] == [0, 1, 1, 0]
+
+    def test_nand_is_not_and(self, b2):
+        nand = nand_gate(b2)
+        land = and_gate(b2)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert nand.evaluate(a, b) == 1 - land.evaluate(a, b)
+
+    def test_binary_gate_rejects_larger_basis_at_construction(self, b4):
+        with pytest.raises(LogicError):
+            and_gate(b4)
+
+    def test_buffer_translates(self, b2, b4):
+        gate = buffer_gate(b2, output_basis=b4)
+        assert gate.evaluate(1) == 1
+
+    def test_buffer_output_too_small(self, b2, b4):
+        with pytest.raises(LogicError):
+            buffer_gate(b4, output_basis=b2)
+
+    def test_requires_binary_capable_basis(self):
+        tiny = make_basis(1)
+        with pytest.raises(LogicError):
+            not_gate(tiny)
+
+    def test_gate_from_function_tabulates(self, b4):
+        gate = gate_from_function("add1", [b4], b4, lambda v: (v + 1) % 4)
+        assert [gate.evaluate(v) for v in range(4)] == [1, 2, 3, 0]
+
+    def test_input_sizes(self, b2, b4):
+        gate = gate_from_function("mix", [b2, b4], b4, lambda a, b: b)
+        assert gate.input_sizes == (2, 4)
+        assert gate.arity == 2

@@ -1,0 +1,141 @@
+"""Tests for repro.logic.multivalued: MVL gate families."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.multivalued import (
+    MultiValuedAlphabet,
+    literal_gate,
+    max_gate,
+    min_gate,
+    mod_product_gate,
+    mod_sum_gate,
+    negation_gate,
+    successor_gate,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=80, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 80, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b5():
+    return make_basis(5)
+
+
+class TestAlphabet:
+    def test_default_digits(self, b5):
+        alphabet = MultiValuedAlphabet(b5)
+        assert alphabet.radix == 5
+        assert alphabet.element_of(3) == 3
+        assert alphabet.symbol_of(3) == 3
+
+    def test_custom_symbols(self, b5):
+        alphabet = MultiValuedAlphabet(b5, symbols="abcde")
+        assert alphabet.element_of("c") == 2
+        assert alphabet.symbol_of(4) == "e"
+
+    def test_encode(self, b5):
+        alphabet = MultiValuedAlphabet(b5, symbols="abcde")
+        assert alphabet.encode("a") == b5.encode(0)
+
+    def test_unknown_symbol(self, b5):
+        with pytest.raises(LogicError):
+            MultiValuedAlphabet(b5).element_of(9)
+
+    def test_symbol_count_mismatch(self, b5):
+        with pytest.raises(LogicError):
+            MultiValuedAlphabet(b5, symbols="abc")
+
+    def test_duplicate_symbols(self, b5):
+        with pytest.raises(LogicError):
+            MultiValuedAlphabet(b5, symbols="aabbc")
+
+    def test_element_out_of_range(self, b5):
+        with pytest.raises(LogicError):
+            MultiValuedAlphabet(b5).symbol_of(5)
+
+
+class TestPostAlgebra:
+    def test_min_max_tables(self, b5):
+        lo = min_gate(b5)
+        hi = max_gate(b5)
+        for a, b in itertools.product(range(5), repeat=2):
+            assert lo.evaluate(a, b) == min(a, b)
+            assert hi.evaluate(a, b) == max(a, b)
+
+    def test_negation(self, b5):
+        gate = negation_gate(b5)
+        assert [gate.evaluate(v) for v in range(5)] == [4, 3, 2, 1, 0]
+
+    def test_de_morgan_for_post_algebra(self, b5):
+        """NEG(MIN(a,b)) == MAX(NEG(a), NEG(b)) — the MVL De Morgan law."""
+        neg = negation_gate(b5)
+        lo = min_gate(b5)
+        hi = max_gate(b5)
+        for a, b in itertools.product(range(5), repeat=2):
+            assert neg.evaluate(lo.evaluate(a, b)) == hi.evaluate(
+                neg.evaluate(a), neg.evaluate(b)
+            )
+
+    def test_mixed_radix_rejected(self, b5):
+        with pytest.raises(LogicError):
+            min_gate(b5, make_basis(3))
+
+
+class TestModularArithmetic:
+    def test_mod_sum(self, b5):
+        gate = mod_sum_gate(b5)
+        for a, b in itertools.product(range(5), repeat=2):
+            assert gate.evaluate(a, b) == (a + b) % 5
+
+    def test_mod_product(self, b5):
+        gate = mod_product_gate(b5)
+        for a, b in itertools.product(range(5), repeat=2):
+            assert gate.evaluate(a, b) == (a * b) % 5
+
+    def test_successor_cycles(self, b5):
+        gate = successor_gate(b5)
+        value = 0
+        seen = []
+        for _step in range(5):
+            value = gate.evaluate(value)
+            seen.append(value)
+        assert seen == [1, 2, 3, 4, 0]
+
+
+class TestLiteral:
+    def test_window_semantics(self, b5):
+        gate = literal_gate(b5, 1, 3)
+        assert [gate.evaluate(v) for v in range(5)] == [0, 4, 4, 4, 0]
+
+    def test_minterm(self, b5):
+        gate = literal_gate(b5, 2, 2)
+        assert [gate.evaluate(v) for v in range(5)] == [0, 0, 4, 0, 0]
+
+    def test_invalid_window(self, b5):
+        with pytest.raises(LogicError):
+            literal_gate(b5, 3, 1)
+        with pytest.raises(LogicError):
+            literal_gate(b5, 0, 5)
+
+
+class TestPhysicalLevel:
+    def test_min_gate_transmits_correctly(self, b5):
+        gate = min_gate(b5)
+        t = gate.transmit(b5.encode(3), b5.encode(1))
+        assert t.value == 1
+        assert t.output == b5.encode(1)
+
+    def test_mod_sum_transmits_correctly(self, b5):
+        gate = mod_sum_gate(b5)
+        t = gate.transmit(b5.encode(4), b5.encode(3))
+        assert t.value == 2

@@ -1,0 +1,120 @@
+"""Tests for repro.logic.routing: spike routers and fabrics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import LogicError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.routing import RoutingFabric, SpikeRouter
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=512, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 512, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def basis():
+    return make_basis(4)
+
+
+@pytest.fixture
+def payload():
+    return SpikeTrain(range(5, 512, 50), GRID)
+
+
+class TestSpikeRouter:
+    def test_routes_every_address(self, basis, payload):
+        router = SpikeRouter(basis)
+        for port in range(4):
+            decision = router.route(basis.encode(port), payload)
+            assert decision.port == port
+
+    def test_payload_gated_by_decision(self, basis, payload):
+        router = SpikeRouter(basis)
+        decision = router.route(basis.encode(3), payload, start_slot=100)
+        # Decision at the first element-3 spike >= 100 (slot 103).
+        assert decision.decision_slot == 103
+        assert all(s >= 103 for s in decision.payload.indices)
+
+    def test_latency_is_first_address_spike(self, basis, payload):
+        router = SpikeRouter(basis)
+        decision = router.route(basis.encode(2), payload)
+        assert decision.decision_slot == 2
+
+    def test_votes_resist_injection(self, basis, payload):
+        router = SpikeRouter(basis)
+        # Address 1 with a single injected spike from element 0's train.
+        dirty = basis.encode(1) | SpikeTrain([0], GRID)
+        naive = router.route(dirty, payload)
+        assert naive.port == 0  # fooled
+        robust = router.route(dirty, payload, votes=5)
+        assert robust.port == 1  # majority wins
+
+
+class TestRoutingFabric:
+    def test_leaf_arithmetic(self, basis):
+        fabric = RoutingFabric(basis, depth=2)
+        assert fabric.n_leaves == 16
+        assert fabric.leaf_of_digits([0, 0]) == 0
+        assert fabric.leaf_of_digits([3, 2]) == 14
+        assert fabric.leaf_of_digits([1, 0]) == 4
+
+    def test_exhaustive_delivery(self, basis, payload):
+        fabric = RoutingFabric(basis, depth=2)
+        for digits in itertools.product(range(4), repeat=2):
+            wires = [basis.encode(d) for d in digits]
+            delivery = fabric.deliver(wires, payload)
+            assert delivery.leaf == fabric.leaf_of_digits(digits)
+
+    def test_stage_slots_non_decreasing(self, basis, payload):
+        fabric = RoutingFabric(basis, depth=3)
+        wires = [basis.encode(d) for d in (2, 0, 3)]
+        delivery = fabric.deliver(wires, payload)
+        slots = list(delivery.stage_slots)
+        assert slots == sorted(slots)
+        assert delivery.total_latency_slot == slots[-1]
+
+    def test_payload_survives_when_late_spikes_exist(self, basis):
+        fabric = RoutingFabric(basis, depth=2)
+        late_payload = SpikeTrain(range(400, 512, 10), GRID)
+        delivery = fabric.deliver(
+            [basis.encode(1), basis.encode(2)], late_payload
+        )
+        assert len(delivery.payload) == len(late_payload)
+
+    def test_wrong_wire_count(self, basis, payload):
+        fabric = RoutingFabric(basis, depth=2)
+        with pytest.raises(LogicError):
+            fabric.deliver([basis.encode(0)], payload)
+
+    def test_digit_validation(self, basis):
+        fabric = RoutingFabric(basis, depth=2)
+        with pytest.raises(LogicError):
+            fabric.leaf_of_digits([0, 9])
+        with pytest.raises(LogicError):
+            fabric.leaf_of_digits([0])
+
+    def test_depth_validation(self, basis):
+        with pytest.raises(LogicError):
+            RoutingFabric(basis, depth=0)
+
+    def test_delivery_on_noise_basis(self):
+        """End to end on a real noise-derived hyperspace."""
+        from repro.hyperspace.builders import build_demux_basis
+
+        basis = build_demux_basis(4, rng=51)
+        payload = SpikeTrain(
+            np.arange(100, basis.grid.n_samples, 977), basis.grid
+        )
+        fabric = RoutingFabric(basis, depth=2)
+        delivery = fabric.deliver(
+            [basis.encode(3), basis.encode(1)], payload
+        )
+        assert delivery.leaf == 13
+        assert len(delivery.payload) > 0

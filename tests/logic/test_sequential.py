@@ -1,0 +1,153 @@
+"""Tests for repro.logic.sequential: package clock, symbol streams, machines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.sequential import (
+    MooreMachine,
+    PackageClock,
+    SymbolStream,
+    accumulator_machine,
+    counter_machine,
+)
+from repro.orthogonator.demux import DemuxOrthogonator
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=1000, dt=1e-12)
+
+
+@pytest.fixture
+def demux_output():
+    source = SpikeTrain(np.arange(0, 1000, 7), GRID)  # 143 spikes
+    return DemuxOrthogonator.with_outputs(4).transform(source)
+
+
+@pytest.fixture
+def clock(demux_output):
+    return PackageClock(demux_output)
+
+
+@pytest.fixture
+def stream(clock):
+    return SymbolStream(clock)
+
+
+class TestPackageClock:
+    def test_package_count(self, clock):
+        assert clock.n_packages == 143 // 4
+        assert clock.n_wires == 4
+
+    def test_slot_of(self, clock):
+        # Package 0 holds source spikes 0, 7, 14, 21.
+        assert clock.slot_of(0, 0) == 0
+        assert clock.slot_of(0, 3) == 21
+        assert clock.slot_of(1, 0) == 28
+
+    def test_package_of_slot(self, clock):
+        assert clock.package_of_slot(0) == 0
+        assert clock.package_of_slot(21) == 0
+        assert clock.package_of_slot(28) == 1
+        # Slot between packages but inside the span: belongs to its package.
+        assert clock.package_of_slot(10) == 0
+
+    def test_slot_outside_all_packages(self, clock):
+        last = clock.packages[-1]
+        assert clock.package_of_slot(last.end + 1) is None
+
+    def test_bounds_validation(self, clock):
+        with pytest.raises(LogicError):
+            clock.slot_of(10_000, 0)
+        with pytest.raises(LogicError):
+            clock.slot_of(0, 9)
+
+    def test_tick_durations(self, clock):
+        spans = clock.tick_duration_samples()
+        assert (spans == 21).all()  # uniform source: every package spans 21
+
+    def test_empty_source_rejected(self):
+        output = DemuxOrthogonator.with_outputs(4).transform(
+            SpikeTrain([0, 7], GRID)  # fewer spikes than one package
+        )
+        with pytest.raises(LogicError):
+            PackageClock(output)
+
+
+class TestSymbolStream:
+    def test_encode_decode_round_trip(self, stream):
+        values = [0, 3, 1, 2, 2, 0, 1]
+        wire = stream.encode(values)
+        decoded = stream.decode(wire)
+        assert decoded[: len(values)] == values
+        assert all(symbol is None for symbol in decoded[len(values) :])
+
+    def test_one_spike_per_symbol(self, stream):
+        wire = stream.encode([1, 2, 3])
+        assert len(wire) == 3
+
+    def test_too_many_symbols(self, stream, clock):
+        with pytest.raises(LogicError):
+            stream.encode([0] * (clock.n_packages + 1))
+
+    def test_symbol_out_of_alphabet(self, stream):
+        with pytest.raises(LogicError):
+            stream.encode([4])
+
+    def test_decode_rejects_foreign_spike(self, stream, clock):
+        wire = stream.encode([0])
+        # A spike inside package 0 but not on any wire's slot (slot 3 is
+        # between wire slots 0 and 7).
+        dirty = wire | SpikeTrain([3], GRID)
+        with pytest.raises(LogicError):
+            stream.decode(dirty)
+
+    def test_decode_rejects_double_symbol(self, stream):
+        wire = stream.encode([0]) | stream.encode([1])
+        with pytest.raises(LogicError):
+            stream.decode(wire)
+
+
+class TestMooreMachines:
+    def test_counter(self):
+        machine = counter_machine(4)
+        assert machine.run([0, 0, 0, 0, 0]) == [1, 2, 3, 0, 1]
+
+    def test_counter_holds_on_silence(self):
+        machine = counter_machine(4)
+        assert machine.run([0, None, 0]) == [1, None, 2]
+
+    def test_accumulator(self):
+        machine = accumulator_machine(10)
+        assert machine.run([3, 4, 5]) == [3, 7, 2]
+
+    def test_invalid_modulus(self):
+        with pytest.raises(LogicError):
+            counter_machine(0)
+        with pytest.raises(LogicError):
+            accumulator_machine(-1)
+
+    def test_run_stream_physical(self, stream):
+        machine = accumulator_machine(4)
+        input_wire = stream.encode([1, 2, 3, 1])
+        output_wire = machine.run_stream(stream, input_wire)
+        decoded = stream.decode(output_wire)
+        assert decoded[:4] == [1, 3, 2, 3]
+
+    def test_run_stream_silence_propagates(self, stream, clock):
+        machine = counter_machine(4)
+        # Encode only the first two ticks; later packages are silent.
+        input_wire = stream.encode([0, 0])
+        output_wire = machine.run_stream(stream, input_wire)
+        decoded = stream.decode(output_wire)
+        assert decoded[:2] == [1, 2]
+        assert decoded[2] is None
+
+    def test_machine_emitting_out_of_alphabet_rejected(self, stream):
+        machine = MooreMachine(
+            transition=lambda s, x: s,
+            output=lambda s: 99,
+            initial_state=0,
+        )
+        with pytest.raises(LogicError):
+            machine.run_stream(stream, stream.encode([0]))

@@ -1,0 +1,127 @@
+"""Tests for repro.logic.set_gates: parallel evaluation on superpositions."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.hyperspace.superposition import Superposition, decode_superposition
+from repro.logic.gates import and_gate, xor_gate
+from repro.logic.multivalued import mod_sum_gate
+from repro.logic.set_gates import SetValuedGate
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=120, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 120, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b4():
+    return make_basis(4)
+
+
+@pytest.fixture
+def b2():
+    return make_basis(2)
+
+
+class TestImage:
+    def test_singletons_reduce_to_plain_gate(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        for a, b in itertools.product(range(4), repeat=2):
+            image = lifted.image(frozenset({a}), frozenset({b}))
+            assert image == frozenset({(a + b) % 4})
+
+    def test_full_product(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        image = lifted.image(frozenset({0, 1}), frozenset({0, 2}))
+        assert image == frozenset({0, 1, 2, 3})
+
+    def test_xor_parity_structure(self, b2):
+        lifted = SetValuedGate(xor_gate(b2))
+        image = lifted.image(frozenset({0, 1}), frozenset({1}))
+        assert image == frozenset({0, 1})
+
+    def test_empty_set_propagates(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        assert lifted.image(frozenset(), frozenset({1})) == frozenset()
+
+    def test_arity_checked(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        with pytest.raises(LogicError):
+            lifted.image(frozenset({0}))
+
+    def test_member_range_checked(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        with pytest.raises(LogicError):
+            lifted.image(frozenset({9}), frozenset({0}))
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=3)),
+        st.sets(st.integers(min_value=0, max_value=3)),
+    )
+    @settings(max_examples=40)
+    def test_image_matches_set_semantics(self, xs, ys):
+        basis = make_basis(4)
+        lifted = SetValuedGate(mod_sum_gate(basis))
+        image = lifted.image(frozenset(xs), frozenset(ys))
+        expected = {(a + b) % 4 for a in xs for b in ys}
+        assert image == frozenset(expected)
+
+
+class TestPreimage:
+    def test_and_preimage_of_one(self, b2):
+        lifted = SetValuedGate(and_gate(b2))
+        assert lifted.preimage(1) == frozenset({(1, 1)})
+
+    def test_preimages_partition_input_space(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        all_combos = set()
+        for value in range(4):
+            all_combos |= lifted.preimage(value)
+        assert all_combos == set(itertools.product(range(4), repeat=2))
+
+    def test_range_checked(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        with pytest.raises(LogicError):
+            lifted.preimage(4)
+
+
+class TestPhysical:
+    def test_transmit_produces_image_superposition(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        wire_a = Superposition(frozenset({0, 1})).encode(b4)
+        wire_b = Superposition(frozenset({2})).encode(b4)
+        result = lifted.transmit(wire_a, wire_b)
+        assert result.members == frozenset({2, 3})
+        assert result.combinations_evaluated == 2
+        decoded = decode_superposition(b4, result.output)
+        assert decoded.members == result.members
+
+    def test_composition(self, b4):
+        """Set-valued gates compose: output wires feed the next stage."""
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        stage1 = lifted.transmit(
+            Superposition(frozenset({1, 2})).encode(b4),
+            Superposition(frozenset({0})).encode(b4),
+        )
+        stage2 = lifted.transmit(
+            stage1.output, Superposition(frozenset({2})).encode(b4)
+        )
+        assert stage2.members == frozenset({3, 0})
+
+    def test_silent_wire_stays_silent(self, b4):
+        lifted = SetValuedGate(mod_sum_gate(b4))
+        result = lifted.transmit(
+            SpikeTrain.empty(GRID), Superposition(frozenset({1})).encode(b4)
+        )
+        assert result.members == frozenset()
+        assert len(result.output) == 0
+        assert result.combinations_evaluated == 0

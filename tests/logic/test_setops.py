@@ -1,0 +1,95 @@
+"""Tests for repro.logic.setops: physical set operations agree with symbolic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HyperspaceError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.hyperspace.superposition import Superposition, decode_superposition
+from repro.logic.setops import (
+    wire_complement,
+    wire_difference,
+    wire_intersection,
+    wire_membership,
+    wire_union,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-12)
+
+
+def make_basis(m: int = 4) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 64, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def basis():
+    return make_basis()
+
+
+members_strategy = st.sets(st.integers(min_value=0, max_value=3))
+
+
+class TestAgainstSymbolic:
+    @given(members_strategy, members_strategy)
+    def test_union(self, xs, ys):
+        basis = make_basis()
+        a = Superposition(frozenset(xs))
+        b = Superposition(frozenset(ys))
+        wire = wire_union(basis, a.encode(basis), b.encode(basis))
+        assert decode_superposition(basis, wire) == (a | b)
+
+    @given(members_strategy, members_strategy)
+    def test_intersection(self, xs, ys):
+        basis = make_basis()
+        a = Superposition(frozenset(xs))
+        b = Superposition(frozenset(ys))
+        wire = wire_intersection(basis, a.encode(basis), b.encode(basis))
+        assert decode_superposition(basis, wire) == (a & b)
+
+    @given(members_strategy, members_strategy)
+    def test_difference(self, xs, ys):
+        basis = make_basis()
+        a = Superposition(frozenset(xs))
+        b = Superposition(frozenset(ys))
+        wire = wire_difference(basis, a.encode(basis), b.encode(basis))
+        assert decode_superposition(basis, wire) == (a - b)
+
+    @given(members_strategy)
+    def test_complement(self, xs):
+        basis = make_basis()
+        a = Superposition(frozenset(xs))
+        wire = wire_complement(basis, a.encode(basis))
+        assert decode_superposition(basis, wire) == a.complement(basis)
+
+    @given(members_strategy, st.integers(min_value=0, max_value=3))
+    def test_membership(self, xs, element):
+        basis = make_basis()
+        a = Superposition(frozenset(xs))
+        assert wire_membership(basis, a.encode(basis), element) == (element in xs)
+
+
+class TestMembershipDeadline:
+    def test_deadline_blocks_late_members(self, basis):
+        wire = basis.encode_set([3])  # first spike at slot 3
+        assert not wire_membership(basis, wire, 3, until_slot=3)
+        assert wire_membership(basis, wire, 3, until_slot=4)
+
+    def test_absent_member_false_at_any_deadline(self, basis):
+        wire = basis.encode_set([0])
+        assert not wire_membership(basis, wire, 2, until_slot=None)
+
+
+class TestForeignSpikesRejected:
+    def test_intersection_strict(self, basis):
+        clean = basis.encode_set([0])
+        dirty = clean | SpikeTrain([5], GRID)  # slot 5 unowned in basis(4)?
+        # Slot 5 IS owned (5 mod 4 == 1) in this dense basis; build sparse.
+        sparse = HyperspaceBasis(
+            [SpikeTrain([0, 8], GRID), SpikeTrain([1, 9], GRID)]
+        )
+        dirty = sparse.encode_set([0]) | SpikeTrain([30], GRID)
+        with pytest.raises(HyperspaceError):
+            wire_intersection(sparse, dirty, sparse.encode_set([0]))

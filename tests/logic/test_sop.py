@@ -1,0 +1,94 @@
+"""Tests for repro.logic.sop: sum-of-products synthesis."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.sop import synthesize_sop
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=120, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 120, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b3():
+    return make_basis(3)
+
+
+@pytest.fixture
+def b2():
+    return make_basis(2)
+
+
+def check_exhaustive(circuit, function, radix, k):
+    for combo in itertools.product(range(radix), repeat=k):
+        values = circuit.evaluate({f"x{i}": v for i, v in enumerate(combo)})
+        assert values[circuit.outputs[0]] == function(*combo), combo
+
+
+class TestSynthesis:
+    def test_binary_xor(self, b2):
+        circuit = synthesize_sop("xor", [b2, b2], b2, lambda a, b: a ^ b)
+        check_exhaustive(circuit, lambda a, b: a ^ b, 2, 2)
+
+    def test_ternary_modsum(self, b3):
+        circuit = synthesize_sop("add3", [b3, b3], b3, lambda a, b: (a + b) % 3)
+        check_exhaustive(circuit, lambda a, b: (a + b) % 3, 3, 2)
+
+    def test_ternary_min(self, b3):
+        circuit = synthesize_sop("min3", [b3, b3], b3, min)
+        check_exhaustive(circuit, min, 3, 2)
+
+    def test_unary_negation(self, b3):
+        circuit = synthesize_sop("neg", [b3], b3, lambda v: 2 - v)
+        check_exhaustive(circuit, lambda v: 2 - v, 3, 1)
+
+    def test_three_input_majority(self, b2):
+        def majority(a, b, c):
+            return 1 if a + b + c >= 2 else 0
+
+        circuit = synthesize_sop("maj", [b2, b2, b2], b2, majority)
+        check_exhaustive(circuit, majority, 2, 3)
+
+    def test_constant_zero_function(self, b3):
+        circuit = synthesize_sop("zero", [b3], b3, lambda _v: 0)
+        check_exhaustive(circuit, lambda _v: 0, 3, 1)
+
+    def test_constant_top_function(self, b3):
+        circuit = synthesize_sop("top", [b3], b3, lambda _v: 2)
+        check_exhaustive(circuit, lambda _v: 2, 3, 1)
+
+    def test_physical_transmission_agrees(self, b3):
+        circuit = synthesize_sop("mul3", [b3, b3], b3, lambda a, b: (a * b) % 3)
+        for a, b in itertools.product(range(3), repeat=2):
+            wires = {"x0": b3.encode(a), "x1": b3.encode(b)}
+            transmission = circuit.transmit(wires)
+            assert transmission.values[circuit.outputs[0]] == (a * b) % 3
+
+    def test_depth_logarithmic(self, b2):
+        def parity4(a, b, c, d):
+            return (a + b + c + d) % 2
+
+        circuit = synthesize_sop("par4", [b2] * 4, b2, parity4)
+        # 8 surviving minterms, 4 literals each: depth = literals tree (2)
+        # + clamp 0 + OR tree (3) -> comfortably below the linear bound.
+        assert circuit.depth() <= 8
+
+    def test_mixed_radix_rejected(self, b2, b3):
+        with pytest.raises(SynthesisError):
+            synthesize_sop("bad", [b2, b3], b3, lambda a, b: 0)
+
+    def test_out_of_range_value_rejected(self, b3):
+        with pytest.raises(SynthesisError):
+            synthesize_sop("bad", [b3], b3, lambda v: 5)
+
+    def test_no_inputs_rejected(self, b3):
+        with pytest.raises(SynthesisError):
+            synthesize_sop("bad", [], b3, lambda: 0)

@@ -1,0 +1,71 @@
+"""Property-based tests: SOP synthesis is correct for ANY truth table.
+
+hypothesis draws random functions (as flat truth tables) over small
+alphabets; the synthesised circuit must agree with the table everywhere,
+both symbolically and — on sampled points — physically.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.sop import synthesize_sop
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=96, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 96, m), GRID) for k in range(m)])
+
+
+BASES = {2: make_basis(2), 3: make_basis(3), 4: make_basis(4)}
+
+
+@given(
+    radix=st.sampled_from([2, 3]),
+    k=st.integers(min_value=1, max_value=2),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_function_synthesis(radix, k, data):
+    basis = BASES[radix]
+    n_entries = radix**k
+    table = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=radix - 1),
+            min_size=n_entries,
+            max_size=n_entries,
+        )
+    )
+
+    def function(*args):
+        index = 0
+        for value in args:
+            index = index * radix + value
+        return table[index]
+
+    circuit = synthesize_sop("random", [basis] * k, basis, function)
+    for combo in itertools.product(range(radix), repeat=k):
+        values = circuit.evaluate({f"x{i}": v for i, v in enumerate(combo)})
+        assert values[circuit.outputs[0]] == function(*combo)
+
+
+@given(
+    table=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=4, max_size=4
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_random_unary_function_physical(table):
+    """Physical transmission agrees with the table for unary functions."""
+    basis = BASES[4]
+
+    circuit = synthesize_sop("unary", [basis], basis, lambda v: table[v])
+    for value in range(4):
+        transmission = circuit.transmit({"x0": basis.encode(value)})
+        assert transmission.values[circuit.outputs[0]] == table[value]

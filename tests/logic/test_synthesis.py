@@ -1,0 +1,147 @@
+"""Tests for repro.logic.synthesis: adders, comparators, mux, parity."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.synthesis import (
+    adder_reference,
+    comparator,
+    comparator_reference,
+    digit_carry_gate,
+    digit_sum_gate,
+    multiplexer,
+    parity_circuit,
+    ripple_adder,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=128, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 128, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b2():
+    return make_basis(2)
+
+
+@pytest.fixture
+def b4():
+    return make_basis(4)
+
+
+class TestDigitGates:
+    def test_sum_digit(self, b4, b2):
+        gate = digit_sum_gate(b4, b2)
+        for a, b, c in itertools.product(range(4), range(4), range(2)):
+            assert gate.evaluate(a, b, c) == (a + b + c) % 4
+
+    def test_carry_digit(self, b4, b2):
+        gate = digit_carry_gate(b4, b2)
+        for a, b, c in itertools.product(range(4), range(4), range(2)):
+            assert gate.evaluate(a, b, c) == (1 if a + b + c >= 4 else 0)
+
+    def test_carry_basis_too_small(self, b4):
+        tiny = make_basis(1)
+        with pytest.raises(SynthesisError):
+            digit_sum_gate(b4, tiny)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("radix,digits", [(2, 3), (4, 2), (3, 2)])
+    def test_exhaustive_against_reference(self, radix, digits):
+        basis = make_basis(radix)
+        carry = basis if radix >= 2 else make_basis(2)
+        adder = ripple_adder(digits, basis, carry_basis=carry)
+        top = radix**digits
+        for a_value, b_value, cin in itertools.product(
+            range(top), range(top), (0, 1)
+        ):
+            inputs = {"cin": cin}
+            for d in range(digits):
+                inputs[f"a{d}"] = (a_value // radix**d) % radix
+                inputs[f"b{d}"] = (b_value // radix**d) % radix
+            values = adder.evaluate(inputs)
+            reference = adder_reference(digits, radix, a_value, b_value, cin)
+            for d in range(digits):
+                assert values[f"s{d}"] == reference[f"s{d}"]
+            assert values[f"c{digits}"] == reference["cout"]
+
+    def test_physical_binary_addition(self, b2):
+        adder = ripple_adder(2, b2)
+        wires = {
+            "a0": b2.encode(1), "a1": b2.encode(1),  # a = 3
+            "b0": b2.encode(1), "b1": b2.encode(0),  # b = 1
+            "cin": b2.encode(0),
+        }
+        t = adder.transmit(wires)
+        # 3 + 1 = 4 = 100b: s0=0, s1=0, cout=1.
+        assert t.values["s0"] == 0
+        assert t.values["s1"] == 0
+        assert t.values["c2"] == 1
+
+    def test_invalid_digit_count(self, b2):
+        with pytest.raises(SynthesisError):
+            ripple_adder(0, b2)
+
+    def test_gate_count_linear_in_digits(self, b2):
+        assert ripple_adder(4, b2).n_gates() == 8  # sum + carry per digit
+
+
+class TestComparator:
+    @pytest.mark.parametrize("radix,digits", [(3, 2), (4, 2)])
+    def test_exhaustive(self, radix, digits):
+        basis = make_basis(radix)
+        circuit = comparator(digits, basis)
+        top = radix**digits
+        for a_value, b_value in itertools.product(range(top), repeat=2):
+            inputs = {}
+            for d in range(digits):
+                inputs[f"a{d}"] = (a_value // radix**d) % radix
+                inputs[f"b{d}"] = (b_value // radix**d) % radix
+            values = circuit.evaluate(inputs)
+            verdict = values[circuit.outputs[0]]
+            assert verdict == comparator_reference(a_value, b_value)
+
+    def test_verdict_basis_needs_three(self, b2):
+        with pytest.raises(SynthesisError):
+            comparator(2, b2)  # binary digits but binary verdict basis
+
+    def test_single_digit(self, b4):
+        circuit = comparator(1, b4)
+        assert circuit.evaluate({"a0": 2, "b0": 3})[circuit.outputs[0]] == 0
+
+
+class TestMultiplexer:
+    def test_select_semantics(self, b4, b2):
+        circuit = multiplexer(b4, b2)
+        for d0, d1, sel in itertools.product(range(4), range(4), (0, 1)):
+            values = circuit.evaluate({"d0": d0, "d1": d1, "sel": sel})
+            assert values["y"] == (d1 if sel else d0)
+
+    def test_select_basis_validation(self, b4):
+        tiny = make_basis(1)
+        with pytest.raises(SynthesisError):
+            multiplexer(b4, tiny)
+
+
+class TestParity:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_exhaustive(self, n, b2):
+        circuit = parity_circuit(n, b2)
+        for bits in itertools.product((0, 1), repeat=n):
+            values = circuit.evaluate({f"x{i}": bit for i, bit in enumerate(bits)})
+            assert values[circuit.outputs[0]] == sum(bits) % 2
+
+    def test_tree_depth_logarithmic(self, b2):
+        assert parity_circuit(8, b2).depth() == 3
+
+    def test_needs_two_inputs(self, b2):
+        with pytest.raises(SynthesisError):
+            parity_circuit(1, b2)

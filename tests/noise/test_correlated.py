@@ -1,0 +1,114 @@
+"""Tests for repro.noise.correlated: common-mode mixing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.correlated import (
+    PAPER_COMMON_AMPLITUDE,
+    PAPER_PRIVATE_AMPLITUDE,
+    CommonModeMixer,
+    CorrelatedNoisePair,
+    amplitudes_from_correlation,
+    correlation_from_amplitudes,
+)
+from repro.noise.spectra import PAPER_WHITE_BAND, WhiteSpectrum
+from repro.noise.synthesis import NoiseSynthesizer
+from repro.units import paper_white_grid
+
+
+@pytest.fixture
+def synth():
+    return NoiseSynthesizer(
+        WhiteSpectrum(PAPER_WHITE_BAND), paper_white_grid(n_samples=8192)
+    )
+
+
+class TestAmplitudeAlgebra:
+    def test_paper_amplitudes_give_high_correlation(self):
+        rho = correlation_from_amplitudes(
+            PAPER_COMMON_AMPLITUDE, PAPER_PRIVATE_AMPLITUDE
+        )
+        assert rho == pytest.approx(0.9966, abs=1e-3)
+
+    def test_zero_common_gives_zero(self):
+        assert correlation_from_amplitudes(0.0, 1.0) == 0.0
+
+    def test_zero_private_gives_one(self):
+        assert correlation_from_amplitudes(1.0, 0.0) == 1.0
+
+    def test_round_trip(self):
+        for rho in (0.0, 0.3, 0.9, 0.9966, 1.0):
+            c, p = amplitudes_from_correlation(rho)
+            assert correlation_from_amplitudes(c, p) == pytest.approx(rho)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            correlation_from_amplitudes(-0.1, 0.5)
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            correlation_from_amplitudes(0.0, 0.0)
+
+    def test_correlation_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            amplitudes_from_correlation(1.5)
+
+
+class TestCommonModeMixer:
+    def test_channel_shape(self, synth):
+        mixer = CommonModeMixer(synth)
+        records = mixer.generate(3, rng=0)
+        assert records.shape == (3, synth.grid.n_samples)
+
+    def test_channels_unit_std(self, synth):
+        records = CommonModeMixer(synth).generate(2, rng=1)
+        for row in records:
+            assert row.std() == pytest.approx(1.0)
+
+    def test_empirical_correlation_matches_prediction(self, synth):
+        mixer = CommonModeMixer(synth, common_amplitude=0.945, private_amplitude=0.055)
+        a, b = mixer.generate(2, rng=2)
+        measured = float(np.corrcoef(a, b)[0, 1])
+        assert measured == pytest.approx(mixer.correlation, abs=0.01)
+
+    def test_uncorrelated_when_common_zero(self, synth):
+        mixer = CommonModeMixer(synth, common_amplitude=0.0, private_amplitude=1.0)
+        a, b = mixer.generate(2, rng=3)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_invalid_channels(self, synth):
+        with pytest.raises(ConfigurationError):
+            CommonModeMixer(synth).generate(0)
+
+    def test_invalid_amplitudes(self, synth):
+        with pytest.raises(ConfigurationError):
+            CommonModeMixer(synth, common_amplitude=-1.0)
+        with pytest.raises(ConfigurationError):
+            CommonModeMixer(synth, common_amplitude=0.0, private_amplitude=0.0)
+
+    def test_describe_mentions_rho(self, synth):
+        text = CommonModeMixer(synth).describe()
+        assert "rho" in text
+
+
+class TestCorrelatedNoisePair:
+    def test_generate_pair(self, synth):
+        pair = CorrelatedNoisePair(synth.spectrum, synth.grid)
+        a, b = pair.generate(rng=0)
+        assert a.shape == b.shape == (synth.grid.n_samples,)
+
+    def test_measure_correlation_identity(self, synth):
+        pair = CorrelatedNoisePair(synth.spectrum, synth.grid)
+        a, _b = pair.generate(rng=1)
+        assert CorrelatedNoisePair.measure_correlation(a, a) == pytest.approx(1.0)
+
+    def test_measure_correlation_shape_mismatch(self, synth):
+        with pytest.raises(ConfigurationError):
+            CorrelatedNoisePair.measure_correlation(
+                np.zeros(4), np.zeros(5)
+            )
+
+    def test_paper_defaults(self, synth):
+        pair = CorrelatedNoisePair(synth.spectrum, synth.grid)
+        assert pair.correlation == pytest.approx(0.9966, abs=1e-3)

@@ -1,0 +1,150 @@
+"""Tests for repro.noise.filters: IIR shaping and streaming sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.filters import (
+    IirNoiseShaper,
+    StreamingNoiseSource,
+    design_bandpass,
+)
+from repro.noise.psd import welch_psd
+from repro.noise.spectra import Band
+from repro.spikes.zero_crossing import AllCrossingDetector
+from repro.units import GIGAHERTZ, SimulationGrid, paper_white_grid
+
+
+@pytest.fixture
+def grid():
+    return paper_white_grid(n_samples=4096)
+
+
+@pytest.fixture
+def band():
+    return Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)
+
+
+class TestDesign:
+    def test_sos_shape(self, band, grid):
+        sos = design_bandpass(band, grid, order=4)
+        assert sos.ndim == 2 and sos.shape[1] == 6
+
+    def test_band_must_fit_nyquist(self, grid):
+        with pytest.raises(ConfigurationError):
+            design_bandpass(Band(1e9, grid.nyquist * 2), grid)
+
+    def test_lowpass_band_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            design_bandpass(Band(0.0, 1e9), grid)
+
+    def test_order_validated(self, band, grid):
+        with pytest.raises(ConfigurationError):
+            design_bandpass(band, grid, order=0)
+
+
+class TestIirNoiseShaper:
+    def test_blockwise_equals_oneshot(self, band, grid):
+        """Seamlessness: filtering in blocks == filtering concatenation."""
+        rng = np.random.default_rng(0)
+        white = rng.standard_normal(3 * grid.n_samples)
+
+        shaper_a = IirNoiseShaper(band, grid)
+        oneshot = shaper_a.shape(white)
+
+        shaper_b = IirNoiseShaper(band, grid)
+        pieces = [
+            shaper_b.shape(white[k * grid.n_samples : (k + 1) * grid.n_samples])
+            for k in range(3)
+        ]
+        assert np.allclose(np.concatenate(pieces), oneshot)
+
+    def test_output_power_in_band(self, band, grid):
+        rng = np.random.default_rng(1)
+        shaper = IirNoiseShaper(band, grid)
+        shaper.shape(rng.standard_normal(grid.n_samples))  # warm up
+        shaped = shaper.shape(rng.standard_normal(8 * grid.n_samples))
+        long_grid = SimulationGrid(n_samples=shaped.size, dt=grid.dt)
+        estimate = welch_psd(shaped, long_grid, segment_length=2048)
+        # Butterworth skirts leak more than the brick-wall FFT mask.
+        assert estimate.fraction_in_band(band.f_low, band.f_high) > 0.8
+
+    def test_unit_variance_scale(self, band, grid):
+        rng = np.random.default_rng(2)
+        shaper = IirNoiseShaper(band, grid)
+        shaper.shape(rng.standard_normal(grid.n_samples))  # warm up
+        shaped = shaper.shape(rng.standard_normal(16 * grid.n_samples))
+        assert shaped.std() == pytest.approx(1.0, rel=0.15)
+
+    def test_reset_restarts_state(self, band, grid):
+        rng = np.random.default_rng(3)
+        white = rng.standard_normal(grid.n_samples)
+        shaper = IirNoiseShaper(band, grid)
+        first = shaper.shape(white)
+        shaper.reset()
+        again = shaper.shape(white)
+        assert np.allclose(first, again)
+
+    def test_rejects_2d(self, band, grid):
+        shaper = IirNoiseShaper(band, grid)
+        with pytest.raises(ConfigurationError):
+            shaper.shape(np.zeros((2, 4)))
+
+
+class TestStreamingNoiseSource:
+    def test_blocks_advance(self, band, grid):
+        source = StreamingNoiseSource(band, grid, seed=0)
+        first = source.next_block()
+        second = source.next_block()
+        assert first.shape == (grid.n_samples,)
+        assert not np.array_equal(first, second)
+
+    def test_spike_indices_monotone_across_blocks(self, band, grid):
+        source = StreamingNoiseSource(band, grid, seed=1)
+        indices, total = source.spikes(3)
+        assert total == 3 * grid.n_samples
+        assert np.all(np.diff(indices) > 0)
+        assert indices[-1] < total
+
+    def test_spikes_continue_across_calls(self, band, grid):
+        source = StreamingNoiseSource(band, grid, seed=2)
+        first, total1 = source.spikes(1)
+        second, total2 = source.spikes(1)
+        assert total2 == 2 * grid.n_samples
+        assert second.min() >= total1 - 1
+
+    def test_boundary_crossings_counted(self, band, grid):
+        """Streamed detection == one-shot detection on the same stream."""
+        seed = 7
+        source = StreamingNoiseSource(band, grid, seed=seed, warmup_blocks=0)
+        streamed, total = source.spikes(4)
+
+        # Rebuild the identical stream in one shot.
+        shaper = IirNoiseShaper(band, grid)
+        rng = np.random.default_rng(seed)
+        white = rng.standard_normal(4 * grid.n_samples)
+        record = shaper.shape(white)
+        long_grid = SimulationGrid(n_samples=record.size, dt=grid.dt)
+        oneshot = AllCrossingDetector().detect(record, long_grid)
+        assert np.array_equal(streamed, oneshot.indices)
+
+    def test_spike_train_window(self, band, grid):
+        source = StreamingNoiseSource(band, grid, seed=3)
+        train = source.spike_train(2)
+        assert train.grid.n_samples == 2 * grid.n_samples
+        assert len(train) > 0
+
+    def test_rate_matches_fft_path(self, band, grid):
+        """IIR-shaped noise crosses at roughly the band's Rice rate."""
+        from repro.noise.spectra import WhiteSpectrum
+
+        source = StreamingNoiseSource(band, grid, seed=4)
+        indices, total = source.spikes(8)
+        measured = indices.size / (total * grid.dt)
+        theory = WhiteSpectrum(band).expected_zero_crossing_rate()
+        # Butterworth skirts soften the band edges; 20% tolerance.
+        assert measured == pytest.approx(theory, rel=0.2)
+
+    def test_invalid_blocks(self, band, grid):
+        with pytest.raises(ConfigurationError):
+            StreamingNoiseSource(band, grid, seed=0).spikes(0)

@@ -1,0 +1,103 @@
+"""Tests for repro.noise.psd: Welch estimation, autocorrelation, slope."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.psd import autocorrelation, fit_spectral_slope, welch_psd
+from repro.noise.spectra import Band, PinkSpectrum, WhiteSpectrum
+from repro.noise.synthesis import NoiseSynthesizer
+from repro.units import GIGAHERTZ, MEGAHERTZ, paper_white_grid
+
+
+@pytest.fixture
+def grid():
+    return paper_white_grid(n_samples=16384)
+
+
+class TestWelchPsd:
+    def test_total_power_matches_variance(self, grid):
+        record = NoiseSynthesizer(
+            WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)), grid
+        ).generate(0)
+        estimate = welch_psd(record, grid, segment_length=2048)
+        assert estimate.total_power() == pytest.approx(record.var(), rel=0.15)
+
+    def test_band_edges_visible(self, grid):
+        band = Band(1 * GIGAHERTZ, 3 * GIGAHERTZ)
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(1)
+        estimate = welch_psd(record, grid, segment_length=2048)
+        assert estimate.fraction_in_band(band.f_low, band.f_high) > 0.90
+
+    def test_white_slope_near_zero(self, grid):
+        band = Band(100 * MEGAHERTZ, 8 * GIGAHERTZ)
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(2)
+        estimate = welch_psd(record, grid, segment_length=2048)
+        slope = fit_spectral_slope(estimate, 0.5 * GIGAHERTZ, 6 * GIGAHERTZ)
+        assert abs(slope) < 0.3
+
+    def test_pink_slope_near_minus_one(self, grid):
+        band = Band(100 * MEGAHERTZ, 8 * GIGAHERTZ)
+        record = NoiseSynthesizer(PinkSpectrum(band), grid).generate(3)
+        estimate = welch_psd(record, grid, segment_length=2048)
+        slope = fit_spectral_slope(estimate, 0.5 * GIGAHERTZ, 6 * GIGAHERTZ)
+        assert slope == pytest.approx(-1.0, abs=0.35)
+
+    def test_rejects_2d_input(self, grid):
+        with pytest.raises(ConfigurationError):
+            welch_psd(np.zeros((4, 4)), grid)
+
+    def test_rejects_bad_overlap(self, grid):
+        with pytest.raises(ConfigurationError):
+            welch_psd(np.zeros(grid.n_samples), grid, overlap=1.0)
+
+    def test_rejects_tiny_segment(self, grid):
+        with pytest.raises(ConfigurationError):
+            welch_psd(np.zeros(grid.n_samples), grid, segment_length=4)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, grid):
+        record = NoiseSynthesizer(
+            WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)), grid
+        ).generate(4)
+        acf = autocorrelation(record, max_lag=64)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_band_limited_decay(self, grid):
+        # Correlation time of a band-limited process ~ 1/bandwidth; at
+        # lags far beyond it the ACF must be near zero.
+        record = NoiseSynthesizer(
+            WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)), grid
+        ).generate(5)
+        acf = autocorrelation(record, max_lag=512)
+        assert abs(acf[400:]).max() < 0.2
+
+    def test_invalid_lag(self, grid):
+        record = np.random.default_rng(0).normal(size=grid.n_samples)
+        with pytest.raises(ConfigurationError):
+            autocorrelation(record, max_lag=-1)
+        with pytest.raises(ConfigurationError):
+            autocorrelation(record, max_lag=grid.n_samples)
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(np.zeros(100), max_lag=10)
+
+    def test_periodic_signal_periodicity(self, grid):
+        t = np.arange(grid.n_samples)
+        period = 100
+        record = np.sin(2 * np.pi * t / period)
+        acf = autocorrelation(record, max_lag=2 * period)
+        assert acf[period] == pytest.approx(1.0, abs=0.02)
+        assert acf[period // 2] == pytest.approx(-1.0, abs=0.02)
+
+
+class TestSlopeFit:
+    def test_too_few_points_rejected(self, grid):
+        record = NoiseSynthesizer(
+            WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)), grid
+        ).generate(6)
+        estimate = welch_psd(record, grid, segment_length=2048)
+        with pytest.raises(ConfigurationError):
+            fit_spectral_slope(estimate, 1e14, 2e14)

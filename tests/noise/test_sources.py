@@ -1,0 +1,71 @@
+"""Tests for repro.noise.sources: seedable record streams."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.sources import (
+    NoiseSource,
+    correlated_records,
+    independent_records,
+    paper_pink_source,
+    paper_white_source,
+)
+from repro.noise.spectra import Band, WhiteSpectrum
+from repro.units import GIGAHERTZ, paper_white_grid
+
+
+class TestNoiseSource:
+    def test_stream_advances(self):
+        source = paper_white_source(seed=0, n_samples=2048)
+        first = source.record()
+        second = source.record()
+        assert not np.array_equal(first, second)
+
+    def test_same_seed_same_stream(self):
+        a = paper_white_source(seed=3, n_samples=2048)
+        b = paper_white_source(seed=3, n_samples=2048)
+        assert np.array_equal(a.record(), b.record())
+
+    def test_records_stacks(self):
+        source = paper_white_source(seed=1, n_samples=2048)
+        block = source.records(4)
+        assert block.shape == (4, 2048)
+
+    def test_records_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            paper_white_source(seed=1, n_samples=2048).records(0)
+
+    def test_iterator_protocol(self):
+        source = paper_white_source(seed=2, n_samples=2048)
+        records = list(itertools.islice(iter(source), 3))
+        assert len(records) == 3
+        assert records[0].shape == (2048,)
+
+    def test_expected_rate_positive(self):
+        source = paper_white_source(seed=0, n_samples=2048)
+        assert source.expected_zero_crossing_rate() > 1e9
+
+    def test_pink_source_band(self):
+        source = paper_pink_source(seed=0, n_samples=2048)
+        assert source.spectrum.band.f_low == pytest.approx(2.5e6)
+
+
+class TestHelpers:
+    def test_independent_records(self):
+        grid = paper_white_grid(n_samples=2048)
+        spectrum = WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ))
+        block = independent_records(spectrum, grid, count=3, seed=0)
+        assert block.shape == (3, 2048)
+        assert abs(np.corrcoef(block[0], block[1])[0, 1]) < 0.15
+
+    def test_correlated_records(self):
+        grid = paper_white_grid(n_samples=4096)
+        spectrum = WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ))
+        block = correlated_records(
+            spectrum, grid, count=2,
+            common_amplitude=0.945, private_amplitude=0.055, seed=0,
+        )
+        assert np.corrcoef(block[0], block[1])[0, 1] > 0.98

@@ -1,0 +1,146 @@
+"""Tests for repro.noise.spectra: bands and PSD shapes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectrumError
+from repro.noise.spectra import (
+    PAPER_PINK_BAND,
+    PAPER_WHITE_BAND,
+    Band,
+    LorentzianSpectrum,
+    PinkSpectrum,
+    PowerLawSpectrum,
+    WhiteSpectrum,
+)
+from repro.units import GIGAHERTZ, MEGAHERTZ, SimulationGrid, paper_white_grid
+
+
+class TestBand:
+    def test_width_and_ratio(self):
+        band = Band(5 * MEGAHERTZ, 10 * GIGAHERTZ)
+        assert band.width == pytest.approx(10 * GIGAHERTZ - 5 * MEGAHERTZ)
+        assert band.ratio == pytest.approx(2000.0)
+
+    def test_lowpass_band_ratio_infinite(self):
+        band = Band(0.0, 1 * GIGAHERTZ)
+        assert math.isinf(band.ratio)
+
+    def test_contains(self):
+        band = Band(1.0, 10.0)
+        mask = band.contains(np.array([0.5, 1.0, 5.0, 10.0, 11.0]))
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_invalid_edges(self):
+        with pytest.raises(SpectrumError):
+            Band(10.0, 1.0)
+        with pytest.raises(SpectrumError):
+            Band(-1.0, 10.0)
+        with pytest.raises(SpectrumError):
+            Band(1.0, math.inf)
+
+    def test_bin_mask_excludes_dc(self):
+        grid = SimulationGrid(n_samples=64, dt=1e-9)
+        band = Band(0.0, grid.nyquist)
+        mask = band.bin_mask(grid)
+        assert not mask[0]
+        assert mask[1:].all()
+
+    def test_bin_mask_empty_band_raises(self):
+        grid = SimulationGrid(n_samples=64, dt=1e-9)
+        # Band far above Nyquist: no bins.
+        band = Band(1e12, 2e12)
+        with pytest.raises(SpectrumError):
+            band.bin_mask(grid)
+
+    def test_paper_bands(self):
+        assert PAPER_WHITE_BAND.f_low == pytest.approx(5 * MEGAHERTZ)
+        assert PAPER_WHITE_BAND.f_high == pytest.approx(10 * GIGAHERTZ)
+        assert PAPER_PINK_BAND.f_low == pytest.approx(2.5 * MEGAHERTZ)
+
+
+class TestWhiteSpectrum:
+    def test_density_flat(self):
+        spectrum = WhiteSpectrum(Band(1.0, 10.0))
+        values = spectrum.density(np.array([1.0, 5.0, 10.0]))
+        assert np.allclose(values, 1.0)
+
+    def test_amplitude_mask_zero_out_of_band(self):
+        grid = paper_white_grid(n_samples=1024)
+        spectrum = WhiteSpectrum(Band(1 * GIGAHERTZ, 5 * GIGAHERTZ))
+        weights = spectrum.amplitude_mask(grid)
+        freqs = np.fft.rfftfreq(grid.n_samples, d=grid.dt)
+        out_of_band = (freqs < 1 * GIGAHERTZ) | (freqs > 5 * GIGAHERTZ)
+        assert np.all(weights[out_of_band] == 0.0)
+        assert np.all(weights[~out_of_band] > 0.0)
+
+    def test_rice_rate_white_closed_form(self):
+        # rate = 2*sqrt((f2^3-f1^3)/(3(f2-f1))); f1→0 gives 2*f2/sqrt(3).
+        spectrum = WhiteSpectrum(Band(0.0, 9.0))
+        assert spectrum.expected_zero_crossing_rate() == pytest.approx(
+            2 * 9.0 / math.sqrt(3.0)
+        )
+
+    def test_paper_white_rate_is_86_6ps(self):
+        spectrum = WhiteSpectrum(PAPER_WHITE_BAND)
+        isi = 1.0 / spectrum.expected_zero_crossing_rate()
+        assert isi == pytest.approx(86.6e-12, rel=0.01)
+
+
+class TestPowerLawSpectrum:
+    def test_pink_density_shape(self):
+        spectrum = PinkSpectrum(Band(1.0, 100.0))
+        values = spectrum.density(np.array([1.0, 10.0, 100.0]))
+        assert values[0] / values[1] == pytest.approx(10.0)
+        assert values[1] / values[2] == pytest.approx(10.0)
+
+    def test_pink_needs_positive_lower_edge(self):
+        with pytest.raises(SpectrumError):
+            PinkSpectrum(Band(0.0, 10.0))
+
+    def test_exponent_range(self):
+        with pytest.raises(SpectrumError):
+            PowerLawSpectrum(Band(1.0, 10.0), exponent=-0.5)
+        with pytest.raises(SpectrumError):
+            PowerLawSpectrum(Band(1.0, 10.0), exponent=2.5)
+
+    def test_exponent_zero_matches_white(self):
+        band = Band(1.0, 10.0)
+        power_law = PowerLawSpectrum(band, exponent=0.0)
+        white = WhiteSpectrum(band)
+        assert power_law.expected_zero_crossing_rate() == pytest.approx(
+            white.expected_zero_crossing_rate()
+        )
+
+    def test_paper_pink_rate_is_204ps(self):
+        spectrum = PinkSpectrum(PAPER_PINK_BAND)
+        isi = 1.0 / spectrum.expected_zero_crossing_rate()
+        assert isi == pytest.approx(204e-12, rel=0.02)
+
+    def test_log_moment_branch(self):
+        # exponent=1, order=0 hits the logarithmic moment branch.
+        spectrum = PowerLawSpectrum(Band(1.0, math.e), exponent=1.0)
+        assert spectrum._spectral_moment(0) == pytest.approx(1.0)
+
+
+class TestLorentzianSpectrum:
+    def test_density_halves_at_corner(self):
+        spectrum = LorentzianSpectrum(Band(0.0, 100.0), corner=10.0)
+        values = spectrum.density(np.array([0.0, 10.0]))
+        assert values[1] == pytest.approx(values[0] / 2.0)
+
+    def test_invalid_corner(self):
+        with pytest.raises(SpectrumError):
+            LorentzianSpectrum(Band(0.0, 10.0), corner=0.0)
+
+    def test_crossing_rate_finite(self):
+        spectrum = LorentzianSpectrum(Band(0.0, 100.0), corner=10.0)
+        rate = spectrum.expected_zero_crossing_rate()
+        assert rate > 0 and math.isfinite(rate)
+
+    def test_moment_orders(self):
+        spectrum = LorentzianSpectrum(Band(0.0, 10.0), corner=1.0)
+        with pytest.raises(NotImplementedError):
+            spectrum._spectral_moment(1)

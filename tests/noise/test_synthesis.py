@@ -1,0 +1,106 @@
+"""Tests for repro.noise.synthesis: FFT-shaped Gaussian records."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.noise.psd import welch_psd
+from repro.noise.spectra import Band, WhiteSpectrum
+from repro.noise.synthesis import NoiseSynthesizer, make_rng, synthesize
+from repro.units import GIGAHERTZ, paper_white_grid
+
+
+@pytest.fixture
+def band():
+    return Band(1 * GIGAHERTZ, 5 * GIGAHERTZ)
+
+
+@pytest.fixture
+def grid():
+    return paper_white_grid(n_samples=8192)
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        rng = make_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).standard_normal() == make_rng(7).standard_normal()
+
+
+class TestNoiseSynthesizer:
+    def test_record_length_and_type(self, band, grid):
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(0)
+        assert record.shape == (grid.n_samples,)
+        assert record.dtype == np.float64
+
+    def test_normalized_unit_std(self, band, grid):
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(1)
+        assert record.std() == pytest.approx(1.0)
+        assert abs(record.mean()) < 0.05
+
+    def test_unnormalized_mode(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid, normalize=False)
+        record = synth.generate(1)
+        # Unnormalised records have arbitrary scale but must not be
+        # silently rescaled to 1.
+        assert record.std() != pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_given_seed(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid)
+        assert np.array_equal(synth.generate(5), synth.generate(5))
+
+    def test_different_seeds_differ(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid)
+        assert not np.array_equal(synth.generate(1), synth.generate(2))
+
+    def test_marginal_is_gaussian(self, band, grid):
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(3)
+        # Kolmogorov-Smirnov against the standard normal; generous alpha.
+        statistic, p_value = stats.kstest(record, "norm")
+        assert p_value > 1e-4
+
+    def test_power_confined_to_band(self, band, grid):
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(4)
+        # Long segments keep Hann-window leakage past the edges to a few %.
+        estimate = welch_psd(record, grid, segment_length=2048)
+        in_band = estimate.fraction_in_band(band.f_low, band.f_high)
+        assert in_band > 0.90
+
+    def test_generate_many_shape_and_independence(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid)
+        records = synth.generate_many(3, rng=0)
+        assert records.shape == (3, grid.n_samples)
+        corr = np.corrcoef(records[0], records[1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_generate_many_invalid_count(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid)
+        with pytest.raises(ConfigurationError):
+            synth.generate_many(0)
+
+    def test_expected_isi_matches_rice(self, band, grid):
+        synth = NoiseSynthesizer(WhiteSpectrum(band), grid)
+        assert synth.expected_mean_isi() == pytest.approx(
+            1.0 / WhiteSpectrum(band).expected_zero_crossing_rate()
+        )
+
+    def test_synthesize_shortcut(self, band, grid):
+        record = synthesize(WhiteSpectrum(band), grid, rng=0)
+        assert record.shape == (grid.n_samples,)
+
+    def test_zero_mean_exactly_no_dc(self, band, grid):
+        record = NoiseSynthesizer(WhiteSpectrum(band), grid).generate(6)
+        spectrum = np.fft.rfft(record)
+        # DC bin was masked out; residual mean comes only from float error
+        # and the unit-std normalisation.
+        assert abs(spectrum[0]) / grid.n_samples < 1e-10

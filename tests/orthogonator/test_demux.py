@@ -1,0 +1,130 @@
+"""Tests for repro.orthogonator.demux: the serial orthogonator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpikeTrainError
+from repro.orthogonator.demux import (
+    DemuxOrthogonator,
+    spike_packages,
+    wire_label,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=1000, dt=1e-12)
+
+
+@pytest.fixture
+def train(grid):
+    return SpikeTrain(np.arange(0, 1000, 7), grid)  # 143 spikes
+
+
+class TestRouting:
+    def test_paper_rule(self):
+        device = DemuxOrthogonator.with_outputs(3)
+        # p = 1 + (r-1) mod 3
+        assert [device.route(r) for r in range(1, 8)] == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_one_based_ordinals(self):
+        with pytest.raises(ConfigurationError):
+            DemuxOrthogonator.with_outputs(3).route(0)
+
+    def test_order_to_outputs(self):
+        assert DemuxOrthogonator(1).n_outputs == 1
+        assert DemuxOrthogonator(2).n_outputs == 3
+        assert DemuxOrthogonator(3).n_outputs == 7
+        assert DemuxOrthogonator(4).n_outputs == 15
+
+    def test_with_outputs_order_none(self):
+        device = DemuxOrthogonator.with_outputs(5)
+        assert device.order is None
+        assert device.n_outputs == 5
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            DemuxOrthogonator(0)
+        with pytest.raises(ConfigurationError):
+            DemuxOrthogonator.with_outputs(0)
+
+
+class TestTransform:
+    def test_outputs_partition_input(self, train):
+        output = DemuxOrthogonator(2).transform(train)
+        merged = output.trains[0]
+        for t in output.trains[1:]:
+            merged = merged | t
+        assert merged == train
+
+    def test_outputs_orthogonal(self, train):
+        output = DemuxOrthogonator(2).transform(train)
+        for i in range(len(output)):
+            for j in range(i + 1, len(output)):
+                assert output.trains[i].is_orthogonal_to(output.trains[j])
+
+    def test_wire_assignment_matches_route(self, train):
+        device = DemuxOrthogonator.with_outputs(3)
+        output = device.transform(train)
+        for r, spike in enumerate(train.indices.tolist(), start=1):
+            wire = device.route(r)
+            assert spike in output[wire_label(wire)]
+
+    def test_equal_rates(self, train):
+        output = DemuxOrthogonator.with_outputs(3).transform(train)
+        counts = [len(t) for t in output.trains]
+        assert max(counts) - min(counts) <= 1
+
+    def test_labels(self, train):
+        output = DemuxOrthogonator.with_outputs(3).transform(train)
+        assert output.labels == ("W1", "W2", "W3")
+
+    def test_single_input_required(self, train):
+        with pytest.raises(ConfigurationError):
+            DemuxOrthogonator(2).transform(train, train)
+
+    def test_empty_input(self, grid):
+        output = DemuxOrthogonator(2).transform(SpikeTrain.empty(grid))
+        assert all(len(t) == 0 for t in output.trains)
+
+    def test_statistics_accessor(self, train):
+        stats = DemuxOrthogonator(2).transform(train).statistics()
+        assert set(stats) == {"W1", "W2", "W3"}
+        # Output ISI ~ 3x source ISI for cyclic dealing of a periodic train.
+        assert stats["W1"].mean_isi_samples == pytest.approx(21.0)
+
+
+class TestSpikePackages:
+    def test_package_structure(self, train):
+        output = DemuxOrthogonator.with_outputs(3).transform(train)
+        packages = spike_packages(output)
+        assert len(packages) == len(train) // 3
+        first = packages[0]
+        assert first.ordinal == 0
+        assert first.slots == (0, 7, 14)
+        assert first.span == 14
+
+    def test_packages_in_order(self, train):
+        output = DemuxOrthogonator.with_outputs(3).transform(train)
+        packages = spike_packages(output)
+        for earlier, later in zip(packages, packages[1:]):
+            assert earlier.end < later.start
+
+    def test_incomplete_packages_excluded(self, grid):
+        train = SpikeTrain([0, 10, 20, 30, 40], grid)  # 5 spikes, M=3
+        output = DemuxOrthogonator.with_outputs(3).transform(train)
+        assert len(spike_packages(output)) == 1
+        assert len(spike_packages(output, require_complete=False)) == 2
+
+    def test_foreign_trains_rejected(self, grid):
+        from repro.orthogonator.base import OrthogonatorOutput
+
+        # Two trains that are NOT a demux partition: packages interleave.
+        bogus = OrthogonatorOutput(
+            trains=(SpikeTrain([10, 20], grid), SpikeTrain([5, 15], grid)),
+            labels=("W1", "W2"),
+        )
+        with pytest.raises(SpikeTrainError):
+            spike_packages(bogus)

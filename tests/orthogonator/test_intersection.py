@@ -1,0 +1,135 @@
+"""Tests for repro.orthogonator.intersection: the parallel orthogonator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpikeTrainError
+from repro.orthogonator.intersection import (
+    IntersectionOrthogonator,
+    default_input_names,
+    product_label,
+    subset_masks,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=100, dt=1e-12)
+
+
+class TestLabels:
+    def test_default_names(self):
+        assert default_input_names(3) == ("A", "B", "C")
+
+    def test_names_past_alphabet(self):
+        names = default_input_names(28)
+        assert len(set(names)) == 28
+
+    def test_product_label_two_inputs(self):
+        names = ("A", "B")
+        assert product_label(0b11, names) == "A·B"
+        assert product_label(0b01, names).startswith("A·B")  # A·B̄
+        assert "·B" in product_label(0b10, names)  # Ā·B
+
+    def test_product_label_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            product_label(0, ("A",))
+        with pytest.raises(ConfigurationError):
+            product_label(4, ("A", "B"))
+
+    def test_subset_masks_full_first(self):
+        masks = subset_masks(2)
+        assert masks[0] == 0b11
+        assert sorted(masks) == [1, 2, 3]
+
+    def test_subset_masks_count(self):
+        assert len(subset_masks(4)) == 15
+
+
+class TestConstruction:
+    def test_output_count(self):
+        assert IntersectionOrthogonator(1).n_outputs == 1
+        assert IntersectionOrthogonator(2).n_outputs == 3
+        assert IntersectionOrthogonator(4).n_outputs == 15
+
+    def test_too_many_inputs(self):
+        with pytest.raises(ConfigurationError):
+            IntersectionOrthogonator(21)
+
+    def test_name_validation(self):
+        with pytest.raises(ConfigurationError):
+            IntersectionOrthogonator(2, input_names=("A",))
+        with pytest.raises(ConfigurationError):
+            IntersectionOrthogonator(2, input_names=("A", "A"))
+
+    def test_mask_for_label_round_trip(self):
+        device = IntersectionOrthogonator(3)
+        for label, mask in zip(device.labels, subset_masks(3)):
+            assert device.mask_for_label(label) == mask
+
+    def test_mask_for_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            IntersectionOrthogonator(2).mask_for_label("X·Y")
+
+
+class TestTransform:
+    def test_two_input_products(self, grid):
+        a = SpikeTrain([1, 2, 3, 10], grid)
+        b = SpikeTrain([2, 3, 4, 20], grid)
+        device = IntersectionOrthogonator(2)
+        output = device.transform(a, b)
+        both = device.coincidence_product(output)
+        assert both.indices.tolist() == [2, 3]
+        assert output[device.labels[1]].indices.tolist() == [1, 10]  # A only
+        assert output[device.labels[2]].indices.tolist() == [4, 20]  # B only
+
+    def test_outputs_partition_union(self, grid):
+        rng = np.random.default_rng(0)
+        a = SpikeTrain(rng.choice(100, 30, replace=False), grid)
+        b = SpikeTrain(rng.choice(100, 30, replace=False), grid)
+        output = IntersectionOrthogonator(2).transform(a, b)
+        merged = output.trains[0]
+        for t in output.trains[1:]:
+            assert merged.is_orthogonal_to(t)
+            merged = merged | t
+        assert merged == (a | b)
+
+    def test_three_inputs_exact_patterns(self, grid):
+        a = SpikeTrain([1, 4, 5, 7], grid)
+        b = SpikeTrain([2, 4, 6, 7], grid)
+        c = SpikeTrain([3, 5, 6, 7], grid)
+        device = IntersectionOrthogonator(3)
+        output = device.transform(a, b, c)
+        by_label = output.as_dict()
+        # Slot 7 is in all three; slot 4 in A,B; slot 1 in A only; etc.
+        full = product_label(0b111, device.input_names)
+        assert by_label[full].indices.tolist() == [7]
+        ab_only = product_label(0b011, device.input_names)
+        assert by_label[ab_only].indices.tolist() == [4]
+        a_only = product_label(0b001, device.input_names)
+        assert by_label[a_only].indices.tolist() == [1]
+
+    def test_wrong_input_count(self, grid):
+        with pytest.raises(ConfigurationError):
+            IntersectionOrthogonator(2).transform(SpikeTrain([1], grid))
+
+    def test_mixed_grids_rejected(self, grid):
+        other = SimulationGrid(n_samples=100, dt=2e-12)
+        with pytest.raises(SpikeTrainError):
+            IntersectionOrthogonator(2).transform(
+                SpikeTrain([1], grid), SpikeTrain([1], other)
+            )
+
+    def test_empty_inputs(self, grid):
+        output = IntersectionOrthogonator(2).transform(
+            SpikeTrain.empty(grid), SpikeTrain.empty(grid)
+        )
+        assert all(len(t) == 0 for t in output.trains)
+
+    def test_total_spikes_equals_union(self, grid):
+        a = SpikeTrain([1, 2, 3], grid)
+        b = SpikeTrain([3, 4], grid)
+        output = IntersectionOrthogonator(2).transform(a, b)
+        assert output.total_spikes() == len(a | b)

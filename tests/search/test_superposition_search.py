@@ -1,0 +1,116 @@
+"""Tests for repro.search.superposition_search."""
+
+import pytest
+
+from repro.errors import HyperspaceError, IdentificationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.search.superposition_search import SuperpositionDatabase
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=512, dt=1e-12)
+
+
+@pytest.fixture
+def basis():
+    return HyperspaceBasis(
+        [SpikeTrain(range(k, 512, 8), GRID) for k in range(8)]
+    )
+
+
+@pytest.fixture
+def database(basis):
+    db = SuperpositionDatabase(basis)
+    db.load([1, 3, 5])
+    return db
+
+
+class TestLoading:
+    def test_capacity(self, basis):
+        assert SuperpositionDatabase(basis).capacity == 8
+
+    def test_wire_is_union(self, database, basis):
+        expected = basis.encode_set([1, 3, 5])
+        assert database.wire == expected
+
+    def test_query_before_load_raises(self, basis):
+        with pytest.raises(HyperspaceError):
+            SuperpositionDatabase(basis).query(0)
+
+    def test_members_ground_truth(self, database):
+        assert database.members == frozenset({1, 3, 5})
+
+    def test_load_by_label(self, basis):
+        db = SuperpositionDatabase(basis)
+        db.load(["V2"])
+        assert db.members == frozenset({1})
+
+
+class TestQueries:
+    def test_present_state_single_check(self, database):
+        result = database.query(3)
+        assert result.present
+        assert result.coincidences_checked == 1
+        assert result.decision_slot == 3  # element 3's first spike
+
+    def test_absent_state_certified_at_last_reference_spike(self, database):
+        result = database.query(2)
+        assert not result.present
+        # Element 2 fires at 2, 10, ..., 506: absence certain only after
+        # every coincidence opportunity passed.
+        assert result.decision_slot == 506
+        assert result.coincidences_checked == 64
+
+    def test_query_cost_independent_of_member_count(self, basis):
+        small = SuperpositionDatabase(basis)
+        small.load([0])
+        large = SuperpositionDatabase(basis)
+        large.load(list(range(8)))
+        assert small.query(0).coincidences_checked == 1
+        assert large.query(0).coincidences_checked == 1
+
+    def test_start_slot_offsets_decision(self, database):
+        result = database.query(3, start_slot=100)
+        assert result.present
+        assert result.decision_slot == 107  # 107 ≡ 3 mod 8
+
+    def test_start_past_all_reference_spikes_raises(self, database):
+        with pytest.raises(IdentificationError):
+            database.query(3, start_slot=512)
+
+
+class TestReadout:
+    def test_enumerate_members(self, database):
+        members = database.enumerate_members()
+        assert set(members) == {1, 3, 5}
+        assert members[1] == 1
+
+    def test_verify(self, database):
+        assert database.verify()
+
+    def test_all_states_round_trip(self, basis):
+        import itertools
+
+        db = SuperpositionDatabase(basis)
+        for r in (0, 1, 4, 8):
+            for members in itertools.islice(
+                itertools.combinations(range(8), r), 8
+            ):
+                db.load(members)
+                assert db.verify()
+                for state in range(8):
+                    assert db.query(state).present == (state in members)
+
+
+class TestOnNoiseBasis:
+    def test_intersection_hyperspace(self):
+        from repro.hyperspace.builders import build_intersection_basis
+
+        basis = build_intersection_basis(4, common_amplitude=0.945, rng=3)
+        db = SuperpositionDatabase(basis)
+        db.load([0, 7, 14])
+        assert db.verify()
+        hit = db.query(7)
+        assert hit.present and hit.coincidences_checked == 1
+        miss = db.query(3)
+        assert not miss.present

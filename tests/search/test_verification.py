@@ -1,0 +1,102 @@
+"""Tests for repro.search.verification: equality/subset on wires."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HyperspaceError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.hyperspace.superposition import Superposition
+from repro.search.verification import verify_equality, verify_subset
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=256, dt=1e-12)
+
+
+def make_basis(m: int = 6) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 256, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def basis():
+    return make_basis()
+
+
+members = st.sets(st.integers(min_value=0, max_value=5))
+
+
+class TestEquality:
+    def test_equal_sets(self, basis):
+        a = basis.encode_set([1, 4])
+        b = basis.encode_set([4, 1])
+        result = verify_equality(basis, a, b)
+        assert result.verdict
+        assert result.witness_element is None
+
+    def test_unequal_sets_witnessed(self, basis):
+        a = basis.encode_set([1, 4])
+        b = basis.encode_set([1])
+        result = verify_equality(basis, a, b)
+        assert not result.verdict
+        assert result.witness_element == 4
+        assert result.decision_slot == 4  # element 4's first spike
+
+    def test_negative_decides_fast_positive_waits(self, basis):
+        equal = verify_equality(
+            basis, basis.encode_set([0, 1]), basis.encode_set([0, 1])
+        )
+        unequal = verify_equality(
+            basis, basis.encode_set([0, 1]), basis.encode_set([0, 2])
+        )
+        assert unequal.decision_slot < equal.decision_slot
+
+    def test_empty_sets_equal(self, basis):
+        result = verify_equality(
+            basis, SpikeTrain.empty(GRID), SpikeTrain.empty(GRID)
+        )
+        assert result.verdict
+
+    def test_foreign_spikes_rejected(self, basis):
+        sparse = HyperspaceBasis(
+            [SpikeTrain([0, 12], GRID), SpikeTrain([1, 13], GRID)]
+        )
+        dirty = sparse.encode_set([0]) | SpikeTrain([100], GRID)
+        with pytest.raises(HyperspaceError):
+            verify_equality(sparse, dirty, sparse.encode_set([0]))
+
+    @given(members, members)
+    @settings(max_examples=40)
+    def test_matches_set_semantics(self, xs, ys):
+        basis = make_basis()
+        a = Superposition(frozenset(xs)).encode(basis)
+        b = Superposition(frozenset(ys)).encode(basis)
+        assert verify_equality(basis, a, b).verdict == (set(xs) == set(ys))
+
+
+class TestSubset:
+    def test_subset_holds(self, basis):
+        a = basis.encode_set([2])
+        b = basis.encode_set([2, 5])
+        assert verify_subset(basis, a, b).verdict
+
+    def test_superset_fails_with_witness(self, basis):
+        a = basis.encode_set([2, 5])
+        b = basis.encode_set([2])
+        result = verify_subset(basis, a, b)
+        assert not result.verdict
+        assert result.witness_element == 5
+
+    def test_empty_subset_of_anything(self, basis):
+        result = verify_subset(
+            basis, SpikeTrain.empty(GRID), basis.encode_set([0])
+        )
+        assert result.verdict
+
+    @given(members, members)
+    @settings(max_examples=40)
+    def test_matches_set_semantics(self, xs, ys):
+        basis = make_basis()
+        a = Superposition(frozenset(xs)).encode(basis)
+        b = Superposition(frozenset(ys)).encode(basis)
+        assert verify_subset(basis, a, b).verdict == (set(xs) <= set(ys))

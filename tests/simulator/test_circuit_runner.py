@@ -1,0 +1,115 @@
+"""Cross-validation: event-driven circuit execution vs Circuit.transmit.
+
+Values must agree exactly.  Decision slots agree exactly for depth-1
+gates; for deeper gates the event-driven execution may settle *earlier*
+because its input correlators listen from t = 0, while the array model
+conservatively restarts identification when the gate's latest input
+becomes ready.  Both are valid self-timed disciplines; the array model
+upper-bounds the event-driven latency (asserted below).
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.circuits import Circuit
+from repro.logic.gates import and_gate, not_gate, xor_gate
+from repro.logic.synthesis import ripple_adder
+from repro.simulator.circuit_runner import compile_circuit, run_circuit
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=512, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 512, m), GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b2():
+    return make_basis(2)
+
+
+@pytest.fixture
+def b4():
+    return make_basis(4)
+
+
+class TestHalfAdder:
+    def test_values_and_depth1_slots_match(self, b2):
+        circuit = Circuit("half_adder", {"a": b2, "b": b2})
+        circuit.add_gate("sum", xor_gate(b2), ["a", "b"])
+        circuit.add_gate("carry", and_gate(b2), ["a", "b"])
+        circuit.mark_output("sum")
+        circuit.mark_output("carry")
+
+        for a, b in itertools.product((0, 1), repeat=2):
+            wires = {"a": b2.encode(a), "b": b2.encode(b)}
+            array = circuit.transmit(wires)
+            values, slots = run_circuit(circuit, wires)
+            assert values["sum"] == array.values["sum"]
+            assert values["carry"] == array.values["carry"]
+            # Depth-1 gates: identical decision slots.
+            assert slots["sum"] == array.decision_slots["sum"]
+            assert slots["carry"] == array.decision_slots["carry"]
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (3, 1, 0), (15, 15, 1),
+                                         (10, 5, 1), (7, 9, 0)])
+    def test_radix4_adder_agrees(self, b4, a, b, cin):
+        adder = ripple_adder(2, b4)
+        assignments = {"cin": cin}
+        for d in range(2):
+            assignments[f"a{d}"] = (a // 4**d) % 4
+            assignments[f"b{d}"] = (b // 4**d) % 4
+        wires = {name: b4.encode(v) for name, v in assignments.items()}
+
+        array = adder.transmit(wires)
+        values, slots = run_circuit(adder, wires)
+        for signal in ("s0", "s1", "c1", "c2"):
+            assert values[signal] == array.values[signal], signal
+        # Event-driven settles no later than the conservative array model.
+        for signal, slot in slots.items():
+            assert slot <= array.decision_slots[signal]
+
+
+class TestChain:
+    def test_inverter_chain_values(self, b2):
+        circuit = Circuit("chain", {"a": b2})
+        previous = "a"
+        for depth in range(4):
+            previous = circuit.add_gate(f"n{depth}", not_gate(b2), [previous])
+        circuit.mark_output(previous)
+
+        for value in (0, 1):
+            values, _slots = run_circuit(circuit, {"a": b2.encode(value)})
+            assert values["n3"] == value  # even number of inversions
+
+    def test_probe_records_output_stream(self, b2):
+        circuit = Circuit("buf", {"a": b2})
+        circuit.add_gate("n", not_gate(b2), ["a"])
+        circuit.mark_output("n")
+        compiled = compile_circuit(circuit, {"a": b2.encode(0)})
+        compiled.engine.run()
+        probe_train = compiled.probes["n"].to_train(GRID)
+        component = compiled.gate_components["n"]
+        expected = b2.encode(1).window(component.decision_slot, GRID.n_samples)
+        assert probe_train == expected
+
+
+class TestErrors:
+    def test_missing_wire(self, b2):
+        circuit = Circuit("c", {"a": b2})
+        circuit.add_gate("n", not_gate(b2), ["a"])
+        with pytest.raises(SimulationError):
+            compile_circuit(circuit, {})
+
+    def test_unsettled_gate_detected(self, b2):
+        circuit = Circuit("c", {"a": b2})
+        circuit.add_gate("n", not_gate(b2), ["a"])
+        with pytest.raises(SimulationError):
+            run_circuit(circuit, {"a": SpikeTrain.empty(GRID)})

@@ -1,0 +1,163 @@
+"""Tests for repro.simulator.components."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.components import (
+    AntiCoincidenceGate,
+    CoincidenceGate,
+    CyclicDemux,
+    DelayLine,
+    Probe,
+    RefractoryFilter,
+    SpikeSource,
+)
+from repro.simulator.engine import Engine
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=200, dt=1e-12)
+
+
+def run_pair(component, train_a, train_b=None, until=None):
+    """Wire one or two sources into a 2-port component, return probe slots."""
+    engine = Engine(GRID)
+    probe = Probe("p")
+    source_a = SpikeSource("a", train_a)
+    if train_b is not None:
+        source_b = SpikeSource("b", train_b)
+    if isinstance(component, CoincidenceGate):
+        engine.connect(source_a, "out", component, "in0")
+        engine.connect(source_b, "out", component, "in1")
+    elif isinstance(component, AntiCoincidenceGate):
+        engine.connect(source_a, "out", component, "a")
+        engine.connect(source_b, "out", component, "b")
+    else:
+        engine.connect(source_a, "out", component, "in")
+    engine.connect(component, "out", probe, "in")
+    engine.run(until=until if until is not None else GRID.n_samples + 64)
+    return probe.slots
+
+
+class TestDelayLine:
+    def test_delay(self):
+        slots = run_pair(DelayLine("d", 7), SpikeTrain([1, 10], GRID))
+        assert slots == [8, 17]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            DelayLine("d", -1)
+
+
+class TestCyclicDemux:
+    def test_round_robin(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([0, 10, 20, 30, 40], GRID))
+        demux = CyclicDemux("d", 3)
+        probes = [Probe(f"p{i}") for i in range(1, 4)]
+        engine.connect(source, "out", demux, "in")
+        for i, probe in enumerate(probes, start=1):
+            engine.connect(demux, f"out{i}", probe, "in")
+        engine.run()
+        assert probes[0].slots == [0, 30]
+        assert probes[1].slots == [10, 40]
+        assert probes[2].slots == [20]
+
+    def test_invalid_outputs(self):
+        with pytest.raises(SimulationError):
+            CyclicDemux("d", 0)
+
+
+class TestCoincidenceGate:
+    def test_same_slot_coincidence(self):
+        slots = run_pair(
+            CoincidenceGate("c", window=0),
+            SpikeTrain([5, 10, 20], GRID),
+            SpikeTrain([10, 21], GRID),
+        )
+        assert slots == [10]
+
+    def test_windowed_coincidence(self):
+        slots = run_pair(
+            CoincidenceGate("c", window=2),
+            SpikeTrain([10], GRID),
+            SpikeTrain([12], GRID),
+        )
+        assert slots == [12]
+
+    def test_re_arms_after_fire(self):
+        slots = run_pair(
+            CoincidenceGate("c", window=0),
+            SpikeTrain([10, 20], GRID),
+            SpikeTrain([10, 20], GRID),
+        )
+        assert slots == [10, 20]
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(SimulationError):
+            CoincidenceGate("c", n_inputs=1)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(SimulationError):
+            CoincidenceGate("c", window=-1)
+
+
+class TestAntiCoincidenceGate:
+    def test_passes_unvetoed(self):
+        gate = AntiCoincidenceGate("x", window=0)
+        slots = run_pair(gate, SpikeTrain([5, 10], GRID), SpikeTrain([10], GRID))
+        # Spike at 5 passes (emitted at 5 + latency); 10 vetoed.
+        assert slots == [5 + gate.latency]
+
+    def test_future_veto_applies(self):
+        gate = AntiCoincidenceGate("x", window=2)
+        # B at 11 vetoes A at 10 (|11-10| <= 2) even though B is later.
+        slots = run_pair(gate, SpikeTrain([10], GRID), SpikeTrain([11], GRID))
+        assert slots == []
+
+    def test_veto_window_boundary(self):
+        gate = AntiCoincidenceGate("x", window=2)
+        slots = run_pair(gate, SpikeTrain([10], GRID), SpikeTrain([13], GRID))
+        assert slots == [10 + gate.latency]
+
+    def test_latency_constant(self):
+        gate = AntiCoincidenceGate("x", window=3)
+        assert gate.latency == 4
+
+    def test_foreign_port_rejected(self):
+        engine = Engine(GRID)
+        gate = AntiCoincidenceGate("x")
+        engine.add(gate)
+        engine.schedule(gate, "weird", 0)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestRefractoryFilter:
+    def test_suppresses_close_spikes(self):
+        slots = run_pair(
+            RefractoryFilter("r", dead_time=5),
+            SpikeTrain([10, 12, 14, 30], GRID),
+        )
+        assert slots == [10, 30]
+
+    def test_zero_dead_time_passes_all_distinct(self):
+        slots = run_pair(
+            RefractoryFilter("r", dead_time=0),
+            SpikeTrain([10, 12], GRID),
+        )
+        assert slots == [10, 12]
+
+    def test_negative_dead_time_rejected(self):
+        with pytest.raises(SimulationError):
+            RefractoryFilter("r", dead_time=-1)
+
+
+class TestSpikeSource:
+    def test_foreign_port_rejected(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([1], GRID))
+        engine.add(source)
+        engine.schedule(source, "bogus", 0)
+        with pytest.raises(SimulationError):
+            engine.run()

@@ -1,0 +1,124 @@
+"""Tests for repro.simulator.engine: the event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.components import Probe, SpikeSource
+from repro.simulator.engine import Component, Engine
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=100, dt=1e-12)
+
+
+class Recorder(Component):
+    """Records (port, slot) pairs."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.events = []
+
+    def on_spike(self, port, slot):
+        self.events.append((port, slot))
+
+
+class Repeater(Component):
+    """Forwards every input spike to its 'out' port."""
+
+    def on_spike(self, port, slot):
+        self.engine.emit(self, "out", slot)
+
+
+class TestEngine:
+    def test_source_to_probe(self):
+        engine = Engine(GRID)
+        train = SpikeTrain([1, 5, 9], GRID)
+        source = SpikeSource("s", train)
+        probe = Probe("p")
+        engine.connect(source, "out", probe, "in")
+        engine.run()
+        assert probe.to_train(GRID) == train
+
+    def test_connection_delay(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([10], GRID))
+        probe = Probe("p")
+        engine.connect(source, "out", probe, "in", delay=5)
+        engine.run()
+        assert probe.slots == [15]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine(GRID)
+        a, b = Recorder("a"), Recorder("b")
+        with pytest.raises(SimulationError):
+            engine.connect(a, "out", b, "in", delay=-1)
+
+    def test_time_ordering(self):
+        engine = Engine(GRID)
+        recorder = Recorder("r")
+        engine.add(recorder)
+        engine.schedule(recorder, "x", 30)
+        engine.schedule(recorder, "y", 10)
+        engine.schedule(recorder, "z", 20)
+        engine.run()
+        assert recorder.events == [("y", 10), ("z", 20), ("x", 30)]
+
+    def test_same_slot_fifo(self):
+        engine = Engine(GRID)
+        recorder = Recorder("r")
+        engine.add(recorder)
+        engine.schedule(recorder, "first", 10)
+        engine.schedule(recorder, "second", 10)
+        engine.run()
+        assert recorder.events == [("first", 10), ("second", 10)]
+
+    def test_horizon_bounds_run(self):
+        engine = Engine(GRID)
+        recorder = Recorder("r")
+        engine.add(recorder)
+        engine.schedule(recorder, "early", 10)
+        engine.schedule(recorder, "late", 90)
+        delivered = engine.run(until=50)
+        assert delivered == 1
+        assert recorder.events == [("early", 10)]
+        # A later run picks up the rest.
+        engine.run()
+        assert recorder.events == [("early", 10), ("late", 90)]
+
+    def test_fanout(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([3], GRID))
+        p1, p2 = Probe("p1"), Probe("p2")
+        engine.connect(source, "out", p1, "in")
+        engine.connect(source, "out", p2, "in")
+        engine.run()
+        assert p1.slots == p2.slots == [3]
+
+    def test_chained_components(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([1, 2], GRID))
+        repeater = Repeater("r")
+        probe = Probe("p")
+        engine.connect(source, "out", repeater, "in")
+        engine.connect(repeater, "out", probe, "in", delay=1)
+        engine.run()
+        assert probe.slots == [2, 3]
+
+    def test_unattached_component_engine_access(self):
+        with pytest.raises(SimulationError):
+            Recorder("lonely").engine
+
+    def test_component_cannot_join_two_engines(self):
+        recorder = Recorder("r")
+        Engine(GRID).add(recorder)
+        with pytest.raises(SimulationError):
+            Engine(GRID).add(recorder)
+
+    def test_delivered_counter(self):
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([1, 2, 3], GRID))
+        probe = Probe("p")
+        engine.connect(source, "out", probe, "in")
+        engine.run()
+        # 3 source self-events + 3 probe deliveries.
+        assert engine.delivered_events == 6

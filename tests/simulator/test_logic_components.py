@@ -1,0 +1,109 @@
+"""Cross-validation: event-driven gates vs the array logic layer."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.gates import and_gate, xor_gate
+from repro.logic.multivalued import mod_sum_gate
+from repro.simulator.components import Probe, SpikeSource
+from repro.simulator.engine import Engine
+from repro.simulator.logic_components import (
+    CorrelatorComponent,
+    GateComponent,
+    gate_network,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=256, dt=1e-12)
+
+
+def make_basis(m: int) -> HyperspaceBasis:
+    return HyperspaceBasis([SpikeTrain(range(k, 256, m), GRID) for k in range(m)])
+
+
+class TestCorrelatorComponent:
+    def test_latches_first_owned_spike(self):
+        basis = make_basis(4)
+        engine = Engine(GRID)
+        correlator = CorrelatorComponent("c", basis)
+        source = SpikeSource("s", basis.encode(2))
+        probe = Probe("p")
+        engine.connect(source, "out", correlator, "in")
+        engine.connect(correlator, "decided", probe, "in")
+        engine.run()
+        assert correlator.element == 2
+        assert correlator.decision_slot == 2
+        assert probe.slots == [2]  # decides once, then latches
+
+    def test_foreign_spikes_ignored(self):
+        sparse = HyperspaceBasis(
+            [SpikeTrain([50], GRID), SpikeTrain([60], GRID)]
+        )
+        engine = Engine(GRID)
+        correlator = CorrelatorComponent("c", sparse)
+        source = SpikeSource("s", SpikeTrain([10, 60], GRID))
+        engine.connect(source, "out", correlator, "in")
+        engine.run()
+        assert correlator.element == 1
+
+    def test_foreign_port_rejected(self):
+        engine = Engine(GRID)
+        correlator = CorrelatorComponent("c", make_basis(2))
+        engine.add(correlator)
+        engine.schedule(correlator, "bogus", 0)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestGateComponentCrossValidation:
+    @pytest.mark.parametrize("a,b", list(itertools.product(range(4), repeat=2)))
+    def test_mod_sum_agrees_with_array_layer(self, a, b):
+        basis = make_basis(4)
+        gate = mod_sum_gate(basis)
+
+        # Array level.
+        array = gate.transmit(basis.encode(a), basis.encode(b))
+
+        # Event level.
+        engine = Engine(GRID)
+        network = gate_network(engine, gate, name="g")
+        for position, value in enumerate((a, b)):
+            source = SpikeSource(f"s{position}", basis.encode(value))
+            engine.connect(source, "out", network.correlator(position), "in")
+        probe = Probe("p")
+        engine.connect(network, "out", probe, "in")
+        engine.run()
+
+        assert network.value == array.value
+        assert network.decision_slot == array.decision_slot
+        # Output train: the reference train from the decision onward.
+        expected = basis.encode(array.value).window(
+            array.decision_slot, GRID.n_samples
+        )
+        assert probe.to_train(GRID) == expected
+
+    def test_binary_gates(self):
+        basis = make_basis(2)
+        for factory in (and_gate, xor_gate):
+            gate = factory(basis)
+            for a, b in itertools.product((0, 1), repeat=2):
+                engine = Engine(GRID)
+                network = gate_network(engine, gate)
+                for position, value in enumerate((a, b)):
+                    source = SpikeSource(f"s{position}", basis.encode(value))
+                    engine.connect(source, "out", network.correlator(position), "in")
+                engine.run()
+                assert network.value == gate.evaluate(a, b)
+
+    def test_foreign_port_rejected(self):
+        basis = make_basis(2)
+        engine = Engine(GRID)
+        gate_component = GateComponent("g", and_gate(basis))
+        engine.add(gate_component)
+        engine.schedule(gate_component, "bogus", 0)
+        with pytest.raises(SimulationError):
+            engine.run()

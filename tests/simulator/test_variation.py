@@ -1,0 +1,149 @@
+"""Tests for repro.simulator.variation: delay Monte Carlo.
+
+The bases here are sparse *random* spike sets — the paper's setting.
+Under random per-connection delays the confidence-gated receivers must
+never produce a wrong value: they either settle correctly (small
+delays keep spikes on their owned slots? no — ANY nonzero shift moves
+spikes off their exact slots, so misaligned gates stall) or stall
+detectably.  Dense periodic bases would alias instead (Section 6), which
+``test_periodic_basis_aliases_documented`` records.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.logic.circuits import Circuit
+from repro.logic.gates import and_gate, xor_gate
+from repro.logic.synthesis import ripple_adder
+from repro.simulator.circuit_runner import compile_circuit
+from repro.simulator.variation import (
+    randomize_connection_delays,
+    variation_monte_carlo,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=4096, dt=1e-12)
+
+
+def sparse_random_basis(m: int, n_spikes: int = 256, seed: int = 0) -> HyperspaceBasis:
+    rng = np.random.default_rng(seed)
+    slots = np.sort(rng.choice(GRID.n_samples, size=n_spikes, replace=False))
+    return HyperspaceBasis([SpikeTrain(slots[k::m], GRID) for k in range(m)])
+
+
+@pytest.fixture
+def b2():
+    return sparse_random_basis(2)
+
+
+@pytest.fixture
+def half_adder(b2):
+    circuit = Circuit("half_adder", {"a": b2, "b": b2})
+    circuit.add_gate("sum", xor_gate(b2), ["a", "b"])
+    circuit.add_gate("carry", and_gate(b2), ["a", "b"])
+    circuit.mark_output("sum")
+    circuit.mark_output("carry")
+    return circuit
+
+
+class TestRandomizeDelays:
+    def test_zero_delay_noop(self, half_adder, b2):
+        wires = {"a": b2.encode(1), "b": b2.encode(0)}
+        compiled = compile_circuit(half_adder, wires)
+        before = {k: list(v) for k, v in compiled.engine._connections.items()}
+        randomize_connection_delays(compiled, 0, np.random.default_rng(0))
+        after = compiled.engine._connections
+        assert {k: list(v) for k, v in after.items()} == before
+
+    def test_delays_bounded(self, half_adder, b2):
+        wires = {"a": b2.encode(1), "b": b2.encode(0)}
+        compiled = compile_circuit(half_adder, wires)
+        randomize_connection_delays(compiled, 7, np.random.default_rng(0))
+        for sinks in compiled.engine._connections.values():
+            for _sink, _port, delay in sinks:
+                assert 0 <= delay <= 7
+
+    def test_negative_rejected(self, half_adder, b2):
+        wires = {"a": b2.encode(1), "b": b2.encode(0)}
+        compiled = compile_circuit(half_adder, wires)
+        with pytest.raises(SimulationError):
+            randomize_connection_delays(compiled, -1, np.random.default_rng(0))
+
+
+class TestMonteCarlo:
+    def test_never_silently_wrong(self, half_adder, b2):
+        """The headline: wrong values never occur; stalls are detectable."""
+        rng = np.random.default_rng(1)
+        for a, b in itertools.product((0, 1), repeat=2):
+            wires = {"a": b2.encode(a), "b": b2.encode(b)}
+            outcome = variation_monte_carlo(
+                half_adder, wires, max_extra_delay=16, trials=5, rng=rng
+            )
+            assert outcome.wrong_value_trials == 0
+
+    def test_zero_delay_all_settle_correctly(self, half_adder, b2):
+        rng = np.random.default_rng(2)
+        wires = {"a": b2.encode(1), "b": b2.encode(1)}
+        outcome = variation_monte_carlo(
+            half_adder, wires, max_extra_delay=0, trials=2, rng=rng
+        )
+        assert outcome.wrong_value_trials == 0
+        assert outcome.unsettled_trials == 0
+
+    def test_large_delays_stall_not_corrupt(self, half_adder, b2):
+        rng = np.random.default_rng(3)
+        wires = {"a": b2.encode(0), "b": b2.encode(1)}
+        outcome = variation_monte_carlo(
+            half_adder, wires, max_extra_delay=64, trials=6, rng=rng
+        )
+        assert outcome.wrong_value_trials == 0
+        # With delays far beyond the slot scale some trials must stall.
+        assert outcome.unsettled_trials > 0
+
+    def test_adder_never_wrong(self):
+        b4 = sparse_random_basis(4, n_spikes=512, seed=5)
+        adder = ripple_adder(1, b4)
+        wires = {
+            "a0": b4.encode(3),
+            "b0": b4.encode(2),
+            "cin": b4.encode(0),
+        }
+        rng = np.random.default_rng(4)
+        outcome = variation_monte_carlo(
+            adder, wires, max_extra_delay=32, trials=8, rng=rng
+        )
+        assert outcome.wrong_value_trials == 0
+        assert outcome.trials == 8
+
+    def test_trials_validated(self, half_adder, b2):
+        wires = {"a": b2.encode(0), "b": b2.encode(0)}
+        with pytest.raises(SimulationError):
+            variation_monte_carlo(
+                half_adder, wires, 1, 0, np.random.default_rng(0)
+            )
+
+
+class TestPeriodicBasisAliases:
+    def test_periodic_basis_aliases_documented(self):
+        """Counterpoint: a dense periodic basis CAN be silently wrong
+        under delay — Section 6's argument against periodic timing."""
+        periodic = HyperspaceBasis(
+            [SpikeTrain(range(k, 4096, 2), GRID) for k in range(2)]
+        )
+        circuit = Circuit("buf", {"a": periodic})
+        from repro.logic.gates import buffer_gate
+
+        circuit.add_gate("y", buffer_gate(periodic), ["a"])
+        circuit.mark_output("y")
+        rng = np.random.default_rng(6)
+        outcome = variation_monte_carlo(
+            circuit, {"a": periodic.encode(0)}, max_extra_delay=5,
+            trials=10, rng=rng,
+        )
+        # Odd delays flip every slot's ownership: confident wrong values.
+        assert outcome.wrong_value_trials > 0

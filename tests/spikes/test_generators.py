@@ -1,0 +1,107 @@
+"""Tests for repro.spikes.generators: synthetic trains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spikes.generators import (
+    bernoulli_train,
+    jittered_periodic_train,
+    periodic_train,
+    poisson_train,
+    renewal_train,
+)
+from repro.spikes.statistics import isi_statistics
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=65536, dt=1e-12)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPoisson:
+    def test_rate_matches(self, grid, rng):
+        rate = 5e9  # 5 spikes/ns at dt=1ps -> p=0.005
+        train = poisson_train(rate, grid, rng)
+        assert train.mean_rate() == pytest.approx(rate, rel=0.1)
+
+    def test_cv_near_one(self, grid, rng):
+        train = poisson_train(1e10, grid, rng)
+        stats = isi_statistics(train)
+        assert stats.coefficient_of_variation == pytest.approx(1.0, abs=0.1)
+
+    def test_rate_too_high_rejected(self, grid, rng):
+        with pytest.raises(ConfigurationError):
+            poisson_train(2e12, grid, rng)  # p = 2 > 1
+
+
+class TestBernoulli:
+    def test_probability_bounds(self, grid, rng):
+        with pytest.raises(ConfigurationError):
+            bernoulli_train(1.5, grid, rng)
+
+    def test_density(self, grid, rng):
+        train = bernoulli_train(0.01, grid, rng)
+        assert len(train) == pytest.approx(0.01 * grid.n_samples, rel=0.15)
+
+
+class TestPeriodic:
+    def test_spacing(self, grid):
+        train = periodic_train(100, grid)
+        intervals = train.interspike_intervals()
+        assert np.all(intervals == 100)
+
+    def test_phase(self, grid):
+        train = periodic_train(100, grid, phase_samples=7)
+        assert train.first_spike_index() == 7
+
+    def test_phase_wraps_modulo_period(self, grid):
+        assert periodic_train(100, grid, phase_samples=107) == periodic_train(
+            100, grid, phase_samples=7
+        )
+
+    def test_shifted_copies_alias(self, grid):
+        """The Section 6 hazard: a delayed periodic train IS another one."""
+        a = periodic_train(100, grid, phase_samples=0)
+        b = periodic_train(100, grid, phase_samples=30)
+        assert a.shifted(30, wrap=True) == b
+
+    def test_invalid_period(self, grid):
+        with pytest.raises(ConfigurationError):
+            periodic_train(0, grid)
+
+
+class TestJitteredPeriodic:
+    def test_zero_jitter_is_periodic(self, grid, rng):
+        assert jittered_periodic_train(100, 0, grid, rng) == periodic_train(100, grid)
+
+    def test_jitter_increases_cv(self, grid, rng):
+        plain = isi_statistics(periodic_train(100, grid))
+        jittered = isi_statistics(jittered_periodic_train(100, 20, grid, rng))
+        assert jittered.coefficient_of_variation > plain.coefficient_of_variation
+
+
+class TestRenewal:
+    def test_mean_isi(self, grid, rng):
+        train = renewal_train(100.0, cv=0.5, grid=grid, rng=rng)
+        assert isi_statistics(train).mean_isi_samples == pytest.approx(100.0, rel=0.1)
+
+    def test_cv_controls_regularity(self, grid, rng):
+        regular = renewal_train(100.0, cv=0.2, grid=grid, rng=rng)
+        bursty = renewal_train(100.0, cv=1.5, grid=grid, rng=rng)
+        assert (
+            isi_statistics(regular).coefficient_of_variation
+            < isi_statistics(bursty).coefficient_of_variation
+        )
+
+    def test_invalid_parameters(self, grid, rng):
+        with pytest.raises(ConfigurationError):
+            renewal_train(0.0, cv=1.0, grid=grid, rng=rng)
+        with pytest.raises(ConfigurationError):
+            renewal_train(10.0, cv=0.0, grid=grid, rng=rng)

@@ -1,0 +1,136 @@
+"""Tests for repro.spikes.statistics: ISI stats, coincidences, Fano."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SpikeTrainError
+from repro.spikes.statistics import (
+    coincidence_count,
+    coincidence_rate,
+    cross_coincidence_matrix,
+    fano_factor,
+    isi_statistics,
+    rate_in_windows,
+)
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=1000, dt=1e-12)
+
+
+class TestIsiStatistics:
+    def test_periodic_train(self, grid):
+        train = SpikeTrain(np.arange(0, 1000, 10), grid)
+        stats = isi_statistics(train)
+        assert stats.mean_isi_samples == pytest.approx(10.0)
+        assert stats.rms_isi_samples == pytest.approx(0.0)
+        assert stats.coefficient_of_variation == pytest.approx(0.0)
+
+    def test_known_intervals(self, grid):
+        train = SpikeTrain([0, 10, 30], grid)  # intervals 10, 20
+        stats = isi_statistics(train)
+        assert stats.mean_isi_samples == pytest.approx(15.0)
+        assert stats.rms_isi_samples == pytest.approx(5.0)
+
+    def test_seconds_scaling(self, grid):
+        train = SpikeTrain([0, 10], grid)
+        stats = isi_statistics(train)
+        assert stats.mean_isi_seconds == pytest.approx(10e-12)
+        assert stats.mean_rate == pytest.approx(1e11)
+
+    def test_degenerate_train(self, grid):
+        stats = isi_statistics(SpikeTrain([5], grid))
+        assert math.isnan(stats.mean_isi_samples)
+        assert math.isnan(stats.mean_rate)
+
+    def test_format_row_contains_label(self, grid):
+        stats = isi_statistics(SpikeTrain([0, 10, 20], grid))
+        assert "mytrain" in stats.format_row("mytrain")
+
+
+class TestCoincidence:
+    def test_exact_count(self, grid):
+        a = SpikeTrain([1, 5, 9], grid)
+        b = SpikeTrain([5, 9, 20], grid)
+        assert coincidence_count(a, b) == 2
+
+    def test_windowed_count(self, grid):
+        a = SpikeTrain([10], grid)
+        b = SpikeTrain([12], grid)
+        assert coincidence_count(a, b, window=0) == 0
+        assert coincidence_count(a, b, window=1) == 0
+        assert coincidence_count(a, b, window=2) == 1
+
+    def test_window_left_and_right(self, grid):
+        a = SpikeTrain([10, 20], grid)
+        b = SpikeTrain([8, 22], grid)
+        assert coincidence_count(a, b, window=2) == 2
+
+    def test_negative_window_rejected(self, grid):
+        with pytest.raises(SpikeTrainError):
+            coincidence_count(SpikeTrain([1], grid), SpikeTrain([1], grid), window=-1)
+
+    def test_rate(self, grid):
+        a = SpikeTrain([1, 5, 9, 13], grid)
+        b = SpikeTrain([5, 9], grid)
+        assert coincidence_rate(a, b) == pytest.approx(0.5)
+
+    def test_rate_empty_nan(self, grid):
+        assert math.isnan(
+            coincidence_rate(SpikeTrain.empty(grid), SpikeTrain([1], grid))
+        )
+
+    def test_empty_inputs(self, grid):
+        assert coincidence_count(SpikeTrain.empty(grid), SpikeTrain([1], grid), 3) == 0
+        assert coincidence_count(SpikeTrain([1], grid), SpikeTrain.empty(grid), 3) == 0
+
+
+class TestCrossCoincidenceMatrix:
+    def test_orthogonal_is_diagonal(self, grid):
+        trains = [
+            SpikeTrain([0, 3], grid),
+            SpikeTrain([1, 4], grid),
+            SpikeTrain([2, 5], grid),
+        ]
+        matrix = cross_coincidence_matrix(trains)
+        assert matrix.tolist() == [[2, 0, 0], [0, 2, 0], [0, 0, 2]]
+
+    def test_overlap_appears_off_diagonal(self, grid):
+        trains = [SpikeTrain([0, 3], grid), SpikeTrain([3, 4], grid)]
+        matrix = cross_coincidence_matrix(trains)
+        assert matrix[0, 1] == matrix[1, 0] == 1
+
+
+class TestFanoAndWindows:
+    def test_rate_in_windows(self, grid):
+        train = SpikeTrain([0, 1, 2, 500, 501], grid)
+        counts = rate_in_windows(train, 100)
+        assert counts[0] == 3
+        assert counts[5] == 2
+        assert counts.sum() == 5
+
+    def test_periodic_fano_near_zero(self, grid):
+        train = SpikeTrain(np.arange(0, 1000, 10), grid)
+        assert fano_factor(train, 100) == pytest.approx(0.0, abs=1e-6)
+
+    def test_poisson_fano_near_one(self):
+        grid = SimulationGrid(n_samples=65536, dt=1e-12)
+        rng = np.random.default_rng(0)
+        hits = rng.random(grid.n_samples) < 0.02
+        train = SpikeTrain(np.flatnonzero(hits), grid)
+        assert fano_factor(train, 512) == pytest.approx(1.0, abs=0.15)
+
+    def test_invalid_window(self, grid):
+        with pytest.raises(SpikeTrainError):
+            fano_factor(SpikeTrain([1], grid), 0)
+        with pytest.raises(SpikeTrainError):
+            rate_in_windows(SpikeTrain([1], grid), -5)
+
+    def test_empty_window_result(self, grid):
+        counts = rate_in_windows(SpikeTrain([1], grid), 2000)
+        assert counts.size == 0

@@ -1,0 +1,186 @@
+"""Tests for repro.spikes.train: the SpikeTrain data structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpikeTrainError
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=100, dt=1e-12)
+
+
+class TestConstruction:
+    def test_sorts_and_dedups(self, grid):
+        train = SpikeTrain([5, 1, 5, 3], grid)
+        assert train.indices.tolist() == [1, 3, 5]
+
+    def test_empty(self, grid):
+        train = SpikeTrain.empty(grid)
+        assert len(train) == 0
+        assert train.first_spike_index() is None
+        assert train.first_spike_time() is None
+
+    def test_from_times_rounds(self, grid):
+        train = SpikeTrain.from_times([1.4e-12, 2.6e-12], grid)
+        assert train.indices.tolist() == [1, 3]
+
+    def test_from_raster_round_trip(self, grid):
+        train = SpikeTrain([2, 50, 99], grid)
+        assert SpikeTrain.from_raster(train.to_raster(), grid) == train
+
+    def test_from_raster_wrong_shape(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain.from_raster(np.zeros(50, dtype=bool), grid)
+
+    def test_rejects_negative(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([-1, 2], grid)
+
+    def test_rejects_out_of_range(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([100], grid)
+
+    def test_rejects_non_integral(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1.5], grid)
+
+    def test_accepts_integral_floats(self, grid):
+        train = SpikeTrain([1.0, 2.0], grid)
+        assert train.indices.tolist() == [1, 2]
+
+    def test_indices_read_only(self, grid):
+        train = SpikeTrain([1, 2], grid)
+        with pytest.raises(ValueError):
+            train.indices[0] = 9
+
+
+class TestProtocols:
+    def test_len_iter_contains(self, grid):
+        train = SpikeTrain([1, 5, 7], grid)
+        assert len(train) == 3
+        assert list(train) == [1, 5, 7]
+        assert 5 in train
+        assert 6 not in train
+
+    def test_equality_and_hash(self, grid):
+        a = SpikeTrain([1, 2], grid)
+        b = SpikeTrain([2, 1], grid)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_across_grids(self, grid):
+        other = SimulationGrid(n_samples=100, dt=2e-12)
+        assert SpikeTrain([1], grid) != SpikeTrain([1], other)
+
+    def test_times(self, grid):
+        train = SpikeTrain([3, 7], grid)
+        assert np.allclose(train.times, [3e-12, 7e-12])
+
+    def test_repr(self, grid):
+        assert "n=2" in repr(SpikeTrain([1, 2], grid))
+
+
+class TestSetAlgebra:
+    def test_union(self, grid):
+        a = SpikeTrain([1, 3], grid)
+        b = SpikeTrain([3, 5], grid)
+        assert (a | b).indices.tolist() == [1, 3, 5]
+
+    def test_intersection(self, grid):
+        a = SpikeTrain([1, 3, 5], grid)
+        b = SpikeTrain([3, 5, 7], grid)
+        assert (a & b).indices.tolist() == [3, 5]
+
+    def test_difference(self, grid):
+        a = SpikeTrain([1, 3, 5], grid)
+        b = SpikeTrain([3], grid)
+        assert (a - b).indices.tolist() == [1, 5]
+
+    def test_symmetric_difference(self, grid):
+        a = SpikeTrain([1, 3], grid)
+        b = SpikeTrain([3, 5], grid)
+        assert (a ^ b).indices.tolist() == [1, 5]
+
+    def test_orthogonality(self, grid):
+        a = SpikeTrain([1, 3], grid)
+        b = SpikeTrain([2, 4], grid)
+        assert a.is_orthogonal_to(b)
+        assert not a.is_orthogonal_to(a)
+
+    def test_subset(self, grid):
+        a = SpikeTrain([1, 3], grid)
+        b = SpikeTrain([1, 2, 3], grid)
+        assert a.is_subset_of(b)
+        assert not b.is_subset_of(a)
+
+    def test_cross_grid_rejected(self, grid):
+        other = SimulationGrid(n_samples=100, dt=2e-12)
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1], grid) | SpikeTrain([1], other)
+
+    def test_non_train_rejected(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1], grid).union([1, 2])
+
+
+class TestTransformations:
+    def test_shift_drops_overflow(self, grid):
+        train = SpikeTrain([95, 99], grid)
+        assert train.shifted(10).indices.tolist() == []
+
+    def test_shift_negative_drops_underflow(self, grid):
+        train = SpikeTrain([0, 5], grid)
+        assert train.shifted(-3).indices.tolist() == [2]
+
+    def test_shift_wrap(self, grid):
+        train = SpikeTrain([95, 99], grid)
+        assert train.shifted(10, wrap=True).indices.tolist() == [5, 9]
+
+    def test_shift_empty(self, grid):
+        assert len(SpikeTrain.empty(grid).shifted(5)) == 0
+
+    def test_window(self, grid):
+        train = SpikeTrain([1, 10, 20, 30], grid)
+        assert train.window(10, 30).indices.tolist() == [10, 20]
+
+    def test_window_invalid(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1], grid).window(10, 5)
+
+    def test_jitter_zero_is_identity(self, grid):
+        train = SpikeTrain([1, 50], grid)
+        assert train.jittered(0, np.random.default_rng(0)) == train
+
+    def test_jitter_bounded(self, grid):
+        train = SpikeTrain(list(range(10, 90, 5)), grid)
+        jittered = train.jittered(3, np.random.default_rng(1))
+        for spike in jittered.indices:
+            assert np.min(np.abs(train.indices - spike)) <= 3
+
+    def test_jitter_negative_rejected(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1], grid).jittered(-1, np.random.default_rng(0))
+
+    def test_thinning_probability_bounds(self, grid):
+        with pytest.raises(SpikeTrainError):
+            SpikeTrain([1], grid).thinned(1.5, np.random.default_rng(0))
+
+    def test_thinning_keep_all(self, grid):
+        train = SpikeTrain([1, 2, 3], grid)
+        assert train.thinned(1.0, np.random.default_rng(0)) == train
+
+    def test_thinning_drop_all(self, grid):
+        train = SpikeTrain([1, 2, 3], grid)
+        assert len(train.thinned(0.0, np.random.default_rng(0))) == 0
+
+    def test_mean_rate(self, grid):
+        train = SpikeTrain([0, 50], grid)
+        assert train.mean_rate() == pytest.approx(2 / (100 * 1e-12))
+
+    def test_interspike_intervals(self, grid):
+        train = SpikeTrain([2, 5, 11], grid)
+        assert train.interspike_intervals().tolist() == [3, 6]

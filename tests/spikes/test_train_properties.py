@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for SpikeTrain set algebra.
+
+The spike-train set operations are the computational substrate of the
+intersection orthogonator and the superposition codec, so their algebraic
+laws are checked over arbitrary inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=256, dt=1e-12)
+
+indices = st.lists(
+    st.integers(min_value=0, max_value=GRID.n_samples - 1), max_size=64
+)
+
+
+def train(xs) -> SpikeTrain:
+    return SpikeTrain(np.asarray(xs, dtype=np.int64), GRID)
+
+
+@given(indices, indices)
+def test_union_commutative(xs, ys):
+    a, b = train(xs), train(ys)
+    assert a | b == b | a
+
+
+@given(indices, indices)
+def test_intersection_commutative(xs, ys):
+    a, b = train(xs), train(ys)
+    assert a & b == b & a
+
+
+@given(indices, indices, indices)
+def test_union_associative(xs, ys, zs):
+    a, b, c = train(xs), train(ys), train(zs)
+    assert (a | b) | c == a | (b | c)
+
+
+@given(indices, indices, indices)
+def test_intersection_distributes_over_union(xs, ys, zs):
+    a, b, c = train(xs), train(ys), train(zs)
+    assert a & (b | c) == (a & b) | (a & c)
+
+
+@given(indices, indices)
+def test_difference_disjoint_from_other(xs, ys):
+    a, b = train(xs), train(ys)
+    assert (a - b).is_orthogonal_to(b)
+
+
+@given(indices, indices)
+def test_partition_by_other(xs, ys):
+    """a = (a - b) ∪ (a ∩ b), disjointly — the orthogonator's identity."""
+    a, b = train(xs), train(ys)
+    only_a = a - b
+    both = a & b
+    assert only_a.is_orthogonal_to(both)
+    assert only_a | both == a
+
+
+@given(indices, indices)
+def test_symmetric_difference_definition(xs, ys):
+    a, b = train(xs), train(ys)
+    assert a ^ b == (a | b) - (a & b)
+
+
+@given(indices)
+def test_self_laws(xs):
+    a = train(xs)
+    assert a | a == a
+    assert a & a == a
+    assert len(a - a) == 0
+
+
+@given(indices, st.integers(min_value=-300, max_value=300))
+def test_shift_preserves_or_drops(xs, offset):
+    """Shifting never invents spikes; wrap preserves the count exactly."""
+    a = train(xs)
+    shifted = a.shifted(offset)
+    assert len(shifted) <= len(a)
+    wrapped = a.shifted(offset, wrap=True)
+    assert len(wrapped) == len(a)
+
+
+@given(indices, st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=256))
+def test_window_subset(xs, start, extra):
+    a = train(xs)
+    stop = min(GRID.n_samples, start + extra)
+    if start <= stop:
+        w = a.window(start, stop)
+        assert w.is_subset_of(a)
+        assert all(start <= s < stop for s in w.indices)
+
+
+@given(indices)
+def test_raster_round_trip(xs):
+    a = train(xs)
+    assert SpikeTrain.from_raster(a.to_raster(), GRID) == a

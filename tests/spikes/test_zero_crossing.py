@@ -1,0 +1,126 @@
+"""Tests for repro.spikes.zero_crossing: detectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spikes.zero_crossing import (
+    AllCrossingDetector,
+    DownCrossingDetector,
+    HysteresisDetector,
+    UpCrossingDetector,
+    zero_crossings,
+)
+from repro.units import SimulationGrid
+
+
+@pytest.fixture
+def grid():
+    return SimulationGrid(n_samples=8, dt=1e-12)
+
+
+class TestAllCrossing:
+    def test_simple_alternating(self, grid):
+        record = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        train = AllCrossingDetector().detect(record, grid)
+        assert train.indices.tolist() == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_no_crossings(self, grid):
+        record = np.ones(8)
+        assert len(AllCrossingDetector().detect(record, grid)) == 0
+
+    def test_zero_sample_not_double_counted(self, grid):
+        # +1, 0, -1: one crossing, not two.
+        record = np.array([1.0, 0.0, -1.0, -1.0, -1.0, -1.0, -1.0, -1.0])
+        train = AllCrossingDetector().detect(record, grid)
+        assert len(train) == 1
+
+    def test_zero_touch_and_return_not_a_crossing(self, grid):
+        # +1, 0, +1: the signal touches zero but never changes sign.
+        record = np.array([1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        assert len(AllCrossingDetector().detect(record, grid)) == 0
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ConfigurationError):
+            AllCrossingDetector().detect(np.zeros(7), grid)
+
+
+class TestDirectionalDetectors:
+    def test_up_and_down_partition_all(self, grid):
+        rng = np.random.default_rng(0)
+        record = rng.normal(size=8)
+        all_c = AllCrossingDetector().detect(record, grid)
+        up = UpCrossingDetector().detect(record, grid)
+        down = DownCrossingDetector().detect(record, grid)
+        assert up.is_orthogonal_to(down)
+        assert (up | down) == all_c
+
+    def test_up_only(self, grid):
+        record = np.array([-1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, 1.0])
+        up = UpCrossingDetector().detect(record, grid)
+        assert up.indices.tolist() == [1, 5]
+
+    def test_down_only(self, grid):
+        record = np.array([-1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, 1.0])
+        down = DownCrossingDetector().detect(record, grid)
+        assert down.indices.tolist() == [3]
+
+
+class TestHysteresis:
+    def test_zero_threshold_equals_all_crossings(self):
+        grid = SimulationGrid(n_samples=1024, dt=1e-12)
+        record = np.random.default_rng(1).normal(size=1024)
+        plain = AllCrossingDetector().detect(record, grid)
+        hysteresis = HysteresisDetector(0.0).detect(record, grid)
+        assert plain == hysteresis
+
+    def test_suppresses_chatter(self, grid):
+        # Small wiggle around zero must produce no spikes with threshold 0.5.
+        record = np.array([0.1, -0.1, 0.1, -0.1, 0.1, -0.1, 0.1, -0.1])
+        assert len(HysteresisDetector(0.5).detect(record, grid)) == 0
+
+    def test_detects_full_swings(self, grid):
+        record = np.array([1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0])
+        train = HysteresisDetector(0.5).detect(record, grid)
+        assert train.indices.tolist() == [2, 4, 6]
+
+    def test_fewer_spikes_than_plain_on_noise(self):
+        grid = SimulationGrid(n_samples=4096, dt=1e-12)
+        record = np.random.default_rng(2).normal(size=4096)
+        plain = AllCrossingDetector().detect(record, grid)
+        hysteresis = HysteresisDetector(0.3).detect(record, grid)
+        assert 0 < len(hysteresis) < len(plain)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HysteresisDetector(-0.1)
+
+
+class TestFunctionalShortcut:
+    def test_directions(self, grid):
+        record = np.array([-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0])
+        both = zero_crossings(record, grid, "both")
+        up = zero_crossings(record, grid, "up")
+        down = zero_crossings(record, grid, "down")
+        assert len(both) == len(up) + len(down)
+
+    def test_invalid_direction(self, grid):
+        with pytest.raises(ConfigurationError):
+            zero_crossings(np.zeros(8), grid, "sideways")
+
+
+class TestRiceAgreement:
+    def test_white_noise_rate_matches_rice(self):
+        """End-to-end: generated white noise crosses at the Rice rate."""
+        from repro.noise.spectra import PAPER_WHITE_BAND, WhiteSpectrum
+        from repro.noise.synthesis import NoiseSynthesizer
+        from repro.units import paper_white_grid
+
+        grid = paper_white_grid(n_samples=32768)
+        spectrum = WhiteSpectrum(PAPER_WHITE_BAND)
+        record = NoiseSynthesizer(spectrum, grid).generate(0)
+        train = AllCrossingDetector().detect(record, grid)
+        measured = len(train) / grid.duration
+        assert measured == pytest.approx(
+            spectrum.expected_zero_crossing_rate(), rel=0.05
+        )

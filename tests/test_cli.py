@@ -1,0 +1,74 @@
+"""Tests for repro.cli: the experiment command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.command == "run"
+        assert args.experiment == "table1"
+        assert args.seed == 2016
+        assert args.output_dir is None
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestListOutput:
+    def test_lists_every_experiment(self):
+        out = io.StringIO()
+        code = main(["list"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+
+class TestRun:
+    def test_run_energy_prints_table(self):
+        out = io.StringIO()
+        code = main(["run", "energy"], out=out)
+        assert code == 0
+        assert "noise-spike" in out.getvalue()
+
+    def test_run_aliasing(self):
+        out = io.StringIO()
+        code = main(["run", "aliasing"], out=out)
+        assert code == 0
+        assert "periodic" in out.getvalue()
+
+    def test_output_dir_archives(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["run", "energy", "--output-dir", str(tmp_path)], out=out
+        )
+        assert code == 0
+        archived = (tmp_path / "energy.txt").read_text()
+        assert "noise-spike" in archived
+
+    def test_seed_flag_accepted(self):
+        out = io.StringIO()
+        code = main(["run", "aliasing", "--seed", "7"], out=out)
+        assert code == 0
+
+    def test_registry_complete(self):
+        """Every driver in repro.experiments is exposed by the CLI."""
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "figure1", "figure2", "figure3",
+            "speed", "aliasing", "scaling", "progressive", "energy",
+            "gates", "search", "verification", "robustness",
+        }

@@ -1,0 +1,173 @@
+"""Targeted edge-case tests across modules (branches the main suites skip)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-12)
+
+
+class TestEngineEdges:
+    def test_schedule_in_past_rejected_mid_run(self):
+        from repro.simulator.engine import Component, Engine
+
+        class BadComponent(Component):
+            def on_spike(self, port, slot):
+                # Scheduling before `now` must be rejected while running.
+                self.engine.schedule(self, "echo", slot - 10)
+
+        engine = Engine(GRID)
+        bad = BadComponent("bad")
+        engine.add(bad)
+        engine.schedule(bad, "in", 20)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_emit_without_connections_is_noop(self):
+        from repro.simulator.components import SpikeSource
+        from repro.simulator.engine import Engine
+
+        engine = Engine(GRID)
+        source = SpikeSource("s", SpikeTrain([1, 2], GRID))
+        engine.add(source)
+        assert engine.run() == 2  # only the source's own fire events
+
+
+class TestOrthogonatorEdges:
+    def test_order_one_intersection_is_identity(self):
+        from repro.orthogonator.intersection import IntersectionOrthogonator
+
+        train = SpikeTrain([1, 5, 9], GRID)
+        output = IntersectionOrthogonator(1).transform(train)
+        assert len(output) == 1
+        assert output.trains[0] == train
+
+    def test_demux_single_wire_is_identity(self):
+        from repro.orthogonator.demux import DemuxOrthogonator
+
+        train = SpikeTrain([1, 5, 9], GRID)
+        output = DemuxOrthogonator.with_outputs(1).transform(train)
+        assert output.trains[0] == train
+
+    def test_package_span_zero_for_single_wire(self):
+        from repro.orthogonator.demux import DemuxOrthogonator, spike_packages
+
+        train = SpikeTrain([3, 9], GRID)
+        output = DemuxOrthogonator.with_outputs(1).transform(train)
+        packages = spike_packages(output)
+        assert [p.span for p in packages] == [0, 0]
+        assert [p.start for p in packages] == [3, 9]
+
+
+class TestDetectorEdges:
+    def test_hysteresis_never_armed(self):
+        from repro.spikes.zero_crossing import HysteresisDetector
+
+        record = np.full(GRID.n_samples, 0.1)  # never exceeds ±0.5
+        train = HysteresisDetector(0.5).detect(record, GRID)
+        assert len(train) == 0
+
+    def test_hysteresis_armed_but_never_flips(self):
+        from repro.spikes.zero_crossing import HysteresisDetector
+
+        record = np.full(GRID.n_samples, 1.0)  # arms high, stays high
+        train = HysteresisDetector(0.5).detect(record, GRID)
+        assert len(train) == 0
+
+    def test_all_crossing_on_alternating_zeros(self):
+        from repro.spikes.zero_crossing import AllCrossingDetector
+
+        record = np.zeros(GRID.n_samples)
+        record[::2] = 1.0  # 1,0,1,0,... zeros glued to previous sign
+        train = AllCrossingDetector().detect(record, GRID)
+        assert len(train) == 0
+
+
+class TestStatisticsEdges:
+    def test_empty_train_statistics(self):
+        from repro.spikes.statistics import isi_statistics
+
+        stats = isi_statistics(SpikeTrain.empty(GRID))
+        assert stats.n_spikes == 0
+        assert math.isnan(stats.mean_isi_samples)
+        assert math.isnan(stats.coefficient_of_variation)
+
+    def test_fano_empty_windows_nan(self):
+        from repro.spikes.statistics import fano_factor
+
+        assert math.isnan(fano_factor(SpikeTrain.empty(GRID), 16))
+
+
+class TestCodecEdges:
+    def test_radix2_codec_eight_digits_per_byte(self):
+        from repro.hyperspace.codec import NeuroBitCodec
+        from repro.orthogonator.demux import DemuxOrthogonator
+
+        big = SimulationGrid(n_samples=8192, dt=1e-12)
+        source = SpikeTrain(np.arange(0, 8192, 4), big)
+        codec = NeuroBitCodec(DemuxOrthogonator.with_outputs(2).transform(source))
+        assert codec.digits_per_byte == 8
+        assert codec.decode(codec.encode(b"\x00\xff")) == b"\x00\xff"
+
+
+class TestWelchEdges:
+    def test_segment_longer_than_record_clamped(self):
+        from repro.noise.psd import welch_psd
+
+        grid = SimulationGrid(n_samples=512, dt=1e-12)
+        record = np.random.default_rng(0).normal(size=512)
+        estimate = welch_psd(record, grid, segment_length=4096)
+        assert estimate.frequencies.size == 512 // 2 + 1
+
+
+class TestGateEdges:
+    def test_gate_table_immutable_copy(self):
+        from repro.hyperspace.basis import HyperspaceBasis
+        from repro.logic.gates import gate_from_function
+
+        basis = HyperspaceBasis(
+            [SpikeTrain(range(k, 64, 2), GRID) for k in range(2)]
+        )
+        table = {(0,): 1, (1,): 0}
+        from repro.logic.gates import TruthTableGate
+
+        gate = TruthTableGate("inv", [basis], basis, table)
+        table[(0,)] = 0  # mutate the caller's dict
+        assert gate.evaluate(0) == 1  # the gate kept its own copy
+
+
+class TestUnitsEdges:
+    def test_negative_time_formatting(self):
+        from repro.units import format_time
+
+        assert format_time(-90e-12).startswith("-90")
+
+    def test_grid_equality_semantics(self):
+        assert SimulationGrid(10, 1e-12) == SimulationGrid(10, 1e-12)
+        assert SimulationGrid(10, 1e-12) != SimulationGrid(11, 1e-12)
+
+
+class TestSuperpositionEdges:
+    def test_full_wire_occupies_all_reference_slots(self):
+        from repro.hyperspace.basis import HyperspaceBasis
+        from repro.hyperspace.superposition import Superposition
+
+        basis = HyperspaceBasis(
+            [SpikeTrain(range(k, 64, 4), GRID) for k in range(4)]
+        )
+        wire = Superposition.full(basis).encode(basis)
+        assert len(wire) == sum(len(t) for t in basis.trains)
+
+    def test_complement_of_full_is_empty(self):
+        from repro.hyperspace.basis import HyperspaceBasis
+        from repro.hyperspace.superposition import Superposition
+
+        basis = HyperspaceBasis(
+            [SpikeTrain(range(k, 64, 4), GRID) for k in range(4)]
+        )
+        assert Superposition.full(basis).complement(basis) == Superposition.empty()

@@ -1,0 +1,35 @@
+"""Every example script must run clean end to end.
+
+The examples are executable documentation; each contains its own
+assertions, so running them under pytest both smoke-tests the public
+API surface and keeps the docs honest.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "multivalued_arithmetic",
+        "pattern_recognition",
+        "variation_tolerance",
+        "sequential_counter",
+        "noise_link",
+    } <= names

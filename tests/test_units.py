@@ -1,0 +1,108 @@
+"""Tests for repro.units: grids, conversions, formatting."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    GIGAHERTZ,
+    PAPER_OVERSAMPLING,
+    PAPER_RECORD_LENGTH,
+    PICOSECOND,
+    SimulationGrid,
+    format_frequency,
+    format_time,
+    paper_pink_grid,
+    paper_white_grid,
+)
+
+
+class TestSimulationGrid:
+    def test_basic_properties(self):
+        grid = SimulationGrid(n_samples=1000, dt=1e-12)
+        assert grid.sample_rate == pytest.approx(1e12)
+        assert grid.nyquist == pytest.approx(5e11)
+        assert grid.duration == pytest.approx(1e-9)
+        assert grid.frequency_resolution == pytest.approx(1e9)
+
+    def test_time_index_round_trip(self):
+        grid = SimulationGrid(n_samples=100, dt=2e-12)
+        assert grid.time_of(10) == pytest.approx(20e-12)
+        assert grid.index_of(20e-12) == 10
+
+    def test_bin_of(self):
+        grid = SimulationGrid(n_samples=1000, dt=1e-9)
+        assert grid.bin_of(grid.frequency_resolution) == 1
+        assert grid.bin_of(0.0) == 0
+
+    def test_with_samples_keeps_dt(self):
+        grid = SimulationGrid(n_samples=100, dt=1e-12)
+        longer = grid.with_samples(500)
+        assert longer.n_samples == 500
+        assert longer.dt == grid.dt
+
+    def test_invalid_n_samples(self):
+        with pytest.raises(ConfigurationError):
+            SimulationGrid(n_samples=0, dt=1e-12)
+        with pytest.raises(ConfigurationError):
+            SimulationGrid(n_samples=-5, dt=1e-12)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigurationError):
+            SimulationGrid(n_samples=10, dt=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationGrid(n_samples=10, dt=math.inf)
+
+    def test_describe_mentions_size(self):
+        grid = SimulationGrid(n_samples=64, dt=1e-12)
+        assert "64" in grid.describe()
+
+    def test_frozen(self):
+        grid = SimulationGrid(n_samples=10, dt=1e-12)
+        with pytest.raises(AttributeError):
+            grid.n_samples = 20
+
+
+class TestPaperGrids:
+    def test_white_grid_defaults(self):
+        grid = paper_white_grid()
+        assert grid.n_samples == PAPER_RECORD_LENGTH
+        assert grid.dt == pytest.approx(1.0 / (PAPER_OVERSAMPLING * 10 * GIGAHERTZ))
+        # dt = 3.125 ps, so the paper's 28-sample source ISI is ~87.5 ps.
+        assert grid.dt == pytest.approx(3.125 * PICOSECOND)
+
+    def test_pink_grid_matches_white(self):
+        assert paper_pink_grid() == paper_white_grid()
+
+    def test_oversampling_floor(self):
+        with pytest.raises(ConfigurationError):
+            paper_white_grid(oversampling=2)
+
+    def test_custom_length(self):
+        grid = paper_white_grid(n_samples=1024)
+        assert grid.n_samples == 1024
+
+
+class TestFormatting:
+    def test_format_time_picoseconds(self):
+        assert format_time(90e-12) == "90 ps"
+
+    def test_format_time_nanoseconds(self):
+        assert format_time(2.24e-9) == "2.24 ns"
+
+    def test_format_time_zero(self):
+        assert format_time(0) == "0 s"
+
+    def test_format_frequency_ghz(self):
+        assert format_frequency(10e9) == "10 GHz"
+
+    def test_format_frequency_mhz(self):
+        assert format_frequency(5e6) == "5 MHz"
+
+    def test_format_frequency_zero(self):
+        assert format_frequency(0) == "0 Hz"
+
+    def test_format_time_sub_picosecond(self):
+        text = format_time(0.5e-12)
+        assert "ps" in text

@@ -1,0 +1,87 @@
+"""Tests for repro.viz.waveform: ASCII waveform plots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spikes.train import SpikeTrain
+from repro.spikes.zero_crossing import AllCrossingDetector
+from repro.units import SimulationGrid
+from repro.viz.waveform import render_waveform, render_waveform_with_crossings
+
+GRID = SimulationGrid(n_samples=1000, dt=1e-12)
+
+
+@pytest.fixture
+def sine_record():
+    t = np.arange(GRID.n_samples)
+    return np.sin(2 * np.pi * t / 200.0)
+
+
+class TestRenderWaveform:
+    def test_dimensions(self, sine_record):
+        text = render_waveform(sine_record, GRID, width=60, height=9)
+        lines = text.split("\n")
+        assert len(lines) == 10  # 9 rows + ruler
+        assert all(len(line) == 60 for line in lines[:-1])
+
+    def test_even_height_promoted_to_odd(self, sine_record):
+        text = render_waveform(sine_record, GRID, width=40, height=8)
+        assert len(text.split("\n")) == 10  # promoted to 9 + ruler
+
+    def test_zero_axis_visible(self, sine_record):
+        text = render_waveform(sine_record, GRID, width=60, height=9)
+        centre = text.split("\n")[4]
+        assert "-" in centre or "*" in centre
+
+    def test_extremes_touch_edges(self, sine_record):
+        text = render_waveform(sine_record, GRID, width=60, height=9)
+        lines = text.split("\n")
+        assert "*" in lines[0]      # peaks reach the top row
+        assert "*" in lines[8]      # troughs reach the bottom row
+
+    def test_flat_zero_record(self):
+        # A constant-zero record renders as the bare axis.
+        text = render_waveform(np.zeros(GRID.n_samples), GRID, width=30, height=5)
+        centre = text.split("\n")[2]
+        assert set(centre) <= {"-", "*"}
+
+    def test_window(self, sine_record):
+        text = render_waveform(sine_record, GRID, start=0, stop=100, width=50)
+        assert "0 s" in text.split("\n")[-1]
+
+    def test_validation(self, sine_record):
+        with pytest.raises(ConfigurationError):
+            render_waveform(sine_record, GRID, start=500, stop=100)
+        with pytest.raises(ConfigurationError):
+            render_waveform(sine_record, GRID, width=1)
+        with pytest.raises(ConfigurationError):
+            render_waveform(np.zeros(5), GRID)
+
+
+class TestCrossingsOverlay:
+    def test_marker_row_present(self, sine_record):
+        crossings = AllCrossingDetector().detect(sine_record, GRID)
+        text = render_waveform_with_crossings(
+            sine_record, GRID, crossings, width=60, height=9
+        )
+        lines = text.split("\n")
+        assert len(lines) == 11  # 9 rows + markers + ruler
+        marker_row = lines[-2]
+        # A 200-sample-period sine over 1000 samples crosses ~10 times.
+        assert 5 <= marker_row.count("|") <= 12
+
+    def test_markers_align_with_crossings(self):
+        # One crossing in the middle: marker near the middle column.
+        record = np.concatenate([np.ones(500), -np.ones(500)])
+        crossings = AllCrossingDetector().detect(record, GRID)
+        text = render_waveform_with_crossings(record, GRID, crossings, width=100)
+        marker_row = text.split("\n")[-2]
+        position = marker_row.index("|")
+        assert 45 <= position <= 55
+
+    def test_no_crossings(self):
+        record = np.ones(GRID.n_samples)
+        crossings = SpikeTrain.empty(GRID)
+        text = render_waveform_with_crossings(record, GRID, crossings, width=40)
+        assert "|" not in text.split("\n")[-2]
