@@ -11,6 +11,10 @@ Layers (bottom-up):
   sources, PSD estimation;
 * :mod:`repro.spikes` — spike-train data structures, zero-crossing
   detectors, statistics, synthetic generators;
+* :mod:`repro.backend` — vectorised batch execution: ``SpikeTrainBatch``
+  (N trains × T slots with raster and ``np.packbits`` bitset forms) and
+  the pluggable set-algebra backends (sorted-merge vs dense raster,
+  auto-selected by density) behind ``SpikeTrain`` and the hot paths;
 * :mod:`repro.orthogonator` — the paper's core circuits (demultiplexer-
   based and intersection-based orthogonators, rate homogenization);
 * :mod:`repro.hyperspace` — orthogonal reference bases, superpositions;
@@ -33,6 +37,14 @@ Quickstart::
     assert result.element == 2                  # first spike decides
 """
 
+from .backend import (
+    SpikeTrainBatch,
+    available_backends,
+    get_backend,
+    select_backend,
+    set_default_backend,
+    use_backend,
+)
 from .errors import (
     ConfigurationError,
     HyperspaceError,
@@ -91,6 +103,7 @@ from .search import (
     SuperpositionDatabase,
     grover_search,
     linear_scan,
+    linear_scan_batch,
     verify_equality,
     verify_subset,
 )
@@ -128,6 +141,13 @@ __all__ = [
     "SpikeTrain",
     "zero_crossings",
     "isi_statistics",
+    # backend
+    "SpikeTrainBatch",
+    "available_backends",
+    "get_backend",
+    "select_backend",
+    "set_default_backend",
+    "use_backend",
     # orthogonators
     "DemuxOrthogonator",
     "IntersectionOrthogonator",
@@ -162,6 +182,7 @@ __all__ = [
     "RoutingFabric",
     "SuperpositionDatabase",
     "linear_scan",
+    "linear_scan_batch",
     "grover_search",
     "verify_equality",
     "verify_subset",

@@ -1,0 +1,50 @@
+"""Backend layer: vectorised batch execution for spike-train hot paths.
+
+* :class:`SpikeTrainBatch` — N trains × T slots on one grid, with CSR,
+  dense-raster and ``np.packbits`` bitset representations;
+* :class:`Backend` protocol with :class:`SortedSetBackend` (merge-based,
+  sparse-friendly), :class:`RasterBackend` (dense boolean pass) and
+  :class:`BitsetBackend` (packed-bit pass) implementations;
+* :func:`select_backend` — density-based auto-selection used by
+  :class:`~repro.spikes.train.SpikeTrain` set algebra;
+* :func:`use_backend` / :func:`set_default_backend` — pin a backend
+  (tests pin each in turn to prove them bit-identical).
+"""
+
+from .core import (
+    RASTER_DENSITY_THRESHOLD,
+    Backend,
+    BitsetBackend,
+    RasterBackend,
+    SortedSetBackend,
+    available_backends,
+    get_backend,
+    select_backend,
+    set_default_backend,
+    use_backend,
+)
+
+# SpikeTrainBatch is exported lazily (PEP 562): batch.py builds on
+# SpikeTrain, whose module imports .core from this package — an eager
+# import here would close that cycle during interpreter start-up.
+def __getattr__(name):
+    if name == "SpikeTrainBatch":
+        from .batch import SpikeTrainBatch
+
+        return SpikeTrainBatch
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "SpikeTrainBatch",
+    "Backend",
+    "SortedSetBackend",
+    "RasterBackend",
+    "BitsetBackend",
+    "RASTER_DENSITY_THRESHOLD",
+    "available_backends",
+    "get_backend",
+    "select_backend",
+    "set_default_backend",
+    "use_backend",
+]

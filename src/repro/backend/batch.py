@@ -1,0 +1,351 @@
+"""Batched spike trains: N trains × T slots on one grid.
+
+:class:`SpikeTrainBatch` lifts a stack of :class:`~repro.spikes.train.SpikeTrain`
+objects into one array object so whole-record operations (set algebra,
+identification, membership readout) run as single vectorised passes
+instead of Python-side per-train loops — the same move syncopy's
+``DiscreteData`` makes by storing many spike channels in one sample
+matrix.
+
+Two representations are kept, each materialised lazily and cached:
+
+* **CSR** — one concatenated sorted ``int64`` slot array plus row
+  offsets.  Total size is the spike count, independent of the grid
+  length; the identification paths walk it with O(total spikes) work.
+* **raster** — a dense ``(N, n_samples)`` boolean occupancy matrix.
+  Row-wise set algebra is one elementwise boolean operation;
+  :meth:`packbits` exposes the ``np.packbits`` bitset variant (eight
+  slots per byte) for transport and archival.
+
+Adapters keep the scalar API alive: :meth:`from_train` wraps one train
+as a one-row batch, :meth:`row` / :meth:`to_trains` go back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SpikeTrainError
+from ..spikes.train import SpikeTrain
+from ..units import SimulationGrid
+
+__all__ = ["SpikeTrainBatch"]
+
+
+class SpikeTrainBatch:
+    """An immutable stack of N spike trains on one simulation grid.
+
+    Build with :meth:`from_trains`, :meth:`from_raster`,
+    :meth:`from_packed` or :meth:`empty`; the constructor itself takes
+    the CSR pieces and is mostly internal.
+
+    Instances behave like an immutable sequence of
+    :class:`~repro.spikes.train.SpikeTrain`: ``len`` is the number of
+    rows, iteration and indexing yield trains, and the set operators
+    ``|`` ``&`` ``-`` ``^`` apply row-wise (with single-row operands
+    broadcasting over the other side's rows).
+    """
+
+    __slots__ = ("_grid", "_values", "_ptr", "_raster")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        ptr: np.ndarray,
+        grid: SimulationGrid,
+        *,
+        _raster: Optional[np.ndarray] = None,
+    ) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        ptr = np.asarray(ptr, dtype=np.int64)
+        if ptr.ndim != 1 or ptr.size < 1 or ptr[0] != 0 or ptr[-1] != values.size:
+            raise SpikeTrainError(
+                f"malformed CSR offsets: ptr={ptr!r} for {values.size} values"
+            )
+        if np.any(np.diff(ptr) < 0):
+            raise SpikeTrainError("CSR offsets must be non-decreasing")
+        if values.size:
+            if values.min() < 0 or values.max() >= grid.n_samples:
+                raise SpikeTrainError(
+                    f"batch slot outside grid of {grid.n_samples} samples"
+                )
+        if values.size > 1:
+            # Every consumer (row extraction, the batched receivers'
+            # earliest-wins scatters) relies on strictly ascending slots
+            # within each row; check all diffs except those straddling a
+            # row boundary.
+            diffs = np.diff(values)
+            interior = np.ones(diffs.size, dtype=bool)
+            cuts = ptr[1:-1] - 1
+            interior[cuts[(cuts >= 0) & (cuts < diffs.size)]] = False
+            if np.any(diffs[interior] <= 0):
+                raise SpikeTrainError(
+                    "batch rows must hold sorted, duplicate-free slots"
+                )
+        values.setflags(write=False)
+        ptr.setflags(write=False)
+        self._values = values
+        self._ptr = ptr
+        self._grid = grid
+        self._raster = _raster
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trains(cls, trains: Sequence[SpikeTrain]) -> "SpikeTrainBatch":
+        """Stack existing trains (all on one grid) into a batch."""
+        if not trains:
+            raise SpikeTrainError("a batch needs at least one train")
+        for i, train in enumerate(trains):
+            if not isinstance(train, SpikeTrain):
+                raise SpikeTrainError(
+                    f"expected SpikeTrain at row {i}, got {type(train).__name__}"
+                )
+        grid = trains[0].grid
+        for i, train in enumerate(trains[1:], start=1):
+            if train.grid != grid:
+                raise SpikeTrainError(
+                    f"row {i} lives on {train.grid.describe()}, "
+                    f"expected {grid.describe()}"
+                )
+        counts = np.array([len(t) for t in trains], dtype=np.int64)
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        if counts.sum():
+            values = np.concatenate([t.indices for t in trains])
+        else:
+            values = np.empty(0, dtype=np.int64)
+        return cls(values, ptr, grid)
+
+    @classmethod
+    def from_train(cls, train: SpikeTrain) -> "SpikeTrainBatch":
+        """One-row adapter: view a single train as a batch."""
+        return cls.from_trains([train])
+
+    @classmethod
+    def from_raster(
+        cls,
+        raster: np.ndarray,
+        grid: SimulationGrid,
+        *,
+        copy: bool = True,
+    ) -> "SpikeTrainBatch":
+        """Build from a dense boolean occupancy matrix ``(N, n_samples)``.
+
+        ``copy=False`` adopts the array without a defensive copy —
+        for internal callers handing over a freshly computed temporary
+        (the batch freezes whatever it stores).
+        """
+        given = raster
+        raster = np.ascontiguousarray(raster, dtype=bool)
+        if raster.ndim != 2 or raster.shape[1] != grid.n_samples:
+            raise SpikeTrainError(
+                f"raster shape {raster.shape} does not match "
+                f"(N, {grid.n_samples})"
+            )
+        rows, cols = np.nonzero(raster)
+        counts = np.bincount(rows, minlength=raster.shape[0])
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        if copy and raster is given:
+            raster = raster.copy()
+        raster.setflags(write=False)
+        return cls(cols.astype(np.int64), ptr, grid, _raster=raster)
+
+    @classmethod
+    def from_packed(
+        cls, packed: np.ndarray, grid: SimulationGrid
+    ) -> "SpikeTrainBatch":
+        """Build from a :meth:`packbits` bitset ``(N, ceil(n_samples / 8))``."""
+        packed = np.asarray(packed, dtype=np.uint8)
+        if packed.ndim != 2 or packed.shape[1] != (grid.n_samples + 7) // 8:
+            raise SpikeTrainError(
+                f"packed shape {packed.shape} does not match "
+                f"(N, {(grid.n_samples + 7) // 8})"
+            )
+        raster = np.unpackbits(packed, axis=1, count=grid.n_samples).astype(bool)
+        return cls.from_raster(raster, grid, copy=False)
+
+    @classmethod
+    def empty(cls, n_trains: int, grid: SimulationGrid) -> "SpikeTrainBatch":
+        """A batch of ``n_trains`` silent rows."""
+        if n_trains < 1:
+            raise SpikeTrainError(f"n_trains must be >= 1, got {n_trains}")
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.zeros(n_trains + 1, dtype=np.int64),
+            grid,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def grid(self) -> SimulationGrid:
+        """The grid all rows live on."""
+        return self._grid
+
+    @property
+    def n_trains(self) -> int:
+        """Number of rows N."""
+        return int(self._ptr.size - 1)
+
+    @property
+    def total_spikes(self) -> int:
+        """Total spike count across all rows."""
+        return int(self._values.size)
+
+    def counts(self) -> np.ndarray:
+        """Per-row spike counts (length N)."""
+        return np.diff(self._ptr)
+
+    def density(self) -> float:
+        """Mean occupied fraction of the grid over all rows."""
+        return self.total_spikes / (self.n_trains * self._grid.n_samples)
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The concatenated slot array and row offsets ``(values, ptr)``."""
+        return self._values, self._ptr
+
+    @property
+    def raster(self) -> np.ndarray:
+        """Dense boolean occupancy matrix ``(N, n_samples)`` (cached)."""
+        if self._raster is None:
+            raster = np.zeros((self.n_trains, self._grid.n_samples), dtype=bool)
+            rows = np.repeat(np.arange(self.n_trains), self.counts())
+            raster[rows, self._values] = True
+            raster.setflags(write=False)
+            self._raster = raster
+        return self._raster
+
+    def packbits(self) -> np.ndarray:
+        """The ``np.packbits`` bitset variant, ``(N, ceil(n_samples/8))``."""
+        return np.packbits(self.raster, axis=1)
+
+    def row(self, i: int) -> SpikeTrain:
+        """Row ``i`` as a :class:`SpikeTrain`."""
+        n = self.n_trains
+        if not (-n <= i < n):
+            raise SpikeTrainError(f"row {i} out of range for {n} trains")
+        i %= n
+        indices = self._values[self._ptr[i] : self._ptr[i + 1]]
+        return SpikeTrain._from_sorted_unique(indices, self._grid)
+
+    def to_trains(self) -> List[SpikeTrain]:
+        """All rows as a list of trains (the inverse of :meth:`from_trains`)."""
+        return [self.row(i) for i in range(self.n_trains)]
+
+    def select_rows(self, rows) -> "SpikeTrainBatch":
+        """A new batch holding the requested rows, in the given order."""
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = self.counts()[rows]
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        if counts.sum():
+            values = np.concatenate(
+                [self._values[self._ptr[r] : self._ptr[r + 1]] for r in rows]
+            )
+        else:
+            values = np.empty(0, dtype=np.int64)
+        return SpikeTrainBatch(values, ptr, self._grid)
+
+    def __len__(self) -> int:
+        return self.n_trains
+
+    def __iter__(self) -> Iterator[SpikeTrain]:
+        return (self.row(i) for i in range(self.n_trains))
+
+    def __getitem__(self, i: int) -> SpikeTrain:
+        return self.row(int(i))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SpikeTrainBatch):
+            return NotImplemented
+        return (
+            self._grid == other._grid
+            and np.array_equal(self._ptr, other._ptr)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._grid, self._ptr.tobytes(), self._values.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikeTrainBatch(n_trains={self.n_trains}, "
+            f"total_spikes={self.total_spikes}, grid={self._grid.describe()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Row-wise set algebra (vectorised)
+    # ------------------------------------------------------------------
+
+    def _align(self, other: "SpikeTrainBatch") -> Tuple[np.ndarray, np.ndarray]:
+        if not isinstance(other, SpikeTrainBatch):
+            raise SpikeTrainError(
+                f"expected SpikeTrainBatch, got {type(other).__name__}"
+            )
+        if other._grid != self._grid:
+            raise SpikeTrainError(
+                "batch set operations require one shared grid: "
+                f"{self._grid.describe()} vs {other._grid.describe()}"
+            )
+        if (
+            self.n_trains != other.n_trains
+            and 1 not in (self.n_trains, other.n_trains)
+        ):
+            raise SpikeTrainError(
+                f"cannot broadcast batches of {self.n_trains} and "
+                f"{other.n_trains} rows"
+            )
+        return self.raster, other.raster
+
+    def union(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
+        """Row-wise union (single-row operands broadcast)."""
+        a, b = self._align(other)
+        return SpikeTrainBatch.from_raster(a | b, self._grid, copy=False)
+
+    def intersection(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
+        """Row-wise intersection (single-row operands broadcast)."""
+        a, b = self._align(other)
+        return SpikeTrainBatch.from_raster(a & b, self._grid, copy=False)
+
+    def difference(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
+        """Row-wise difference (single-row operands broadcast)."""
+        a, b = self._align(other)
+        return SpikeTrainBatch.from_raster(a & ~b, self._grid, copy=False)
+
+    def symmetric_difference(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
+        """Row-wise symmetric difference (single-row operands broadcast)."""
+        a, b = self._align(other)
+        return SpikeTrainBatch.from_raster(a ^ b, self._grid, copy=False)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    def any_union(self) -> SpikeTrain:
+        """OR across all rows: the superposition of the whole batch."""
+        return SpikeTrain._from_sorted_unique(
+            np.unique(self._values), self._grid
+        )
+
+    def overlap_counts(self, other: "SpikeTrainBatch") -> np.ndarray:
+        """Per-row coincident-slot counts with ``other`` (broadcasting)."""
+        a, b = self._align(other)
+        return np.count_nonzero(a & b, axis=1)
+
+    def pairwise_overlap_matrix(self) -> np.ndarray:
+        """``(N, N)`` matrix of shared-slot counts between all row pairs."""
+        dense = self.raster.astype(np.int64)
+        return dense @ dense.T
+
+    def is_mutually_orthogonal(self) -> bool:
+        """True when no two rows share a spike slot."""
+        occupancy = np.bincount(self._values, minlength=self._grid.n_samples)
+        return bool(self._values.size == 0 or occupancy.max() <= 1)

@@ -17,6 +17,8 @@ from .builders import (
 from .superposition import (
     Superposition,
     decode_superposition,
+    decode_superposition_batch,
+    encode_superpositions,
     first_detection_slots,
 )
 
@@ -24,6 +26,8 @@ __all__ = [
     "HyperspaceBasis",
     "Superposition",
     "decode_superposition",
+    "decode_superposition_batch",
+    "encode_superpositions",
     "first_detection_slots",
     "build_demux_basis",
     "build_intersection_basis",

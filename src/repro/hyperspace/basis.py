@@ -17,6 +17,7 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend.batch import SpikeTrainBatch
 from ..errors import HyperspaceError
 from ..orthogonator.base import OrthogonatorOutput, verify_orthogonality
 from ..spikes.train import SpikeTrain
@@ -65,14 +66,20 @@ class HyperspaceBasis:
         self._labels: Tuple[str, ...] = tuple(labels)
         self._grid = grid
         self._label_to_index = {label: i for i, label in enumerate(self._labels)}
-        self._slot_owner = self._build_slot_map()
+        self._owner_vector = self._build_owner_vector()
+        self._batch: Optional[SpikeTrainBatch] = None
 
-    def _build_slot_map(self) -> Dict[int, int]:
-        """Map each occupied slot to the index of its owning element."""
-        owner: Dict[int, int] = {}
+    def _build_owner_vector(self) -> np.ndarray:
+        """Dense slot → owning-element map (-1 for unowned slots).
+
+        One scatter per element; orthogonality guarantees the scatters
+        never collide.  This array is what makes every classification
+        path a single vectorised gather.
+        """
+        owner = np.full(self._grid.n_samples, -1, dtype=np.int32)
         for element, train in enumerate(self._trains):
-            for slot in train.indices.tolist():
-                owner[slot] = element
+            owner[train.indices] = element
+        owner.setflags(write=False)
         return owner
 
     # ------------------------------------------------------------------
@@ -107,6 +114,21 @@ class HyperspaceBasis:
     def trains(self) -> Tuple[SpikeTrain, ...]:
         """Element trains in order."""
         return self._trains
+
+    @property
+    def owner_vector(self) -> np.ndarray:
+        """Dense slot → element-index map of length ``n_samples`` (-1 = unowned).
+
+        The vectorised identification paths gather through this array
+        instead of walking a per-slot dictionary.
+        """
+        return self._owner_vector
+
+    def as_batch(self) -> SpikeTrainBatch:
+        """The element trains stacked as one ``(M, n_samples)`` batch (cached)."""
+        if self._batch is None:
+            self._batch = SpikeTrainBatch.from_trains(self._trains)
+        return self._batch
 
     def __len__(self) -> int:
         return self.size
@@ -159,9 +181,55 @@ class HyperspaceBasis:
         merged = np.concatenate([self._trains[i].indices for i in indices])
         return SpikeTrain(merged, self._grid)
 
+    def encode_batch(
+        self, selections: Sequence[Sequence[ElementKey]]
+    ) -> SpikeTrainBatch:
+        """Encode many superpositions at once as a ``(K, n_samples)`` batch.
+
+        Row ``k`` carries the union of the reference trains selected by
+        ``selections[k]`` — the batched form of :meth:`encode_set`,
+        computed as one member-mask × element-raster product instead of
+        K Python-side unions.
+        """
+        if not selections:
+            raise HyperspaceError("encode_batch needs at least one selection")
+        member_mask = np.zeros((len(selections), self.size), dtype=bool)
+        for k, keys in enumerate(selections):
+            for key in keys:
+                member_mask[k, self.index_of(key)] = True
+        # Orthogonality makes the per-slot member count 0/1, so a uint8
+        # matmul against the element raster cannot overflow.
+        element_raster = self.as_batch().raster
+        raster = member_mask.astype(np.uint8) @ element_raster.astype(np.uint8)
+        return SpikeTrainBatch.from_raster(
+            raster.astype(bool), self._grid, copy=False
+        )
+
     def owner_of_slot(self, slot: int) -> Optional[int]:
         """Element index owning ``slot``, or None for an empty slot."""
-        return self._slot_owner.get(int(slot))
+        slot = int(slot)
+        if not (0 <= slot < self._grid.n_samples):
+            return None
+        owner = int(self._owner_vector[slot])
+        return None if owner < 0 else owner
+
+    def owners_of(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorised slot classification: element index per slot, -1 unowned.
+
+        Slots outside the grid (a wire from a longer record) classify as
+        unowned, matching the graceful behaviour of
+        :meth:`owner_of_slot`; the bounds check is one min/max pass and
+        the masked gather only runs when a slot actually falls outside.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return np.empty(0, dtype=self._owner_vector.dtype)
+        if int(slots.min()) >= 0 and int(slots.max()) < self._grid.n_samples:
+            return self._owner_vector[slots]
+        owners = np.full(slots.shape, -1, dtype=self._owner_vector.dtype)
+        in_range = (slots >= 0) & (slots < self._grid.n_samples)
+        owners[in_range] = self._owner_vector[slots[in_range]]
+        return owners
 
     def classify_train(self, train: SpikeTrain) -> Dict[int, int]:
         """Histogram: element index → number of ``train``'s spikes it owns.
@@ -169,10 +237,13 @@ class HyperspaceBasis:
         Spikes in slots owned by no element are counted under key ``-1``
         (noise / foreign spikes).
         """
-        counts: Dict[int, int] = {}
-        for slot in train.indices.tolist():
-            owner = self._slot_owner.get(slot, -1)
-            counts[owner] = counts.get(owner, 0) + 1
+        owners = self.owners_of(train.indices)
+        histogram = np.bincount(owners + 1, minlength=self.size + 1)
+        counts = {
+            element: int(histogram[element + 1])
+            for element in range(-1, self.size)
+            if histogram[element + 1]
+        }
         return counts
 
     # ------------------------------------------------------------------

@@ -11,13 +11,22 @@ of element indices) paired with codec helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
+from ..backend.batch import SpikeTrainBatch
 from ..errors import HyperspaceError
 from ..spikes.train import SpikeTrain
 from .basis import ElementKey, HyperspaceBasis
 
-__all__ = ["Superposition", "decode_superposition", "first_detection_slots"]
+__all__ = [
+    "Superposition",
+    "decode_superposition",
+    "decode_superposition_batch",
+    "encode_superpositions",
+    "first_detection_slots",
+]
 
 
 @dataclass(frozen=True)
@@ -90,13 +99,65 @@ def decode_superposition(
     wire belongs to a different hyperspace.  Non-strict mode ignores
     foreign spikes, modelling a receiver that tolerates injected noise.
     """
-    counts = basis.classify_train(wire)
-    if strict and -1 in counts:
-        raise HyperspaceError(
-            f"wire carries {counts[-1]} spike(s) in slots owned by no basis element"
-        )
-    members = frozenset(k for k in counts if k >= 0)
+    owners = basis.owners_of(wire.indices)
+    if strict:
+        foreign = int(np.count_nonzero(owners < 0))
+        if foreign:
+            raise HyperspaceError(
+                f"wire carries {foreign} spike(s) in slots owned by no basis element"
+            )
+    members = frozenset(np.unique(owners[owners >= 0]).tolist())
     return Superposition(members)
+
+
+def encode_superpositions(
+    basis: HyperspaceBasis,
+    values: Sequence[Superposition],
+) -> SpikeTrainBatch:
+    """Encode many superposition values as one batch of wires.
+
+    The batched counterpart of :meth:`Superposition.encode`: row ``k``
+    carries ``values[k]``, built by one member-mask × element-raster
+    product in :meth:`HyperspaceBasis.encode_batch`.
+    """
+    return basis.encode_batch([sorted(v.members) for v in values])
+
+
+def decode_superposition_batch(
+    basis: HyperspaceBasis,
+    batch: SpikeTrainBatch,
+    strict: bool = True,
+) -> List[Superposition]:
+    """Recover the member set of every wire in ``batch`` in one pass.
+
+    Vectorised counterpart of :func:`decode_superposition`: one gather
+    through the basis owner vector classifies the concatenated spikes
+    of all wires.  With ``strict`` any foreign spike raises, naming the
+    offending wires.
+    """
+    if batch.grid != basis.grid:
+        raise HyperspaceError(
+            "batch lives on a different grid than the basis: "
+            f"{batch.grid.describe()} vs {basis.grid.describe()}"
+        )
+    values, ptr = batch.csr()
+    owners = basis.owners_of(values)
+    row_of = np.repeat(np.arange(batch.n_trains), np.diff(ptr))
+    if strict:
+        foreign_rows = np.unique(row_of[owners < 0])
+        if foreign_rows.size:
+            raise HyperspaceError(
+                f"wire(s) {foreign_rows.tolist()} carry spike(s) in slots "
+                "owned by no basis element"
+            )
+    owned = owners >= 0
+    pairs = np.unique(
+        np.stack([row_of[owned], owners[owned].astype(np.int64)], axis=1), axis=0
+    )
+    members: List[set] = [set() for _unused in range(batch.n_trains)]
+    for row, element in pairs:
+        members[int(row)].add(int(element))
+    return [Superposition(frozenset(m)) for m in members]
 
 
 def first_detection_slots(
@@ -109,9 +170,9 @@ def first_detection_slots(
     coincident spike.  Returns element index → earliest slot; elements
     never seen are absent from the mapping.
     """
-    earliest: Dict[int, int] = {}
-    for slot in wire.indices.tolist():
-        owner = basis.owner_of_slot(slot)
-        if owner is not None and owner not in earliest:
-            earliest[owner] = slot
-    return earliest
+    owners = basis.owners_of(wire.indices)
+    mask = owners >= 0
+    elements, first = np.unique(owners[mask], return_index=True)
+    slots = wire.indices[mask][first]
+    order = np.argsort(slots, kind="stable")
+    return {int(elements[i]): int(slots[i]) for i in order}

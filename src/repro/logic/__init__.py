@@ -13,6 +13,8 @@
 
 from .circuits import Circuit, CircuitTransmission, Node
 from .correlator import (
+    BatchDetection,
+    BatchIdentification,
     CoincidenceCorrelator,
     IdentificationResult,
     detection_latency_samples,
@@ -73,6 +75,8 @@ from .synthesis import adder_reference
 
 __all__ = [
     "CoincidenceCorrelator",
+    "BatchDetection",
+    "BatchIdentification",
     "IdentificationResult",
     "detection_latency_samples",
     "TruthTableGate",

@@ -10,7 +10,12 @@
   enforced orthogonality.
 """
 
-from .base import Orthogonator, OrthogonatorOutput, verify_orthogonality
+from .base import (
+    BatchOrthogonatorOutput,
+    Orthogonator,
+    OrthogonatorOutput,
+    verify_orthogonality,
+)
 from .demux import DemuxOrthogonator, SpikePackage, spike_packages, wire_label
 from .homogenize import (
     HomogenizationResult,
@@ -28,6 +33,7 @@ from .intersection import (
 __all__ = [
     "Orthogonator",
     "OrthogonatorOutput",
+    "BatchOrthogonatorOutput",
     "verify_orthogonality",
     "DemuxOrthogonator",
     "SpikePackage",

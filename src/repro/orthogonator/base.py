@@ -19,15 +19,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
+import numpy as np
+
+from ..backend.batch import SpikeTrainBatch
 from ..errors import OrthogonalityError
 from ..spikes.statistics import IsiStatistics, isi_statistics
 from ..spikes.train import SpikeTrain
 
-__all__ = ["OrthogonatorOutput", "Orthogonator", "verify_orthogonality"]
+__all__ = [
+    "BatchOrthogonatorOutput",
+    "OrthogonatorOutput",
+    "Orthogonator",
+    "verify_orthogonality",
+]
 
 
 def verify_orthogonality(trains: Sequence[SpikeTrain], labels: Sequence[str]) -> None:
-    """Raise :class:`OrthogonalityError` if any two trains share a slot."""
+    """Raise :class:`OrthogonalityError` if any two trains share a slot.
+
+    The happy path is one vectorised occupancy count over the
+    concatenated slots (O(total spikes) instead of O(M²) pairwise
+    intersections); the pairwise walk only runs to name the offending
+    pair once a collision is known to exist.
+    """
+    occupied = [t.indices for t in trains if len(t)]
+    if len(occupied) < 2:
+        return
+    all_slots = np.concatenate(occupied)
+    unique_slots = np.unique(all_slots)
+    if unique_slots.size == all_slots.size:
+        return
     for i in range(len(trains)):
         for j in range(i + 1, len(trains)):
             shared = trains[i].overlap_count(trains[j])
@@ -90,12 +111,59 @@ class OrthogonatorOutput:
         """Total spike count across all outputs."""
         return sum(len(t) for t in self.trains)
 
+    def to_batch(self) -> SpikeTrainBatch:
+        """The output trains stacked as one ``(M, n_samples)`` batch."""
+        return SpikeTrainBatch.from_trains(self.trains)
+
+
+@dataclass(frozen=True)
+class BatchOrthogonatorOutput:
+    """Orthogonator outputs in batched form: one batch, parallel labels.
+
+    Emitted by :meth:`Orthogonator.transform_batch`; downstream batch
+    consumers (basis construction, batched correlators) use the rows
+    directly without materialising per-wire :class:`SpikeTrain` objects.
+    """
+
+    batch: SpikeTrainBatch
+    labels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.batch.n_trains != len(self.labels):
+            raise OrthogonalityError(
+                f"{self.batch.n_trains} batch rows but {len(self.labels)} labels"
+            )
+        if len(set(self.labels)) != len(self.labels):
+            raise OrthogonalityError(f"duplicate output labels: {self.labels}")
+
+    def __len__(self) -> int:
+        return self.batch.n_trains
+
+    def __getitem__(self, label: str) -> SpikeTrain:
+        try:
+            return self.batch.row(self.labels.index(label))
+        except ValueError:
+            raise KeyError(
+                f"no output labelled {label!r}; available: {list(self.labels)}"
+            ) from None
+
+    def to_output(self, verify: bool = False) -> OrthogonatorOutput:
+        """Adapter back to the per-train :class:`OrthogonatorOutput`."""
+        return OrthogonatorOutput(
+            trains=tuple(self.batch.to_trains()),
+            labels=self.labels,
+            verify=verify,
+        )
+
 
 class Orthogonator:
     """Abstract base for orthogonator circuits.
 
     Concrete subclasses define ``order`` (the paper's N) and implement
     :meth:`transform` over their expected number of input trains.
+    :meth:`transform_batch` emits the same outputs in batched form;
+    the base implementation adapts :meth:`transform`, and the concrete
+    devices override it to build the batch directly.
     """
 
     @property
@@ -106,3 +174,11 @@ class Orthogonator:
     def transform(self, *inputs: SpikeTrain) -> OrthogonatorOutput:
         """Produce the orthogonal outputs from the raw input trains."""
         raise NotImplementedError
+
+    def transform_batch(self, *inputs: SpikeTrain) -> BatchOrthogonatorOutput:
+        """Produce the orthogonal outputs as one :class:`SpikeTrainBatch`."""
+        output = self.transform(*inputs)
+        return BatchOrthogonatorOutput(
+            batch=SpikeTrainBatch.from_trains(output.trains),
+            labels=output.labels,
+        )

@@ -29,9 +29,10 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..backend.batch import SpikeTrainBatch
 from ..errors import ConfigurationError, SpikeTrainError
 from ..spikes.train import SpikeTrain
-from .base import Orthogonator, OrthogonatorOutput
+from .base import BatchOrthogonatorOutput, Orthogonator, OrthogonatorOutput
 
 __all__ = ["DemuxOrthogonator", "SpikePackage", "spike_packages", "wire_label"]
 
@@ -138,6 +139,34 @@ class DemuxOrthogonator(Orthogonator):
         # Outputs partition the input: orthogonality holds by construction,
         # so the O(M^2) verification pass is skipped.
         return OrthogonatorOutput(trains=trains, labels=labels, verify=False)
+
+    def transform_batch(self, *inputs: SpikeTrain) -> BatchOrthogonatorOutput:
+        """Deal the input over M wires, emitting one ``(M, T)`` batch.
+
+        Builds the batch's CSR layout directly from the strided deal —
+        no intermediate per-wire :class:`SpikeTrain` objects.
+        """
+        if len(inputs) != 1:
+            raise ConfigurationError(
+                f"demux orthogonator takes exactly one input train, got {len(inputs)}"
+            )
+        (train,) = inputs
+        m = self._n_outputs
+        indices = train.indices
+        n = indices.size
+        values = (
+            np.concatenate([indices[wire::m] for wire in range(m)])
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        counts = np.array(
+            [(n - wire + m - 1) // m for wire in range(m)], dtype=np.int64
+        )
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        return BatchOrthogonatorOutput(
+            batch=SpikeTrainBatch(values, ptr, train.grid),
+            labels=tuple(wire_label(p) for p in range(1, m + 1)),
+        )
 
 
 def spike_packages(

@@ -25,9 +25,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend.batch import SpikeTrainBatch
 from ..errors import ConfigurationError, SpikeTrainError
 from ..spikes.train import SpikeTrain
-from .base import Orthogonator, OrthogonatorOutput
+from .base import BatchOrthogonatorOutput, Orthogonator, OrthogonatorOutput
 
 __all__ = [
     "IntersectionOrthogonator",
@@ -155,22 +156,10 @@ class IntersectionOrthogonator(Orthogonator):
             raise ConfigurationError(
                 f"expected {self.n_inputs} input trains, got {len(inputs)}"
             )
-        grid = inputs[0].grid
-        for i, train in enumerate(inputs[1:], start=1):
-            if train.grid != grid:
-                raise SpikeTrainError(
-                    f"input {self.input_names[i]} lives on a different grid"
-                )
-
-        all_slots = np.concatenate([t.indices for t in inputs])
-        if all_slots.size == 0:
+        grid, occupied, patterns = self._occupancy_patterns(inputs)
+        if occupied.size == 0:
             empty = tuple(SpikeTrain.empty(grid) for _unused in self._masks)
             return OrthogonatorOutput(trains=empty, labels=self.labels, verify=False)
-        occupied = np.unique(all_slots)
-        patterns = np.zeros(occupied.size, dtype=np.int64)
-        for bit, train in enumerate(inputs):
-            positions = np.searchsorted(occupied, train.indices)
-            patterns[positions] |= 1 << bit
 
         trains = tuple(
             SpikeTrain(occupied[patterns == mask], grid) for mask in self._masks
@@ -178,6 +167,52 @@ class IntersectionOrthogonator(Orthogonator):
         # Each occupied slot lands in exactly one pattern bucket, so the
         # outputs are disjoint by construction; skip re-verification.
         return OrthogonatorOutput(trains=trains, labels=self.labels, verify=False)
+
+    def _occupancy_patterns(self, inputs):
+        """Occupied slots and their input-subset bit patterns."""
+        grid = inputs[0].grid
+        for i, train in enumerate(inputs[1:], start=1):
+            if train.grid != grid:
+                raise SpikeTrainError(
+                    f"input {self.input_names[i]} lives on a different grid"
+                )
+        all_slots = np.concatenate([t.indices for t in inputs])
+        if all_slots.size == 0:
+            return grid, all_slots.astype(np.int64), all_slots.astype(np.int64)
+        occupied = np.unique(all_slots)
+        patterns = np.zeros(occupied.size, dtype=np.int64)
+        for bit, train in enumerate(inputs):
+            positions = np.searchsorted(occupied, train.indices)
+            patterns[positions] |= 1 << bit
+        return grid, occupied, patterns
+
+    def transform_batch(self, *inputs: SpikeTrain) -> BatchOrthogonatorOutput:
+        """All-products expansion emitted as one ``(2^N − 1, T)`` batch.
+
+        One stable sort groups the occupied slots by product wire while
+        keeping them slot-ordered — the batch's CSR layout directly.
+        """
+        if len(inputs) != self.n_inputs:
+            raise ConfigurationError(
+                f"expected {self.n_inputs} input trains, got {len(inputs)}"
+            )
+        grid, occupied, patterns = self._occupancy_patterns(inputs)
+        m = self.n_outputs
+        if occupied.size == 0:
+            return BatchOrthogonatorOutput(
+                batch=SpikeTrainBatch.empty(m, grid), labels=self.labels
+            )
+        mask_to_row = np.empty(1 << self.n_inputs, dtype=np.int64)
+        for row, mask in enumerate(self._masks):
+            mask_to_row[mask] = row
+        rows = mask_to_row[patterns]
+        order = np.argsort(rows, kind="stable")
+        counts = np.bincount(rows, minlength=m)
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        return BatchOrthogonatorOutput(
+            batch=SpikeTrainBatch(occupied[order], ptr, grid),
+            labels=self.labels,
+        )
 
     def coincidence_product(self, output: OrthogonatorOutput) -> SpikeTrain:
         """The full-coincidence output (all inputs asserted)."""

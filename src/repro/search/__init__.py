@@ -13,6 +13,7 @@ from .classical import (
     average_scan_queries,
     expected_scan_queries,
     linear_scan,
+    linear_scan_batch,
 )
 from .grover import GroverResult, grover_search, optimal_iterations
 from .superposition_search import QueryResult, SuperpositionDatabase
@@ -22,6 +23,7 @@ __all__ = [
     "SuperpositionDatabase",
     "QueryResult",
     "linear_scan",
+    "linear_scan_batch",
     "ScanResult",
     "expected_scan_queries",
     "average_scan_queries",

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["ScanResult", "linear_scan", "expected_scan_queries"]
+__all__ = [
+    "ScanResult",
+    "linear_scan",
+    "linear_scan_batch",
+    "expected_scan_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +50,35 @@ def linear_scan(database: Sequence[int], target: int) -> ScanResult:
         if item == target:
             return ScanResult(found=True, queries=position + 1, position=position)
     return ScanResult(found=False, queries=len(database), position=None)
+
+
+def linear_scan_batch(database: Sequence[int], targets: Sequence[int]) -> "list[ScanResult]":
+    """Run many membership scans against one database in a single pass.
+
+    Vectorised counterpart of :func:`linear_scan`: one ``(Q, K)``
+    equality comparison answers every query at once, with per-query
+    results identical to the scalar scan bit for bit.  The modelled
+    oracle-call count is unchanged — batching buys wall-clock
+    throughput, not a better query complexity.
+    """
+    items = np.asarray(database)
+    wanted = np.asarray(targets)
+    if items.size == 0:
+        return [ScanResult(found=False, queries=0, position=None) for _t in wanted]
+    matches = items[None, :] == wanted[:, None]
+    found = matches.any(axis=1)
+    positions = matches.argmax(axis=1)
+    results = []
+    for hit, position in zip(found.tolist(), positions.tolist()):
+        if hit:
+            results.append(
+                ScanResult(found=True, queries=position + 1, position=position)
+            )
+        else:
+            results.append(
+                ScanResult(found=False, queries=items.size, position=None)
+            )
+    return results
 
 
 def expected_scan_queries(n_items: int, present: bool) -> float:

@@ -25,10 +25,13 @@ answer a membership question vs database size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from ..errors import HyperspaceError, IdentificationError
 from ..hyperspace.basis import HyperspaceBasis
+from ..hyperspace.superposition import first_detection_slots
 from ..spikes.train import SpikeTrain
 
 __all__ = ["QueryResult", "SuperpositionDatabase"]
@@ -74,6 +77,7 @@ class SuperpositionDatabase:
         self.basis = basis
         self._wire: Optional[SpikeTrain] = None
         self._members: FrozenSet[int] = frozenset()
+        self._wire_raster: Optional[np.ndarray] = None
 
     @property
     def capacity(self) -> int:
@@ -97,6 +101,7 @@ class SuperpositionDatabase:
         members = frozenset(self.basis.index_of(s) for s in states)
         self._members = members
         self._wire = self.basis.encode_set(sorted(members))
+        self._wire_raster = self._wire.to_raster()
         return self._wire
 
     def query(self, state: int, start_slot: int = 0) -> QueryResult:
@@ -106,45 +111,92 @@ class SuperpositionDatabase:
         first one also present on the wire confirms membership.  If the
         reference train is exhausted without a coincidence, the state is
         absent (exact on clean wires: a member contributes its whole
-        reference train).
+        reference train).  The walk is one vectorised gather of the
+        wire's occupancy at the reference slots.
         """
         element = self.basis.index_of(state)
+        self.wire  # raises when nothing is loaded
         reference = self.basis.trains[element]
-        wire = self.wire
-        checked = 0
-        last_slot = start_slot
-        for slot in reference.indices.tolist():
-            if slot < start_slot:
-                continue
-            checked += 1
-            last_slot = slot
-            if slot in wire:
-                return QueryResult(
-                    state=element,
-                    present=True,
-                    decision_slot=slot,
-                    coincidences_checked=checked,
-                )
-        if checked == 0:
+        slots = reference.indices[np.searchsorted(reference.indices, start_slot) :]
+        if slots.size == 0:
             raise IdentificationError(
                 f"reference train of state {element} has no spikes after "
                 f"slot {start_slot}; membership undecidable"
             )
+        on_wire = self._wire_raster[slots]
+        hits = np.flatnonzero(on_wire)
+        if hits.size:
+            first = int(hits[0])
+            return QueryResult(
+                state=element,
+                present=True,
+                decision_slot=int(slots[first]),
+                coincidences_checked=first + 1,
+            )
         return QueryResult(
             state=element,
             present=False,
-            decision_slot=last_slot,
-            coincidences_checked=checked,
+            decision_slot=int(slots[-1]),
+            coincidences_checked=int(slots.size),
         )
+
+    def query_batch(
+        self, states: Sequence[int], start_slot: int = 0
+    ) -> List[QueryResult]:
+        """Batched membership tests: one vectorised pass for many states.
+
+        Gathers the wire's occupancy at the concatenated reference
+        slots of every queried state; per-state results match
+        :meth:`query` bit for bit.
+        """
+        elements = [self.basis.index_of(s) for s in states]
+        self.wire  # raises when nothing is loaded
+        if not elements:
+            return []
+        references = [self.basis.trains[e].indices for e in elements]
+        if start_slot > 0:
+            references = [
+                r[np.searchsorted(r, start_slot) :] for r in references
+            ]
+        counts = np.array([r.size for r in references], dtype=np.int64)
+        empty = np.flatnonzero(counts == 0)
+        if empty.size:
+            raise IdentificationError(
+                f"reference train of state(s) "
+                f"{[elements[i] for i in empty.tolist()]} has no spikes after "
+                f"slot {start_slot}; membership undecidable"
+            )
+        slots = np.concatenate(references)
+        on_wire = self._wire_raster[slots]
+        ptr = np.concatenate([[0], np.cumsum(counts)])
+        results: List[QueryResult] = []
+        for k, element in enumerate(elements):
+            lo, hi = int(ptr[k]), int(ptr[k + 1])
+            hits = np.flatnonzero(on_wire[lo:hi])
+            if hits.size:
+                first = int(hits[0])
+                results.append(
+                    QueryResult(
+                        state=element,
+                        present=True,
+                        decision_slot=int(slots[lo + first]),
+                        coincidences_checked=first + 1,
+                    )
+                )
+            else:
+                results.append(
+                    QueryResult(
+                        state=element,
+                        present=False,
+                        decision_slot=int(slots[hi - 1]),
+                        coincidences_checked=hi - lo,
+                    )
+                )
+        return results
 
     def enumerate_members(self) -> Dict[int, int]:
         """Full readout: member element → first detection slot."""
-        earliest: Dict[int, int] = {}
-        for slot in self.wire.indices.tolist():
-            owner = self.basis.owner_of_slot(slot)
-            if owner is not None and owner not in earliest:
-                earliest[owner] = slot
-        return earliest
+        return first_detection_slots(self.basis, self.wire)
 
     def verify(self) -> bool:
         """Cross-check the readout against the loaded ground truth."""

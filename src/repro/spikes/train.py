@@ -15,6 +15,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..backend.core import select_backend
 from ..errors import SpikeTrainError
 from ..units import SimulationGrid
 
@@ -66,15 +67,49 @@ class SpikeTrain:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_sorted_unique(cls, indices: np.ndarray, grid: SimulationGrid) -> "SpikeTrain":
+        """Wrap an already sorted, unique, in-range int64 array unchecked.
+
+        Fast path for the set-algebra backends and
+        :class:`~repro.backend.batch.SpikeTrainBatch` rows, whose
+        outputs satisfy the invariants by construction.
+        """
+        train = cls.__new__(cls)
+        indices = np.asarray(indices, dtype=np.int64)
+        indices.setflags(write=False)
+        train._indices = indices
+        train._grid = grid
+        return train
+
+    @classmethod
     def empty(cls, grid: SimulationGrid) -> "SpikeTrain":
         """A train with no spikes."""
         return cls(np.empty(0, dtype=np.int64), grid)
 
     @classmethod
     def from_times(cls, times, grid: SimulationGrid) -> "SpikeTrain":
-        """Build from physical times (seconds), rounding to grid slots."""
+        """Build from physical times (seconds), rounding to grid slots.
+
+        Times are validated up front: anything that would round to a
+        slot outside ``[0, n_samples)`` — including slightly negative
+        times — raises :class:`SpikeTrainError` naming the offending
+        time and the grid, instead of surfacing as a cryptic
+        "negative spike index" error downstream.
+        """
         times = np.asarray(times, dtype=float)
-        return cls(np.round(times / grid.dt).astype(np.int64), grid)
+        if times.size and not np.all(np.isfinite(times)):
+            bad = times[~np.isfinite(times)][0]
+            raise SpikeTrainError(f"non-finite spike time: {bad}")
+        indices = np.round(times / grid.dt).astype(np.int64)
+        if times.size:
+            out_of_range = (indices < 0) | (indices >= grid.n_samples)
+            if np.any(out_of_range):
+                offender = times[out_of_range][0]
+                raise SpikeTrainError(
+                    f"spike time {offender:g} s falls outside "
+                    f"[0, {grid.duration:g}) s on {grid.describe()}"
+                )
+        return cls(indices, grid)
 
     @classmethod
     def from_raster(cls, raster: np.ndarray, grid: SimulationGrid) -> "SpikeTrain":
@@ -105,6 +140,16 @@ class SpikeTrain:
     def times(self) -> np.ndarray:
         """Physical spike times in seconds."""
         return self._indices * self._grid.dt
+
+    def to_batch(self) -> "object":
+        """This train as a one-row :class:`~repro.backend.batch.SpikeTrainBatch`.
+
+        Thin adapter onto the vectorised backend layer; the import is
+        deferred because the batch module builds on this one.
+        """
+        from ..backend.batch import SpikeTrainBatch
+
+        return SpikeTrainBatch.from_train(self)
 
     def to_raster(self) -> np.ndarray:
         """Dense boolean occupancy array of length ``grid.n_samples``."""
@@ -149,34 +194,42 @@ class SpikeTrain:
                 f"{self._grid.describe()} vs {other._grid.describe()}"
             )
 
+    def _backend_for(self, other: "SpikeTrain"):
+        return select_backend(
+            self._indices.size + other._indices.size, self._grid.n_samples
+        )
+
     def union(self, other: "SpikeTrain") -> "SpikeTrain":
         """Spikes present in either train (the OR / set-union wire)."""
         self._check_same_grid(other)
-        return SpikeTrain(np.union1d(self._indices, other._indices), self._grid)
+        merged = self._backend_for(other).union(
+            self._indices, other._indices, self._grid.n_samples
+        )
+        return SpikeTrain._from_sorted_unique(merged, self._grid)
 
     def intersection(self, other: "SpikeTrain") -> "SpikeTrain":
         """Spikes present in both trains (the coincidence product)."""
         self._check_same_grid(other)
-        return SpikeTrain(
-            np.intersect1d(self._indices, other._indices, assume_unique=True),
-            self._grid,
+        shared = self._backend_for(other).intersection(
+            self._indices, other._indices, self._grid.n_samples
         )
+        return SpikeTrain._from_sorted_unique(shared, self._grid)
 
     def difference(self, other: "SpikeTrain") -> "SpikeTrain":
         """Spikes of this train not coinciding with ``other``."""
         self._check_same_grid(other)
-        return SpikeTrain(
-            np.setdiff1d(self._indices, other._indices, assume_unique=True),
-            self._grid,
+        kept = self._backend_for(other).difference(
+            self._indices, other._indices, self._grid.n_samples
         )
+        return SpikeTrain._from_sorted_unique(kept, self._grid)
 
     def symmetric_difference(self, other: "SpikeTrain") -> "SpikeTrain":
         """Spikes present in exactly one of the two trains."""
         self._check_same_grid(other)
-        return SpikeTrain(
-            np.setxor1d(self._indices, other._indices, assume_unique=True),
-            self._grid,
+        exclusive = self._backend_for(other).symmetric_difference(
+            self._indices, other._indices, self._grid.n_samples
         )
+        return SpikeTrain._from_sorted_unique(exclusive, self._grid)
 
     __or__ = union
     __and__ = intersection

@@ -1,0 +1,266 @@
+"""Randomized equivalence: every backend and batch path is bit-identical.
+
+The backend layer's contract is that representation is invisible:
+sorted-merge, dense-raster and packed-bitset set algebra agree bit for
+bit, and every batched receiver (identify, detect_members, linear_scan,
+decode, query) reproduces its scalar counterpart exactly.  These tests
+drive all of them over randomized seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    RASTER_DENSITY_THRESHOLD,
+    SpikeTrainBatch,
+    available_backends,
+    get_backend,
+    select_backend,
+    use_backend,
+)
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.hyperspace.superposition import (
+    decode_superposition,
+    decode_superposition_batch,
+)
+from repro.logic.correlator import CoincidenceCorrelator
+from repro.orthogonator.demux import DemuxOrthogonator
+from repro.orthogonator.intersection import IntersectionOrthogonator
+from repro.search.classical import linear_scan, linear_scan_batch
+from repro.search.superposition_search import SuperpositionDatabase
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+OPS = ["union", "intersection", "difference", "symmetric_difference"]
+
+
+def random_train(rng, grid, density):
+    n = max(1, int(density * grid.n_samples))
+    indices = rng.choice(grid.n_samples, size=n, replace=False)
+    return SpikeTrain(indices, grid)
+
+
+@pytest.fixture(params=[0, 1, 2, 3, 4])
+def rng(request):
+    return np.random.default_rng(request.param)
+
+
+class TestBackendSetOps:
+    @pytest.mark.parametrize("density", [0.002, 0.05, 0.4])
+    @pytest.mark.parametrize("op", OPS)
+    def test_all_backends_bit_identical(self, rng, density, op):
+        grid = SimulationGrid(n_samples=int(rng.integers(512, 4096)), dt=1e-12)
+        a = random_train(rng, grid, density)
+        b = random_train(rng, grid, density)
+        results = {}
+        for name in available_backends():
+            with use_backend(name):
+                results[name] = getattr(a, op)(b).indices
+        reference = results["sorted"]
+        for name, indices in results.items():
+            assert np.array_equal(indices, reference), (name, op)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_backend_api_direct(self, rng, op):
+        grid = SimulationGrid(n_samples=1024, dt=1e-12)
+        a = random_train(rng, grid, 0.1).indices
+        b = random_train(rng, grid, 0.1).indices
+        outputs = [
+            getattr(get_backend(name), op)(a, b, grid.n_samples)
+            for name in available_backends()
+        ]
+        for out in outputs[1:]:
+            assert np.array_equal(out, outputs[0])
+
+    def test_empty_operands(self):
+        grid = SimulationGrid(n_samples=256, dt=1e-12)
+        a = SpikeTrain.empty(grid)
+        b = SpikeTrain([0, 255], grid)
+        for name in available_backends():
+            with use_backend(name):
+                assert (a | b) == b
+                assert len(a & b) == 0
+                assert (b - a) == b
+                assert (a ^ b) == b
+
+    def test_auto_selection_by_density(self):
+        assert select_backend(0, 65536).name == "sorted"
+        sparse = int(RASTER_DENSITY_THRESHOLD * 65536) - 1
+        assert select_backend(sparse, 65536).name == "sorted"
+        dense = int(RASTER_DENSITY_THRESHOLD * 65536) + 1
+        assert select_backend(dense, 65536).name == "raster"
+
+    def test_use_backend_pins_selection(self):
+        with use_backend("bitset"):
+            assert select_backend(1, 65536).name == "bitset"
+        assert select_backend(1, 65536).name == "sorted"
+
+
+@pytest.fixture
+def basis(rng):
+    grid = SimulationGrid(n_samples=4096, dt=1e-12)
+    source = random_train(rng, grid, 0.2)
+    output = DemuxOrthogonator.with_outputs(8).transform(source)
+    return HyperspaceBasis.from_orthogonator(output)
+
+
+def random_wires(rng, basis, n_wires):
+    """Wires = random element encodes, some with injected foreign spikes."""
+    wires = []
+    for _unused in range(n_wires):
+        element = int(rng.integers(basis.size))
+        wire = basis.encode(element)
+        if rng.random() < 0.5:
+            extra = random_train(rng, basis.grid, 0.01)
+            wire = wire | extra
+        wires.append(wire)
+    return wires
+
+
+class TestBatchedIdentification:
+    def test_identify_batch_matches_scalar(self, rng, basis):
+        correlator = CoincidenceCorrelator(basis)
+        wires = random_wires(rng, basis, 32)
+        batch = SpikeTrainBatch.from_trains(wires)
+        batched = correlator.identify_batch(batch).results()
+        for wire, got in zip(wires, batched):
+            assert got == correlator.identify(wire)
+
+    def test_identify_batch_with_start_slot(self, rng, basis):
+        correlator = CoincidenceCorrelator(basis)
+        wires = random_wires(rng, basis, 16)
+        batch = SpikeTrainBatch.from_trains(wires)
+        start = int(rng.integers(1, basis.grid.n_samples // 2))
+        batched = correlator.identify_batch(batch, start_slot=start).results()
+        for wire, got in zip(wires, batched):
+            assert got == correlator.identify(wire, start_slot=start)
+
+    def test_identify_batch_missing_none(self, basis):
+        silent = SpikeTrain.empty(basis.grid)
+        batch = SpikeTrainBatch.from_trains([basis.encode(0), silent])
+        results = CoincidenceCorrelator(basis).identify_batch(
+            batch, missing="none"
+        ).results()
+        assert results[0] is not None and results[0].element == 0
+        assert results[1] is None
+
+    def test_identify_batch_missing_raise(self, basis):
+        from repro.errors import IdentificationError
+
+        silent = SpikeTrain.empty(basis.grid)
+        batch = SpikeTrainBatch.from_trains([basis.encode(0), silent])
+        with pytest.raises(IdentificationError):
+            CoincidenceCorrelator(basis).identify_batch(batch)
+
+    def test_detect_members_batch_matches_scalar(self, rng, basis):
+        correlator = CoincidenceCorrelator(basis)
+        wires = []
+        for _unused in range(16):
+            members = rng.choice(
+                basis.size, size=int(rng.integers(0, basis.size + 1)), replace=False
+            )
+            wires.append(basis.encode_set(members.tolist()))
+        batch = SpikeTrainBatch.from_trains(wires)
+        batched = correlator.detect_members_batch(batch).as_dicts()
+        for wire, got in zip(wires, batched):
+            assert got == correlator.detect_members(wire)
+
+    def test_detect_members_batch_until_slot(self, rng, basis):
+        correlator = CoincidenceCorrelator(basis)
+        wires = random_wires(rng, basis, 8)
+        batch = SpikeTrainBatch.from_trains(wires)
+        limit = int(rng.integers(1, basis.grid.n_samples))
+        batched = correlator.detect_members_batch(batch, until_slot=limit)
+        for wire, got in zip(wires, batched.as_dicts()):
+            assert got == correlator.detect_members(wire, until_slot=limit)
+
+
+class TestBatchedDecode:
+    def test_decode_batch_matches_scalar(self, rng, basis):
+        selections = [
+            rng.choice(basis.size, size=int(rng.integers(0, 5)), replace=False).tolist()
+            for _unused in range(12)
+        ]
+        batch = basis.encode_batch(selections)
+        decoded = decode_superposition_batch(basis, batch)
+        for keys, value, wire in zip(selections, decoded, batch):
+            assert value == decode_superposition(basis, wire)
+            assert value.members == frozenset(int(k) for k in keys)
+
+    def test_decode_batch_strict_rejects_foreign(self, rng, basis):
+        foreign = basis.grid.n_samples - 1
+        while basis.owner_of_slot(foreign) is not None:
+            foreign -= 1
+        wire = basis.encode(0) | SpikeTrain([foreign], basis.grid)
+        batch = SpikeTrainBatch.from_trains([basis.encode(1), wire])
+        from repro.errors import HyperspaceError
+
+        with pytest.raises(HyperspaceError):
+            decode_superposition_batch(basis, batch, strict=True)
+        decoded = decode_superposition_batch(basis, batch, strict=False)
+        assert decoded[1].members == frozenset([0])
+
+
+class TestBatchedSearch:
+    def test_linear_scan_batch_matches_scalar(self, rng):
+        database = rng.integers(0, 50, size=40).tolist()
+        targets = rng.integers(0, 60, size=25).tolist()
+        batched = linear_scan_batch(database, targets)
+        for target, got in zip(targets, batched):
+            assert got == linear_scan(database, target)
+
+    def test_linear_scan_batch_empty_database(self):
+        results = linear_scan_batch([], [1, 2])
+        assert all(not r.found and r.queries == 0 for r in results)
+
+    def test_query_batch_matches_scalar(self, rng, basis):
+        database = SuperpositionDatabase(basis)
+        members = rng.choice(
+            basis.size, size=int(rng.integers(1, basis.size)), replace=False
+        )
+        database.load(members.tolist())
+        states = list(range(basis.size))
+        batched = database.query_batch(states)
+        for state, got in zip(states, batched):
+            assert got == database.query(state)
+        assert database.verify()
+
+    def test_query_batch_with_start_slot(self, rng, basis):
+        database = SuperpositionDatabase(basis)
+        database.load([0, 2, 4])
+        start = int(rng.integers(1, basis.grid.n_samples // 4))
+        for state, got in zip(
+            range(basis.size), database.query_batch(range(basis.size), start)
+        ):
+            assert got == database.query(state, start_slot=start)
+
+
+class TestOrthogonatorBatchOutputs:
+    def test_demux_transform_batch_matches(self, rng):
+        grid = SimulationGrid(n_samples=2048, dt=1e-12)
+        source = random_train(rng, grid, 0.3)
+        device = DemuxOrthogonator.with_outputs(5)
+        scalar = device.transform(source)
+        batched = device.transform_batch(source)
+        assert batched.labels == scalar.labels
+        assert batched.batch.to_trains() == list(scalar.trains)
+        assert batched.batch.is_mutually_orthogonal()
+
+    def test_intersection_transform_batch_matches(self, rng):
+        grid = SimulationGrid(n_samples=2048, dt=1e-12)
+        inputs = [random_train(rng, grid, 0.15) for _unused in range(3)]
+        device = IntersectionOrthogonator(3)
+        scalar = device.transform(*inputs)
+        batched = device.transform_batch(*inputs)
+        assert batched.labels == scalar.labels
+        assert batched.batch.to_trains() == list(scalar.trains)
+        assert batched.to_output(verify=True).labels == scalar.labels
+
+    def test_intersection_transform_batch_empty(self):
+        grid = SimulationGrid(n_samples=64, dt=1e-12)
+        device = IntersectionOrthogonator(2)
+        batched = device.transform_batch(
+            SpikeTrain.empty(grid), SpikeTrain.empty(grid)
+        )
+        assert batched.batch.total_spikes == 0
+        assert len(batched) == 3

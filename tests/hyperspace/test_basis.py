@@ -107,6 +107,14 @@ class TestEncodingAndClassification:
         counts = basis.classify_train(wire)
         assert counts == {0: 1, 1: 1, -1: 1}
 
+    def test_owners_of_out_of_range_slots(self, basis):
+        # A wire from a longer record classifies gracefully: slots past
+        # the basis grid are unowned, not an IndexError.
+        longer = SimulationGrid(n_samples=200, dt=1e-12)
+        wire = SpikeTrain([11, 150], longer)
+        assert basis.owners_of(wire.indices).tolist() == [1, -1]
+        assert basis.classify_train(wire) == {1: 1, -1: 1}
+
     def test_classify_pure_wire(self, basis):
         counts = basis.classify_train(basis.encode("Z"))
         assert counts == {2: 3}

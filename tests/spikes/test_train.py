@@ -28,6 +28,26 @@ class TestConstruction:
         train = SpikeTrain.from_times([1.4e-12, 2.6e-12], grid)
         assert train.indices.tolist() == [1, 3]
 
+    def test_from_times_slightly_negative_named_in_error(self, grid):
+        # A slightly negative time used to surface as a baffling
+        # "negative spike index: -1"; the message must now name the
+        # offending time and the grid.
+        with pytest.raises(SpikeTrainError, match=r"-9e-13 s.*SimulationGrid"):
+            SpikeTrain.from_times([1.0e-12, -0.9e-12], grid)
+
+    def test_from_times_rounding_to_zero_is_fine(self, grid):
+        # Times inside the first half-slot legitimately round to slot 0.
+        train = SpikeTrain.from_times([0.4e-12], grid)
+        assert train.indices.tolist() == [0]
+
+    def test_from_times_past_record_end_named_in_error(self, grid):
+        with pytest.raises(SpikeTrainError, match="falls outside"):
+            SpikeTrain.from_times([99.9e-12], grid)
+
+    def test_from_times_non_finite_rejected(self, grid):
+        with pytest.raises(SpikeTrainError, match="non-finite"):
+            SpikeTrain.from_times([float("nan")], grid)
+
     def test_from_raster_round_trip(self, grid):
         train = SpikeTrain([2, 50, 99], grid)
         assert SpikeTrain.from_raster(train.to_raster(), grid) == train
