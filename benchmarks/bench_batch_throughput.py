@@ -7,10 +7,16 @@ Measured here on the serving-shaped workload from the ROADMAP: 256
 single-valued wires identified against a 16-element basis on the
 paper's 65 536-sample grid — per-train loop vs
 :meth:`CoincidenceCorrelator.identify_batch` — plus the batched
-membership query path.  The acceptance bar is a ≥ 5× speedup for the
-batched identification pass.
+membership query path and the pipeline's sharded runner (serial vs
+``jobs=2`` on the ``identify`` spec, asserting bit-identity).  The
+acceptance bar is a ≥ 5× speedup for the batched identification pass.
+
+Every bench records a machine-readable entry in
+``benchmarks/BENCH_batch.json`` (schema: experiment, config, seconds,
+speedup) so the perf trajectory is tracked across PRs.
 """
 
+import os
 import time
 
 import numpy as np
@@ -20,6 +26,7 @@ from repro.backend import SpikeTrainBatch
 from repro.hyperspace.basis import HyperspaceBasis
 from repro.logic.correlator import CoincidenceCorrelator
 from repro.orthogonator.demux import DemuxOrthogonator
+from repro.pipeline import Runner, to_jsonable
 from repro.search.superposition_search import SuperpositionDatabase
 from repro.spikes.generators import poisson_train
 from repro.units import paper_white_grid
@@ -54,7 +61,7 @@ def workload():
     return basis, wires, elements
 
 
-def test_batched_identification_speedup(workload, archive):
+def test_batched_identification_speedup(workload, archive, bench_record):
     basis, wires, elements = workload
     correlator = CoincidenceCorrelator(basis)
     # In the batched pipeline wires live in batch form end to end
@@ -91,6 +98,16 @@ def test_batched_identification_speedup(workload, archive):
         ]
     )
     archive("batch_throughput.txt", text)
+    bench_record(
+        "identify_batch",
+        {
+            "n_wires": N_WIRES,
+            "basis_size": BASIS_SIZE,
+            "n_samples": basis.grid.n_samples,
+        },
+        batch_s,
+        speedup,
+    )
 
     assert speedup >= 5.0, (
         f"batched identification only {speedup:.1f}x faster than the "
@@ -98,7 +115,7 @@ def test_batched_identification_speedup(workload, archive):
     )
 
 
-def test_batched_membership_queries(workload, archive):
+def test_batched_membership_queries(workload, archive, bench_record):
     basis, _wires, _elements = workload
     database = SuperpositionDatabase(basis)
     database.load(range(0, BASIS_SIZE, 2))
@@ -123,4 +140,65 @@ def test_batched_membership_queries(workload, archive):
         ]
     )
     archive("batch_queries.txt", text)
+    bench_record(
+        "membership_queries_batch",
+        {"n_queries": len(states), "basis_size": BASIS_SIZE},
+        batch_s,
+        loop_s / batch_s,
+    )
     assert batch_s < loop_s
+
+
+#: Sharded-runner workload: heavy enough that per-shard identification
+#: work dominates the per-worker workload rebuild and pool overhead.
+SHARDED_CONFIG = {
+    "n_wires": 2048,
+    "basis_size": 16,
+    "n_trials": 256,
+    "n_shards": 4,
+}
+SHARD_JOBS = 2
+
+
+def test_sharded_runner_bit_identical_and_timed(archive, bench_record):
+    """Serial vs sharded execution of the identify spec.
+
+    Bit-identity holds on any machine (the shard plan lives in the
+    config); the wall-clock speedup additionally needs real cores, so
+    the speedup assertion is gated on the host's CPU count while the
+    measured numbers are recorded unconditionally.
+    """
+    serial = Runner(jobs=1).run("identify", overrides=SHARDED_CONFIG)
+    sharded = Runner(jobs=SHARD_JOBS).run("identify", overrides=SHARDED_CONFIG)
+    assert serial.ok and sharded.ok
+    assert to_jsonable(serial.result) == to_jsonable(sharded.result)
+    assert serial.rendered == sharded.rendered
+
+    speedup = serial.wall_seconds / sharded.wall_seconds
+    text = "\n".join(
+        [
+            "Sharded identification through the pipeline runner "
+            f"({SHARDED_CONFIG['n_wires']} wires, "
+            f"{SHARDED_CONFIG['n_trials']} starts, "
+            f"{SHARDED_CONFIG['n_shards']} shards)",
+            f"  serial (jobs=1)        : {serial.wall_seconds:8.3f} s",
+            f"  sharded (jobs={SHARD_JOBS})       : "
+            f"{sharded.wall_seconds:8.3f} s",
+            f"  speedup                : {speedup:8.2f}x "
+            f"(on {os.cpu_count()} cpu(s))",
+            "  bit-identical          : True",
+        ]
+    )
+    archive("sharded_runner.txt", text)
+    bench_record(
+        "identify_sharded",
+        dict(SHARDED_CONFIG, jobs=SHARD_JOBS, cpus=os.cpu_count()),
+        sharded.wall_seconds,
+        speedup,
+    )
+
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup > 1.05, (
+            f"sharded run only {speedup:.2f}x the serial run with "
+            f"{os.cpu_count()} cpus"
+        )

@@ -11,11 +11,16 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable perf trajectory, committed so speedups are tracked
+#: across PRs.  Schema: a list of {experiment, config, seconds, speedup}.
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_batch.json"
 
 
 @pytest.fixture(scope="session")
@@ -35,3 +40,34 @@ def archive(results_dir):
         print(f"\n{text}\n[archived to {path}]")
 
     return _archive
+
+
+@pytest.fixture
+def bench_record():
+    """Callable: record one BENCH_batch.json entry (replacing by name).
+
+    Entries keep the {experiment, config, seconds, speedup} schema; the
+    file is read-modify-written so benches can run individually without
+    clobbering each other's entries.
+    """
+
+    def _record(experiment: str, config: dict, seconds: float,
+                speedup: float) -> None:
+        entries = []
+        if BENCH_JSON.exists():
+            entries = json.loads(BENCH_JSON.read_text())
+        entries = [e for e in entries if e.get("experiment") != experiment]
+        entries.append(
+            {
+                "experiment": experiment,
+                "config": config,
+                "seconds": round(seconds, 6),
+                "speedup": round(speedup, 3),
+            }
+        )
+        entries.sort(key=lambda e: e["experiment"])
+        BENCH_JSON.write_text(json.dumps(entries, indent=2) + "\n")
+        print(f"[BENCH_batch.json] {experiment}: {seconds:.4f}s, "
+              f"{speedup:.2f}x")
+
+    return _record

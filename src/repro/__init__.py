@@ -25,7 +25,11 @@ Layers (bottom-up):
   comparison schemes;
 * :mod:`repro.energy` — thermal-noise energy models;
 * :mod:`repro.experiments` — drivers reproducing every table, figure
-  and quantitative claim of the paper.
+  and quantitative claim of the paper;
+* :mod:`repro.pipeline` — the execution layer: the experiment registry,
+  the sharded parallel :class:`~repro.pipeline.runner.Runner` and the
+  JSON/text :class:`~repro.pipeline.store.ArtifactStore` behind
+  ``repro run``.
 
 Quickstart::
 
@@ -51,12 +55,14 @@ from .errors import (
     IdentificationError,
     LogicError,
     OrthogonalityError,
+    PipelineError,
     ReproError,
     SimulationError,
     SpectrumError,
     SpikeTrainError,
     SynthesisError,
 )
+from .pipeline import ArtifactStore, Runner
 from .hyperspace import (
     HyperspaceBasis,
     Superposition,
@@ -125,6 +131,7 @@ __all__ = [
     "IdentificationError",
     "SimulationError",
     "SynthesisError",
+    "PipelineError",
     # units
     "SimulationGrid",
     "paper_white_grid",
@@ -186,4 +193,7 @@ __all__ = [
     "grover_search",
     "verify_equality",
     "verify_subset",
+    # pipeline
+    "Runner",
+    "ArtifactStore",
 ]

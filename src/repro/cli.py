@@ -1,14 +1,24 @@
-"""Command-line interface: run paper experiments from the shell.
+"""Command-line interface: run registered experiments through the pipeline.
 
 Usage::
 
     python -m repro.cli list
     python -m repro.cli run table1
+    python -m repro.cli run identify --jobs 4
     python -m repro.cli run speed --seed 7
-    python -m repro.cli run all --output-dir results/
+    python -m repro.cli run all --jobs 4 --output-dir results/
 
-Every experiment driver in :mod:`repro.experiments` is exposed; ``run``
-prints the rendered artifact and optionally archives it.
+``list`` and ``run``'s experiment choices come straight from the
+:mod:`repro.pipeline.registry` — registering a new
+:class:`~repro.pipeline.spec.ExperimentSpec` is all it takes to appear
+here.  ``run`` executes through :class:`~repro.pipeline.runner.Runner`:
+``--jobs N`` shards a single shardable experiment across N worker
+processes (bit-identical to the serial run) and runs whole experiments
+in parallel for ``run all``; ``--output-dir`` archives one JSON and one
+text artifact per experiment (plus a manifest for ``run all``) via the
+:class:`~repro.pipeline.store.ArtifactStore`.  ``run all`` continues
+past failing experiments and ends with a per-experiment pass/fail
+summary, exiting non-zero when anything failed.
 """
 
 from __future__ import annotations
@@ -18,100 +28,29 @@ import pathlib
 import sys
 from typing import Dict, Optional, Sequence
 
-from .experiments import (
-    run_aliasing,
-    run_energy,
-    run_figure1,
-    run_figure2,
-    run_figure3,
-    run_gates,
-    run_progressive,
-    run_robustness,
-    run_scaling,
-    run_search,
-    run_speed,
-    run_table1,
-    run_table2,
-    run_verification,
-)
+from .pipeline.registry import all_specs, get_spec, spec_names
+from .pipeline.runner import Runner, RunReport
+from .pipeline.spec import ExperimentSpec
+from .pipeline.store import ArtifactStore
 
-__all__ = ["EXPERIMENTS", "main"]
+__all__ = ["EXPERIMENTS", "build_parser", "main"]
 
-
-def _render_table1(seed: int) -> str:
-    return run_table1(seed=seed).render()
-
-
-def _render_table2(seed: int) -> str:
-    return run_table2(seed=seed).render()
-
-
-def _render_figure1(seed: int) -> str:
-    return run_figure1(seed=seed).render()
-
-
-def _render_figure2(seed: int) -> str:
-    return run_figure2(seed=seed).render()
-
-
-def _render_figure3(seed: int) -> str:
-    return run_figure3(seed=seed).render()
-
-
-def _render_speed(seed: int) -> str:
-    return run_speed(seed=seed).render()
-
-
-def _render_aliasing(seed: int) -> str:
-    return run_aliasing(seed=seed).render()
-
-
-def _render_scaling(seed: int) -> str:
-    return run_scaling(seed=seed).render()
-
-
-def _render_progressive(seed: int) -> str:
-    return run_progressive(seed=seed).render()
-
-
-def _render_search(seed: int) -> str:
-    return run_search(seed=seed).render()
-
-
-def _render_robustness(seed: int) -> str:
-    return run_robustness(seed=seed).render()
-
-
-def _render_verification(seed: int) -> str:
-    return run_verification(seed=seed).render()
-
-
-def _render_energy(seed: int) -> str:
-    del seed  # the energy model is deterministic
-    return run_energy().render()
-
-
-def _render_gates(seed: int) -> str:
-    return run_gates(seed=seed).render()
-
-
-#: Experiment id → (description, renderer).
-EXPERIMENTS: Dict[str, tuple] = {
-    "table1": ("Table 1 — demux orthogonator statistics", _render_table1),
-    "table2": ("Table 2 — intersection + homogenization", _render_table2),
-    "figure1": ("Figure 1 — demux raster", _render_figure1),
-    "figure2": ("Figure 2 — intersection raster (uncorrelated)", _render_figure2),
-    "figure3": ("Figure 3 — intersection raster (correlated)", _render_figure3),
-    "speed": ("C1 — identification speed vs baselines", _render_speed),
-    "aliasing": ("C2 — delay aliasing, periodic vs random", _render_aliasing),
-    "scaling": ("C3 — exponential hyperspace scaling", _render_scaling),
-    "progressive": ("C4 — rough-then-refine readout", _render_progressive),
-    "energy": ("C5 — energy per gate operation", _render_energy),
-    "gates": ("C6 — gate correctness and latency", _render_gates),
-    "search": ("C7 — search vs classical and Grover", _render_search),
-    "verification": ("C8 — set-verification latency", _render_verification),
-    "robustness": ("C9 — identification robustness sweeps", _render_robustness),
+#: Experiment id → registered spec (a registry view, kept for callers
+#: that want the mapping without importing the pipeline package).
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec for spec in all_specs()
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for --jobs: a clean usage error beats a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,39 +62,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list the registered experiments")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=spec_names() + ["all"],
         help="experiment id, or 'all'",
     )
     run.add_argument(
         "--seed", type=int, default=2016, help="random seed (default 2016)"
     )
     run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes: shards one experiment, parallelises 'all' "
+        "(default 1)",
+    )
+    run.add_argument(
         "--output-dir",
         type=pathlib.Path,
         default=None,
-        help="also archive rendered output as <dir>/<experiment>.txt",
+        help="archive artifacts as <dir>/<experiment>.{json,txt}",
     )
     return parser
 
 
-def _run_one(
-    name: str,
-    seed: int,
-    output_dir: Optional[pathlib.Path],
-    out=sys.stdout,
-) -> None:
-    _description, renderer = EXPERIMENTS[name]
-    text = renderer(seed)
-    print(text, file=out)
+def _print_list(out) -> None:
+    """One registry-derived line per experiment."""
+    specs = all_specs()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        sharded = "  [shardable]" if spec.shardable else ""
+        print(
+            f"{spec.name:<{width}s}  [{spec.tier}] {spec.description}{sharded}",
+            file=out,
+        )
+
+
+def _print_report(report: RunReport, out) -> None:
+    """One experiment's rendered output (or its failure)."""
+    if report.ok:
+        print(report.rendered, file=out)
+    else:
+        print(f"{report.name} FAILED:\n{report.error}", file=out)
     print(file=out)
-    if output_dir is not None:
-        output_dir.mkdir(parents=True, exist_ok=True)
-        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def _print_summary(reports: Sequence[RunReport], out) -> None:
+    """The per-experiment pass/fail summary of a multi-experiment run."""
+    failed = [report for report in reports if not report.ok]
+    width = max(len(report.name) for report in reports)
+    print(f"== run summary: {len(reports) - len(failed)}/{len(reports)} ok ==",
+          file=out)
+    for report in reports:
+        status = "ok  " if report.ok else "FAIL"
+        print(
+            f"  {report.name:<{width}s}  {status}  "
+            f"{report.wall_seconds:7.2f}s",
+            file=out,
+        )
+    if failed:
+        print(
+            f"failed: {', '.join(report.name for report in failed)}",
+            file=out,
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
@@ -163,17 +135,26 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            description, _renderer = EXPERIMENTS[name]
-            print(f"{name:<{width}s}  {description}", file=out)
+        _print_list(out)
         return 0
 
     if args.command == "run":
-        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        for name in names:
-            _run_one(name, args.seed, args.output_dir, out=out)
-        return 0
+        store = (
+            ArtifactStore(args.output_dir)
+            if args.output_dir is not None
+            else None
+        )
+        runner = Runner(jobs=args.jobs, store=store)
+        if args.experiment == "all":
+            reports = runner.run_many(seed=args.seed)
+            for report in reports:
+                _print_report(report, out)
+            _print_summary(reports, out)
+            return 0 if all(report.ok for report in reports) else 1
+        get_spec(args.experiment)  # argparse already validated; fail loud
+        report = runner.run(args.experiment, seed=args.seed)
+        _print_report(report, out)
+        return 0 if report.ok else 1
 
     return 2  # unreachable: argparse enforces the sub-commands
 

@@ -19,6 +19,7 @@ __all__ = [
     "IdentificationError",
     "SimulationError",
     "SynthesisError",
+    "PipelineError",
 ]
 
 
@@ -70,3 +71,12 @@ class SimulationError(ReproError):
 
 class SynthesisError(LogicError):
     """A synthesis request (adder, comparator, ...) cannot be honoured."""
+
+
+class PipelineError(ReproError):
+    """The experiment pipeline was misused.
+
+    Examples: registering two specs under one name, requesting an
+    unknown experiment, overriding a config field the spec's config
+    dataclass does not declare, or loading a missing artifact.
+    """

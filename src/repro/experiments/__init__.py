@@ -17,47 +17,88 @@ C6         Sec. 5 gates/set-ops claim                     :func:`run_gates`
 C7         Ref [2] search claim                           :func:`run_search`
 C8         Ref [2] verification claim                     :func:`run_verification`
 C9         Sec. 1-2 resilience claim                      :func:`run_robustness`
+S1         ROADMAP serving workload (sharded identify)    :func:`run_identify`
 =========  =============================================  ==================
+
+Importing this package has a deliberate side effect: every module
+registers its :class:`~repro.pipeline.spec.ExperimentSpec` with
+:mod:`repro.pipeline.registry`, which is how the CLI and the
+:class:`~repro.pipeline.runner.Runner` discover experiments — there is
+no hand-maintained driver list anywhere.
 """
 
-from .aliasing import AliasingResult, run_aliasing
-from .energy import EnergyResult, run_energy
-from .figures import FigureResult, run_figure1, run_figure2, run_figure3
-from .gates import GatesResult, run_gates
-from .progressive import ProgressiveResult, run_progressive
-from .robustness import RobustnessExperimentResult, run_robustness
-from .scaling import ScalingResult, run_scaling
-from .search import SearchResult, run_search
-from .speed import SpeedResult, run_speed
-from .table1 import Table1Result, run_table1
-from .verification import VerificationExperimentResult, run_verification
-from .table2 import Table2Result, run_table2
+from .aliasing import AliasingConfig, AliasingResult, run_aliasing
+from .energy import EnergyConfig, EnergyResult, run_energy
+from .figures import (
+    Figure1Config,
+    Figure2Config,
+    Figure3Config,
+    FigureResult,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+)
+from .gates import GatesConfig, GatesResult, run_gates
+from .identify import IdentifyConfig, IdentifyResult, run_identify
+from .progressive import ProgressiveConfig, ProgressiveResult, run_progressive
+from .robustness import (
+    RobustnessConfig,
+    RobustnessExperimentResult,
+    run_robustness,
+)
+from .scaling import ScalingConfig, ScalingResult, run_scaling
+from .search import SearchConfig, SearchResult, run_search
+from .speed import SpeedConfig, SpeedResult, run_speed
+from .table1 import Table1Config, Table1Result, run_table1
+from .verification import (
+    VerificationConfig,
+    VerificationExperimentResult,
+    run_verification,
+)
+from .table2 import Table2Config, Table2Result, run_table2
 
 __all__ = [
     "run_table1",
+    "Table1Config",
     "Table1Result",
     "run_table2",
+    "Table2Config",
     "Table2Result",
     "run_figure1",
     "run_figure2",
     "run_figure3",
+    "Figure1Config",
+    "Figure2Config",
+    "Figure3Config",
     "FigureResult",
     "run_speed",
+    "SpeedConfig",
     "SpeedResult",
     "run_aliasing",
+    "AliasingConfig",
     "AliasingResult",
     "run_scaling",
+    "ScalingConfig",
     "ScalingResult",
     "run_progressive",
+    "ProgressiveConfig",
     "ProgressiveResult",
     "run_energy",
+    "EnergyConfig",
     "EnergyResult",
     "run_gates",
+    "GatesConfig",
     "GatesResult",
     "run_search",
+    "SearchConfig",
     "SearchResult",
     "run_verification",
+    "VerificationConfig",
     "VerificationExperimentResult",
     "run_robustness",
+    "RobustnessConfig",
     "RobustnessExperimentResult",
+    "run_identify",
+    "IdentifyConfig",
+    "IdentifyResult",
 ]

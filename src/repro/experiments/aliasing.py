@@ -19,7 +19,7 @@ Run directly: ``python -m repro.experiments.aliasing``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..baselines.periodic import (
     DelaySweepPoint,
@@ -28,8 +28,26 @@ from ..baselines.periodic import (
 )
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 
-__all__ = ["AliasingResult", "run_aliasing"]
+__all__ = ["AliasingConfig", "AliasingResult", "run_aliasing"]
+
+#: Coincidence window (samples): a tight window models a realistic
+#: detector; wide windows would re-introduce soft aliasing between
+#: *adjacent demux wires*, whose spikes are consecutive source crossings.
+DETECTOR_WINDOW = 2
+
+
+@dataclass(frozen=True)
+class AliasingConfig:
+    """Config of the delay-aliasing sweep."""
+
+    n_elements: int = 4
+    spacing_samples: int = 32
+    seed: int = 2016
+    delays: Sequence[int] = ()
+    min_confidence: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -73,6 +91,91 @@ class AliasingResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class AliasingShard:
+    """One basis kind's delay sweep (the spec's shard unit)."""
+
+    which: str  # "periodic" | "random"
+    config: AliasingConfig
+
+
+@dataclass(frozen=True)
+class AliasingPart:
+    """One basis kind's error-rate curve."""
+
+    which: str
+    points: List[DelaySweepPoint]
+
+
+def _delays(config: AliasingConfig) -> List[int]:
+    """The swept delays; the default covers the aliasing points."""
+    if config.delays:
+        return list(config.delays)
+    # Default sweep: within-window values, exact multiples of the
+    # spacing (the aliasing points), and off-grid values in between.
+    multiples = [k * config.spacing_samples for k in range(1, config.n_elements)]
+    offsets = [
+        1,
+        DETECTOR_WINDOW,
+        config.spacing_samples // 2,
+        config.spacing_samples + 1,
+    ]
+    return sorted(set([0] + offsets + multiples))
+
+
+def _shards(config: AliasingConfig) -> Tuple[AliasingShard, ...]:
+    """The two independent basis sweeps."""
+    return (
+        AliasingShard("periodic", config),
+        AliasingShard("random", config),
+    )
+
+
+def _run_shard(shard: AliasingShard) -> AliasingPart:
+    """Sweep the delays over one basis kind."""
+    config = shard.config
+    synthesizer = paper_default_synthesizer()
+    if shard.which == "periodic":
+        basis = periodic_spike_basis(
+            config.n_elements, config.spacing_samples, synthesizer.grid
+        )
+    else:
+        basis = build_demux_basis(
+            config.n_elements,
+            synthesizer=synthesizer,
+            rng=make_rng(config.seed),
+        )
+    return AliasingPart(
+        which=shard.which,
+        points=misidentification_curve(
+            basis,
+            _delays(config),
+            window=DETECTOR_WINDOW,
+            min_confidence=config.min_confidence,
+        ),
+    )
+
+
+def _merge(
+    config: AliasingConfig, parts: Sequence[AliasingPart]
+) -> AliasingResult:
+    """Reassemble the comparison from the two curves."""
+    by_kind = {part.which: part for part in parts}
+    return AliasingResult(
+        delays=_delays(config),
+        periodic=by_kind["periodic"].points,
+        random=by_kind["random"].points,
+        spacing_samples=config.spacing_samples,
+        window=DETECTOR_WINDOW,
+        min_confidence=config.min_confidence,
+    )
+
+
+def _run(config: AliasingConfig) -> AliasingResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_aliasing(
     n_elements: int = 4,
     spacing_samples: int = 32,
@@ -81,37 +184,29 @@ def run_aliasing(
     min_confidence: float = 0.5,
 ) -> AliasingResult:
     """Sweep delays over periodic and random bases of equal size."""
-    synthesizer = paper_default_synthesizer()
-    grid = synthesizer.grid
-    rng = make_rng(seed)
-    # A tight coincidence window (2 samples) models a realistic detector;
-    # wide windows would re-introduce soft aliasing between *adjacent
-    # demux wires*, whose spikes are consecutive source crossings.
-    window = 2
-
-    periodic_basis = periodic_spike_basis(n_elements, spacing_samples, grid)
-    random_basis = build_demux_basis(n_elements, synthesizer=synthesizer, rng=rng)
-
-    if not delays:
-        # Default sweep: within-window values, exact multiples of the
-        # spacing (the aliasing points), and off-grid values in between.
-        multiples = [k * spacing_samples for k in range(1, n_elements)]
-        offsets = [1, window, spacing_samples // 2, spacing_samples + 1]
-        delays = sorted(set([0] + offsets + multiples))
-    delays = list(delays)
-
-    return AliasingResult(
-        delays=delays,
-        periodic=misidentification_curve(
-            periodic_basis, delays, window=window, min_confidence=min_confidence
-        ),
-        random=misidentification_curve(
-            random_basis, delays, window=window, min_confidence=min_confidence
-        ),
-        spacing_samples=spacing_samples,
-        window=window,
-        min_confidence=min_confidence,
+    return _run(
+        AliasingConfig(
+            n_elements=n_elements,
+            spacing_samples=spacing_samples,
+            seed=seed,
+            delays=tuple(delays),
+            min_confidence=min_confidence,
+        )
     )
+
+
+register(
+    ExperimentSpec(
+        name="aliasing",
+        description="C2 — delay aliasing, periodic vs random",
+        tier="claim",
+        config_type=AliasingConfig,
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
+    )
+)
 
 
 def main() -> None:

@@ -16,8 +16,19 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..energy.power import SchemeEnergy, compare_schemes
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 
-__all__ = ["EnergyResult", "run_energy"]
+__all__ = ["EnergyConfig", "EnergyResult", "run_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Config of the energy comparison (deterministic: no seed)."""
+
+    error_targets: Tuple[float, ...] = (1e-6, 1e-9, 1e-12)
+    gate_capacitance: float = 1e-15
+    noise_rms_voltage: float = 1e-3
 
 
 @dataclass(frozen=True)
@@ -76,6 +87,22 @@ def run_energy(
         for target in error_targets
     ]
     return EnergyResult(rows=rows)
+
+
+register(
+    ExperimentSpec(
+        name="energy",
+        description="C5 — energy per gate operation",
+        tier="claim",
+        config_type=EnergyConfig,
+        seed_policy="fixed",
+        run=lambda config: run_energy(
+            error_targets=config.error_targets,
+            gate_capacitance=config.gate_capacitance,
+            noise_rms_voltage=config.noise_rms_voltage,
+        ),
+    )
+)
 
 
 def main() -> None:

@@ -28,6 +28,8 @@ from ..noise.spectra import PAPER_WHITE_BAND, WhiteSpectrum
 from ..noise.synthesis import NoiseSynthesizer, make_rng
 from ..orthogonator.demux import DemuxOrthogonator
 from ..orthogonator.intersection import IntersectionOrthogonator
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..spikes.train import SpikeTrain
 from ..spikes.zero_crossing import AllCrossingDetector
 from ..units import paper_white_grid
@@ -35,6 +37,9 @@ from ..viz.raster import render_labelled_rasters
 from .paper_constants import PAPER_N_POINTS
 
 __all__ = [
+    "Figure1Config",
+    "Figure2Config",
+    "Figure3Config",
     "FigureResult",
     "run_figure1",
     "run_figure2",
@@ -43,6 +48,33 @@ __all__ = [
 
 #: Raster window: enough slots to show ~25 source spikes, as the paper does.
 DEFAULT_WINDOW_SLOTS = 800
+
+
+@dataclass(frozen=True)
+class Figure1Config:
+    """Config of the Figure 1 reproduction."""
+
+    seed: int = 7
+    n_samples: int = PAPER_N_POINTS
+    window_slots: int = DEFAULT_WINDOW_SLOTS
+
+
+@dataclass(frozen=True)
+class Figure2Config:
+    """Config of the Figure 2 reproduction."""
+
+    seed: int = 11
+    n_samples: int = PAPER_N_POINTS
+    window_slots: int = DEFAULT_WINDOW_SLOTS
+
+
+@dataclass(frozen=True)
+class Figure3Config:
+    """Config of the Figure 3 reproduction."""
+
+    seed: int = 13
+    n_samples: int = PAPER_N_POINTS
+    window_slots: int = DEFAULT_WINDOW_SLOTS
 
 
 @dataclass(frozen=True)
@@ -155,6 +187,49 @@ def run_figure3(
         n_samples=n_samples,
         window_slots=window_slots,
     )
+
+
+register(
+    ExperimentSpec(
+        name="figure1",
+        description="Figure 1 — demux raster",
+        tier="figure",
+        config_type=Figure1Config,
+        run=lambda config: run_figure1(
+            seed=config.seed,
+            n_samples=config.n_samples,
+            window_slots=config.window_slots,
+        ),
+    )
+)
+
+register(
+    ExperimentSpec(
+        name="figure2",
+        description="Figure 2 — intersection raster (uncorrelated)",
+        tier="figure",
+        config_type=Figure2Config,
+        run=lambda config: run_figure2(
+            seed=config.seed,
+            n_samples=config.n_samples,
+            window_slots=config.window_slots,
+        ),
+    )
+)
+
+register(
+    ExperimentSpec(
+        name="figure3",
+        description="Figure 3 — intersection raster (correlated)",
+        tier="figure",
+        config_type=Figure3Config,
+        run=lambda config: run_figure3(
+            seed=config.seed,
+            n_samples=config.n_samples,
+            window_slots=config.window_slots,
+        ),
+    )
+)
 
 
 def main() -> None:

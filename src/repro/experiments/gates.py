@@ -26,9 +26,19 @@ from ..logic.gates import TruthTableGate
 from ..logic.multivalued import max_gate, min_gate, mod_sum_gate
 from ..logic.synthesis import adder_reference, ripple_adder
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..units import format_time
 
-__all__ = ["GateSweepPoint", "GatesResult", "run_gates"]
+__all__ = ["GateSweepPoint", "GatesConfig", "GatesResult", "run_gates"]
+
+
+@dataclass(frozen=True)
+class GatesConfig:
+    """Config of the gate correctness/latency sweep."""
+
+    alphabet_sizes: Tuple[int, ...] = (2, 3, 4, 8)
+    seed: int = 2016
 
 
 @dataclass(frozen=True)
@@ -146,6 +156,19 @@ def run_gates(
         adder_critical_path_samples=critical,
         dt=synthesizer.grid.dt,
     )
+
+
+register(
+    ExperimentSpec(
+        name="gates",
+        description="C6 — gate correctness and latency",
+        tier="claim",
+        config_type=GatesConfig,
+        run=lambda config: run_gates(
+            alphabet_sizes=config.alphabet_sizes, seed=config.seed
+        ),
+    )
+)
 
 
 def main() -> None:

@@ -18,9 +18,19 @@ from typing import List, Tuple
 from ..analysis.progressive import progressive_readout, value_error_profile
 from ..hyperspace.builders import build_intersection_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..units import format_time
 
-__all__ = ["ProgressiveResult", "run_progressive"]
+__all__ = ["ProgressiveConfig", "ProgressiveResult", "run_progressive"]
+
+
+@dataclass(frozen=True)
+class ProgressiveConfig:
+    """Config of the progressive-readout comparison."""
+
+    seed: int = 2016
+    radix: int = 3
 
 
 @dataclass(frozen=True)
@@ -93,6 +103,19 @@ def run_progressive(seed: int = 2016, radix: int = 3) -> ProgressiveResult:
         adverse_assignment=adverse_profile,
         dt=basis.grid.dt,
     )
+
+
+register(
+    ExperimentSpec(
+        name="progressive",
+        description="C4 — rough-then-refine readout",
+        tier="claim",
+        config_type=ProgressiveConfig,
+        run=lambda config: run_progressive(
+            seed=config.seed, radix=config.radix
+        ),
+    )
+)
 
 
 def main() -> None:

@@ -24,8 +24,18 @@ from ..analysis.robustness import (
 )
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 
-__all__ = ["RobustnessExperimentResult", "run_robustness"]
+__all__ = ["RobustnessConfig", "RobustnessExperimentResult", "run_robustness"]
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Config of the robustness degradation sweeps."""
+
+    seed: int = 2016
+    trials: int = 3
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,19 @@ def run_robustness(seed: int = 2016, trials: int = 3) -> RobustnessExperimentRes
         ),
     }
     return RobustnessExperimentResult(sweeps=sweeps)
+
+
+register(
+    ExperimentSpec(
+        name="robustness",
+        description="C9 — identification robustness sweeps",
+        tier="claim",
+        config_type=RobustnessConfig,
+        run=lambda config: run_robustness(
+            seed=config.seed, trials=config.trials
+        ),
+    )
+)
 
 
 def main() -> None:

@@ -15,12 +15,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 from ..hyperspace.builders import build_intersection_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 
-__all__ = ["ScalingPoint", "ScalingResult", "run_scaling"]
+__all__ = ["ScalingConfig", "ScalingPoint", "ScalingResult", "run_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Config of the hyperspace-scaling sweep."""
+
+    max_inputs: int = 6
+    seed: int = 2016
+    common_amplitude: float = 0.945
 
 
 @dataclass(frozen=True)
@@ -58,6 +69,69 @@ class ScalingResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ScalingShard:
+    """One basis order N of the sweep (the spec's shard unit).
+
+    Each order already draws from its own ``make_rng(seed + n)``, so
+    shards are independent by construction.
+    """
+
+    n_inputs: int
+    seed: int
+    common_amplitude: float
+
+
+def _shards(config: ScalingConfig) -> Tuple[ScalingShard, ...]:
+    """One shard per basis order N = 2..max."""
+    return tuple(
+        ScalingShard(n, config.seed, config.common_amplitude)
+        for n in range(2, config.max_inputs + 1)
+    )
+
+
+def _run_shard(shard: ScalingShard) -> ScalingPoint:
+    """Build one order's intersection basis and record the costs."""
+    synthesizer = paper_default_synthesizer()
+    rng = make_rng(shard.seed + shard.n_inputs)
+    started = time.perf_counter()
+    basis = build_intersection_basis(
+        shard.n_inputs,
+        synthesizer=synthesizer,
+        common_amplitude=shard.common_amplitude,
+        rng=rng,
+    )
+    elapsed = time.perf_counter() - started
+    counts = [len(t) for t in basis.trains]
+    return ScalingPoint(
+        n_inputs=shard.n_inputs,
+        basis_size=basis.size,
+        build_seconds=elapsed,
+        min_spikes=min(counts),
+        max_spikes=max(counts),
+        nonempty_elements=sum(1 for c in counts if c > 0),
+    )
+
+
+def _merge(
+    config: ScalingConfig, parts: Sequence[ScalingPoint]
+) -> ScalingResult:
+    """Reassemble the sweep in order of N.
+
+    ``build_seconds`` is a per-shard wall-time measurement, the one
+    intentionally non-deterministic field of any result payload.
+    """
+    return ScalingResult(
+        points=sorted(parts, key=lambda p: p.n_inputs),
+        common_amplitude=config.common_amplitude,
+    )
+
+
+def _run(config: ScalingConfig) -> ScalingResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_scaling(
     max_inputs: int = 6,
     seed: int = 2016,
@@ -69,30 +143,27 @@ def run_scaling(
     0.0 the higher-order products go empty quickly, which the sweep also
     documents (set it explicitly to compare).
     """
-    synthesizer = paper_default_synthesizer()
-    points: List[ScalingPoint] = []
-    for n in range(2, max_inputs + 1):
-        rng = make_rng(seed + n)
-        started = time.perf_counter()
-        basis = build_intersection_basis(
-            n,
-            synthesizer=synthesizer,
+    return _run(
+        ScalingConfig(
+            max_inputs=max_inputs,
+            seed=seed,
             common_amplitude=common_amplitude,
-            rng=rng,
         )
-        elapsed = time.perf_counter() - started
-        counts = [len(t) for t in basis.trains]
-        points.append(
-            ScalingPoint(
-                n_inputs=n,
-                basis_size=basis.size,
-                build_seconds=elapsed,
-                min_spikes=min(counts),
-                max_spikes=max(counts),
-                nonempty_elements=sum(1 for c in counts if c > 0),
-            )
-        )
-    return ScalingResult(points=points, common_amplitude=common_amplitude)
+    )
+
+
+register(
+    ExperimentSpec(
+        name="scaling",
+        description="C3 — exponential hyperspace scaling",
+        tier="claim",
+        config_type=ScalingConfig,
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
+    )
+)
 
 
 def main() -> None:

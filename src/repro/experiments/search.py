@@ -17,18 +17,28 @@ Run directly: ``python -m repro.experiments.search``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from ..hyperspace.builders import build_intersection_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..search.classical import expected_scan_queries
 from ..search.grover import grover_search, optimal_iterations
 from ..search.superposition_search import SuperpositionDatabase
 from ..units import format_time
 
-__all__ = ["SearchPoint", "SearchResult", "run_search"]
+__all__ = ["SearchConfig", "SearchPoint", "SearchResult", "run_search"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Config of the search comparison."""
+
+    n_inputs_sweep: Tuple[int, ...] = (3, 4, 5, 6)
+    seed: int = 2016
 
 
 @dataclass(frozen=True)
@@ -116,6 +126,19 @@ def run_search(
             )
         )
     return SearchResult(points=points, dt=synthesizer.grid.dt)
+
+
+register(
+    ExperimentSpec(
+        name="search",
+        description="C7 — search vs classical and Grover",
+        tier="claim",
+        config_type=SearchConfig,
+        run=lambda config: run_search(
+            n_inputs_sweep=config.n_inputs_sweep, seed=config.seed
+        ),
+    )
+)
 
 
 def main() -> None:

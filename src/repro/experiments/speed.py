@@ -31,9 +31,21 @@ from ..baselines.sinusoidal import SinusoidalLogic
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..logic.correlator import detection_latency_samples
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..units import GIGAHERTZ, format_time
 
-__all__ = ["SchemeLatency", "SpeedResult", "run_speed"]
+__all__ = ["SchemeLatency", "SpeedConfig", "SpeedResult", "run_speed"]
+
+
+@dataclass(frozen=True)
+class SpeedConfig:
+    """Config of the identification-speed comparison."""
+
+    n_values: int = 4
+    seed: int = 2016
+    n_trials: int = 200
+    margin: float = 0.2
 
 
 @dataclass(frozen=True)
@@ -151,6 +163,22 @@ def run_speed(
         ),
     ]
     return SpeedResult(latencies=latencies, dt=grid.dt)
+
+
+register(
+    ExperimentSpec(
+        name="speed",
+        description="C1 — identification speed vs baselines",
+        tier="claim",
+        config_type=SpeedConfig,
+        run=lambda config: run_speed(
+            n_values=config.n_values,
+            seed=config.seed,
+            n_trials=config.n_trials,
+            margin=config.margin,
+        ),
+    )
+)
 
 
 def main() -> None:

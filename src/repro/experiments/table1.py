@@ -12,6 +12,7 @@ Run directly: ``python -m repro.experiments.table1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -19,11 +20,22 @@ from ..analysis.rice import rice_mean_isi
 from ..analysis.tables import StatsRow, StatsTable
 from ..noise.sources import NoiseSource, paper_pink_source, paper_white_source
 from ..orthogonator.demux import DemuxOrthogonator
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..spikes.statistics import IsiStatistics, isi_statistics
 from ..spikes.zero_crossing import AllCrossingDetector
 from .paper_constants import PAPER_N_POINTS, TABLE1_PINK, TABLE1_WHITE
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Config", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Config of the Table 1 reproduction."""
+
+    seed: int = 2016
+    n_samples: int = PAPER_N_POINTS
+    order: int = 2
 
 
 @dataclass(frozen=True)
@@ -62,31 +74,93 @@ def _pooled_output_stats(source: NoiseSource, order: int, seed: int) -> tuple:
     return source_stats, pooled
 
 
+@dataclass(frozen=True)
+class Table1Shard:
+    """One noise configuration of Table 1 (the spec's shard unit)."""
+
+    variant: str  # "white" | "pink"
+    seed: int
+    n_samples: int
+    order: int
+
+
+@dataclass(frozen=True)
+class Table1Part:
+    """One configuration's table plus its Rice-formula source ISI."""
+
+    variant: str
+    table: StatsTable
+    rice_isi: float
+
+
+def _shards(config: Table1Config) -> Tuple[Table1Shard, ...]:
+    """The two noise configurations, seeded exactly as the serial run."""
+    return (
+        Table1Shard("white", config.seed, config.n_samples, config.order),
+        Table1Shard("pink", config.seed + 1, config.n_samples, config.order),
+    )
+
+
+def _run_shard(shard: Table1Shard) -> Table1Part:
+    """Measure one noise configuration."""
+    if shard.variant == "white":
+        source = paper_white_source(seed=shard.seed, n_samples=shard.n_samples)
+        title = "Table 1 — white noise (5 MHz-10 GHz), demux M=3"
+        reference = TABLE1_WHITE
+    else:
+        source = paper_pink_source(seed=shard.seed, n_samples=shard.n_samples)
+        title = "Table 1 — 1/f noise (2.5 MHz-10 GHz), demux M=3"
+        reference = TABLE1_PINK
+    table = StatsTable(title)
+    source_stats, output_stats = _pooled_output_stats(
+        source, shard.order, shard.seed
+    )
+    table.add(StatsRow("source", source_stats, reference["source"]))
+    table.add(StatsRow("outputs", output_stats, reference["outputs"]))
+    return Table1Part(
+        variant=shard.variant,
+        table=table,
+        rice_isi=rice_mean_isi(source.spectrum),
+    )
+
+
+def _merge(config: Table1Config, parts: Sequence[Table1Part]) -> Table1Result:
+    """Reassemble the full Table 1 result from its two configurations."""
+    by_variant = {part.variant: part for part in parts}
+    return Table1Result(
+        white=by_variant["white"].table,
+        pink=by_variant["pink"].table,
+        rice_white_isi=by_variant["white"].rice_isi,
+        rice_pink_isi=by_variant["pink"].rice_isi,
+    )
+
+
+def _run(config: Table1Config) -> Table1Result:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_table1(
     seed: int = 2016,
     n_samples: int = PAPER_N_POINTS,
     order: int = 2,
 ) -> Table1Result:
     """Run experiment T1 and return the paper-vs-measured tables."""
-    white_source = paper_white_source(seed=seed, n_samples=n_samples)
-    pink_source = paper_pink_source(seed=seed + 1, n_samples=n_samples)
+    return _run(Table1Config(seed=seed, n_samples=n_samples, order=order))
 
-    white_table = StatsTable("Table 1 — white noise (5 MHz-10 GHz), demux M=3")
-    source_stats, output_stats = _pooled_output_stats(white_source, order, seed)
-    white_table.add(StatsRow("source", source_stats, TABLE1_WHITE["source"]))
-    white_table.add(StatsRow("outputs", output_stats, TABLE1_WHITE["outputs"]))
 
-    pink_table = StatsTable("Table 1 — 1/f noise (2.5 MHz-10 GHz), demux M=3")
-    source_stats, output_stats = _pooled_output_stats(pink_source, order, seed)
-    pink_table.add(StatsRow("source", source_stats, TABLE1_PINK["source"]))
-    pink_table.add(StatsRow("outputs", output_stats, TABLE1_PINK["outputs"]))
-
-    return Table1Result(
-        white=white_table,
-        pink=pink_table,
-        rice_white_isi=rice_mean_isi(white_source.spectrum),
-        rice_pink_isi=rice_mean_isi(pink_source.spectrum),
+register(
+    ExperimentSpec(
+        name="table1",
+        description="Table 1 — demux orthogonator statistics",
+        tier="table",
+        config_type=Table1Config,
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
+)
 
 
 def main() -> None:

@@ -15,11 +15,13 @@ Run directly: ``python -m repro.experiments.table2``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.tables import StatsRow, StatsTable
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..noise.correlated import (
     PAPER_COMMON_AMPLITUDE,
     PAPER_PRIVATE_AMPLITUDE,
@@ -38,7 +40,15 @@ from .paper_constants import (
     TABLE2_UNCORRELATED,
 )
 
-__all__ = ["Table2Result", "run_table2"]
+__all__ = ["Table2Config", "Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Config of the Table 2 reproduction."""
+
+    seed: int = 2016
+    n_samples: int = PAPER_N_POINTS
 
 
 @dataclass(frozen=True)
@@ -99,16 +109,73 @@ def _run_configuration(
     return table, homogenization_spread(output)
 
 
+@dataclass(frozen=True)
+class Table2Shard:
+    """One source configuration of Table 2 (the spec's shard unit)."""
+
+    correlated: bool
+    seed: int
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class Table2Part:
+    """One configuration's table plus its homogenization spread."""
+
+    correlated: bool
+    table: StatsTable
+    spread: float
+
+
+def _shards(config: Table2Config) -> Tuple[Table2Shard, ...]:
+    """The two source configurations, seeded exactly as the serial run."""
+    return (
+        Table2Shard(False, config.seed, config.n_samples),
+        Table2Shard(True, config.seed + 1, config.n_samples),
+    )
+
+
+def _run_shard(shard: Table2Shard) -> Table2Part:
+    """Measure one source configuration."""
+    table, spread = _run_configuration(
+        shard.correlated, shard.seed, shard.n_samples
+    )
+    return Table2Part(correlated=shard.correlated, table=table, spread=spread)
+
+
+def _merge(config: Table2Config, parts: Sequence[Table2Part]) -> Table2Result:
+    """Reassemble the full Table 2 result from its two configurations."""
+    by_kind = {part.correlated: part for part in parts}
+    return Table2Result(
+        uncorrelated=by_kind[False].table,
+        correlated=by_kind[True].table,
+        spread_uncorrelated=by_kind[False].spread,
+        spread_correlated=by_kind[True].spread,
+    )
+
+
+def _run(config: Table2Config) -> Table2Result:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_table2(seed: int = 2016, n_samples: int = PAPER_N_POINTS) -> Table2Result:
     """Run experiment T2 and return the paper-vs-measured tables."""
-    uncorrelated, spread_u = _run_configuration(False, seed, n_samples)
-    correlated, spread_c = _run_configuration(True, seed + 1, n_samples)
-    return Table2Result(
-        uncorrelated=uncorrelated,
-        correlated=correlated,
-        spread_uncorrelated=spread_u,
-        spread_correlated=spread_c,
+    return _run(Table2Config(seed=seed, n_samples=n_samples))
+
+
+register(
+    ExperimentSpec(
+        name="table2",
+        description="Table 2 — intersection + homogenization",
+        tier="table",
+        config_type=Table2Config,
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
+)
 
 
 def main() -> None:

@@ -24,10 +24,26 @@ import numpy as np
 
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..noise.synthesis import make_rng
+from ..pipeline.registry import register
+from ..pipeline.spec import ExperimentSpec
 from ..search.verification import verify_equality
 from ..units import format_time
 
-__all__ = ["VerificationPoint", "VerificationExperimentResult", "run_verification"]
+__all__ = [
+    "VerificationConfig",
+    "VerificationPoint",
+    "VerificationExperimentResult",
+    "run_verification",
+]
+
+
+@dataclass(frozen=True)
+class VerificationConfig:
+    """Config of the set-verification latency sweep."""
+
+    basis_sizes: Tuple[int, ...] = (4, 8, 16)
+    n_pairs: int = 24
+    seed: int = 2016
 
 
 @dataclass(frozen=True)
@@ -107,6 +123,21 @@ def run_verification(
             )
         )
     return VerificationExperimentResult(points=points, dt=synthesizer.grid.dt)
+
+
+register(
+    ExperimentSpec(
+        name="verification",
+        description="C8 — set-verification latency",
+        tier="claim",
+        config_type=VerificationConfig,
+        run=lambda config: run_verification(
+            basis_sizes=config.basis_sizes,
+            n_pairs=config.n_pairs,
+            seed=config.seed,
+        ),
+    )
+)
 
 
 def main() -> None:

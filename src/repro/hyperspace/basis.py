@@ -9,11 +9,22 @@ property that makes single-coincidence identification deterministic.
 Bases are typically built from an orthogonator output
 (:meth:`HyperspaceBasis.from_orthogonator`), but any collection of
 orthogonal trains qualifies.
+
+Derived projections are cached per basis: the dense ``owner_vector``
+(slot → owning element) and the stacked element batch build lazily and
+are reused, and :meth:`HyperspaceBasis.encode_set` /
+:meth:`HyperspaceBasis.encode_batch` memoise their outputs in an LRU so
+repeated decode/search experiments stop recomputing the same basis
+projections.  :meth:`HyperspaceBasis.cache_info` exposes hit/miss
+counters; mutating the basis (:meth:`HyperspaceBasis.replace_element`)
+or calling :meth:`HyperspaceBasis.invalidate_caches` drops every cached
+projection and bumps the basis version.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +37,81 @@ from ..units import SimulationGrid
 __all__ = ["HyperspaceBasis"]
 
 ElementKey = Union[int, str]
+
+#: Default capacity (entries) of the per-basis encode LRU.
+DEFAULT_ENCODE_CACHE_SIZE = 128
+
+#: Default byte budget of the per-basis encode LRU.  Cached batches
+#: carry dense rasters (N × n_samples bools), so an entry bound alone
+#: could pin gigabytes; the byte bound is the one that matters.
+DEFAULT_ENCODE_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def _cache_cost(value: object) -> int:
+    """Approximate resident bytes of a cached encode result."""
+    if isinstance(value, SpikeTrainBatch):
+        values, ptr = value.csr()
+        # from_raster-built batches already hold their dense raster.
+        return values.nbytes + ptr.nbytes + value.n_trains * value.grid.n_samples
+    if isinstance(value, SpikeTrain):
+        return value.indices.nbytes + 64
+    return 64
+
+
+class _LruCache:
+    """A small LRU bounded by entry count *and* total bytes.
+
+    Values are weighed with :func:`_cache_cost`; inserting evicts
+    oldest entries until both bounds hold, and a value bigger than the
+    whole byte budget is returned uncached.  ``clear()`` drops the
+    entries but keeps the cumulative hit/miss counters — cache
+    effectiveness stays observable across basis rebuilds.
+    """
+
+    __slots__ = ("maxsize", "max_bytes", "hits", "misses", "total_bytes",
+                 "_data")
+
+    def __init__(self, maxsize: int, max_bytes: int) -> None:
+        if maxsize < 1:
+            raise HyperspaceError(f"cache size must be >= 1, got {maxsize}")
+        if max_bytes < 1:
+            raise HyperspaceError(
+                f"cache byte budget must be >= 1, got {max_bytes}"
+            )
+        self.maxsize = int(maxsize)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.total_bytes = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get_or_build(self, key, build: Callable[[], object]) -> object:
+        """The cached value for ``key``, building (and caching) on miss."""
+        if key in self._data:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key][0]
+        self.misses += 1
+        value = build()
+        cost = _cache_cost(value)
+        if cost > self.max_bytes:
+            return value  # would evict everything and still not fit
+        self._data[key] = (value, cost)
+        self.total_bytes += cost
+        while (
+            len(self._data) > self.maxsize
+            or self.total_bytes > self.max_bytes
+        ):
+            _key, (_value, evicted_cost) = self._data.popitem(last=False)
+            self.total_bytes -= evicted_cost
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.total_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class HyperspaceBasis:
@@ -45,6 +131,9 @@ class HyperspaceBasis:
         self,
         trains: Sequence[SpikeTrain],
         labels: Optional[Sequence[str]] = None,
+        *,
+        encode_cache_size: int = DEFAULT_ENCODE_CACHE_SIZE,
+        encode_cache_bytes: int = DEFAULT_ENCODE_CACHE_BYTES,
     ) -> None:
         if not trains:
             raise HyperspaceError("a hyperspace basis needs at least one element")
@@ -66,8 +155,14 @@ class HyperspaceBasis:
         self._labels: Tuple[str, ...] = tuple(labels)
         self._grid = grid
         self._label_to_index = {label: i for i, label in enumerate(self._labels)}
-        self._owner_vector = self._build_owner_vector()
+        # Cached projections: the owner vector and the element batch
+        # build lazily on first use; encode results memoise in the LRU.
+        self._owner_vector: Optional[np.ndarray] = None
+        self._owner_builds = 0
+        self._owner_hits = 0
         self._batch: Optional[SpikeTrainBatch] = None
+        self._encode_cache = _LruCache(encode_cache_size, encode_cache_bytes)
+        self._version = 0
 
     def _build_owner_vector(self) -> np.ndarray:
         """Dense slot → owning-element map (-1 for unowned slots).
@@ -120,8 +215,14 @@ class HyperspaceBasis:
         """Dense slot → element-index map of length ``n_samples`` (-1 = unowned).
 
         The vectorised identification paths gather through this array
-        instead of walking a per-slot dictionary.
+        instead of walking a per-slot dictionary.  Built lazily on
+        first use and cached until the basis is mutated or rebuilt.
         """
+        if self._owner_vector is None:
+            self._owner_vector = self._build_owner_vector()
+            self._owner_builds += 1
+        else:
+            self._owner_hits += 1
         return self._owner_vector
 
     def as_batch(self) -> SpikeTrainBatch:
@@ -129,6 +230,15 @@ class HyperspaceBasis:
         if self._batch is None:
             self._batch = SpikeTrainBatch.from_trains(self._trains)
         return self._batch
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped on every mutation/invalidation.
+
+        Consumers holding derived state (external caches keyed on this
+        basis) compare versions instead of deep-comparing trains.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return self.size
@@ -174,8 +284,15 @@ class HyperspaceBasis:
         This is the paper's "several neuro-bits transmitted on a single
         wire" — up to ``2^M − 1`` distinct superpositions ride one wire.
         An empty selection yields the empty train (the zero vector).
+        Results are memoised in the basis's encode LRU (spike trains
+        are immutable, so sharing them is safe).
         """
-        indices = sorted({self.index_of(k) for k in keys})
+        indices = tuple(sorted({self.index_of(k) for k in keys}))
+        return self._encode_cache.get_or_build(
+            ("set", indices), lambda: self._encode_set_uncached(indices)
+        )
+
+    def _encode_set_uncached(self, indices: Tuple[int, ...]) -> SpikeTrain:
         if not indices:
             return SpikeTrain.empty(self._grid)
         merged = np.concatenate([self._trains[i].indices for i in indices])
@@ -189,14 +306,26 @@ class HyperspaceBasis:
         Row ``k`` carries the union of the reference trains selected by
         ``selections[k]`` — the batched form of :meth:`encode_set`,
         computed as one member-mask × element-raster product instead of
-        K Python-side unions.
+        K Python-side unions.  Results are memoised in the basis's
+        encode LRU keyed on the normalised selections (batches are
+        immutable, so sharing them is safe).
         """
         if not selections:
             raise HyperspaceError("encode_batch needs at least one selection")
+        key = tuple(
+            tuple(sorted({self.index_of(k) for k in keys}))
+            for keys in selections
+        )
+        return self._encode_cache.get_or_build(
+            ("batch", key), lambda: self._encode_batch_uncached(key)
+        )
+
+    def _encode_batch_uncached(
+        self, selections: Tuple[Tuple[int, ...], ...]
+    ) -> SpikeTrainBatch:
         member_mask = np.zeros((len(selections), self.size), dtype=bool)
-        for k, keys in enumerate(selections):
-            for key in keys:
-                member_mask[k, self.index_of(key)] = True
+        for k, indices in enumerate(selections):
+            member_mask[k, list(indices)] = True
         # Orthogonality makes the per-slot member count 0/1, so a uint8
         # matmul against the element raster cannot overflow.
         element_raster = self.as_batch().raster
@@ -210,7 +339,7 @@ class HyperspaceBasis:
         slot = int(slot)
         if not (0 <= slot < self._grid.n_samples):
             return None
-        owner = int(self._owner_vector[slot])
+        owner = int(self.owner_vector[slot])
         return None if owner < 0 else owner
 
     def owners_of(self, slots: np.ndarray) -> np.ndarray:
@@ -222,13 +351,14 @@ class HyperspaceBasis:
         the masked gather only runs when a slot actually falls outside.
         """
         slots = np.asarray(slots, dtype=np.int64)
+        owner_vector = self.owner_vector
         if slots.size == 0:
-            return np.empty(0, dtype=self._owner_vector.dtype)
+            return np.empty(0, dtype=owner_vector.dtype)
         if int(slots.min()) >= 0 and int(slots.max()) < self._grid.n_samples:
-            return self._owner_vector[slots]
-        owners = np.full(slots.shape, -1, dtype=self._owner_vector.dtype)
+            return owner_vector[slots]
+        owners = np.full(slots.shape, -1, dtype=owner_vector.dtype)
         in_range = (slots >= 0) & (slots < self._grid.n_samples)
-        owners[in_range] = self._owner_vector[slots[in_range]]
+        owners[in_range] = owner_vector[slots[in_range]]
         return owners
 
     def classify_train(self, train: SpikeTrain) -> Dict[int, int]:
@@ -245,6 +375,66 @@ class HyperspaceBasis:
             if histogram[element + 1]
         }
         return counts
+
+    # ------------------------------------------------------------------
+    # Mutation and cache control
+    # ------------------------------------------------------------------
+
+    def replace_element(self, key: ElementKey, train: SpikeTrain) -> None:
+        """Swap one element's reference train, re-verifying orthogonality.
+
+        The supported mutation: rebuilding a degraded reference (e.g.
+        after re-running an orthogonator) in place.  Every cached
+        projection — owner vector, element batch, encode LRU — is
+        invalidated and the basis :attr:`version` bumps.
+        """
+        index = self.index_of(key)
+        if train.grid != self._grid:
+            raise HyperspaceError(
+                f"replacement train lives on {train.grid.describe()}, "
+                f"expected {self._grid.describe()}"
+            )
+        trains = list(self._trains)
+        trains[index] = train
+        verify_orthogonality(trains, self._labels)
+        self._trains = tuple(trains)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached projection and bump the basis version.
+
+        Called automatically by :meth:`replace_element`; call directly
+        after out-of-band mutation (there should be none).  Hit/miss
+        counters are cumulative and survive invalidation.
+        """
+        self._owner_vector = None
+        self._batch = None
+        self._encode_cache.clear()
+        self._version += 1
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache effectiveness counters for the basis's projections.
+
+        ``owner_vector_builds`` / ``owner_vector_hits`` count lazy
+        builds vs reuses of the dense owner vector;
+        ``encode_hits`` / ``encode_misses`` count the encode LRU
+        (:meth:`encode_set` + :meth:`encode_batch`); ``encode_entries``
+        / ``encode_bytes`` are its current fill, ``encode_maxsize`` /
+        ``encode_max_bytes`` its bounds; ``version`` counts
+        invalidations.
+        """
+        return {
+            "version": self._version,
+            "owner_vector_builds": self._owner_builds,
+            "owner_vector_hits": self._owner_hits,
+            "owner_vector_cached": int(self._owner_vector is not None),
+            "encode_hits": self._encode_cache.hits,
+            "encode_misses": self._encode_cache.misses,
+            "encode_entries": len(self._encode_cache),
+            "encode_bytes": self._encode_cache.total_bytes,
+            "encode_maxsize": self._encode_cache.maxsize,
+            "encode_max_bytes": self._encode_cache.max_bytes,
+        }
 
     # ------------------------------------------------------------------
     # Diagnostics

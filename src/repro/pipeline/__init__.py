@@ -1,0 +1,55 @@
+"""The experiment pipeline: registry + sharded runner + artifact store.
+
+This package is the execution layer every paper experiment runs
+through:
+
+* :mod:`~repro.pipeline.spec` — :class:`ExperimentSpec`, the typed
+  description of one experiment (config dataclass, driver, seed policy,
+  optional shard plan);
+* :mod:`~repro.pipeline.registry` — the central name → spec registry,
+  populated by the experiment modules at import time;
+* :mod:`~repro.pipeline.runner` — :class:`Runner`, executing specs
+  serially, sharded across a process pool (``jobs > 1`` on a single
+  spec) or with whole experiments as pool tasks (``run_many``);
+* :mod:`~repro.pipeline.store` — :class:`ArtifactStore`, persisting
+  every run as a JSON + text artifact pair with run metadata;
+* :mod:`~repro.pipeline.serialize` — :func:`to_jsonable`, lowering any
+  driver result to JSON-ready data.
+
+Shard plans split work along the *config*, typically the batch axis of
+a :class:`~repro.backend.batch.SpikeTrainBatch`, so a sharded run is
+bit-identical to a serial one no matter how many workers execute it.
+"""
+
+from .registry import (
+    all_specs,
+    ensure_loaded,
+    get_spec,
+    register,
+    spec_names,
+    specs_by_tier,
+    unregister,
+)
+from .runner import Runner, RunReport
+from .serialize import to_jsonable
+from .spec import SEED_POLICIES, TIERS, ExperimentSpec
+from .store import SCHEMA_VERSION, ArtifactStore, RunRecord
+
+__all__ = [
+    "ExperimentSpec",
+    "TIERS",
+    "SEED_POLICIES",
+    "register",
+    "unregister",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+    "specs_by_tier",
+    "ensure_loaded",
+    "Runner",
+    "RunReport",
+    "ArtifactStore",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "to_jsonable",
+]

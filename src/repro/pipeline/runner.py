@@ -1,0 +1,236 @@
+"""The runner: execute registered experiments serially or in parallel.
+
+One :class:`Runner` drives every experiment through the same path:
+
+* resolve the spec from the registry, build its config (seed + typed
+  overrides), execute, time, serialise, archive;
+* **shard pool** — running a single *shardable* spec with ``jobs > 1``
+  maps its shard tasks over a process pool.  The shard plan is a
+  property of the config (never of the worker count), so a sharded run
+  is bit-identical to the serial run by construction;
+* **experiment pool** — :meth:`Runner.run_many` with ``jobs > 1`` runs
+  whole experiments as pool tasks instead (each worker executes its
+  spec's shards serially).  Workers return plain :class:`RunRecord`
+  objects — results are serialised *inside* the worker, so nothing
+  fancier than JSON-ready data ever crosses the process boundary;
+* failures never abort a multi-experiment run: each report carries its
+  own status and traceback, and the store archives error records too.
+
+Workers rebuild their inputs deterministically from (spec name, task),
+resolving the spec through the registry in their own process — the only
+pickled state is the task dataclass itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PipelineError
+from . import registry
+from .serialize import to_jsonable
+from .store import ArtifactStore, RunRecord
+
+__all__ = ["Runner", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    """What the caller gets back from one experiment execution.
+
+    ``result`` is the live result object when the experiment ran in
+    this process, and None when it ran in a pool worker (the serialised
+    payload is in the archived record either way).
+    """
+
+    name: str
+    status: str
+    wall_seconds: float
+    jobs: int
+    n_shards: int
+    result: Any = None
+    rendered: str = ""
+    error: Optional[str] = None
+    json_path: Any = None
+    text_path: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without raising."""
+        return self.status == "ok"
+
+
+def _mp_context():
+    """Fork when available (cheap, inherits the loaded registry)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def _render(result: Any) -> str:
+    """A result's text report (every driver result exposes render())."""
+    if hasattr(result, "render"):
+        return result.render()
+    return str(result)
+
+
+def _shard_worker(task: Tuple[str, Any]) -> Any:
+    """Pool target: run one shard of one spec."""
+    name, shard = task
+    return registry.get_spec(name).run_shard(shard)
+
+
+def _experiment_worker(task: Tuple[str, Optional[int], Dict[str, Any]]) -> RunRecord:
+    """Pool target: run one whole experiment, shards serial, record out."""
+    name, seed, overrides = task
+    record, _result = _execute_record(name, seed, overrides, jobs=1)
+    return record
+
+
+def _execute_record(
+    name: str,
+    seed: Optional[int],
+    overrides: Optional[Dict[str, Any]],
+    jobs: int,
+) -> Tuple[RunRecord, Any]:
+    """Execute one experiment and build its record.
+
+    Never raises on experiment failure — the record carries the
+    traceback instead, which is what lets ``run all`` continue past a
+    broken driver.  Config/spec resolution errors (unknown name or
+    override) do raise: those are caller bugs, not experiment failures.
+    """
+    spec = registry.get_spec(name)
+    config = spec.make_config(seed=seed, overrides=overrides)
+    config_payload = to_jsonable(config)
+    used_seed = getattr(config, "seed", None)
+    started = time.perf_counter()
+    try:
+        result, n_shards = _execute_spec(spec, config, jobs)
+        wall = time.perf_counter() - started
+        record = RunRecord(
+            experiment=name,
+            status="ok",
+            config=config_payload,
+            seed=used_seed,
+            jobs=jobs,
+            n_shards=n_shards,
+            wall_seconds=wall,
+            result=to_jsonable(result),
+            rendered=_render(result),
+        )
+        return record, result
+    except Exception:
+        wall = time.perf_counter() - started
+        record = RunRecord(
+            experiment=name,
+            status="error",
+            config=config_payload,
+            seed=used_seed,
+            jobs=jobs,
+            n_shards=0,
+            wall_seconds=wall,
+            error=traceback.format_exc(),
+        )
+        return record, None
+
+
+def _execute_spec(spec, config, jobs: int) -> Tuple[Any, int]:
+    """Run one spec, sharding across a pool when possible.
+
+    Returns ``(result, n_shards)`` with ``n_shards == 0`` for
+    unsharded execution.
+    """
+    if not spec.shardable:
+        return spec.run(config), 0
+    tasks = list(spec.shard(config))
+    if not tasks:
+        raise PipelineError(f"spec {spec.name!r} produced an empty shard plan")
+    if jobs > 1 and len(tasks) > 1:
+        with _mp_context().Pool(min(jobs, len(tasks))) as pool:
+            parts = pool.map(
+                _shard_worker, [(spec.name, task) for task in tasks]
+            )
+    else:
+        parts = [spec.run_shard(task) for task in tasks]
+    return spec.merge(config, parts), len(tasks)
+
+
+class Runner:
+    """Executes registered experiments and archives their artifacts.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  1 (default) runs everything in-process; more
+        enables the shard pool for single runs and the experiment pool
+        for :meth:`run_many`.
+    store:
+        Optional :class:`~repro.pipeline.store.ArtifactStore`; when set,
+        every run (including failures) is archived as JSON + text.
+    """
+
+    def __init__(self, jobs: int = 1, store: Optional[ArtifactStore] = None):
+        if jobs < 1:
+            raise PipelineError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.store = store
+
+    def run(
+        self,
+        name: str,
+        seed: Optional[int] = None,
+        overrides: Optional[Dict[str, Any]] = None,
+    ) -> RunReport:
+        """Run one experiment (sharded across the pool when it can be)."""
+        record, result = _execute_record(name, seed, overrides, self.jobs)
+        return self._finalize(record, result)
+
+    def run_many(
+        self,
+        names: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ) -> List[RunReport]:
+        """Run several experiments (default: all), continuing past failures.
+
+        With ``jobs > 1`` the experiments themselves are the pool tasks;
+        a manifest summarising the whole run is written when a store is
+        attached.
+        """
+        names = list(names) if names is not None else registry.spec_names()
+        for name in names:
+            registry.get_spec(name)  # fail fast on unknown names
+        tasks = [(name, seed, {}) for name in names]
+        if self.jobs > 1 and len(names) > 1:
+            with _mp_context().Pool(min(self.jobs, len(names))) as pool:
+                records = pool.map(_experiment_worker, tasks)
+            reports = [self._finalize(record, None) for record in records]
+        else:
+            pairs = [_execute_record(*task, jobs=self.jobs) for task in tasks]
+            records = [record for record, _result in pairs]
+            reports = [self._finalize(record, result) for record, result in pairs]
+        if self.store is not None:
+            self.store.write_manifest(records)
+        return reports
+
+    def _finalize(self, record: RunRecord, result: Any) -> RunReport:
+        """Archive a record (when a store is attached) and report it."""
+        json_path = text_path = None
+        if self.store is not None:
+            json_path, text_path = self.store.save(record)
+        return RunReport(
+            name=record.experiment,
+            status=record.status,
+            wall_seconds=record.wall_seconds,
+            jobs=record.jobs,
+            n_shards=record.n_shards,
+            result=result,
+            rendered=record.rendered,
+            error=record.error,
+            json_path=json_path,
+            text_path=text_path,
+        )

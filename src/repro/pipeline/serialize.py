@@ -1,0 +1,67 @@
+"""Result serialisation: any experiment result → JSON-ready data.
+
+Experiment results are frozen dataclasses composed of numpy arrays,
+spike trains, stats tables and plain numbers.  :func:`to_jsonable`
+lowers all of that to dicts/lists/str/numbers so the
+:class:`~repro.pipeline.store.ArtifactStore` can ``json.dumps`` it:
+
+* dataclasses → ``{field: value}`` dicts (covers every ``*Result``,
+  ``*Point`` and config class);
+* numpy scalars and arrays → Python numbers and lists;
+* :class:`~repro.spikes.train.SpikeTrain` → grid + spike-slot list (the
+  full information content — figures re-render from it);
+* :class:`~repro.analysis.tables.StatsTable` → title + rows;
+* sets / frozensets → sorted lists (deterministic artifacts);
+* anything unknown → its ``repr`` (never raises: an artifact with one
+  opaque field beats a failed run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..analysis.tables import StatsTable
+from ..spikes.train import SpikeTrain
+from ..units import SimulationGrid
+
+__all__ = ["to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively lower ``obj`` to JSON-serialisable data."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, SpikeTrain):
+        return {
+            "n_spikes": len(obj),
+            "grid": to_jsonable(obj.grid),
+            "indices": obj.indices.tolist(),
+        }
+    if isinstance(obj, SimulationGrid):
+        return {"n_samples": obj.n_samples, "dt": obj.dt}
+    if isinstance(obj, StatsTable):
+        return {
+            "title": obj.title,
+            "rows": [to_jsonable(row) for row in obj.rows],
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in obj)
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return repr(obj)

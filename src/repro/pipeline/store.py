@@ -1,0 +1,149 @@
+"""The artifact store: every run leaves a JSON + text record on disk.
+
+One :class:`RunRecord` captures a single experiment execution — config,
+seed, shard/job counts, wall time, the serialised result (or the error
+traceback) and the rendered text report.  :class:`ArtifactStore` writes
+each record as::
+
+    <root>/<experiment>.json   # machine-readable: metadata + result
+    <root>/<experiment>.txt    # the rendered report (or the traceback)
+
+plus a ``manifest.json`` summarising a multi-experiment run.  The JSON
+payload separates volatile metadata (wall time) from the deterministic
+``result`` block, so bit-identity checks between serial and sharded
+runs compare ``record["result"]`` and the text artifact directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import PipelineError
+
+__all__ = ["RunRecord", "ArtifactStore", "SCHEMA_VERSION"]
+
+#: Bumped whenever the artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunRecord:
+    """Everything persisted about one experiment execution.
+
+    ``config`` and ``result`` are already JSON-ready (the runner lowers
+    them through :func:`~repro.pipeline.serialize.to_jsonable`), which
+    keeps records picklable for pool workers and trivially writable.
+    """
+
+    experiment: str
+    status: str  # "ok" | "error"
+    config: Dict[str, Any]
+    seed: Optional[int]
+    jobs: int
+    n_shards: int
+    wall_seconds: float
+    result: Any = None
+    rendered: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without raising."""
+        return self.status == "ok"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON artifact body."""
+        payload = dataclasses.asdict(self)
+        payload["schema"] = SCHEMA_VERSION
+        return payload
+
+
+class ArtifactStore:
+    """Writes and reads run artifacts under one output directory."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def json_path(self, experiment: str) -> pathlib.Path:
+        """Where the JSON artifact of ``experiment`` lives."""
+        return self.root / f"{experiment}.json"
+
+    def text_path(self, experiment: str) -> pathlib.Path:
+        """Where the text artifact of ``experiment`` lives."""
+        return self.root / f"{experiment}.txt"
+
+    def manifest_path(self) -> pathlib.Path:
+        """Where the run manifest lives."""
+        return self.root / "manifest.json"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def save(self, record: RunRecord) -> Tuple[pathlib.Path, pathlib.Path]:
+        """Persist one record; returns ``(json_path, text_path)``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        json_path = self.json_path(record.experiment)
+        text_path = self.text_path(record.experiment)
+        json_path.write_text(
+            json.dumps(record.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        text = record.rendered if record.ok else (record.error or "")
+        text_path.write_text(text.rstrip("\n") + "\n")
+        return json_path, text_path
+
+    def write_manifest(self, records: List[RunRecord]) -> pathlib.Path:
+        """Summarise a multi-experiment run as ``manifest.json``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "n_experiments": len(records),
+            "n_failed": sum(1 for r in records if not r.ok),
+            "experiments": {
+                r.experiment: {
+                    "status": r.status,
+                    "wall_seconds": r.wall_seconds,
+                    "jobs": r.jobs,
+                    "n_shards": r.n_shards,
+                    "json": self.json_path(r.experiment).name,
+                    "text": self.text_path(r.experiment).name,
+                }
+                for r in records
+            },
+        }
+        path = self.manifest_path()
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self, experiment: str) -> Dict[str, Any]:
+        """Parse the JSON artifact of ``experiment``."""
+        path = self.json_path(experiment)
+        if not path.exists():
+            raise PipelineError(f"no artifact for {experiment!r} under {self.root}")
+        return json.loads(path.read_text())
+
+    def load_text(self, experiment: str) -> str:
+        """Read the text artifact of ``experiment``."""
+        path = self.text_path(experiment)
+        if not path.exists():
+            raise PipelineError(f"no artifact for {experiment!r} under {self.root}")
+        return path.read_text()
+
+    def load_manifest(self) -> Dict[str, Any]:
+        """Parse ``manifest.json``."""
+        path = self.manifest_path()
+        if not path.exists():
+            raise PipelineError(f"no manifest under {self.root}")
+        return json.loads(path.read_text())

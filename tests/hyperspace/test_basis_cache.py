@@ -1,0 +1,153 @@
+"""Tests for the HyperspaceBasis projection caches.
+
+Covers the owner-vector laziness, the encode LRU (hit/miss counters,
+eviction, shared immutable results) and invalidation on mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import HyperspaceError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+GRID = SimulationGrid(n_samples=64, dt=1e-9)
+
+
+def _basis(**kwargs):
+    trains = [
+        SpikeTrain([0, 8, 16], GRID),
+        SpikeTrain([1, 9, 17], GRID),
+        SpikeTrain([2, 10, 18], GRID),
+    ]
+    return HyperspaceBasis(trains, **kwargs)
+
+
+class TestOwnerVectorCache:
+    def test_lazy_build_then_hits(self):
+        basis = _basis()
+        info = basis.cache_info()
+        assert info["owner_vector_builds"] == 0
+        assert not info["owner_vector_cached"]
+
+        basis.owner_vector
+        basis.owner_vector
+        info = basis.cache_info()
+        assert info["owner_vector_builds"] == 1
+        assert info["owner_vector_hits"] == 1
+        assert info["owner_vector_cached"]
+
+    def test_identification_paths_share_one_build(self):
+        basis = _basis()
+        basis.owners_of(np.array([0, 1, 2]))
+        basis.classify_train(SpikeTrain([8, 9], GRID))
+        basis.owner_of_slot(16)
+        assert basis.cache_info()["owner_vector_builds"] == 1
+
+
+class TestEncodeCache:
+    def test_encode_set_hit_returns_same_object(self):
+        basis = _basis()
+        first = basis.encode_set([0, 2])
+        second = basis.encode_set([2, 0])  # normalised key: order-free
+        assert second is first
+        info = basis.cache_info()
+        assert info["encode_misses"] == 1
+        assert info["encode_hits"] == 1
+
+    def test_encode_batch_hit_returns_same_object(self):
+        basis = _basis()
+        first = basis.encode_batch([[0], [1, 2]])
+        second = basis.encode_batch([[0], [2, 1]])
+        assert second is first
+        assert basis.cache_info()["encode_hits"] == 1
+
+    def test_set_and_batch_keys_do_not_collide(self):
+        basis = _basis()
+        basis.encode_set([0])
+        basis.encode_batch([[0]])
+        assert basis.cache_info()["encode_misses"] == 2
+
+    def test_lru_evicts_oldest(self):
+        basis = _basis(encode_cache_size=2)
+        basis.encode_set([0])
+        basis.encode_set([1])
+        basis.encode_set([2])  # evicts [0]
+        assert basis.cache_info()["encode_entries"] == 2
+        basis.encode_set([0])  # rebuilt: a miss
+        info = basis.cache_info()
+        assert info["encode_misses"] == 4
+        assert info["encode_hits"] == 0
+
+    def test_byte_budget_evicts_before_entry_bound(self):
+        basis = _basis(encode_cache_size=64, encode_cache_bytes=200)
+        basis.encode_set([0])  # ~88 bytes (3 int64 slots + overhead)
+        basis.encode_set([1])
+        assert basis.cache_info()["encode_entries"] == 2
+        basis.encode_set([2])  # pushes past 200 bytes → evicts [0]
+        info = basis.cache_info()
+        assert info["encode_entries"] == 2
+        assert info["encode_bytes"] <= 200
+
+    def test_oversized_value_returned_uncached(self):
+        basis = _basis(encode_cache_bytes=8)  # nothing fits
+        basis.encode_set([0, 1])
+        info = basis.cache_info()
+        assert info["encode_entries"] == 0
+        assert info["encode_bytes"] == 0
+        # Still correct, just rebuilt per call (two misses, no hit).
+        basis.encode_set([0, 1])
+        assert basis.cache_info()["encode_misses"] == 2
+
+    def test_cached_wire_is_correct(self):
+        basis = _basis()
+        wire = basis.encode_set([0, 1])
+        again = basis.encode_set([0, 1])
+        assert again.indices.tolist() == sorted([0, 8, 16, 1, 9, 17])
+
+
+class TestInvalidation:
+    def test_replace_element_invalidates_everything(self):
+        basis = _basis()
+        basis.owner_vector
+        basis.encode_set([0])
+        basis.as_batch()
+        version = basis.version
+
+        replacement = SpikeTrain([3, 11, 19], GRID)
+        basis.replace_element(0, replacement)
+
+        info = basis.cache_info()
+        assert basis.version == version + 1
+        assert not info["owner_vector_cached"]
+        assert info["encode_entries"] == 0
+        # The rebuilt projections see the new train.
+        assert basis.owner_of_slot(3) == 0
+        assert basis.owner_of_slot(0) is None
+        assert basis.encode_set([0]).indices.tolist() == [3, 11, 19]
+        assert basis.as_batch().row(0).indices.tolist() == [3, 11, 19]
+
+    def test_replace_element_requires_orthogonality(self):
+        basis = _basis()
+        clash = SpikeTrain([1, 30], GRID)  # slot 1 belongs to element 1
+        with pytest.raises(Exception):
+            basis.replace_element(0, clash)
+        # The failed mutation left the basis untouched.
+        assert basis.owner_of_slot(0) == 0
+
+    def test_replace_element_requires_same_grid(self):
+        basis = _basis()
+        other = SimulationGrid(n_samples=32, dt=1e-9)
+        with pytest.raises(HyperspaceError):
+            basis.replace_element(0, SpikeTrain([3], other))
+
+    def test_invalidate_keeps_cumulative_counters(self):
+        basis = _basis()
+        basis.encode_set([0])
+        basis.encode_set([0])
+        basis.invalidate_caches()
+        info = basis.cache_info()
+        assert info["encode_hits"] == 1
+        assert info["encode_misses"] == 1
+        assert info["encode_entries"] == 0

@@ -1,0 +1,176 @@
+"""Tests for the experiment registry and every registered spec.
+
+The round-trip test is the pipeline's contract: for every registered
+spec, config → run → JSON artifact → reload reproduces the config and
+parses cleanly.  Reduced workloads keep the sweep fast.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    ArtifactStore,
+    ExperimentSpec,
+    Runner,
+    all_specs,
+    get_spec,
+    register,
+    spec_names,
+    to_jsonable,
+    unregister,
+)
+
+#: Per-spec reduced workloads so the full-registry sweep stays fast.
+SMALL_OVERRIDES = {
+    "table1": {"n_samples": 16384},
+    "table2": {"n_samples": 16384},
+    "figure1": {"n_samples": 8192},
+    "figure2": {"n_samples": 8192},
+    "figure3": {"n_samples": 8192},
+    "speed": {"n_trials": 20},
+    "scaling": {"max_inputs": 3},
+    "gates": {"alphabet_sizes": (2,)},
+    "search": {"n_inputs_sweep": (3,)},
+    "verification": {"basis_sizes": (4,), "n_pairs": 4},
+    "robustness": {"trials": 1},
+    "identify": {"n_wires": 32, "n_trials": 3, "n_shards": 2},
+}
+
+
+class TestRegistry:
+    def test_fourteen_paper_specs_plus_serving(self):
+        names = spec_names()
+        assert len(names) == 15
+        assert "identify" in names
+
+    def test_get_spec_unknown_name_raises_with_available(self):
+        with pytest.raises(PipelineError, match="table1"):
+            get_spec("nonsense")
+
+    def test_duplicate_registration_raises(self):
+        spec = get_spec("energy")
+        with pytest.raises(PipelineError, match="already registered"):
+            register(spec)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # runpy re-exec
+    def test_run_directly_entry_points_survive_reregistration(self, capsys):
+        """``python -m repro.experiments.<name>`` executes the module
+        twice (package import + __main__); the re-registration must not
+        crash and the original spec must win."""
+        import runpy
+
+        before = get_spec("energy")
+        runpy.run_module("repro.experiments.energy", run_name="__main__")
+        assert get_spec("energy") is before
+        assert "noise-spike" in capsys.readouterr().out
+
+    def test_unregister_roundtrip(self):
+        spec = get_spec("energy")
+        unregister("energy")
+        try:
+            with pytest.raises(PipelineError):
+                get_spec("energy")
+        finally:
+            register(spec)
+
+    def test_every_spec_well_formed(self):
+        for spec in all_specs():
+            assert spec.description
+            assert spec.tier in ("table", "figure", "claim", "serving")
+            assert dataclasses.is_dataclass(spec.config_type)
+            # Zero-arg config must reproduce the paper run.
+            spec.config_type()
+
+    def test_shard_plan_all_or_nothing(self):
+        for spec in all_specs():
+            plan = (spec.shard, spec.run_shard, spec.merge)
+            assert all(p is not None for p in plan) or all(
+                p is None for p in plan
+            )
+
+
+class TestMakeConfig:
+    def test_seed_applies_to_seeded_specs(self):
+        config = get_spec("table1").make_config(seed=7)
+        assert config.seed == 7
+
+    def test_explicit_override_beats_seed(self):
+        config = get_spec("table1").make_config(seed=7, overrides={"seed": 9})
+        assert config.seed == 9
+
+    def test_seed_ignored_by_fixed_specs(self):
+        spec = get_spec("energy")
+        assert spec.seed_policy == "fixed"
+        config = spec.make_config(seed=7)
+        assert not hasattr(config, "seed")
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(PipelineError, match="no config field"):
+            get_spec("table1").make_config(overrides={"banana": 1})
+
+
+class TestSpecValidation:
+    def test_partial_shard_plan_rejected(self):
+        with pytest.raises(PipelineError, match="together"):
+            ExperimentSpec(
+                name="bad",
+                description="partial shard plan",
+                tier="claim",
+                config_type=get_spec("energy").config_type,
+                run=lambda config: None,
+                seed_policy="fixed",
+                shard=lambda config: [config],
+            )
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(PipelineError, match="tier"):
+            ExperimentSpec(
+                name="bad",
+                description="bad tier",
+                tier="banana",
+                config_type=get_spec("energy").config_type,
+                run=lambda config: None,
+                seed_policy="fixed",
+            )
+
+    def test_seeded_spec_needs_seed_field(self):
+        with pytest.raises(PipelineError, match="seed"):
+            ExperimentSpec(
+                name="bad",
+                description="seeded without a seed field",
+                tier="claim",
+                config_type=get_spec("energy").config_type,  # no seed field
+                run=lambda config: None,
+            )
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_OVERRIDES) + ["energy",
+                                                            "progressive",
+                                                            "aliasing"])
+def test_every_spec_round_trips_through_artifact(name, tmp_path):
+    """config → run → JSON artifact → reload, for every registered spec."""
+    spec = get_spec(name)
+    overrides = SMALL_OVERRIDES.get(name, {})
+    store = ArtifactStore(tmp_path)
+    report = Runner(jobs=1, store=store).run(name, overrides=overrides)
+    assert report.ok, report.error
+    assert report.json_path.exists()
+    assert report.text_path.exists()
+    assert report.text_path.read_text().strip()
+
+    record = json.loads(report.json_path.read_text())  # must parse
+    assert record["experiment"] == name
+    assert record["status"] == "ok"
+    assert record["wall_seconds"] >= 0.0
+    assert record["result"] is not None
+
+    # The stored config reloads into an equal config dataclass.
+    config = spec.make_config(overrides=overrides)
+    assert record["config"] == to_jsonable(config)
+    assert spec.config_from_jsonable(record["config"]) == config
+
+    # The store's reader agrees with the raw file.
+    assert store.load(name) == record

@@ -1,0 +1,157 @@
+"""Tests for the Runner: sharded == serial, failures don't abort runs."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    ArtifactStore,
+    ExperimentSpec,
+    Runner,
+    register,
+    unregister,
+)
+
+#: A small sharded workload (2 shards of 8 wires, 2 observation starts).
+SMALL_IDENTIFY = {"n_wires": 16, "n_trials": 2, "n_shards": 2, "basis_size": 4}
+
+
+def _run_identify(tmp_path, jobs):
+    store = ArtifactStore(tmp_path / f"jobs{jobs}")
+    report = Runner(jobs=jobs, store=store).run(
+        "identify", overrides=SMALL_IDENTIFY
+    )
+    assert report.ok, report.error
+    return report, json.loads(report.json_path.read_text())
+
+
+class TestShardedEqualsSerial:
+    def test_two_job_identify_bit_identical(self, tmp_path):
+        serial_report, serial = _run_identify(tmp_path, jobs=1)
+        sharded_report, sharded = _run_identify(tmp_path, jobs=2)
+        assert serial["result"] == sharded["result"]
+        assert serial_report.rendered == sharded_report.rendered
+        assert serial_report.text_path.read_text() == (
+            sharded_report.text_path.read_text()
+        )
+        assert sharded["n_shards"] == 2
+        assert sharded["jobs"] == 2
+
+    def test_two_job_table2_bit_identical(self, tmp_path):
+        overrides = {"n_samples": 16384}
+        serial = Runner(jobs=1).run("table2", overrides=overrides)
+        sharded = Runner(jobs=2).run("table2", overrides=overrides)
+        assert serial.ok and sharded.ok
+        assert serial.rendered == sharded.rendered
+        assert sharded.n_shards == 2
+
+    def test_shard_count_is_config_not_jobs(self, tmp_path):
+        """More jobs than shards must not change the plan."""
+        _report, record = _run_identify(tmp_path, jobs=5)
+        assert record["n_shards"] == SMALL_IDENTIFY["n_shards"]
+
+
+class TestRunnerBasics:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(PipelineError):
+            Runner(jobs=0)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(PipelineError):
+            Runner().run("nonsense")
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(PipelineError):
+            Runner().run("identify", overrides={"banana": 1})
+
+    def test_run_without_store_keeps_result(self):
+        report = Runner().run("identify", overrides=SMALL_IDENTIFY)
+        assert report.ok
+        assert report.result is not None
+        assert report.result.accuracy == 1.0
+        assert report.json_path is None
+
+    def test_seed_recorded(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        report = Runner(store=store).run(
+            "identify", seed=7, overrides=SMALL_IDENTIFY
+        )
+        record = json.loads(report.json_path.read_text())
+        assert record["seed"] == 7
+        assert record["config"]["seed"] == 7
+
+
+@dataclass(frozen=True)
+class _FlakyConfig:
+    seed: int = 2016
+
+
+def _raise(config):
+    raise ValueError("shard meltdown")
+
+
+class TestFailureHandling:
+    @pytest.fixture
+    def failing_spec(self):
+        register(
+            ExperimentSpec(
+                name="zz-flaky",
+                description="always fails (test fixture)",
+                tier="claim",
+                config_type=_FlakyConfig,
+                run=_raise,
+            )
+        )
+        yield
+        unregister("zz-flaky")
+
+    def test_run_captures_traceback(self, failing_spec, tmp_path):
+        store = ArtifactStore(tmp_path)
+        report = Runner(store=store).run("zz-flaky")
+        assert not report.ok
+        assert "shard meltdown" in report.error
+        record = json.loads(report.json_path.read_text())
+        assert record["status"] == "error"
+        assert "shard meltdown" in record["error"]
+
+    def test_run_many_continues_past_failure(self, failing_spec, tmp_path):
+        store = ArtifactStore(tmp_path)
+        reports = Runner(store=store).run_many(["energy", "zz-flaky"])
+        by_name = {report.name: report for report in reports}
+        assert by_name["energy"].ok
+        assert not by_name["zz-flaky"].ok
+        manifest = store.load_manifest()
+        assert manifest["n_failed"] == 1
+        assert manifest["experiments"]["energy"]["status"] == "ok"
+
+    def test_parallel_run_many_continues_past_failure(
+        self, failing_spec, tmp_path
+    ):
+        """The experiment pool isolates failures the same way."""
+        store = ArtifactStore(tmp_path)
+        reports = Runner(jobs=2, store=store).run_many(
+            ["energy", "zz-flaky", "progressive"]
+        )
+        statuses = {report.name: report.ok for report in reports}
+        assert statuses == {
+            "energy": True, "zz-flaky": False, "progressive": True,
+        }
+        # Pool workers serialise in-process; artifacts land either way.
+        assert store.load("progressive")["status"] == "ok"
+        assert "shard meltdown" in store.load("zz-flaky")["error"]
+
+    def test_run_many_unknown_name_fails_fast(self):
+        with pytest.raises(PipelineError):
+            Runner().run_many(["energy", "nonsense"])
+
+
+class TestParallelRunMany:
+    def test_matches_serial_rendering(self, tmp_path):
+        names = ["energy", "progressive"]
+        serial = Runner(jobs=1).run_many(names)
+        parallel = Runner(jobs=2).run_many(names)
+        assert [r.rendered for r in serial] == [r.rendered for r in parallel]
+        # Pool-executed experiments hand back records, not live objects.
+        assert all(r.result is None for r in parallel)

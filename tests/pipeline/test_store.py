@@ -1,0 +1,110 @@
+"""Tests for the artifact store and the result serialiser."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import ArtifactStore, RunRecord, to_jsonable
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+
+def _record(**overrides):
+    fields = dict(
+        experiment="demo",
+        status="ok",
+        config={"seed": 2016},
+        seed=2016,
+        jobs=1,
+        n_shards=0,
+        wall_seconds=0.25,
+        result={"value": 42},
+        rendered="demo report",
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestArtifactStore:
+    def test_save_and_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        json_path, text_path = store.save(_record())
+        assert json_path == tmp_path / "demo.json"
+        assert text_path == tmp_path / "demo.txt"
+        record = store.load("demo")
+        assert record["schema"] == 1
+        assert record["result"] == {"value": 42}
+        assert store.load_text("demo") == "demo report\n"
+
+    def test_error_record_writes_traceback_text(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(
+            _record(status="error", result=None, rendered="", error="boom")
+        )
+        assert store.load("demo")["status"] == "error"
+        assert store.load_text("demo") == "boom\n"
+
+    def test_missing_artifact_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(PipelineError):
+            store.load("demo")
+        with pytest.raises(PipelineError):
+            store.load_manifest()
+
+    def test_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        records = [
+            _record(),
+            _record(experiment="other", status="error", error="boom"),
+        ]
+        store.write_manifest(records)
+        manifest = store.load_manifest()
+        assert manifest["n_experiments"] == 2
+        assert manifest["n_failed"] == 1
+        assert manifest["experiments"]["demo"]["json"] == "demo.json"
+
+    def test_json_artifact_is_valid_json(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        json_path, _text = store.save(_record())
+        json.loads(json_path.read_text())  # must not raise
+
+
+class TestToJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.bool_(True)) is True
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_sets_become_sorted_lists(self):
+        assert to_jsonable(frozenset({3, 1, 2})) == [1, 2, 3]
+
+    def test_spike_train(self):
+        grid = SimulationGrid(n_samples=16, dt=1e-9)
+        train = SpikeTrain([2, 5, 11], grid)
+        payload = to_jsonable(train)
+        assert payload == {
+            "n_spikes": 3,
+            "grid": {"n_samples": 16, "dt": 1e-9},
+            "indices": [2, 5, 11],
+        }
+
+    def test_dict_keys_become_strings(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+    def test_experiment_result_serialises_to_json(self):
+        from repro.experiments.identify import run_identify
+
+        result = run_identify(n_wires=8, basis_size=4, n_trials=2, n_shards=2)
+        payload = to_jsonable(result)
+        text = json.dumps(payload)  # must not raise
+        assert json.loads(text)["n_wires"] == 8

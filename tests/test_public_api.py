@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.energy",
     "repro.analysis",
     "repro.experiments",
+    "repro.pipeline",
     "repro.search",
     "repro.viz",
     "repro.cli",
