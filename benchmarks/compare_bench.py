@@ -1,0 +1,133 @@
+"""Diff two BENCH_batch.json files and fail on wall-time regressions.
+
+The perf trajectory's first regression gate: given a *baseline* bench
+file (typically the committed ``benchmarks/BENCH_batch.json``) and a
+*candidate* (a fresh bench run), compare the per-experiment ``seconds``
+and exit non-zero when any experiment regressed by more than the
+threshold (default 20%).  Experiments missing from the candidate are
+regressions too — a bench silently disappearing must not pass the gate.
+New experiments and speedups are reported but never fail.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CANDIDATE.json
+    python benchmarks/compare_bench.py old.json new.json --threshold 0.5
+
+The threshold is a fraction: ``--threshold 0.2`` fails when candidate
+seconds exceed ``baseline * 1.2``.  Cross-machine comparisons (CI vs a
+laptop) should pass a generous threshold — the entries' ``cpus`` /
+``python`` / ``commit`` provenance fields are printed whenever the two
+files disagree about the machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+
+def load_entries(path: pathlib.Path) -> Dict[str, dict]:
+    """A bench file's entries, keyed by experiment name."""
+    entries = json.loads(path.read_text())
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: expected a JSON list of bench entries")
+    return {entry["experiment"]: entry for entry in entries}
+
+
+def _provenance(entry: dict) -> str:
+    """One-line machine/commit description of an entry."""
+    return (
+        f"cpus={entry.get('cpus', '?')} python={entry.get('python', '?')} "
+        f"commit={entry.get('commit', '?')}"
+    )
+
+
+def compare(
+    baseline: Dict[str, dict],
+    candidate: Dict[str, dict],
+    threshold: float,
+    min_seconds: float = 0.0,
+) -> List[str]:
+    """Compare two entry maps; returns the list of regression messages.
+
+    Entries whose baseline is below ``min_seconds`` are reported but
+    never fail: sub-millisecond micro-timings are machine noise when
+    the baseline and candidate come from different hosts.
+    """
+    regressions: List[str] = []
+    for name in sorted(baseline):
+        old = baseline[name]
+        new = candidate.get(name)
+        if new is None:
+            regressions.append(f"{name}: missing from candidate")
+            continue
+        old_s, new_s = float(old["seconds"]), float(new["seconds"])
+        ratio = new_s / old_s if old_s > 0 else float("inf")
+        status = "ok"
+        if old_s < min_seconds:
+            status = "ok (below min-seconds floor)"
+        elif new_s > old_s * (1.0 + threshold):
+            status = "REGRESSION"
+            regressions.append(
+                f"{name}: {old_s:.6f}s -> {new_s:.6f}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+        print(
+            f"{name:<28s} {old_s:>12.6f}s -> {new_s:>12.6f}s "
+            f"({ratio:>5.2f}x)  {status}"
+        )
+        if _provenance(old) != _provenance(new):
+            print(f"{'':<28s} baseline : {_provenance(old)}")
+            print(f"{'':<28s} candidate: {_provenance(new)}")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name:<28s} (new entry: {candidate[name]['seconds']:.6f}s)")
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_batch.json files; non-zero exit on "
+        "wall-time regressions beyond the threshold."
+    )
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="baseline bench JSON (e.g. the committed file)")
+    parser.add_argument("candidate", type=pathlib.Path,
+                        help="candidate bench JSON (a fresh run)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown before failing (default 0.2)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        help="entries with a baseline below this never fail — "
+        "micro-timings are noise across machines (default 0.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error(f"threshold must be >= 0, got {args.threshold}")
+
+    regressions = compare(
+        load_entries(args.baseline),
+        load_entries(args.candidate),
+        args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ Run with::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import subprocess
 
 import pytest
 
@@ -42,13 +45,35 @@ def archive(results_dir):
     return _archive
 
 
+def _git_commit() -> str:
+    """The recording commit (short hash, ``-dirty`` when uncommitted)."""
+    here = pathlib.Path(__file__).parent
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=here, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        if not commit:
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=here, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        return f"{commit}-dirty" if dirty else commit
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 @pytest.fixture
 def bench_record():
     """Callable: record one BENCH_batch.json entry (replacing by name).
 
-    Entries keep the {experiment, config, seconds, speedup} schema; the
-    file is read-modify-written so benches can run individually without
-    clobbering each other's entries.
+    Entries keep the {experiment, config, seconds, speedup} schema plus
+    uniform provenance fields — ``cpus``, ``python`` and ``commit`` —
+    added here so every bench records them identically (they are what
+    ``compare_bench.py`` prints when two files disagree about the
+    machine).  The file is read-modify-written so benches can run
+    individually without clobbering each other's entries.
     """
 
     def _record(experiment: str, config: dict, seconds: float,
@@ -63,6 +88,9 @@ def bench_record():
                 "config": config,
                 "seconds": round(seconds, 6),
                 "speedup": round(speedup, 3),
+                "cpus": os.cpu_count(),
+                "python": platform.python_version(),
+                "commit": _git_commit(),
             }
         )
         entries.sort(key=lambda e: e["experiment"])

@@ -8,9 +8,21 @@
 * :func:`select_backend` — density-based auto-selection used by
   :class:`~repro.spikes.train.SpikeTrain` set algebra;
 * :func:`use_backend` / :func:`set_default_backend` — pin a backend
-  (tests pin each in turn to prove them bit-identical).
+  (tests pin each in turn to prove them bit-identical);
+* :mod:`~repro.backend.shared` — zero-copy shared-memory transport:
+  :class:`SharedArena` owns segment lifecycle for one sharded run,
+  :meth:`SpikeTrainBatch.to_shared` / :meth:`SpikeTrainBatch.from_shared`
+  move batches as metadata-only :class:`SharedBatchHandle` objects.
 """
 
+from .shared import (
+    HAVE_SHARED_MEMORY,
+    AttachmentCache,
+    SharedArena,
+    SharedArraySpec,
+    attach_array,
+    process_cache,
+)
 from .core import (
     RASTER_DENSITY_THRESHOLD,
     Backend,
@@ -28,15 +40,22 @@ from .core import (
 # SpikeTrain, whose module imports .core from this package — an eager
 # import here would close that cycle during interpreter start-up.
 def __getattr__(name):
-    if name == "SpikeTrainBatch":
-        from .batch import SpikeTrainBatch
+    if name in ("SpikeTrainBatch", "SharedBatchHandle"):
+        from . import batch
 
-        return SpikeTrainBatch
+        return getattr(batch, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "SpikeTrainBatch",
+    "SharedBatchHandle",
+    "SharedArena",
+    "SharedArraySpec",
+    "AttachmentCache",
+    "attach_array",
+    "process_cache",
+    "HAVE_SHARED_MEMORY",
     "Backend",
     "SortedSetBackend",
     "RasterBackend",

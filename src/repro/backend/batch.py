@@ -23,6 +23,7 @@ as a one-row batch, :meth:`row` / :meth:`to_trains` go back.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,8 +31,41 @@ import numpy as np
 from ..errors import SpikeTrainError
 from ..spikes.train import SpikeTrain
 from ..units import SimulationGrid
+from .shared import SharedArena, SharedArraySpec, attach_array
 
-__all__ = ["SpikeTrainBatch"]
+__all__ = ["SpikeTrainBatch", "SharedBatchHandle"]
+
+
+@dataclass(frozen=True)
+class SharedBatchHandle:
+    """Metadata-only handle to a batch placed in shared memory.
+
+    Pickles as a few hundred bytes regardless of batch size: the
+    payload is the ``np.packbits`` bitset (8× smaller than the dense
+    raster) plus the CSR row offsets, both living in shared-memory
+    segments described by their :class:`~repro.backend.shared.SharedArraySpec`.
+    ``n_samples``/``dt`` rebuild the grid on the attaching side.
+
+    For sparse batches — where the CSR slot array is no bigger than the
+    bitset — ``values`` carries the CSR payload too, and attaching
+    consumers reconstruct rows as *views* into the segment (no unpack,
+    no copy).  Dense batches drop it and attach via the bitset.
+    """
+
+    packed: SharedArraySpec
+    ptr: SharedArraySpec
+    n_samples: int
+    dt: float
+    values: Optional[SharedArraySpec] = None
+
+    @property
+    def n_trains(self) -> int:
+        """Number of rows in the shared batch."""
+        return int(self.ptr.shape[0] - 1)
+
+    def grid(self) -> SimulationGrid:
+        """The grid the shared batch lives on."""
+        return SimulationGrid(n_samples=self.n_samples, dt=self.dt)
 
 
 class SpikeTrainBatch:
@@ -222,8 +256,104 @@ class SpikeTrainBatch:
         return self._raster
 
     def packbits(self) -> np.ndarray:
-        """The ``np.packbits`` bitset variant, ``(N, ceil(n_samples/8))``."""
-        return np.packbits(self.raster, axis=1)
+        """The ``np.packbits`` bitset variant, ``(N, ceil(n_samples/8))``.
+
+        When only the CSR form is materialised the bits are scattered
+        from it directly — O(total spikes) instead of allocating the
+        full ``(N, n_samples)`` raster just to pack it (the raster for
+        a 2048 × 65536 batch is 128 MB; its bitset is 16 MB).
+        """
+        if self._raster is not None:
+            return np.packbits(self._raster, axis=1)
+        n_bytes = (self._grid.n_samples + 7) // 8
+        packed = np.zeros(self.n_trains * n_bytes, dtype=np.uint8)
+        if self._values.size:
+            # np.packbits bit order: slot s lands in byte s >> 3 at
+            # mask 128 >> (s & 7).  The flattened byte index is
+            # non-decreasing (rows ascend, slots ascend within a row),
+            # so each byte's bits group into one contiguous run —
+            # summed with one reduceat (distinct powers of two, so the
+            # sum is the OR).
+            rows = np.repeat(np.arange(self.n_trains), self.counts())
+            flat = rows * n_bytes + (self._values >> 3)
+            masks = 128 >> (self._values & 7)
+            starts = np.concatenate(
+                [[0], np.flatnonzero(np.diff(flat) != 0) + 1]
+            )
+            packed[flat[starts]] = np.add.reduceat(masks, starts)
+        return packed.reshape(self.n_trains, n_bytes)
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+
+    def to_shared(self, arena: SharedArena) -> SharedBatchHandle:
+        """Place this batch into ``arena`` and return its picklable handle.
+
+        The bitset form travels (8× smaller than the raster, density
+        independent of the slot count per byte) together with the CSR
+        row offsets, so attaching consumers can slice row ranges without
+        touching the payload.  Sparse batches (CSR no bigger than the
+        bitset) also export the CSR slot array, giving attachers a pure
+        view-based reconstruction.  The handle itself carries no array
+        data.
+        """
+        packed = self.packbits()
+        values_spec = (
+            arena.share_array(self._values)
+            if self._values.nbytes <= packed.nbytes
+            else None
+        )
+        return SharedBatchHandle(
+            packed=arena.share_array(packed),
+            ptr=arena.share_array(self._ptr),
+            n_samples=self._grid.n_samples,
+            dt=self._grid.dt,
+            values=values_spec,
+        )
+
+    @classmethod
+    def from_shared(
+        cls,
+        handle: SharedBatchHandle,
+        rows: Optional[Tuple[int, int]] = None,
+    ) -> "SpikeTrainBatch":
+        """Rebuild a batch (or a row range of it) from a shared handle.
+
+        Attaches the segments through the process attachment cache —
+        the payload is mapped, never copied across the process boundary
+        — and materialises the requested rows.  ``rows=(lo, hi)``
+        reconstructs exactly ``select_rows(range(lo, hi))`` of the
+        shared batch, which is what shard workers use; ``None``
+        materialises all rows.  Bit-identical to the source batch by
+        construction.
+
+        Sparse handles reconstruct as read-only *views* into the shared
+        CSR segment (zero copies, sub-millisecond); bitset-only handles
+        unpack their row range.
+        """
+        ptr = attach_array(handle.ptr)
+        grid = handle.grid()
+        n = handle.n_trains
+        lo, hi = 0, n
+        if rows is not None:
+            lo, hi = int(rows[0]), int(rows[1])
+            if not (0 <= lo <= hi <= n):
+                raise SpikeTrainError(
+                    f"row range [{lo}, {hi}) outside shared batch of {n} rows"
+                )
+        row_ptr = (ptr[lo : hi + 1] - ptr[lo]).astype(np.int64)
+        if handle.values is not None:
+            shared_values = attach_array(handle.values)
+            values = shared_values[ptr[lo] : ptr[hi]]
+            return cls(values, row_ptr, grid)
+        packed = attach_array(handle.packed)[lo:hi]
+        raster = np.unpackbits(
+            np.ascontiguousarray(packed), axis=1, count=grid.n_samples
+        ).astype(bool)
+        values = np.nonzero(raster)[1].astype(np.int64)
+        raster.setflags(write=False)
+        return cls(values, row_ptr, grid, _raster=raster)
 
     def row(self, i: int) -> SpikeTrain:
         """Row ``i`` as a :class:`SpikeTrain`."""

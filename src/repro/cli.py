@@ -144,17 +144,17 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             if args.output_dir is not None
             else None
         )
-        runner = Runner(jobs=args.jobs, store=store)
-        if args.experiment == "all":
-            reports = runner.run_many(seed=args.seed)
-            for report in reports:
-                _print_report(report, out)
-            _print_summary(reports, out)
-            return 0 if all(report.ok for report in reports) else 1
-        get_spec(args.experiment)  # argparse already validated; fail loud
-        report = runner.run(args.experiment, seed=args.seed)
-        _print_report(report, out)
-        return 0 if report.ok else 1
+        with Runner(jobs=args.jobs, store=store) as runner:
+            if args.experiment == "all":
+                reports = runner.run_many(seed=args.seed)
+                for report in reports:
+                    _print_report(report, out)
+                _print_summary(reports, out)
+                return 0 if all(report.ok for report in reports) else 1
+            get_spec(args.experiment)  # argparse already validated; fail loud
+            report = runner.run(args.experiment, seed=args.seed)
+            _print_report(report, out)
+            return 0 if report.ok else 1
 
     return 2  # unreachable: argparse enforces the sub-commands
 

@@ -10,6 +10,11 @@ fast even though the hyperspace is extremely large".  The experiment:
 * runs a synthesized radix-M ripple adder end to end and reports its
   physical critical-path latency.
 
+Each alphabet size (and the adder check) draws from its own
+:func:`~repro.noise.synthesis.spawn_rng` stream keyed on
+``(config.seed, point index)`` — the experiment's shard plan, with
+sharded runs bit-identical to serial by construction.
+
 Run directly: ``python -m repro.experiments.gates``.
 """
 
@@ -17,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,10 +30,10 @@ from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..logic.gates import TruthTableGate
 from ..logic.multivalued import max_gate, min_gate, mod_sum_gate
 from ..logic.synthesis import adder_reference, ripple_adder
-from ..noise.synthesis import make_rng
+from ..noise.synthesis import spawn_rng
 from ..pipeline.registry import register
 from ..pipeline.spec import ExperimentSpec
-from ..units import format_time
+from ..units import format_time, paper_white_grid
 
 __all__ = ["GateSweepPoint", "GatesConfig", "GatesResult", "run_gates"]
 
@@ -99,39 +104,65 @@ def _sweep_gate(gate: TruthTableGate) -> Tuple[int, bool, List[int]]:
     return combos, correct, latencies
 
 
-def run_gates(
-    alphabet_sizes: Tuple[int, ...] = (2, 3, 4, 8),
-    seed: int = 2016,
-) -> GatesResult:
-    """Run the gate sweep and the adder end-to-end check."""
-    synthesizer = paper_default_synthesizer()
-    rng = make_rng(seed)
+@dataclass(frozen=True)
+class _AdderPart:
+    """The adder end-to-end check's outcome (the last shard's part)."""
 
-    points: List[GateSweepPoint] = []
-    for m in alphabet_sizes:
-        basis = build_demux_basis(m, synthesizer=synthesizer, rng=rng)
-        combos = 0
-        correct = True
-        latencies: List[int] = []
-        for gate in (min_gate(basis), max_gate(basis), mod_sum_gate(basis)):
-            c, ok, lat = _sweep_gate(gate)
-            combos += c
-            correct = correct and ok
-            latencies.extend(lat)
-        arr = np.asarray(latencies, dtype=float)
-        points.append(
-            GateSweepPoint(
-                alphabet_size=m,
-                combinations_checked=combos,
-                all_correct=correct,
-                median_latency_samples=float(np.median(arr)),
-                p90_latency_samples=float(np.percentile(arr, 90)),
-            )
-        )
+    correct: bool
+    critical_path_samples: int
 
-    # Adder end to end: radix 4, 2 digits, a selection of operand pairs.
+
+@dataclass(frozen=True)
+class GatesShard:
+    """One sweep point M, or the adder check (``alphabet_size=None``).
+
+    ``index`` is the point's position in the sweep — and its rng spawn
+    key, making the shard self-contained.
+    """
+
+    config: GatesConfig
+    index: int
+    alphabet_size: Union[int, None]
+
+
+def _shards(config: GatesConfig) -> Tuple[GatesShard, ...]:
+    """One shard per alphabet size, plus the adder shard."""
+    sweep = tuple(
+        GatesShard(config, i, int(m))
+        for i, m in enumerate(config.alphabet_sizes)
+    )
+    return sweep + (GatesShard(config, len(sweep), None),)
+
+
+def _run_sweep_point(m: int, rng) -> GateSweepPoint:
+    """Exhaustively check MIN/MAX/MODSUM over one M-element basis."""
+    basis = build_demux_basis(
+        m, synthesizer=paper_default_synthesizer(), rng=rng
+    )
+    combos = 0
+    correct = True
+    latencies: List[int] = []
+    for gate in (min_gate(basis), max_gate(basis), mod_sum_gate(basis)):
+        c, ok, lat = _sweep_gate(gate)
+        combos += c
+        correct = correct and ok
+        latencies.extend(lat)
+    arr = np.asarray(latencies, dtype=float)
+    return GateSweepPoint(
+        alphabet_size=m,
+        combinations_checked=combos,
+        all_correct=correct,
+        median_latency_samples=float(np.median(arr)),
+        p90_latency_samples=float(np.percentile(arr, 90)),
+    )
+
+
+def _run_adder(rng) -> _AdderPart:
+    """Radix-4, 2-digit ripple adder over a selection of operand pairs."""
     radix, digits = 4, 2
-    basis = build_demux_basis(radix, synthesizer=synthesizer, rng=rng)
+    basis = build_demux_basis(
+        radix, synthesizer=paper_default_synthesizer(), rng=rng
+    )
     adder = ripple_adder(digits, basis)
     adder_ok = True
     critical = 0
@@ -149,13 +180,41 @@ def run_gates(
         if transmission.values[f"c{digits}"] != reference["cout"]:
             adder_ok = False
         critical = max(critical, transmission.critical_path_slot)
+    return _AdderPart(correct=adder_ok, critical_path_samples=critical)
 
+
+def _run_shard(shard: GatesShard):
+    """Run one sweep point (or the adder) on its derived rng stream."""
+    rng = spawn_rng(shard.config.seed, shard.index)
+    if shard.alphabet_size is None:
+        return shard.index, _run_adder(rng)
+    return shard.index, _run_sweep_point(shard.alphabet_size, rng)
+
+
+def _merge(config: GatesConfig, parts: Sequence[Tuple[int, object]]) -> GatesResult:
+    """Reassemble the sweep in point order; the adder part is last."""
+    ordered = [part for _index, part in sorted(parts, key=lambda p: p[0])]
+    adder = ordered[-1]
+    assert isinstance(adder, _AdderPart)
     return GatesResult(
-        points=points,
-        adder_correct=adder_ok,
-        adder_critical_path_samples=critical,
-        dt=synthesizer.grid.dt,
+        points=list(ordered[:-1]),
+        adder_correct=adder.correct,
+        adder_critical_path_samples=adder.critical_path_samples,
+        dt=paper_white_grid().dt,
     )
+
+
+def _run(config: GatesConfig) -> GatesResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
+def run_gates(
+    alphabet_sizes: Tuple[int, ...] = (2, 3, 4, 8),
+    seed: int = 2016,
+) -> GatesResult:
+    """Run the gate sweep and the adder end-to-end check."""
+    return _run(GatesConfig(alphabet_sizes=tuple(alphabet_sizes), seed=seed))
 
 
 register(
@@ -164,9 +223,10 @@ register(
         description="C6 — gate correctness and latency",
         tier="claim",
         config_type=GatesConfig,
-        run=lambda config: run_gates(
-            alphabet_sizes=config.alphabet_sizes, seed=config.seed
-        ),
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
 )
 

@@ -6,13 +6,19 @@ variations.  This driver runs the three degradation sweeps of
 and rival-spike injection — on a paper-band demux basis and reports the
 wrong-verdict and silent rates per level.
 
+The basis derives from spawn key 0 of the config seed and each sweep
+from key ``1 + sweep index`` (:func:`~repro.noise.synthesis.spawn_rng`),
+so every shard rebuilds the *same* basis while drawing its degradations
+from an independent stream — the experiment's shard plan, with sharded
+runs bit-identical to serial by construction.
+
 Run directly: ``python -m repro.experiments.robustness``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -23,11 +29,23 @@ from ..analysis.robustness import (
     loss_sweep,
 )
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
-from ..noise.synthesis import make_rng
+from ..noise.synthesis import spawn_rng
 from ..pipeline.registry import register
 from ..pipeline.spec import ExperimentSpec
 
 __all__ = ["RobustnessConfig", "RobustnessExperimentResult", "run_robustness"]
+
+#: Sweep order: (report label, sweep runner, levels, extra kwargs).
+_SWEEPS = (
+    (
+        "jitter (±samples, windowed verdict)",
+        jitter_sweep,
+        (0, 1, 2, 8, 32),
+        {"window": 2, "min_confidence": 0.5},
+    ),
+    ("loss (drop probability)", loss_sweep, (0.0, 0.3, 0.6, 0.9), {}),
+    ("injection (rival spikes)", injection_sweep, (0, 5, 50), {}),
+)
 
 
 @dataclass(frozen=True)
@@ -61,24 +79,65 @@ class RobustnessExperimentResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class RobustnessShard:
+    """One degradation sweep (the spec's shard unit)."""
+
+    config: RobustnessConfig
+    index: int  # position in _SWEEPS; rng spawn key is 1 + index
+
+
+def _shards(config: RobustnessConfig) -> Tuple[RobustnessShard, ...]:
+    """One shard per degradation sweep."""
+    return tuple(
+        RobustnessShard(config, i) for i in range(len(_SWEEPS))
+    )
+
+
+def _run_shard(
+    shard: RobustnessShard,
+) -> Tuple[int, str, List[RobustnessPoint]]:
+    """Run one degradation sweep on its own derived rng stream.
+
+    Every shard rebuilds the identical basis (spawn key 0), then sweeps
+    with its private stream (spawn key ``1 + index``).
+    """
+    config = shard.config
+    name, sweep, levels, kwargs = _SWEEPS[shard.index]
+    basis = build_demux_basis(
+        4,
+        synthesizer=paper_default_synthesizer(),
+        rng=spawn_rng(config.seed, 0),
+    )
+    points = sweep(
+        basis,
+        list(levels),
+        spawn_rng(config.seed, 1 + shard.index),
+        trials=config.trials,
+        **kwargs,
+    )
+    return shard.index, name, points
+
+
+def _merge(
+    config: RobustnessConfig,
+    parts: Sequence[Tuple[int, str, List[RobustnessPoint]]],
+) -> RobustnessExperimentResult:
+    """Reassemble the sweeps in canonical order."""
+    ordered = sorted(parts, key=lambda p: p[0])
+    return RobustnessExperimentResult(
+        sweeps={name: points for _index, name, points in ordered}
+    )
+
+
+def _run(config: RobustnessConfig) -> RobustnessExperimentResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_robustness(seed: int = 2016, trials: int = 3) -> RobustnessExperimentResult:
     """Run the jitter / loss / injection sweeps."""
-    synthesizer = paper_default_synthesizer()
-    basis = build_demux_basis(4, synthesizer=synthesizer, rng=make_rng(seed))
-    rng = make_rng(seed + 1)
-    sweeps = {
-        "jitter (±samples, windowed verdict)": jitter_sweep(
-            basis, [0, 1, 2, 8, 32], rng, trials=trials,
-            window=2, min_confidence=0.5,
-        ),
-        "loss (drop probability)": loss_sweep(
-            basis, [0.0, 0.3, 0.6, 0.9], rng, trials=trials
-        ),
-        "injection (rival spikes)": injection_sweep(
-            basis, [0, 5, 50], rng, trials=trials
-        ),
-    }
-    return RobustnessExperimentResult(sweeps=sweeps)
+    return _run(RobustnessConfig(seed=seed, trials=trials))
 
 
 register(
@@ -87,9 +146,10 @@ register(
         description="C9 — identification robustness sweeps",
         tier="claim",
         config_type=RobustnessConfig,
-        run=lambda config: run_robustness(
-            seed=config.seed, trials=config.trials
-        ),
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
 )
 

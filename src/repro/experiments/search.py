@@ -11,24 +11,29 @@ Operationalised: answering "is state x in the database?" costs
   state-vector simulator, stopping at the optimal iteration);
 * **classical scan** — ``(K+1)/2`` oracle calls on average.
 
+Each database size draws from its own
+:func:`~repro.noise.synthesis.spawn_rng` stream keyed on
+``(config.seed, sweep index)`` — the experiment's shard plan, with
+sharded runs bit-identical to serial by construction.
+
 Run directly: ``python -m repro.experiments.search``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..hyperspace.builders import build_intersection_basis, paper_default_synthesizer
-from ..noise.synthesis import make_rng
+from ..noise.synthesis import spawn_rng
 from ..pipeline.registry import register
 from ..pipeline.spec import ExperimentSpec
 from ..search.classical import expected_scan_queries
 from ..search.grover import grover_search, optimal_iterations
 from ..search.superposition_search import SuperpositionDatabase
-from ..units import format_time
+from ..units import format_time, paper_white_grid
 
 __all__ = ["SearchConfig", "SearchPoint", "SearchResult", "run_search"]
 
@@ -82,50 +87,79 @@ class SearchResult:
         return "\n".join(lines)
 
 
-def run_search(
-    n_inputs_sweep=(3, 4, 5, 6),
-    seed: int = 2016,
-) -> SearchResult:
-    """Sweep database sizes ``K = 2^N − 1`` and measure all three schemes.
+@dataclass(frozen=True)
+class SearchShard:
+    """One database size of the sweep (the spec's shard unit)."""
+
+    config: SearchConfig
+    index: int  # position in the sweep; the rng spawn key
+    n_inputs: int
+
+
+def _shards(config: SearchConfig) -> Tuple[SearchShard, ...]:
+    """One shard per swept N."""
+    return tuple(
+        SearchShard(config, i, int(n))
+        for i, n in enumerate(config.n_inputs_sweep)
+    )
+
+
+def _run_shard(shard: SearchShard) -> Tuple[int, SearchPoint]:
+    """Measure one database size on its own derived rng stream.
 
     The member set is a random half of the state space; the queried
     state is a random member (the present case, which is the comparison
     the paper makes — absence certification is reported by the tests).
     """
     synthesizer = paper_default_synthesizer()
-    rng = make_rng(seed)
-    points: List[SearchPoint] = []
+    rng = spawn_rng(shard.config.seed, shard.index)
+    basis = build_intersection_basis(
+        shard.n_inputs,
+        synthesizer=synthesizer,
+        common_amplitude=0.945,
+        rng=rng,
+    )
+    n_items = basis.size
+    database = SuperpositionDatabase(basis)
+    members = rng.choice(n_items, size=max(1, n_items // 2), replace=False)
+    database.load(members.tolist())
+    target = int(members[int(rng.integers(members.size))])
 
-    for n_inputs in n_inputs_sweep:
-        basis = build_intersection_basis(
-            n_inputs,
-            synthesizer=synthesizer,
-            common_amplitude=0.945,
-            rng=rng,
-        )
-        n_items = basis.size
-        database = SuperpositionDatabase(basis)
-        members = rng.choice(n_items, size=max(1, n_items // 2), replace=False)
-        database.load(members.tolist())
-        target = int(members[int(rng.integers(members.size))])
+    query = database.query(target)
+    assert query.present
 
-        query = database.query(target)
-        assert query.present
+    grover = grover_search(n_items, {target}, optimal_iterations(n_items, 1))
+    return shard.index, SearchPoint(
+        n_items=n_items,
+        spike_checks=query.coincidences_checked,
+        spike_latency_slots=query.decision_slot,
+        grover_queries=grover.iterations,
+        grover_success=grover.success_probability,
+        classical_queries=expected_scan_queries(n_items, present=True),
+    )
 
-        grover = grover_search(
-            n_items, {target}, optimal_iterations(n_items, 1)
-        )
-        points.append(
-            SearchPoint(
-                n_items=n_items,
-                spike_checks=query.coincidences_checked,
-                spike_latency_slots=query.decision_slot,
-                grover_queries=grover.iterations,
-                grover_success=grover.success_probability,
-                classical_queries=expected_scan_queries(n_items, present=True),
-            )
-        )
-    return SearchResult(points=points, dt=synthesizer.grid.dt)
+
+def _merge(
+    config: SearchConfig, parts: Sequence[Tuple[int, SearchPoint]]
+) -> SearchResult:
+    """Reassemble the sweep in its declared order."""
+    points = [point for _index, point in sorted(parts, key=lambda p: p[0])]
+    return SearchResult(points=points, dt=paper_white_grid().dt)
+
+
+def _run(config: SearchConfig) -> SearchResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
+def run_search(
+    n_inputs_sweep=(3, 4, 5, 6),
+    seed: int = 2016,
+) -> SearchResult:
+    """Sweep database sizes ``K = 2^N − 1`` and measure all three schemes."""
+    return _run(
+        SearchConfig(n_inputs_sweep=tuple(n_inputs_sweep), seed=seed)
+    )
 
 
 register(
@@ -134,9 +168,10 @@ register(
         description="C7 — search vs classical and Grover",
         tier="claim",
         config_type=SearchConfig,
-        run=lambda config: run_search(
-            n_inputs_sweep=config.n_inputs_sweep, seed=config.seed
-        ),
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
 )
 

@@ -16,13 +16,18 @@ scheme's latency is one mean inter-spike interval of the (per-element)
 reference train, while the averaging schemes need many correlation
 times of the band.
 
+Each scheme draws from its own :func:`~repro.noise.synthesis.spawn_rng`
+stream keyed on ``(config.seed, scheme index)``, so the schemes are the
+experiment's shard plan: a sharded run is bit-identical to the serial
+one by construction.
+
 Run directly: ``python -m repro.experiments.speed``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,12 +35,15 @@ from ..baselines.continuum import ContinuumNoiseLogic
 from ..baselines.sinusoidal import SinusoidalLogic
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
 from ..logic.correlator import detection_latency_samples
-from ..noise.synthesis import make_rng
+from ..noise.synthesis import spawn_rng
 from ..pipeline.registry import register
 from ..pipeline.spec import ExperimentSpec
-from ..units import GIGAHERTZ, format_time
+from ..units import GIGAHERTZ, format_time, paper_white_grid
 
 __all__ = ["SchemeLatency", "SpeedConfig", "SpeedResult", "run_speed"]
+
+#: Scheme order; the index doubles as the shard's rng spawn key.
+_SCHEMES = ("spike", "continuum", "sinusoidal")
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,87 @@ class SpeedResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class SpeedShard:
+    """One scheme of the comparison (the spec's shard unit)."""
+
+    config: SpeedConfig
+    index: int  # position in _SCHEMES; the rng spawn key
+    scheme: str
+
+
+def _shards(config: SpeedConfig) -> Tuple[SpeedShard, ...]:
+    """One shard per scheme."""
+    return tuple(
+        SpeedShard(config, i, scheme) for i, scheme in enumerate(_SCHEMES)
+    )
+
+
+def _run_shard(shard: SpeedShard) -> SchemeLatency:
+    """Measure one scheme's latencies on its own derived rng stream."""
+    config = shard.config
+    rng = spawn_rng(config.seed, shard.index)
+    synthesizer = paper_default_synthesizer()
+    grid = synthesizer.grid
+    if shard.scheme == "spike":
+        # Median first-coincidence latency across elements.
+        basis = build_demux_basis(
+            config.n_values, synthesizer=synthesizer, rng=rng
+        )
+        samples = np.concatenate(
+            [
+                detection_latency_samples(basis, element, config.n_trials, rng)
+                for element in range(config.n_values)
+            ]
+        ).astype(float)
+    elif shard.scheme == "continuum":
+        # Settled running-correlation decision times across elements.
+        continuum = ContinuumNoiseLogic(
+            config.n_values, synthesizer.spectrum, grid, seed=rng
+        )
+        samples = np.asarray(
+            [
+                continuum.identification_time_samples(
+                    value, margin=config.margin
+                )
+                for value in range(config.n_values)
+            ],
+            dtype=float,
+        )
+    else:
+        # Sinusoidal carriers spread across the band.
+        frequencies = np.linspace(1.0, 2.0, config.n_values) * GIGAHERTZ
+        sinusoidal = SinusoidalLogic(frequencies, grid)
+        samples = np.asarray(
+            [
+                sinusoidal.identification_time_samples(
+                    value, margin=config.margin
+                )
+                for value in range(config.n_values)
+            ],
+            dtype=float,
+        )
+    return SchemeLatency(
+        shard.scheme,
+        float(np.median(samples)),
+        float(np.percentile(samples, 90)),
+    )
+
+
+def _merge(config: SpeedConfig, parts: Sequence[SchemeLatency]) -> SpeedResult:
+    """Reassemble the comparison in canonical scheme order."""
+    by_scheme = {part.scheme: part for part in parts}
+    return SpeedResult(
+        latencies=[by_scheme[scheme] for scheme in _SCHEMES],
+        dt=paper_white_grid().dt,
+    )
+
+
+def _run(config: SpeedConfig) -> SpeedResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_speed(
     n_values: int = 4,
     seed: int = 2016,
@@ -109,60 +198,11 @@ def run_speed(
     margin: float = 0.2,
 ) -> SpeedResult:
     """Measure identification latency for the three schemes."""
-    rng = make_rng(seed)
-    synthesizer = paper_default_synthesizer()
-    grid = synthesizer.grid
-
-    # Spike scheme: median first-coincidence latency across elements.
-    basis = build_demux_basis(n_values, synthesizer=synthesizer, rng=rng)
-    spike_latencies = np.concatenate(
-        [
-            detection_latency_samples(basis, element, n_trials, rng)
-            for element in range(n_values)
-        ]
+    return _run(
+        SpeedConfig(
+            n_values=n_values, seed=seed, n_trials=n_trials, margin=margin
+        )
     )
-
-    # Continuum scheme: settled decision times across elements.
-    continuum = ContinuumNoiseLogic(
-        n_values, synthesizer.spectrum, grid, seed=rng
-    )
-    continuum_latencies = np.asarray(
-        [
-            continuum.identification_time_samples(value, margin=margin)
-            for value in range(n_values)
-        ],
-        dtype=float,
-    )
-
-    # Sinusoidal scheme: carriers spread across the band.
-    frequencies = np.linspace(1.0, 2.0, n_values) * GIGAHERTZ
-    sinusoidal = SinusoidalLogic(frequencies, grid)
-    sinusoidal_latencies = np.asarray(
-        [
-            sinusoidal.identification_time_samples(value, margin=margin)
-            for value in range(n_values)
-        ],
-        dtype=float,
-    )
-
-    latencies = [
-        SchemeLatency(
-            "spike",
-            float(np.median(spike_latencies)),
-            float(np.percentile(spike_latencies, 90)),
-        ),
-        SchemeLatency(
-            "continuum",
-            float(np.median(continuum_latencies)),
-            float(np.percentile(continuum_latencies, 90)),
-        ),
-        SchemeLatency(
-            "sinusoidal",
-            float(np.median(sinusoidal_latencies)),
-            float(np.percentile(sinusoidal_latencies, 90)),
-        ),
-    ]
-    return SpeedResult(latencies=latencies, dt=grid.dt)
 
 
 register(
@@ -171,12 +211,10 @@ register(
         description="C1 — identification speed vs baselines",
         tier="claim",
         config_type=SpeedConfig,
-        run=lambda config: run_speed(
-            n_values=config.n_values,
-            seed=config.seed,
-            n_trials=config.n_trials,
-            margin=config.margin,
-        ),
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
 )
 

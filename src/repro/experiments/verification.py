@@ -12,22 +12,27 @@ difference.  Consequently:
   witness can be allowed to appear) — the asymmetric cost this
   experiment quantifies.
 
+Each basis size draws from its own
+:func:`~repro.noise.synthesis.spawn_rng` stream keyed on
+``(config.seed, sweep index)`` — the experiment's shard plan, with
+sharded runs bit-identical to serial by construction.
+
 Run directly: ``python -m repro.experiments.verification``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..hyperspace.builders import build_demux_basis, paper_default_synthesizer
-from ..noise.synthesis import make_rng
+from ..noise.synthesis import spawn_rng
 from ..pipeline.registry import register
 from ..pipeline.spec import ExperimentSpec
 from ..search.verification import verify_equality
-from ..units import format_time
+from ..units import format_time, paper_white_grid
 
 __all__ = [
     "VerificationConfig",
@@ -80,49 +85,88 @@ class VerificationExperimentResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class VerificationShard:
+    """One basis size of the sweep (the spec's shard unit)."""
+
+    config: VerificationConfig
+    index: int  # position in the sweep; the rng spawn key
+    basis_size: int
+
+
+def _shards(config: VerificationConfig) -> Tuple[VerificationShard, ...]:
+    """One shard per swept M."""
+    return tuple(
+        VerificationShard(config, i, int(m))
+        for i, m in enumerate(config.basis_sizes)
+    )
+
+
+def _run_shard(shard: VerificationShard) -> Tuple[int, VerificationPoint]:
+    """Measure one basis size on its own derived rng stream."""
+    config = shard.config
+    m = shard.basis_size
+    rng = spawn_rng(config.seed, shard.index)
+    basis = build_demux_basis(
+        m, synthesizer=paper_default_synthesizer(), rng=rng
+    )
+    unequal_slots: List[int] = []
+    correct = True
+
+    # Unequal pairs: random sets differing in at least one element.
+    while len(unequal_slots) < config.n_pairs:
+        a = set(int(x) for x in rng.integers(0, m, size=m // 2))
+        b = set(int(x) for x in rng.integers(0, m, size=m // 2))
+        if a == b:
+            continue
+        result = verify_equality(
+            basis, basis.encode_set(sorted(a)), basis.encode_set(sorted(b))
+        )
+        correct &= result.verdict is False
+        unequal_slots.append(result.decision_slot)
+
+    # One equal pair: certification must wait out the evidence.
+    members = sorted(set(int(x) for x in rng.integers(0, m, size=m // 2)))
+    equal = verify_equality(
+        basis, basis.encode_set(members), basis.encode_set(members)
+    )
+    correct &= equal.verdict is True
+
+    return shard.index, VerificationPoint(
+        basis_size=m,
+        median_unequal_slot=float(np.median(unequal_slots)),
+        equal_slot=equal.decision_slot,
+        all_verdicts_correct=correct,
+    )
+
+
+def _merge(
+    config: VerificationConfig,
+    parts: Sequence[Tuple[int, VerificationPoint]],
+) -> VerificationExperimentResult:
+    """Reassemble the sweep in its declared order."""
+    points = [point for _index, point in sorted(parts, key=lambda p: p[0])]
+    return VerificationExperimentResult(
+        points=points, dt=paper_white_grid().dt
+    )
+
+
+def _run(config: VerificationConfig) -> VerificationExperimentResult:
+    """Serial driver: the same shards, executed in-process."""
+    return _merge(config, [_run_shard(shard) for shard in _shards(config)])
+
+
 def run_verification(
     basis_sizes: Tuple[int, ...] = (4, 8, 16),
     n_pairs: int = 24,
     seed: int = 2016,
 ) -> VerificationExperimentResult:
     """Measure equality-verification latency over random set pairs."""
-    synthesizer = paper_default_synthesizer()
-    rng = make_rng(seed)
-    points: List[VerificationPoint] = []
-
-    for m in basis_sizes:
-        basis = build_demux_basis(m, synthesizer=synthesizer, rng=rng)
-        unequal_slots: List[int] = []
-        correct = True
-
-        # Unequal pairs: random sets differing in at least one element.
-        while len(unequal_slots) < n_pairs:
-            a = set(int(x) for x in rng.integers(0, m, size=m // 2))
-            b = set(int(x) for x in rng.integers(0, m, size=m // 2))
-            if a == b:
-                continue
-            result = verify_equality(
-                basis, basis.encode_set(sorted(a)), basis.encode_set(sorted(b))
-            )
-            correct &= result.verdict is False
-            unequal_slots.append(result.decision_slot)
-
-        # One equal pair: certification must wait out the evidence.
-        members = sorted(set(int(x) for x in rng.integers(0, m, size=m // 2)))
-        equal = verify_equality(
-            basis, basis.encode_set(members), basis.encode_set(members)
+    return _run(
+        VerificationConfig(
+            basis_sizes=tuple(basis_sizes), n_pairs=n_pairs, seed=seed
         )
-        correct &= equal.verdict is True
-
-        points.append(
-            VerificationPoint(
-                basis_size=m,
-                median_unequal_slot=float(np.median(unequal_slots)),
-                equal_slot=equal.decision_slot,
-                all_verdicts_correct=correct,
-            )
-        )
-    return VerificationExperimentResult(points=points, dt=synthesizer.grid.dt)
+    )
 
 
 register(
@@ -131,11 +175,10 @@ register(
         description="C8 — set-verification latency",
         tier="claim",
         config_type=VerificationConfig,
-        run=lambda config: run_verification(
-            basis_sizes=config.basis_sizes,
-            n_pairs=config.n_pairs,
-            seed=config.seed,
-        ),
+        run=_run,
+        shard=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
     )
 )
 

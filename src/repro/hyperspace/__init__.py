@@ -1,14 +1,15 @@
 """Hyperspace layer: orthogonal bases, neuro-bit values, superpositions.
 
 * :class:`HyperspaceBasis` — M orthogonal reference trains with slot
-  classification;
+  classification; :class:`BasisArtifact` is its zero-copy shared-memory
+  export (pool workers attach instead of rebuilding);
 * :class:`Superposition` / :func:`decode_superposition` — several
   neuro-bits on a single wire;
 * :func:`build_demux_basis` / :func:`build_intersection_basis` —
   end-to-end pipelines from noise to basis.
 """
 
-from .basis import HyperspaceBasis
+from .basis import BasisArtifact, HyperspaceBasis
 from .builders import (
     build_demux_basis,
     build_intersection_basis,
@@ -24,6 +25,7 @@ from .superposition import (
 
 __all__ = [
     "HyperspaceBasis",
+    "BasisArtifact",
     "Superposition",
     "decode_superposition",
     "decode_superposition_batch",

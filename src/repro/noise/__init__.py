@@ -40,7 +40,7 @@ from .spectra import (
     Spectrum,
     WhiteSpectrum,
 )
-from .synthesis import NoiseSynthesizer, make_rng, synthesize
+from .synthesis import NoiseSynthesizer, make_rng, spawn_rng, synthesize
 
 __all__ = [
     "Band",
@@ -54,6 +54,7 @@ __all__ = [
     "NoiseSynthesizer",
     "synthesize",
     "make_rng",
+    "spawn_rng",
     "NoiseSource",
     "paper_white_source",
     "paper_pink_source",

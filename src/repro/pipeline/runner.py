@@ -4,10 +4,26 @@ One :class:`Runner` drives every experiment through the same path:
 
 * resolve the spec from the registry, build its config (seed + typed
   overrides), execute, time, serialise, archive;
-* **shard pool** — running a single *shardable* spec with ``jobs > 1``
-  maps its shard tasks over a process pool.  The shard plan is a
-  property of the config (never of the worker count), so a sharded run
-  is bit-identical to the serial run by construction;
+* **persistent worker pool** — a Runner with ``jobs > 1`` forks its
+  pool once, lazily, and reuses it across every run it executes
+  (``close()`` or the context-manager exit tears it down; a finalizer
+  covers abandoned runners).  Workers are initialised once via the pool
+  initializer and attach shared-memory segments at most once each
+  (:mod:`repro.backend.shared`), so per-run dispatch cost is a handful
+  of metadata pickles — not process spawns;
+* **zero-copy shard dispatch** — running a single *shardable* spec with
+  ``jobs > 1`` maps its shard tasks over the pool.  Specs with a
+  ``shard_shared`` plan materialise their workload once, export it into
+  a :class:`~repro.backend.shared.SharedArena`, and ship workers
+  ``(handle, row_range)``-style tasks that attach instead of
+  rebuilding; the arena unlinks every segment when the run finishes —
+  including when a worker raises mid-shard.  Specs without a shared
+  plan (and hosts without ``multiprocessing.shared_memory``) fall back
+  to the rebuild plan: tasks that reconstruct their inputs
+  deterministically from the config.  The shard plan is a property of
+  the config (never of the worker count or the dispatch mechanism), so
+  serial, rebuild-sharded and shared-sharded runs are bit-identical by
+  construction;
 * **experiment pool** — :meth:`Runner.run_many` with ``jobs > 1`` runs
   whole experiments as pool tasks instead (each worker executes its
   spec's shards serially).  Workers return plain :class:`RunRecord`
@@ -15,10 +31,6 @@ One :class:`Runner` drives every experiment through the same path:
   fancier than JSON-ready data ever crosses the process boundary;
 * failures never abort a multi-experiment run: each report carries its
   own status and traceback, and the store archives error records too.
-
-Workers rebuild their inputs deterministically from (spec name, task),
-resolving the spec through the registry in their own process — the only
-pickled state is the task dataclass itself.
 """
 
 from __future__ import annotations
@@ -26,15 +38,22 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..backend.shared import HAVE_SHARED_MEMORY, SharedArena
 from ..errors import PipelineError
 from . import registry
 from .serialize import to_jsonable
 from .store import ArtifactStore, RunRecord
 
 __all__ = ["Runner", "RunReport"]
+
+#: Flipped when creating shared segments fails (e.g. an unwritable or
+#: missing /dev/shm): the runner then stops retrying the shared path
+#: and uses the rebuild plan for the rest of the process lifetime.
+_SHARED_DISPATCH_BROKEN = False
 
 
 @dataclass
@@ -78,6 +97,38 @@ def _render(result: Any) -> str:
     return str(result)
 
 
+def _start_resource_tracker() -> None:
+    """Start the multiprocessing resource tracker *before* forking workers.
+
+    Shared-memory bookkeeping: creating and attaching segments both
+    register with the resource tracker, and ``unlink`` unregisters.
+    If the tracker first starts *after* the pool forked, each worker
+    lazily spawns a private tracker whose ledger nobody ever clears —
+    at worker shutdown those trackers emit "leaked shared_memory
+    objects" warnings for segments the arena already unlinked.  With
+    the tracker running pre-fork, every process shares one ledger and
+    the arena's single unlink per segment leaves it clean.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker is an optimisation only
+        pass
+
+
+def _worker_init() -> None:
+    """Pool initializer: run once per worker at fork/spawn time.
+
+    Loads the registry so shard tasks resolve specs locally (a no-op
+    under fork, required under spawn).  Shared-segment attachment is
+    *lazy* — the per-process cache in :mod:`repro.backend.shared`
+    attaches each segment on the worker's first task that needs it and
+    reuses the mapping for the rest of the run.
+    """
+    registry.ensure_loaded()
+
+
 def _shard_worker(task: Tuple[str, Any]) -> Any:
     """Pool target: run one shard of one spec."""
     name, shard = task
@@ -96,6 +147,7 @@ def _execute_record(
     seed: Optional[int],
     overrides: Optional[Dict[str, Any]],
     jobs: int,
+    pool_factory=None,
 ) -> Tuple[RunRecord, Any]:
     """Execute one experiment and build its record.
 
@@ -110,7 +162,7 @@ def _execute_record(
     used_seed = getattr(config, "seed", None)
     started = time.perf_counter()
     try:
-        result, n_shards = _execute_spec(spec, config, jobs)
+        result, n_shards = _execute_spec(spec, config, jobs, pool_factory)
         wall = time.perf_counter() - started
         record = RunRecord(
             experiment=name,
@@ -139,25 +191,89 @@ def _execute_record(
         return record, None
 
 
-def _execute_spec(spec, config, jobs: int) -> Tuple[Any, int]:
-    """Run one spec, sharding across a pool when possible.
+def _shared_tasks(spec, config) -> Optional[Tuple[SharedArena, List[Any]]]:
+    """Export the spec's workload into a fresh arena, if it can be.
+
+    Returns None — sending the caller to the rebuild plan — when the
+    spec has no shared plan, shared memory is unavailable, or creating
+    segments fails on this host (remembered for the process lifetime).
+    The caller owns the returned arena and must close it.
+    """
+    global _SHARED_DISPATCH_BROKEN
+    if (
+        spec.shard_shared is None
+        or not HAVE_SHARED_MEMORY
+        or _SHARED_DISPATCH_BROKEN
+    ):
+        return None
+    try:
+        arena = SharedArena()
+    except OSError:  # pragma: no cover - no usable shm backing
+        _SHARED_DISPATCH_BROKEN = True
+        return None
+    try:
+        tasks = list(spec.shard_shared(config, arena))
+    except OSError:  # pragma: no cover - /dev/shm full or unwritable
+        arena.close()
+        _SHARED_DISPATCH_BROKEN = True
+        return None
+    except Exception:
+        arena.close()
+        raise
+    return arena, tasks
+
+
+def _execute_spec(spec, config, jobs: int, pool_factory) -> Tuple[Any, int]:
+    """Run one spec, sharding across the pool when possible.
 
     Returns ``(result, n_shards)`` with ``n_shards == 0`` for
-    unsharded execution.
+    unsharded execution.  ``pool_factory`` lazily yields the runner's
+    persistent worker pool; it is only invoked when a multi-task shard
+    plan actually dispatches, so unshardable and single-shard runs
+    never pay the fork (None forces in-process execution).
+
+    In-process execution goes through ``spec.run`` — the authoritative
+    serial driver, free to share one workload across its shards (the
+    identify driver builds once) — rather than mapping ``run_shard``
+    task by task.  Both compose the same shards, so the result is
+    bit-identical either way; single-task plans also stay in-process
+    (exporting a workload to shared memory to run one shard on one
+    worker is pure overhead).
     """
     if not spec.shardable:
         return spec.run(config), 0
     tasks = list(spec.shard(config))
     if not tasks:
         raise PipelineError(f"spec {spec.name!r} produced an empty shard plan")
-    if jobs > 1 and len(tasks) > 1:
-        with _mp_context().Pool(min(jobs, len(tasks))) as pool:
-            parts = pool.map(
-                _shard_worker, [(spec.name, task) for task in tasks]
-            )
-    else:
-        parts = [spec.run_shard(task) for task in tasks]
-    return spec.merge(config, parts), len(tasks)
+    pool = (
+        pool_factory()
+        if pool_factory is not None and jobs > 1 and len(tasks) > 1
+        else None
+    )
+    if pool is not None:
+        shared = _shared_tasks(spec, config)
+        if shared is not None:
+            arena, shared_tasks = shared
+            try:
+                parts = pool.map(
+                    _shard_worker,
+                    [(spec.name, task) for task in shared_tasks],
+                )
+            finally:
+                # Unlink on every exit path: a worker raising mid-shard
+                # must not leak /dev/shm segments.
+                arena.close()
+            return spec.merge(config, parts), len(shared_tasks)
+        parts = pool.map(_shard_worker, [(spec.name, task) for task in tasks])
+        return spec.merge(config, parts), len(tasks)
+    return spec.run(config), len(tasks)
+
+
+def _shutdown_pool(pool) -> None:
+    """Terminate a worker pool (finalizer-safe, idempotent)."""
+    if pool is not None:
+        pool.terminate()
+        pool.join()
 
 
 class Runner:
@@ -167,8 +283,10 @@ class Runner:
     ----------
     jobs:
         Worker processes.  1 (default) runs everything in-process; more
-        enables the shard pool for single runs and the experiment pool
-        for :meth:`run_many`.
+        enables the persistent shard/experiment pool.  The pool is
+        created lazily on the first parallel run and reused until
+        :meth:`close` (Runners also work as context managers, and a
+        finalizer reaps pools of abandoned instances).
     store:
         Optional :class:`~repro.pipeline.store.ArtifactStore`; when set,
         every run (including failures) is archived as JSON + text.
@@ -179,6 +297,44 @@ class Runner:
             raise PipelineError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.store = store
+        self._pool = None
+        self._pool_finalizer = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self):
+        """The persistent worker pool (created on first parallel run)."""
+        if self.jobs < 2:
+            return None
+        if self._pool is None:
+            registry.ensure_loaded()  # fork inherits a populated registry
+            _start_resource_tracker()  # before fork: workers must share it
+            self._pool = _mp_context().Pool(
+                self.jobs, initializer=_worker_init
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent; runs stay archived)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()
+            self._pool_finalizer = None
+        self._pool = None
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def run(
         self,
@@ -187,7 +343,9 @@ class Runner:
         overrides: Optional[Dict[str, Any]] = None,
     ) -> RunReport:
         """Run one experiment (sharded across the pool when it can be)."""
-        record, result = _execute_record(name, seed, overrides, self.jobs)
+        record, result = _execute_record(
+            name, seed, overrides, self.jobs, self._ensure_pool
+        )
         return self._finalize(record, result)
 
     def run_many(
@@ -206,11 +364,15 @@ class Runner:
             registry.get_spec(name)  # fail fast on unknown names
         tasks = [(name, seed, {}) for name in names]
         if self.jobs > 1 and len(names) > 1:
-            with _mp_context().Pool(min(self.jobs, len(names))) as pool:
-                records = pool.map(_experiment_worker, tasks)
+            records = self._ensure_pool().map(_experiment_worker, tasks)
             reports = [self._finalize(record, None) for record in records]
         else:
-            pairs = [_execute_record(*task, jobs=self.jobs) for task in tasks]
+            pairs = [
+                _execute_record(
+                    *task, jobs=self.jobs, pool_factory=self._ensure_pool
+                )
+                for task in tasks
+            ]
             records = [record for record, _result in pairs]
             reports = [self._finalize(record, result) for record, result in pairs]
         if self.store is not None:

@@ -1,0 +1,165 @@
+"""Round-trip tests for the shared-memory transport layer.
+
+``to_shared``/``from_shared`` must be bit-identical to the in-process
+batch across densities (empty through full) and row ranges, and the
+arena must never leak segments — including when the guarded block
+raises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import SpikeTrainBatch
+from repro.backend.shared import (
+    HAVE_SHARED_MEMORY,
+    AttachmentCache,
+    SharedArena,
+    attach_array,
+)
+from repro.units import SimulationGrid
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="multiprocessing.shared_memory missing"
+)
+
+
+def _segment_gone(name: str) -> bool:
+    """True when no shared segment of this name can be attached."""
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+def _random_batch(rng, n_trains, n_samples, density):
+    grid = SimulationGrid(n_samples=n_samples, dt=1e-9)
+    raster = rng.random((n_trains, n_samples)) < density
+    return SpikeTrainBatch.from_raster(raster, grid), grid
+
+
+class TestShareArrayRoundTrip:
+    @pytest.mark.parametrize(
+        "dtype", ["int32", "int64", "uint8", "float64", "bool"]
+    )
+    def test_dtypes_round_trip(self, dtype):
+        rng = np.random.default_rng(7)
+        array = (rng.random((13, 31)) * 100).astype(dtype)
+        with SharedArena() as arena:
+            spec = arena.share_array(array)
+            back = attach_array(spec)
+            assert back.dtype == array.dtype
+            assert np.array_equal(back, array)
+            assert not back.flags.writeable
+
+    def test_empty_array_round_trips(self):
+        with SharedArena() as arena:
+            spec = arena.share_array(np.empty(0, dtype=np.int64))
+            back = attach_array(spec)
+            assert back.shape == (0,)
+            assert back.dtype == np.int64
+
+    def test_noncontiguous_input_round_trips(self):
+        array = np.arange(100).reshape(10, 10)[:, ::2]
+        with SharedArena() as arena:
+            back = attach_array(arena.share_array(array))
+            assert np.array_equal(back, array)
+
+
+class TestBatchSharedRoundTrip:
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.2, 0.5, 1.0])
+    def test_random_batches_bit_identical(self, density):
+        rng = np.random.default_rng(int(density * 1000) + 1)
+        batch, _grid = _random_batch(rng, n_trains=9, n_samples=257, density=density)
+        with SharedArena() as arena:
+            handle = batch.to_shared(arena)
+            back = SpikeTrainBatch.from_shared(handle)
+            assert back == batch
+            assert np.array_equal(back.raster, batch.raster)
+            assert back.grid == batch.grid
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_row_ranges_match_select_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        batch, _grid = _random_batch(
+            rng, n_trains=n, n_samples=128, density=float(rng.random())
+        )
+        lo = int(rng.integers(0, n))
+        hi = int(rng.integers(lo + 1, n + 1))
+        with SharedArena() as arena:
+            handle = batch.to_shared(arena)
+            part = SpikeTrainBatch.from_shared(handle, rows=(lo, hi))
+            assert part == batch.select_rows(np.arange(lo, hi))
+
+    def test_out_of_range_rows_raise(self):
+        rng = np.random.default_rng(0)
+        batch, _grid = _random_batch(rng, 4, 64, 0.3)
+        from repro.errors import SpikeTrainError
+
+        with SharedArena() as arena:
+            handle = batch.to_shared(arena)
+            with pytest.raises(SpikeTrainError, match="row range"):
+                SpikeTrainBatch.from_shared(handle, rows=(2, 9))
+
+    def test_handle_is_metadata_only(self):
+        import pickle
+
+        rng = np.random.default_rng(3)
+        batch, _grid = _random_batch(rng, 64, 8192, 0.2)
+        with SharedArena() as arena:
+            handle = batch.to_shared(arena)
+            payload = len(pickle.dumps(handle))
+            assert payload < 1024, f"handle pickled to {payload} bytes"
+            assert handle.n_trains == 64
+
+
+class TestArenaLifecycle:
+    def test_segments_unlinked_on_clean_exit(self):
+        with SharedArena() as arena:
+            arena.share_array(np.arange(10))
+            names = arena.segment_names
+            assert len(names) == 1
+        assert all(_segment_gone(name) for name in names)
+
+    def test_segments_unlinked_when_body_raises(self):
+        names = ()
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArena() as arena:
+                arena.share_array(np.arange(100))
+                arena.share_array(np.ones((4, 4)))
+                names = arena.segment_names
+                raise RuntimeError("boom")
+        assert len(names) == 2
+        assert all(_segment_gone(name) for name in names)
+
+    def test_close_is_idempotent(self):
+        arena = SharedArena()
+        arena.share_array(np.arange(5))
+        arena.close()
+        arena.close()
+        assert arena.segment_names == ()
+
+    def test_share_array_after_close_refuses(self):
+        """A segment created after close() would have no owner to
+        unlink it — the arena must refuse instead of leaking."""
+        arena = SharedArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed SharedArena"):
+            arena.share_array(np.arange(5))
+
+    def test_attachment_cache_evicts_on_new_arena(self):
+        cache = AttachmentCache()
+        with SharedArena() as first:
+            spec_a = first.share_array(np.arange(4))
+            cache.attach(spec_a)
+            assert len(cache) == 1
+            with SharedArena() as second:
+                spec_b = second.share_array(np.arange(8))
+                cache.attach(spec_b)  # new arena token evicts the old map
+                assert len(cache) == 1
+        cache.release()
+        assert len(cache) == 0

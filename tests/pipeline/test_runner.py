@@ -11,11 +11,27 @@ from repro.pipeline import (
     ExperimentSpec,
     Runner,
     register,
+    to_jsonable,
     unregister,
 )
 
 #: A small sharded workload (2 shards of 8 wires, 2 observation starts).
 SMALL_IDENTIFY = {"n_wires": 16, "n_trials": 2, "n_shards": 2, "basis_size": 4}
+
+#: Reduced configs for every shardable spec, used by the bit-identity
+#: sweep (serial vs 2-job sharded must serialise identically).
+SHARDABLE_SMALL = {
+    "identify": SMALL_IDENTIFY,
+    "speed": {"n_trials": 10},
+    "gates": {"alphabet_sizes": (2,)},
+    "search": {"n_inputs_sweep": (3,)},
+    "verification": {"basis_sizes": (4,), "n_pairs": 4},
+    "robustness": {"trials": 1},
+    "table1": {"n_samples": 16384},
+    "table2": {"n_samples": 16384},
+    "aliasing": {},
+    "scaling": {"max_inputs": 3},
+}
 
 
 def _run_identify(tmp_path, jobs):
@@ -51,6 +67,88 @@ class TestShardedEqualsSerial:
         """More jobs than shards must not change the plan."""
         _report, record = _run_identify(tmp_path, jobs=5)
         assert record["n_shards"] == SMALL_IDENTIFY["n_shards"]
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in sorted(SHARDABLE_SMALL) if n != "scaling"],
+    )
+    def test_every_shardable_spec_bit_identical(self, name):
+        """Serial vs sharded, for every spec carrying a shard plan.
+
+        ``scaling`` is excluded: its result intentionally records
+        per-shard wall times.  Serialised JSON comparison (rather than
+        ``==``) keeps NaN payloads comparable.
+        """
+        serial = Runner(jobs=1).run(name, overrides=SHARDABLE_SMALL[name])
+        with Runner(jobs=2) as runner:
+            sharded = runner.run(name, overrides=SHARDABLE_SMALL[name])
+        assert serial.ok, serial.error
+        assert sharded.ok, sharded.error
+        assert json.dumps(to_jsonable(serial.result)) == json.dumps(
+            to_jsonable(sharded.result)
+        )
+        assert serial.rendered == sharded.rendered
+        assert sharded.n_shards >= 1
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self):
+        with Runner(jobs=2) as runner:
+            first = runner.run("identify", overrides=SMALL_IDENTIFY)
+            pool = runner._pool
+            assert pool is not None
+            second = runner.run("speed", overrides={"n_trials": 10})
+            assert runner._pool is pool  # same pool, no respawn
+        assert first.ok and second.ok
+        assert runner._pool is None  # context exit tears it down
+
+    def test_serial_runner_never_forks(self):
+        runner = Runner(jobs=1)
+        report = runner.run("identify", overrides=SMALL_IDENTIFY)
+        assert report.ok
+        assert runner._pool is None
+
+    def test_serial_run_uses_the_spec_driver_once(self, monkeypatch):
+        """In-process execution goes through spec.run (which may share
+        one workload across shards), not shard-by-shard mapping."""
+        import repro.experiments.identify as identify
+
+        calls = {"workload": 0}
+        original = identify._workload
+
+        def counting_workload(config):
+            calls["workload"] += 1
+            return original(config)
+
+        monkeypatch.setattr(identify, "_workload", counting_workload)
+        report = Runner(jobs=1).run("identify", overrides=SMALL_IDENTIFY)
+        assert report.ok
+        assert report.n_shards == SMALL_IDENTIFY["n_shards"]
+        assert calls["workload"] == 1  # build-once serial driver
+
+    def test_single_shard_plan_stays_in_process(self):
+        """One shard + many jobs must not export, fork, or round-trip."""
+        with Runner(jobs=2) as runner:
+            report = runner.run(
+                "identify", overrides=dict(SMALL_IDENTIFY, n_shards=1)
+            )
+            assert report.ok
+            assert report.n_shards == 1
+            assert runner._pool is None  # nothing to parallelise: no fork
+
+    def test_unshardable_spec_never_forks(self):
+        """jobs >= 2 on an unshardable spec must not pay pool startup."""
+        with Runner(jobs=4) as runner:
+            report = runner.run("energy")
+            assert report.ok
+            assert runner._pool is None
+
+    def test_close_is_idempotent(self):
+        runner = Runner(jobs=2)
+        runner.run("identify", overrides=SMALL_IDENTIFY)
+        runner.close()
+        runner.close()
+        assert runner._pool is None
 
 
 class TestRunnerBasics:

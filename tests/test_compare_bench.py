@@ -1,0 +1,113 @@
+"""Tests for benchmarks/compare_bench.py (the perf regression gate)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "compare_bench.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_bench", _PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _write(path, entries):
+    path.write_text(json.dumps(entries))
+    return path
+
+
+def _entry(name, seconds, **extra):
+    entry = {
+        "experiment": name,
+        "config": {},
+        "seconds": seconds,
+        "speedup": 1.0,
+        "cpus": 2,
+        "python": "3.11.7",
+        "commit": "abc1234",
+    }
+    entry.update(extra)
+    return entry
+
+
+class TestCompareBench:
+    def test_identical_files_pass(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(tmp_path / "new.json", [_entry("a", 1.0)])
+        assert compare_bench.main([str(old), str(new)]) == 0
+
+    def test_within_threshold_passes(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(tmp_path / "new.json", [_entry("a", 1.15)])
+        assert compare_bench.main([str(old), str(new)]) == 0
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(tmp_path / "new.json", [_entry("a", 1.5)])
+        assert compare_bench.main([str(old), str(new)]) == 1
+
+    def test_custom_threshold_loosens_the_gate(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(tmp_path / "new.json", [_entry("a", 1.5)])
+        assert (
+            compare_bench.main([str(old), str(new), "--threshold", "1.0"])
+            == 0
+        )
+
+    def test_min_seconds_floor_exempts_micro_timings(self, tmp_path):
+        old = _write(
+            tmp_path / "old.json",
+            [_entry("micro", 0.0002), _entry("macro", 2.0)],
+        )
+        new = _write(
+            tmp_path / "new.json",
+            [_entry("micro", 0.01), _entry("macro", 2.1)],
+        )
+        args = [str(old), str(new), "--min-seconds", "0.01"]
+        assert compare_bench.main(args) == 0
+        # The same 50x micro regression fails without the floor.
+        assert compare_bench.main([str(old), str(new)]) == 1
+
+    def test_missing_experiment_fails(self, tmp_path):
+        old = _write(
+            tmp_path / "old.json", [_entry("a", 1.0), _entry("b", 2.0)]
+        )
+        new = _write(tmp_path / "new.json", [_entry("a", 1.0)])
+        assert compare_bench.main([str(old), str(new)]) == 1
+
+    def test_new_experiment_passes(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(
+            tmp_path / "new.json", [_entry("a", 1.0), _entry("b", 9.0)]
+        )
+        assert compare_bench.main([str(old), str(new)]) == 0
+
+    def test_speedup_passes(self, tmp_path):
+        old = _write(tmp_path / "old.json", [_entry("a", 2.0)])
+        new = _write(tmp_path / "new.json", [_entry("a", 0.5)])
+        assert compare_bench.main([str(old), str(new)]) == 0
+
+    def test_provenance_mismatch_reported(self, tmp_path, capsys):
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0, cpus=1)])
+        new = _write(tmp_path / "new.json", [_entry("a", 1.0, cpus=8)])
+        assert compare_bench.main([str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "cpus=1" in out and "cpus=8" in out
+
+    def test_real_committed_file_self_compares_clean(self):
+        committed = _PATH.parent / "BENCH_batch.json"
+        assert (
+            compare_bench.main([str(committed), str(committed)]) == 0
+        )
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a list"}')
+        good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
+        with pytest.raises(ValueError, match="expected a JSON list"):
+            compare_bench.main([str(bad), str(good)])
