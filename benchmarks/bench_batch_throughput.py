@@ -18,7 +18,6 @@ speedup) so the perf trajectory is tracked across PRs.
 
 import os
 import pickle
-import time
 
 import numpy as np
 import pytest
@@ -39,16 +38,6 @@ BASIS_SIZE = 16
 SOURCE_ISI_SAMPLES = 28
 
 
-def _best_of(fn, repeats=7):
-    """Best-of-N wall time in seconds (minimum damps scheduler noise)."""
-    best = float("inf")
-    for _unused in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 @pytest.fixture(scope="module")
 def workload():
     grid = paper_white_grid()
@@ -63,7 +52,7 @@ def workload():
     return basis, wires, elements
 
 
-def test_batched_identification_speedup(workload, archive, bench_record):
+def test_batched_identification_speedup(workload, archive, bench_record, best_of):
     basis, wires, elements = workload
     correlator = CoincidenceCorrelator(basis)
     # In the batched pipeline wires live in batch form end to end
@@ -82,8 +71,8 @@ def test_batched_identification_speedup(workload, archive, bench_record):
     assert batch_results.results() == scalar_results  # bit-identical receivers
     assert batch_results.elements.tolist() == elements.tolist()
 
-    loop_s = _best_of(per_train_loop)
-    batch_s = _best_of(batched_pass)
+    loop_s = best_of(per_train_loop)
+    batch_s = best_of(batched_pass)
     speedup = loop_s / batch_s
 
     per_wire_loop_us = 1e6 * loop_s / N_WIRES
@@ -117,7 +106,7 @@ def test_batched_identification_speedup(workload, archive, bench_record):
     )
 
 
-def test_batched_membership_queries(workload, archive, bench_record):
+def test_batched_membership_queries(workload, archive, bench_record, best_of):
     basis, _wires, _elements = workload
     database = SuperpositionDatabase(basis)
     database.load(range(0, BASIS_SIZE, 2))
@@ -131,8 +120,8 @@ def test_batched_membership_queries(workload, archive, bench_record):
 
     assert batched_pass() == per_query_loop()
 
-    loop_s = _best_of(per_query_loop)
-    batch_s = _best_of(batched_pass)
+    loop_s = best_of(per_query_loop)
+    batch_s = best_of(batched_pass)
     text = "\n".join(
         [
             f"Batched membership queries ({len(states)} queries, M={BASIS_SIZE})",
@@ -214,60 +203,91 @@ def test_sharded_runner_bit_identical_and_timed(archive, bench_record):
         )
 
 
-def test_shared_memory_dispatch_payload(archive, bench_record):
-    """Zero-copy dispatch: per-shard payload vs pickled rasters.
+def test_shard_dispatch_transport_and_compute(archive, bench_record, best_of):
+    """Zero-copy dispatch: transport bytes *and* real per-shard work.
 
-    The old dispatch alternatives were rebuilding in the worker (slow)
-    or pickling the shard's dense raster rows across the pipe (large).
-    The shared handle must undercut the pickled raster by ≥ 10×; the
-    recorded seconds measure a worker-side attach + materialise of one
-    shard, and the bit-identity of the attached rows is asserted.
+    An earlier version of this bench timed only handle construction
+    and reported the payload reduction as a "speedup", which
+    overstated the win by orders of magnitude.  What a worker actually
+    pays per shard is **attach + compute**, so that is what the
+    recorded seconds measure now: resolve the shared handles (through
+    the warmed per-process attachment cache, the pool's steady state)
+    and run the full shard identification straight on the attached
+    bitset view.  The reference pipeline ships the shard's dense
+    raster rows through pickle and computes from them.  Transport
+    bytes per shard are reported alongside — as payload numbers, not
+    as a wall-time claim.
     """
     spec = get_spec("identify")
     config = spec.make_config(overrides=SHARDED_CONFIG)
-    from repro.experiments.identify import _shards, _workload
+    from repro.experiments import identify as identify_mod
 
-    _basis, wires, _elements, _start_slots = _workload(config)
-    bounds = _shards(config)[0]
+    basis, wires, elements, start_slots = identify_mod._workload(config)
+    bounds = identify_mod._shards(config)[0]
     rows = np.arange(bounds.row_start, bounds.row_stop)
-    raster_payload = len(pickle.dumps(wires.select_rows(rows).raster))
+    shard_raster = wires.select_rows(rows).raster
+    raster_blob = pickle.dumps(shard_raster)
+    raster_payload = len(raster_blob)
+    expected = elements[rows]
+
+    def unpickle_and_compute():
+        received = SpikeTrainBatch.from_raster(
+            pickle.loads(raster_blob), wires.grid, copy=False
+        )
+        return identify_mod._identify_rows(
+            basis, received, expected, start_slots,
+            bounds.row_start, bounds.row_stop,
+        )
 
     with SharedArena() as arena:
         tasks = spec.shard_shared(config, arena)
         shared_payload = max(len(pickle.dumps(task)) for task in tasks)
         reduction = raster_payload / shared_payload
 
-        def attach_one_shard():
-            task = tasks[0]
-            return SpikeTrainBatch.from_shared(
-                task.wires, rows=(task.row_start, task.row_stop)
-            )
+        def attach_and_compute():
+            return identify_mod._run_shard(tasks[0])
 
-        attached = attach_one_shard()
-        assert attached == wires.select_rows(rows)  # bit-identical payload
-        attach_s = _best_of(attach_one_shard)
+        via_shared = attach_and_compute()
+        via_raster = unpickle_and_compute()
+        # Bit-identical shard outcome whatever the transport.
+        assert via_shared.identifications == via_raster.identifications
+        assert via_shared.correct == via_raster.correct
+        assert via_shared.misses == via_raster.misses
+        assert np.array_equal(via_shared.latencies, via_raster.latencies)
+        shared_s = best_of(attach_and_compute)
+        raster_s = best_of(unpickle_and_compute)
 
+    speedup = raster_s / shared_s
     text = "\n".join(
         [
             "Zero-copy shard dispatch "
             f"({SHARDED_CONFIG['n_wires']} wires, "
+            f"{SHARDED_CONFIG['n_trials']} starts, "
             f"{SHARDED_CONFIG['n_shards']} shards)",
             f"  pickled raster rows    : {raster_payload:12,d} bytes/shard",
             f"  shared-memory handle   : {shared_payload:12,d} bytes/shard",
-            f"  payload reduction      : {reduction:10.0f}x",
-            f"  attach + materialise   : {1e3 * attach_s:10.3f} ms/shard",
+            f"  transport reduction    : {reduction:10.0f}x (payload, "
+            "not wall time)",
+            f"  attach+compute (shared): {1e3 * shared_s:10.3f} ms/shard",
+            f"  unpickle+compute (dense): {1e3 * raster_s:9.3f} ms/shard",
+            f"  per-shard speedup      : {speedup:10.2f}x",
         ]
     )
     archive("shared_memory_dispatch.txt", text)
     bench_record(
-        "identify_shared_memory",
+        "identify_shard_dispatch",
         dict(SHARDED_CONFIG, raster_bytes=raster_payload,
-             handle_bytes=shared_payload),
-        attach_s,
-        reduction,
+             handle_bytes=shared_payload,
+             transport_reduction=round(reduction, 1)),
+        shared_s,
+        speedup,
     )
 
     assert reduction >= 10.0, (
         f"shared handle only {reduction:.1f}x smaller than the pickled "
         f"raster (required: 10x)"
+    )
+    assert speedup >= 1.0, (
+        f"attach+compute slower than the pickled-raster pipeline "
+        f"({speedup:.2f}x)"
     )

@@ -16,6 +16,7 @@ import os
 import pathlib
 import platform
 import subprocess
+import time
 
 import pytest
 
@@ -24,6 +25,26 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Machine-readable perf trajectory, committed so speedups are tracked
 #: across PRs.  Schema: a list of {experiment, config, seconds, speedup}.
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_batch.json"
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    """Callable: best_of(fn, repeats=7) — best-of-N wall seconds.
+
+    The one timing methodology shared by every bench that records into
+    ``BENCH_batch.json`` (the minimum damps scheduler noise); changing
+    it here changes it for all of them at once.
+    """
+
+    def _best_of(fn, repeats=7):
+        best = float("inf")
+        for _unused in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return _best_of
 
 
 @pytest.fixture(scope="session")

@@ -1,18 +1,36 @@
 """Backend layer: vectorised batch execution for spike-train hot paths.
 
 * :class:`SpikeTrainBatch` — N trains × T slots on one grid, with CSR,
-  dense-raster and ``np.packbits`` bitset representations;
+  word-aligned packed-bitset and dense-raster representations, each
+  materialised lazily.  The packed words are the *compute-primary*
+  dense form: batches born packed (``from_packed``, shared-memory
+  attachments, packed set-op results) run set algebra, popcount
+  statistics and the batched receivers directly on the bitset through
+  :mod:`~repro.backend.packed` and decode their CSR only if someone
+  asks for indices;
+* :mod:`~repro.backend.packed` — the bit-parallel kernel layer:
+  popcount (``np.bitwise_count`` or a 16-bit-LUT fallback, forced via
+  ``REPRO_FORCE_POPCOUNT_LUT``), pack/unpack that touches only
+  occupied bytes, tail-masked set algebra, first-coincidence scans and
+  coincidence scoring on ``uint64`` views of packbits arrays;
 * :class:`Backend` protocol with :class:`SortedSetBackend` (merge-based,
   sparse-friendly), :class:`RasterBackend` (dense boolean pass) and
-  :class:`BitsetBackend` (packed-bit pass) implementations;
-* :func:`select_backend` — density-based auto-selection used by
-  :class:`~repro.spikes.train.SpikeTrain` set algebra;
+  :class:`BitsetBackend` (packed-word pass, never unpacks the grid)
+  implementations;
+* :func:`select_backend` / :func:`select_batch_backend` — density- and
+  residency-based auto-selection used by
+  :class:`~repro.spikes.train.SpikeTrain` set algebra and the batch
+  paths: sparse scalar operands merge, dense ones raster; batches stay
+  on whatever representation is resident (packed attachments never
+  unpack) and CSR-resident batches pick merge vs packed by density;
 * :func:`use_backend` / :func:`set_default_backend` — pin a backend
   (tests pin each in turn to prove them bit-identical);
 * :mod:`~repro.backend.shared` — zero-copy shared-memory transport:
   :class:`SharedArena` owns segment lifecycle for one sharded run,
   :meth:`SpikeTrainBatch.to_shared` / :meth:`SpikeTrainBatch.from_shared`
-  move batches as metadata-only :class:`SharedBatchHandle` objects.
+  move batches as metadata-only :class:`SharedBatchHandle` objects
+  whose payload is the packed words — attached shard workers compute
+  straight on the mapped bitset.
 """
 
 from .shared import (
@@ -23,6 +41,7 @@ from .shared import (
     attach_array,
     process_cache,
 )
+from . import packed
 from .core import (
     RASTER_DENSITY_THRESHOLD,
     Backend,
@@ -31,7 +50,9 @@ from .core import (
     SortedSetBackend,
     available_backends,
     get_backend,
+    pinned_backend_name,
     select_backend,
+    select_batch_backend,
     set_default_backend,
     use_backend,
 )
@@ -63,7 +84,10 @@ __all__ = [
     "RASTER_DENSITY_THRESHOLD",
     "available_backends",
     "get_backend",
+    "packed",
+    "pinned_backend_name",
     "select_backend",
+    "select_batch_backend",
     "set_default_backend",
     "use_backend",
 ]

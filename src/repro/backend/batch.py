@@ -7,15 +7,29 @@ instead of Python-side per-train loops — the same move syncopy's
 ``DiscreteData`` makes by storing many spike channels in one sample
 matrix.
 
-Two representations are kept, each materialised lazily and cached:
+Three representations are kept, each materialised lazily and cached:
 
 * **CSR** — one concatenated sorted ``int64`` slot array plus row
   offsets.  Total size is the spike count, independent of the grid
   length; the identification paths walk it with O(total spikes) work.
-* **raster** — a dense ``(N, n_samples)`` boolean occupancy matrix.
-  Row-wise set algebra is one elementwise boolean operation;
-  :meth:`packbits` exposes the ``np.packbits`` bitset variant (eight
-  slots per byte) for transport and archival.
+* **packed words** — the ``np.packbits`` bitset viewed as
+  ``(N, ceil(n_samples / 64))`` ``uint64``, eight slots per byte with a
+  zero tail.  This is the *compute-primary* dense form: row-wise set
+  algebra, popcount statistics and coincidence scoring run directly on
+  it through :mod:`~repro.backend.packed` at 1/8 the raster's memory
+  traffic, and it is what :meth:`to_shared` ships — attached shard
+  workers compute straight on the mapped words without ever unpacking.
+* **raster** — a dense ``(N, n_samples)`` boolean occupancy matrix,
+  kept for consumers that genuinely want per-slot booleans and for
+  batches born dense (:meth:`from_raster`).
+
+A batch may be *packed-primary*: built from a bitset
+(:meth:`from_packed`, :meth:`from_shared`, packed set-op results), it
+holds only the words and decodes its CSR on first demand — only the
+occupied bytes, never the whole grid.
+:func:`~repro.backend.core.select_batch_backend` picks the
+representation each operation runs on from what is resident plus
+operand density; ``use_backend`` pins one family for tests.
 
 Adapters keep the scalar API alive: :meth:`from_train` wraps one train
 as a one-row batch, :meth:`row` / :meth:`to_trains` go back.
@@ -31,6 +45,8 @@ import numpy as np
 from ..errors import SpikeTrainError
 from ..spikes.train import SpikeTrain
 from ..units import SimulationGrid
+from . import packed as packed_kernels
+from .core import select_batch_backend
 from .shared import SharedArena, SharedArraySpec, attach_array
 
 __all__ = ["SpikeTrainBatch", "SharedBatchHandle"]
@@ -41,15 +57,18 @@ class SharedBatchHandle:
     """Metadata-only handle to a batch placed in shared memory.
 
     Pickles as a few hundred bytes regardless of batch size: the
-    payload is the ``np.packbits`` bitset (8× smaller than the dense
-    raster) plus the CSR row offsets, both living in shared-memory
-    segments described by their :class:`~repro.backend.shared.SharedArraySpec`.
+    payload is the word-aligned packed bitset (8× smaller than the
+    dense raster) plus the CSR row offsets, both living in
+    shared-memory segments described by their
+    :class:`~repro.backend.shared.SharedArraySpec`.
     ``n_samples``/``dt`` rebuild the grid on the attaching side.
 
     For sparse batches — where the CSR slot array is no bigger than the
     bitset — ``values`` carries the CSR payload too, and attaching
-    consumers reconstruct rows as *views* into the segment (no unpack,
-    no copy).  Dense batches drop it and attach via the bitset.
+    consumers reconstruct rows as *views* into the segment.  Dense
+    batches drop it; attaching then yields a *packed-primary* batch
+    whose words are a view of the mapped segment, so shard workers
+    compute on the shared bitset directly (no unpack, no copy).
     """
 
     packed: SharedArraySpec
@@ -82,7 +101,7 @@ class SpikeTrainBatch:
     broadcasting over the other side's rows).
     """
 
-    __slots__ = ("_grid", "_values", "_ptr", "_raster")
+    __slots__ = ("_grid", "_values", "_ptr", "_raster", "_packed")
 
     def __init__(
         self,
@@ -120,10 +139,11 @@ class SpikeTrainBatch:
                 )
         values.setflags(write=False)
         ptr.setflags(write=False)
-        self._values = values
-        self._ptr = ptr
+        self._values: Optional[np.ndarray] = values
+        self._ptr: Optional[np.ndarray] = ptr
         self._grid = grid
         self._raster = _raster
+        self._packed: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -192,15 +212,66 @@ class SpikeTrainBatch:
     def from_packed(
         cls, packed: np.ndarray, grid: SimulationGrid
     ) -> "SpikeTrainBatch":
-        """Build from a :meth:`packbits` bitset ``(N, ceil(n_samples / 8))``."""
+        """Build from a :meth:`packbits` bitset ``(N, ceil(n_samples / 8))``.
+
+        The result is *packed-primary*: the bitset (word-aligned, tail
+        bits masked off as :func:`np.unpackbits` with ``count`` would)
+        becomes the batch's resident representation and the CSR decodes
+        lazily, occupied bytes only — the dense raster is never built.
+        """
         packed = np.asarray(packed, dtype=np.uint8)
-        if packed.ndim != 2 or packed.shape[1] != (grid.n_samples + 7) // 8:
+        n_bytes = packed_kernels.n_packed_bytes(grid.n_samples)
+        if packed.ndim != 2 or packed.shape[1] != n_bytes:
             raise SpikeTrainError(
                 f"packed shape {packed.shape} does not match "
-                f"(N, {(grid.n_samples + 7) // 8})"
+                f"(N, {n_bytes})"
             )
-        raster = np.unpackbits(packed, axis=1, count=grid.n_samples).astype(bool)
-        return cls.from_raster(raster, grid, copy=False)
+        n_words = packed_kernels.n_packed_words(grid.n_samples)
+        padded = np.zeros((packed.shape[0], n_words * 8), dtype=np.uint8)
+        padded[:, :n_bytes] = packed
+        words = padded.view(np.uint64)
+        packed_kernels.clear_slots_from(words, grid.n_samples)
+        return cls._from_packed_words(words, grid, validate=False)
+
+    @classmethod
+    def _from_packed_words(
+        cls,
+        words: np.ndarray,
+        grid: SimulationGrid,
+        *,
+        validate: bool = True,
+    ) -> "SpikeTrainBatch":
+        """Adopt a word-aligned packed array as a packed-primary batch.
+
+        ``words`` must be ``(N, ceil(n_samples / 64))`` ``uint64`` with
+        a clean tail; internal producers whose output is clean by
+        construction (set-op results, shared-memory attachments) pass
+        ``validate=False``.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        n_words = packed_kernels.n_packed_words(grid.n_samples)
+        if words.ndim != 2 or words.shape[1] != n_words:
+            raise SpikeTrainError(
+                f"packed words shape {words.shape} does not match "
+                f"(N, {n_words})"
+            )
+        if words.shape[0] < 1:
+            raise SpikeTrainError("a batch needs at least one row")
+        if validate and not packed_kernels.check_tail_clean(
+            words, grid.n_samples
+        ):
+            raise SpikeTrainError(
+                f"packed words carry bits beyond the grid's "
+                f"{grid.n_samples} samples"
+            )
+        words.setflags(write=False)
+        batch = cls.__new__(cls)
+        batch._grid = grid
+        batch._values = None
+        batch._ptr = None
+        batch._raster = None
+        batch._packed = words
+        return batch
 
     @classmethod
     def empty(cls, n_trains: int, grid: SimulationGrid) -> "SpikeTrainBatch":
@@ -225,63 +296,154 @@ class SpikeTrainBatch:
     @property
     def n_trains(self) -> int:
         """Number of rows N."""
-        return int(self._ptr.size - 1)
+        if self._ptr is not None:
+            return int(self._ptr.size - 1)
+        return int(self._packed.shape[0])
 
     @property
     def total_spikes(self) -> int:
         """Total spike count across all rows."""
-        return int(self._values.size)
+        if self._values is not None:
+            return int(self._values.size)
+        return int(self.counts().sum())
 
     def counts(self) -> np.ndarray:
-        """Per-row spike counts (length N)."""
-        return np.diff(self._ptr)
+        """Per-row spike counts (length N).
+
+        From the CSR offsets when they are resident, else one popcount
+        pass over the packed words — no decode either way.
+        """
+        if self._ptr is not None:
+            return np.diff(self._ptr)
+        return packed_kernels.row_popcounts(self._packed)
 
     def density(self) -> float:
         """Mean occupied fraction of the grid over all rows."""
         return self.total_spikes / (self.n_trains * self._grid.n_samples)
 
+    @property
+    def csr_materialised(self) -> bool:
+        """True when the CSR arrays are resident (no decode needed)."""
+        return self._values is not None
+
+    @property
+    def packed_materialised(self) -> bool:
+        """True when the packed words are resident (no pack needed)."""
+        return self._packed is not None
+
+    @property
+    def raster_materialised(self) -> bool:
+        """True when the dense boolean raster is resident."""
+        return self._raster is not None
+
+    def nbytes_resident(self) -> int:
+        """Bytes held by the currently materialised representations."""
+        total = 0
+        if self._values is not None:
+            total += self._values.nbytes + self._ptr.nbytes
+        if self._packed is not None:
+            total += self._packed.nbytes
+        if self._raster is not None:
+            total += self._raster.nbytes
+        return total
+
     def csr(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The concatenated slot array and row offsets ``(values, ptr)``."""
+        """The concatenated slot array and row offsets ``(values, ptr)``.
+
+        Packed-primary batches decode here on first call — occupied
+        bytes only, O(set bits) — and cache the result.
+        """
+        if self._values is None:
+            values, ptr = packed_kernels.unpack_rows(self._packed)
+            values.setflags(write=False)
+            ptr.setflags(write=False)
+            self._values = values
+            self._ptr = ptr
         return self._values, self._ptr
+
+    def receiver_backend(self) -> str:
+        """Representation the batched receivers should run on.
+
+        ``"bitset"`` routes identification / membership / decode through
+        the packed kernels (the only option that avoids a decode when
+        this batch is packed-primary, e.g. a shared-memory attachment);
+        ``"sorted"`` walks the CSR.  Delegates to
+        :func:`~repro.backend.core.select_batch_backend`, so a pinned
+        backend wins.
+        """
+        choice = select_batch_backend(
+            # Avoid a popcount pass just to pick a path: the density
+            # term only matters when the CSR is resident.
+            self._values.size if self._values is not None else 0,
+            self.n_trains,
+            self._grid.n_samples,
+            csr_ready=self._values is not None,
+            packed_ready=self._packed is not None,
+            raster_ready=self._raster is not None,
+        )
+        return "bitset" if choice == "bitset" else "sorted"
 
     @property
     def raster(self) -> np.ndarray:
-        """Dense boolean occupancy matrix ``(N, n_samples)`` (cached)."""
+        """Dense boolean occupancy matrix ``(N, n_samples)`` (cached).
+
+        Built from the CSR scatter when the CSR is resident, else by
+        unpacking the packed words — the one place a packed-primary
+        batch ever unpacks, and only because the caller explicitly
+        asked for per-slot booleans.
+        """
         if self._raster is None:
-            raster = np.zeros((self.n_trains, self._grid.n_samples), dtype=bool)
-            rows = np.repeat(np.arange(self.n_trains), self.counts())
-            raster[rows, self._values] = True
+            if self._values is not None:
+                raster = np.zeros(
+                    (self.n_trains, self._grid.n_samples), dtype=bool
+                )
+                rows = np.repeat(np.arange(self.n_trains), self.counts())
+                raster[rows, self._values] = True
+            else:
+                raster = np.unpackbits(
+                    np.ascontiguousarray(self._packed).view(np.uint8),
+                    axis=1,
+                    count=self._grid.n_samples,
+                ).astype(bool)
             raster.setflags(write=False)
             self._raster = raster
         return self._raster
 
-    def packbits(self) -> np.ndarray:
-        """The ``np.packbits`` bitset variant, ``(N, ceil(n_samples/8))``.
+    def packed_words(self) -> np.ndarray:
+        """Word-aligned packed bitset ``(N, ceil(n_samples / 64))`` uint64 (cached).
 
-        When only the CSR form is materialised the bits are scattered
-        from it directly — O(total spikes) instead of allocating the
-        full ``(N, n_samples)`` raster just to pack it (the raster for
-        a 2048 × 65536 batch is 128 MB; its bitset is 16 MB).
+        The compute substrate of the packed kernels: eight slots per
+        byte, tail bits zero, read-only.  Packed straight from the CSR
+        (O(total spikes), no raster) or from a resident raster.
         """
-        if self._raster is not None:
-            return np.packbits(self._raster, axis=1)
-        n_bytes = (self._grid.n_samples + 7) // 8
-        packed = np.zeros(self.n_trains * n_bytes, dtype=np.uint8)
-        if self._values.size:
-            # np.packbits bit order: slot s lands in byte s >> 3 at
-            # mask 128 >> (s & 7).  The flattened byte index is
-            # non-decreasing (rows ascend, slots ascend within a row),
-            # so each byte's bits group into one contiguous run —
-            # summed with one reduceat (distinct powers of two, so the
-            # sum is the OR).
-            rows = np.repeat(np.arange(self.n_trains), self.counts())
-            flat = rows * n_bytes + (self._values >> 3)
-            masks = 128 >> (self._values & 7)
-            starts = np.concatenate(
-                [[0], np.flatnonzero(np.diff(flat) != 0) + 1]
-            )
-            packed[flat[starts]] = np.add.reduceat(masks, starts)
-        return packed.reshape(self.n_trains, n_bytes)
+        if self._packed is None:
+            n_words = packed_kernels.n_packed_words(self._grid.n_samples)
+            if self._values is not None:
+                words = packed_kernels.pack_rows(
+                    self._values, self._ptr, self._grid.n_samples
+                )
+            else:
+                exact = np.packbits(self._raster, axis=1)
+                padded = np.zeros(
+                    (exact.shape[0], n_words * 8), dtype=np.uint8
+                )
+                padded[:, : exact.shape[1]] = exact
+                words = padded.view(np.uint64)
+            words.setflags(write=False)
+            self._packed = words
+        return self._packed
+
+    def packbits(self) -> np.ndarray:
+        """The ``np.packbits`` bitset, ``(N, ceil(n_samples / 8))`` (read-only).
+
+        A trimmed byte view of :meth:`packed_words` — computing it
+        never materialises the raster.
+        """
+        words = self.packed_words()
+        n_bytes = packed_kernels.n_packed_bytes(self._grid.n_samples)
+        trimmed = words.view(np.uint8).reshape(self.n_trains, -1)[:, :n_bytes]
+        trimmed.setflags(write=False)
+        return trimmed
 
     # ------------------------------------------------------------------
     # Shared-memory transport
@@ -290,23 +452,31 @@ class SpikeTrainBatch:
     def to_shared(self, arena: SharedArena) -> SharedBatchHandle:
         """Place this batch into ``arena`` and return its picklable handle.
 
-        The bitset form travels (8× smaller than the raster, density
-        independent of the slot count per byte) together with the CSR
-        row offsets, so attaching consumers can slice row ranges without
-        touching the payload.  Sparse batches (CSR no bigger than the
-        bitset) also export the CSR slot array, giving attachers a pure
-        view-based reconstruction.  The handle itself carries no array
+        The word-aligned bitset travels (8× smaller than the raster,
+        size independent of the spike count) together with the CSR row
+        offsets, so attaching consumers can slice row ranges without
+        touching the payload.  Sparse batches (CSR resident and no
+        bigger than the bitset) also export the CSR slot array, giving
+        attachers a pure view-based reconstruction; dense or
+        packed-primary batches ship the bitset alone and attachers
+        compute straight on it.  The handle itself carries no array
         data.
         """
-        packed = self.packbits()
+        words = self.packed_words()
+        if self._ptr is not None:
+            ptr = self._ptr
+        else:
+            ptr = np.concatenate(
+                [[0], np.cumsum(packed_kernels.row_popcounts(words))]
+            )
         values_spec = (
             arena.share_array(self._values)
-            if self._values.nbytes <= packed.nbytes
+            if self._values is not None and self._values.nbytes <= words.nbytes
             else None
         )
         return SharedBatchHandle(
-            packed=arena.share_array(packed),
-            ptr=arena.share_array(self._ptr),
+            packed=arena.share_array(words),
+            ptr=arena.share_array(ptr),
             n_samples=self._grid.n_samples,
             dt=self._grid.dt,
             values=values_spec,
@@ -322,15 +492,16 @@ class SpikeTrainBatch:
 
         Attaches the segments through the process attachment cache —
         the payload is mapped, never copied across the process boundary
-        — and materialises the requested rows.  ``rows=(lo, hi)``
+        — and wraps the requested rows.  ``rows=(lo, hi)``
         reconstructs exactly ``select_rows(range(lo, hi))`` of the
-        shared batch, which is what shard workers use; ``None``
-        materialises all rows.  Bit-identical to the source batch by
-        construction.
+        shared batch, which is what shard workers use; ``None`` wraps
+        all rows.  Bit-identical to the source batch by construction.
 
         Sparse handles reconstruct as read-only *views* into the shared
-        CSR segment (zero copies, sub-millisecond); bitset-only handles
-        unpack their row range.
+        CSR segment; bitset-only handles come back *packed-primary*,
+        their words a view of the mapped segment — workers run set
+        algebra and identification directly on the shared bitset and
+        decode nothing unless a consumer asks for indices.
         """
         ptr = attach_array(handle.ptr)
         grid = handle.grid()
@@ -342,18 +513,13 @@ class SpikeTrainBatch:
                 raise SpikeTrainError(
                     f"row range [{lo}, {hi}) outside shared batch of {n} rows"
                 )
-        row_ptr = (ptr[lo : hi + 1] - ptr[lo]).astype(np.int64)
         if handle.values is not None:
             shared_values = attach_array(handle.values)
             values = shared_values[ptr[lo] : ptr[hi]]
+            row_ptr = (ptr[lo : hi + 1] - ptr[lo]).astype(np.int64)
             return cls(values, row_ptr, grid)
-        packed = attach_array(handle.packed)[lo:hi]
-        raster = np.unpackbits(
-            np.ascontiguousarray(packed), axis=1, count=grid.n_samples
-        ).astype(bool)
-        values = np.nonzero(raster)[1].astype(np.int64)
-        raster.setflags(write=False)
-        return cls(values, row_ptr, grid, _raster=raster)
+        words = attach_array(handle.packed)
+        return cls._from_packed_words(words[lo:hi], grid, validate=False)
 
     def row(self, i: int) -> SpikeTrain:
         """Row ``i`` as a :class:`SpikeTrain`."""
@@ -361,7 +527,8 @@ class SpikeTrainBatch:
         if not (-n <= i < n):
             raise SpikeTrainError(f"row {i} out of range for {n} trains")
         i %= n
-        indices = self._values[self._ptr[i] : self._ptr[i + 1]]
+        values, ptr = self.csr()
+        indices = values[ptr[i] : ptr[i + 1]]
         return SpikeTrain._from_sorted_unique(indices, self._grid)
 
     def to_trains(self) -> List[SpikeTrain]:
@@ -369,14 +536,22 @@ class SpikeTrainBatch:
         return [self.row(i) for i in range(self.n_trains)]
 
     def select_rows(self, rows) -> "SpikeTrainBatch":
-        """A new batch holding the requested rows, in the given order."""
+        """A new batch holding the requested rows, in the given order.
+
+        Packed-primary batches stay packed (one fancy-indexed copy of
+        the selected words); CSR batches gather their slot runs in one
+        vectorised pass.
+        """
         rows = np.asarray(rows, dtype=np.int64)
+        if self._values is None:
+            return SpikeTrainBatch._from_packed_words(
+                self._packed[rows], self._grid, validate=False
+            )
         counts = self.counts()[rows]
         ptr = np.concatenate([[0], np.cumsum(counts)])
         if counts.sum():
-            values = np.concatenate(
-                [self._values[self._ptr[r] : self._ptr[r + 1]] for r in rows]
-            )
+            within = np.arange(ptr[-1]) - np.repeat(ptr[:-1], counts)
+            values = self._values[np.repeat(self._ptr[rows], counts) + within]
         else:
             values = np.empty(0, dtype=np.int64)
         return SpikeTrainBatch(values, ptr, self._grid)
@@ -393,16 +568,23 @@ class SpikeTrainBatch:
     def __eq__(self, other) -> bool:
         if not isinstance(other, SpikeTrainBatch):
             return NotImplemented
-        return (
-            self._grid == other._grid
-            and np.array_equal(self._ptr, other._ptr)
-            and np.array_equal(self._values, other._values)
+        if self._grid != other._grid:
+            return False
+        if (
+            self._values is None
+            and other._values is None
+            and self._packed.shape == other._packed.shape
+        ):
+            return bool(np.array_equal(self._packed, other._packed))
+        values, ptr = self.csr()
+        other_values, other_ptr = other.csr()
+        return np.array_equal(ptr, other_ptr) and np.array_equal(
+            values, other_values
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (self._grid, self._ptr.tobytes(), self._values.tobytes())
-        )
+        values, ptr = self.csr()
+        return hash((self._grid, ptr.tobytes(), values.tobytes()))
 
     def __repr__(self) -> str:
         return (
@@ -414,7 +596,7 @@ class SpikeTrainBatch:
     # Row-wise set algebra (vectorised)
     # ------------------------------------------------------------------
 
-    def _align(self, other: "SpikeTrainBatch") -> Tuple[np.ndarray, np.ndarray]:
+    def _check_compatible(self, other: "SpikeTrainBatch") -> None:
         if not isinstance(other, SpikeTrainBatch):
             raise SpikeTrainError(
                 f"expected SpikeTrainBatch, got {type(other).__name__}"
@@ -432,27 +614,59 @@ class SpikeTrainBatch:
                 f"cannot broadcast batches of {self.n_trains} and "
                 f"{other.n_trains} rows"
             )
-        return self.raster, other.raster
+
+    def _setop_backend(self, other: "SpikeTrainBatch") -> str:
+        """Dense-pass family for one row-wise set operation.
+
+        ``select_batch_backend`` decides from residency and combined
+        density; batch set algebra has no merge implementation, so a
+        ``"sorted"`` verdict (pinned, or sparse CSR operands) runs the
+        packed pass — the representation closest to the merge's
+        O(spikes) profile.
+        """
+        csr_ready = self._values is not None and other._values is not None
+        choice = select_batch_backend(
+            (self._values.size + other._values.size) if csr_ready else 0,
+            max(self.n_trains, other.n_trains),
+            self._grid.n_samples,
+            csr_ready=csr_ready,
+            packed_ready=(
+                self._packed is not None and other._packed is not None
+            ),
+            raster_ready=(
+                self._raster is not None or other._raster is not None
+            ),
+        )
+        return "raster" if choice == "raster" else "bitset"
+
+    def _binary_op(self, other, word_op, bool_op) -> "SpikeTrainBatch":
+        self._check_compatible(other)
+        if self._setop_backend(other) == "raster":
+            return SpikeTrainBatch.from_raster(
+                bool_op(self.raster, other.raster), self._grid, copy=False
+            )
+        result = word_op(self.packed_words(), other.packed_words())
+        return SpikeTrainBatch._from_packed_words(
+            result, self._grid, validate=False
+        )
 
     def union(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
         """Row-wise union (single-row operands broadcast)."""
-        a, b = self._align(other)
-        return SpikeTrainBatch.from_raster(a | b, self._grid, copy=False)
+        return self._binary_op(other, np.bitwise_or, np.logical_or)
 
     def intersection(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
         """Row-wise intersection (single-row operands broadcast)."""
-        a, b = self._align(other)
-        return SpikeTrainBatch.from_raster(a & b, self._grid, copy=False)
+        return self._binary_op(other, np.bitwise_and, np.logical_and)
 
     def difference(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
         """Row-wise difference (single-row operands broadcast)."""
-        a, b = self._align(other)
-        return SpikeTrainBatch.from_raster(a & ~b, self._grid, copy=False)
+        return self._binary_op(
+            other, lambda x, y: x & ~y, lambda x, y: x & ~y
+        )
 
     def symmetric_difference(self, other: "SpikeTrainBatch") -> "SpikeTrainBatch":
         """Row-wise symmetric difference (single-row operands broadcast)."""
-        a, b = self._align(other)
-        return SpikeTrainBatch.from_raster(a ^ b, self._grid, copy=False)
+        return self._binary_op(other, np.bitwise_xor, np.logical_xor)
 
     __or__ = union
     __and__ = intersection
@@ -461,21 +675,44 @@ class SpikeTrainBatch:
 
     def any_union(self) -> SpikeTrain:
         """OR across all rows: the superposition of the whole batch."""
-        return SpikeTrain._from_sorted_unique(
-            np.unique(self._values), self._grid
-        )
+        if self._values is not None:
+            return SpikeTrain._from_sorted_unique(
+                np.unique(self._values), self._grid
+            )
+        merged = np.bitwise_or.reduce(self._packed, axis=0)
+        indices = packed_kernels.unpack_indices(merged.view(np.uint8))
+        return SpikeTrain._from_sorted_unique(indices, self._grid)
 
     def overlap_counts(self, other: "SpikeTrainBatch") -> np.ndarray:
-        """Per-row coincident-slot counts with ``other`` (broadcasting)."""
-        a, b = self._align(other)
-        return np.count_nonzero(a & b, axis=1)
+        """Per-row coincident-slot counts with ``other`` (broadcasting).
+
+        A popcount over the ANDed packed words — or one boolean pass
+        when dense rasters are already resident on both sides.
+        """
+        self._check_compatible(other)
+        if self._raster is not None and other._raster is not None:
+            return np.count_nonzero(self._raster & other._raster, axis=1)
+        return packed_kernels.coincidence_counts(
+            self.packed_words(), other.packed_words()
+        )
 
     def pairwise_overlap_matrix(self) -> np.ndarray:
-        """``(N, N)`` matrix of shared-slot counts between all row pairs."""
-        dense = self.raster.astype(np.int64)
-        return dense @ dense.T
+        """``(N, N)`` matrix of shared-slot counts between all row pairs.
+
+        Chunked popcounts over the packed words — 1/8 the memory
+        traffic of the dense ``raster @ raster.T`` Gram matrix it
+        replaces, with no integer-matmul blowup.
+        """
+        words = self.packed_words()
+        return packed_kernels.pairwise_counts(words, words)
 
     def is_mutually_orthogonal(self) -> bool:
         """True when no two rows share a spike slot."""
-        occupancy = np.bincount(self._values, minlength=self._grid.n_samples)
-        return bool(self._values.size == 0 or occupancy.max() <= 1)
+        if self._values is not None:
+            occupancy = np.bincount(
+                self._values, minlength=self._grid.n_samples
+            )
+            return bool(self._values.size == 0 or occupancy.max() <= 1)
+        merged = np.bitwise_or.reduce(self._packed, axis=0)
+        union_bits = int(packed_kernels.popcount(merged).sum(dtype=np.int64))
+        return union_bits == self.total_spikes

@@ -32,6 +32,7 @@ from typing import Iterator, Optional, Union
 import numpy as np
 
 from ..errors import ConfigurationError
+from . import packed as packed_kernels
 
 __all__ = [
     "Backend",
@@ -41,7 +42,9 @@ __all__ = [
     "RASTER_DENSITY_THRESHOLD",
     "available_backends",
     "get_backend",
+    "pinned_backend_name",
     "select_backend",
+    "select_batch_backend",
     "use_backend",
     "set_default_backend",
 ]
@@ -136,25 +139,26 @@ class RasterBackend(Backend):
 
 
 class BitsetBackend(Backend):
-    """``np.packbits`` set algebra: eight slots per byte.
+    """Packed-word set algebra: eight slots per byte, never unpacked.
 
-    The elementwise pass runs over ``ceil(T / 8)`` bytes with native
-    bitwise instructions, trading pack/unpack overhead for an 8× denser
-    inner loop.  Bit-identical to the other backends by construction.
+    Operands scatter straight into packbits bytes (O(spikes), no dense
+    raster), the elementwise pass runs over ``ceil(T / 8)`` bytes with
+    native bitwise instructions, and the result decodes only its
+    *nonzero* bytes back to indices
+    (:func:`~repro.backend.packed.unpack_indices`) — the whole
+    operation touches an eighth of the raster backend's bytes.
+    Bit-identical to the other backends by construction.
     """
 
     name = "bitset"
 
     @staticmethod
     def _pack(indices: np.ndarray, n_samples: int) -> np.ndarray:
-        raster = np.zeros(n_samples, dtype=bool)
-        raster[indices] = True
-        return np.packbits(raster)
+        return packed_kernels.pack_indices(indices, n_samples)
 
     def _apply(self, op, a, b, n_samples):
-        packed = op(self._pack(a, n_samples), self._pack(b, n_samples))
-        bits = np.unpackbits(packed, count=n_samples)
-        return np.flatnonzero(bits).astype(np.int64, copy=False)
+        result = op(self._pack(a, n_samples), self._pack(b, n_samples))
+        return packed_kernels.unpack_indices(result)
 
     def union(self, a: np.ndarray, b: np.ndarray, n_samples: int) -> np.ndarray:
         return self._apply(np.bitwise_or, a, b, n_samples)
@@ -211,6 +215,67 @@ def select_backend(total_spikes: int, n_samples: int) -> Backend:
     if n_samples > 0 and total_spikes >= RASTER_DENSITY_THRESHOLD * n_samples:
         return _BACKENDS["raster"]
     return _BACKENDS["sorted"]
+
+
+def pinned_backend_name() -> Optional[str]:
+    """Name of the pinned backend, or None under auto-selection.
+
+    Batch fast-path routing consults this so a ``use_backend("bitset")``
+    pin forces the packed kernels (and any other pin forces the CSR /
+    raster paths) — which is how the equivalence tests drive every
+    implementation over identical inputs.
+    """
+    return None if _forced is None else _forced.name
+
+
+def select_batch_backend(
+    total_spikes: int,
+    n_rows: int,
+    n_samples: int,
+    *,
+    csr_ready: bool = False,
+    packed_ready: bool = False,
+    raster_ready: bool = False,
+) -> str:
+    """Representation choice (``"sorted"``/``"raster"``/``"bitset"``) for one batch op.
+
+    The batched analogue of :func:`select_backend`, consulted by
+    :class:`~repro.backend.batch.SpikeTrainBatch` set algebra and the
+    batched receivers.  ``"sorted"`` means *walk the CSR* (gathers and
+    merges over the index arrays), ``"raster"`` the dense boolean pass,
+    ``"bitset"`` the packed-word kernels of
+    :mod:`~repro.backend.packed`.  The policy, measured by
+    ``benchmarks/bench_packed_kernels.py``:
+
+    * a pinned backend always wins (``use_backend``); pinning
+      ``"sorted"``/``"raster"`` keeps the pre-packed code paths, which
+      is how the equivalence tests drive every implementation;
+    * a materialised dense raster on an operand makes the raster pass
+      cheapest — its scatter is already paid;
+    * a batch whose packed words are resident but whose CSR is not
+      (shared-memory attachments, packed set-op results) stays packed:
+      decoding first would touch 8× the bytes the operation needs;
+    * with only the CSR resident, sparse batches (density below
+      :data:`RASTER_DENSITY_THRESHOLD`) walk it — O(total spikes),
+      independent of the grid — and dense batches pack: the packed
+      pass plus the O(spikes) pack scatter undercuts per-spike gather
+      chains once most slots are occupied, and the result's CSR
+      decodes lazily only if someone asks for indices.
+
+    Callers without an implementation for the returned family fall to
+    their nearest equivalent (batch set algebra, which has no merge
+    form, treats ``"sorted"`` as ``"bitset"``).
+    """
+    forced = pinned_backend_name()
+    if forced is not None:
+        return forced
+    if raster_ready:
+        return "raster"
+    if not csr_ready:
+        return "bitset"
+    if total_spikes < RASTER_DENSITY_THRESHOLD * n_rows * n_samples:
+        return "sorted"
+    return "bitset"
 
 
 def set_default_backend(name: Optional[Union[str, Backend]]) -> None:

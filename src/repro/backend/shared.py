@@ -23,7 +23,17 @@ Three pieces:
   :class:`AttachmentCache`: the first task touching a segment maps it,
   later tasks of the same run reuse the mapping ("attach once per
   worker").  A task from a *newer* arena evicts the previous run's
-  mappings, bounding resident memory across runs.
+  mappings, and the runner additionally broadcasts an explicit
+  release to every worker at the end of each shared run
+  (:meth:`repro.pipeline.runner.Runner.release_worker_attachments`),
+  so finished arenas free immediately instead of waiting for the next
+  run's tasks.
+
+Attached batch payloads are the *packed words* of
+:class:`~repro.backend.batch.SpikeTrainBatch` — workers wrap their row
+range as a packed-primary view of the mapped segment and run the
+packed kernels (:mod:`repro.backend.packed`) directly on it, so a
+shard's compute never copies, unpacks, or re-rasters the payload.
 
 ``HAVE_SHARED_MEMORY`` is False on interpreters without
 :mod:`multiprocessing.shared_memory`; callers (the runner) fall back to

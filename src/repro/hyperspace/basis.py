@@ -80,11 +80,21 @@ DEFAULT_ENCODE_CACHE_BYTES = 64 * 1024 * 1024
 
 
 def _cache_cost(value: object) -> int:
-    """Approximate resident bytes of a cached encode result."""
+    """Upper-bound resident bytes of a cached encode result.
+
+    Cached batches are weighed at their *worst-case* residency — CSR +
+    packed words + dense raster — not what happens to be materialised
+    at insert time: a consumer pulling ``.raster`` or ``.csr()`` on a
+    cached packed-primary batch materialises those forms in place on
+    the shared object, and the byte budget must still bound them.
+    ``total_spikes`` is a popcount on packed-primary batches, so the
+    weighing itself forces no decode.
+    """
     if isinstance(value, SpikeTrainBatch):
-        values, ptr = value.csr()
-        # from_raster-built batches already hold their dense raster.
-        return values.nbytes + ptr.nbytes + value.n_trains * value.grid.n_samples
+        n_rows, n_samples = value.n_trains, value.grid.n_samples
+        csr_bytes = value.total_spikes * 8 + (n_rows + 1) * 8
+        packed_bytes = n_rows * ((n_samples + 63) // 64) * 8
+        return csr_bytes + packed_bytes + n_rows * n_samples + 64
     if isinstance(value, SpikeTrain):
         return value.indices.nbytes + 64
     return 64
@@ -198,12 +208,14 @@ class HyperspaceBasis:
         ``__init__`` to skip orthogonality re-verification).
         """
         self._label_to_index = {label: i for i, label in enumerate(self._labels)}
-        # Cached projections: the owner vector and the element batch
-        # build lazily on first use; encode results memoise in the LRU.
+        # Cached projections: the owner vector, the element batch and
+        # the owned-slot bitset build lazily on first use; encode
+        # results memoise in the LRU.
         self._owner_vector: Optional[np.ndarray] = None
         self._owner_builds = 0
         self._owner_hits = 0
         self._batch: Optional[SpikeTrainBatch] = None
+        self._owned_words: Optional[np.ndarray] = None
         self._encode_cache = _LruCache(encode_cache_size, encode_cache_bytes)
         self._version = 0
 
@@ -326,6 +338,31 @@ class HyperspaceBasis:
             self._batch = SpikeTrainBatch.from_trains(self._trains)
         return self._batch
 
+    def packed_elements(self) -> np.ndarray:
+        """The element trains as packed words ``(M, ceil(n_samples / 64))``.
+
+        The reference side of every packed-kernel receiver: coincidence
+        against element ``m`` is one AND against row ``m``.  Cached via
+        the element batch.
+        """
+        return self.as_batch().packed_words()
+
+    @property
+    def owned_words(self) -> np.ndarray:
+        """Packed bitset of every slot owned by *any* element (cached).
+
+        The union of the element rows — orthogonality makes the rows
+        disjoint, so ``wire & owned_words`` keeps exactly the wire's
+        coinciding spikes.  This is the packed counterpart of
+        :attr:`owner_vector` (1/8 of its footprint, one word per 64
+        slots) and what the packed identification paths scan.
+        """
+        if self._owned_words is None:
+            merged = np.bitwise_or.reduce(self.packed_elements(), axis=0)
+            merged.setflags(write=False)
+            self._owned_words = merged
+        return self._owned_words
+
     @property
     def version(self) -> int:
         """Monotone counter, bumped on every mutation/invalidation.
@@ -418,15 +455,20 @@ class HyperspaceBasis:
     def _encode_batch_uncached(
         self, selections: Tuple[Tuple[int, ...], ...]
     ) -> SpikeTrainBatch:
-        member_mask = np.zeros((len(selections), self.size), dtype=bool)
+        member_mask = np.zeros((len(selections), self.size), dtype=np.uint8)
         for k, indices in enumerate(selections):
-            member_mask[k, list(indices)] = True
-        # Orthogonality makes the per-slot member count 0/1, so a uint8
-        # matmul against the element raster cannot overflow.
-        element_raster = self.as_batch().raster
-        raster = member_mask.astype(np.uint8) @ element_raster.astype(np.uint8)
-        return SpikeTrainBatch.from_raster(
-            raster.astype(bool), self._grid, copy=False
+            member_mask[k, list(indices)] = 1
+        # One member-mask × packed-element product, 1/8 the bytes of
+        # the raster matmul it replaces.  Orthogonality makes the
+        # element rows' bits disjoint, so the per-byte sums are their
+        # OR and cannot overflow; the result is a clean packed batch
+        # whose CSR decodes lazily only if someone asks for indices.
+        element_bytes = self.packed_elements().view(np.uint8)
+        packed_rows = member_mask @ element_bytes
+        return SpikeTrainBatch._from_packed_words(
+            np.ascontiguousarray(packed_rows).view(np.uint64),
+            self._grid,
+            validate=False,
         )
 
     def owner_of_slot(self, slot: int) -> Optional[int]:
@@ -504,6 +546,7 @@ class HyperspaceBasis:
         """
         self._owner_vector = None
         self._batch = None
+        self._owned_words = None
         self._encode_cache.clear()
         self._version += 1
 

@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import packed as packed_kernels
 from ..backend.batch import SpikeTrainBatch
 from ..errors import HyperspaceError
 from ..spikes.train import SpikeTrain
@@ -133,13 +134,17 @@ def decode_superposition_batch(
     Vectorised counterpart of :func:`decode_superposition`: one gather
     through the basis owner vector classifies the concatenated spikes
     of all wires.  With ``strict`` any foreign spike raises, naming the
-    offending wires.
+    offending wires.  Packed-primary batches decode on the bitset
+    (:func:`_decode_batch_packed`) — the foreign-spike check and the
+    member readout are word-parallel and never unpack the wires.
     """
     if batch.grid != basis.grid:
         raise HyperspaceError(
             "batch lives on a different grid than the basis: "
             f"{batch.grid.describe()} vs {basis.grid.describe()}"
         )
+    if batch.receiver_backend() == "bitset":
+        return _decode_batch_packed(basis, batch, strict)
     values, ptr = batch.csr()
     owners = basis.owners_of(values)
     row_of = np.repeat(np.arange(batch.n_trains), np.diff(ptr))
@@ -158,6 +163,38 @@ def decode_superposition_batch(
     for row, element in pairs:
         members[int(row)].add(int(element))
     return [Superposition(frozenset(m)) for m in members]
+
+
+def _decode_batch_packed(
+    basis: HyperspaceBasis,
+    batch: SpikeTrainBatch,
+    strict: bool,
+) -> List[Superposition]:
+    """Member-set recovery straight on the packed words.
+
+    A wire's foreign spikes are ``wire & ~owned`` (word-parallel); its
+    members come from decoding only the *coinciding* spikes and
+    scattering their owners into the membership matrix.  Bit-identical
+    to the CSR path, including the strict-mode error.
+    """
+    words = batch.packed_words()
+    n = batch.n_trains
+    hits = words & basis.owned_words
+    if strict:
+        foreign_rows = np.flatnonzero((hits != words).any(axis=1))
+        if foreign_rows.size:
+            raise HyperspaceError(
+                f"wire(s) {foreign_rows.tolist()} carry spike(s) in slots "
+                "owned by no basis element"
+            )
+    row_of, values = packed_kernels.unpack_coords(hits)
+    owners = basis.owner_vector[values]
+    membership = np.zeros((n, basis.size), dtype=bool)
+    membership[row_of, owners] = True
+    return [
+        Superposition(frozenset(np.flatnonzero(row).tolist()))
+        for row in membership
+    ]
 
 
 def first_detection_slots(

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..backend import packed as packed_kernels
 from ..backend.batch import SpikeTrainBatch
 from ..errors import IdentificationError
 from ..hyperspace.basis import HyperspaceBasis
@@ -292,12 +293,19 @@ class CoincidenceCorrelator:
         ``missing`` selects what happens to wires with no coincidence:
         ``"raise"`` (default) raises :class:`IdentificationError` naming
         the rows, ``"none"`` marks them -1 in the result arrays.
+
+        Packed-primary batches (shared-memory attachments, packed
+        set-op results) never decode: the scan runs on the bitset
+        itself (:meth:`_identify_batch_packed`), bit-identical by
+        contract.
         """
         if missing not in ("raise", "none"):
             raise IdentificationError(
                 f"missing must be 'raise' or 'none', got {missing!r}"
             )
         self._check_batch_grid(batch)
+        if batch.receiver_backend() == "bitset":
+            return self._identify_batch_packed(batch, start_slot, missing)
         values, ptr = batch.csr()
         n = batch.n_trains
         owners = self.basis.owner_vector[values]
@@ -348,6 +356,70 @@ class CoincidenceCorrelator:
             labels=self.basis.labels,
         )
 
+    def _identify_batch_packed(
+        self, batch: SpikeTrainBatch, start_slot: int, missing: str
+    ) -> BatchIdentification:
+        """First-coincidence identification straight on the packed words.
+
+        ``wire & owned_words`` keeps exactly the coinciding spikes (the
+        basis rows are disjoint), the decision slot is the first set
+        bit per row, and ``spikes_inspected`` is a popcount prefix sum
+        over the observation window — no CSR decode, no raster, O(N ×
+        n_words) touched bytes.  Bit-identical to the CSR path row for
+        row, including the ``missing``/``start_slot`` semantics.
+        """
+        words = batch.packed_words()
+        n = batch.n_trains
+        hits = words & self.basis.owned_words
+        if start_slot > 0:
+            packed_kernels.clear_slots_before(hits, start_slot)
+        decision = packed_kernels.first_set_slots(hits)
+        missed = decision < 0
+        if missing == "raise" and missed.any():
+            raise IdentificationError(
+                f"no coincidence between wire(s) "
+                f"{np.flatnonzero(missed).tolist()} and any of the "
+                f"{self.basis.size} basis elements"
+            )
+        del hits
+        # Spikes inspected = wire spikes in [start_slot, decision] =
+        # bits≤decision − bits≤start−1, both from one popcount prefix
+        # sum over the *unmodified* words (int32: row totals are
+        # bounded by the grid length) — no windowed copy of the batch.
+        safe = np.where(missed, 0, decision)
+        rows = np.arange(n)
+        cumulative = np.cumsum(
+            packed_kernels.popcount(words), axis=1, dtype=np.int32
+        )
+
+        def bits_through(slots):
+            """Per-row count of wire spikes in ``[0, slots]`` (int64)."""
+            word_index = slots >> 6
+            whole = np.where(
+                word_index > 0,
+                cumulative[rows, np.maximum(word_index - 1, 0)],
+                0,
+            ).astype(np.int64)
+            partial = words[rows, word_index] & packed_kernels.le_word_masks(
+                slots
+            )
+            return whole + packed_kernels.popcount(partial)
+
+        inspected = bits_through(safe)
+        if start_slot > 0:
+            inspected -= bits_through(
+                np.full(n, min(start_slot, self.basis.grid.n_samples) - 1)
+            )
+        elements = np.where(
+            missed, -1, self.basis.owner_vector[safe].astype(np.int64)
+        )
+        return BatchIdentification(
+            elements=elements,
+            decision_slots=np.where(missed, -1, safe),
+            spikes_inspected=np.where(missed, 0, inspected),
+            labels=self.basis.labels,
+        )
+
     def detect_members_batch(
         self,
         batch: SpikeTrainBatch,
@@ -357,10 +429,15 @@ class CoincidenceCorrelator:
 
         Returns the full ``(N, M)`` membership matrix plus earliest
         detection slots; :meth:`BatchDetection.as_dicts` recovers the
-        per-wire mappings of :meth:`detect_members` exactly.
+        per-wire mappings of :meth:`detect_members` exactly.  Packed-
+        primary batches route through the packed kernels
+        (:meth:`_detect_members_batch_packed`) and never decode the
+        non-coinciding spikes.
         """
         self._check_batch_grid(batch)
         limit = self.basis.grid.n_samples if until_slot is None else until_slot
+        if batch.receiver_backend() == "bitset":
+            return self._detect_members_batch_packed(batch, limit)
         values, ptr = batch.csr()
         n, m = batch.n_trains, self.basis.size
         owners = self.basis.owner_vector[values]
@@ -373,6 +450,39 @@ class CoincidenceCorrelator:
         # each (wire, element) pair lands last and wins.
         reverse = positions[::-1]
         first_slots[row_of[reverse], owners[reverse]] = values[reverse]
+        return BatchDetection(
+            membership=first_slots >= 0, first_slots=first_slots
+        )
+
+    def _detect_members_batch_packed(
+        self, batch: SpikeTrainBatch, limit: int
+    ) -> BatchDetection:
+        """Membership readout straight on the packed words.
+
+        ``wire & owned_words`` (windowed to ``[0, limit)``) isolates
+        the coinciding spikes on the bitset; only *those* decode —
+        O(coincident spikes), never the full wires — and feed the same
+        earliest-wins reverse scatter as the CSR path, so the result is
+        bit-identical.  The rows are processed in chunks, bounding the
+        decode intermediates to a fixed byte budget however large the
+        batch.
+        """
+        n, m = batch.n_trains, self.basis.size
+        words = batch.packed_words()
+        first_slots = np.full((n, m), -1, dtype=np.int64)
+        step = max(1, (1 << 18) // max(1, words.shape[1] * 8))
+        for lo in range(0, n, step):
+            hits = words[lo : lo + step] & self.basis.owned_words
+            if limit < self.basis.grid.n_samples:
+                packed_kernels.clear_slots_from(hits, limit)
+            row_of, values = packed_kernels.unpack_coords(hits)
+            owners = self.basis.owner_vector[values]
+            # Scatter in reverse slot order so the earliest occurrence
+            # of each (wire, element) pair lands last and wins.  The
+            # reversed operands must be materialised: fancy assignment
+            # through negative-stride views may iterate in memory order.
+            reverse = np.arange(values.size - 1, -1, -1)
+            first_slots[row_of[reverse] + lo, owners[reverse]] = values[reverse]
         return BatchDetection(
             membership=first_slots >= 0, first_slots=first_slots
         )

@@ -42,7 +42,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..backend.shared import HAVE_SHARED_MEMORY, SharedArena
+from ..backend.shared import HAVE_SHARED_MEMORY, SharedArena, process_cache
 from ..errors import PipelineError
 from . import registry
 from .serialize import to_jsonable
@@ -54,6 +54,16 @@ __all__ = ["Runner", "RunReport"]
 #: missing /dev/shm): the runner then stops retrying the shared path
 #: and uses the rebuild plan for the rest of the process lifetime.
 _SHARED_DISPATCH_BROKEN = False
+
+#: Worker-side copy of the release barrier (set by the pool
+#: initializer).  Broadcast tasks rendezvous on it so every worker of
+#: the pool runs exactly one task — a plain ``pool.map`` gives no
+#: distribution guarantee otherwise.
+_RELEASE_BARRIER = None
+
+#: How long a broadcast task waits for its siblings before giving up
+#: (a dead worker must degrade the broadcast, not deadlock the run).
+_BARRIER_TIMEOUT_S = 30.0
 
 
 @dataclass
@@ -117,16 +127,71 @@ def _start_resource_tracker() -> None:
         pass
 
 
-def _worker_init() -> None:
+def _worker_init(release_barrier=None) -> None:
     """Pool initializer: run once per worker at fork/spawn time.
 
     Loads the registry so shard tasks resolve specs locally (a no-op
-    under fork, required under spawn).  Shared-segment attachment is
+    under fork, required under spawn) and stashes the runner's release
+    barrier for end-of-run broadcasts.  Shared-segment attachment is
     *lazy* — the per-process cache in :mod:`repro.backend.shared`
     attaches each segment on the worker's first task that needs it and
     reuses the mapping for the rest of the run.
     """
+    global _RELEASE_BARRIER
+    _RELEASE_BARRIER = release_barrier
     registry.ensure_loaded()
+
+
+def _rendezvous() -> None:
+    """Block until every pool worker reached its broadcast task.
+
+    The barrier is what turns ``pool.map`` into a true broadcast: a
+    worker that finished its task early parks here instead of stealing
+    a sibling's, so all ``jobs`` tasks land on distinct workers.  A
+    broken or timed-out barrier (dead worker) is swallowed — the
+    broadcast then covers the workers that did run, and the per-task
+    arena-token eviction still covers the rest.
+    """
+    if _RELEASE_BARRIER is not None:
+        try:
+            _RELEASE_BARRIER.wait(timeout=_BARRIER_TIMEOUT_S)
+        except Exception:  # pragma: no cover - dead-worker degradation
+            pass
+
+
+def _release_worker(_index: int) -> int:
+    """Broadcast target: drop this worker's shared-memory attachments.
+
+    Returns the number of mappings still held afterwards (0 unless a
+    view escaped a task), so the caller can observe worker residency.
+    """
+    cache = process_cache()
+    cache.release()
+    _rendezvous()
+    return len(cache)
+
+
+def _attachment_count_worker(_index: int) -> int:
+    """Broadcast target: report this worker's resident mapping count."""
+    count = len(process_cache())
+    _rendezvous()
+    return count
+
+
+def _broadcast_release(pool, n_workers: int, barrier) -> List[int]:
+    """Run :func:`_release_worker` once on every pool worker.
+
+    Called at the end of each shared-dispatch run: without it, workers
+    pin the finished run's attachments until a task from a *newer*
+    arena happens to arrive.  Returns the per-worker residual counts.
+    """
+    counts = pool.map(_release_worker, range(n_workers), chunksize=1)
+    if barrier is not None:
+        try:
+            barrier.reset()
+        except Exception:  # pragma: no cover - broken-barrier cleanup
+            pass
+    return counts
 
 
 def _shard_worker(task: Tuple[str, Any]) -> Any:
@@ -148,6 +213,7 @@ def _execute_record(
     overrides: Optional[Dict[str, Any]],
     jobs: int,
     pool_factory=None,
+    release=None,
 ) -> Tuple[RunRecord, Any]:
     """Execute one experiment and build its record.
 
@@ -162,7 +228,9 @@ def _execute_record(
     used_seed = getattr(config, "seed", None)
     started = time.perf_counter()
     try:
-        result, n_shards = _execute_spec(spec, config, jobs, pool_factory)
+        result, n_shards = _execute_spec(
+            spec, config, jobs, pool_factory, release
+        )
         wall = time.perf_counter() - started
         record = RunRecord(
             experiment=name,
@@ -223,14 +291,19 @@ def _shared_tasks(spec, config) -> Optional[Tuple[SharedArena, List[Any]]]:
     return arena, tasks
 
 
-def _execute_spec(spec, config, jobs: int, pool_factory) -> Tuple[Any, int]:
+def _execute_spec(
+    spec, config, jobs: int, pool_factory, release=None
+) -> Tuple[Any, int]:
     """Run one spec, sharding across the pool when possible.
 
     Returns ``(result, n_shards)`` with ``n_shards == 0`` for
     unsharded execution.  ``pool_factory`` lazily yields the runner's
     persistent worker pool; it is only invoked when a multi-task shard
     plan actually dispatches, so unshardable and single-shard runs
-    never pay the fork (None forces in-process execution).
+    never pay the fork (None forces in-process execution).  ``release``
+    is the runner's end-of-run broadcast: invoked after a
+    shared-dispatch run so workers drop their attachments immediately
+    instead of pinning them until the next run's tasks arrive.
 
     In-process execution goes through ``spec.run`` — the authoritative
     serial driver, free to share one workload across its shards (the
@@ -261,8 +334,12 @@ def _execute_spec(spec, config, jobs: int, pool_factory) -> Tuple[Any, int]:
                 )
             finally:
                 # Unlink on every exit path: a worker raising mid-shard
-                # must not leak /dev/shm segments.
+                # must not leak /dev/shm segments — then tell every
+                # worker to drop its attachments so the pages free now
+                # rather than at the next run's first task.
                 arena.close()
+                if release is not None:
+                    release()
             return spec.merge(config, parts), len(shared_tasks)
         parts = pool.map(_shard_worker, [(spec.name, task) for task in tasks])
         return spec.merge(config, parts), len(tasks)
@@ -299,6 +376,7 @@ class Runner:
         self.store = store
         self._pool = None
         self._pool_finalizer = None
+        self._release_barrier = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -309,15 +387,35 @@ class Runner:
         if self.jobs < 2:
             return None
         if self._pool is None:
+            context = _mp_context()
             registry.ensure_loaded()  # fork inherits a populated registry
             _start_resource_tracker()  # before fork: workers must share it
-            self._pool = _mp_context().Pool(
-                self.jobs, initializer=_worker_init
+            self._release_barrier = context.Barrier(self.jobs)
+            self._pool = context.Pool(
+                self.jobs,
+                initializer=_worker_init,
+                initargs=(self._release_barrier,),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
             )
         return self._pool
+
+    def release_worker_attachments(self) -> None:
+        """Broadcast an attachment release to every live pool worker.
+
+        Runs automatically at the end of each shared-dispatch run;
+        callable directly after out-of-band shared work.  A no-op
+        without a live pool.  Best-effort: a broken pool must not turn
+        a finished run into a failure (the per-task arena-token
+        eviction still bounds worker memory if the broadcast degrades).
+        """
+        if self._pool is None:
+            return
+        try:
+            _broadcast_release(self._pool, self.jobs, self._release_barrier)
+        except Exception:  # pragma: no cover - dying pool mid-teardown
+            pass
 
     def close(self) -> None:
         """Tear down the worker pool (idempotent; runs stay archived)."""
@@ -325,6 +423,7 @@ class Runner:
             self._pool_finalizer()
             self._pool_finalizer = None
         self._pool = None
+        self._release_barrier = None
 
     def __enter__(self) -> "Runner":
         return self
@@ -344,7 +443,12 @@ class Runner:
     ) -> RunReport:
         """Run one experiment (sharded across the pool when it can be)."""
         record, result = _execute_record(
-            name, seed, overrides, self.jobs, self._ensure_pool
+            name,
+            seed,
+            overrides,
+            self.jobs,
+            self._ensure_pool,
+            release=self.release_worker_attachments,
         )
         return self._finalize(record, result)
 
@@ -369,7 +473,10 @@ class Runner:
         else:
             pairs = [
                 _execute_record(
-                    *task, jobs=self.jobs, pool_factory=self._ensure_pool
+                    *task,
+                    jobs=self.jobs,
+                    pool_factory=self._ensure_pool,
+                    release=self.release_worker_attachments,
                 )
                 for task in tasks
             ]

@@ -235,6 +235,72 @@ class TestBatchedSearch:
             assert got == database.query(state, start_slot=start)
 
 
+class TestPackedReceiverEquivalence:
+    """Every batched receiver, pinned to each backend, bit for bit.
+
+    The packed kernels (``use_backend("bitset")``) and the CSR walks
+    (``"sorted"``/``"raster"`` pins) must agree on identification,
+    membership and decode over randomized wires — including wires with
+    injected foreign spikes.
+    """
+
+    @pytest.mark.parametrize("backend", ["sorted", "raster", "bitset"])
+    def test_identify_batch_all_backends(self, rng, basis, backend):
+        correlator = CoincidenceCorrelator(basis)
+        wires = random_wires(rng, basis, 24)
+        batch = SpikeTrainBatch.from_trains(wires)
+        start = int(rng.integers(0, basis.grid.n_samples // 2))
+        reference = correlator.identify_batch(
+            batch, start_slot=start, missing="none"
+        ).results()
+        with use_backend(backend):
+            pinned = correlator.identify_batch(
+                batch, start_slot=start, missing="none"
+            ).results()
+        assert pinned == reference
+
+    @pytest.mark.parametrize("backend", ["sorted", "raster", "bitset"])
+    def test_detect_members_batch_all_backends(self, rng, basis, backend):
+        correlator = CoincidenceCorrelator(basis)
+        batch = SpikeTrainBatch.from_trains(random_wires(rng, basis, 12))
+        limit = int(rng.integers(1, basis.grid.n_samples))
+        reference = correlator.detect_members_batch(batch, until_slot=limit)
+        with use_backend(backend):
+            pinned = correlator.detect_members_batch(batch, until_slot=limit)
+        assert np.array_equal(pinned.first_slots, reference.first_slots)
+
+    def test_packed_primary_receivers_never_decode(self, rng, basis):
+        """A packed-primary batch is identified and decoded on the
+        bitset itself; the CSR must stay unmaterialised throughout."""
+        correlator = CoincidenceCorrelator(basis)
+        wires = [basis.encode(int(rng.integers(basis.size))) for _ in range(16)]
+        csr_batch = SpikeTrainBatch.from_trains(wires)
+        primary = SpikeTrainBatch.from_packed(
+            csr_batch.packbits(), csr_batch.grid
+        )
+        identified = correlator.identify_batch(primary)
+        members = correlator.detect_members_batch(primary)
+        decoded = decode_superposition_batch(basis, primary)
+        assert not primary.csr_materialised
+        assert identified.results() == correlator.identify_batch(
+            csr_batch
+        ).results()
+        reference = correlator.detect_members_batch(csr_batch)
+        assert np.array_equal(members.first_slots, reference.first_slots)
+        assert decoded == decode_superposition_batch(basis, csr_batch)
+
+    def test_encode_batch_stays_packed_and_matches_scalar(self, rng, basis):
+        selections = [
+            rng.choice(basis.size, size=int(rng.integers(0, 4)), replace=False).tolist()
+            for _unused in range(8)
+        ]
+        batch = basis.encode_batch(selections)
+        assert batch.packed_materialised and not batch.csr_materialised
+        assert batch.to_trains() == [
+            basis.encode_set(keys) for keys in selections
+        ]
+
+
 class TestOrthogonatorBatchOutputs:
     def test_demux_transform_batch_matches(self, rng):
         grid = SimulationGrid(n_samples=2048, dt=1e-12)

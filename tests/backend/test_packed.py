@@ -1,0 +1,393 @@
+"""Property tests for the packed-word kernel layer.
+
+The packed kernels' contract is bit-identity with the raster and
+sorted-merge implementations on *any* grid length — in particular the
+ragged tails, where ``n_samples`` is not a multiple of 8 (partial final
+byte) or of 64 (partial final word) and correctness hinges on the
+tail-bit masking.  These tests randomize densities over a grid-length
+sweep chosen to hit every alignment class, and exercise both popcount
+implementations (``np.bitwise_count`` and the 16-bit LUT) explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import SpikeTrainBatch, packed, use_backend
+from repro.errors import SpikeTrainError
+from repro.hyperspace.basis import HyperspaceBasis
+from repro.hyperspace.superposition import decode_superposition_batch
+from repro.logic.correlator import CoincidenceCorrelator
+from repro.orthogonator.demux import DemuxOrthogonator
+from repro.spikes.train import SpikeTrain
+from repro.units import SimulationGrid
+
+#: Grid lengths covering every tail-alignment class: multiples of 64,
+#: multiples of 8 only, and arbitrary ragged lengths (including a
+#: single-slot grid and sub-byte/sub-word tails).
+RAGGED_LENGTHS = [1, 5, 8, 9, 63, 64, 65, 120, 127, 128, 129, 1000, 4097]
+
+DENSITIES = [0.0, 0.03, 0.3, 0.97]
+
+
+def _random_batch(rng, n_trains, n_samples, density):
+    grid = SimulationGrid(n_samples=n_samples, dt=1e-12)
+    raster = rng.random((n_trains, n_samples)) < density
+    return SpikeTrainBatch.from_raster(raster, grid), raster
+
+
+@pytest.fixture(params=[0, 1, 2])
+def rng(request):
+    return np.random.default_rng(request.param)
+
+
+class TestPopcountImplementations:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.uint64])
+    def test_lut_matches_native_when_available(self, rng, dtype):
+        if not packed.HAVE_BITWISE_COUNT:
+            pytest.skip("np.bitwise_count unavailable; LUT is the only impl")
+        info = np.iinfo(dtype)
+        values = rng.integers(0, info.max, size=(13, 17), dtype=dtype)
+        assert np.array_equal(
+            packed._popcount_lut(values), packed._popcount_native(values)
+        )
+
+    def test_lut_against_python_bit_count(self, rng):
+        values = rng.integers(0, 2**64 - 1, size=64, dtype=np.uint64)
+        expected = np.array([int(v).bit_count() for v in values])
+        assert np.array_equal(packed._popcount_lut(values), expected)
+
+    def test_lut_on_noncontiguous_input(self, rng):
+        values = rng.integers(0, 2**64 - 1, size=(8, 8), dtype=np.uint64)
+        view = values[:, ::2]
+        expected = np.array(
+            [[int(v).bit_count() for v in row] for row in view]
+        )
+        assert np.array_equal(packed._popcount_lut(view), expected)
+
+    def test_active_impl_reported(self):
+        assert packed.popcount_impl() in ("bitwise_count", "lut16")
+
+
+class TestRaggedPackRoundTrip:
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_pack_rows_matches_packbits(self, rng, n_samples, density):
+        raster = rng.random((4, n_samples)) < density
+        rows, cols = np.nonzero(raster)
+        ptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(rows, minlength=4))]
+        )
+        words = packed.pack_rows(cols, ptr, n_samples)
+        assert packed.check_tail_clean(words, n_samples)
+        as_bytes = words.view(np.uint8).reshape(4, -1)
+        n_bytes = packed.n_packed_bytes(n_samples)
+        assert np.array_equal(
+            as_bytes[:, :n_bytes], np.packbits(raster, axis=1)
+        )
+        assert not as_bytes[:, n_bytes:].any()  # zero padding
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_unpack_rows_inverts_pack_rows(self, rng, n_samples, density):
+        raster = rng.random((5, n_samples)) < density
+        rows, cols = np.nonzero(raster)
+        ptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(rows, minlength=5))]
+        )
+        values, back_ptr = packed.unpack_rows(
+            packed.pack_rows(cols, ptr, n_samples)
+        )
+        assert np.array_equal(values, cols)
+        assert np.array_equal(back_ptr, ptr)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_unpack_coords_matches_nonzero(self, rng, n_samples, density):
+        raster = rng.random((5, n_samples)) < density
+        exp_rows, exp_cols = np.nonzero(raster)
+        ptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(exp_rows, minlength=5))]
+        )
+        rows, slots = packed.unpack_coords(
+            packed.pack_rows(exp_cols, ptr, n_samples)
+        )
+        assert np.array_equal(rows, exp_rows)
+        assert np.array_equal(slots, exp_cols)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_scalar_pack_unpack(self, rng, n_samples):
+        indices = np.flatnonzero(rng.random(n_samples) < 0.4)
+        assert np.array_equal(
+            packed.unpack_indices(packed.pack_indices(indices, n_samples)),
+            indices,
+        )
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_bitwise_not_stays_clean(self, rng, n_samples):
+        indices = np.flatnonzero(rng.random(n_samples) < 0.5)
+        words = packed.pack_rows(
+            indices, np.array([0, indices.size]), n_samples
+        )
+        complement = packed.bitwise_not(words, n_samples)
+        assert packed.check_tail_clean(complement, n_samples)
+        assert np.array_equal(
+            packed.unpack_indices(complement.view(np.uint8)),
+            np.setdiff1d(np.arange(n_samples), indices),
+        )
+
+
+class TestPairwiseKernels:
+    """Chunked cross-batch kernels vs brute force on ragged grids."""
+
+    @staticmethod
+    def _packed_pair(rng, n_samples, n_a=5, n_b=3):
+        raster_a = rng.random((n_a, n_samples)) < rng.uniform(0.05, 0.6)
+        raster_b = rng.random((n_b, n_samples)) < rng.uniform(0.05, 0.6)
+        def pack(raster):
+            rows, cols = np.nonzero(raster)
+            ptr = np.concatenate(
+                [[0], np.cumsum(np.bincount(rows, minlength=raster.shape[0]))]
+            )
+            return packed.pack_rows(cols, ptr, n_samples)
+        return raster_a, raster_b, pack(raster_a), pack(raster_b)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_pairwise_counts(self, rng, n_samples):
+        raster_a, raster_b, a, b = self._packed_pair(rng, n_samples)
+        expected = raster_a.astype(np.int64) @ raster_b.astype(np.int64).T
+        assert np.array_equal(packed.pairwise_counts(a, b), expected)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_coincidence_any(self, rng, n_samples):
+        raster_a, raster_b, a, b = self._packed_pair(rng, n_samples)
+        expected = (raster_a.astype(np.int64) @ raster_b.astype(np.int64).T) > 0
+        assert np.array_equal(packed.coincidence_any(a, b), expected)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_first_coincident_slots(self, rng, n_samples):
+        raster_a, raster_b, a, b = self._packed_pair(rng, n_samples)
+        got = packed.first_coincident_slots(a, b)
+        for i in range(raster_a.shape[0]):
+            for j in range(raster_b.shape[0]):
+                both = np.flatnonzero(raster_a[i] & raster_b[j])
+                assert got[i, j] == (both[0] if both.size else -1), (i, j)
+
+    def test_chunking_boundaries(self, rng):
+        """Many rows force multiple chunks; results must not depend on
+        where the chunk boundaries fall."""
+        n_samples = 130
+        raster_a = rng.random((67, n_samples)) < 0.2
+        rows, cols = np.nonzero(raster_a)
+        ptr = np.concatenate([[0], np.cumsum(np.bincount(rows, minlength=67))])
+        a = packed.pack_rows(cols, ptr, n_samples)
+        expected = raster_a.astype(np.int64) @ raster_a.astype(np.int64).T
+        assert np.array_equal(packed.pairwise_counts(a, a), expected)
+        assert np.array_equal(packed.coincidence_any(a, a), expected > 0)
+
+
+class TestRaggedScalarBackends:
+    """The bitset backend vs sorted/raster on ragged grids."""
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize(
+        "op", ["union", "intersection", "difference", "symmetric_difference"]
+    )
+    def test_bitset_bit_identical_on_ragged_grids(self, rng, n_samples, op):
+        grid = SimulationGrid(n_samples=n_samples, dt=1e-12)
+        density = float(rng.uniform(0.05, 0.9))
+        a = SpikeTrain(
+            np.flatnonzero(rng.random(n_samples) < density), grid
+        )
+        b = SpikeTrain(
+            np.flatnonzero(rng.random(n_samples) < density), grid
+        )
+        results = {}
+        for name in ("sorted", "raster", "bitset"):
+            with use_backend(name):
+                results[name] = getattr(a, op)(b).indices
+        assert np.array_equal(results["bitset"], results["sorted"]), op
+        assert np.array_equal(results["raster"], results["sorted"]), op
+
+
+class TestRaggedBatches:
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_packed_primary_round_trip(self, rng, n_samples, density):
+        batch, raster = _random_batch(rng, 6, n_samples, density)
+        primary = SpikeTrainBatch.from_packed(batch.packbits(), batch.grid)
+        assert not primary.csr_materialised  # stays packed until asked
+        assert primary == batch
+        assert np.array_equal(primary.raster, raster)
+        assert np.array_equal(primary.counts(), batch.counts())
+        assert primary.total_spikes == batch.total_spikes
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize(
+        "op", ["union", "intersection", "difference", "symmetric_difference"]
+    )
+    def test_packed_setops_match_raster(self, rng, n_samples, op):
+        density = float(rng.uniform(0.05, 0.9))
+        a, _ = _random_batch(rng, 5, n_samples, density)
+        b, _ = _random_batch(rng, 5, n_samples, density)
+        with use_backend("raster"):
+            expected = getattr(a, op)(b)
+        with use_backend("bitset"):
+            got = getattr(a, op)(b)
+        assert not got.csr_materialised  # packed in, packed out
+        assert got == expected
+        assert packed.check_tail_clean(got.packed_words(), n_samples)
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_packed_setops_broadcast_single_row(self, rng, n_samples):
+        a, _ = _random_batch(rng, 4, n_samples, 0.4)
+        probe, _ = _random_batch(rng, 1, n_samples, 0.4)
+        with use_backend("bitset"):
+            got = a.intersection(probe)
+        with use_backend("raster"):
+            expected = a.intersection(probe)
+        assert got == expected
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    @pytest.mark.parametrize("density", [0.02, 0.5])
+    def test_popcount_stats_match_csr(self, rng, n_samples, density):
+        batch, raster = _random_batch(rng, 7, n_samples, density)
+        primary = SpikeTrainBatch.from_packed(batch.packbits(), batch.grid)
+        other, _ = _random_batch(rng, 7, n_samples, density)
+        assert np.array_equal(
+            primary.overlap_counts(other), batch.overlap_counts(other)
+        )
+        assert np.array_equal(
+            primary.pairwise_overlap_matrix(),
+            raster.astype(np.int64) @ raster.astype(np.int64).T,
+        )
+        assert primary.any_union() == batch.any_union()
+        assert (
+            primary.is_mutually_orthogonal()
+            == batch.is_mutually_orthogonal()
+        )
+
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_select_rows_stays_packed(self, rng, n_samples):
+        batch, _ = _random_batch(rng, 6, n_samples, 0.3)
+        primary = SpikeTrainBatch.from_packed(batch.packbits(), batch.grid)
+        rows = [4, 0, 2]
+        sub = primary.select_rows(rows)
+        assert not sub.csr_materialised
+        assert sub == batch.select_rows(rows)
+
+    def test_from_packed_masks_tail_bits(self):
+        """Compatibility: tail garbage in the final byte is dropped, as
+        ``np.unpackbits(..., count=n)`` did for the old decoder."""
+        grid = SimulationGrid(n_samples=12, dt=1e-12)
+        dirty = np.array([[0xFF, 0xFF]], dtype=np.uint8)
+        batch = SpikeTrainBatch.from_packed(dirty, grid)
+        assert batch.total_spikes == 12
+        assert batch.row(0).indices.tolist() == list(range(12))
+
+    def test_adopting_dirty_words_rejected(self):
+        grid = SimulationGrid(n_samples=12, dt=1e-12)
+        dirty = np.full((1, 1), 0xFFFF, dtype=np.uint64)
+        with pytest.raises(SpikeTrainError, match="beyond the grid"):
+            SpikeTrainBatch._from_packed_words(dirty, grid)
+
+
+@pytest.fixture
+def ragged_basis(rng):
+    grid = SimulationGrid(n_samples=4097, dt=1e-12)
+    indices = rng.choice(grid.n_samples, size=800, replace=False)
+    source = SpikeTrain(indices, grid)
+    output = DemuxOrthogonator.with_outputs(6).transform(source)
+    return HyperspaceBasis.from_orthogonator(output)
+
+
+class TestRaggedReceivers:
+    """Packed receivers vs CSR receivers on a ragged grid."""
+
+    def _wires(self, rng, basis, n_wires):
+        wires = []
+        for _unused in range(n_wires):
+            members = rng.choice(
+                basis.size,
+                size=int(rng.integers(0, basis.size + 1)),
+                replace=False,
+            )
+            wire = basis.encode_set(members.tolist())
+            if rng.random() < 0.5:
+                extra = rng.choice(basis.grid.n_samples, size=12, replace=False)
+                wire = wire | SpikeTrain(extra, basis.grid)
+            wires.append(wire)
+        return wires
+
+    def test_identify_packed_matches_csr(self, rng, ragged_basis):
+        correlator = CoincidenceCorrelator(ragged_basis)
+        wires = [
+            ragged_basis.encode(int(rng.integers(ragged_basis.size)))
+            for _unused in range(12)
+        ]
+        batch = SpikeTrainBatch.from_trains(wires)
+        start = int(rng.integers(0, ragged_basis.grid.n_samples))
+        with use_backend("sorted"):
+            expected = correlator.identify_batch(
+                batch, start_slot=start, missing="none"
+            )
+        with use_backend("bitset"):
+            got = correlator.identify_batch(
+                batch, start_slot=start, missing="none"
+            )
+        assert got.results() == expected.results()
+
+    def test_identify_packed_primary_input(self, rng, ragged_basis):
+        correlator = CoincidenceCorrelator(ragged_basis)
+        wires = [
+            ragged_basis.encode(int(rng.integers(ragged_basis.size)))
+            for _unused in range(8)
+        ]
+        batch = SpikeTrainBatch.from_trains(wires)
+        primary = SpikeTrainBatch.from_packed(batch.packbits(), batch.grid)
+        got = correlator.identify_batch(primary)  # auto-routes packed
+        assert not primary.csr_materialised
+        assert got.results() == correlator.identify_batch(batch).results()
+
+    def test_detect_members_packed_matches_csr(self, rng, ragged_basis):
+        correlator = CoincidenceCorrelator(ragged_basis)
+        batch = SpikeTrainBatch.from_trains(
+            self._wires(rng, ragged_basis, 10)
+        )
+        limit = int(rng.integers(1, ragged_basis.grid.n_samples + 1))
+        with use_backend("sorted"):
+            expected = correlator.detect_members_batch(batch, until_slot=limit)
+        with use_backend("bitset"):
+            got = correlator.detect_members_batch(batch, until_slot=limit)
+        assert np.array_equal(got.first_slots, expected.first_slots)
+        assert got.as_dicts() == expected.as_dicts()
+
+    def test_decode_packed_matches_csr(self, rng, ragged_basis):
+        selections = [
+            rng.choice(
+                ragged_basis.size, size=int(rng.integers(0, 5)), replace=False
+            ).tolist()
+            for _unused in range(9)
+        ]
+        batch = ragged_basis.encode_batch(selections)
+        assert not batch.csr_materialised  # packed-primary encode
+        decoded = decode_superposition_batch(ragged_basis, batch)
+        assert [sorted(v.members) for v in decoded] == [
+            sorted(int(k) for k in keys) for keys in selections
+        ]
+        with use_backend("sorted"):
+            via_csr = decode_superposition_batch(ragged_basis, batch)
+        assert decoded == via_csr
+
+    def test_decode_packed_strict_rejects_foreign(self, rng, ragged_basis):
+        from repro.errors import HyperspaceError
+
+        foreign = ragged_basis.grid.n_samples - 1
+        while ragged_basis.owner_of_slot(foreign) is not None:
+            foreign -= 1
+        wire = ragged_basis.encode(0) | SpikeTrain([foreign], ragged_basis.grid)
+        batch = SpikeTrainBatch.from_trains([ragged_basis.encode(1), wire])
+        primary = SpikeTrainBatch.from_packed(batch.packbits(), batch.grid)
+        with pytest.raises(HyperspaceError, match=r"wire\(s\) \[1\]"):
+            decode_superposition_batch(ragged_basis, primary, strict=True)
+        decoded = decode_superposition_batch(ragged_basis, primary, strict=False)
+        assert decoded[1].members == frozenset([0])

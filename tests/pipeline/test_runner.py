@@ -151,6 +151,66 @@ class TestPersistentPool:
         assert runner._pool is None
 
 
+class TestReleaseBroadcast:
+    """End-of-run release: workers must not pin a finished run's arena."""
+
+    def test_workers_drop_attachments_at_end_of_run(self):
+        """After a shared-dispatch run every worker holds zero mappings.
+
+        Without the broadcast, each worker would pin the attachments of
+        the finished run's arena until a task from a *newer* arena
+        happened to arrive.  The inspection tasks rendezvous on the
+        pool barrier, so each of the two workers reports exactly once.
+        """
+        from repro.pipeline import runner as runner_mod
+
+        with Runner(jobs=2) as runner:
+            report = runner.run("identify", overrides=SMALL_IDENTIFY)
+            assert report.ok, report.error
+            pool = runner._pool
+            assert pool is not None  # the shard plan actually dispatched
+            counts = pool.map(
+                runner_mod._attachment_count_worker, range(2), chunksize=1
+            )
+            assert counts == [0, 0], (
+                f"workers still hold attachments after the run: {counts}"
+            )
+            runner._release_barrier.reset()
+
+    def test_workers_pin_attachments_without_broadcast(self):
+        """Control: with the broadcast disabled, mappings stay resident.
+
+        Guards the regression test above against vacuous success (e.g.
+        the run never attaching anything in the first place).
+        """
+        from repro.pipeline import runner as runner_mod
+        from repro.pipeline.runner import _execute_record
+
+        with Runner(jobs=2) as runner:
+            record, _result = _execute_record(
+                "identify", None, SMALL_IDENTIFY, runner.jobs,
+                runner._ensure_pool, release=None,
+            )
+            assert record.status == "ok", record.error
+            counts = runner._pool.map(
+                runner_mod._attachment_count_worker, range(2), chunksize=1
+            )
+            runner._release_barrier.reset()
+            assert sum(counts) > 0, "expected resident attachments"
+            runner.release_worker_attachments()
+            counts = runner._pool.map(
+                runner_mod._attachment_count_worker, range(2), chunksize=1
+            )
+            runner._release_barrier.reset()
+            assert counts == [0, 0]
+
+    def test_release_without_pool_is_noop(self):
+        Runner(jobs=1).release_worker_attachments()
+        runner = Runner(jobs=4)
+        runner.release_worker_attachments()  # pool never created
+        assert runner._pool is None
+
+
 class TestRunnerBasics:
     def test_jobs_must_be_positive(self):
         with pytest.raises(PipelineError):
