@@ -1,0 +1,118 @@
+"""Benchmark: end-to-end serving throughput and request latency.
+
+The serving layer's claim is not a kernel speedup — it is that the RPC
+boundary adds only framing and transport on top of the packed compute
+path.  Measured here on the serving-shaped workload (256 wires,
+M=16, T=65536, the same shape as the ``identify_batch`` bench): a
+client drives one embedded :class:`~repro.serving.server.SpikeServer`
+over TCP, timing whole requests (encode → socket → from_packed →
+shards → streamed JSON → merge) and reporting requests/sec plus
+p50/p99 latency, with the in-process ``identify_batch`` wall time of
+the same batch as the no-RPC baseline.
+
+Records the ``serving_identify_rpc`` entry in
+``benchmarks/BENCH_batch.json``: ``seconds`` is the **best-of**
+request latency — the same minimum-damps-scheduler-noise methodology
+every gated entry uses (p50 would make the cross-machine
+``compare_bench.py`` gate fire on TCP/thread scheduling noise);
+``speedup`` is baseline/best — the fraction of a request that is
+compute rather than serving overhead (1.0 would mean a free RPC
+layer).  p50, p99 and requests/sec travel in the config block.
+"""
+
+import numpy as np
+import pytest
+
+from repro.logic.correlator import CoincidenceCorrelator
+from repro.serving.client import ServingClient
+from repro.serving.server import ServerConfig, ServerThread, build_serving_basis
+
+N_WIRES = 256
+BASIS_SIZE = 16
+N_SAMPLES = 65536
+SOURCE_ISI_SAMPLES = 28
+N_REQUESTS = 30
+
+
+@pytest.fixture(scope="module")
+def serving_workload():
+    config = ServerConfig(
+        seed=2016,
+        basis_size=BASIS_SIZE,
+        n_samples=N_SAMPLES,
+        source_isi_samples=SOURCE_ISI_SAMPLES,
+        jobs=1,
+    )
+    basis = build_serving_basis(config)
+    rng = np.random.default_rng(2016)
+    elements = rng.integers(BASIS_SIZE, size=N_WIRES)
+    wires = basis.as_batch().select_rows(elements)
+    return config, basis, wires, elements
+
+
+def test_serving_identify_rpc(serving_workload, archive, bench_record, best_of):
+    import time
+
+    config, basis, wires, elements = serving_workload
+    correlator = CoincidenceCorrelator(basis)
+    local = correlator.identify_batch(wires, missing="none")
+    # The no-RPC baseline: the same batched pass, in process.
+    local_s = best_of(lambda: correlator.identify_batch(wires, missing="none"))
+
+    with ServerThread(config) as handle:
+        with ServingClient(handle.host, handle.port) as client:
+            reply = client.identify(wires)  # warm-up + correctness
+            assert np.array_equal(reply.elements, local.elements)
+            assert np.array_equal(reply.elements, elements)
+            assert reply.summary["server_residency"]["raster"] is False
+
+            latencies = []
+            span_start = time.perf_counter()
+            for _request in range(N_REQUESTS):
+                started = time.perf_counter()
+                client.identify(wires)
+                latencies.append(time.perf_counter() - started)
+            span = time.perf_counter() - span_start
+
+    latencies = np.sort(np.array(latencies))
+    best = float(latencies[0])
+    p50 = float(np.percentile(latencies, 50))
+    p99 = float(np.percentile(latencies, 99))
+    requests_per_second = N_REQUESTS / span
+    wires_per_second = requests_per_second * N_WIRES
+    compute_fraction = local_s / best
+
+    text = "\n".join(
+        [
+            "Serving front-end, end-to-end identify RPC "
+            f"({N_WIRES} wires, M={BASIS_SIZE}, T={N_SAMPLES}, "
+            f"{N_REQUESTS} requests)",
+            f"  request best   : {1e3 * best:8.3f} ms",
+            f"  request p50    : {1e3 * p50:8.3f} ms",
+            f"  request p99    : {1e3 * p99:8.3f} ms",
+            f"  throughput     : {requests_per_second:8.1f} req/s "
+            f"({wires_per_second:9.0f} wires/s)",
+            f"  in-process pass: {1e3 * local_s:8.3f} ms "
+            f"(compute fraction of best: {compute_fraction:.2f})",
+        ]
+    )
+    archive("serving_identify_rpc.txt", text)
+    bench_record(
+        "serving_identify_rpc",
+        {
+            "n_wires": N_WIRES,
+            "basis_size": BASIS_SIZE,
+            "n_samples": N_SAMPLES,
+            "requests": N_REQUESTS,
+            "p50_seconds": round(p50, 6),
+            "p99_seconds": round(p99, 6),
+            "requests_per_second": round(requests_per_second, 1),
+            "local_seconds": round(local_s, 6),
+        },
+        seconds=best,
+        speedup=compute_fraction,
+    )
+    # The RPC layer must not swamp the compute it fronts: at this
+    # payload size the request should stay within ~50x of the raw
+    # batched pass even on a noisy CI machine.
+    assert best < local_s * 50 + 0.05

@@ -12,9 +12,12 @@ Layers (bottom-up):
 * :mod:`repro.spikes` — spike-train data structures, zero-crossing
   detectors, statistics, synthetic generators;
 * :mod:`repro.backend` — vectorised batch execution: ``SpikeTrainBatch``
-  (N trains × T slots with raster and ``np.packbits`` bitset forms) and
-  the pluggable set-algebra backends (sorted-merge vs dense raster,
-  auto-selected by density) behind ``SpikeTrain`` and the hot paths;
+  (N trains × T slots with CSR, word-aligned packed-bitset and raster
+  forms, the bitset compute-primary), the bit-parallel packed kernels,
+  the pluggable set-algebra backends (sorted-merge, raster, bitset —
+  auto-selected by density and residency) behind ``SpikeTrain`` and
+  the hot paths, and the zero-copy shared-memory arenas sharded runs
+  dispatch through;
 * :mod:`repro.orthogonator` — the paper's core circuits (demultiplexer-
   based and intersection-based orthogonators, rate homogenization);
 * :mod:`repro.hyperspace` — orthogonal reference bases, superpositions;
@@ -29,7 +32,11 @@ Layers (bottom-up):
 * :mod:`repro.pipeline` — the execution layer: the experiment registry,
   the sharded parallel :class:`~repro.pipeline.runner.Runner` and the
   JSON/text :class:`~repro.pipeline.store.ArtifactStore` behind
-  ``repro run``.
+  ``repro run``;
+* :mod:`repro.serving` — the packed-bitset RPC boundary behind
+  ``repro serve``: a versioned binary protocol whose payload is the
+  bitset itself, an asyncio front-end sharding requests onto the
+  runner's pool, and the reference client (``docs/serving.md``).
 
 Quickstart::
 

@@ -19,6 +19,10 @@ Three representations are kept, each materialised lazily and cached:
   it through :mod:`~repro.backend.packed` at 1/8 the raster's memory
   traffic, and it is what :meth:`to_shared` ships — attached shard
   workers compute straight on the mapped words without ever unpacking.
+  It is also the serving front-end's wire payload
+  (:mod:`repro.serving.protocol`): an RPC request arrives as this
+  bitset and flows through :meth:`from_packed`, :meth:`to_shared` and
+  the packed receivers without leaving it.
 * **raster** — a dense ``(N, n_samples)`` boolean occupancy matrix,
   kept for consumers that genuinely want per-slot booleans and for
   batches born dense (:meth:`from_raster`).

@@ -14,9 +14,14 @@ duplicate-free ``int64`` slot arrays — the representation
   boolean operation, and gathers the result.  O(T) regardless of spike
   count; wins once the operands occupy more than a few percent of the
   grid.  :class:`BitsetBackend` is its ``np.packbits`` variant: eight
-  slots per byte, so the elementwise pass touches ``T / 8`` bytes —
-  the representation :class:`~repro.backend.batch.SpikeTrainBatch`
-  uses for archival and transport.
+  slots per byte, so the elementwise pass touches ``T / 8`` bytes.
+  Since the packed-kernel layer (:mod:`~repro.backend.packed`) landed,
+  the bitset is the *compute-primary* dense form of
+  :class:`~repro.backend.batch.SpikeTrainBatch` — the representation
+  the batched receivers, the shared-memory shard dispatch and the
+  serving front-end's wire protocol all operate on directly — and
+  :class:`BitsetBackend` scatter-packs and decodes only nonzero bytes,
+  never the grid.
 
 :func:`select_backend` picks between them by operand density, the
 crossover measured by ``benchmarks/bench_batch_throughput.py``;

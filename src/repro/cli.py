@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run identify --jobs 4
     python -m repro.cli run speed --seed 7
     python -m repro.cli run all --jobs 4 --output-dir results/
+    python -m repro.cli serve --port 8642 --jobs 4
 
 ``list`` and ``run``'s experiment choices come straight from the
 :mod:`repro.pipeline.registry` — registering a new
@@ -18,7 +19,10 @@ in parallel for ``run all``; ``--output-dir`` archives one JSON and one
 text artifact per experiment (plus a manifest for ``run all``) via the
 :class:`~repro.pipeline.store.ArtifactStore`.  ``run all`` continues
 past failing experiments and ends with a per-experiment pass/fail
-summary, exiting non-zero when anything failed.
+summary, exiting non-zero when anything failed.  ``serve`` starts the
+packed-bitset RPC front-end (:mod:`repro.serving`): an asyncio server
+identifying client wire batches against a deterministic basis, sharded
+over the runner's worker pool — see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +89,50 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="archive artifacts as <dir>/<experiment>.{json,txt}",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the packed-bitset serving front-end (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port; 0 binds an ephemeral port (default 8642)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for shard dispatch (default 1: in-process)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="seed of the deterministic serving basis (default 2016)",
+    )
+    serve.add_argument(
+        "--basis-size",
+        type=_positive_int,
+        default=16,
+        help="number of basis elements M (default 16)",
+    )
+    serve.add_argument(
+        "--n-samples",
+        type=_positive_int,
+        default=65536,
+        help="grid length requests must match (default 65536)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="shards per request (default: one per job)",
     )
     return parser
 
@@ -155,6 +203,22 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             report = runner.run(args.experiment, seed=args.seed)
             _print_report(report, out)
             return 0 if report.ok else 1
+
+    if args.command == "serve":
+        # Imported here: the serving layer (asyncio, sockets) is only
+        # paid for by the one sub-command that needs it.
+        from .serving.server import ServerConfig, serve_forever
+
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            seed=args.seed,
+            basis_size=args.basis_size,
+            n_samples=args.n_samples,
+            jobs=args.jobs,
+            n_shards=args.shards if args.shards is not None else 0,
+        )
+        return serve_forever(config, out=out)
 
     return 2  # unreachable: argparse enforces the sub-commands
 

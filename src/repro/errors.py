@@ -20,6 +20,8 @@ __all__ = [
     "SimulationError",
     "SynthesisError",
     "PipelineError",
+    "ServingError",
+    "ProtocolError",
 ]
 
 
@@ -79,4 +81,33 @@ class PipelineError(ReproError):
     Examples: registering two specs under one name, requesting an
     unknown experiment, overriding a config field the spec's config
     dataclass does not declare, or loading a missing artifact.
+    """
+
+
+class ServingError(ReproError):
+    """The serving front-end rejected or failed a request.
+
+    Carries the protocol error code (:mod:`repro.serving.protocol`'s
+    ``ERR_*`` constants) so clients can branch on the failure class
+    without parsing the message.
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = int(code)
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with ``self.args``
+        # (just the message) and fail on the missing ``code`` — and a
+        # worker-raised serving error must survive the pool's pickle
+        # round trip intact.
+        return (self.__class__, (self.code, str(self)))
+
+
+class ProtocolError(ServingError):
+    """A wire frame violates the serving protocol.
+
+    Examples: a bad magic, an unsupported protocol version, a frame
+    whose declared length exceeds the negotiated maximum, or a payload
+    shorter than its own header claims.
     """

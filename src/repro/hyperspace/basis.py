@@ -274,23 +274,45 @@ class HyperspaceBasis:
         constructed, so this path skips re-verification — that is what
         makes attaching cheap enough to run once per shard task.
         """
-        grid = artifact.grid()
-        values = attach_array(artifact.values)
-        ptr = attach_array(artifact.ptr)
+        basis = cls._from_table(
+            attach_array(artifact.values),
+            attach_array(artifact.ptr),
+            artifact.labels,
+            artifact.grid(),
+        )
+        basis._owner_vector = attach_array(artifact.owner)
+        return basis
+
+    @classmethod
+    def _from_table(
+        cls,
+        values: np.ndarray,
+        ptr: np.ndarray,
+        labels: Sequence[str],
+        grid: SimulationGrid,
+    ) -> "HyperspaceBasis":
+        """Adopt a pre-verified element table ``(values, ptr)`` as a basis.
+
+        The trusted fast path under :meth:`from_artifact` and the
+        serving dispatch layer (:mod:`repro.serving.dispatch`): element
+        ``i``'s sorted slot indices are ``values[ptr[i]:ptr[i + 1]]``
+        (views, never copies), and orthogonality is *not* re-verified —
+        callers must only feed tables exported from an already-verified
+        basis.
+        """
         trains = tuple(
             SpikeTrain._from_sorted_unique(
                 values[ptr[i] : ptr[i + 1]], grid
             )
-            for i in range(artifact.size)
+            for i in range(len(ptr) - 1)
         )
         basis = cls.__new__(cls)
         basis._trains = trains
-        basis._labels = tuple(artifact.labels)
+        basis._labels = tuple(labels)
         basis._grid = grid
         basis._init_derived_state(
             DEFAULT_ENCODE_CACHE_SIZE, DEFAULT_ENCODE_CACHE_BYTES
         )
-        basis._owner_vector = attach_array(artifact.owner)
         return basis
 
     # ------------------------------------------------------------------

@@ -30,7 +30,14 @@ One :class:`Runner` drives every experiment through the same path:
   objects — results are serialised *inside* the worker, so nothing
   fancier than JSON-ready data ever crosses the process boundary;
 * failures never abort a multi-experiment run: each report carries its
-  own status and traceback, and the store archives error records too.
+  own status and traceback, and the store archives error records too;
+* **non-experiment dispatch** — :meth:`Runner.submit` and
+  :meth:`Runner.broadcast` expose the persistent pool to callers with
+  their own task shapes.  The serving front-end (:mod:`repro.serving`)
+  drives per-request ``(handle, row_range)`` shard tasks and its basis
+  install/discard broadcasts through them, and ends each serving
+  session with the same end-of-run attachment release broadcast the
+  shared-dispatch experiments use.
 """
 
 from __future__ import annotations
@@ -157,6 +164,21 @@ def _rendezvous() -> None:
             _RELEASE_BARRIER.wait(timeout=_BARRIER_TIMEOUT_S)
         except Exception:  # pragma: no cover - dead-worker degradation
             pass
+
+
+def _broadcast_call(item: Tuple[Any, Any]) -> Any:
+    """Broadcast target: run one caller-supplied callable on this worker.
+
+    The generic counterpart of :func:`_release_worker`: rendezvous on
+    the barrier after the call so every worker of the pool executes the
+    payload exactly once.  Used by non-experiment dispatchers — the
+    serving front-end broadcasts its basis install and discard through
+    this.
+    """
+    fn, payload = item
+    result = fn(payload)
+    _rendezvous()
+    return result
 
 
 def _release_worker(_index: int) -> int:
@@ -400,6 +422,67 @@ class Runner:
                 self, _shutdown_pool, self._pool
             )
         return self._pool
+
+    # ------------------------------------------------------------------
+    # Dispatch primitives for non-experiment callers
+    # ------------------------------------------------------------------
+    #
+    # The registry/spec machinery above is the experiment pipeline's
+    # entry point; these three methods are the *pool's* public surface
+    # for callers with their own task shapes — the serving front-end
+    # (:mod:`repro.serving`) dispatches per-request shard tasks and its
+    # basis install/discard broadcasts through them, reusing the
+    # persistent workers, the attachment cache and the release barrier
+    # instead of growing a second pool implementation.
+
+    def ensure_pool(self):
+        """The persistent worker pool (created now if needed).
+
+        None when ``jobs == 1`` — callers run their tasks in-process
+        then.  The returned pool is owned by this Runner; never
+        terminate it directly (use :meth:`close`).
+        """
+        return self._ensure_pool()
+
+    def submit(self, fn, task):
+        """``apply_async`` one task onto the persistent pool.
+
+        ``fn`` must be a module-level callable (pickled by reference);
+        returns the pool's ``AsyncResult``.  Requires ``jobs >= 2`` —
+        a single-job Runner has no pool to submit to, and silently
+        running inline would hide the caller's dispatch bug.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            raise PipelineError(
+                "submit() needs a worker pool; construct the Runner with "
+                "jobs >= 2 or run the task in-process"
+            )
+        return pool.apply_async(fn, (task,))
+
+    def broadcast(self, fn, payload=None) -> Optional[List[Any]]:
+        """Run ``fn(payload)`` exactly once on every pool worker.
+
+        Barrier-distributed like the attachment release: each worker
+        parks on the rendezvous after its call, so no worker steals a
+        sibling's broadcast task.  Only call while the pool is quiet —
+        a worker busy with a long task would stall the barrier until
+        its timeout.  Returns the per-worker results, or None when
+        there is no pool (``jobs == 1``: callers apply the payload
+        in-process instead).
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        results = pool.map(
+            _broadcast_call, [(fn, payload)] * self.jobs, chunksize=1
+        )
+        if self._release_barrier is not None:
+            try:
+                self._release_barrier.reset()
+            except Exception:  # pragma: no cover - broken-barrier cleanup
+                pass
+        return results
 
     def release_worker_attachments(self) -> None:
         """Broadcast an attachment release to every live pool worker.

@@ -1,0 +1,239 @@
+"""Reference client for the packed-bitset serving protocol.
+
+:class:`ServingClient` is the canonical consumer of
+:mod:`repro.serving.protocol` — a small blocking-socket client used by
+the integration tests, ``benchmarks/bench_serving.py``,
+``examples/serve_and_query.py`` and the CI smoke job, and the
+copy-pasteable starting point documented in ``docs/serving.md``.
+
+The client never touches spike indices either: it takes a
+:class:`~repro.backend.batch.SpikeTrainBatch` (or an already-packed
+bitset), frames its ``packbits`` transport form — packed straight from
+the CSR, no raster — and merges the per-shard JSON frames the server
+streams back into whole-batch result arrays.
+
+Usage::
+
+    with ServingClient(host, port) as client:
+        reply = client.identify(batch)
+        reply.elements          # (N,) identified element per wire
+        reply.shards            # per-shard payloads, wall times included
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Union
+
+import numpy as np
+
+from ..backend.batch import SpikeTrainBatch
+from ..errors import ProtocolError, ServingError
+from ..units import SimulationGrid
+from . import protocol
+
+__all__ = ["ServingClient", "IdentifyReply", "MembershipReply"]
+
+
+@dataclass(frozen=True)
+class IdentifyReply:
+    """A merged identify response.
+
+    The arrays are the concatenation of the per-shard results in row
+    order — the same triplet
+    :class:`~repro.logic.correlator.BatchIdentification` carries, so
+    equality against a local ``identify_batch`` run is one array
+    compare.
+    """
+
+    elements: np.ndarray
+    decision_slots: np.ndarray
+    spikes_inspected: np.ndarray
+    labels: List[str]
+    shards: List[dict]
+    summary: dict
+
+
+@dataclass(frozen=True)
+class MembershipReply:
+    """A merged membership response (``(N, M)`` matrices, row order)."""
+
+    membership: np.ndarray
+    first_slots: np.ndarray
+    labels: List[str]
+    shards: List[dict]
+    summary: dict
+
+
+class ServingClient:
+    """Blocking client for one serving endpoint.
+
+    One TCP connection, reused across requests; close with
+    :meth:`close` or a ``with`` block.  Not thread-safe — use one
+    client per thread (the benchmark does exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Request/response frames are latency-bound: never Nagle them.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = protocol.FrameReader(max_frame_bytes)
+        self._pending: Deque[protocol.Frame] = deque()
+        self._request_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+
+    def identify(
+        self,
+        wires: Union[SpikeTrainBatch, np.ndarray],
+        grid: Optional[SimulationGrid] = None,
+        *,
+        start_slot: int = 0,
+        n_shards: int = 0,
+    ) -> IdentifyReply:
+        """Identify every wire in ``wires`` against the server's basis."""
+        packed, grid = self._transport_form(wires, grid)
+        shards, summary = self._round_trip(
+            packed, grid, mode="identify",
+            start_slot=start_slot, n_shards=n_shards,
+        )
+        return IdentifyReply(
+            elements=_merged(shards, "elements"),
+            decision_slots=_merged(shards, "decision_slots"),
+            spikes_inspected=_merged(shards, "spikes_inspected"),
+            labels=list(summary.get("labels", [])),
+            shards=shards,
+            summary=summary,
+        )
+
+    def membership(
+        self,
+        wires: Union[SpikeTrainBatch, np.ndarray],
+        grid: Optional[SimulationGrid] = None,
+        *,
+        until_slot: Optional[int] = None,
+        n_shards: int = 0,
+    ) -> MembershipReply:
+        """Set-membership readout of every wire against the basis."""
+        packed, grid = self._transport_form(wires, grid)
+        shards, summary = self._round_trip(
+            packed, grid, mode="membership",
+            limit=until_slot, n_shards=n_shards,
+        )
+        return MembershipReply(
+            membership=_merged(shards, "membership").astype(bool),
+            first_slots=_merged(shards, "first_slots"),
+            labels=list(summary.get("labels", [])),
+            shards=shards,
+            summary=summary,
+        )
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire mechanics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _transport_form(wires, grid):
+        """``(packed bitset, grid)`` of the caller's batch."""
+        if isinstance(wires, SpikeTrainBatch):
+            return wires.packbits(), wires.grid
+        if grid is None:
+            raise ServingError(
+                protocol.ERR_BAD_FRAME,
+                "a raw packed array needs an explicit grid",
+            )
+        return np.asarray(wires, dtype=np.uint8), grid
+
+    def _round_trip(
+        self, packed, grid, *, mode, start_slot=0, limit=None, n_shards=0
+    ):
+        """Send one request, collect shard frames until done/error."""
+        request_id = next(self._request_ids)
+        self._sock.sendall(
+            protocol.encode_request(
+                packed,
+                grid.n_samples,
+                grid.dt,
+                mode=mode,
+                start_slot=start_slot,
+                limit=limit,
+                n_shards=n_shards,
+                request_id=request_id,
+            )
+        )
+        shards: List[dict] = []
+        while True:
+            frame = self._next_frame()
+            if frame.request_id not in (0, request_id):
+                raise ProtocolError(
+                    protocol.ERR_BAD_FRAME,
+                    f"response for request {frame.request_id}, "
+                    f"expected {request_id}",
+                )
+            payload = protocol.parse_json_frame(frame)
+            if frame.frame_type == protocol.FRAME_ERROR:
+                raise ServingError(
+                    int(payload.get("code", protocol.ERR_INTERNAL)),
+                    f"server error {payload.get('error', 'UNKNOWN')}: "
+                    f"{payload.get('message', '')}",
+                )
+            if frame.frame_type == protocol.FRAME_SHARD:
+                shards.append(payload)
+                continue
+            if frame.frame_type == protocol.FRAME_DONE:
+                shards.sort(key=lambda shard: shard["row_start"])
+                return shards, payload
+            raise ProtocolError(
+                protocol.ERR_BAD_TYPE,
+                f"unexpected frame type 0x{frame.frame_type:02x}",
+            )
+
+    def _next_frame(self) -> protocol.Frame:
+        """Read from the socket until one complete frame arrives.
+
+        ``feed`` may complete several frames from one ``recv``; the
+        surplus queues in ``_pending`` for the following calls.
+        """
+        while not self._pending:
+            data = self._sock.recv(1024 * 1024)
+            if not data:
+                raise ProtocolError(
+                    protocol.ERR_BAD_FRAME,
+                    "connection closed mid-response",
+                )
+            self._pending.extend(self._reader.feed(data))
+        return self._pending.popleft()
+
+
+def _merged(shards: List[dict], key: str) -> np.ndarray:
+    """Concatenate one per-shard array field in row order."""
+    if not shards:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.asarray(shard[key], dtype=np.int64) for shard in shards]
+    )

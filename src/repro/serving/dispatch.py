@@ -1,0 +1,216 @@
+"""Worker-side shard execution for the serving front-end.
+
+The server splits each request's wire batch into contiguous row-range
+shards and runs every shard through one function —
+:func:`compute_shard` — whether the shard executes in-process or on a
+pool worker.  Equal inputs produce equal JSON-ready payloads, so the
+dispatch mechanism is invisible in the response, exactly as the
+pipeline's shard plans make sharded experiment runs bit-identical to
+serial ones.
+
+Two transport pieces make the pool path zero-copy:
+
+* **basis install** — the serving basis is exported once as a
+  :class:`BasisTable` (plain picklable arrays, no shared segments) and
+  installed into a per-process registry, either inherited by forked
+  workers or delivered by one
+  :meth:`~repro.pipeline.runner.Runner.broadcast` at server start-up.
+  Shard tasks then reference the basis by token, never re-shipping it.
+  A long-lived shared-memory export would fight the attachment cache's
+  per-arena eviction (each request uses a fresh short-lived arena), so
+  the basis deliberately travels by value, once.
+* **:class:`ShardTask`** — the per-shard pool task: the request
+  batch's :class:`~repro.backend.batch.SharedBatchHandle` plus a row
+  range and scan options.  Workers attach the request's shared segments
+  and wrap their row range as a *packed-primary view* of the mapped
+  bitset (:meth:`~repro.backend.batch.SpikeTrainBatch.from_shared`), so
+  shard compute runs the packed kernels straight on the pages the
+  server wrote — the payload is never unpacked to a raster anywhere,
+  and every shard payload reports its batch's representation residency
+  to prove it.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..backend.batch import SharedBatchHandle, SpikeTrainBatch
+from ..errors import ServingError
+from ..hyperspace.basis import HyperspaceBasis
+from ..logic.correlator import CoincidenceCorrelator
+from ..units import SimulationGrid
+from .protocol import ERR_INTERNAL
+
+__all__ = [
+    "BasisTable",
+    "ShardTask",
+    "export_basis",
+    "install_basis",
+    "discard_basis",
+    "installed_basis",
+    "run_shard",
+    "compute_shard",
+]
+
+
+@dataclass(frozen=True)
+class BasisTable:
+    """Picklable plain-array export of a verified basis.
+
+    Element ``i``'s sorted slots are ``values[ptr[i]:ptr[i + 1]]`` —
+    the same table :class:`~repro.hyperspace.basis.BasisArtifact` ships
+    through shared memory, but carried by value so it can be installed
+    once per process and outlive any request arena.  ``token``
+    identifies the install; shard tasks carry the token only.
+    """
+
+    token: str
+    labels: Tuple[str, ...]
+    values: np.ndarray
+    ptr: np.ndarray
+    n_samples: int
+    dt: float
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One serving shard: a row range of a shared request batch.
+
+    Pickles as metadata only — the wire payload stays in the server's
+    per-request :class:`~repro.backend.shared.SharedArena` and the
+    worker attaches it.
+    """
+
+    token: str
+    wires: SharedBatchHandle
+    row_start: int
+    row_stop: int
+    mode: str
+    start_slot: int = 0
+    limit: Optional[int] = None
+
+
+#: token → installed basis, per process.  Populated in the server
+#: process before the pool forks (workers inherit it for free) and by
+#: the install broadcast for pools that already exist.
+_INSTALLED: Dict[str, HyperspaceBasis] = {}
+
+
+def export_basis(basis: HyperspaceBasis, token: Optional[str] = None) -> BasisTable:
+    """Export ``basis`` as a :class:`BasisTable` (fresh token by default)."""
+    values, ptr = basis.as_batch().csr()
+    return BasisTable(
+        token=token if token is not None else uuid.uuid4().hex,
+        labels=basis.labels,
+        values=values,
+        ptr=ptr,
+        n_samples=basis.grid.n_samples,
+        dt=basis.grid.dt,
+    )
+
+
+def install_basis(table: BasisTable) -> str:
+    """Install ``table`` into this process's basis registry.
+
+    Reconstruction trusts the exporting basis's orthogonality check
+    (:meth:`~repro.hyperspace.basis.HyperspaceBasis._from_table`), so
+    installing is cheap enough to broadcast at server start-up.
+    Idempotent per token; returns the token.
+    """
+    if table.token not in _INSTALLED:
+        grid = SimulationGrid(n_samples=table.n_samples, dt=table.dt)
+        _INSTALLED[table.token] = HyperspaceBasis._from_table(
+            np.asarray(table.values, dtype=np.int64),
+            np.asarray(table.ptr, dtype=np.int64),
+            table.labels,
+            grid,
+        )
+    return table.token
+
+
+def discard_basis(token: str) -> bool:
+    """Drop one installed basis (graceful-shutdown broadcast target)."""
+    return _INSTALLED.pop(token, None) is not None
+
+
+def installed_basis(token: str) -> HyperspaceBasis:
+    """The basis installed under ``token`` in this process."""
+    basis = _INSTALLED.get(token)
+    if basis is None:
+        raise ServingError(
+            ERR_INTERNAL,
+            f"no basis installed under token {token!r} in this worker — "
+            "the server must broadcast install_basis before dispatching",
+        )
+    return basis
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Pool target: attach the shard's rows and compute its payload."""
+    rows = SpikeTrainBatch.from_shared(
+        task.wires, rows=(task.row_start, task.row_stop)
+    )
+    return compute_shard(
+        installed_basis(task.token),
+        rows,
+        task.row_start,
+        task.row_stop,
+        mode=task.mode,
+        start_slot=task.start_slot,
+        limit=task.limit,
+    )
+
+
+def compute_shard(
+    basis: HyperspaceBasis,
+    rows: SpikeTrainBatch,
+    row_start: int,
+    row_stop: int,
+    *,
+    mode: str,
+    start_slot: int = 0,
+    limit: Optional[int] = None,
+) -> dict:
+    """Run one shard's receiver pass and return its JSON-ready payload.
+
+    The common core of the pool and in-process paths.  ``rows`` is
+    expected packed-primary; the payload's ``residency`` block records
+    which representations the batch held *after* the pass, which is how
+    the integration tests (and any auditing client) verify the bitset
+    was computed on directly — ``raster`` must come back False.
+    """
+    started = time.perf_counter()
+    correlator = CoincidenceCorrelator(basis)
+    if mode == "identify":
+        outcome = correlator.identify_batch(
+            rows, start_slot=start_slot, missing="none"
+        )
+        body = {
+            "elements": outcome.elements.tolist(),
+            "decision_slots": outcome.decision_slots.tolist(),
+            "spikes_inspected": outcome.spikes_inspected.tolist(),
+        }
+    elif mode == "membership":
+        outcome = correlator.detect_members_batch(rows, until_slot=limit)
+        body = {
+            "membership": outcome.membership.astype(int).tolist(),
+            "first_slots": outcome.first_slots.tolist(),
+        }
+    else:
+        raise ServingError(ERR_INTERNAL, f"unknown shard mode {mode!r}")
+    body.update(
+        row_start=int(row_start),
+        row_stop=int(row_stop),
+        wall_seconds=time.perf_counter() - started,
+        residency={
+            "packed": rows.packed_materialised,
+            "csr": rows.csr_materialised,
+            "raster": rows.raster_materialised,
+        },
+    )
+    return body

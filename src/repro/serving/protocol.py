@@ -1,0 +1,467 @@
+"""The packed-bitset wire protocol: versioned, length-prefixed frames.
+
+The serving front-end (:mod:`repro.serving.server`) and the reference
+client (:mod:`repro.serving.client`) speak a small binary protocol
+whose request payload *is* the compute representation: the
+``np.packbits`` bitset of a :class:`~repro.backend.batch.SpikeTrainBatch`
+(N wires × ``ceil(n_samples / 8)`` bytes, MSB-first within each byte —
+slot ``k`` of a row is bit ``7 - (k % 8)`` of byte ``k // 8``).  A
+server therefore never parses, sorts or unpacks spike indices at the
+boundary — it wraps the payload with
+:meth:`~repro.backend.batch.SpikeTrainBatch.from_packed` and the batch
+stays packed-primary all the way through shared-memory dispatch and the
+packed kernels.
+
+Framing (all integers little-endian)::
+
+    u32 length | 16-byte frame header | payload (length - 16 bytes)
+
+The frame header is ``magic "REPB" | version u8 | type u8 | flags u16 |
+request_id u32 | reserved u32``.  Requests carry a fixed 28-byte
+request header (wire counts, grid geometry, scan options) followed by
+the bitset; responses carry UTF-8 JSON.  The byte-level layout, the
+versioning rules and the error codes are documented in
+``docs/protocol.md`` — this module is their single executable source.
+
+Version policy: ``PROTOCOL_VERSION`` bumps on any incompatible header
+or payload change; a decoder rejects frames whose version it does not
+implement with :data:`ERR_BAD_VERSION` (the magic never changes, so a
+version mismatch is always reportable).  ``flags`` and the ``reserved``
+fields must be zero in version 1.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..backend import packed as packed_kernels
+from ..errors import ProtocolError
+from ..units import SimulationGrid
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "FRAME_IDENTIFY",
+    "FRAME_MEMBERSHIP",
+    "FRAME_SHARD",
+    "FRAME_DONE",
+    "FRAME_ERROR",
+    "LIMIT_FULL",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ERR_BAD_MAGIC",
+    "ERR_BAD_VERSION",
+    "ERR_BAD_FRAME",
+    "ERR_FRAME_TOO_LARGE",
+    "ERR_BAD_TYPE",
+    "ERR_BAD_GRID",
+    "ERR_OVERLOADED",
+    "ERR_INTERNAL",
+    "ERROR_NAMES",
+    "Frame",
+    "Request",
+    "FrameReader",
+    "encode_frame",
+    "encode_request",
+    "parse_request",
+    "encode_json_frame",
+    "parse_json_frame",
+    "encode_error",
+    "request_nbytes",
+]
+
+#: First four bytes of every frame body ("REpro Packed Bitset").
+MAGIC = b"REPB"
+
+#: Current protocol version; bumped on incompatible layout changes.
+PROTOCOL_VERSION = 1
+
+# Frame types.  Requests sit below 0x80, responses at or above it, so a
+# misdirected frame is caught by the type check rather than a payload
+# parse.
+FRAME_IDENTIFY = 0x01
+FRAME_MEMBERSHIP = 0x02
+FRAME_SHARD = 0x81
+FRAME_DONE = 0x82
+FRAME_ERROR = 0xFF
+
+_REQUEST_TYPES = (FRAME_IDENTIFY, FRAME_MEMBERSHIP)
+_RESPONSE_TYPES = (FRAME_SHARD, FRAME_DONE, FRAME_ERROR)
+
+_MODE_BY_TYPE = {FRAME_IDENTIFY: "identify", FRAME_MEMBERSHIP: "membership"}
+_TYPE_BY_MODE = {mode: ftype for ftype, mode in _MODE_BY_TYPE.items()}
+
+#: ``limit`` sentinel meaning "the whole grid" (membership requests).
+LIMIT_FULL = 0xFFFFFFFF
+
+#: Default per-frame size cap (header + payload).  At the paper grid
+#: (65536 slots → 8 KiB/wire) this admits ~8k wires per request.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Error codes (the ``code`` field of an error frame's JSON payload).
+ERR_BAD_MAGIC = 1
+ERR_BAD_VERSION = 2
+ERR_BAD_FRAME = 3
+ERR_FRAME_TOO_LARGE = 4
+ERR_BAD_TYPE = 5
+ERR_BAD_GRID = 6
+ERR_OVERLOADED = 7
+ERR_INTERNAL = 8
+
+#: code → symbolic name, echoed in error payloads for human readers.
+ERROR_NAMES: Dict[int, str] = {
+    ERR_BAD_MAGIC: "BAD_MAGIC",
+    ERR_BAD_VERSION: "BAD_VERSION",
+    ERR_BAD_FRAME: "BAD_FRAME",
+    ERR_FRAME_TOO_LARGE: "FRAME_TOO_LARGE",
+    ERR_BAD_TYPE: "BAD_TYPE",
+    ERR_BAD_GRID: "BAD_GRID",
+    ERR_OVERLOADED: "OVERLOADED",
+    ERR_INTERNAL: "INTERNAL",
+}
+
+#: ``u32 length`` prefix framing each body.
+_LENGTH = struct.Struct("<I")
+
+#: Frame header: magic, version, type, flags, request_id, reserved.
+_HEADER = struct.Struct("<4sBBHII")
+
+#: Request header: n_wires, n_samples, dt, start_slot, limit,
+#: n_shards, reserved.
+_REQUEST = struct.Struct("<IIdIIHH")
+
+HEADER_BYTES = _HEADER.size  # 16
+REQUEST_HEADER_BYTES = _REQUEST.size  # 28
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: header fields plus the raw payload bytes."""
+
+    version: int
+    frame_type: int
+    request_id: int
+    payload: bytes
+    flags: int = 0
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed request frame.
+
+    ``packed`` is a read-only ``(n_wires, ceil(n_samples / 8))``
+    ``uint8`` view of the frame's payload bytes — parsing allocates no
+    array and copies nothing.
+    """
+
+    mode: str
+    request_id: int
+    packed: np.ndarray
+    n_samples: int
+    dt: float
+    start_slot: int
+    limit: Optional[int]
+    n_shards: int
+
+    @property
+    def n_wires(self) -> int:
+        """Number of wire rows in the payload."""
+        return int(self.packed.shape[0])
+
+    def grid(self) -> SimulationGrid:
+        """The simulation grid the payload claims to live on."""
+        return SimulationGrid(n_samples=self.n_samples, dt=self.dt)
+
+
+def request_nbytes(n_wires: int, n_samples: int) -> int:
+    """Total frame-body bytes of a request with the given dimensions."""
+    return (
+        HEADER_BYTES
+        + REQUEST_HEADER_BYTES
+        + n_wires * packed_kernels.n_packed_bytes(n_samples)
+    )
+
+
+def encode_frame(
+    frame_type: int,
+    request_id: int,
+    payload: bytes,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Assemble one length-prefixed frame from its parts."""
+    if not (0 <= request_id < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"request_id {request_id} outside uint32"
+        )
+    header = _HEADER.pack(MAGIC, version, frame_type, 0, request_id, 0)
+    return _LENGTH.pack(len(header) + len(payload)) + header + payload
+
+
+def encode_request(
+    packed: np.ndarray,
+    n_samples: int,
+    dt: float,
+    *,
+    mode: str = "identify",
+    start_slot: int = 0,
+    limit: Optional[int] = None,
+    n_shards: int = 0,
+    request_id: int = 0,
+) -> bytes:
+    """Encode one request frame around an ``np.packbits`` bitset.
+
+    ``packed`` must already be the ``(N, ceil(n_samples / 8))``
+    ``uint8`` transport form (e.g.
+    :meth:`~repro.backend.batch.SpikeTrainBatch.packbits`); the encoder
+    frames it verbatim — no per-spike work, no unpacking.  ``n_shards``
+    0 asks the server to use its own default; ``limit`` bounds a
+    membership scan (None: the whole grid).
+    """
+    if mode not in _TYPE_BY_MODE:
+        raise ProtocolError(ERR_BAD_TYPE, f"unknown request mode {mode!r}")
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    n_bytes = packed_kernels.n_packed_bytes(n_samples)
+    if packed.ndim != 2 or packed.shape[1] != n_bytes:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"packed shape {packed.shape} does not match "
+            f"(N, {n_bytes}) for {n_samples} samples",
+        )
+    if packed.shape[0] < 1:
+        raise ProtocolError(ERR_BAD_FRAME, "a request needs at least one wire")
+    if not (0 <= start_slot <= n_samples):
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"start_slot {start_slot} outside grid of {n_samples} samples",
+        )
+    wire_limit = LIMIT_FULL if limit is None else int(limit)
+    if not (0 <= wire_limit <= LIMIT_FULL):
+        raise ProtocolError(ERR_BAD_FRAME, f"limit {limit} outside uint32")
+    if not (0 <= n_shards < 2**16):
+        raise ProtocolError(ERR_BAD_FRAME, f"n_shards {n_shards} outside uint16")
+    body = _REQUEST.pack(
+        packed.shape[0], n_samples, float(dt), start_slot, wire_limit,
+        n_shards, 0,
+    )
+    return encode_frame(
+        _TYPE_BY_MODE[mode], request_id, body + packed.tobytes()
+    )
+
+
+def parse_request(frame: Frame) -> Request:
+    """Parse (and validate) one request frame.
+
+    Rejects truncated payloads, trailing bytes, zero-wire requests and
+    impossible grids — the exact payload length is implied by the
+    request header, so any mismatch is :data:`ERR_BAD_FRAME`.
+    """
+    if frame.frame_type not in _REQUEST_TYPES:
+        raise ProtocolError(
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame.frame_type:02x} is not a request",
+        )
+    if len(frame.payload) < REQUEST_HEADER_BYTES:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"request payload truncated: {len(frame.payload)} bytes "
+            f"< {REQUEST_HEADER_BYTES}-byte request header",
+        )
+    n_wires, n_samples, dt, start_slot, limit, n_shards, reserved = (
+        _REQUEST.unpack_from(frame.payload)
+    )
+    if reserved != 0:
+        raise ProtocolError(
+            ERR_BAD_FRAME, "reserved request-header field must be zero"
+        )
+    if n_wires < 1:
+        raise ProtocolError(ERR_BAD_FRAME, "a request needs at least one wire")
+    if n_samples < 1 or not (dt > 0.0) or not np.isfinite(dt):
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"impossible grid: n_samples={n_samples}, dt={dt}",
+        )
+    if start_slot > n_samples:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"start_slot {start_slot} outside grid of {n_samples} samples",
+        )
+    n_bytes = packed_kernels.n_packed_bytes(n_samples)
+    expected = REQUEST_HEADER_BYTES + n_wires * n_bytes
+    if len(frame.payload) != expected:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"payload is {len(frame.payload)} bytes, expected {expected} "
+            f"for {n_wires} wires x {n_bytes} packed bytes",
+        )
+    packed = np.frombuffer(
+        frame.payload, dtype=np.uint8, offset=REQUEST_HEADER_BYTES
+    ).reshape(n_wires, n_bytes)
+    return Request(
+        mode=_MODE_BY_TYPE[frame.frame_type],
+        request_id=frame.request_id,
+        packed=packed,
+        n_samples=int(n_samples),
+        dt=float(dt),
+        start_slot=int(start_slot),
+        limit=None if limit == LIMIT_FULL else int(limit),
+        n_shards=int(n_shards),
+    )
+
+
+def encode_json_frame(frame_type: int, request_id: int, obj) -> bytes:
+    """Encode one response frame whose payload is UTF-8 JSON."""
+    if frame_type not in _RESPONSE_TYPES:
+        raise ProtocolError(
+            ERR_BAD_TYPE, f"frame type 0x{frame_type:02x} is not a response"
+        )
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return encode_frame(frame_type, request_id, payload)
+
+
+def parse_json_frame(frame: Frame) -> dict:
+    """Decode a response frame's JSON payload."""
+    if frame.frame_type not in _RESPONSE_TYPES:
+        raise ProtocolError(
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame.frame_type:02x} is not a response",
+        )
+    try:
+        obj = json.loads(frame.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"undecodable JSON payload: {exc}"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(ERR_BAD_FRAME, "response payload must be an object")
+    return obj
+
+
+def encode_error(request_id: int, code: int, message: str) -> bytes:
+    """Encode one error frame (JSON ``{code, error, message}``)."""
+    return encode_json_frame(
+        FRAME_ERROR,
+        request_id,
+        {
+            "code": int(code),
+            "error": ERROR_NAMES.get(int(code), "UNKNOWN"),
+            "message": str(message),
+        },
+    )
+
+
+class FrameReader:
+    """Incremental frame decoder over a byte stream.
+
+    Feed it whatever the transport delivers; it buffers partial frames
+    and returns each complete :class:`Frame` exactly once.  Framing
+    violations (bad magic, unsupported version, nonzero reserved
+    fields, a declared length below the header size or above
+    ``max_frame_bytes``) raise :class:`~repro.errors.ProtocolError`
+    immediately — after a framing error the stream boundary is lost and
+    the connection must be dropped, which is why these are errors and
+    not skipped frames.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < HEADER_BYTES:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"max_frame_bytes must be >= {HEADER_BYTES}, "
+                f"got {max_frame_bytes}",
+            )
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._poisoned: Optional[ProtocolError] = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    @property
+    def pending_error(self) -> Optional["ProtocolError"]:
+        """The deferred framing error, if the stream is poisoned.
+
+        Set when :meth:`feed` swallowed a violation to hand back the
+        frames completed before it; consumers that want to fail fast
+        (the server answers the error without waiting for more bytes)
+        check this after draining a chunk's frames.
+        """
+        return self._poisoned
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data`` and return every frame it completed.
+
+        When a chunk completes good frames *and then* hits a framing
+        violation, the good frames are returned first and the error is
+        raised by the next call — a pipelining peer's valid requests
+        must not vanish because a later frame in the same TCP segment
+        was corrupt.
+        """
+        if self._poisoned is not None:
+            raise self._poisoned
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            try:
+                frame = self._next_frame()
+            except ProtocolError as exc:
+                if frames:
+                    self._poisoned = exc
+                    return frames
+                raise
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        """Pop one complete frame off the buffer, or None to wait."""
+        if len(self._buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack_from(self._buffer)
+        if length < HEADER_BYTES:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"declared frame length {length} is below the "
+                f"{HEADER_BYTES}-byte header",
+            )
+        if length > self.max_frame_bytes:
+            raise ProtocolError(
+                ERR_FRAME_TOO_LARGE,
+                f"declared frame length {length} exceeds the "
+                f"{self.max_frame_bytes}-byte cap",
+            )
+        if len(self._buffer) < _LENGTH.size + length:
+            return None
+        body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+        del self._buffer[: _LENGTH.size + length]
+        magic, version, frame_type, flags, request_id, reserved = (
+            _HEADER.unpack_from(body)
+        )
+        if magic != MAGIC:
+            raise ProtocolError(
+                ERR_BAD_MAGIC, f"bad magic {magic!r} (expected {MAGIC!r})"
+            )
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                ERR_BAD_VERSION,
+                f"unsupported protocol version {version} "
+                f"(this build speaks {PROTOCOL_VERSION})",
+            )
+        if flags != 0 or reserved != 0:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                "reserved header fields must be zero in version 1",
+            )
+        return Frame(
+            version=version,
+            frame_type=frame_type,
+            request_id=request_id,
+            payload=body[HEADER_BYTES:],
+            flags=flags,
+        )

@@ -1,0 +1,641 @@
+"""Asyncio serving front-end: stream packed-bitset wires into the shard pool.
+
+:class:`SpikeServer` is the repo's network entry point — the layer the
+ROADMAP called "stream wires into batches at an RPC boundary".  One
+asyncio TCP server accepts length-prefixed protocol frames
+(:mod:`repro.serving.protocol`), and each request flows through the
+four existing layers without the payload ever unpacking to a raster:
+
+1. the frame's bitset wraps as a *packed-primary*
+   :class:`~repro.backend.batch.SpikeTrainBatch` (``from_packed`` —
+   no CSR decode, no raster);
+2. the batch exports into a per-request
+   :class:`~repro.backend.shared.SharedArena`
+   (``to_shared`` ships the word-aligned bitset; the row offsets come
+   from a popcount pass, still no decode);
+3. contiguous row-range :class:`~repro.serving.dispatch.ShardTask`\\ s
+   dispatch onto the :class:`~repro.pipeline.runner.Runner`'s
+   persistent pool (``Runner.submit``), where workers attach the
+   mapped bitset and run the packed receiver kernels on it;
+4. each shard's result streams back to the client as one JSON frame,
+   in shard order as results complete (a slow early shard delays the
+   later shards' *frames*, never their compute), followed by a summary
+   frame recording wall time and the server batch's representation
+   residency.
+
+Single-job servers (or hosts without shared memory) run the same
+shards in-process on a worker thread — bit-identical results, one code
+path for the compute (:func:`~repro.serving.dispatch.compute_shard`).
+
+Flow control is a bounded **in-flight arena budget**: request payloads
+admit only while the bytes pinned in per-request arenas stay under
+``max_inflight_bytes``; later requests wait (the TCP receive window
+then pushes back on the client) instead of growing server memory.
+Graceful shutdown drains in-flight requests, then releases every
+worker's shared-memory attachments through the runner's end-of-run
+broadcast and discards the installed basis.
+
+``ServerThread`` runs the whole server on a private event loop in a
+daemon thread — the harness the tests, the benchmark, the example and
+the CI smoke job all share.  ``serve_forever`` is the blocking entry
+behind ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import sys
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Set
+
+import numpy as np
+
+from ..backend.batch import SpikeTrainBatch
+from ..backend.shared import HAVE_SHARED_MEMORY, SharedArena
+from ..errors import ProtocolError, ServingError
+from ..hyperspace.basis import HyperspaceBasis
+from ..noise.synthesis import make_rng
+from ..orthogonator.demux import DemuxOrthogonator
+from ..pipeline.runner import Runner
+from ..spikes.generators import poisson_train
+from ..units import paper_white_grid
+from . import dispatch, protocol
+
+__all__ = [
+    "ServerConfig",
+    "SpikeServer",
+    "ServerThread",
+    "build_serving_basis",
+    "serve_forever",
+]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything one serving process needs to know.
+
+    The basis knobs (``seed``, ``basis_size``, ``source_isi_samples``,
+    ``n_samples``) deterministically fix the hyperspace the server
+    identifies against — the same synthesis path as the ``identify``
+    experiment, so a client holding the same knobs can reproduce the
+    server's basis exactly.  ``port`` 0 binds an ephemeral port
+    (exposed as :attr:`SpikeServer.port` once started).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    seed: int = 2016
+    basis_size: int = 16
+    source_isi_samples: int = 28
+    n_samples: int = 65536
+    jobs: int = 1
+    n_shards: int = 0  # per-request default: 0 → one shard per job
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES
+    max_inflight_bytes: int = 256 * 1024 * 1024
+
+
+def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
+    """The server's reference basis, deterministic in the config knobs."""
+    grid = paper_white_grid(n_samples=config.n_samples)
+    rng = make_rng(config.seed)
+    source = poisson_train(
+        rate_hz=1.0 / (config.source_isi_samples * grid.dt),
+        grid=grid,
+        rng=rng,
+    )
+    output = DemuxOrthogonator.with_outputs(config.basis_size).transform(
+        source
+    )
+    return HyperspaceBasis.from_orthogonator(output)
+
+
+class _InflightBudget:
+    """Async byte budget bounding the arenas pinned by live requests.
+
+    Admission is FIFO: a waiter is admitted only when it is at the
+    head of the arrival queue *and* its bytes fit — without the queue,
+    a stream of small requests could starve a large one forever (each
+    small acquire would slip into the headroom the large waiter is
+    waiting for).
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        self.max_bytes = int(max_bytes)
+        self.in_flight = 0
+        self._queue: Deque[int] = deque()
+        self._next_ticket = 0
+        self._condition: Optional[asyncio.Condition] = None
+
+    @property
+    def _changed(self) -> asyncio.Condition:
+        # Created lazily inside the running loop: constructing an
+        # asyncio primitive outside one misbinds on Python 3.9.
+        if self._condition is None:
+            self._condition = asyncio.Condition()
+        return self._condition
+
+    async def acquire(self, nbytes: int) -> None:
+        """Wait until ``nbytes`` fits under the cap, then claim it.
+
+        A single payload larger than the whole budget can never fit —
+        that is rejected immediately as OVERLOADED instead of
+        deadlocking the connection.
+        """
+        if nbytes > self.max_bytes:
+            raise ServingError(
+                protocol.ERR_OVERLOADED,
+                f"request pins {nbytes} bytes, over the server's "
+                f"{self.max_bytes}-byte in-flight budget",
+            )
+        async with self._changed:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queue.append(ticket)
+            try:
+                await self._changed.wait_for(
+                    lambda: self._queue[0] == ticket
+                    and self.in_flight + nbytes <= self.max_bytes
+                )
+            except BaseException:
+                # Cancellation (a dropped connection) must not leave a
+                # dead ticket blocking the queue head.
+                self._queue.remove(ticket)
+                self._changed.notify_all()
+                raise
+            self._queue.popleft()
+            self.in_flight += nbytes
+            self._changed.notify_all()
+
+    async def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget and wake waiters."""
+        async with self._changed:
+            self.in_flight -= nbytes
+            self._changed.notify_all()
+
+    async def drained(self) -> None:
+        """Block until no request bytes are in flight."""
+        async with self._changed:
+            await self._changed.wait_for(lambda: self.in_flight == 0)
+
+
+class SpikeServer:
+    """The packed-bitset RPC server (see the module docstring).
+
+    Construct, ``await start()``, and either hold onto it (tests) or
+    ``await`` :meth:`wait_closed`.  ``runner=None`` makes the server
+    own a :class:`~repro.pipeline.runner.Runner` with ``config.jobs``
+    workers and close it on shutdown; passing a runner shares an
+    existing pool (the caller keeps ownership).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self._runner = runner
+        self._owns_runner = runner is None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._basis: Optional[HyperspaceBasis] = None
+        self._basis_token: Optional[str] = None
+        self._budget = _InflightBudget(self.config.max_inflight_bytes)
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._closing = False
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``config.port == 0``)."""
+        if self._server is None:
+            raise ServingError(protocol.ERR_INTERNAL, "server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def basis(self) -> HyperspaceBasis:
+        """The reference basis requests are identified against."""
+        if self._basis is None:
+            raise ServingError(protocol.ERR_INTERNAL, "server not started")
+        return self._basis
+
+    def _use_pool(self) -> bool:
+        """True when shards go to the worker pool (vs in-process)."""
+        return (
+            self._runner is not None
+            and self._runner.jobs > 1
+            and HAVE_SHARED_MEMORY
+        )
+
+    async def start(self) -> None:
+        """Build the basis, warm the pool, bind the socket."""
+        if self._runner is None:
+            self._runner = Runner(jobs=self.config.jobs)
+        self._basis = build_serving_basis(self.config)
+        table = dispatch.export_basis(self._basis)
+        self._basis_token = table.token
+        # Install in this process first: a pool forked later inherits
+        # the registry for free.  The broadcast covers pools that
+        # already exist (shared runners) and spawn-based hosts.
+        dispatch.install_basis(table)
+        if self._use_pool():
+            self._runner.broadcast(dispatch.install_basis, table)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    async def wait_closed(self) -> None:
+        """Block until the listening socket shuts down."""
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    async def close(self, drain_timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, release worker attachments, stop.
+
+        Stops accepting, waits up to ``drain_timeout`` seconds for
+        in-flight requests (their arenas) to finish, closes the
+        remaining connections, then broadcasts the basis discard and
+        the end-of-run attachment release over the pool so workers
+        drop every mapping of this serving session before the runner
+        (if owned) tears down.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._budget.drained(), drain_timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - stuck shard
+            pass
+        for writer in list(self._writers):
+            writer.close()
+        if self._runner is not None:
+            if self._use_pool() and self._basis_token is not None:
+                try:
+                    self._runner.broadcast(
+                        dispatch.discard_basis, self._basis_token
+                    )
+                except Exception:  # pragma: no cover - dying pool
+                    pass
+            self._runner.release_worker_attachments()
+            if self._owns_runner:
+                self._runner.close()
+        if self._basis_token is not None:
+            dispatch.discard_basis(self._basis_token)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: frames in, response streams out.
+
+        Requests on a connection are served in arrival order.  Framing
+        errors (bad magic/version/length) poison the byte stream, so
+        they answer with one error frame and drop the connection;
+        request-level errors (bad grid, overload, a failing shard)
+        answer with an error frame and keep the connection alive.
+        """
+        frames = protocol.FrameReader(self.config.max_frame_bytes)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Shard frames are small and latency-bound: never Nagle them.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._writers.add(writer)
+        try:
+            while not self._closing:
+                data = await reader.read(1024 * 1024)
+                if not data:
+                    break
+                try:
+                    complete = frames.feed(data)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, protocol.encode_error(0, exc.code, str(exc))
+                    )
+                    break
+                for frame in complete:
+                    await self._handle_frame(frame, writer)
+                poison = frames.pending_error
+                if poison is not None:
+                    # Frames completed before the violation were served
+                    # above; now answer the violation and drop the
+                    # connection — the stream boundary is lost.
+                    await self._send(
+                        writer,
+                        protocol.encode_error(0, poison.code, str(poison)),
+                    )
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: bytes) -> None:
+        """Write one encoded frame and respect the transport's flow control."""
+        writer.write(frame)
+        await writer.drain()
+
+    async def _handle_frame(
+        self, frame: protocol.Frame, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse, admit (budget), process and answer one request frame."""
+        try:
+            request = protocol.parse_request(frame)
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                protocol.encode_error(frame.request_id, exc.code, str(exc)),
+            )
+            return
+        try:
+            self._check_grid(request)
+            await self._budget.acquire(request.packed.nbytes)
+        except ServingError as exc:
+            await self._send(
+                writer,
+                protocol.encode_error(request.request_id, exc.code, str(exc)),
+            )
+            return
+        try:
+            await self._process(request, writer)
+            self.requests_served += 1
+        except ServingError as exc:
+            await self._send(
+                writer,
+                protocol.encode_error(request.request_id, exc.code, str(exc)),
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    request.request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+            )
+        finally:
+            await self._budget.release(request.packed.nbytes)
+
+    def _check_grid(self, request: protocol.Request) -> None:
+        """Requests must live on the server basis's exact grid."""
+        grid = self.basis.grid
+        if request.n_samples != grid.n_samples or request.dt != grid.dt:
+            raise ServingError(
+                protocol.ERR_BAD_GRID,
+                f"request grid (n_samples={request.n_samples}, "
+                f"dt={request.dt}) does not match the serving basis grid "
+                f"(n_samples={grid.n_samples}, dt={grid.dt})",
+            )
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+
+    def _shard_bounds(self, request: protocol.Request) -> np.ndarray:
+        """Row boundaries of the request's shard plan.
+
+        The requested shard count (0: the server default, itself
+        defaulting to one shard per worker of the *runner actually
+        dispatching* — which may be a shared runner with more jobs
+        than the config names) is clamped to the wire count; like the
+        pipeline's shard plans, the split depends only on the request,
+        never on which workers pick the shards up.
+        """
+        pool_jobs = (
+            self._runner.jobs if self._runner is not None else self.config.jobs
+        )
+        wanted = request.n_shards or self.config.n_shards or max(1, pool_jobs)
+        n_shards = max(1, min(int(wanted), request.n_wires))
+        return np.linspace(0, request.n_wires, n_shards + 1).astype(np.int64)
+
+    async def _process(
+        self, request: protocol.Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """Run one admitted request and stream its response frames."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        batch = SpikeTrainBatch.from_packed(request.packed, request.grid())
+        bounds = self._shard_bounds(request)
+        if self._use_pool():
+            transport = "shared-arena"
+            shards = await self._dispatch_pool(request, batch, bounds, writer)
+        else:
+            transport = "in-process"
+            shards = await self._dispatch_inline(
+                request, batch, bounds, writer
+            )
+        summary = {
+            "kind": "done",
+            "mode": request.mode,
+            "n_wires": request.n_wires,
+            "n_shards": len(shards),
+            "labels": list(self.basis.labels),
+            "transport": transport,
+            "wall_seconds": loop.time() - started,
+            "server_residency": {
+                "packed": batch.packed_materialised,
+                "csr": batch.csr_materialised,
+                "raster": batch.raster_materialised,
+            },
+        }
+        await self._send(
+            writer,
+            protocol.encode_json_frame(
+                protocol.FRAME_DONE, request.request_id, summary
+            ),
+        )
+
+    async def _dispatch_pool(self, request, batch, bounds, writer):
+        """Shard over the worker pool through a per-request arena."""
+        with SharedArena() as arena:
+            handle = batch.to_shared(arena)
+            pending = [
+                self._runner.submit(
+                    dispatch.run_shard,
+                    dispatch.ShardTask(
+                        token=self._basis_token,
+                        wires=handle,
+                        row_start=int(lo),
+                        row_stop=int(hi),
+                        mode=request.mode,
+                        start_slot=request.start_slot,
+                        limit=request.limit,
+                    ),
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            return await self._stream_shards(
+                request, [lambda r=r: r.get() for r in pending], writer
+            )
+        # Arena closed here: segments unlink once the last worker
+        # detaches (the runner's release broadcast covers shutdown).
+
+    async def _dispatch_inline(self, request, batch, bounds, writer):
+        """Run the same shards in-process, off the event loop."""
+        jobs = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            rows = (
+                batch
+                if (lo, hi) == (0, request.n_wires)
+                else batch.select_rows(np.arange(lo, hi))
+            )
+            jobs.append(
+                lambda rows=rows, lo=int(lo), hi=int(hi): (
+                    dispatch.compute_shard(
+                        self.basis,
+                        rows,
+                        lo,
+                        hi,
+                        mode=request.mode,
+                        start_slot=request.start_slot,
+                        limit=request.limit,
+                    )
+                )
+            )
+        return await self._stream_shards(request, jobs, writer)
+
+    async def _stream_shards(self, request, getters, writer):
+        """Await each shard result off-loop and stream it as a frame."""
+        shards = []
+        for get in getters:
+            payload = await asyncio.to_thread(get)
+            payload["kind"] = "shard"
+            shards.append(payload)
+            await self._send(
+                writer,
+                protocol.encode_json_frame(
+                    protocol.FRAME_SHARD, request.request_id, payload
+                ),
+            )
+        return shards
+
+
+class ServerThread:
+    """A :class:`SpikeServer` on a private event loop in a daemon thread.
+
+    The embedding harness shared by the tests, the benchmark, the
+    example and the CI smoke job::
+
+        with ServerThread(ServerConfig(n_samples=4096)) as handle:
+            client = ServingClient(handle.host, handle.port)
+            ...
+
+    ``close()`` (or leaving the ``with`` block) performs the server's
+    graceful shutdown and joins the thread.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self._runner = runner
+        self.server: Optional[SpikeServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.port: Optional[int] = None
+
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self.config.host
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread and block until the socket is bound."""
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serving",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60.0):
+            raise ServingError(
+                protocol.ERR_INTERNAL, "server thread failed to start in 60s"
+            )
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = SpikeServer(self.config, self._runner)
+        try:
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        await self._stop.wait()
+        await server.close()
+
+    def close(self) -> None:
+        """Gracefully shut the server down and join the thread."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+async def _serve_until_signal(config: ServerConfig, out) -> None:
+    """Run one server until SIGINT/SIGTERM (or cancellation)."""
+    import signal
+
+    server = SpikeServer(config)
+    await server.start()
+    print(
+        f"repro serve: listening on {config.host}:{server.port} "
+        f"(M={config.basis_size}, n_samples={config.n_samples}, "
+        f"jobs={config.jobs}, seed={config.seed})",
+        file=out,
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    try:
+        await stop.wait()
+    finally:
+        print("repro serve: shutting down", file=out, flush=True)
+        await server.close()
+
+
+def serve_forever(config: ServerConfig, out=sys.stdout) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    try:
+        asyncio.run(_serve_until_signal(config, out))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0

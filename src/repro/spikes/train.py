@@ -7,6 +7,13 @@ sorted, duplicate-free integer array plus the grid that maps indices to
 physical time.  Set algebra (union, intersection, difference) over slots
 is what the intersection-based orthogonator computes, and orthogonality
 ("non-overlapping") is simply an empty slot intersection.
+
+The scalar type is the sparse end of the backend layer: set operations
+route through :func:`~repro.backend.core.select_backend` (merge when
+sparse, a dense pass when the operands occupy enough of the grid), and
+:meth:`SpikeTrain.to_batch` lifts a train into a
+:class:`~repro.backend.batch.SpikeTrainBatch` when whole-record
+vectorised work is wanted.
 """
 
 from __future__ import annotations

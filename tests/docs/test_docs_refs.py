@@ -1,0 +1,114 @@
+"""Every path and module the docs name must resolve.
+
+The documentation contract: any inline-code span in ``docs/*.md`` or
+``README.md`` that names a repository file (``src/repro/...py``,
+``benchmarks/...json``, ...) or a ``repro.*`` dotted module must point
+at something that exists, and any relative markdown link must resolve.
+Docs referring to *generated* locations must use placeholders
+(``<output-dir>/table1.json``) or plain prose so they never match the
+path pattern — that keeps this check strict instead of allowlisted.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+DOCS = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+#: A token that *is* a repository path: optional dot-leading segments,
+#: slash-separated, ending in a known source/docs extension.
+PATH_TOKEN = re.compile(
+    r"^\.?[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)*"
+    r"\.(?:py|md|json|yml|yaml|toml|txt|cfg)$"
+)
+
+#: A token that is a dotted repro module (optionally with attributes).
+MODULE_TOKEN = re.compile(r"^repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+$")
+
+#: Inline code spans (`...`); fenced blocks are stripped first.
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+#: Relative markdown links [text](target) — web links and anchors skipped.
+RELATIVE_LINK = re.compile(r"\[[^\]]*\]\((?!https?://|#|mailto:)([^)#]+)")
+
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+
+
+def iter_docs():
+    assert DOCS, "no documentation files found"
+    for path in DOCS:
+        assert path.exists(), path
+    return DOCS
+
+
+def strip_fenced_blocks(text: str) -> str:
+    """Remove fenced code blocks (shell transcripts may show fake paths)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def module_resolves(token: str) -> bool:
+    """True when some prefix of ``repro.a.b.C`` is a real module.
+
+    Trailing segments may be attributes (classes, functions), so the
+    check walks prefixes: ``repro.serving.client.ServingClient``
+    resolves through ``src/repro/serving/client.py``.
+    """
+    parts = token.split(".")
+    for end in range(len(parts), 1, -1):
+        base = REPO / "src" / pathlib.Path(*parts[:end])
+        if base.with_suffix(".py").exists() or (base / "__init__.py").exists():
+            return True
+    return False
+
+
+@pytest.mark.parametrize("doc", iter_docs(), ids=lambda p: p.name)
+def test_inline_code_paths_exist(doc):
+    text = strip_fenced_blocks(doc.read_text())
+    missing = []
+    for token in INLINE_CODE.findall(text):
+        token = token.strip()
+        if PATH_TOKEN.match(token):
+            if not (REPO / token).exists():
+                missing.append(token)
+        elif MODULE_TOKEN.match(token):
+            if not module_resolves(token):
+                missing.append(token)
+    assert not missing, f"{doc.name} references missing paths: {missing}"
+
+
+@pytest.mark.parametrize("doc", iter_docs(), ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    text = strip_fenced_blocks(doc.read_text())
+    missing = []
+    for target in RELATIVE_LINK.findall(text):
+        target = target.strip()
+        if not (doc.parent / target).exists() and not (REPO / target).exists():
+            missing.append(target)
+    assert not missing, f"{doc.name} links to missing targets: {missing}"
+
+
+def test_required_documents_exist():
+    """The acceptance set: architecture, serving, protocol, README."""
+    for name in (
+        "docs/architecture.md",
+        "docs/serving.md",
+        "docs/protocol.md",
+        "README.md",
+    ):
+        assert (REPO / name).exists(), name
+
+
+def test_docs_name_every_serving_module():
+    """architecture.md must keep covering the serving layer's files."""
+    text = (REPO / "docs" / "architecture.md").read_text()
+    for module in ("protocol.py", "server.py", "dispatch.py", "client.py"):
+        assert f"src/repro/serving/{module}" in text, module

@@ -211,6 +211,47 @@ class TestReleaseBroadcast:
         assert runner._pool is None
 
 
+def _pid_of_worker(_payload):
+    """Broadcast target: identify the executing worker process."""
+    import os
+
+    return os.getpid()
+
+
+def _double(value):
+    """Submit target: trivial payload round trip."""
+    return value * 2
+
+
+class TestDispatchPrimitives:
+    """The pool's public surface for non-experiment callers (serving)."""
+
+    def test_submit_requires_a_pool(self):
+        with Runner(jobs=1) as runner:
+            with pytest.raises(PipelineError):
+                runner.submit(_double, 21)
+
+    def test_broadcast_without_pool_returns_none(self):
+        with Runner(jobs=1) as runner:
+            assert runner.broadcast(_pid_of_worker) is None
+
+    def test_submit_runs_on_the_persistent_pool(self):
+        with Runner(jobs=2) as runner:
+            results = [runner.submit(_double, n) for n in range(5)]
+            assert [r.get(timeout=60) for r in results] == [0, 2, 4, 6, 8]
+
+    def test_broadcast_reaches_every_worker_exactly_once(self):
+        import os
+
+        with Runner(jobs=2) as runner:
+            pids = runner.broadcast(_pid_of_worker)
+            assert len(pids) == 2
+            assert len(set(pids)) == 2  # two distinct workers, once each
+            assert os.getpid() not in pids
+            # The barrier resets: a second broadcast works too.
+            assert set(runner.broadcast(_pid_of_worker)) == set(pids)
+
+
 class TestRunnerBasics:
     def test_jobs_must_be_positive(self):
         with pytest.raises(PipelineError):

@@ -1,0 +1,305 @@
+"""Protocol codec tests: round trips, framing rejection, ragged grids.
+
+The codec is the serving boundary's contract, so these tests are
+deliberately adversarial: every malformed frame class documented in
+``docs/protocol.md`` (bad magic, unsupported version, truncated and
+oversized payloads, nonzero reserved fields, dimension mismatches)
+must be rejected with the matching error code, and well-formed frames
+must round-trip bit-identically over grids whose length is *not* a
+multiple of 8 or 64 — the ragged-tail shapes the packed kernels are
+property-tested over.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.batch import SpikeTrainBatch
+from repro.backend.packed import n_packed_bytes
+from repro.errors import ProtocolError
+from repro.serving import protocol
+from repro.units import SimulationGrid
+
+#: Grid lengths exercising clean, byte-ragged and word-ragged tails.
+RAGGED_LENGTHS = [1, 7, 8, 63, 64, 65, 100, 511, 1000]
+
+
+def random_packed(rng, n_wires, n_samples, density=0.05):
+    """A random packed bitset with a clean tail, plus its batch."""
+    grid = SimulationGrid(n_samples=n_samples, dt=1e-9)
+    raster = rng.random((n_wires, n_samples)) < density
+    batch = SpikeTrainBatch.from_raster(raster, grid)
+    return batch.packbits(), grid, batch
+
+
+def feed_in_chunks(reader, data, rng):
+    """Feed ``data`` in random-size chunks, collecting every frame."""
+    frames = []
+    cursor = 0
+    while cursor < len(data):
+        step = int(rng.integers(1, 97))
+        frames.extend(reader.feed(data[cursor : cursor + step]))
+        cursor += step
+    return frames
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("n_samples", RAGGED_LENGTHS)
+    def test_ragged_grids_round_trip_bit_identically(self, n_samples):
+        rng = np.random.default_rng(n_samples)
+        packed, grid, batch = random_packed(rng, 5, n_samples, density=0.3)
+        wire = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, request_id=42
+        )
+        frames = protocol.FrameReader().feed(wire)
+        assert len(frames) == 1
+        request = protocol.parse_request(frames[0])
+        assert request.mode == "identify"
+        assert request.request_id == 42
+        assert request.n_samples == grid.n_samples
+        assert request.dt == grid.dt
+        assert np.array_equal(request.packed, packed)
+        # The parsed payload rebuilds the exact batch (packed-primary).
+        rebuilt = SpikeTrainBatch.from_packed(request.packed, request.grid())
+        assert rebuilt == batch
+
+    def test_property_randomized_round_trips(self):
+        rng = np.random.default_rng(2016)
+        for _trial in range(25):
+            n_samples = int(rng.integers(1, 700))
+            n_wires = int(rng.integers(1, 9))
+            packed, grid, batch = random_packed(
+                rng, n_wires, n_samples, density=float(rng.uniform(0, 0.5))
+            )
+            mode = ["identify", "membership"][int(rng.integers(2))]
+            start = int(rng.integers(0, n_samples + 1))
+            limit = (
+                None if rng.integers(2) else int(rng.integers(0, n_samples))
+            )
+            wire = protocol.encode_request(
+                packed,
+                grid.n_samples,
+                grid.dt,
+                mode=mode,
+                start_slot=start,
+                limit=limit,
+                n_shards=int(rng.integers(0, 9)),
+                request_id=int(rng.integers(0, 2**32)),
+            )
+            frames = feed_in_chunks(protocol.FrameReader(), wire, rng)
+            assert len(frames) == 1
+            request = protocol.parse_request(frames[0])
+            assert request.mode == mode
+            assert request.start_slot == start
+            assert request.limit == limit
+            assert np.array_equal(request.packed, packed)
+            assert (
+                SpikeTrainBatch.from_packed(request.packed, request.grid())
+                == batch
+            )
+
+    def test_several_frames_in_one_stream(self):
+        rng = np.random.default_rng(3)
+        stream = b""
+        for request_id in range(4):
+            packed, grid, _batch = random_packed(rng, 2, 100)
+            stream += protocol.encode_request(
+                packed, grid.n_samples, grid.dt, request_id=request_id
+            )
+        frames = feed_in_chunks(protocol.FrameReader(), stream, rng)
+        assert [frame.request_id for frame in frames] == [0, 1, 2, 3]
+
+    def test_limit_sentinel_is_none(self):
+        rng = np.random.default_rng(4)
+        packed, grid, _batch = random_packed(rng, 1, 64)
+        wire = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, mode="membership", limit=None
+        )
+        request = protocol.parse_request(
+            protocol.FrameReader().feed(wire)[0]
+        )
+        assert request.limit is None
+
+
+class TestJsonFrames:
+    def test_shard_and_done_round_trip(self):
+        for ftype in (protocol.FRAME_SHARD, protocol.FRAME_DONE):
+            payload = {"elements": [1, 2, -1], "wall_seconds": 0.25}
+            wire = protocol.encode_json_frame(ftype, 9, payload)
+            frame = protocol.FrameReader().feed(wire)[0]
+            assert frame.frame_type == ftype
+            assert frame.request_id == 9
+            assert protocol.parse_json_frame(frame) == payload
+
+    def test_error_frame_carries_code_and_name(self):
+        wire = protocol.encode_error(7, protocol.ERR_BAD_GRID, "wrong grid")
+        payload = protocol.parse_json_frame(
+            protocol.FrameReader().feed(wire)[0]
+        )
+        assert payload["code"] == protocol.ERR_BAD_GRID
+        assert payload["error"] == "BAD_GRID"
+        assert payload["message"] == "wrong grid"
+
+    def test_non_json_payload_rejected(self):
+        wire = protocol.encode_frame(protocol.FRAME_DONE, 1, b"\xff\xfe{")
+        frame = protocol.FrameReader().feed(wire)[0]
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_json_frame(frame)
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+
+class TestFramingRejection:
+    def encode_one(self, **overrides):
+        rng = np.random.default_rng(5)
+        packed, grid, _batch = random_packed(rng, 3, 100)
+        return protocol.encode_request(
+            packed, grid.n_samples, grid.dt, **overrides
+        )
+
+    def test_bad_magic(self):
+        wire = bytearray(self.encode_one())
+        wire[4:8] = b"NOPE"
+        with pytest.raises(ProtocolError) as err:
+            protocol.FrameReader().feed(bytes(wire))
+        assert err.value.code == protocol.ERR_BAD_MAGIC
+
+    def test_unsupported_version(self):
+        wire = bytearray(self.encode_one())
+        wire[8] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError) as err:
+            protocol.FrameReader().feed(bytes(wire))
+        assert err.value.code == protocol.ERR_BAD_VERSION
+
+    def test_nonzero_flags_rejected(self):
+        wire = bytearray(self.encode_one())
+        wire[10] = 1  # flags low byte
+        with pytest.raises(ProtocolError) as err:
+            protocol.FrameReader().feed(bytes(wire))
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_oversized_frame_rejected_from_the_length_prefix(self):
+        reader = protocol.FrameReader(max_frame_bytes=1024)
+        big = (2048).to_bytes(4, "little")
+        with pytest.raises(ProtocolError) as err:
+            reader.feed(big)
+        assert err.value.code == protocol.ERR_FRAME_TOO_LARGE
+
+    def test_declared_length_below_header_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.FrameReader().feed((4).to_bytes(4, "little"))
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_truncated_payload_rejected(self):
+        """A frame cut short re-framed as complete must not parse."""
+        wire = self.encode_one()
+        cut = wire[4 : len(wire) - 37]  # drop the length prefix + a tail
+        frame = protocol.FrameReader().feed(
+            len(cut).to_bytes(4, "little") + cut
+        )[0]
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame)
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_payload_shorter_than_request_header_rejected(self):
+        frame = protocol.Frame(
+            version=1,
+            frame_type=protocol.FRAME_IDENTIFY,
+            request_id=0,
+            payload=b"\x00" * 8,
+        )
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame)
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_trailing_garbage_rejected(self):
+        wire = self.encode_one()
+        body = wire[4:] + b"\x00" * 3
+        frame = protocol.FrameReader().feed(
+            len(body).to_bytes(4, "little") + body
+        )[0]
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame)
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_incomplete_frame_waits_instead_of_erroring(self):
+        wire = self.encode_one()
+        reader = protocol.FrameReader()
+        assert reader.feed(wire[:-10]) == []
+        assert reader.buffered_bytes == len(wire) - 10
+        frames = reader.feed(wire[-10:])
+        assert len(frames) == 1
+        assert reader.buffered_bytes == 0
+
+    def test_response_frame_is_not_a_request(self):
+        wire = protocol.encode_json_frame(protocol.FRAME_DONE, 1, {})
+        frame = protocol.FrameReader().feed(wire)[0]
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame)
+        assert err.value.code == protocol.ERR_BAD_TYPE
+
+
+class TestPoisonedStreamKeepsEarlierFrames:
+    def test_good_frames_survive_a_later_corrupt_frame(self):
+        rng = np.random.default_rng(8)
+        packed, grid, _batch = random_packed(rng, 2, 100)
+        good = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, request_id=1
+        )
+        corrupt = (32).to_bytes(4, "little") + b"X" * 32
+        reader = protocol.FrameReader()
+        frames = reader.feed(good + corrupt)
+        # The valid frame is returned, the violation is deferred...
+        assert len(frames) == 1
+        assert frames[0].request_id == 1
+        assert reader.pending_error is not None
+        assert reader.pending_error.code == protocol.ERR_BAD_MAGIC
+        # ...and raised on the next feed: the stream is unusable.
+        with pytest.raises(ProtocolError) as err:
+            reader.feed(b"")
+        assert err.value.code == protocol.ERR_BAD_MAGIC
+
+
+class TestErrorsSurvivePickling:
+    def test_serving_and_protocol_errors_round_trip(self):
+        """Worker-raised errors cross the pool's pickle boundary intact."""
+        import pickle
+
+        from repro.errors import ProtocolError as PE
+        from repro.errors import ServingError as SE
+
+        for exc in (SE(7, "budget"), PE(protocol.ERR_BAD_MAGIC, "magic")):
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert clone.code == exc.code
+            assert str(clone) == str(exc)
+
+
+class TestRequestValidation:
+    def test_zero_wires_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                np.empty((0, n_packed_bytes(64)), dtype=np.uint8), 64, 1e-9
+            )
+
+    def test_wrong_packed_width_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                np.zeros((2, 9), dtype=np.uint8), 64, 1e-9
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                np.zeros((1, 8), dtype=np.uint8), 64, 1e-9, mode="classify"
+            )
+
+    def test_start_slot_outside_grid_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                np.zeros((1, 8), dtype=np.uint8), 64, 1e-9, start_slot=65
+            )
+
+    def test_request_nbytes_matches_encoding(self):
+        rng = np.random.default_rng(6)
+        packed, grid, _batch = random_packed(rng, 4, 100)
+        wire = protocol.encode_request(packed, grid.n_samples, grid.dt)
+        assert len(wire) == 4 + protocol.request_nbytes(4, 100)

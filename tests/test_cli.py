@@ -40,6 +40,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_command_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.jobs == 1
+        assert args.basis_size == 16
+        assert args.n_samples == 65536
+        assert args.shards is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--jobs", "3",
+                "--basis-size", "8", "--n-samples", "4096",
+                "--shards", "2", "--seed", "7",
+            ]
+        )
+        assert args.port == 0
+        assert args.jobs == 3
+        assert args.basis_size == 8
+        assert args.n_samples == 4096
+        assert args.shards == 2
+        assert args.seed == 7
+
     def test_choices_come_from_registry(self):
         """The parser's experiment choices are exactly the registry."""
         run_action = next(
@@ -127,6 +152,33 @@ class TestRun:
             "speed", "aliasing", "scaling", "progressive", "energy",
             "gates", "search", "verification", "robustness", "identify",
         }
+
+
+class TestServeCommand:
+    def test_serve_builds_config_and_delegates(self, monkeypatch):
+        import repro.serving.server as server_mod
+
+        captured = {}
+
+        def fake_serve(config, out=None):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(server_mod, "serve_forever", fake_serve)
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", "--port", "0", "--jobs", "2",
+                "--n-samples", "4096", "--basis-size", "8",
+            ],
+            out=out,
+        )
+        assert code == 0
+        config = captured["config"]
+        assert config.port == 0
+        assert config.jobs == 2
+        assert config.n_samples == 4096
+        assert config.basis_size == 8
 
 
 @dataclass(frozen=True)

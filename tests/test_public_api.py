@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.pipeline",
+    "repro.serving",
     "repro.search",
     "repro.viz",
     "repro.cli",
