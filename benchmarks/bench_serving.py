@@ -2,29 +2,44 @@
 
 The serving layer's claim is not a kernel speedup — it is that the RPC
 boundary adds only framing and transport on top of the packed compute
-path.  Measured here on the serving-shaped workload (256 wires,
-M=16, T=65536, the same shape as the ``identify_batch`` bench): a
-client drives one embedded :class:`~repro.serving.server.SpikeServer`
-over TCP, timing whole requests (encode → socket → from_packed →
-shards → streamed JSON → merge) and reporting requests/sec plus
-p50/p99 latency, with the in-process ``identify_batch`` wall time of
-the same batch as the no-RPC baseline.
+path.  Two shapes are measured against one embedded
+:class:`~repro.serving.server.SpikeServer`:
 
-Records the ``serving_identify_rpc`` entry in
-``benchmarks/BENCH_batch.json``: ``seconds`` is the **best-of**
-request latency — the same minimum-damps-scheduler-noise methodology
-every gated entry uses (p50 would make the cross-machine
-``compare_bench.py`` gate fire on TCP/thread scheduling noise);
-``speedup`` is baseline/best — the fraction of a request that is
-compute rather than serving overhead (1.0 would mean a free RPC
-layer).  p50, p99 and requests/sec travel in the config block.
+* ``serving_identify_rpc`` — the serial shape (256 wires, M=16,
+  T=65536, one request at a time): whole-request wall time (encode →
+  socket → from_packed → compute → binary result frame → merge) with
+  the in-process ``identify_batch`` wall time of the same batch as
+  the no-RPC baseline.  Served on the fast path with version-2 binary
+  responses.
+* ``serving_identify_rpc_concurrent`` — the production shape (many
+  connections × pipelined streams of small 16-wire requests, request
+  coalescing on): per-request latency under concurrency, where the
+  server stacks compatible requests into wide micro-batches.  The
+  gate is that p50 stays within ~3× of the in-process compute of one
+  *round* of in-flight work (closed-loop streams each keep a request
+  outstanding, so a saturated request waits roughly a round) — i.e.
+  the serving layer adds at most a couple of compute-times of
+  overhead even at load — and the recorded req/s is the throughput
+  floor ``compare_bench.py`` holds future runs to.
+
+Both entries record ``seconds`` as the **best-of** request latency —
+the same minimum-damps-scheduler-noise methodology every gated entry
+uses (p50 would make the cross-machine ``compare_bench.py`` gate fire
+on TCP/thread scheduling noise); ``speedup`` is baseline/best — the
+fraction of a request that is compute rather than serving overhead
+(1.0 would mean a free RPC layer).  p50, p99 and requests/sec travel
+in the config blocks.
 """
+
+import asyncio
+import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.logic.correlator import CoincidenceCorrelator
-from repro.serving.client import ServingClient
+from repro.serving.client import AsyncServingClient, ServingClient
 from repro.serving.server import ServerConfig, ServerThread, build_serving_basis
 
 N_WIRES = 256
@@ -32,6 +47,31 @@ BASIS_SIZE = 16
 N_SAMPLES = 65536
 SOURCE_ISI_SAMPLES = 28
 N_REQUESTS = 30
+
+# Production-shaped concurrent load: many connections, each running
+# several pipelined streams of small requests.
+N_CLIENTS = 4
+STREAMS_PER_CLIENT = 8
+REQUESTS_PER_STREAM = 12
+WIRES_PER_REQUEST = 16
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tight_gil_switch():
+    """Shorten the GIL switch interval around the serving benchmarks.
+
+    The bench colocates the client thread(s) and the server's event
+    loop in one process (``ServerThread``), so every response puts the
+    interpreter's thread handoff in the measured path — and the
+    default 5 ms switch interval turns each handoff into a
+    multi-millisecond stall that a cross-process deployment never
+    sees.  0.1 ms keeps the handoff cost proportionate to the RPC
+    itself without touching the serving code under test.
+    """
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)
+    yield
+    sys.setswitchinterval(previous)
 
 
 @pytest.fixture(scope="module")
@@ -51,8 +91,6 @@ def serving_workload():
 
 
 def test_serving_identify_rpc(serving_workload, archive, bench_record, best_of):
-    import time
-
     config, basis, wires, elements = serving_workload
     correlator = CoincidenceCorrelator(basis)
     local = correlator.identify_batch(wires, missing="none")
@@ -116,3 +154,132 @@ def test_serving_identify_rpc(serving_workload, archive, bench_record, best_of):
     # payload size the request should stay within ~50x of the raw
     # batched pass even on a noisy CI machine.
     assert best < local_s * 50 + 0.05
+
+
+def test_serving_identify_rpc_concurrent(
+    serving_workload, archive, bench_record, best_of
+):
+    config, basis, wires, elements = serving_workload
+    correlator = CoincidenceCorrelator(basis)
+
+    # Each stream owns one small batch sliced from the big wire set.
+    rng = np.random.default_rng(7)
+    n_streams = N_CLIENTS * STREAMS_PER_CLIENT
+    streams = []
+    for _ in range(n_streams):
+        rows = rng.integers(0, N_WIRES, size=WIRES_PER_REQUEST)
+        streams.append((wires.select_rows(rows), elements[rows]))
+
+    # The fast-path baseline: one small batch, computed in process.
+    small_batch = streams[0][0]
+    local_s = best_of(
+        lambda: correlator.identify_batch(small_batch, missing="none")
+    )
+
+    serve_config = ServerConfig(
+        seed=config.seed,
+        basis_size=config.basis_size,
+        n_samples=config.n_samples,
+        source_isi_samples=config.source_isi_samples,
+        jobs=1,
+        coalesce_window=0.002,
+        coalesce_max_wires=128,
+    )
+
+    latencies = []
+
+    async def stream(client, batch, expected):
+        loop = asyncio.get_running_loop()
+        for _request in range(REQUESTS_PER_STREAM):
+            started = loop.time()
+            reply = await client.identify(batch)
+            latencies.append(loop.time() - started)
+            assert np.array_equal(reply.elements, expected)
+
+    async def drive(host, port):
+        clients = [
+            await AsyncServingClient.open(host, port)
+            for _client in range(N_CLIENTS)
+        ]
+        try:
+            await asyncio.gather(
+                *[
+                    stream(
+                        clients[index % N_CLIENTS],
+                        batch,
+                        expected,
+                    )
+                    for index, (batch, expected) in enumerate(streams)
+                ]
+            )
+            return await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.aclose()
+
+    with ServerThread(serve_config) as handle:
+        # Warm-up round (connection setup, first from_packed, JIT-warm
+        # caches) before the measured span.
+        asyncio.run(drive(handle.host, handle.port))
+        latencies.clear()
+        span_start = time.perf_counter()
+        stats = asyncio.run(drive(handle.host, handle.port))
+        span = time.perf_counter() - span_start
+
+    n_requests = n_streams * REQUESTS_PER_STREAM
+    latencies = np.sort(np.array(latencies))
+    assert latencies.size == n_requests
+    best = float(latencies[0])
+    p50 = float(np.percentile(latencies, 50))
+    p99 = float(np.percentile(latencies, 99))
+    requests_per_second = n_requests / span
+    wires_per_second = requests_per_second * WIRES_PER_REQUEST
+    compute_fraction = local_s / best
+
+    text = "\n".join(
+        [
+            "Serving front-end, concurrent identify RPC "
+            f"({N_CLIENTS} connections x {STREAMS_PER_CLIENT} streams, "
+            f"{WIRES_PER_REQUEST} wires/request, M={BASIS_SIZE}, "
+            f"T={N_SAMPLES}, {n_requests} requests, coalescing on)",
+            f"  request best   : {1e3 * best:8.3f} ms",
+            f"  request p50    : {1e3 * p50:8.3f} ms",
+            f"  request p99    : {1e3 * p99:8.3f} ms",
+            f"  throughput     : {requests_per_second:8.1f} req/s "
+            f"({wires_per_second:9.0f} wires/s)",
+            f"  coalescing     : {stats['coalesced_requests']} requests in "
+            f"{stats['coalesced_batches']} batches",
+            f"  in-process pass: {1e3 * local_s:8.3f} ms "
+            f"(compute fraction of best: {compute_fraction:.2f})",
+        ]
+    )
+    archive("serving_identify_rpc_concurrent.txt", text)
+    bench_record(
+        "serving_identify_rpc_concurrent",
+        {
+            "connections": N_CLIENTS,
+            "streams": n_streams,
+            "wires_per_request": WIRES_PER_REQUEST,
+            "basis_size": BASIS_SIZE,
+            "n_samples": N_SAMPLES,
+            "requests": n_requests,
+            "p50_seconds": round(p50, 6),
+            "p99_seconds": round(p99, 6),
+            "requests_per_second": round(requests_per_second, 1),
+            "coalesced_batches": int(stats["coalesced_batches"]),
+            "local_seconds": round(local_s, 6),
+        },
+        seconds=best,
+        speedup=compute_fraction,
+    )
+    # The tentpole gate: closed-loop streams keep one request in
+    # flight each, so under saturation every request waits roughly one
+    # full round of in-flight work — the in-process baseline for a
+    # round is ``n_streams`` times the one-batch pass.  p50 within ~3x
+    # of that bounds the serving layer's per-request overhead at a
+    # couple of compute-times even at full load; the additive floor
+    # absorbs the coalescing window and scheduler noise on shared CI
+    # machines.
+    assert p50 < 3 * n_streams * local_s + 0.008
+    # Coalescing must actually be engaging under this load.
+    assert stats["coalesced_batches"] < n_requests

@@ -222,6 +222,11 @@ class SpikeTrainBatch:
         bits masked off as :func:`np.unpackbits` with ``count`` would)
         becomes the batch's resident representation and the CSR decodes
         lazily, occupied bytes only — the dense raster is never built.
+
+        When the grid's byte width is already word-aligned with no tail
+        bits (``n_samples`` a multiple of 64) a contiguous bitset is
+        adopted zero-copy: the batch views the caller's buffer, which
+        must not be mutated afterwards.
         """
         packed = np.asarray(packed, dtype=np.uint8)
         n_bytes = packed_kernels.n_packed_bytes(grid.n_samples)
@@ -231,6 +236,12 @@ class SpikeTrainBatch:
                 f"(N, {n_bytes})"
             )
         n_words = packed_kernels.n_packed_words(grid.n_samples)
+        if grid.n_samples % 64 == 0 and packed.flags.c_contiguous:
+            # Every byte is in-grid and the row stride is a whole number
+            # of words: reinterpret in place, no pad / no tail to clear.
+            return cls._from_packed_words(
+                packed.view(np.uint64), grid, validate=False
+            )
         padded = np.zeros((packed.shape[0], n_words * 8), dtype=np.uint8)
         padded[:, :n_bytes] = packed
         words = padded.view(np.uint64)

@@ -61,6 +61,7 @@ __all__ = [
     "pairwise_counts",
     "coincidence_any",
     "first_set_slots",
+    "first_and_slots",
     "first_coincident_slots",
     "clear_slots_before",
     "clear_slots_from",
@@ -356,6 +357,46 @@ def first_set_slots(words: np.ndarray) -> np.ndarray:
         + _FIRST_SLOT_LUT[word_bytes[rows, first_byte]]
     )
     return np.where(hit, slots, -1)
+
+
+def first_and_slots(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    start: int = 0,
+    chunk_words: int = 64,
+) -> np.ndarray:
+    """Earliest slot ``>= start`` set in ``a[i] & b`` per row (-1: none).
+
+    ``b`` is one reference row ``(n_words,)`` broadcast against every
+    row of ``a`` (or a matching ``(N, n_words)`` matrix).  Equivalent to
+    ``first_set_slots`` of the masked AND, but chunked over words with
+    early exit: a row drops out of the scan the moment its first
+    coincident word is found, so when coincidences come early (the
+    serving identify path) only the first chunk's bytes are ever
+    touched — the full-width AND is the worst case, never the
+    common one.
+    """
+    n_rows, n_words = a.shape[0], a.shape[1]
+    out = np.full(n_rows, -1, dtype=np.int64)
+    w0 = min(max(start, 0) >> 6, n_words)
+    start_rem = max(start, 0) & 63
+    unresolved = np.arange(n_rows)
+    per_row = b.ndim == 2
+    for lo in range(w0, n_words, chunk_words):
+        if unresolved.size == 0:
+            break
+        hi = min(lo + chunk_words, n_words)
+        ref = b[unresolved, lo:hi] if per_row else b[lo:hi]
+        block = a[unresolved, lo:hi] & ref
+        if lo == w0 and start_rem:
+            # Slots < start inside the first scanned word don't count.
+            block[:, 0] &= ~le_word_masks(np.array([start - 1]))[0]
+        slots = first_set_slots(block)
+        found = slots >= 0
+        out[unresolved[found]] = lo * 64 + slots[found]
+        unresolved = unresolved[~found]
+    return out
 
 
 def first_coincident_slots(wires: np.ndarray, refs: np.ndarray) -> np.ndarray:

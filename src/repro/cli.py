@@ -134,6 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shards per request (default: one per job)",
     )
+    serve.add_argument(
+        "--fast-path-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="serve requests up to this payload size inline, skipping "
+        "the arena/pool pipeline; 0 disables the fast path "
+        "(default 4 MiB)",
+    )
+    serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=0.0,
+        help="stack compatible small requests arriving within this "
+        "window into one wide batch; 0 disables coalescing (default 0)",
+    )
+    serve.add_argument(
+        "--coalesce-max-wires",
+        type=_positive_int,
+        default=4096,
+        help="flush a coalescing bucket once this many wires "
+        "accumulate (default 4096)",
+    )
     return parser
 
 
@@ -217,6 +239,9 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             n_samples=args.n_samples,
             jobs=args.jobs,
             n_shards=args.shards if args.shards is not None else 0,
+            fast_path_bytes=args.fast_path_bytes,
+            coalesce_window=args.coalesce_window_ms / 1000.0,
+            coalesce_max_wires=args.coalesce_max_wires,
         )
         return serve_forever(config, out=out)
 

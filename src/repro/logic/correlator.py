@@ -370,10 +370,9 @@ class CoincidenceCorrelator:
         """
         words = batch.packed_words()
         n = batch.n_trains
-        hits = words & self.basis.owned_words
-        if start_slot > 0:
-            packed_kernels.clear_slots_before(hits, start_slot)
-        decision = packed_kernels.first_set_slots(hits)
+        decision = packed_kernels.first_and_slots(
+            words, self.basis.owned_words, start=start_slot
+        )
         missed = decision < 0
         if missing == "raise" and missed.any():
             raise IdentificationError(
@@ -381,15 +380,25 @@ class CoincidenceCorrelator:
                 f"{np.flatnonzero(missed).tolist()} and any of the "
                 f"{self.basis.size} basis elements"
             )
-        del hits
         # Spikes inspected = wire spikes in [start_slot, decision] =
         # bits≤decision − bits≤start−1, both from one popcount prefix
         # sum over the *unmodified* words (int32: row totals are
         # bounded by the grid length) — no windowed copy of the batch.
+        # The prefix sum stops at the last word any row indexes into
+        # (decisions come early on the serving path; the grid tail
+        # would be popcounted for nothing).
         safe = np.where(missed, 0, decision)
         rows = np.arange(n)
+        last_word = int(safe.max(initial=0)) >> 6
+        if start_slot > 0:
+            last_word = max(
+                last_word,
+                (min(start_slot, self.basis.grid.n_samples) - 1) >> 6,
+            )
         cumulative = np.cumsum(
-            packed_kernels.popcount(words), axis=1, dtype=np.int32
+            packed_kernels.popcount(words[:, : last_word + 1]),
+            axis=1,
+            dtype=np.int32,
         )
 
         def bits_through(slots):

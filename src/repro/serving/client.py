@@ -1,16 +1,24 @@
-"""Reference client for the packed-bitset serving protocol.
+"""Reference clients for the packed-bitset serving protocol.
 
 :class:`ServingClient` is the canonical consumer of
 :mod:`repro.serving.protocol` — a small blocking-socket client used by
 the integration tests, ``benchmarks/bench_serving.py``,
 ``examples/serve_and_query.py`` and the CI smoke job, and the
 copy-pasteable starting point documented in ``docs/serving.md``.
+:class:`AsyncServingClient` is its asyncio sibling for **pipelined**
+use: many requests in flight on one connection, responses demuxed by
+request id as the server interleaves them.
 
-The client never touches spike indices either: it takes a
+Neither client ever touches spike indices: both take a
 :class:`~repro.backend.batch.SpikeTrainBatch` (or an already-packed
-bitset), frames its ``packbits`` transport form — packed straight from
-the CSR, no raster — and merges the per-shard JSON frames the server
-streams back into whole-batch result arrays.
+bitset), frame its ``packbits`` transport form — packed straight from
+the CSR, no raster, and handed to the socket as buffer views without
+an intermediate concatenation copy — and merge the per-shard response
+frames the server streams back into whole-batch result arrays.  By
+default requests are stamped protocol version 2, so results return as
+binary frames (:func:`~repro.serving.protocol.parse_result_frame`);
+``version=1`` selects the JSON response encoding, and the merged
+replies are bit-identical either way.
 
 Usage::
 
@@ -22,11 +30,12 @@ Usage::
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import socket
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -35,7 +44,12 @@ from ..errors import ProtocolError, ServingError
 from ..units import SimulationGrid
 from . import protocol
 
-__all__ = ["ServingClient", "IdentifyReply", "MembershipReply"]
+__all__ = [
+    "ServingClient",
+    "AsyncServingClient",
+    "IdentifyReply",
+    "MembershipReply",
+]
 
 
 @dataclass(frozen=True)
@@ -68,12 +82,50 @@ class MembershipReply:
     summary: dict
 
 
+def _parse_response(frame: protocol.Frame) -> dict:
+    """Decode one response frame's payload, either encoding."""
+    if frame.frame_type == protocol.FRAME_RESULT:
+        return protocol.parse_result_frame(frame)
+    return protocol.parse_json_frame(frame)
+
+
+def _raise_server_error(payload: dict) -> None:
+    raise ServingError(
+        int(payload.get("code", protocol.ERR_INTERNAL)),
+        f"server error {payload.get('error', 'UNKNOWN')}: "
+        f"{payload.get('message', '')}",
+    )
+
+
+def _identify_reply(shards: List[dict], summary: dict) -> IdentifyReply:
+    return IdentifyReply(
+        elements=_merged(shards, "elements"),
+        decision_slots=_merged(shards, "decision_slots"),
+        spikes_inspected=_merged(shards, "spikes_inspected"),
+        labels=list(summary.get("labels", [])),
+        shards=shards,
+        summary=summary,
+    )
+
+
+def _membership_reply(shards: List[dict], summary: dict) -> MembershipReply:
+    return MembershipReply(
+        membership=_merged(shards, "membership").astype(bool),
+        first_slots=_merged(shards, "first_slots"),
+        labels=list(summary.get("labels", [])),
+        shards=shards,
+        summary=summary,
+    )
+
+
 class ServingClient:
     """Blocking client for one serving endpoint.
 
     One TCP connection, reused across requests; close with
     :meth:`close` or a ``with`` block.  Not thread-safe — use one
-    client per thread (the benchmark does exactly that).
+    client per thread (the benchmark does exactly that).  ``version``
+    selects the response encoding the server answers with (2: binary
+    result frames, the default; 1: JSON shards).
     """
 
     def __init__(
@@ -83,10 +135,22 @@ class ServingClient:
         *,
         timeout: float = 60.0,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        version: int = protocol.PROTOCOL_VERSION,
     ) -> None:
+        if version not in protocol.SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                protocol.ERR_BAD_VERSION,
+                f"cannot speak protocol version {version}",
+            )
+        self._version = int(version)
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        # Request/response frames are latency-bound: never Nagle them.
+        # Request/response frames are latency-bound: never Nagle them,
+        # and let a whole multi-megabyte request enter the send buffer
+        # in one call instead of draining it in scheduler round trips.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_SNDBUF, 4 * 1024 * 1024
+        )
         self._reader = protocol.FrameReader(max_frame_bytes)
         self._pending: Deque[protocol.Frame] = deque()
         self._request_ids = itertools.count(1)
@@ -109,14 +173,7 @@ class ServingClient:
             packed, grid, mode="identify",
             start_slot=start_slot, n_shards=n_shards,
         )
-        return IdentifyReply(
-            elements=_merged(shards, "elements"),
-            decision_slots=_merged(shards, "decision_slots"),
-            spikes_inspected=_merged(shards, "spikes_inspected"),
-            labels=list(summary.get("labels", [])),
-            shards=shards,
-            summary=summary,
-        )
+        return _identify_reply(shards, summary)
 
     def membership(
         self,
@@ -132,13 +189,28 @@ class ServingClient:
             packed, grid, mode="membership",
             limit=until_slot, n_shards=n_shards,
         )
-        return MembershipReply(
-            membership=_merged(shards, "membership").astype(bool),
-            first_slots=_merged(shards, "first_slots"),
-            labels=list(summary.get("labels", [])),
-            shards=shards,
-            summary=summary,
+        return _membership_reply(shards, summary)
+
+    def stats(self) -> dict:
+        """The server's :class:`~repro.serving.server.ServerStats` snapshot."""
+        request_id = next(self._request_ids)
+        self._sock.sendall(
+            protocol.encode_stats_request(request_id, version=self._version)
         )
+        frame = self._next_frame()
+        payload = protocol.parse_json_frame(frame)
+        if frame.frame_type == protocol.FRAME_ERROR:
+            _raise_server_error(payload)
+        if (
+            frame.frame_type != protocol.FRAME_STATS_REPLY
+            or frame.request_id != request_id
+        ):
+            raise ProtocolError(
+                protocol.ERR_BAD_TYPE,
+                f"unexpected frame type 0x{frame.frame_type:02x} "
+                f"answering a stats request",
+            )
+        return payload
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -174,8 +246,11 @@ class ServingClient:
     ):
         """Send one request, collect shard frames until done/error."""
         request_id = next(self._request_ids)
-        self._sock.sendall(
-            protocol.encode_request(
+        # sendmsg scatter-gathers the header and the caller's bitset
+        # straight from their own buffers — no concatenation copy of
+        # the payload on the way out.
+        self._sock.sendmsg(
+            protocol.encode_request_parts(
                 packed,
                 grid.n_samples,
                 grid.dt,
@@ -184,6 +259,7 @@ class ServingClient:
                 limit=limit,
                 n_shards=n_shards,
                 request_id=request_id,
+                version=self._version,
             )
         )
         shards: List[dict] = []
@@ -195,14 +271,13 @@ class ServingClient:
                     f"response for request {frame.request_id}, "
                     f"expected {request_id}",
                 )
-            payload = protocol.parse_json_frame(frame)
+            payload = _parse_response(frame)
             if frame.frame_type == protocol.FRAME_ERROR:
-                raise ServingError(
-                    int(payload.get("code", protocol.ERR_INTERNAL)),
-                    f"server error {payload.get('error', 'UNKNOWN')}: "
-                    f"{payload.get('message', '')}",
-                )
-            if frame.frame_type == protocol.FRAME_SHARD:
+                _raise_server_error(payload)
+            if frame.frame_type in (
+                protocol.FRAME_SHARD,
+                protocol.FRAME_RESULT,
+            ):
                 shards.append(payload)
                 continue
             if frame.frame_type == protocol.FRAME_DONE:
@@ -228,6 +303,254 @@ class ServingClient:
                 )
             self._pending.extend(self._reader.feed(data))
         return self._pending.popleft()
+
+
+@dataclass
+class _Inflight:
+    """One pipelined request awaiting its DONE (or STATS reply)."""
+
+    future: asyncio.Future
+    shards: List[dict] = field(default_factory=list)
+
+
+class AsyncServingClient:
+    """Pipelined asyncio client: many requests in flight per connection.
+
+    A background reader task demuxes the server's interleaved response
+    frames by request id, so concurrent ``identify`` / ``membership``
+    coroutines share one connection::
+
+        client = await AsyncServingClient.open(host, port)
+        replies = await asyncio.gather(
+            *[client.identify(batch) for batch in batches]
+        )
+        await client.aclose()
+
+    This is what makes the server's coalescing window reachable from a
+    single process: requests issued together arrive together.  The
+    request API mirrors :class:`ServingClient` (same replies, same
+    defaults); ``version`` picks the response encoding, binary result
+    frames by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        version: int = protocol.PROTOCOL_VERSION,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if version not in protocol.SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                protocol.ERR_BAD_VERSION,
+                f"cannot speak protocol version {version}",
+            )
+        self._version = int(version)
+        self._frames = protocol.FrameReader(max_frame_bytes)
+        self._request_ids = itertools.count(1)
+        self._inflight: Dict[int, _Inflight] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        *,
+        version: int = protocol.PROTOCOL_VERSION,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncServingClient":
+        """Connect and start the demux reader."""
+        client = cls(version=version, max_frame_bytes=max_frame_bytes)
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        sock = client._writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client._reader_task = asyncio.create_task(client._read_loop())
+        return client
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+
+    async def identify(
+        self,
+        wires: Union[SpikeTrainBatch, np.ndarray],
+        grid: Optional[SimulationGrid] = None,
+        *,
+        start_slot: int = 0,
+        n_shards: int = 0,
+    ) -> IdentifyReply:
+        """Identify every wire in ``wires`` against the server's basis."""
+        packed, grid = ServingClient._transport_form(wires, grid)
+        shards, summary = await self._round_trip(
+            packed, grid, mode="identify",
+            start_slot=start_slot, n_shards=n_shards,
+        )
+        return _identify_reply(shards, summary)
+
+    async def membership(
+        self,
+        wires: Union[SpikeTrainBatch, np.ndarray],
+        grid: Optional[SimulationGrid] = None,
+        *,
+        until_slot: Optional[int] = None,
+        n_shards: int = 0,
+    ) -> MembershipReply:
+        """Set-membership readout of every wire against the basis."""
+        packed, grid = ServingClient._transport_form(wires, grid)
+        shards, summary = await self._round_trip(
+            packed, grid, mode="membership",
+            limit=until_slot, n_shards=n_shards,
+        )
+        return _membership_reply(shards, summary)
+
+    async def stats(self) -> dict:
+        """The server's stats snapshot (shares the pipelined demux)."""
+        request_id = next(self._request_ids)
+        entry = self._register(request_id)
+        self._writer.write(
+            protocol.encode_stats_request(request_id, version=self._version)
+        )
+        await self._writer.drain()
+        _, payload = await entry.future
+        return payload
+
+    async def aclose(self) -> None:
+        """Stop the reader, fail anything still pending, close the socket."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        self._fail_all(
+            ProtocolError(protocol.ERR_BAD_FRAME, "client closed")
+        )
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncServingClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Wire mechanics
+    # ------------------------------------------------------------------
+
+    def _register(self, request_id: int) -> _Inflight:
+        if self._writer is None:
+            raise ServingError(
+                protocol.ERR_INTERNAL,
+                "client is not connected (use AsyncServingClient.open)",
+            )
+        entry = _Inflight(future=asyncio.get_running_loop().create_future())
+        self._inflight[request_id] = entry
+        return entry
+
+    async def _round_trip(
+        self, packed, grid, *, mode, start_slot=0, limit=None, n_shards=0
+    ):
+        request_id = next(self._request_ids)
+        entry = self._register(request_id)
+        # writelines hands the header and the caller's bitset to the
+        # transport as separate buffers — no concatenation copy — and
+        # both parts enqueue in one synchronous call, so concurrent
+        # requests cannot interleave their bytes.
+        self._writer.writelines(
+            protocol.encode_request_parts(
+                packed,
+                grid.n_samples,
+                grid.dt,
+                mode=mode,
+                start_slot=start_slot,
+                limit=limit,
+                n_shards=n_shards,
+                request_id=request_id,
+                version=self._version,
+            )
+        )
+        await self._writer.drain()
+        shards, summary = await entry.future
+        shards.sort(key=lambda shard: shard["row_start"])
+        return shards, summary
+
+    async def _read_loop(self) -> None:
+        """Demux every inbound frame to its request's inflight entry."""
+        try:
+            while True:
+                data = await self._reader.read(1024 * 1024)
+                if not data:
+                    raise ProtocolError(
+                        protocol.ERR_BAD_FRAME,
+                        "connection closed with requests in flight",
+                    )
+                for frame in self._frames.feed(data):
+                    self._dispatch(frame)
+                poison = self._frames.pending_error
+                if poison is not None:
+                    raise poison
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - delivered to waiters
+            self._fail_all(exc)
+
+    def _dispatch(self, frame: protocol.Frame) -> None:
+        if frame.frame_type == protocol.FRAME_ERROR:
+            payload = protocol.parse_json_frame(frame)
+            error = ServingError(
+                int(payload.get("code", protocol.ERR_INTERNAL)),
+                f"server error {payload.get('error', 'UNKNOWN')}: "
+                f"{payload.get('message', '')}",
+            )
+            if frame.request_id == 0:
+                # Connection-scope error: the stream is done for.
+                self._fail_all(error)
+                return
+            entry = self._inflight.pop(frame.request_id, None)
+            if entry is not None and not entry.future.done():
+                entry.future.set_exception(error)
+            return
+        entry = self._inflight.get(frame.request_id)
+        if entry is None:
+            raise ProtocolError(
+                protocol.ERR_BAD_FRAME,
+                f"response for unknown request {frame.request_id}",
+            )
+        if frame.frame_type in (protocol.FRAME_SHARD, protocol.FRAME_RESULT):
+            entry.shards.append(_parse_response(frame))
+            return
+        if frame.frame_type in (
+            protocol.FRAME_DONE,
+            protocol.FRAME_STATS_REPLY,
+        ):
+            self._inflight.pop(frame.request_id, None)
+            if not entry.future.done():
+                entry.future.set_result(
+                    (entry.shards, protocol.parse_json_frame(frame))
+                )
+            return
+        raise ProtocolError(
+            protocol.ERR_BAD_TYPE,
+            f"unexpected frame type 0x{frame.frame_type:02x}",
+        )
+
+    def _fail_all(self, exc: Exception) -> None:
+        inflight, self._inflight = self._inflight, {}
+        for entry in inflight.values():
+            if not entry.future.done():
+                entry.future.set_exception(exc)
 
 
 def _merged(shards: List[dict], key: str) -> np.ndarray:

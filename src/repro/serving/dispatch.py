@@ -176,9 +176,14 @@ def compute_shard(
     start_slot: int = 0,
     limit: Optional[int] = None,
 ) -> dict:
-    """Run one shard's receiver pass and return its JSON-ready payload.
+    """Run one shard's receiver pass and return its payload dict.
 
-    The common core of the pool and in-process paths.  ``rows`` is
+    The common core of the pool, in-process, fast and coalesced paths.
+    Array fields stay NumPy arrays (``membership`` boolean) — the
+    response encoder picks the wire form at the boundary: version-2
+    binary result frames ship the buffers directly, the version-1 JSON
+    path converts through
+    :func:`~repro.serving.protocol.jsonable_payload`.  ``rows`` is
     expected packed-primary; the payload's ``residency`` block records
     which representations the batch held *after* the pass, which is how
     the integration tests (and any auditing client) verify the bitset
@@ -191,15 +196,15 @@ def compute_shard(
             rows, start_slot=start_slot, missing="none"
         )
         body = {
-            "elements": outcome.elements.tolist(),
-            "decision_slots": outcome.decision_slots.tolist(),
-            "spikes_inspected": outcome.spikes_inspected.tolist(),
+            "elements": outcome.elements,
+            "decision_slots": outcome.decision_slots,
+            "spikes_inspected": outcome.spikes_inspected,
         }
     elif mode == "membership":
         outcome = correlator.detect_members_batch(rows, until_slot=limit)
         body = {
-            "membership": outcome.membership.astype(int).tolist(),
-            "first_slots": outcome.first_slots.tolist(),
+            "membership": outcome.membership,
+            "first_slots": outcome.first_slots,
         }
     else:
         raise ServingError(ERR_INTERNAL, f"unknown shard mode {mode!r}")

@@ -19,23 +19,36 @@ Framing (all integers little-endian)::
 The frame header is ``magic "REPB" | version u8 | type u8 | flags u16 |
 request_id u32 | reserved u32``.  Requests carry a fixed 28-byte
 request header (wire counts, grid geometry, scan options) followed by
-the bitset; responses carry UTF-8 JSON.  The byte-level layout, the
-versioning rules and the error codes are documented in
-``docs/protocol.md`` — this module is their single executable source.
+the bitset.  The byte-level layout, the versioning rules and the error
+codes are documented in ``docs/protocol.md`` — this module is their
+single executable source.
+
+Two response encodings exist, **negotiated per request frame**: the
+version byte a client stamps on its request selects the encoding of
+every response frame for that request.  Version 1 responses are UTF-8
+JSON (``FRAME_SHARD``); version 2 responses carry each shard's result
+as one binary ``FRAME_RESULT`` — a 24-byte result header followed by
+little-endian arrays (identify) or the ``np.packbits`` membership bits
+plus first-slot array (membership), so the hot serving path never
+JSON-encodes per-shard arrays.  DONE, ERROR and STATS payloads stay
+JSON in both versions (one small frame per request, and clients must
+tolerate unknown keys there).
 
 Version policy: ``PROTOCOL_VERSION`` bumps on any incompatible header
 or payload change; a decoder rejects frames whose version it does not
-implement with :data:`ERR_BAD_VERSION` (the magic never changes, so a
-version mismatch is always reportable).  ``flags`` and the ``reserved``
-fields must be zero in version 1.
+implement (not in :data:`SUPPORTED_VERSIONS`) with
+:data:`ERR_BAD_VERSION` (the magic never changes, so a version
+mismatch is always reportable).  ``flags`` and the ``reserved`` fields
+must be zero in versions 1 and 2.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -46,10 +59,14 @@ from ..units import SimulationGrid
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "FRAME_IDENTIFY",
     "FRAME_MEMBERSHIP",
+    "FRAME_STATS",
     "FRAME_SHARD",
     "FRAME_DONE",
+    "FRAME_RESULT",
+    "FRAME_STATS_REPLY",
     "FRAME_ERROR",
     "LIMIT_FULL",
     "DEFAULT_MAX_FRAME_BYTES",
@@ -67,10 +84,15 @@ __all__ = [
     "FrameReader",
     "encode_frame",
     "encode_request",
+    "encode_request_parts",
     "parse_request",
     "encode_json_frame",
     "parse_json_frame",
+    "encode_result_frame",
+    "parse_result_frame",
+    "encode_stats_request",
     "encode_error",
+    "jsonable_payload",
     "request_nbytes",
 ]
 
@@ -78,19 +100,33 @@ __all__ = [
 MAGIC = b"REPB"
 
 #: Current protocol version; bumped on incompatible layout changes.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Versions this build decodes.  Version 1 responses are JSON,
+#: version 2 responses are binary result frames; request layout is
+#: identical in both.
+SUPPORTED_VERSIONS = (1, 2)
 
 # Frame types.  Requests sit below 0x80, responses at or above it, so a
 # misdirected frame is caught by the type check rather than a payload
 # parse.
 FRAME_IDENTIFY = 0x01
 FRAME_MEMBERSHIP = 0x02
+FRAME_STATS = 0x10
 FRAME_SHARD = 0x81
 FRAME_DONE = 0x82
+FRAME_RESULT = 0x83
+FRAME_STATS_REPLY = 0x84
 FRAME_ERROR = 0xFF
 
 _REQUEST_TYPES = (FRAME_IDENTIFY, FRAME_MEMBERSHIP)
-_RESPONSE_TYPES = (FRAME_SHARD, FRAME_DONE, FRAME_ERROR)
+_JSON_RESPONSE_TYPES = (
+    FRAME_SHARD,
+    FRAME_DONE,
+    FRAME_STATS_REPLY,
+    FRAME_ERROR,
+)
+_RESPONSE_TYPES = _JSON_RESPONSE_TYPES + (FRAME_RESULT,)
 
 _MODE_BY_TYPE = {FRAME_IDENTIFY: "identify", FRAME_MEMBERSHIP: "membership"}
 _TYPE_BY_MODE = {mode: ftype for ftype, mode in _MODE_BY_TYPE.items()}
@@ -134,13 +170,33 @@ _HEADER = struct.Struct("<4sBBHII")
 #: n_shards, reserved.
 _REQUEST = struct.Struct("<IIdIIHH")
 
+#: Binary result header (version 2): mode, residency bits, reserved,
+#: row_start, row_stop, n_cols, wall_seconds.
+_RESULT = struct.Struct("<BBHIIId")
+
 HEADER_BYTES = _HEADER.size  # 16
 REQUEST_HEADER_BYTES = _REQUEST.size  # 28
+RESULT_HEADER_BYTES = _RESULT.size  # 24
+
+#: Residency bits of the binary result header.
+_RES_PACKED = 0x01
+_RES_CSR = 0x02
+_RES_RASTER = 0x04
+
+_MODE_CODES = {"identify": 1, "membership": 2}
+_MODE_BY_CODE = {code: mode for mode, code in _MODE_CODES.items()}
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: header fields plus the raw payload bytes."""
+    """One decoded frame: header fields plus the raw payload bytes.
+
+    ``payload`` is a read-only :class:`memoryview` over the frame body
+    when decoded by :class:`FrameReader` (zero-copy — consumers like
+    ``np.frombuffer`` and ``struct.unpack_from`` read it in place),
+    but plain ``bytes`` are accepted anywhere a ``Frame`` is built by
+    hand.
+    """
 
     version: int
     frame_type: int
@@ -166,6 +222,9 @@ class Request:
     start_slot: int
     limit: Optional[int]
     n_shards: int
+    #: Protocol version of the request frame — the response encoding
+    #: the client asked for (1: JSON shards, 2: binary result frames).
+    version: int = PROTOCOL_VERSION
 
     @property
     def n_wires(self) -> int:
@@ -202,7 +261,7 @@ def encode_frame(
     return _LENGTH.pack(len(header) + len(payload)) + header + payload
 
 
-def encode_request(
+def encode_request_parts(
     packed: np.ndarray,
     n_samples: int,
     dt: float,
@@ -212,18 +271,27 @@ def encode_request(
     limit: Optional[int] = None,
     n_shards: int = 0,
     request_id: int = 0,
-) -> bytes:
-    """Encode one request frame around an ``np.packbits`` bitset.
+    version: int = PROTOCOL_VERSION,
+) -> List[memoryview]:
+    """Encode one request frame as ``[prefix, bitset]`` buffer parts.
 
+    The zero-copy flavour of :func:`encode_request`: the first part is
+    the length prefix + frame header + request header, the second a
+    read-only view of the caller's bitset — nothing is concatenated, so
+    a client can hand both straight to ``socket.sendmsg`` /
+    ``StreamWriter.writelines`` without ever copying the payload.
     ``packed`` must already be the ``(N, ceil(n_samples / 8))``
     ``uint8`` transport form (e.g.
-    :meth:`~repro.backend.batch.SpikeTrainBatch.packbits`); the encoder
-    frames it verbatim — no per-spike work, no unpacking.  ``n_shards``
+    :meth:`~repro.backend.batch.SpikeTrainBatch.packbits`).  ``n_shards``
     0 asks the server to use its own default; ``limit`` bounds a
     membership scan (None: the whole grid).
     """
     if mode not in _TYPE_BY_MODE:
         raise ProtocolError(ERR_BAD_TYPE, f"unknown request mode {mode!r}")
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            ERR_BAD_VERSION, f"cannot encode protocol version {version}"
+        )
     packed = np.ascontiguousarray(packed, dtype=np.uint8)
     n_bytes = packed_kernels.n_packed_bytes(n_samples)
     if packed.ndim != 2 or packed.shape[1] != n_bytes:
@@ -244,12 +312,53 @@ def encode_request(
         raise ProtocolError(ERR_BAD_FRAME, f"limit {limit} outside uint32")
     if not (0 <= n_shards < 2**16):
         raise ProtocolError(ERR_BAD_FRAME, f"n_shards {n_shards} outside uint16")
+    if not (0 <= request_id < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"request_id {request_id} outside uint32"
+        )
     body = _REQUEST.pack(
         packed.shape[0], n_samples, float(dt), start_slot, wire_limit,
         n_shards, 0,
     )
-    return encode_frame(
-        _TYPE_BY_MODE[mode], request_id, body + packed.tobytes()
+    header = _HEADER.pack(
+        MAGIC, version, _TYPE_BY_MODE[mode], 0, request_id, 0
+    )
+    length = _LENGTH.pack(len(header) + len(body) + packed.nbytes)
+    view = memoryview(packed).cast("B")
+    view = view.toreadonly() if hasattr(view, "toreadonly") else view
+    return [memoryview(length + header + body), view]
+
+
+def encode_request(
+    packed: np.ndarray,
+    n_samples: int,
+    dt: float,
+    *,
+    mode: str = "identify",
+    start_slot: int = 0,
+    limit: Optional[int] = None,
+    n_shards: int = 0,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one request frame around an ``np.packbits`` bitset.
+
+    One contiguous ``bytes`` built from the same parts as
+    :func:`encode_request_parts` (which transports avoiding the payload
+    copy should prefer).
+    """
+    return b"".join(
+        encode_request_parts(
+            packed,
+            n_samples,
+            dt,
+            mode=mode,
+            start_slot=start_slot,
+            limit=limit,
+            n_shards=n_shards,
+            request_id=request_id,
+            version=version,
+        )
     )
 
 
@@ -310,28 +419,41 @@ def parse_request(frame: Frame) -> Request:
         start_slot=int(start_slot),
         limit=None if limit == LIMIT_FULL else int(limit),
         n_shards=int(n_shards),
+        version=frame.version,
     )
 
 
-def encode_json_frame(frame_type: int, request_id: int, obj) -> bytes:
-    """Encode one response frame whose payload is UTF-8 JSON."""
-    if frame_type not in _RESPONSE_TYPES:
+def encode_json_frame(
+    frame_type: int,
+    request_id: int,
+    obj,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one response frame whose payload is UTF-8 JSON.
+
+    ``version`` stamps the frame header — responses must answer in the
+    version the request was made in, or a version-1 peer's reader
+    would reject them.
+    """
+    if frame_type not in _JSON_RESPONSE_TYPES:
         raise ProtocolError(
-            ERR_BAD_TYPE, f"frame type 0x{frame_type:02x} is not a response"
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame_type:02x} is not a JSON response",
         )
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    return encode_frame(frame_type, request_id, payload)
+    return encode_frame(frame_type, request_id, payload, version=version)
 
 
 def parse_json_frame(frame: Frame) -> dict:
     """Decode a response frame's JSON payload."""
-    if frame.frame_type not in _RESPONSE_TYPES:
+    if frame.frame_type not in _JSON_RESPONSE_TYPES:
         raise ProtocolError(
             ERR_BAD_TYPE,
-            f"frame type 0x{frame.frame_type:02x} is not a response",
+            f"frame type 0x{frame.frame_type:02x} is not a JSON response",
         )
     try:
-        obj = json.loads(frame.payload.decode("utf-8"))
+        obj = json.loads(bytes(frame.payload).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(
             ERR_BAD_FRAME, f"undecodable JSON payload: {exc}"
@@ -341,7 +463,211 @@ def parse_json_frame(frame: Frame) -> dict:
     return obj
 
 
-def encode_error(request_id: int, code: int, message: str) -> bytes:
+def jsonable_payload(payload: dict) -> dict:
+    """A shard payload with every array field JSON-encodable.
+
+    Shard compute returns NumPy arrays
+    (:func:`~repro.serving.dispatch.compute_shard`); the version-1 JSON
+    encoding converts them to plain lists at the boundary (boolean
+    matrices as 0/1), exactly the shapes version-1 clients always saw.
+    """
+    out = {}
+    for key, value in payload.items():
+        if isinstance(value, np.ndarray):
+            if value.dtype == np.bool_:
+                value = value.astype(int)
+            value = value.tolist()
+        out[key] = value
+    return out
+
+
+def _residency_bits(residency: dict) -> int:
+    bits = 0
+    if residency.get("packed"):
+        bits |= _RES_PACKED
+    if residency.get("csr"):
+        bits |= _RES_CSR
+    if residency.get("raster"):
+        bits |= _RES_RASTER
+    return bits
+
+
+def encode_result_frame(
+    request_id: int,
+    payload: dict,
+    *,
+    mode: str,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one shard result as a binary ``FRAME_RESULT`` (version 2).
+
+    ``payload`` is a :func:`~repro.serving.dispatch.compute_shard`
+    payload: ``row_start``/``row_stop``/``wall_seconds``/``residency``
+    plus the mode's arrays.  Identify results travel as little-endian
+    ``elements`` (i32), ``decision_slots`` (i64) and
+    ``spikes_inspected`` (i64), one entry per row; membership results
+    as the ``np.packbits`` bits of the ``(n_rows, M)`` membership
+    matrix followed by the ``first_slots`` i64 matrix.  No JSON, no
+    Python lists — the arrays' own buffers are the payload.
+    """
+    if mode not in _MODE_CODES:
+        raise ProtocolError(ERR_BAD_TYPE, f"unknown result mode {mode!r}")
+    row_start = int(payload["row_start"])
+    row_stop = int(payload["row_stop"])
+    n_rows = row_stop - row_start
+    if mode == "identify":
+        elements = np.ascontiguousarray(payload["elements"], dtype="<i4")
+        slots = np.ascontiguousarray(payload["decision_slots"], dtype="<i8")
+        inspected = np.ascontiguousarray(
+            payload["spikes_inspected"], dtype="<i8"
+        )
+        if not (elements.size == slots.size == inspected.size == n_rows):
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"identify arrays sized {elements.size} do not match "
+                f"rows [{row_start}, {row_stop})",
+            )
+        n_cols = 0
+        blob = elements.tobytes() + slots.tobytes() + inspected.tobytes()
+    else:
+        membership = np.ascontiguousarray(
+            payload["membership"], dtype=np.bool_
+        )
+        first_slots = np.ascontiguousarray(
+            payload["first_slots"], dtype="<i8"
+        )
+        if (
+            membership.ndim != 2
+            or membership.shape[0] != n_rows
+            or first_slots.shape != membership.shape
+        ):
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"membership matrices {membership.shape} do not match "
+                f"rows [{row_start}, {row_stop})",
+            )
+        n_cols = membership.shape[1]
+        blob = (
+            np.packbits(membership, axis=1).tobytes()
+            + first_slots.tobytes()
+        )
+    header = _RESULT.pack(
+        _MODE_CODES[mode],
+        _residency_bits(payload.get("residency", {})),
+        0,
+        row_start,
+        row_stop,
+        n_cols,
+        float(payload.get("wall_seconds", 0.0)),
+    )
+    return encode_frame(FRAME_RESULT, request_id, header + blob, version=version)
+
+
+def parse_result_frame(frame: Frame) -> dict:
+    """Decode one binary result frame into a shard-payload dict.
+
+    The inverse of :func:`encode_result_frame`: the returned dict
+    carries the same keys as the version-1 JSON shard payload — array
+    fields as NumPy arrays, ``membership`` as booleans — so merging
+    code is encoding-agnostic.
+    """
+    if frame.frame_type != FRAME_RESULT:
+        raise ProtocolError(
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame.frame_type:02x} is not a result frame",
+        )
+    if len(frame.payload) < RESULT_HEADER_BYTES:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"result payload truncated: {len(frame.payload)} bytes "
+            f"< {RESULT_HEADER_BYTES}-byte result header",
+        )
+    mode_code, residency_bits, reserved, row_start, row_stop, n_cols, wall = (
+        _RESULT.unpack_from(frame.payload)
+    )
+    if reserved != 0:
+        raise ProtocolError(
+            ERR_BAD_FRAME, "reserved result-header field must be zero"
+        )
+    mode = _MODE_BY_CODE.get(mode_code)
+    if mode is None:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"unknown result mode code {mode_code}"
+        )
+    if row_stop < row_start:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"impossible row range [{row_start}, {row_stop})"
+        )
+    n_rows = row_stop - row_start
+    body = memoryview(frame.payload)[RESULT_HEADER_BYTES:]
+    payload = {
+        "kind": "shard",
+        "row_start": int(row_start),
+        "row_stop": int(row_stop),
+        "wall_seconds": float(wall),
+        "residency": {
+            "packed": bool(residency_bits & _RES_PACKED),
+            "csr": bool(residency_bits & _RES_CSR),
+            "raster": bool(residency_bits & _RES_RASTER),
+        },
+    }
+    if mode == "identify":
+        if n_cols != 0:
+            raise ProtocolError(
+                ERR_BAD_FRAME, "identify results carry no column count"
+            )
+        expected = n_rows * (4 + 8 + 8)
+        if len(body) != expected:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"identify result payload is {len(body)} bytes, expected "
+                f"{expected} for {n_rows} rows",
+            )
+        payload["elements"] = np.frombuffer(
+            body, dtype="<i4", count=n_rows
+        ).astype(np.int64)
+        payload["decision_slots"] = np.frombuffer(
+            body, dtype="<i8", count=n_rows, offset=4 * n_rows
+        )
+        payload["spikes_inspected"] = np.frombuffer(
+            body, dtype="<i8", count=n_rows, offset=12 * n_rows
+        )
+    else:
+        mask_bytes = n_rows * ((n_cols + 7) // 8)
+        expected = mask_bytes + n_rows * n_cols * 8
+        if len(body) != expected:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"membership result payload is {len(body)} bytes, expected "
+                f"{expected} for {n_rows} rows x {n_cols} elements",
+            )
+        bits = np.frombuffer(body, dtype=np.uint8, count=mask_bytes)
+        if n_rows:
+            payload["membership"] = np.unpackbits(
+                bits.reshape(n_rows, -1), axis=1, count=n_cols
+            ).astype(bool)
+        else:
+            payload["membership"] = np.empty((0, n_cols), dtype=bool)
+        payload["first_slots"] = np.frombuffer(
+            body, dtype="<i8", offset=mask_bytes
+        ).reshape(n_rows, n_cols)
+    return payload
+
+
+def encode_stats_request(
+    request_id: int = 0, *, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Encode one STATS request (empty payload; answered with JSON)."""
+    return encode_frame(FRAME_STATS, request_id, b"", version=version)
+
+
+def encode_error(
+    request_id: int,
+    code: int,
+    message: str,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """Encode one error frame (JSON ``{code, error, message}``)."""
     return encode_json_frame(
         FRAME_ERROR,
@@ -351,6 +677,7 @@ def encode_error(request_id: int, code: int, message: str) -> bytes:
             "error": ERROR_NAMES.get(int(code), "UNKNOWN"),
             "message": str(message),
         },
+        version=version,
     )
 
 
@@ -365,7 +692,26 @@ class FrameReader:
     immediately — after a framing error the stream boundary is lost and
     the connection must be dropped, which is why these are errors and
     not skipped frames.
+
+    The reader is **zero-copy on the hot path**: fed chunks are held
+    by reference (never concatenated into a rolling buffer), each
+    complete frame's body is assembled with at most one join, and the
+    returned frame's payload is a read-only view of that body —
+    a multi-megabyte request costs one copy between the socket and
+    ``np.frombuffer``, not four.
+
+    For transports that can read *into* caller memory
+    (``asyncio.BufferedProtocol``, ``socket.recv_into``) the
+    :meth:`get_buffer`/:meth:`buffer_updated` pair goes one better:
+    once a frame's length prefix declares a body larger than the
+    scratch window, an exact-size assembly buffer is allocated and the
+    transport lands the remaining bytes **directly in place** — a
+    large request reaches ``np.frombuffer`` with no user-space copy at
+    all, and the kernel drains in buffer-sized reads instead of the
+    transport's default small chunks.
     """
+
+    _SCRATCH_BYTES = 256 * 1024
 
     def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
         if max_frame_bytes < HEADER_BYTES:
@@ -375,13 +721,17 @@ class FrameReader:
                 f"got {max_frame_bytes}",
             )
         self.max_frame_bytes = int(max_frame_bytes)
-        self._buffer = bytearray()
+        self._chunks: Deque[bytes] = deque()
+        self._buffered = 0
         self._poisoned: Optional[ProtocolError] = None
+        self._scratch: Optional[bytearray] = None
+        self._assembly: Optional[bytearray] = None
+        self._filled = 0
 
     @property
     def buffered_bytes(self) -> int:
         """Bytes held waiting for the rest of a frame."""
-        return len(self._buffer)
+        return self._buffered
 
     @property
     def pending_error(self) -> Optional["ProtocolError"]:
@@ -405,7 +755,11 @@ class FrameReader:
         """
         if self._poisoned is not None:
             raise self._poisoned
-        self._buffer.extend(data)
+        if data:
+            # Held by reference: chunks are only stitched together once
+            # a frame completes, and only across its own boundary.
+            self._chunks.append(bytes(data))
+            self._buffered += len(data)
         frames: List[Frame] = []
         while True:
             try:
@@ -419,11 +773,34 @@ class FrameReader:
                 return frames
             frames.append(frame)
 
+    def _take(self, n: int) -> bytes:
+        """Pop exactly ``n`` buffered bytes, joining chunks only as needed.
+
+        When the first chunk alone covers ``n`` bytes with nothing to
+        spare, it is returned as-is — zero copies; a chunk that
+        overshoots is split (the small remainder is the only copy).
+        """
+        pieces: List[bytes] = []
+        taken = 0
+        while taken < n:
+            chunk = self._chunks.popleft()
+            need = n - taken
+            if len(chunk) > need:
+                self._chunks.appendleft(chunk[need:])
+                chunk = chunk[:need]
+            pieces.append(chunk)
+            taken += len(chunk)
+        self._buffered -= n
+        return pieces[0] if len(pieces) == 1 else b"".join(pieces)
+
     def _next_frame(self) -> Optional[Frame]:
         """Pop one complete frame off the buffer, or None to wait."""
-        if len(self._buffer) < _LENGTH.size:
+        if self._buffered < _LENGTH.size:
             return None
-        (length,) = _LENGTH.unpack_from(self._buffer)
+        if len(self._chunks[0]) < _LENGTH.size:
+            self._chunks.appendleft(self._take(_LENGTH.size))
+            self._buffered += _LENGTH.size
+        (length,) = _LENGTH.unpack_from(self._chunks[0])
         if length < HEADER_BYTES:
             raise ProtocolError(
                 ERR_BAD_FRAME,
@@ -436,32 +813,99 @@ class FrameReader:
                 f"declared frame length {length} exceeds the "
                 f"{self.max_frame_bytes}-byte cap",
             )
-        if len(self._buffer) < _LENGTH.size + length:
+        if self._buffered < _LENGTH.size + length:
             return None
-        body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
-        del self._buffer[: _LENGTH.size + length]
+        body = memoryview(self._take(_LENGTH.size + length))
+        return self._frame_from_body(body)
+
+    def _frame_from_body(self, body: memoryview) -> Frame:
+        """Validate one complete prefix+header+payload body into a Frame."""
         magic, version, frame_type, flags, request_id, reserved = (
-            _HEADER.unpack_from(body)
+            _HEADER.unpack_from(body, _LENGTH.size)
         )
         if magic != MAGIC:
             raise ProtocolError(
                 ERR_BAD_MAGIC, f"bad magic {magic!r} (expected {MAGIC!r})"
             )
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ProtocolError(
                 ERR_BAD_VERSION,
                 f"unsupported protocol version {version} "
-                f"(this build speaks {PROTOCOL_VERSION})",
+                f"(this build speaks {SUPPORTED_VERSIONS})",
             )
         if flags != 0 or reserved != 0:
             raise ProtocolError(
                 ERR_BAD_FRAME,
-                "reserved header fields must be zero in version 1",
+                "reserved header fields must be zero in versions 1 and 2",
             )
         return Frame(
             version=version,
             frame_type=frame_type,
             request_id=request_id,
-            payload=body[HEADER_BYTES:],
+            payload=body[_LENGTH.size + HEADER_BYTES :].toreadonly(),
             flags=flags,
         )
+
+    # -- read-into ingestion (asyncio.BufferedProtocol shape) ----------
+
+    def get_buffer(self, sizehint: int = -1) -> memoryview:
+        """Writable memory for the transport's next ``recv_into``.
+
+        Mid-assembly of a large frame this is the remaining slice of
+        that frame's exact-size buffer (the payload lands in place);
+        otherwise it is a reusable scratch window.
+        """
+        if self._assembly is not None:
+            return memoryview(self._assembly)[self._filled :]
+        if self._scratch is None:
+            self._scratch = bytearray(self._SCRATCH_BYTES)
+        return memoryview(self._scratch)
+
+    def buffer_updated(self, nbytes: int) -> List[Frame]:
+        """Account ``nbytes`` written into :meth:`get_buffer`'s memory.
+
+        Returns every frame completed, with :meth:`feed`'s exact
+        poison-and-defer semantics (the two modes share the decode and
+        validation path).
+        """
+        if self._assembly is not None:
+            self._filled += nbytes
+            if self._filled < len(self._assembly):
+                return []
+            body = memoryview(self._assembly).toreadonly()
+            self._assembly = None
+            self._filled = 0
+            if self._poisoned is not None:  # pragma: no cover - defensive
+                raise self._poisoned
+            frame = self._frame_from_body(body)
+            return [frame]
+        frames = self.feed(
+            bytes(memoryview(self._scratch)[:nbytes]) if nbytes else b""
+        )
+        self._maybe_assemble_direct()
+        return frames
+
+    def _maybe_assemble_direct(self) -> None:
+        """Switch to in-place assembly when a large frame is pending.
+
+        Called with a partial frame buffered: if its declared size is
+        known, exceeds the scratch window, and the remainder is still
+        in flight, the buffered prefix moves into an exact-size buffer
+        and :meth:`get_buffer` starts exposing the unfilled tail.
+        """
+        if self._poisoned is not None or self._buffered < _LENGTH.size:
+            return
+        if len(self._chunks[0]) < _LENGTH.size:
+            self._chunks.appendleft(self._take(_LENGTH.size))
+            self._buffered += _LENGTH.size
+        (length,) = _LENGTH.unpack_from(self._chunks[0])
+        # Bounds were validated by the feed() pass that left this
+        # partial frame buffered.
+        total = _LENGTH.size + length
+        if total <= self._SCRATCH_BYTES or self._buffered >= total:
+            return
+        have = self._buffered
+        assembly = bytearray(total)
+        assembly[:have] = self._take(have)
+        self._assembly = assembly
+        self._filled = have

@@ -27,13 +27,42 @@ Single-job servers (or hosts without shared memory) run the same
 shards in-process on a worker thread — bit-identical results, one code
 path for the compute (:func:`~repro.serving.dispatch.compute_shard`).
 
+Three hot-path optimisations sit in front of that sharded pipeline,
+all serving bit-identical results through the same
+:func:`~repro.serving.dispatch.compute_shard` core:
+
+* **fast path** — a request smaller than ``fast_path_bytes`` that does
+  not ask for explicit sharding skips the arena export, the pool
+  dispatch *and* the in-flight byte budget: the payload wraps
+  ``from_packed`` and computes directly, answering in one result
+  frame (transport ``"fast-path"``).  The budget exists to bound
+  bytes pinned in per-request arenas; a fast-path request pins
+  nothing beyond its own frame, so counting it would let a burst of
+  tiny requests spuriously starve (or OVERLOAD) real arena work.
+* **pipelining** — each request frame is served by its own asyncio
+  task, so many requests per connection are in flight concurrently
+  and responses interleave by request id (every frame is written in
+  one ``write()`` call, keeping frames atomic on the stream).
+* **coalescing** — with ``coalesce_window > 0``, fast-path-sized
+  requests whose scan headers match (mode, ``start_slot``,
+  ``limit``; the grid is already checked) accumulate for up to the
+  window and compute as *one* wide batch — one ``from_packed``, one
+  receiver pass — then split back per request id (transport
+  ``"coalesced"``).  Many small clients thus amortise into the wide
+  batched operations the packed kernels are built for.
+
 Flow control is a bounded **in-flight arena budget**: request payloads
-admit only while the bytes pinned in per-request arenas stay under
-``max_inflight_bytes``; later requests wait (the TCP receive window
-then pushes back on the client) instead of growing server memory.
-Graceful shutdown drains in-flight requests, then releases every
-worker's shared-memory attachments through the runner's end-of-run
-broadcast and discards the installed basis.
+admit to the sharded path only while the bytes pinned in per-request
+arenas stay under ``max_inflight_bytes``; later requests wait (the TCP
+receive window then pushes back on the client) instead of growing
+server memory.  Graceful shutdown drains in-flight requests, then
+releases every worker's shared-memory attachments through the runner's
+end-of-run broadcast and discards the installed basis.
+
+Every server keeps a :class:`ServerStats` — request counts per path,
+coalesced batches, error count and a rolling latency window — served
+to any client as a JSON ``STATS`` reply and printed as the
+``repro serve`` shutdown summary.
 
 ``ServerThread`` runs the whole server on a private event loop in a
 daemon thread — the harness the tests, the benchmark, the example and
@@ -49,7 +78,7 @@ import sys
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -66,6 +95,7 @@ from . import dispatch, protocol
 
 __all__ = [
     "ServerConfig",
+    "ServerStats",
     "SpikeServer",
     "ServerThread",
     "build_serving_basis",
@@ -83,6 +113,14 @@ class ServerConfig:
     experiment, so a client holding the same knobs can reproduce the
     server's basis exactly.  ``port`` 0 binds an ephemeral port
     (exposed as :attr:`SpikeServer.port` once started).
+
+    ``fast_path_bytes`` caps the payload size served inline without an
+    arena or pool dispatch (0 disables the fast path entirely — every
+    request takes the sharded pipeline).  ``coalesce_window`` > 0
+    turns on request coalescing: fast-path-sized requests with equal
+    scan headers buffer up to that many seconds (or until
+    ``coalesce_max_wires`` rows accumulate) and compute as one wide
+    batch.
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +133,9 @@ class ServerConfig:
     n_shards: int = 0  # per-request default: 0 → one shard per job
     max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES
     max_inflight_bytes: int = 256 * 1024 * 1024
+    fast_path_bytes: int = 4 * 1024 * 1024
+    coalesce_window: float = 0.0  # seconds; 0 → coalescing off
+    coalesce_max_wires: int = 4096
 
 
 def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
@@ -110,6 +151,201 @@ def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
         source
     )
     return HyperspaceBasis.from_orthogonator(output)
+
+
+class ServerStats:
+    """Per-server counters plus a rolling latency window.
+
+    Updated on the event loop only (no locking).  ``snapshot()`` is
+    the JSON payload of a ``STATS`` reply; ``summary()`` is the
+    one-line shutdown log.  Latency quantiles are computed over the
+    last ``window`` request wall times (arrival to DONE frame written),
+    so a long-running server reports current behaviour, not its whole
+    history.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        self.requests_served = 0
+        self.fast_path_requests = 0
+        self.pool_path_requests = 0
+        self.coalesced_requests = 0
+        self.coalesced_batches = 0
+        self.errors = 0
+        self._latencies: Deque[float] = deque(maxlen=int(window))
+
+    def record(self, transport: str, seconds: float) -> None:
+        """Count one served request and its wall time."""
+        self.requests_served += 1
+        if transport == "fast-path":
+            self.fast_path_requests += 1
+        elif transport == "coalesced":
+            self.coalesced_requests += 1
+        else:
+            self.pool_path_requests += 1
+        self._latencies.append(float(seconds))
+
+    def _quantile(self, q: float) -> Optional[float]:
+        if not self._latencies:
+            return None
+        return float(np.quantile(np.asarray(self._latencies), q))
+
+    def snapshot(self) -> dict:
+        """The JSON-ready stats payload served to STATS requests."""
+        return {
+            "kind": "stats",
+            "requests_served": self.requests_served,
+            "fast_path_requests": self.fast_path_requests,
+            "pool_path_requests": self.pool_path_requests,
+            "coalesced_requests": self.coalesced_requests,
+            "coalesced_batches": self.coalesced_batches,
+            "errors": self.errors,
+            "latency_window": len(self._latencies),
+            "latency_p50_seconds": self._quantile(0.50),
+            "latency_p99_seconds": self._quantile(0.99),
+        }
+
+    def summary(self) -> str:
+        """One human line for the shutdown log."""
+        p50 = self._quantile(0.50)
+        p99 = self._quantile(0.99)
+        latency = (
+            f"p50={p50 * 1e3:.2f}ms p99={p99 * 1e3:.2f}ms "
+            f"over last {len(self._latencies)}"
+            if p50 is not None
+            else "no latency samples"
+        )
+        return (
+            f"served {self.requests_served} requests "
+            f"({self.fast_path_requests} fast-path, "
+            f"{self.pool_path_requests} pool, "
+            f"{self.coalesced_requests} coalesced in "
+            f"{self.coalesced_batches} batches), "
+            f"{self.errors} errors, {latency}"
+        )
+
+
+class _Coalescer:
+    """Short-window accumulator stacking small requests into one batch.
+
+    Requests routed here buffer per bucket — keyed by the scan header
+    ``(mode, start_slot, limit)``; the grid was already checked against
+    the basis — until either ``window`` seconds pass since the bucket
+    opened or ``max_wires`` rows accumulate.  A flush concatenates the
+    buckets' packed payloads row-wise (still packed — no decode), runs
+    **one** ``compute_shard`` over the wide batch off-loop, and splits
+    the per-row result arrays back per request id.  Both receiver modes
+    are row-independent, so the split results are bit-identical to
+    per-request serial computes — the tests assert it.
+    """
+
+    def __init__(
+        self, server: "SpikeServer", window: float, max_wires: int
+    ) -> None:
+        self._server = server
+        self._window = float(window)
+        self._max_wires = int(max_wires)
+        self._buckets: Dict[tuple, List[Tuple[protocol.Request, asyncio.Future]]] = {}
+        self._timers: Dict[tuple, asyncio.TimerHandle] = {}
+        self._flushes: Set[asyncio.Task] = set()
+
+    async def submit(self, request: protocol.Request) -> dict:
+        """Buffer one request; resolves to its slice of the batch result."""
+        loop = asyncio.get_running_loop()
+        key = (request.mode, request.start_slot, request.limit)
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append((request, future))
+        if sum(r.n_wires for r, _ in bucket) >= self._max_wires:
+            self._flush_now(key)
+        elif len(bucket) == 1:
+            self._timers[key] = loop.call_later(
+                self._window, self._flush_now, key
+            )
+        return await future
+
+    def _flush_now(self, key: tuple) -> None:
+        """Detach one bucket and start its flush task."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        bucket = self._buckets.pop(key, None)
+        if not bucket:
+            return
+        task = asyncio.create_task(self._flush(key, bucket))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _flush(self, key, bucket) -> None:
+        mode, start_slot, limit = key
+        try:
+            rows = [request.packed for request, _ in bucket]
+            packed = rows[0] if len(rows) == 1 else np.concatenate(rows)
+            batch = SpikeTrainBatch.from_packed(
+                packed, self._server.basis.grid
+            )
+            n_total = int(packed.shape[0])
+            if packed.nbytes <= self._server.config.fast_path_bytes:
+                # Micro-batches are fast-path-sized by construction:
+                # the receiver pass is cheaper than a thread handoff
+                # (the same trade the fast path makes), so compute
+                # inline on the loop.
+                payload = dispatch.compute_shard(
+                    self._server.basis,
+                    batch,
+                    0,
+                    n_total,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                )
+            else:
+                payload = await asyncio.to_thread(
+                    dispatch.compute_shard,
+                    self._server.basis,
+                    batch,
+                    0,
+                    n_total,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                )
+            self._server.stats.coalesced_batches += 1
+            lo = 0
+            for request, future in bucket:
+                hi = lo + request.n_wires
+                if not future.done():
+                    future.set_result(self._slice(payload, mode, lo, hi))
+                lo = hi
+        except Exception as exc:  # noqa: BLE001 - handed to each waiter
+            for _, future in bucket:
+                if not future.done():
+                    future.set_exception(exc)
+
+    @staticmethod
+    def _slice(payload: dict, mode: str, lo: int, hi: int) -> dict:
+        """One request's rows of the wide batch payload, re-rooted at 0."""
+        fields = (
+            ("elements", "decision_slots", "spikes_inspected")
+            if mode == "identify"
+            else ("membership", "first_slots")
+        )
+        sub = {field: payload[field][lo:hi] for field in fields}
+        sub.update(
+            row_start=0,
+            row_stop=hi - lo,
+            wall_seconds=payload["wall_seconds"],
+            residency=payload["residency"],
+        )
+        return sub
+
+    async def close(self) -> None:
+        """Flush everything buffered and wait for the flush tasks."""
+        for key in list(self._buckets):
+            self._flush_now(key)
+        while self._flushes:
+            await asyncio.gather(
+                *list(self._flushes), return_exceptions=True
+            )
 
 
 class _InflightBudget:
@@ -181,6 +417,160 @@ class _InflightBudget:
             await self._changed.wait_for(lambda: self.in_flight == 0)
 
 
+class _Connection(asyncio.BufferedProtocol):
+    """One accepted connection: transport bytes straight into frames.
+
+    A hand-rolled :class:`asyncio.BufferedProtocol` instead of the
+    stream reader/writer pair: the transport ``recv_into``\\ s the
+    :class:`~repro.serving.protocol.FrameReader`'s own buffers, so a
+    large request's payload lands **in place** in an exact-size frame
+    buffer — zero user-space copies between the socket and
+    ``np.frombuffer``, where the stream-reader path cost three (stream
+    buffer append, ``read()`` slice, join) plus small-chunk reads.
+    At multi-megabyte requests that copy tax was a measurable slice of
+    the serving overhead this module exists to delete.
+
+    Connections are **pipelined**: every complete frame starts its own
+    task, so a connection may have many requests in flight and
+    response frames from different requests interleave — each carries
+    its request id, and each is written atomically (one ``write()``
+    per frame).  Framing errors (bad magic / version / length) poison
+    the byte stream: in-flight requests finish answering, then one
+    connection-scope error frame (request id 0, stamped version 1 so
+    every client decodes it) closes the connection.  Request-level
+    errors are answered upstream and keep the connection alive.
+
+    The object doubles as the writer handed to the request handlers:
+    ``write``/``drain`` front the transport with its high-water flow
+    control, and ``close``/``wait_closed``/``get_extra_info`` mirror
+    the ``StreamWriter`` surface the shutdown path expects.
+    """
+
+    def __init__(self, server: "SpikeServer") -> None:
+        self._server = server
+        self._frames = protocol.FrameReader(server.config.max_frame_bytes)
+        self._transport: Optional[asyncio.Transport] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._can_write = asyncio.Event()
+        self._can_write.set()
+        self._closed = asyncio.get_running_loop().create_future()
+        self._poisoned = False
+
+    # -- transport callbacks -------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self._transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            # Shard frames are small and latency-bound: never Nagle them.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Multi-megabyte requests should fit the kernel buffer in
+            # one piece: every extra exchange is a scheduler round trip
+            # between the client and this loop.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 4 * 1024 * 1024
+            )
+        self._server._writers.add(self)
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self._frames.get_buffer(sizehint)
+
+    def buffer_updated(self, nbytes: int) -> None:
+        if self._poisoned or self._server._closing:
+            return
+        try:
+            complete = self._frames.buffer_updated(nbytes)
+        except ProtocolError as exc:
+            self._poison(exc)
+            return
+        for frame in complete:
+            self._spawn(self._server._handle_frame(frame, self))
+        poison = self._frames.pending_error
+        if poison is not None:
+            self._poison(poison)
+
+    def eof_received(self) -> bool:
+        # Half-close: the client is done sending but still expects the
+        # responses for requests already in flight.
+        self._spawn(self._finish_and_close())
+        return True
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self._server._writers.discard(self)
+        self._can_write.set()  # unblock drains; they raise on the check
+        if not self._closed.done():
+            self._closed.set_result(None)
+
+    def pause_writing(self) -> None:
+        self._can_write.clear()
+
+    def resume_writing(self) -> None:
+        self._can_write.set()
+
+    # -- frame dispatch ------------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.create_task(coro)
+        self._tasks.add(task)
+        self._server._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(self._server._tasks.discard)
+
+    def _poison(self, exc: ProtocolError) -> None:
+        self._poisoned = True
+        self._spawn(self._answer_poison(exc))
+
+    async def _answer_poison(self, exc: ProtocolError) -> None:
+        # Frames completed before the violation are already in flight;
+        # let them answer, then report the violation and drop the
+        # connection — the stream boundary is lost.
+        await self._settle()
+        try:
+            self.write(
+                protocol.encode_error(0, exc.code, str(exc), version=1)
+            )
+            await self.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self.close()
+
+    async def _finish_and_close(self) -> None:
+        await self._settle()
+        self.close()
+
+    async def _settle(self) -> None:
+        """Wait for every other in-flight task on this connection."""
+        while True:
+            others = self._tasks - {asyncio.current_task()}
+            if not others:
+                return
+            await asyncio.gather(*others, return_exceptions=True)
+
+    # -- the writer surface handed to request handlers -----------------
+
+    def write(self, data: bytes) -> None:
+        if self._transport is None or self._transport.is_closing():
+            raise ConnectionResetError("connection is closed")
+        self._transport.write(data)
+
+    async def drain(self) -> None:
+        await self._can_write.wait()
+        if self._transport is None or self._transport.is_closing():
+            raise ConnectionResetError("connection is closed")
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+
+    async def wait_closed(self) -> None:
+        await self._closed
+
+    def get_extra_info(self, name: str, default=None):
+        if self._transport is None:
+            return default
+        return self._transport.get_extra_info(name, default)
+
+
 class SpikeServer:
     """The packed-bitset RPC server (see the module docstring).
 
@@ -203,9 +593,16 @@ class SpikeServer:
         self._basis: Optional[HyperspaceBasis] = None
         self._basis_token: Optional[str] = None
         self._budget = _InflightBudget(self.config.max_inflight_bytes)
-        self._writers: Set[asyncio.StreamWriter] = set()
+        self._writers: Set["_Connection"] = set()
+        self._tasks: Set[asyncio.Task] = set()
+        self._coalescer: Optional[_Coalescer] = None
         self._closing = False
-        self.requests_served = 0
+        self.stats = ServerStats()
+
+    @property
+    def requests_served(self) -> int:
+        """Total requests answered successfully (all transports)."""
+        return self.stats.requests_served
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -246,8 +643,15 @@ class SpikeServer:
         dispatch.install_basis(table)
         if self._use_pool():
             self._runner.broadcast(dispatch.install_basis, table)
-        self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
+        if self.config.coalesce_window > 0:
+            self._coalescer = _Coalescer(
+                self,
+                self.config.coalesce_window,
+                self.config.coalesce_max_wires,
+            )
+        loop = asyncio.get_running_loop()
+        self._server = await loop.create_server(
+            lambda: _Connection(self), self.config.host, self.config.port
         )
 
     async def wait_closed(self) -> None:
@@ -269,6 +673,16 @@ class SpikeServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._coalescer is not None:
+            await self._coalescer.close()
+        if self._tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*list(self._tasks), return_exceptions=True),
+                    drain_timeout,
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - stuck request
+                pass
         try:
             await asyncio.wait_for(self._budget.drained(), drain_timeout)
         except asyncio.TimeoutError:  # pragma: no cover - stuck shard
@@ -293,102 +707,102 @@ class SpikeServer:
     # Connection handling
     # ------------------------------------------------------------------
 
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """One client connection: frames in, response streams out.
-
-        Requests on a connection are served in arrival order.  Framing
-        errors (bad magic/version/length) poison the byte stream, so
-        they answer with one error frame and drop the connection;
-        request-level errors (bad grid, overload, a failing shard)
-        answer with an error frame and keep the connection alive.
-        """
-        frames = protocol.FrameReader(self.config.max_frame_bytes)
-        sock = writer.get_extra_info("socket")
-        if sock is not None:
-            # Shard frames are small and latency-bound: never Nagle them.
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._writers.add(writer)
-        try:
-            while not self._closing:
-                data = await reader.read(1024 * 1024)
-                if not data:
-                    break
-                try:
-                    complete = frames.feed(data)
-                except ProtocolError as exc:
-                    await self._send(
-                        writer, protocol.encode_error(0, exc.code, str(exc))
-                    )
-                    break
-                for frame in complete:
-                    await self._handle_frame(frame, writer)
-                poison = frames.pending_error
-                if poison is not None:
-                    # Frames completed before the violation were served
-                    # above; now answer the violation and drop the
-                    # connection — the stream boundary is lost.
-                    await self._send(
-                        writer,
-                        protocol.encode_error(0, poison.code, str(poison)),
-                    )
-                    break
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            self._writers.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _send(self, writer: asyncio.StreamWriter, frame: bytes) -> None:
+    async def _send(self, writer: "_Connection", frame: bytes) -> None:
         """Write one encoded frame and respect the transport's flow control."""
         writer.write(frame)
         await writer.drain()
 
     async def _handle_frame(
-        self, frame: protocol.Frame, writer: asyncio.StreamWriter
+        self, frame: protocol.Frame, writer: "_Connection"
     ) -> None:
-        """Parse, admit (budget), process and answer one request frame."""
+        """Parse, route, process and answer one frame.
+
+        Only the sharded route passes through the in-flight byte
+        budget: fast-path and coalesced requests never pin an arena,
+        so charging them would let a burst of tiny requests queue
+        behind (or spuriously OVERLOAD) real arena work.
+        """
+        if frame.frame_type == protocol.FRAME_STATS:
+            await self._send(
+                writer,
+                protocol.encode_json_frame(
+                    protocol.FRAME_STATS_REPLY,
+                    frame.request_id,
+                    self.stats.snapshot(),
+                    version=frame.version,
+                ),
+            )
+            return
         try:
             request = protocol.parse_request(frame)
         except ProtocolError as exc:
+            self.stats.errors += 1
             await self._send(
                 writer,
-                protocol.encode_error(frame.request_id, exc.code, str(exc)),
+                protocol.encode_error(
+                    frame.request_id, exc.code, str(exc), version=frame.version
+                ),
             )
             return
+        started = asyncio.get_running_loop().time()
         try:
             self._check_grid(request)
-            await self._budget.acquire(request.packed.nbytes)
-        except ServingError as exc:
-            await self._send(
-                writer,
-                protocol.encode_error(request.request_id, exc.code, str(exc)),
+            transport = self._route(request)
+            if transport == "sharded":
+                await self._budget.acquire(request.packed.nbytes)
+                try:
+                    transport = await self._process(request, writer)
+                finally:
+                    await self._budget.release(request.packed.nbytes)
+            elif transport == "coalesced":
+                await self._process_coalesced(request, writer)
+            else:
+                await self._process_fast(request, writer)
+            self.stats.record(
+                transport, asyncio.get_running_loop().time() - started
             )
-            return
-        try:
-            await self._process(request, writer)
-            self.requests_served += 1
+        except (ConnectionResetError, BrokenPipeError):
+            raise
         except ServingError as exc:
+            self.stats.errors += 1
             await self._send(
                 writer,
-                protocol.encode_error(request.request_id, exc.code, str(exc)),
+                protocol.encode_error(
+                    request.request_id,
+                    exc.code,
+                    str(exc),
+                    version=request.version,
+                ),
             )
         except Exception as exc:  # noqa: BLE001 - must answer the client
+            self.stats.errors += 1
             await self._send(
                 writer,
                 protocol.encode_error(
                     request.request_id,
                     protocol.ERR_INTERNAL,
                     f"{type(exc).__name__}: {exc}",
+                    version=request.version,
                 ),
             )
-        finally:
-            await self._budget.release(request.packed.nbytes)
+
+    def _route(self, request: protocol.Request) -> str:
+        """Pick the transport for one admitted request.
+
+        Explicit sharding (a nonzero request or config shard count)
+        always takes the sharded pipeline; below that, payloads within
+        ``fast_path_bytes`` go to the coalescer when one is running,
+        else straight to the fast path.
+        """
+        wants_shards = bool(request.n_shards or self.config.n_shards)
+        if wants_shards or request.packed.nbytes > self.config.fast_path_bytes:
+            return "sharded"
+        if (
+            self._coalescer is not None
+            and request.n_wires <= self.config.coalesce_max_wires
+        ):
+            return "coalesced"
+        return "fast-path"
 
     def _check_grid(self, request: protocol.Request) -> None:
         """Requests must live on the server basis's exact grid."""
@@ -422,10 +836,65 @@ class SpikeServer:
         n_shards = max(1, min(int(wanted), request.n_wires))
         return np.linspace(0, request.n_wires, n_shards + 1).astype(np.int64)
 
-    async def _process(
-        self, request: protocol.Request, writer: asyncio.StreamWriter
+    def _shard_frame(
+        self, request: protocol.Request, payload: dict
+    ) -> bytes:
+        """Encode one shard payload in the request's negotiated version."""
+        if request.version >= 2:
+            return protocol.encode_result_frame(
+                request.request_id,
+                payload,
+                mode=request.mode,
+                version=request.version,
+            )
+        body = protocol.jsonable_payload(payload)
+        body["kind"] = "shard"
+        return protocol.encode_json_frame(
+            protocol.FRAME_SHARD,
+            request.request_id,
+            body,
+            version=request.version,
+        )
+
+    async def _send_done(
+        self,
+        request: protocol.Request,
+        writer: "_Connection",
+        *,
+        transport: str,
+        n_shards: int,
+        wall_seconds: float,
+        batch: SpikeTrainBatch,
     ) -> None:
-        """Run one admitted request and stream its response frames."""
+        """Send the summary frame closing one request's response."""
+        summary = {
+            "kind": "done",
+            "mode": request.mode,
+            "n_wires": request.n_wires,
+            "n_shards": n_shards,
+            "labels": list(self.basis.labels),
+            "transport": transport,
+            "wall_seconds": wall_seconds,
+            "server_residency": {
+                "packed": batch.packed_materialised,
+                "csr": batch.csr_materialised,
+                "raster": batch.raster_materialised,
+            },
+        }
+        await self._send(
+            writer,
+            protocol.encode_json_frame(
+                protocol.FRAME_DONE,
+                request.request_id,
+                summary,
+                version=request.version,
+            ),
+        )
+
+    async def _process(
+        self, request: protocol.Request, writer: "_Connection"
+    ) -> str:
+        """Run one budget-admitted request through the sharded pipeline."""
         loop = asyncio.get_running_loop()
         started = loop.time()
         batch = SpikeTrainBatch.from_packed(request.packed, request.grid())
@@ -438,24 +907,78 @@ class SpikeServer:
             shards = await self._dispatch_inline(
                 request, batch, bounds, writer
             )
+        await self._send_done(
+            request,
+            writer,
+            transport=transport,
+            n_shards=len(shards),
+            wall_seconds=loop.time() - started,
+            batch=batch,
+        )
+        return transport
+
+    async def _process_fast(
+        self, request: protocol.Request, writer: "_Connection"
+    ) -> None:
+        """Serve one small request inline: no arena, no pool, no budget.
+
+        The compute runs directly on the event loop — below the
+        fast-path size cap a receiver pass is far cheaper than a
+        thread handoff, and the packed kernels release no locks a
+        worker thread could exploit anyway.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        batch = SpikeTrainBatch.from_packed(request.packed, request.grid())
+        payload = dispatch.compute_shard(
+            self.basis,
+            batch,
+            0,
+            request.n_wires,
+            mode=request.mode,
+            start_slot=request.start_slot,
+            limit=request.limit,
+        )
+        # One drain covers both frames: the DONE send right after
+        # flushes the pair in a single flow-control round trip.
+        writer.write(self._shard_frame(request, payload))
+        await self._send_done(
+            request,
+            writer,
+            transport="fast-path",
+            n_shards=1,
+            wall_seconds=loop.time() - started,
+            batch=batch,
+        )
+
+    async def _process_coalesced(
+        self, request: protocol.Request, writer: "_Connection"
+    ) -> None:
+        """Serve one small request through the micro-batch accumulator."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        payload = await self._coalescer.submit(request)
+        # One drain covers both frames, exactly as on the fast path.
+        writer.write(self._shard_frame(request, payload))
+        # The response's residency is the *wide* batch's: the request's
+        # rows were computed inside it, never as their own batch.
         summary = {
             "kind": "done",
             "mode": request.mode,
             "n_wires": request.n_wires,
-            "n_shards": len(shards),
+            "n_shards": 1,
             "labels": list(self.basis.labels),
-            "transport": transport,
+            "transport": "coalesced",
             "wall_seconds": loop.time() - started,
-            "server_residency": {
-                "packed": batch.packed_materialised,
-                "csr": batch.csr_materialised,
-                "raster": batch.raster_materialised,
-            },
+            "server_residency": payload["residency"],
         }
         await self._send(
             writer,
             protocol.encode_json_frame(
-                protocol.FRAME_DONE, request.request_id, summary
+                protocol.FRAME_DONE,
+                request.request_id,
+                summary,
+                version=request.version,
             ),
         )
 
@@ -513,14 +1036,8 @@ class SpikeServer:
         shards = []
         for get in getters:
             payload = await asyncio.to_thread(get)
-            payload["kind"] = "shard"
             shards.append(payload)
-            await self._send(
-                writer,
-                protocol.encode_json_frame(
-                    protocol.FRAME_SHARD, request.request_id, payload
-                ),
-            )
+            await self._send(writer, self._shard_frame(request, payload))
         return shards
 
 
@@ -630,6 +1147,7 @@ async def _serve_until_signal(config: ServerConfig, out) -> None:
     finally:
         print("repro serve: shutting down", file=out, flush=True)
         await server.close()
+        print(f"repro serve: {server.stats.summary()}", file=out, flush=True)
 
 
 def serve_forever(config: ServerConfig, out=sys.stdout) -> int:

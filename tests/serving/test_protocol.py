@@ -303,3 +303,274 @@ class TestRequestValidation:
         packed, grid, _batch = random_packed(rng, 4, 100)
         wire = protocol.encode_request(packed, grid.n_samples, grid.dt)
         assert len(wire) == 4 + protocol.request_nbytes(4, 100)
+
+
+class TestVersionNegotiation:
+    def test_version_1_requests_still_decode(self):
+        rng = np.random.default_rng(7)
+        packed, grid, _batch = random_packed(rng, 3, 100)
+        wire = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, version=1, request_id=9
+        )
+        frames = protocol.FrameReader().feed(wire)
+        request = protocol.parse_request(frames[0])
+        assert request.version == 1
+        assert np.array_equal(request.packed, packed)
+
+    def test_requests_default_to_version_2(self):
+        rng = np.random.default_rng(8)
+        packed, grid, _batch = random_packed(rng, 3, 100)
+        wire = protocol.encode_request(packed, grid.n_samples, grid.dt)
+        request = protocol.parse_request(
+            protocol.FrameReader().feed(wire)[0]
+        )
+        assert request.version == protocol.PROTOCOL_VERSION == 2
+
+    def test_unsupported_version_rejected_on_encode(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.encode_request(
+                np.zeros((1, 8), dtype=np.uint8), 64, 1e-9, version=3
+            )
+        assert err.value.code == protocol.ERR_BAD_VERSION
+
+    def test_json_frames_stamp_the_requested_version(self):
+        wire = protocol.encode_json_frame(
+            protocol.FRAME_DONE, 5, {"kind": "done"}, version=1
+        )
+        frame = protocol.FrameReader().feed(wire)[0]
+        assert frame.version == 1
+
+    def test_request_parts_concatenate_to_encode_request(self):
+        rng = np.random.default_rng(9)
+        packed, grid, _batch = random_packed(rng, 4, 511)
+        parts = protocol.encode_request_parts(
+            packed, grid.n_samples, grid.dt, request_id=3
+        )
+        joined = b"".join(bytes(part) for part in parts)
+        assert joined == protocol.encode_request(
+            packed, grid.n_samples, grid.dt, request_id=3
+        )
+
+
+class TestResultFrames:
+    def identify_payload(self, rng, n_rows, row_start=0):
+        return {
+            "row_start": row_start,
+            "row_stop": row_start + n_rows,
+            "wall_seconds": 0.125,
+            "residency": {"packed": True, "csr": False, "raster": False},
+            "elements": rng.integers(-1, 16, n_rows).astype(np.int64),
+            "decision_slots": rng.integers(-1, 1000, n_rows).astype(np.int64),
+            "spikes_inspected": rng.integers(0, 99, n_rows).astype(np.int64),
+        }
+
+    @pytest.mark.parametrize("n_rows", [1, 5, 257])
+    def test_identify_round_trip(self, n_rows):
+        rng = np.random.default_rng(n_rows)
+        payload = self.identify_payload(rng, n_rows, row_start=7)
+        wire = protocol.encode_result_frame(11, payload, mode="identify")
+        frame = protocol.FrameReader().feed(wire)[0]
+        assert frame.frame_type == protocol.FRAME_RESULT
+        assert frame.request_id == 11
+        parsed = protocol.parse_result_frame(frame)
+        assert parsed["kind"] == "shard"
+        assert parsed["row_start"] == 7
+        assert parsed["row_stop"] == 7 + n_rows
+        assert parsed["wall_seconds"] == 0.125
+        assert parsed["residency"] == payload["residency"]
+        for key in ("elements", "decision_slots", "spikes_inspected"):
+            assert np.array_equal(parsed[key], payload[key])
+
+    @pytest.mark.parametrize("n_cols", [1, 7, 8, 16, 33])
+    def test_membership_round_trip(self, n_cols):
+        rng = np.random.default_rng(n_cols)
+        n_rows = 9
+        payload = {
+            "row_start": 0,
+            "row_stop": n_rows,
+            "wall_seconds": 0.5,
+            "residency": {"packed": True, "csr": True, "raster": False},
+            "membership": rng.random((n_rows, n_cols)) < 0.4,
+            "first_slots": rng.integers(-1, 512, (n_rows, n_cols)).astype(
+                np.int64
+            ),
+        }
+        wire = protocol.encode_result_frame(4, payload, mode="membership")
+        parsed = protocol.parse_result_frame(
+            protocol.FrameReader().feed(wire)[0]
+        )
+        assert np.array_equal(parsed["membership"], payload["membership"])
+        assert np.array_equal(parsed["first_slots"], payload["first_slots"])
+        assert parsed["residency"] == payload["residency"]
+
+    def test_mismatched_array_lengths_rejected_on_encode(self):
+        rng = np.random.default_rng(0)
+        payload = self.identify_payload(rng, 4)
+        payload["elements"] = payload["elements"][:-1]
+        with pytest.raises(ProtocolError) as err:
+            protocol.encode_result_frame(1, payload, mode="identify")
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_truncated_result_payload_rejected(self):
+        rng = np.random.default_rng(1)
+        wire = bytearray(
+            protocol.encode_result_frame(
+                1, self.identify_payload(rng, 3), mode="identify"
+            )
+        )
+        # Drop the last 8 bytes and fix up the length prefix.
+        wire = wire[:-8]
+        wire[0:4] = (len(wire) - 4).to_bytes(4, "little")
+        frame = protocol.FrameReader().feed(bytes(wire))[0]
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_result_frame(frame)
+        assert err.value.code == protocol.ERR_BAD_FRAME
+
+    def test_stats_request_round_trips(self):
+        wire = protocol.encode_stats_request(77)
+        frame = protocol.FrameReader().feed(wire)[0]
+        assert frame.frame_type == protocol.FRAME_STATS
+        assert frame.request_id == 77
+        assert frame.payload == b""
+
+    def test_jsonable_payload_matches_v1_shapes(self):
+        rng = np.random.default_rng(2)
+        payload = {
+            "membership": rng.random((3, 4)) < 0.5,
+            "first_slots": rng.integers(-1, 9, (3, 4)).astype(np.int64),
+            "row_start": 0,
+        }
+        out = protocol.jsonable_payload(payload)
+        assert out["row_start"] == 0
+        assert isinstance(out["membership"], list)
+        assert all(
+            value in (0, 1) for row in out["membership"] for value in row
+        )
+        assert isinstance(out["first_slots"][0][0], int)
+
+
+def drive_buffered(reader, data, rng=None, step=None):
+    """Write ``data`` into the reader's own buffers, transport-style."""
+    frames = []
+    cursor = 0
+    while cursor < len(data):
+        view = reader.get_buffer(-1)
+        if step is not None:
+            n = step
+        else:
+            n = int(rng.integers(1, 97)) if rng is not None else len(view)
+        n = min(n, len(view), len(data) - cursor)
+        view[:n] = data[cursor : cursor + n]
+        frames.extend(reader.buffer_updated(n))
+        cursor += n
+    return frames
+
+
+class TestBufferedIngestion:
+    """get_buffer/buffer_updated must match feed() frame for frame."""
+
+    def test_large_frame_assembles_in_place(self):
+        rng = np.random.default_rng(11)
+        packed, grid, batch = random_packed(rng, 64, 65536)
+        wire = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, request_id=9
+        )
+        assert len(wire) > protocol.FrameReader._SCRATCH_BYTES
+        reader = protocol.FrameReader()
+        frames = drive_buffered(reader, wire, step=65536)
+        assert len(frames) == 1
+        request = protocol.parse_request(frames[0])
+        assert request.request_id == 9
+        assert np.array_equal(request.packed, packed)
+        assert (
+            SpikeTrainBatch.from_packed(request.packed, request.grid())
+            == batch
+        )
+
+    def test_direct_assembly_buffer_spans_the_whole_tail(self):
+        # Once the length prefix declares a large frame, the exposed
+        # buffer is the frame's own remaining region, so the transport
+        # can drain it in one recv_into.
+        rng = np.random.default_rng(12)
+        packed, grid, _batch = random_packed(rng, 64, 65536)
+        wire = protocol.encode_request(packed, grid.n_samples, grid.dt)
+        reader = protocol.FrameReader()
+        view = reader.get_buffer(-1)
+        first = 1024
+        view[:first] = wire[:first]
+        assert reader.buffer_updated(first) == []
+        tail = reader.get_buffer(-1)
+        assert len(tail) == len(wire) - first
+        tail[: len(tail)] = wire[first:]
+        frames = reader.buffer_updated(len(tail))
+        assert len(frames) == 1
+        assert np.array_equal(
+            protocol.parse_request(frames[0]).packed, packed
+        )
+
+    def test_randomized_chunking_matches_feed(self):
+        rng = np.random.default_rng(13)
+        stream = b""
+        for request_id in range(3):
+            packed, grid, _batch = random_packed(rng, 2, 777)
+            stream += protocol.encode_request(
+                packed, grid.n_samples, grid.dt, request_id=request_id
+            )
+        stream += protocol.encode_stats_request(request_id=3)
+        fed = protocol.FrameReader().feed(stream)
+        driven = drive_buffered(
+            protocol.FrameReader(), stream, rng=np.random.default_rng(14)
+        )
+        assert len(driven) == len(fed) == 4
+        for a, b in zip(driven, fed):
+            assert a.version == b.version
+            assert a.frame_type == b.frame_type
+            assert a.request_id == b.request_id
+            assert bytes(a.payload) == bytes(b.payload)
+
+    def test_small_and_large_frames_interleave(self):
+        rng = np.random.default_rng(15)
+        small_packed, grid, _b = random_packed(rng, 1, 64)
+        big_packed, big_grid, _b2 = random_packed(rng, 64, 65536)
+        stream = (
+            protocol.encode_request(
+                small_packed, grid.n_samples, grid.dt, request_id=1
+            )
+            + protocol.encode_request(
+                big_packed, big_grid.n_samples, big_grid.dt, request_id=2
+            )
+            + protocol.encode_request(
+                small_packed, grid.n_samples, grid.dt, request_id=3
+            )
+        )
+        frames = drive_buffered(
+            protocol.FrameReader(), stream, rng=np.random.default_rng(16)
+        )
+        assert [frame.request_id for frame in frames] == [1, 2, 3]
+        assert np.array_equal(
+            protocol.parse_request(frames[1]).packed, big_packed
+        )
+
+    def test_poison_defers_like_feed(self):
+        rng = np.random.default_rng(17)
+        packed, grid, _batch = random_packed(rng, 1, 64)
+        good = protocol.encode_request(
+            packed, grid.n_samples, grid.dt, request_id=5
+        )
+        bad = bytearray(good)
+        bad[4:8] = b"XXXX"  # corrupt the magic
+        reader = protocol.FrameReader()
+        frames = drive_buffered(reader, good + bytes(bad), step=1 << 20)
+        assert [frame.request_id for frame in frames] == [5]
+        assert reader.pending_error is not None
+        assert reader.pending_error.code == protocol.ERR_BAD_MAGIC
+        with pytest.raises(ProtocolError):
+            reader.buffer_updated(0)
+
+    def test_oversized_declared_length_raises(self):
+        reader = protocol.FrameReader(max_frame_bytes=1024)
+        view = reader.get_buffer(-1)
+        prefix = (1 << 20).to_bytes(4, "little")
+        view[: len(prefix)] = prefix
+        with pytest.raises(ProtocolError):
+            reader.buffer_updated(len(prefix))

@@ -319,7 +319,11 @@ class TestErrors:
         assert payload["code"] == protocol.ERR_FRAME_TOO_LARGE
 
     def test_request_over_inflight_budget_is_overloaded(self, small_basis):
-        config = ServerConfig(jobs=1, max_inflight_bytes=64, **SMALL)
+        # fast_path_bytes=0: the budget only governs arena-pinning
+        # (sharded) requests, so force this tiny payload onto that path.
+        config = ServerConfig(
+            jobs=1, max_inflight_bytes=64, fast_path_bytes=0, **SMALL
+        )
         wires = small_basis.as_batch().select_rows([0, 1])
         with ServerThread(config) as handle:
             with ServingClient(handle.host, handle.port) as client:
@@ -402,7 +406,8 @@ class TestSharedRunnerEmbedding:
         wires = basis.as_batch().select_rows([0, 1, 2, 3, 4, 5])
         with Runner(jobs=2) as runner:
             with ServerThread(
-                ServerConfig(jobs=1, **SMALL), runner=runner
+                ServerConfig(jobs=1, fast_path_bytes=0, **SMALL),
+                runner=runner,
             ) as handle:
                 with ServingClient(handle.host, handle.port) as client:
                     reply = client.identify(wires)  # n_shards unset

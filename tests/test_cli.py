@@ -49,6 +49,9 @@ class TestParser:
         assert args.basis_size == 16
         assert args.n_samples == 65536
         assert args.shards is None
+        assert args.fast_path_bytes == 4 * 1024 * 1024
+        assert args.coalesce_window_ms == 0.0
+        assert args.coalesce_max_wires == 4096
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
@@ -170,6 +173,9 @@ class TestServeCommand:
             [
                 "serve", "--port", "0", "--jobs", "2",
                 "--n-samples", "4096", "--basis-size", "8",
+                "--fast-path-bytes", "65536",
+                "--coalesce-window-ms", "2.5",
+                "--coalesce-max-wires", "256",
             ],
             out=out,
         )
@@ -179,6 +185,9 @@ class TestServeCommand:
         assert config.jobs == 2
         assert config.n_samples == 4096
         assert config.basis_size == 8
+        assert config.fast_path_bytes == 65536
+        assert config.coalesce_window == pytest.approx(0.0025)
+        assert config.coalesce_max_wires == 256
 
 
 @dataclass(frozen=True)
