@@ -21,6 +21,14 @@ path.  Two shapes are measured against one embedded
   the serving layer adds at most a couple of compute-times of
   overhead even at load — and the recorded req/s is the throughput
   floor ``compare_bench.py`` holds future runs to.
+* ``serving_identify_rpc_workers2`` — the same concurrent shape
+  against a two-worker :class:`~repro.serving.cluster.ServerCluster`
+  (``repro serve --workers 2``): forked worker *processes*, so the
+  packed compute leaves the client's GIL entirely.  Correctness
+  (aggregated cluster counters account for every request sent) is
+  asserted everywhere; the "more workers → more req/s than the
+  single-process entry" gate only fires on hosts with a second core
+  to run the second worker.
 
 Both entries record ``seconds`` as the **best-of** request latency —
 the same minimum-damps-scheduler-noise methodology every gated entry
@@ -32,6 +40,9 @@ in the config blocks.
 """
 
 import asyncio
+import json
+import os
+import pathlib
 import sys
 import time
 
@@ -40,6 +51,7 @@ import pytest
 
 from repro.logic.correlator import CoincidenceCorrelator
 from repro.serving.client import AsyncServingClient, ServingClient
+from repro.serving.cluster import ServerCluster
 from repro.serving.server import ServerConfig, ServerThread, build_serving_basis
 
 N_WIRES = 256
@@ -283,3 +295,145 @@ def test_serving_identify_rpc_concurrent(
     assert p50 < 3 * n_streams * local_s + 0.008
     # Coalescing must actually be engaging under this load.
     assert stats["coalesced_batches"] < n_requests
+
+
+def test_serving_identify_rpc_workers2(
+    serving_workload, archive, bench_record, best_of
+):
+    """The concurrent shape against a two-worker cluster on one port."""
+    config, basis, wires, elements = serving_workload
+    correlator = CoincidenceCorrelator(basis)
+
+    rng = np.random.default_rng(7)
+    n_streams = N_CLIENTS * STREAMS_PER_CLIENT
+    streams = []
+    for _ in range(n_streams):
+        rows = rng.integers(0, N_WIRES, size=WIRES_PER_REQUEST)
+        streams.append((wires.select_rows(rows), elements[rows]))
+
+    small_batch = streams[0][0]
+    local_s = best_of(
+        lambda: correlator.identify_batch(small_batch, missing="none")
+    )
+
+    cluster_config = ServerConfig(
+        seed=config.seed,
+        basis_size=config.basis_size,
+        n_samples=config.n_samples,
+        source_isi_samples=config.source_isi_samples,
+        jobs=1,
+        workers=2,
+        coalesce_window=0.002,
+        coalesce_max_wires=128,
+    )
+
+    latencies = []
+
+    async def stream(client, batch, expected):
+        loop = asyncio.get_running_loop()
+        for _request in range(REQUESTS_PER_STREAM):
+            started = loop.time()
+            reply = await client.identify(batch)
+            latencies.append(loop.time() - started)
+            assert np.array_equal(reply.elements, expected)
+
+    async def drive(host, port):
+        clients = [
+            await AsyncServingClient.open(host, port)
+            for _client in range(N_CLIENTS)
+        ]
+        try:
+            await asyncio.gather(
+                *[
+                    stream(clients[index % N_CLIENTS], batch, expected)
+                    for index, (batch, expected) in enumerate(streams)
+                ]
+            )
+            return await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.aclose()
+
+    n_requests = n_streams * REQUESTS_PER_STREAM
+    with ServerCluster(cluster_config) as cluster:
+        host = cluster_config.host
+        # Warm-up round: connections, forked workers' first from_packed.
+        asyncio.run(drive(host, cluster.port))
+        latencies.clear()
+        span_start = time.perf_counter()
+        stats = asyncio.run(drive(host, cluster.port))
+        span = time.perf_counter() - span_start
+
+    # The cluster-wide counters must account for every request sent —
+    # warm-up plus measured round — regardless of which worker each
+    # connection landed on.  This is the cross-worker STATS gate: any
+    # worker answers with the aggregate of all of them.
+    assert stats["scope"] == "cluster"
+    assert stats["workers"] == 2
+    assert stats["requests_served"] == 2 * n_requests
+    assert (
+        sum(w["requests_served"] for w in stats["per_worker"])
+        == 2 * n_requests
+    )
+
+    latencies = np.sort(np.array(latencies))
+    assert latencies.size == n_requests
+    best = float(latencies[0])
+    p50 = float(np.percentile(latencies, 50))
+    p99 = float(np.percentile(latencies, 99))
+    requests_per_second = n_requests / span
+    compute_fraction = local_s / best
+    per_worker = [int(w["requests_served"]) for w in stats["per_worker"]]
+
+    text = "\n".join(
+        [
+            "Serving front-end, concurrent identify RPC, 2-worker cluster "
+            f"({N_CLIENTS} connections x {STREAMS_PER_CLIENT} streams, "
+            f"{WIRES_PER_REQUEST} wires/request, M={BASIS_SIZE}, "
+            f"T={N_SAMPLES}, {n_requests} requests, {os.cpu_count()} cpu(s))",
+            f"  request best   : {1e3 * best:8.3f} ms",
+            f"  request p50    : {1e3 * p50:8.3f} ms",
+            f"  request p99    : {1e3 * p99:8.3f} ms",
+            f"  throughput     : {requests_per_second:8.1f} req/s",
+            f"  worker split   : {per_worker} "
+            "(warm-up + measured rounds)",
+            f"  in-process pass: {1e3 * local_s:8.3f} ms "
+            f"(compute fraction of best: {compute_fraction:.2f})",
+        ]
+    )
+    archive("serving_identify_rpc_workers2.txt", text)
+    bench_record(
+        "serving_identify_rpc_workers2",
+        {
+            "connections": N_CLIENTS,
+            "streams": n_streams,
+            "wires_per_request": WIRES_PER_REQUEST,
+            "basis_size": BASIS_SIZE,
+            "n_samples": N_SAMPLES,
+            "requests": n_requests,
+            "workers": 2,
+            "p50_seconds": round(p50, 6),
+            "p99_seconds": round(p99, 6),
+            "requests_per_second": round(requests_per_second, 1),
+            "local_seconds": round(local_s, 6),
+        },
+        seconds=best,
+        speedup=compute_fraction,
+    )
+
+    # More workers must mean more throughput — but only where a second
+    # core exists to run the second worker; on one CPU the cluster adds
+    # proxy/reuseport hops without adding compute.
+    if os.cpu_count() >= 2:
+        bench_json = pathlib.Path(__file__).parent / "BENCH_batch.json"
+        entries = {
+            entry["experiment"]: entry
+            for entry in json.loads(bench_json.read_text())
+        }
+        single = entries.get("serving_identify_rpc_concurrent")
+        if single is not None:
+            single_rps = single["config"]["requests_per_second"]
+            assert requests_per_second > single_rps, (
+                f"2-worker cluster served {requests_per_second:.0f} req/s, "
+                f"below the single-process entry's {single_rps:.0f} req/s"
+            )

@@ -42,6 +42,7 @@ from .shared import (
     process_cache,
 )
 from . import packed
+from . import parallel
 from .core import (
     RASTER_DENSITY_THRESHOLD,
     Backend,
@@ -85,6 +86,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "packed",
+    "parallel",
     "pinned_backend_name",
     "select_backend",
     "select_batch_backend",

@@ -58,6 +58,7 @@ __all__ = [
     "bitwise_not",
     "row_popcounts",
     "coincidence_counts",
+    "row_chunk_bounds",
     "pairwise_counts",
     "coincidence_any",
     "first_set_slots",
@@ -298,6 +299,25 @@ def coincidence_counts(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def _pair_chunk(n_refs: int, n_words: int) -> int:
     """Rows per chunk bounding the (chunk, M, n_words) intermediate."""
     return max(1, _CHUNK_BYTES // max(1, n_refs * n_words * 8))
+
+
+def row_chunk_bounds(n_rows: int, n_chunks: int) -> Tuple[Tuple[int, int], ...]:
+    """Contiguous ``[lo, hi)`` row ranges splitting ``n_rows`` evenly.
+
+    The canonical row-axis split of every dispatch tier (serving shards
+    and the pool-parallel kernel layer both use it): ``linspace``-based
+    so ranges differ by at most one row, empty ranges dropped, and the
+    split is a pure function of ``(n_rows, n_chunks)`` — the property
+    that makes a parallel run's concatenated results bit-identical to
+    the serial kernel on the same rows.
+    """
+    n_chunks = max(1, min(int(n_chunks), max(1, int(n_rows))))
+    bounds = np.linspace(0, int(n_rows), n_chunks + 1).astype(np.int64)
+    return tuple(
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    )
 
 
 def pairwise_counts(a: np.ndarray, b: np.ndarray) -> np.ndarray:

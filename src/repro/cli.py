@@ -111,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for shard dispatch (default 1: in-process)",
     )
     serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="server processes accepting on the one port "
+        "(SO_REUSEPORT, or a front proxy without it; default 1)",
+    )
+    serve.add_argument(
         "--seed",
         type=int,
         default=2016,
@@ -242,6 +249,7 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             fast_path_bytes=args.fast_path_bytes,
             coalesce_window=args.coalesce_window_ms / 1000.0,
             coalesce_max_wires=args.coalesce_max_wires,
+            workers=args.workers,
         )
         return serve_forever(config, out=out)
 

@@ -460,6 +460,16 @@ class Runner:
             )
         return pool.apply_async(fn, (task,))
 
+    def submit_many(self, fn, tasks) -> List[Any]:
+        """``submit`` every task and return the ``AsyncResult`` list.
+
+        The fan-out half of the parallel kernel layer's dispatch: all
+        tasks enter the pool before any result is awaited, so workers
+        overlap.  Same contract as :meth:`submit` (module-level ``fn``,
+        ``jobs >= 2``).
+        """
+        return [self.submit(fn, task) for task in tasks]
+
     def broadcast(self, fn, payload=None) -> Optional[List[Any]]:
         """Run ``fn(payload)`` exactly once on every pool worker.
 

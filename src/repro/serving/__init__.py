@@ -16,6 +16,7 @@ only in packed form — wire, arena and compute are the same bytes.
 """
 
 from .client import IdentifyReply, MembershipReply, ServingClient
+from .cluster import ServerCluster, serve_cluster
 from .protocol import PROTOCOL_VERSION, FrameReader
 from .server import (
     ServerConfig,
@@ -29,8 +30,10 @@ __all__ = [
     "ServerConfig",
     "SpikeServer",
     "ServerThread",
+    "ServerCluster",
     "build_serving_basis",
     "serve_forever",
+    "serve_cluster",
     "ServingClient",
     "IdentifyReply",
     "MembershipReply",

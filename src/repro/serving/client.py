@@ -191,11 +191,20 @@ class ServingClient:
         )
         return _membership_reply(shards, summary)
 
-    def stats(self) -> dict:
-        """The server's :class:`~repro.serving.server.ServerStats` snapshot."""
+    def stats(self, scope: Optional[str] = None) -> dict:
+        """The server's :class:`~repro.serving.server.ServerStats` snapshot.
+
+        ``scope`` is forwarded on the wire (see
+        :func:`~repro.serving.protocol.encode_stats_request`): against
+        a ``--workers N`` cluster, the default answers cluster-wide
+        aggregated counters and ``"local"`` answers only the worker
+        this connection landed on.  Single servers ignore it.
+        """
         request_id = next(self._request_ids)
         self._sock.sendall(
-            protocol.encode_stats_request(request_id, version=self._version)
+            protocol.encode_stats_request(
+                request_id, version=self._version, scope=scope
+            )
         )
         frame = self._next_frame()
         payload = protocol.parse_json_frame(frame)
@@ -408,12 +417,19 @@ class AsyncServingClient:
         )
         return _membership_reply(shards, summary)
 
-    async def stats(self) -> dict:
-        """The server's stats snapshot (shares the pipelined demux)."""
+    async def stats(self, scope: Optional[str] = None) -> dict:
+        """The server's stats snapshot (shares the pipelined demux).
+
+        ``scope`` as in :meth:`ServingClient.stats` — cluster-wide by
+        default against a multi-worker server, ``"local"`` for the one
+        worker holding this connection.
+        """
         request_id = next(self._request_ids)
         entry = self._register(request_id)
         self._writer.write(
-            protocol.encode_stats_request(request_id, version=self._version)
+            protocol.encode_stats_request(
+                request_id, version=self._version, scope=scope
+            )
         )
         await self._writer.drain()
         _, payload = await entry.future

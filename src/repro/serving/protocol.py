@@ -91,6 +91,7 @@ __all__ = [
     "encode_result_frame",
     "parse_result_frame",
     "encode_stats_request",
+    "stats_scope",
     "encode_error",
     "jsonable_payload",
     "request_nbytes",
@@ -655,10 +656,48 @@ def parse_result_frame(frame: Frame) -> dict:
 
 
 def encode_stats_request(
-    request_id: int = 0, *, version: int = PROTOCOL_VERSION
+    request_id: int = 0,
+    *,
+    version: int = PROTOCOL_VERSION,
+    scope: Optional[str] = None,
 ) -> bytes:
-    """Encode one STATS request (empty payload; answered with JSON)."""
-    return encode_frame(FRAME_STATS, request_id, b"", version=version)
+    """Encode one STATS request (answered with JSON).
+
+    ``scope`` selects which counters a multi-worker server answers
+    with: ``"cluster"`` (the default on clustered servers) aggregates
+    every worker's counters into one reply with per-worker detail,
+    ``"local"`` returns only the worker that happened to accept this
+    connection.  The scope rides as a tiny JSON payload
+    (``{"scope": ...}``); ``None`` keeps the payload empty — the
+    pre-aggregation encoding, which every server treats as the default
+    scope, so old clients keep working against new servers and new
+    clients against old servers (which ignore the payload entirely).
+    """
+    payload = (
+        json.dumps({"scope": scope}, separators=(",", ":")).encode("utf-8")
+        if scope is not None
+        else b""
+    )
+    return encode_frame(FRAME_STATS, request_id, payload, version=version)
+
+
+def stats_scope(frame: Frame) -> Optional[str]:
+    """The scope of a STATS request frame (None: default scope).
+
+    Tolerant by design — an empty, undecodable or scope-less payload
+    is the default scope, never an error: STATS must keep answering
+    whatever a client managed to send.
+    """
+    if not frame.payload:
+        return None
+    try:
+        obj = json.loads(bytes(frame.payload).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    scope = obj.get("scope")
+    return scope if isinstance(scope, str) else None
 
 
 def encode_error(

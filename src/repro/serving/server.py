@@ -91,7 +91,7 @@ from ..orthogonator.demux import DemuxOrthogonator
 from ..pipeline.runner import Runner
 from ..spikes.generators import poisson_train
 from ..units import paper_white_grid
-from . import dispatch, protocol
+from . import dispatch, log, protocol
 
 __all__ = [
     "ServerConfig",
@@ -121,6 +121,12 @@ class ServerConfig:
     scan headers buffer up to that many seconds (or until
     ``coalesce_max_wires`` rows accumulate) and compute as one wide
     batch.
+
+    ``workers`` > 1 turns ``repro serve`` into a process cluster: that
+    many server processes accept on **one** port (``SO_REUSEPORT``
+    where the OS has it, a small front proxy otherwise) and report one
+    aggregated STATS reply — see :mod:`repro.serving.cluster`.  A
+    single :class:`SpikeServer` ignores the field.
     """
 
     host: str = "127.0.0.1"
@@ -136,6 +142,7 @@ class ServerConfig:
     fast_path_bytes: int = 4 * 1024 * 1024
     coalesce_window: float = 0.0  # seconds; 0 → coalescing off
     coalesce_max_wires: int = 4096
+    workers: int = 1
 
 
 def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
@@ -585,19 +592,30 @@ class SpikeServer:
         self,
         config: Optional[ServerConfig] = None,
         runner: Optional[Runner] = None,
+        *,
+        sock=None,
+        stats: Optional[ServerStats] = None,
+        stats_aggregator=None,
+        basis: Optional[HyperspaceBasis] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self._runner = runner
         self._owns_runner = runner is None
         self._server: Optional[asyncio.AbstractServer] = None
-        self._basis: Optional[HyperspaceBasis] = None
+        self._basis: Optional[HyperspaceBasis] = basis
         self._basis_token: Optional[str] = None
         self._budget = _InflightBudget(self.config.max_inflight_bytes)
         self._writers: Set["_Connection"] = set()
         self._tasks: Set[asyncio.Task] = set()
         self._coalescer: Optional[_Coalescer] = None
         self._closing = False
-        self.stats = ServerStats()
+        # The cluster tier injects all three: a pre-bound SO_REUSEPORT
+        # socket (every worker accepts on one port), a stats object
+        # mirroring into the cluster's shared block, and the aggregator
+        # answering cluster-scope STATS from that block.
+        self._sock = sock
+        self.stats = stats if stats is not None else ServerStats()
+        self._stats_aggregator = stats_aggregator
 
     @property
     def requests_served(self) -> int:
@@ -634,7 +652,10 @@ class SpikeServer:
         """Build the basis, warm the pool, bind the socket."""
         if self._runner is None:
             self._runner = Runner(jobs=self.config.jobs)
-        self._basis = build_serving_basis(self.config)
+        if self._basis is None:
+            # Cluster workers inject a basis attached from the shared
+            # startup arena instead of re-running the synthesis.
+            self._basis = build_serving_basis(self.config)
         table = dispatch.export_basis(self._basis)
         self._basis_token = table.token
         # Install in this process first: a pool forked later inherits
@@ -650,9 +671,14 @@ class SpikeServer:
                 self.config.coalesce_max_wires,
             )
         loop = asyncio.get_running_loop()
-        self._server = await loop.create_server(
-            lambda: _Connection(self), self.config.host, self.config.port
-        )
+        if self._sock is not None:
+            self._server = await loop.create_server(
+                lambda: _Connection(self), sock=self._sock
+            )
+        else:
+            self._server = await loop.create_server(
+                lambda: _Connection(self), self.config.host, self.config.port
+            )
 
     async def wait_closed(self) -> None:
         """Block until the listening socket shuts down."""
@@ -723,12 +749,20 @@ class SpikeServer:
         behind (or spuriously OVERLOAD) real arena work.
         """
         if frame.frame_type == protocol.FRAME_STATS:
+            # Clustered workers answer cluster-wide counters unless the
+            # client explicitly asked for this worker's ("local").  A
+            # plain server has no aggregator and always answers itself.
+            scope = protocol.stats_scope(frame)
+            if self._stats_aggregator is not None and scope != "local":
+                payload = self._stats_aggregator()
+            else:
+                payload = self.stats.snapshot()
             await self._send(
                 writer,
                 protocol.encode_json_frame(
                     protocol.FRAME_STATS_REPLY,
                     frame.request_id,
-                    self.stats.snapshot(),
+                    payload,
                     version=frame.version,
                 ),
             )
@@ -744,23 +778,19 @@ class SpikeServer:
                 ),
             )
             return
-        started = asyncio.get_running_loop().time()
         try:
             self._check_grid(request)
             transport = self._route(request)
             if transport == "sharded":
                 await self._budget.acquire(request.packed.nbytes)
                 try:
-                    transport = await self._process(request, writer)
+                    await self._process(request, writer)
                 finally:
                     await self._budget.release(request.packed.nbytes)
             elif transport == "coalesced":
                 await self._process_coalesced(request, writer)
             else:
                 await self._process_fast(request, writer)
-            self.stats.record(
-                transport, asyncio.get_running_loop().time() - started
-            )
         except (ConnectionResetError, BrokenPipeError):
             raise
         except ServingError as exc:
@@ -881,6 +911,10 @@ class SpikeServer:
                 "raster": batch.raster_materialised,
             },
         }
+        # Recorded before the DONE frame leaves the process: a client
+        # that holds the reply must find the request in the counters,
+        # even when its next STATS lands on a clustered sibling.
+        self.stats.record(transport, wall_seconds)
         await self._send(
             writer,
             protocol.encode_json_frame(
@@ -972,6 +1006,8 @@ class SpikeServer:
             "wall_seconds": loop.time() - started,
             "server_residency": payload["residency"],
         }
+        # Same ordering contract as _send_done: count, then reply.
+        self.stats.record("coalesced", summary["wall_seconds"])
         await self._send(
             writer,
             protocol.encode_json_frame(
@@ -1126,14 +1162,18 @@ async def _serve_until_signal(config: ServerConfig, out) -> None:
     """Run one server until SIGINT/SIGTERM (or cancellation)."""
     import signal
 
+    logger = log.configure(stream=out)
     server = SpikeServer(config)
     await server.start()
-    print(
-        f"repro serve: listening on {config.host}:{server.port} "
-        f"(M={config.basis_size}, n_samples={config.n_samples}, "
-        f"jobs={config.jobs}, seed={config.seed})",
-        file=out,
-        flush=True,
+    logger.info(
+        "repro serve: listening on %s:%d (M=%d, n_samples=%d, jobs=%d, "
+        "seed=%d)",
+        config.host,
+        server.port,
+        config.basis_size,
+        config.n_samples,
+        config.jobs,
+        config.seed,
     )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -1145,13 +1185,22 @@ async def _serve_until_signal(config: ServerConfig, out) -> None:
     try:
         await stop.wait()
     finally:
-        print("repro serve: shutting down", file=out, flush=True)
+        logger.info("repro serve: shutting down")
         await server.close()
-        print(f"repro serve: {server.stats.summary()}", file=out, flush=True)
+        logger.info("repro serve: %s", server.stats.summary())
 
 
 def serve_forever(config: ServerConfig, out=sys.stdout) -> int:
-    """Blocking entry point behind ``repro serve``."""
+    """Blocking entry point behind ``repro serve``.
+
+    ``config.workers > 1`` hands off to the multi-process cluster
+    (:func:`repro.serving.cluster.serve_cluster`); otherwise one
+    in-process server runs until a signal.
+    """
+    if config.workers > 1:
+        from .cluster import serve_cluster
+
+        return serve_cluster(config, out=out)
     try:
         asyncio.run(_serve_until_signal(config, out))
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
