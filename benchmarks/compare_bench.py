@@ -6,7 +6,12 @@ file (typically the committed ``benchmarks/BENCH_batch.json``) and a
 and exit non-zero when any experiment regressed by more than the
 threshold (default 20%).  Experiments missing from the candidate are
 regressions too — a bench silently disappearing must not pass the gate.
-New experiments and speedups are reported but never fail.
+
+Experiments present only in the candidate are **informational**: a new
+bench (say ``bench_corpus.py``) lands cleanly in the PR that adds it,
+without needing its entry hand-edited into the committed baseline in
+the same commit — the entry simply starts gating on the next baseline
+refresh.  Speedups likewise never fail.
 
 Usage::
 
@@ -30,11 +35,34 @@ from typing import Dict, List, Optional, Sequence
 
 
 def load_entries(path: pathlib.Path) -> Dict[str, dict]:
-    """A bench file's entries, keyed by experiment name."""
+    """A bench file's entries, keyed by experiment name.
+
+    Validates the shape up front so a malformed entry — hand-edited,
+    or written by a buggy new bench — fails with the file, index and
+    field named instead of a ``KeyError`` traceback deep in the diff.
+    """
     entries = json.loads(path.read_text())
     if not isinstance(entries, list):
         raise ValueError(f"{path}: expected a JSON list of bench entries")
-    return {entry["experiment"]: entry for entry in entries}
+    by_name: Dict[str, dict] = {}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: entry {index} is not an object")
+        name = entry.get("experiment")
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"{path}: entry {index} has no 'experiment' name"
+            )
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            raise ValueError(
+                f"{path}: entry {index} ({name!r}) has a non-numeric "
+                f"'seconds' field: {seconds!r}"
+            )
+        if name in by_name:
+            raise ValueError(f"{path}: duplicate experiment {name!r}")
+        by_name[name] = entry
+    return by_name
 
 
 def _provenance(entry: dict) -> str:
@@ -83,7 +111,13 @@ def compare(
             print(f"{'':<28s} baseline : {_provenance(old)}")
             print(f"{'':<28s} candidate: {_provenance(new)}")
     for name in sorted(set(candidate) - set(baseline)):
-        print(f"{name:<28s} (new entry: {candidate[name]['seconds']:.6f}s)")
+        # Informational by design: a new bench must land in the PR
+        # that adds it without a hand-edited baseline entry.
+        print(
+            f"{name:<28s} (new entry: "
+            f"{float(candidate[name]['seconds']):.6f}s, gates once it "
+            "reaches the baseline)"
+        )
     return regressions
 
 

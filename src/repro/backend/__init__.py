@@ -41,6 +41,7 @@ from .shared import (
     attach_array,
     process_cache,
 )
+from . import mmapstore
 from . import packed
 from . import parallel
 from .core import (
@@ -85,6 +86,7 @@ __all__ = [
     "RASTER_DENSITY_THRESHOLD",
     "available_backends",
     "get_backend",
+    "mmapstore",
     "packed",
     "parallel",
     "pinned_backend_name",

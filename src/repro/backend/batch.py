@@ -49,6 +49,7 @@ import numpy as np
 from ..errors import SpikeTrainError
 from ..spikes.train import SpikeTrain
 from ..units import SimulationGrid
+from . import mmapstore
 from . import packed as packed_kernels
 from .core import select_batch_backend
 from .shared import SharedArena, SharedArraySpec, attach_array
@@ -261,7 +262,8 @@ class SpikeTrainBatch:
         ``words`` must be ``(N, ceil(n_samples / 64))`` ``uint64`` with
         a clean tail; internal producers whose output is clean by
         construction (set-op results, shared-memory attachments) pass
-        ``validate=False``.
+        ``validate=False``.  N may be 0: an empty row selection or an
+        empty corpus window is a legal (silent) batch.
         """
         words = np.asarray(words, dtype=np.uint64)
         n_words = packed_kernels.n_packed_words(grid.n_samples)
@@ -270,8 +272,6 @@ class SpikeTrainBatch:
                 f"packed words shape {words.shape} does not match "
                 f"(N, {n_words})"
             )
-        if words.shape[0] < 1:
-            raise SpikeTrainError("a batch needs at least one row")
         if validate and not packed_kernels.check_tail_clean(
             words, grid.n_samples
         ):
@@ -535,6 +535,46 @@ class SpikeTrainBatch:
             return cls(values, row_ptr, grid)
         words = attach_array(handle.packed)
         return cls._from_packed_words(words[lo:hi], grid, validate=False)
+
+    # ------------------------------------------------------------------
+    # Memmap residency (disk-backed packed words)
+    # ------------------------------------------------------------------
+
+    def to_memmap(self, path) -> "pathlib.Path":
+        """Persist this batch's packed words as a ``.npy`` file.
+
+        The on-disk form is exactly :meth:`packed_words` — the
+        word-aligned bitset, 8× smaller than the raster and directly
+        computable by every packed kernel once mapped back in with
+        :meth:`from_memmap`.  Round trip is bit-identical by
+        construction (same words in, same words out).
+        """
+        return mmapstore.write_words(path, self.packed_words())
+
+    @classmethod
+    def from_memmap(
+        cls,
+        path,
+        grid: SimulationGrid,
+        rows: Optional[Tuple[int, int]] = None,
+    ) -> "SpikeTrainBatch":
+        """Open a words file written by :meth:`to_memmap` as a batch.
+
+        The returned batch is *packed-primary over the mapping*: its
+        words are a read-only view of the file's pages, faulted in only
+        as kernels touch them — nothing is copied at open time, and
+        ``rows=(lo, hi)`` restricts the mapping to that window so peak
+        RSS is bounded by the window, not the file.  The disk residency
+        mirrors :meth:`from_shared`'s bitset-only path: identification
+        and membership run straight on the mapped words; the CSR (and
+        never the raster) materialises only if a consumer explicitly
+        asks for indices.
+
+        Tail cleanliness is validated on the opened window (one word
+        per row), catching a file written for a different grid.
+        """
+        words = mmapstore.open_words(path, grid.n_samples, rows)
+        return cls._from_packed_words(words, grid, validate=True)
 
     def row(self, i: int) -> SpikeTrain:
         """Row ``i`` as a :class:`SpikeTrain`."""

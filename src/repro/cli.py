@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli run speed --seed 7
     python -m repro.cli run all --jobs 4 --output-dir results/
     python -m repro.cli serve --port 8642 --jobs 4
+    python -m repro.cli corpus build corpora/noise --rows 100000
+    python -m repro.cli corpus info corpora/noise
+    python -m repro.cli serve --corpus corpora/noise
 
 ``list`` and ``run``'s experiment choices come straight from the
 :mod:`repro.pipeline.registry` — registering a new
@@ -23,6 +26,13 @@ summary, exiting non-zero when anything failed.  ``serve`` starts the
 packed-bitset RPC front-end (:mod:`repro.serving`): an asyncio server
 identifying client wire batches against a deterministic basis, sharded
 over the runner's worker pool — see ``docs/serving.md``.
+
+``corpus build`` streams a generated spike recording into an on-disk
+:class:`~repro.pipeline.corpus.CorpusStore` (packed segments + a
+row-range manifest, one chunk in memory at a time), ``corpus info``
+summarises one without reading any payload, and ``serve --corpus``
+hosts one read-only so clients can query row ranges by name — the
+server computes straight off the memmap.  See ``docs/corpus.md``.
 """
 
 from __future__ import annotations
@@ -163,6 +173,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a coalescing bucket once this many wires "
         "accumulate (default 4096)",
     )
+    serve.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        default=None,
+        help="host this corpus directory read-only and answer "
+        "corpus-query frames against it (docs/corpus.md); the corpus "
+        "grid must match --n-samples",
+    )
+    serve.add_argument(
+        "--corpus-chunk-rows",
+        type=_positive_int,
+        default=4096,
+        help="max rows one corpus-scan chunk maps at a time — bounds "
+        "the peak working set of a corpus query (default 4096)",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="build and inspect on-disk packed corpora (docs/corpus.md)",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    build = corpus_sub.add_parser(
+        "build",
+        help="stream a generated Poisson recording into a new corpus",
+    )
+    build.add_argument(
+        "directory", type=pathlib.Path, help="corpus directory to create"
+    )
+    build.add_argument(
+        "--rows",
+        type=_positive_int,
+        default=4096,
+        help="total wire rows to generate (default 4096)",
+    )
+    build.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="seed of the generated recording (default 2016)",
+    )
+    build.add_argument(
+        "--n-samples",
+        type=_positive_int,
+        default=65536,
+        help="grid length — must match the basis the corpus will be "
+        "served against (default 65536)",
+    )
+    build.add_argument(
+        "--isi",
+        type=_positive_int,
+        default=28,
+        help="mean inter-spike interval in samples of the generated "
+        "rows (default 28, the serving basis default)",
+    )
+    build.add_argument(
+        "--chunk-rows",
+        type=_positive_int,
+        default=1024,
+        help="rows generated and persisted per segment — the build's "
+        "peak working set (default 1024)",
+    )
+    build.add_argument(
+        "--append",
+        action="store_true",
+        help="append to an existing corpus instead of requiring a "
+        "fresh directory",
+    )
+    info = corpus_sub.add_parser(
+        "info", help="summarise a corpus from its manifest (no payload reads)"
+    )
+    info.add_argument(
+        "directory", type=pathlib.Path, help="corpus directory to inspect"
+    )
     return parser
 
 
@@ -250,10 +333,77 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             coalesce_window=args.coalesce_window_ms / 1000.0,
             coalesce_max_wires=args.coalesce_max_wires,
             workers=args.workers,
+            corpus=str(args.corpus) if args.corpus is not None else None,
+            corpus_chunk_rows=args.corpus_chunk_rows,
         )
         return serve_forever(config, out=out)
 
+    if args.command == "corpus":
+        return _run_corpus(args, out)
+
     return 2  # unreachable: argparse enforces the sub-commands
+
+
+def _run_corpus(args, out) -> int:
+    """The ``corpus build`` / ``corpus info`` sub-commands."""
+    # Imported here for the same reason serve's imports are: only the
+    # corpus sub-commands pay for the backend stack.
+    import numpy as np
+
+    from .errors import PipelineError
+    from .pipeline.corpus import CorpusStore
+    from .units import paper_white_grid
+
+    if args.corpus_command == "info":
+        import json
+
+        try:
+            payload = CorpusStore(args.directory).info()
+        except PipelineError as exc:
+            print(f"repro corpus info: {exc}", file=out)
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+
+    # build: stream Bernoulli/Poisson rows chunk-at-a-time — the
+    # working set is one chunk's raster, never the corpus.
+    from .backend.batch import SpikeTrainBatch
+    from .noise.synthesis import make_rng
+
+    grid = paper_white_grid(n_samples=args.n_samples)
+    try:
+        if args.append and (args.directory / "manifest.json").exists():
+            store = CorpusStore(args.directory)
+            if store.grid() != grid:
+                print(
+                    f"repro corpus build: existing corpus grid does not "
+                    f"match --n-samples {args.n_samples}",
+                    file=out,
+                )
+                return 1
+        else:
+            store = CorpusStore.create(args.directory, grid)
+    except PipelineError as exc:
+        print(f"repro corpus build: {exc}", file=out)
+        return 1
+    rng = make_rng(args.seed)
+    p_spike = 1.0 / args.isi  # per-slot rate of the target mean ISI
+    written = 0
+    with store.writer() as writer:
+        while written < args.rows:
+            n = min(args.chunk_rows, args.rows - written)
+            raster = rng.random((n, grid.n_samples)) < p_spike
+            writer.append(SpikeTrainBatch.from_raster(raster, grid, copy=False))
+            written += n
+    summary = store.info()
+    print(
+        f"repro corpus build: {args.directory} now holds "
+        f"{summary['n_rows']} rows in {summary['n_segments']} segments "
+        f"({summary['disk_bytes'] / 1e6:.1f} MB packed, "
+        f"n_samples={summary['n_samples']}, seed={args.seed})",
+        file=out,
+    )
+    return 0
 
 
 if __name__ == "__main__":

@@ -15,6 +15,10 @@ through:
   (``run_many``);
 * :mod:`~repro.pipeline.store` — :class:`ArtifactStore`, persisting
   every run as a JSON + text artifact pair with run metadata;
+* :mod:`~repro.pipeline.corpus` — :class:`CorpusStore`, the indexed
+  on-disk library of packed spike rows (append-only segment files +
+  row-range manifest) that :meth:`open_rows` maps back as
+  packed-primary batches for out-of-core compute and serving;
 * :mod:`~repro.pipeline.serialize` — :func:`to_jsonable`, lowering any
   driver result to JSON-ready data.
 
@@ -38,6 +42,7 @@ from .registry import (
     specs_by_tier,
     unregister,
 )
+from .corpus import CORPUS_SCHEMA_VERSION, CorpusStore, CorpusWriter
 from .runner import Runner, RunReport
 from .serialize import to_jsonable
 from .spec import SEED_POLICIES, TIERS, ExperimentSpec
@@ -59,5 +64,8 @@ __all__ = [
     "ArtifactStore",
     "RunRecord",
     "SCHEMA_VERSION",
+    "CorpusStore",
+    "CorpusWriter",
+    "CORPUS_SCHEMA_VERSION",
     "to_jsonable",
 ]

@@ -15,10 +15,18 @@ bitset), frame its ``packbits`` transport form — packed straight from
 the CSR, no raster, and handed to the socket as buffer views without
 an intermediate concatenation copy — and merge the per-shard response
 frames the server streams back into whole-batch result arrays.  By
-default requests are stamped protocol version 2, so results return as
-binary frames (:func:`~repro.serving.protocol.parse_result_frame`);
-``version=1`` selects the JSON response encoding, and the merged
-replies are bit-identical either way.
+default requests are stamped the current protocol version (3), so
+results return as binary frames
+(:func:`~repro.serving.protocol.parse_result_frame`); ``version=1``
+selects the JSON response encoding, and the merged replies are
+bit-identical either way.
+
+Version 3 adds the *corpus* methods (``corpus_identify`` /
+``corpus_membership``): instead of shipping a bitset, they name a
+corpus the server hosts (``repro serve --corpus``) plus a row range,
+and the server streams back chunk results computed straight off its
+memmap — the reply merges exactly like a bitset request's.  ``ping()``
+is the one-frame health probe.
 
 Usage::
 
@@ -124,8 +132,9 @@ class ServingClient:
     One TCP connection, reused across requests; close with
     :meth:`close` or a ``with`` block.  Not thread-safe — use one
     client per thread (the benchmark does exactly that).  ``version``
-    selects the response encoding the server answers with (2: binary
-    result frames, the default; 1: JSON shards).
+    selects the response encoding the server answers with (2+: binary
+    result frames — 3, the default, also unlocks corpus queries;
+    1: JSON shards).
     """
 
     def __init__(
@@ -190,6 +199,72 @@ class ServingClient:
             limit=until_slot, n_shards=n_shards,
         )
         return _membership_reply(shards, summary)
+
+    def corpus_identify(
+        self,
+        corpus: str,
+        row_start: int,
+        row_stop: int,
+        *,
+        start_slot: int = 0,
+        n_shards: int = 0,
+    ) -> IdentifyReply:
+        """Identify rows ``[row_start, row_stop)`` of a server-hosted corpus.
+
+        No bitset leaves this process — the request names the corpus
+        and the row range, the server computes chunk-at-a-time off its
+        memmap, and the merged reply is bit-identical to fetching those
+        rows locally and calling :meth:`identify`.  Needs protocol
+        version 3 (the client default).
+        """
+        shards, summary = self._corpus_round_trip(
+            corpus, row_start, row_stop, mode="identify",
+            start_slot=start_slot, n_shards=n_shards,
+        )
+        return _identify_reply(shards, summary)
+
+    def corpus_membership(
+        self,
+        corpus: str,
+        row_start: int,
+        row_stop: int,
+        *,
+        until_slot: Optional[int] = None,
+        n_shards: int = 0,
+    ) -> MembershipReply:
+        """Set-membership readout of a server-hosted corpus row range."""
+        shards, summary = self._corpus_round_trip(
+            corpus, row_start, row_stop, mode="membership",
+            limit=until_slot, n_shards=n_shards,
+        )
+        return _membership_reply(shards, summary)
+
+    def ping(self) -> dict:
+        """One PING/PONG health round-trip (the load-balancer probe).
+
+        Returns the PONG payload — ``{"ready": true, ...}`` plus the
+        served protocol version and the hosted corpus name (if any).
+        The cheapest possible liveness check: no compute, no STATS
+        aggregation.
+        """
+        request_id = next(self._request_ids)
+        self._sock.sendall(
+            protocol.encode_ping(request_id, version=self._version)
+        )
+        frame = self._next_frame()
+        payload = protocol.parse_json_frame(frame)
+        if frame.frame_type == protocol.FRAME_ERROR:
+            _raise_server_error(payload)
+        if (
+            frame.frame_type != protocol.FRAME_PONG
+            or frame.request_id != request_id
+        ):
+            raise ProtocolError(
+                protocol.ERR_BAD_TYPE,
+                f"unexpected frame type 0x{frame.frame_type:02x} "
+                f"answering a ping",
+            )
+        return payload
 
     def stats(self, scope: Optional[str] = None) -> dict:
         """The server's :class:`~repro.serving.server.ServerStats` snapshot.
@@ -271,6 +346,31 @@ class ServingClient:
                 version=self._version,
             )
         )
+        return self._collect(request_id)
+
+    def _corpus_round_trip(
+        self, corpus, row_start, row_stop, *, mode,
+        start_slot=0, limit=None, n_shards=0,
+    ):
+        """Send one corpus query, collect shard frames until done/error."""
+        request_id = next(self._request_ids)
+        self._sock.sendall(
+            protocol.encode_corpus_query(
+                corpus,
+                row_start,
+                row_stop,
+                mode=mode,
+                start_slot=start_slot,
+                limit=limit,
+                n_shards=n_shards,
+                request_id=request_id,
+                version=self._version,
+            )
+        )
+        return self._collect(request_id)
+
+    def _collect(self, request_id):
+        """Collect one request's response stream until DONE (or error)."""
         shards: List[dict] = []
         while True:
             frame = self._next_frame()
@@ -417,6 +517,49 @@ class AsyncServingClient:
         )
         return _membership_reply(shards, summary)
 
+    async def corpus_identify(
+        self,
+        corpus: str,
+        row_start: int,
+        row_stop: int,
+        *,
+        start_slot: int = 0,
+        n_shards: int = 0,
+    ) -> IdentifyReply:
+        """Identify a server-hosted corpus row range (pipelined)."""
+        shards, summary = await self._corpus_round_trip(
+            corpus, row_start, row_stop, mode="identify",
+            start_slot=start_slot, n_shards=n_shards,
+        )
+        return _identify_reply(shards, summary)
+
+    async def corpus_membership(
+        self,
+        corpus: str,
+        row_start: int,
+        row_stop: int,
+        *,
+        until_slot: Optional[int] = None,
+        n_shards: int = 0,
+    ) -> MembershipReply:
+        """Membership readout of a server-hosted corpus range (pipelined)."""
+        shards, summary = await self._corpus_round_trip(
+            corpus, row_start, row_stop, mode="membership",
+            limit=until_slot, n_shards=n_shards,
+        )
+        return _membership_reply(shards, summary)
+
+    async def ping(self) -> dict:
+        """One PING/PONG health round-trip (shares the pipelined demux)."""
+        request_id = next(self._request_ids)
+        entry = self._register(request_id)
+        self._writer.write(
+            protocol.encode_ping(request_id, version=self._version)
+        )
+        await self._writer.drain()
+        _, payload = await entry.future
+        return payload
+
     async def stats(self, scope: Optional[str] = None) -> dict:
         """The server's stats snapshot (shares the pipelined demux).
 
@@ -502,6 +645,30 @@ class AsyncServingClient:
         shards.sort(key=lambda shard: shard["row_start"])
         return shards, summary
 
+    async def _corpus_round_trip(
+        self, corpus, row_start, row_stop, *, mode,
+        start_slot=0, limit=None, n_shards=0,
+    ):
+        request_id = next(self._request_ids)
+        entry = self._register(request_id)
+        self._writer.write(
+            protocol.encode_corpus_query(
+                corpus,
+                row_start,
+                row_stop,
+                mode=mode,
+                start_slot=start_slot,
+                limit=limit,
+                n_shards=n_shards,
+                request_id=request_id,
+                version=self._version,
+            )
+        )
+        await self._writer.drain()
+        shards, summary = await entry.future
+        shards.sort(key=lambda shard: shard["row_start"])
+        return shards, summary
+
     async def _read_loop(self) -> None:
         """Demux every inbound frame to its request's inflight entry."""
         try:
@@ -550,6 +717,7 @@ class AsyncServingClient:
         if frame.frame_type in (
             protocol.FRAME_DONE,
             protocol.FRAME_STATS_REPLY,
+            protocol.FRAME_PONG,
         ):
             self._inflight.pop(frame.request_id, None)
             if not entry.future.done():

@@ -34,12 +34,22 @@ JSON-encodes per-shard arrays.  DONE, ERROR and STATS payloads stay
 JSON in both versions (one small frame per request, and clients must
 tolerate unknown keys there).
 
+Version 3 adds the *corpus-query* request (``FRAME_CORPUS_QUERY``): a
+24-byte query header naming a row range plus the UTF-8 name of a
+corpus the server hosts — no bitset payload at all, the data already
+lives on the server's disk (:mod:`repro.pipeline.corpus`).  Responses
+to a v3 request reuse the v2 binary result-frame encoding.  Version 3
+also adds the ``FRAME_PING`` health probe, answered with a tiny JSON
+``FRAME_PONG`` — but PING, like STATS, is accepted at any supported
+version (new frame types are not themselves a version break; the
+header bump marks the corpus-query payload layout).
+
 Version policy: ``PROTOCOL_VERSION`` bumps on any incompatible header
 or payload change; a decoder rejects frames whose version it does not
 implement (not in :data:`SUPPORTED_VERSIONS`) with
 :data:`ERR_BAD_VERSION` (the magic never changes, so a version
 mismatch is always reportable).  ``flags`` and the ``reserved`` fields
-must be zero in versions 1 and 2.
+must be zero in versions 1-3.
 """
 
 from __future__ import annotations
@@ -62,11 +72,14 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "FRAME_IDENTIFY",
     "FRAME_MEMBERSHIP",
+    "FRAME_CORPUS_QUERY",
     "FRAME_STATS",
+    "FRAME_PING",
     "FRAME_SHARD",
     "FRAME_DONE",
     "FRAME_RESULT",
     "FRAME_STATS_REPLY",
+    "FRAME_PONG",
     "FRAME_ERROR",
     "LIMIT_FULL",
     "DEFAULT_MAX_FRAME_BYTES",
@@ -78,14 +91,19 @@ __all__ = [
     "ERR_BAD_GRID",
     "ERR_OVERLOADED",
     "ERR_INTERNAL",
+    "ERR_NO_CORPUS",
     "ERROR_NAMES",
     "Frame",
     "Request",
+    "CorpusQuery",
     "FrameReader",
     "encode_frame",
     "encode_request",
     "encode_request_parts",
     "parse_request",
+    "encode_corpus_query",
+    "parse_corpus_query",
+    "encode_ping",
     "encode_json_frame",
     "parse_json_frame",
     "encode_result_frame",
@@ -101,23 +119,27 @@ __all__ = [
 MAGIC = b"REPB"
 
 #: Current protocol version; bumped on incompatible layout changes.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Versions this build decodes.  Version 1 responses are JSON,
-#: version 2 responses are binary result frames; request layout is
-#: identical in both.
-SUPPORTED_VERSIONS = (1, 2)
+#: versions 2+ responses are binary result frames; version 3 adds the
+#: corpus-query request layout.  Bitset request layout is identical in
+#: all three.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 # Frame types.  Requests sit below 0x80, responses at or above it, so a
 # misdirected frame is caught by the type check rather than a payload
 # parse.
 FRAME_IDENTIFY = 0x01
 FRAME_MEMBERSHIP = 0x02
+FRAME_CORPUS_QUERY = 0x03
 FRAME_STATS = 0x10
+FRAME_PING = 0x11
 FRAME_SHARD = 0x81
 FRAME_DONE = 0x82
 FRAME_RESULT = 0x83
 FRAME_STATS_REPLY = 0x84
+FRAME_PONG = 0x85
 FRAME_ERROR = 0xFF
 
 _REQUEST_TYPES = (FRAME_IDENTIFY, FRAME_MEMBERSHIP)
@@ -125,6 +147,7 @@ _JSON_RESPONSE_TYPES = (
     FRAME_SHARD,
     FRAME_DONE,
     FRAME_STATS_REPLY,
+    FRAME_PONG,
     FRAME_ERROR,
 )
 _RESPONSE_TYPES = _JSON_RESPONSE_TYPES + (FRAME_RESULT,)
@@ -148,6 +171,7 @@ ERR_BAD_TYPE = 5
 ERR_BAD_GRID = 6
 ERR_OVERLOADED = 7
 ERR_INTERNAL = 8
+ERR_NO_CORPUS = 9
 
 #: code → symbolic name, echoed in error payloads for human readers.
 ERROR_NAMES: Dict[int, str] = {
@@ -159,6 +183,7 @@ ERROR_NAMES: Dict[int, str] = {
     ERR_BAD_GRID: "BAD_GRID",
     ERR_OVERLOADED: "OVERLOADED",
     ERR_INTERNAL: "INTERNAL",
+    ERR_NO_CORPUS: "NO_CORPUS",
 }
 
 #: ``u32 length`` prefix framing each body.
@@ -175,9 +200,15 @@ _REQUEST = struct.Struct("<IIdIIHH")
 #: row_start, row_stop, n_cols, wall_seconds.
 _RESULT = struct.Struct("<BBHIIId")
 
+#: Corpus-query header (version 3): mode, reserved, name_len,
+#: row_start, row_stop, start_slot, limit, n_shards, reserved —
+#: followed by ``name_len`` bytes of UTF-8 corpus name.  No bitset.
+_CORPUS_QUERY = struct.Struct("<BBHIIIIHH")
+
 HEADER_BYTES = _HEADER.size  # 16
 REQUEST_HEADER_BYTES = _REQUEST.size  # 28
 RESULT_HEADER_BYTES = _RESULT.size  # 24
+CORPUS_QUERY_HEADER_BYTES = _CORPUS_QUERY.size  # 24
 
 #: Residency bits of the binary result header.
 _RES_PACKED = 0x01
@@ -235,6 +266,31 @@ class Request:
     def grid(self) -> SimulationGrid:
         """The simulation grid the payload claims to live on."""
         return SimulationGrid(n_samples=self.n_samples, dt=self.dt)
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    """A parsed corpus-query frame (version 3).
+
+    References rows the *server* already holds — the request ships a
+    corpus name and a row range instead of a bitset, so its size is
+    ~tens of bytes no matter how many wires it asks about.
+    """
+
+    mode: str
+    request_id: int
+    corpus: str
+    row_start: int
+    row_stop: int
+    start_slot: int
+    limit: Optional[int]
+    n_shards: int
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def n_wires(self) -> int:
+        """Number of corpus rows the query covers."""
+        return int(self.row_stop - self.row_start)
 
 
 def request_nbytes(n_wires: int, n_samples: int) -> int:
@@ -422,6 +478,151 @@ def parse_request(frame: Frame) -> Request:
         n_shards=int(n_shards),
         version=frame.version,
     )
+
+
+def encode_corpus_query(
+    corpus: str,
+    row_start: int,
+    row_stop: int,
+    *,
+    mode: str = "identify",
+    start_slot: int = 0,
+    limit: Optional[int] = None,
+    n_shards: int = 0,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one corpus-query frame (version 3+).
+
+    Asks the server to run ``mode`` over rows ``[row_start, row_stop)``
+    of the corpus it hosts under ``corpus`` — the payload carries no
+    bitset, only the 24-byte query header plus the corpus name, so the
+    request costs the same few dozen bytes whether it covers ten rows
+    or a million.  ``n_shards`` 0 lets the server chunk by its own
+    configured window; ``limit`` bounds a membership scan.
+    """
+    if mode not in _MODE_CODES:
+        raise ProtocolError(ERR_BAD_TYPE, f"unknown request mode {mode!r}")
+    if version not in SUPPORTED_VERSIONS or version < 3:
+        raise ProtocolError(
+            ERR_BAD_VERSION,
+            f"corpus queries need protocol version >= 3, got {version}",
+        )
+    name = str(corpus).encode("utf-8")
+    if not (0 < len(name) < 2**16):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"corpus name must be 1-65535 bytes, got {corpus!r}"
+        )
+    row_start, row_stop = int(row_start), int(row_stop)
+    if not (0 <= row_start < row_stop < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"corpus row range [{row_start}, {row_stop}) is empty or "
+            f"outside uint32",
+        )
+    if not (0 <= start_slot < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"start_slot {start_slot} outside uint32"
+        )
+    wire_limit = LIMIT_FULL if limit is None else int(limit)
+    if not (0 <= wire_limit <= LIMIT_FULL):
+        raise ProtocolError(ERR_BAD_FRAME, f"limit {limit} outside uint32")
+    if not (0 <= n_shards < 2**16):
+        raise ProtocolError(ERR_BAD_FRAME, f"n_shards {n_shards} outside uint16")
+    body = _CORPUS_QUERY.pack(
+        _MODE_CODES[mode], 0, len(name), row_start, row_stop,
+        start_slot, wire_limit, n_shards, 0,
+    )
+    return encode_frame(
+        FRAME_CORPUS_QUERY, request_id, body + name, version=version
+    )
+
+
+def parse_corpus_query(frame: Frame) -> CorpusQuery:
+    """Parse (and validate) one corpus-query frame.
+
+    The exact payload length is implied by the query header's
+    ``name_len``, so truncation and trailing bytes are both
+    :data:`ERR_BAD_FRAME`; whether the named corpus exists (and whether
+    the range fits it) is the server's call, not the parser's.
+    """
+    if frame.frame_type != FRAME_CORPUS_QUERY:
+        raise ProtocolError(
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame.frame_type:02x} is not a corpus query",
+        )
+    if frame.version < 3:
+        raise ProtocolError(
+            ERR_BAD_VERSION,
+            f"corpus queries need protocol version >= 3, got {frame.version}",
+        )
+    if len(frame.payload) < CORPUS_QUERY_HEADER_BYTES:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"corpus-query payload truncated: {len(frame.payload)} bytes "
+            f"< {CORPUS_QUERY_HEADER_BYTES}-byte query header",
+        )
+    (
+        mode_code, reserved_a, name_len, row_start, row_stop,
+        start_slot, limit, n_shards, reserved_b,
+    ) = _CORPUS_QUERY.unpack_from(frame.payload)
+    if reserved_a != 0 or reserved_b != 0:
+        raise ProtocolError(
+            ERR_BAD_FRAME, "reserved corpus-query fields must be zero"
+        )
+    mode = _MODE_BY_CODE.get(mode_code)
+    if mode is None:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"unknown query mode code {mode_code}"
+        )
+    expected = CORPUS_QUERY_HEADER_BYTES + name_len
+    if len(frame.payload) != expected:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"corpus-query payload is {len(frame.payload)} bytes, expected "
+            f"{expected} for a {name_len}-byte name",
+        )
+    if name_len < 1:
+        raise ProtocolError(ERR_BAD_FRAME, "a corpus query needs a name")
+    if row_stop <= row_start:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"a corpus query needs at least one row: "
+            f"[{row_start}, {row_stop})",
+        )
+    try:
+        corpus = bytes(
+            frame.payload[CORPUS_QUERY_HEADER_BYTES:]
+        ).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"undecodable corpus name: {exc}"
+        ) from None
+    return CorpusQuery(
+        mode=mode,
+        request_id=frame.request_id,
+        corpus=corpus,
+        row_start=int(row_start),
+        row_stop=int(row_stop),
+        start_slot=int(start_slot),
+        limit=None if limit == LIMIT_FULL else int(limit),
+        n_shards=int(n_shards),
+        version=frame.version,
+    )
+
+
+def encode_ping(
+    request_id: int = 0,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one PING health probe (answered with a JSON PONG).
+
+    An empty payload by design: the cheapest possible liveness
+    round-trip for load-balancer probes — no compute, no pool, no
+    STATS aggregation.  Accepted at any supported version, like STATS.
+    """
+    return encode_frame(FRAME_PING, request_id, b"", version=version)
 
 
 def encode_json_frame(

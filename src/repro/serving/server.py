@@ -73,6 +73,7 @@ behind ``repro serve``.
 from __future__ import annotations
 
 import asyncio
+import pathlib
 import socket
 import sys
 import threading
@@ -88,6 +89,7 @@ from ..errors import ProtocolError, ServingError
 from ..hyperspace.basis import HyperspaceBasis
 from ..noise.synthesis import make_rng
 from ..orthogonator.demux import DemuxOrthogonator
+from ..pipeline.corpus import CorpusStore
 from ..pipeline.runner import Runner
 from ..spikes.generators import poisson_train
 from ..units import paper_white_grid
@@ -127,6 +129,17 @@ class ServerConfig:
     where the OS has it, a small front proxy otherwise) and report one
     aggregated STATS reply — see :mod:`repro.serving.cluster`.  A
     single :class:`SpikeServer` ignores the field.
+
+    ``corpus`` names a :class:`~repro.pipeline.corpus.CorpusStore`
+    directory to host read-only: the server then answers version-3
+    ``FRAME_CORPUS_QUERY`` requests against it (by the directory's
+    basename), computing chunk-at-a-time straight off the memmap —
+    ``corpus_chunk_rows`` caps the rows any one chunk maps and
+    therefore the peak working set of a corpus scan, no matter how
+    many rows the query spans.  The corpus must live on the serving
+    basis's exact grid (checked at startup).  Cluster workers each
+    open their own read-only mapping of the same files; the OS page
+    cache is shared between them for free.
     """
 
     host: str = "127.0.0.1"
@@ -143,6 +156,8 @@ class ServerConfig:
     coalesce_window: float = 0.0  # seconds; 0 → coalescing off
     coalesce_max_wires: int = 4096
     workers: int = 1
+    corpus: Optional[str] = None
+    corpus_chunk_rows: int = 4096
 
 
 def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
@@ -616,6 +631,8 @@ class SpikeServer:
         self._sock = sock
         self.stats = stats if stats is not None else ServerStats()
         self._stats_aggregator = stats_aggregator
+        self._corpus = None  # CorpusStore once start() opens config.corpus
+        self._corpus_name: Optional[str] = None
 
     @property
     def requests_served(self) -> int:
@@ -664,6 +681,8 @@ class SpikeServer:
         dispatch.install_basis(table)
         if self._use_pool():
             self._runner.broadcast(dispatch.install_basis, table)
+        if self.config.corpus is not None:
+            self._open_corpus()
         if self.config.coalesce_window > 0:
             self._coalescer = _Coalescer(
                 self,
@@ -679,6 +698,34 @@ class SpikeServer:
             self._server = await loop.create_server(
                 lambda: _Connection(self), self.config.host, self.config.port
             )
+
+    def _open_corpus(self) -> None:
+        """Open the configured corpus read-only and pin its identity.
+
+        Startup-time validation: the corpus must live on the serving
+        basis's exact grid, so a query can never silently score mapped
+        rows against a basis from a different geometry.  The corpus is
+        addressed by its directory basename in ``FRAME_CORPUS_QUERY``
+        frames (also advertised in PONG replies).
+        """
+        root = pathlib.Path(self.config.corpus)
+        store = CorpusStore(root)
+        grid = self.basis.grid
+        corpus_grid = store.grid()
+        if corpus_grid != grid:
+            raise ServingError(
+                protocol.ERR_BAD_GRID,
+                f"corpus at {root} lives on n_samples="
+                f"{corpus_grid.n_samples}, dt={corpus_grid.dt}; the serving "
+                f"basis needs n_samples={grid.n_samples}, dt={grid.dt}",
+            )
+        self._corpus = store
+        self._corpus_name = root.name
+
+    @property
+    def corpus_name(self) -> Optional[str]:
+        """Name the hosted corpus answers to (None: no corpus hosted)."""
+        return self._corpus_name
 
     async def wait_closed(self) -> None:
         """Block until the listening socket shuts down."""
@@ -766,6 +813,35 @@ class SpikeServer:
                     version=frame.version,
                 ),
             )
+            return
+        if frame.frame_type == protocol.FRAME_PING:
+            # The load-balancer probe: answered inline on the event
+            # loop, no compute, no pool, no aggregation — a server that
+            # answers PONG is accepting and parsing frames.  The reply
+            # advertises the hosted corpus (if any) so a probe doubles
+            # as discovery.
+            await self._send(
+                writer,
+                protocol.encode_json_frame(
+                    protocol.FRAME_PONG,
+                    frame.request_id,
+                    {
+                        "kind": "pong",
+                        "ready": not self._closing,
+                        "protocol_version": protocol.PROTOCOL_VERSION,
+                        "corpus": self._corpus_name,
+                        "corpus_rows": (
+                            self._corpus.n_rows
+                            if self._corpus is not None
+                            else None
+                        ),
+                    },
+                    version=frame.version,
+                ),
+            )
+            return
+        if frame.frame_type == protocol.FRAME_CORPUS_QUERY:
+            await self._handle_corpus_query(frame, writer)
             return
         try:
             request = protocol.parse_request(frame)
@@ -1018,6 +1094,156 @@ class SpikeServer:
             ),
         )
 
+    # ------------------------------------------------------------------
+    # Corpus queries (version 3)
+    # ------------------------------------------------------------------
+
+    async def _handle_corpus_query(
+        self, frame: protocol.Frame, writer: "_Connection"
+    ) -> None:
+        """Parse, validate and serve one corpus-query frame."""
+        try:
+            query = protocol.parse_corpus_query(frame)
+        except ProtocolError as exc:
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    frame.request_id, exc.code, str(exc), version=frame.version
+                ),
+            )
+            return
+        try:
+            self._check_corpus(query)
+            await self._process_corpus(query, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except ServingError as exc:
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    query.request_id,
+                    exc.code,
+                    str(exc),
+                    version=query.version,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    query.request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    version=query.version,
+                ),
+            )
+
+    def _check_corpus(self, query: protocol.CorpusQuery) -> None:
+        """The query must name the hosted corpus and fit inside it."""
+        if self._corpus is None:
+            raise ServingError(
+                protocol.ERR_NO_CORPUS,
+                "this server hosts no corpus (start it with --corpus)",
+            )
+        if query.corpus != self._corpus_name:
+            raise ServingError(
+                protocol.ERR_NO_CORPUS,
+                f"no corpus named {query.corpus!r} here "
+                f"(hosting {self._corpus_name!r})",
+            )
+        if query.row_stop > self._corpus.n_rows:
+            raise ServingError(
+                protocol.ERR_BAD_FRAME,
+                f"row range [{query.row_start}, {query.row_stop}) outside "
+                f"corpus of {self._corpus.n_rows} rows",
+            )
+
+    def _corpus_bounds(self, query: protocol.CorpusQuery) -> np.ndarray:
+        """Chunk boundaries of one corpus scan.
+
+        At least enough chunks that none maps more than
+        ``corpus_chunk_rows`` rows — the peak-memory contract — and at
+        least as many as the client asked for; like the request shard
+        plans, the split depends only on the query and the config.
+        """
+        n = query.n_wires
+        chunk_rows = max(1, self.config.corpus_chunk_rows)
+        budget_chunks = -(-n // chunk_rows)
+        n_chunks = min(max(int(query.n_shards), budget_chunks, 1), n)
+        return np.linspace(
+            query.row_start, query.row_stop, n_chunks + 1
+        ).astype(np.int64)
+
+    def _compute_corpus_chunk(
+        self, query: protocol.CorpusQuery, lo: int, hi: int
+    ) -> dict:
+        """Map one row window and run the receiver pass on it.
+
+        Runs off-loop (``asyncio.to_thread``): the kernels compute
+        straight on the mapped words, so this is where the file pages
+        actually fault in — and the mapping is dropped with the chunk
+        batch, keeping the scan's working set at one window.
+        """
+        rows = self._corpus.open_rows(lo, hi)
+        return dispatch.compute_shard(
+            self.basis,
+            rows,
+            lo,
+            hi,
+            mode=query.mode,
+            start_slot=query.start_slot,
+            limit=query.limit,
+        )
+
+    async def _process_corpus(
+        self, query: protocol.CorpusQuery, writer: "_Connection"
+    ) -> None:
+        """Stream one corpus query's chunks, then the DONE summary.
+
+        Chunks are computed and written strictly one at a time: result
+        frames reach the client as the scan advances (first results
+        after one chunk, not after the whole range) and at no point is
+        more than one window's pages plus one result frame in flight.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        bounds = self._corpus_bounds(query)
+        residency = {"packed": False, "csr": False, "raster": False}
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            payload = await asyncio.to_thread(
+                self._compute_corpus_chunk, query, int(lo), int(hi)
+            )
+            for key in residency:
+                residency[key] |= bool(payload["residency"][key])
+            await self._send(writer, self._shard_frame(query, payload))
+        summary = {
+            "kind": "done",
+            "mode": query.mode,
+            "n_wires": query.n_wires,
+            "n_shards": len(bounds) - 1,
+            "labels": list(self.basis.labels),
+            "transport": "corpus-mmap",
+            "wall_seconds": loop.time() - started,
+            "server_residency": residency,
+            "corpus": self._corpus_name,
+            "row_start": query.row_start,
+            "row_stop": query.row_stop,
+        }
+        # Same ordering contract as _send_done: count, then reply.
+        self.stats.record("corpus-mmap", summary["wall_seconds"])
+        await self._send(
+            writer,
+            protocol.encode_json_frame(
+                protocol.FRAME_DONE,
+                query.request_id,
+                summary,
+                version=query.version,
+            ),
+        )
+
     async def _dispatch_pool(self, request, batch, bounds, writer):
         """Shard over the worker pool through a per-request arena."""
         with SharedArena() as arena:
@@ -1175,6 +1401,13 @@ async def _serve_until_signal(config: ServerConfig, out) -> None:
         config.jobs,
         config.seed,
     )
+    if server.corpus_name is not None:
+        logger.info(
+            "repro serve: hosting corpus %r (%d rows, chunk window %d rows)",
+            server.corpus_name,
+            server._corpus.n_rows,
+            config.corpus_chunk_rows,
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):

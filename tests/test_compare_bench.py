@@ -87,6 +87,22 @@ class TestCompareBench:
         )
         assert compare_bench.main([str(old), str(new)]) == 0
 
+    def test_new_experiment_is_informational_even_at_zero_threshold(
+        self, tmp_path, capsys
+    ):
+        # The land-cleanly contract: a bench added in this PR has no
+        # baseline entry yet, and must not fail the gate however slow
+        # it is or however strict the threshold — it gates once the
+        # committed baseline picks it up.
+        old = _write(tmp_path / "old.json", [_entry("a", 1.0)])
+        new = _write(
+            tmp_path / "new.json",
+            [_entry("a", 1.0), _entry("fresh_bench", 99.0)],
+        )
+        args = [str(old), str(new), "--threshold", "0.0"]
+        assert compare_bench.main(args) == 0
+        assert "new entry" in capsys.readouterr().out
+
     def test_speedup_passes(self, tmp_path):
         old = _write(tmp_path / "old.json", [_entry("a", 2.0)])
         new = _write(tmp_path / "new.json", [_entry("a", 0.5)])
@@ -110,4 +126,33 @@ class TestCompareBench:
         bad.write_text('{"not": "a list"}')
         good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
         with pytest.raises(ValueError, match="expected a JSON list"):
+            compare_bench.main([str(bad), str(good)])
+
+    def test_entry_without_name_raises_with_index(self, tmp_path):
+        bad = _write(tmp_path / "bad.json", [{"seconds": 1.0}])
+        good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
+        with pytest.raises(ValueError, match="entry 0 has no 'experiment'"):
+            compare_bench.main([str(bad), str(good)])
+
+    def test_non_numeric_seconds_raises_with_name(self, tmp_path):
+        entry = _entry("a", 1.0)
+        entry["seconds"] = "fast"
+        bad = _write(tmp_path / "bad.json", [entry])
+        good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
+        with pytest.raises(ValueError, match="'a'.*non-numeric"):
+            compare_bench.main([str(good), str(bad)])
+
+    def test_non_object_entry_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('["just a string"]')
+        good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
+        with pytest.raises(ValueError, match="entry 0 is not an object"):
+            compare_bench.main([str(bad), str(good)])
+
+    def test_duplicate_experiment_raises(self, tmp_path):
+        bad = _write(
+            tmp_path / "bad.json", [_entry("a", 1.0), _entry("a", 2.0)]
+        )
+        good = _write(tmp_path / "good.json", [_entry("a", 1.0)])
+        with pytest.raises(ValueError, match="duplicate experiment 'a'"):
             compare_bench.main([str(bad), str(good)])
