@@ -33,12 +33,14 @@ dispatch.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import PipelineError
+from ..testing import faults
 from . import packed
 from .shared import HAVE_SHARED_MEMORY, SharedArena, SharedArraySpec, attach_array
 
@@ -54,6 +56,12 @@ __all__ = [
 #: fixed per-call cost (arena create/copy, task pickles, first-touch
 #: attaches) exceeds the kernel time it parallelises on typical grids.
 DEFAULT_MIN_ROWS = 128
+
+#: Per-slice result timeout (seconds).  A slice exceeding this lost
+#: its worker (died or hung mid-task) and rides the supervision
+#: ladder; deliberately generous — the kernels finish in milliseconds,
+#: so a false positive would need a pathologically loaded host.
+_RESULT_TIMEOUT_S = 120.0
 
 #: Serial kernels addressable by task name.  Each takes the row slice
 #: of ``a`` first; two-operand kernels get the full ``b`` second.
@@ -83,6 +91,7 @@ class _RowTask:
 
 def _run_row_task(task: _RowTask) -> Any:
     """Worker entry: attach the operands, run the serial kernel slice."""
+    faults.maybe_fire("parallel.run_row_task")
     a = attach_array(task.a)[task.row_start : task.row_stop]
     fn = _KERNELS[task.kernel]
     if task.b is None:
@@ -139,11 +148,44 @@ def _dispatch(
         ]
         try:
             handles = runner.submit_many(_run_row_task, tasks)
-            return [handle.get() for handle in handles]
         except PipelineError:
             return None
+        return _gather_supervised(runner, handles, tasks)
     finally:
         arena.close()
+
+
+def _gather_supervised(runner, handles, tasks) -> List[Any]:
+    """Await the fan-out's results, recovering any lost slice.
+
+    A slice whose result times out (or whose result channel broke) lost
+    its worker; it re-runs through the runner's supervision ladder —
+    resubmit, pool restart, in-process floor — while the arena is still
+    alive, so the recovered slice attaches the *same* operands and the
+    row-order concatenation stays bit-identical to the undisturbed run.
+    """
+    await_result = getattr(runner, "await_result", None)
+    baseline = runner.worker_pids() if await_result is not None else None
+    results: List[Any] = []
+    for handle, task in zip(handles, tasks):
+        try:
+            if await_result is not None:
+                results.append(
+                    await_result(
+                        handle, timeout=_RESULT_TIMEOUT_S, baseline=baseline
+                    )
+                )
+            else:
+                results.append(handle.get(_RESULT_TIMEOUT_S))
+        except (multiprocessing.TimeoutError, OSError, EOFError):
+            recover = getattr(runner, "submit_supervised", None)
+            if recover is None:
+                results.append(_run_row_task(task))
+            else:
+                results.append(
+                    recover(_run_row_task, task, timeout=_RESULT_TIMEOUT_S)
+                )
+    return results
 
 
 def pairwise_counts(

@@ -188,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="max rows one corpus-scan chunk maps at a time — bounds "
         "the peak working set of a corpus query (default 4096)",
     )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="close connections idle for this many seconds; 0 keeps "
+        "them forever (default 0)",
+    )
+    serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for one shard's pool result before "
+        "treating its worker as lost and recovering (default 120)",
+    )
+    serve.add_argument(
+        "--shard-retries",
+        type=_positive_int,
+        default=2,
+        help="pool resubmit/restart attempts for a lost shard before "
+        "it runs in-process (default 2)",
+    )
 
     corpus = sub.add_parser(
         "corpus",
@@ -245,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument(
         "directory", type=pathlib.Path, help="corpus directory to inspect"
+    )
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute every segment's CRC32 against the manifest "
+        "(reads all payload bytes; exits non-zero on corruption)",
     )
     return parser
 
@@ -335,6 +362,9 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
             workers=args.workers,
             corpus=str(args.corpus) if args.corpus is not None else None,
             corpus_chunk_rows=args.corpus_chunk_rows,
+            idle_timeout=args.idle_timeout,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
         )
         return serve_forever(config, out=out)
 
@@ -358,7 +388,10 @@ def _run_corpus(args, out) -> int:
         import json
 
         try:
-            payload = CorpusStore(args.directory).info()
+            store = CorpusStore(args.directory)
+            payload = store.info()
+            if args.verify:
+                payload["verify"] = store.verify()
         except PipelineError as exc:
             print(f"repro corpus info: {exc}", file=out)
             return 1

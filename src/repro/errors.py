@@ -22,6 +22,7 @@ __all__ = [
     "PipelineError",
     "ServingError",
     "ProtocolError",
+    "ConnectionLostError",
 ]
 
 
@@ -89,12 +90,26 @@ class ServingError(ReproError):
 
     Carries the protocol error code (:mod:`repro.serving.protocol`'s
     ``ERR_*`` constants) so clients can branch on the failure class
-    without parsing the message.
+    without parsing the message.  :attr:`retryable` is the typed
+    retry contract: True exactly when re-issuing the same (idempotent)
+    request against a healthy server could succeed — transient load or
+    shutdown conditions — and False for structural failures (bad
+    frames, grid mismatches) that would fail identically forever.
     """
+
+    #: Codes whose failures are transient.  Populated by
+    #: :mod:`repro.serving.protocol` at import (the codes live there;
+    #: assigning here would invert the import direction).
+    RETRYABLE_CODES: frozenset = frozenset()
 
     def __init__(self, code: int, message: str) -> None:
         super().__init__(message)
         self.code = int(code)
+
+    @property
+    def retryable(self) -> bool:
+        """True when re-issuing the request could succeed."""
+        return self.code in type(self).RETRYABLE_CODES
 
     def __reduce__(self):
         # Exception.__reduce__ would replay __init__ with ``self.args``
@@ -111,3 +126,19 @@ class ProtocolError(ServingError):
     whose declared length exceeds the negotiated maximum, or a payload
     shorter than its own header claims.
     """
+
+
+class ConnectionLostError(ServingError):
+    """The serving connection died before the response completed.
+
+    Raised by the clients when the transport drops mid-request — a
+    crashed serving worker, a reset, an EOF with frames outstanding.
+    Always :attr:`~ServingError.retryable`: the request itself was
+    never refuted, only the channel died, so re-issuing it on a fresh
+    connection (idempotent requests only) is exactly what a retry
+    policy should do.
+    """
+
+    @property
+    def retryable(self) -> bool:
+        return True

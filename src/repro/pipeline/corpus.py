@@ -39,7 +39,8 @@ from __future__ import annotations
 import bisect
 import json
 import pathlib
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +48,7 @@ from ..backend import mmapstore
 from ..backend import packed as packed_kernels
 from ..backend.batch import SpikeTrainBatch
 from ..errors import PipelineError
+from ..testing import faults
 from ..units import SimulationGrid
 
 __all__ = ["CorpusStore", "CorpusWriter", "CORPUS_SCHEMA_VERSION"]
@@ -63,9 +65,21 @@ class CorpusStore:
     Construct over an existing corpus (``CorpusStore(root)``) to query
     it, or create an empty one with :meth:`create` and fill it through
     :meth:`writer`.
+
+    Every segment carries a CRC32 of its packed words in the manifest
+    (written at append time).  With ``verify=True`` (the default) a
+    segment's checksum is recomputed the first time a read window
+    touches it — once per store instance, cached after that — so bit
+    rot or a torn write surfaces as a clear
+    :class:`~repro.errors.PipelineError` naming the corrupt segment
+    instead of silently wrong results.  Segments written before
+    checksums existed (no ``crc32`` manifest key) are served without
+    verification.
     """
 
-    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self, root: Union[str, pathlib.Path], *, verify: bool = True
+    ) -> None:
         self.root = pathlib.Path(root)
         manifest = self.manifest_path()
         if not manifest.exists():
@@ -74,6 +88,8 @@ class CorpusStore:
                 f"build one with CorpusStore.create / `repro corpus build`"
             )
         self._manifest = self._load_manifest()
+        self._verify_reads = bool(verify)
+        self._verified: Set[str] = set()
 
     # ------------------------------------------------------------------
     # Creation
@@ -221,13 +237,20 @@ class CorpusStore:
                 grid,
                 validate=False,
             )
+        covering = self._covering(start, stop)
+        fault = faults.maybe_fire("corpus.open_rows")
+        if fault is not None and fault.action == "corrupt" and covering:
+            self._corrupt_segment(covering[0][0], fault.param_int)
+        if self._verify_reads:
+            for entry, _lo, _hi in covering:
+                self._verify_segment(entry)
         pieces = [
             mmapstore.open_words(
                 self.root / entry["file"],
                 grid.n_samples,
                 rows=(lo - entry["row_start"], hi - entry["row_start"]),
             )
-            for entry, lo, hi in self._covering(start, stop)
+            for entry, lo, hi in covering
         ]
         words = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
         # Tail cleanliness was enforced when the segment was written;
@@ -248,6 +271,72 @@ class CorpusStore:
         for lo in range(0, self.n_rows, chunk_rows):
             hi = min(lo + chunk_rows, self.n_rows)
             yield lo, hi, self.open_rows(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def _segment_crc(self, entry: Dict[str, Any]) -> int:
+        """CRC32 of one segment's packed words, computed in bounded chunks."""
+        words = mmapstore.open_words(
+            self.root / entry["file"], int(self._manifest["n_samples"])
+        )
+        crc = 0
+        # ~4 MiB of rows at a time: the checksum pass never holds more
+        # than one chunk of pages, matching the store's O(window) rule.
+        step = max(1, (4 << 20) // max(1, words.shape[1] * 8))
+        for lo in range(0, words.shape[0], step):
+            crc = zlib.crc32(words[lo : lo + step], crc)
+        return crc & 0xFFFFFFFF
+
+    def _verify_segment(self, entry: Dict[str, Any]) -> None:
+        """Check one segment against its manifest CRC32 (cached per store)."""
+        if "crc32" not in entry or entry["file"] in self._verified:
+            return
+        crc = self._segment_crc(entry)
+        if crc != int(entry["crc32"]):
+            raise PipelineError(
+                f"corpus segment corrupt: {self.root / entry['file']} "
+                f"(crc32 mismatch: manifest {int(entry['crc32']):#010x}, "
+                f"file {crc:#010x}); the segment's bytes changed since it "
+                f"was written — restore it from a backup or rebuild the "
+                f"corpus"
+            )
+        self._verified.add(entry["file"])
+
+    def verify(self) -> Dict[str, int]:
+        """Checksum every segment now (``repro corpus info --verify``).
+
+        Raises the same corrupt-segment :class:`~repro.errors.
+        PipelineError` as a read would; returns how many segments were
+        checked and how many predate checksums.
+        """
+        checked = unchecksummed = 0
+        for entry in self._manifest["segments"]:
+            if "crc32" in entry:
+                self._verify_segment(entry)
+                checked += 1
+            else:
+                unchecksummed += 1
+        return {
+            "segments_checked": checked,
+            "segments_unchecksummed": unchecksummed,
+        }
+
+    def _corrupt_segment(self, entry: Dict[str, Any], offset: int) -> None:
+        """Chaos-test hook: flip one payload byte of a segment on disk.
+
+        Only reachable through an armed ``corpus.open_rows=corrupt``
+        fault; ``offset`` counts back from the end of the file (0 = the
+        last byte), which is always payload, never the ``.npy`` header.
+        """
+        path = self.root / entry["file"]
+        with open(path, "r+b") as handle:
+            handle.seek(-(1 + max(0, offset)), 2)
+            byte = handle.read(1)
+            handle.seek(-1, 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        self._verified.discard(entry["file"])
 
     def _covering(
         self, start: int, stop: int
@@ -313,7 +402,8 @@ class CorpusWriter:
         manifest = self._store._manifest
         index = len(manifest["segments"])
         rel = f"{_SEGMENT_DIR}/seg-{index:05d}.npy"
-        mmapstore.write_words(self._store.root / rel, batch.packed_words())
+        words = np.ascontiguousarray(batch.packed_words())
+        mmapstore.write_words(self._store.root / rel, words)
         row_start = int(manifest["n_rows"])
         row_stop = row_start + batch.n_trains
         n_spikes = int(batch.total_spikes)
@@ -323,6 +413,10 @@ class CorpusWriter:
                 "row_start": row_start,
                 "row_stop": row_stop,
                 "n_spikes": n_spikes,
+                # Checksum of exactly the words written: a reader
+                # recomputing this over the mapped file proves the
+                # payload survived the disk round trip bit-for-bit.
+                "crc32": zlib.crc32(words) & 0xFFFFFFFF,
             }
         )
         manifest["n_rows"] = row_stop

@@ -43,6 +43,7 @@ One :class:`Runner` drives every experiment through the same path:
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import traceback
 import weakref
@@ -55,7 +56,18 @@ from . import registry
 from .serialize import to_jsonable
 from .store import ArtifactStore, RunRecord
 
-__all__ = ["Runner", "RunReport"]
+__all__ = ["Runner", "RunReport", "SUPERVISED_TIMEOUT_S"]
+
+#: Default per-attempt result timeout of :meth:`Runner.submit_supervised`
+#: (seconds).  Generous on purpose: it is the *backstop* for hung-alive
+#: workers — dead workers are caught within :data:`PROBE_INTERVAL_S` by
+#: the pid-set probe — so false positives under load matter more than
+#: detection latency.
+SUPERVISED_TIMEOUT_S = 120.0
+
+#: How often :meth:`Runner.await_result` wakes to probe worker
+#: liveness while a result is pending.
+PROBE_INTERVAL_S = 0.25
 
 #: Flipped when creating shared segments fails (e.g. an unwritable or
 #: missing /dev/shm): the runner then stops retrying the shared path
@@ -399,6 +411,14 @@ class Runner:
         self._pool = None
         self._pool_finalizer = None
         self._release_barrier = None
+        # Supervision state: pool lifecycle is guarded by a reentrant
+        # lock (supervised getters run on many threads), the generation
+        # counter lets concurrent failures agree on one restart, and
+        # sticky broadcasts replay onto a respawned pool so it carries
+        # the same worker state (installed bases) the dead one did.
+        self._lock = threading.RLock()
+        self._pool_generation = 0
+        self._sticky_broadcasts: List[Tuple[Any, Any]] = []
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -408,20 +428,22 @@ class Runner:
         """The persistent worker pool (created on first parallel run)."""
         if self.jobs < 2:
             return None
-        if self._pool is None:
-            context = _mp_context()
-            registry.ensure_loaded()  # fork inherits a populated registry
-            _start_resource_tracker()  # before fork: workers must share it
-            self._release_barrier = context.Barrier(self.jobs)
-            self._pool = context.Pool(
-                self.jobs,
-                initializer=_worker_init,
-                initargs=(self._release_barrier,),
-            )
-            self._pool_finalizer = weakref.finalize(
-                self, _shutdown_pool, self._pool
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                context = _mp_context()
+                registry.ensure_loaded()  # fork inherits populated registry
+                _start_resource_tracker()  # before fork: workers share it
+                self._release_barrier = context.Barrier(self.jobs)
+                self._pool = context.Pool(
+                    self.jobs,
+                    initializer=_worker_init,
+                    initargs=(self._release_barrier,),
+                )
+                self._pool_finalizer = weakref.finalize(
+                    self, _shutdown_pool, self._pool
+                )
+                self._pool_generation += 1
+            return self._pool
 
     # ------------------------------------------------------------------
     # Dispatch primitives for non-experiment callers
@@ -470,7 +492,7 @@ class Runner:
         """
         return [self.submit(fn, task) for task in tasks]
 
-    def broadcast(self, fn, payload=None) -> Optional[List[Any]]:
+    def broadcast(self, fn, payload=None, *, sticky: bool = True) -> Optional[List[Any]]:
         """Run ``fn(payload)`` exactly once on every pool worker.
 
         Barrier-distributed like the attachment release: each worker
@@ -480,6 +502,12 @@ class Runner:
         its timeout.  Returns the per-worker results, or None when
         there is no pool (``jobs == 1``: callers apply the payload
         in-process instead).
+
+        ``sticky`` (the default) records the broadcast so
+        :meth:`restart_pool` can replay it, in order, onto a respawned
+        pool — worker state established by broadcast (installed serving
+        bases) survives pool loss that way.  Pass ``sticky=False`` for
+        broadcasts that only observe state.
         """
         pool = self._ensure_pool()
         if pool is None:
@@ -492,7 +520,183 @@ class Runner:
                 self._release_barrier.reset()
             except Exception:  # pragma: no cover - broken-barrier cleanup
                 pass
+        if sticky:
+            with self._lock:
+                self._sticky_broadcasts.append((fn, payload))
         return results
+
+    # ------------------------------------------------------------------
+    # Supervision: detect dead/hung workers, respawn, degrade gracefully
+    # ------------------------------------------------------------------
+
+    def probe_workers(self) -> List[int]:
+        """PIDs of pool workers that are no longer alive.
+
+        The liveness probe half of supervision: an empty list means
+        every forked worker currently holds a live process.  Note that
+        ``multiprocessing.Pool`` respawns crashed workers on its own —
+        what it can *not* do is recover their in-flight tasks, which is
+        what :meth:`submit_supervised` exists for — so a dead PID here
+        is a point-in-time observation, not a permanent state.
+        """
+        with self._lock:
+            if self._pool is None:
+                return []
+            try:
+                workers = list(self._pool._pool)
+            except Exception:  # pragma: no cover - pool mid-teardown
+                return []
+            return [
+                worker.pid
+                for worker in workers
+                if worker.pid is not None and not worker.is_alive()
+            ]
+
+    def worker_pids(self) -> frozenset:
+        """The current pool workers' PIDs (empty without a pool).
+
+        The loss-detection primitive: ``multiprocessing.Pool`` replaces
+        a crashed worker with a fresh fork, so a changed pid set means
+        some worker died since the snapshot — and any task that was in
+        flight on it will never complete.  Callers snapshot before
+        submitting and compare while awaiting
+        (:meth:`await_result` does both).
+        """
+        with self._lock:
+            if self._pool is None:
+                return frozenset()
+            try:
+                workers = list(self._pool._pool)
+            except Exception:  # pragma: no cover - pool mid-teardown
+                return frozenset()
+            return frozenset(
+                worker.pid for worker in workers if worker.pid is not None
+            )
+
+    def await_result(
+        self,
+        handle,
+        *,
+        timeout: float = SUPERVISED_TIMEOUT_S,
+        baseline: Optional[frozenset] = None,
+    ):
+        """``handle.get`` with early worker-loss detection.
+
+        Polls the result every :data:`PROBE_INTERVAL_S` and raises
+        :class:`multiprocessing.TimeoutError` *immediately* when the
+        pool's pid set no longer matches ``baseline`` (default: the set
+        at call time) — a replaced worker means the task may be lost,
+        and waiting out the full ``timeout`` for a result that can
+        never arrive is exactly the hang this layer exists to prevent.
+        The ``timeout`` backstop still catches hung-but-alive workers.
+        Exceptions raised by the task itself propagate unchanged.
+        """
+        if baseline is None:
+            baseline = self.worker_pids()
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise multiprocessing.TimeoutError(
+                    f"no result within {timeout} s"
+                )
+            try:
+                return handle.get(min(PROBE_INTERVAL_S, remaining))
+            except multiprocessing.TimeoutError:
+                if self.worker_pids() != baseline:
+                    raise multiprocessing.TimeoutError(
+                        "pool worker lost while awaiting result"
+                    ) from None
+
+    def restart_pool(self, *, expected_generation: Optional[int] = None):
+        """Tear down the worker pool and fork a fresh one.
+
+        Replays every sticky broadcast, in order, onto the new pool so
+        it carries the same worker state the old one did.  When
+        ``expected_generation`` is given and the pool was already
+        restarted past it (a concurrent supervisor got here first),
+        this is a no-op returning the current pool — N simultaneous
+        shard timeouts must agree on one restart, not thrash N.
+        """
+        with self._lock:
+            if (
+                expected_generation is not None
+                and self._pool_generation != expected_generation
+            ):
+                return self._pool
+            if self._pool_finalizer is not None:
+                self._pool_finalizer()
+                self._pool_finalizer = None
+            self._pool = None
+            self._release_barrier = None
+            pool = self._ensure_pool()
+            for fn, payload in list(self._sticky_broadcasts):
+                try:
+                    pool.map(
+                        _broadcast_call,
+                        [(fn, payload)] * self.jobs,
+                        chunksize=1,
+                    )
+                    if self._release_barrier is not None:
+                        self._release_barrier.reset()
+                except Exception:  # pragma: no cover - replay degradation
+                    # A failed replay degrades the new pool, it must not
+                    # abort the restart — tasks needing the state fail
+                    # and ride the supervision ladder to in-process.
+                    pass
+            return pool
+
+    def submit_supervised(
+        self,
+        fn,
+        task,
+        *,
+        timeout: float = SUPERVISED_TIMEOUT_S,
+        retries: int = 2,
+    ):
+        """Run ``fn(task)`` on the pool and *return the result*, surviving
+        dead and hung workers.
+
+        The supervision ladder, one rung per failed attempt:
+
+        1. resubmit to the pool — ``multiprocessing.Pool`` respawns a
+           crashed worker by itself (the fresh fork inherits the
+           parent's installed state); only the in-flight task is lost,
+           and resubmission is exactly its recovery;
+        2. :meth:`restart_pool` (sticky broadcasts replayed) and
+           resubmit — covers a hung worker or broken pool plumbing;
+        3. after ``retries`` failed pool attempts, run ``fn(task)``
+           in-process — the floor of the ladder, always available.
+
+        A failure is a result timeout (the signature of a worker lost
+        mid-task: its ``AsyncResult`` never completes) or a broken
+        result channel.  Exceptions *raised by* ``fn`` propagate
+        unchanged on the first attempt — they are the task's outcome,
+        not a worker loss.  Same ``jobs >= 2`` contract as
+        :meth:`submit`.
+        """
+        if timeout is not None and timeout <= 0:
+            raise PipelineError(f"timeout must be positive, got {timeout}")
+        for attempt in range(max(0, int(retries))):
+            with self._lock:
+                generation = self._pool_generation
+            try:
+                if attempt > 0:
+                    # Rung 2+: assume the pool itself is sick.  The
+                    # generation check makes concurrent failures share
+                    # one restart.
+                    self.restart_pool(expected_generation=generation)
+                handle = self.submit(fn, task)
+                return self.await_result(handle, timeout=timeout)
+            except PipelineError:
+                raise  # jobs < 2: caller bug, same contract as submit()
+            except multiprocessing.TimeoutError:
+                continue
+            except (OSError, EOFError) as exc:
+                # The result channel died with the worker; retryable.
+                del exc
+                continue
+        return fn(task)
 
     def release_worker_attachments(self) -> None:
         """Broadcast an attachment release to every live pool worker.
@@ -512,11 +716,13 @@ class Runner:
 
     def close(self) -> None:
         """Tear down the worker pool (idempotent; runs stay archived)."""
-        if self._pool_finalizer is not None:
-            self._pool_finalizer()
-            self._pool_finalizer = None
-        self._pool = None
-        self._release_barrier = None
+        with self._lock:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer()
+                self._pool_finalizer = None
+            self._pool = None
+            self._release_barrier = None
+            self._sticky_broadcasts.clear()
 
     def __enter__(self) -> "Runner":
         return self

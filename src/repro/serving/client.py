@@ -40,7 +40,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Union
@@ -48,16 +50,65 @@ from typing import Deque, Dict, List, Optional, Union
 import numpy as np
 
 from ..backend.batch import SpikeTrainBatch
-from ..errors import ProtocolError, ServingError
+from ..errors import ConnectionLostError, ProtocolError, ServingError
 from ..units import SimulationGrid
 from . import protocol
 
 __all__ = [
     "ServingClient",
     "AsyncServingClient",
+    "RetryPolicy",
     "IdentifyReply",
     "MembershipReply",
 ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how a client re-issues a failed request.
+
+    Retries apply only to failures that are *typed retryable*: a
+    :class:`~repro.errors.ServingError` whose
+    :attr:`~repro.errors.ServingError.retryable` is True (the server
+    said "try again" — draining, deadline pressure), a
+    :class:`~repro.errors.ConnectionLostError` (the channel died, the
+    request was never refuted), or an ``OSError``/``EOFError`` from the
+    transport (reset, refused, timed out).  Structural failures — bad
+    grids, malformed frames, unknown corpora — raise immediately; they
+    would fail identically forever.
+
+    Every request this library's clients issue is idempotent (pure
+    reads of a deterministic function), so re-issuing is always safe;
+    the policy still lives behind an explicit opt-in (``retry=``)
+    because retrying multiplies worst-case latency.
+
+    Delays follow capped exponential backoff with full-range jitter::
+
+        delay(k) = uniform(0, min(max_delay, base_delay * factor**k))
+
+    — the standard decorrelation so a fleet of clients that failed
+    together does not reconnect together.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+
+    def delay(self, retry_index: int) -> float:
+        """The sleep before retry ``retry_index`` (0-based), jittered."""
+        ceiling = min(
+            float(self.max_delay),
+            float(self.base_delay) * float(self.factor) ** retry_index,
+        )
+        return random.random() * ceiling
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Is ``exc`` a failure a fresh attempt could outlive?"""
+    if isinstance(exc, ServingError):
+        return exc.retryable
+    return isinstance(exc, (OSError, EOFError))
 
 
 @dataclass(frozen=True)
@@ -133,8 +184,14 @@ class ServingClient:
     :meth:`close` or a ``with`` block.  Not thread-safe — use one
     client per thread (the benchmark does exactly that).  ``version``
     selects the response encoding the server answers with (2+: binary
-    result frames — 3, the default, also unlocks corpus queries;
-    1: JSON shards).
+    result frames — 3 also unlocks corpus queries; 4, the default,
+    adds request deadlines).
+
+    ``retry`` opts into re-issuing failed requests per
+    :class:`RetryPolicy` — every retry reconnects first, so a crashed
+    (and respawned) serving worker is transparent to the caller.
+    ``deadline_ms`` stamps every compute request with a server-side
+    deadline (0: none; needs version 4).
     """
 
     def __init__(
@@ -145,6 +202,8 @@ class ServingClient:
         timeout: float = 60.0,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         version: int = protocol.PROTOCOL_VERSION,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: int = 0,
     ) -> None:
         if version not in protocol.SUPPORTED_VERSIONS:
             raise ProtocolError(
@@ -152,7 +211,23 @@ class ServingClient:
                 f"cannot speak protocol version {version}",
             )
         self._version = int(version)
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._deadline_ms = protocol._check_deadline_ms(deadline_ms, version)
+        self._retry = retry
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._sock: Optional[socket.socket] = None
+        self._reader = protocol.FrameReader(self._max_frame_bytes)
+        self._pending: Deque[protocol.Frame] = deque()
+        self._request_ids = itertools.count(1)
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the TCP connection with a fresh frame parser."""
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         # Request/response frames are latency-bound: never Nagle them,
         # and let a whole multi-megabyte request enter the send buffer
         # in one call instead of draining it in scheduler round trips.
@@ -160,9 +235,39 @@ class ServingClient:
         self._sock.setsockopt(
             socket.SOL_SOCKET, socket.SO_SNDBUF, 4 * 1024 * 1024
         )
-        self._reader = protocol.FrameReader(max_frame_bytes)
-        self._pending: Deque[protocol.Frame] = deque()
-        self._request_ids = itertools.count(1)
+        self._reader = protocol.FrameReader(self._max_frame_bytes)
+        self._pending = deque()
+
+    def _retrying(self, issue):
+        """Run ``issue`` under the retry policy (reconnect per retry).
+
+        ``issue`` must be self-contained — it draws a fresh request id
+        each call, so a retried request is a brand-new request on a
+        brand-new connection, never a replay into a half-dead stream.
+        Only typed-retryable failures loop; anything else propagates
+        on the spot.
+        """
+        attempts = self._retry.attempts if self._retry is not None else 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._retry.delay(attempt - 1))
+                try:
+                    self.close()
+                    self._connect()
+                except OSError as exc:
+                    if attempt + 1 >= attempts:
+                        raise ConnectionLostError(
+                            protocol.ERR_RETRYABLE,
+                            f"reconnect failed after {attempts} attempts: "
+                            f"{exc}",
+                        ) from exc
+                    continue
+            try:
+                return issue()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if attempt + 1 >= attempts or not _retryable(exc):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Request API
@@ -247,24 +352,27 @@ class ServingClient:
         The cheapest possible liveness check: no compute, no STATS
         aggregation.
         """
-        request_id = next(self._request_ids)
-        self._sock.sendall(
-            protocol.encode_ping(request_id, version=self._version)
-        )
-        frame = self._next_frame()
-        payload = protocol.parse_json_frame(frame)
-        if frame.frame_type == protocol.FRAME_ERROR:
-            _raise_server_error(payload)
-        if (
-            frame.frame_type != protocol.FRAME_PONG
-            or frame.request_id != request_id
-        ):
-            raise ProtocolError(
-                protocol.ERR_BAD_TYPE,
-                f"unexpected frame type 0x{frame.frame_type:02x} "
-                f"answering a ping",
+        def issue():
+            request_id = next(self._request_ids)
+            self._sock.sendall(
+                protocol.encode_ping(request_id, version=self._version)
             )
-        return payload
+            frame = self._next_frame()
+            payload = protocol.parse_json_frame(frame)
+            if frame.frame_type == protocol.FRAME_ERROR:
+                _raise_server_error(payload)
+            if (
+                frame.frame_type != protocol.FRAME_PONG
+                or frame.request_id != request_id
+            ):
+                raise ProtocolError(
+                    protocol.ERR_BAD_TYPE,
+                    f"unexpected frame type 0x{frame.frame_type:02x} "
+                    f"answering a ping",
+                )
+            return payload
+
+        return self._retrying(issue)
 
     def stats(self, scope: Optional[str] = None) -> dict:
         """The server's :class:`~repro.serving.server.ServerStats` snapshot.
@@ -275,29 +383,34 @@ class ServingClient:
         aggregated counters and ``"local"`` answers only the worker
         this connection landed on.  Single servers ignore it.
         """
-        request_id = next(self._request_ids)
-        self._sock.sendall(
-            protocol.encode_stats_request(
-                request_id, version=self._version, scope=scope
+        def issue():
+            request_id = next(self._request_ids)
+            self._sock.sendall(
+                protocol.encode_stats_request(
+                    request_id, version=self._version, scope=scope
+                )
             )
-        )
-        frame = self._next_frame()
-        payload = protocol.parse_json_frame(frame)
-        if frame.frame_type == protocol.FRAME_ERROR:
-            _raise_server_error(payload)
-        if (
-            frame.frame_type != protocol.FRAME_STATS_REPLY
-            or frame.request_id != request_id
-        ):
-            raise ProtocolError(
-                protocol.ERR_BAD_TYPE,
-                f"unexpected frame type 0x{frame.frame_type:02x} "
-                f"answering a stats request",
-            )
-        return payload
+            frame = self._next_frame()
+            payload = protocol.parse_json_frame(frame)
+            if frame.frame_type == protocol.FRAME_ERROR:
+                _raise_server_error(payload)
+            if (
+                frame.frame_type != protocol.FRAME_STATS_REPLY
+                or frame.request_id != request_id
+            ):
+                raise ProtocolError(
+                    protocol.ERR_BAD_TYPE,
+                    f"unexpected frame type 0x{frame.frame_type:02x} "
+                    f"answering a stats request",
+                )
+            return payload
+
+        return self._retrying(issue)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - already dead
@@ -329,45 +442,55 @@ class ServingClient:
         self, packed, grid, *, mode, start_slot=0, limit=None, n_shards=0
     ):
         """Send one request, collect shard frames until done/error."""
-        request_id = next(self._request_ids)
-        # sendmsg scatter-gathers the header and the caller's bitset
-        # straight from their own buffers — no concatenation copy of
-        # the payload on the way out.
-        self._sock.sendmsg(
-            protocol.encode_request_parts(
-                packed,
-                grid.n_samples,
-                grid.dt,
-                mode=mode,
-                start_slot=start_slot,
-                limit=limit,
-                n_shards=n_shards,
-                request_id=request_id,
-                version=self._version,
+
+        def issue():
+            request_id = next(self._request_ids)
+            # sendmsg scatter-gathers the header and the caller's
+            # bitset straight from their own buffers — no concatenation
+            # copy of the payload on the way out.
+            self._sock.sendmsg(
+                protocol.encode_request_parts(
+                    packed,
+                    grid.n_samples,
+                    grid.dt,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
             )
-        )
-        return self._collect(request_id)
+            return self._collect(request_id)
+
+        return self._retrying(issue)
 
     def _corpus_round_trip(
         self, corpus, row_start, row_stop, *, mode,
         start_slot=0, limit=None, n_shards=0,
     ):
         """Send one corpus query, collect shard frames until done/error."""
-        request_id = next(self._request_ids)
-        self._sock.sendall(
-            protocol.encode_corpus_query(
-                corpus,
-                row_start,
-                row_stop,
-                mode=mode,
-                start_slot=start_slot,
-                limit=limit,
-                n_shards=n_shards,
-                request_id=request_id,
-                version=self._version,
+
+        def issue():
+            request_id = next(self._request_ids)
+            self._sock.sendall(
+                protocol.encode_corpus_query(
+                    corpus,
+                    row_start,
+                    row_stop,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
             )
-        )
-        return self._collect(request_id)
+            return self._collect(request_id)
+
+        return self._retrying(issue)
 
     def _collect(self, request_id):
         """Collect one request's response stream until DONE (or error)."""
@@ -406,8 +529,8 @@ class ServingClient:
         while not self._pending:
             data = self._sock.recv(1024 * 1024)
             if not data:
-                raise ProtocolError(
-                    protocol.ERR_BAD_FRAME,
+                raise ConnectionLostError(
+                    protocol.ERR_RETRYABLE,
                     "connection closed mid-response",
                 )
             self._pending.extend(self._reader.feed(data))
@@ -438,8 +561,15 @@ class AsyncServingClient:
     This is what makes the server's coalescing window reachable from a
     single process: requests issued together arrive together.  The
     request API mirrors :class:`ServingClient` (same replies, same
-    defaults); ``version`` picks the response encoding, binary result
-    frames by default.
+    defaults — including ``retry`` / ``deadline_ms``); ``version``
+    picks the response encoding, binary result frames by default.
+
+    A retried request reconnects first; because the connection is
+    shared, one reconnect serves every concurrent coroutine whose
+    request died with it (each observes its own typed-retryable
+    failure and re-issues on the fresh connection — a connection
+    *generation* counter keeps N failed coroutines from reconnecting
+    N times).
     """
 
     def __init__(
@@ -447,6 +577,8 @@ class AsyncServingClient:
         *,
         version: int = protocol.PROTOCOL_VERSION,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: int = 0,
     ) -> None:
         if version not in protocol.SUPPORTED_VERSIONS:
             raise ProtocolError(
@@ -454,12 +586,19 @@ class AsyncServingClient:
                 f"cannot speak protocol version {version}",
             )
         self._version = int(version)
-        self._frames = protocol.FrameReader(max_frame_bytes)
+        self._deadline_ms = protocol._check_deadline_ms(deadline_ms, version)
+        self._retry = retry
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._frames = protocol.FrameReader(self._max_frame_bytes)
         self._request_ids = itertools.count(1)
         self._inflight: Dict[int, _Inflight] = {}
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        self._generation = 0
+        self._conn_lock: Optional[asyncio.Lock] = None
 
     @classmethod
     async def open(
@@ -469,17 +608,76 @@ class AsyncServingClient:
         *,
         version: int = protocol.PROTOCOL_VERSION,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: int = 0,
     ) -> "AsyncServingClient":
         """Connect and start the demux reader."""
-        client = cls(version=version, max_frame_bytes=max_frame_bytes)
-        client._reader, client._writer = await asyncio.open_connection(
-            host, port
+        client = cls(
+            version=version,
+            max_frame_bytes=max_frame_bytes,
+            retry=retry,
+            deadline_ms=deadline_ms,
         )
-        sock = client._writer.get_extra_info("socket")
+        client._host, client._port = host, int(port)
+        client._conn_lock = asyncio.Lock()
+        await client._establish()
+        return client
+
+    async def _establish(self) -> None:
+        """Open the connection and start a fresh demux reader."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        sock = self._writer.get_extra_info("socket")
         if sock is not None:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        client._reader_task = asyncio.create_task(client._read_loop())
-        return client
+        self._frames = protocol.FrameReader(self._max_frame_bytes)
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._generation += 1
+
+    async def _reconnect(self, seen_generation: int) -> None:
+        """Tear down and re-open, once per connection generation.
+
+        Concurrent coroutines whose requests died together all call
+        this; whoever wins the lock reconnects, the rest observe the
+        advanced generation and reuse the new connection.
+        """
+        async with self._conn_lock:
+            if self._generation != seen_generation:
+                return  # a sibling coroutine already reconnected
+            if self._reader_task is not None:
+                self._reader_task.cancel()
+                try:
+                    await self._reader_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                self._reader_task = None
+            if self._writer is not None:
+                self._writer.close()
+                try:
+                    await self._writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+                self._writer = None
+            await self._establish()
+
+    async def _retrying(self, issue):
+        """Async twin of :meth:`ServingClient._retrying`."""
+        attempts = self._retry.attempts if self._retry is not None else 1
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(self._retry.delay(attempt - 1))
+            generation = self._generation
+            try:
+                return await issue()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if attempt + 1 >= attempts or not _retryable(exc):
+                    raise
+                try:
+                    await self._reconnect(generation)
+                except OSError:
+                    continue  # next attempt backs off and retries
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Request API
@@ -551,14 +749,18 @@ class AsyncServingClient:
 
     async def ping(self) -> dict:
         """One PING/PONG health round-trip (shares the pipelined demux)."""
-        request_id = next(self._request_ids)
-        entry = self._register(request_id)
-        self._writer.write(
-            protocol.encode_ping(request_id, version=self._version)
-        )
-        await self._writer.drain()
-        _, payload = await entry.future
-        return payload
+
+        async def issue():
+            request_id = next(self._request_ids)
+            entry = self._register(request_id)
+            self._writer.write(
+                protocol.encode_ping(request_id, version=self._version)
+            )
+            await self._writer.drain()
+            _, payload = await entry.future
+            return payload
+
+        return await self._retrying(issue)
 
     async def stats(self, scope: Optional[str] = None) -> dict:
         """The server's stats snapshot (shares the pipelined demux).
@@ -567,16 +769,20 @@ class AsyncServingClient:
         default against a multi-worker server, ``"local"`` for the one
         worker holding this connection.
         """
-        request_id = next(self._request_ids)
-        entry = self._register(request_id)
-        self._writer.write(
-            protocol.encode_stats_request(
-                request_id, version=self._version, scope=scope
+
+        async def issue():
+            request_id = next(self._request_ids)
+            entry = self._register(request_id)
+            self._writer.write(
+                protocol.encode_stats_request(
+                    request_id, version=self._version, scope=scope
+                )
             )
-        )
-        await self._writer.drain()
-        _, payload = await entry.future
-        return payload
+            await self._writer.drain()
+            _, payload = await entry.future
+            return payload
+
+        return await self._retrying(issue)
 
     async def aclose(self) -> None:
         """Stop the reader, fail anything still pending, close the socket."""
@@ -614,6 +820,13 @@ class AsyncServingClient:
                 protocol.ERR_INTERNAL,
                 "client is not connected (use AsyncServingClient.open)",
             )
+        if self._reader_task is not None and self._reader_task.done():
+            # The demux died while idle (server idle-timeout, reset):
+            # fail typed-retryable *before* writing into a dead stream,
+            # so the retry path reconnects instead of hanging.
+            raise ConnectionLostError(
+                protocol.ERR_RETRYABLE, "connection lost while idle"
+            )
         entry = _Inflight(future=asyncio.get_running_loop().create_future())
         self._inflight[request_id] = entry
         return entry
@@ -621,53 +834,61 @@ class AsyncServingClient:
     async def _round_trip(
         self, packed, grid, *, mode, start_slot=0, limit=None, n_shards=0
     ):
-        request_id = next(self._request_ids)
-        entry = self._register(request_id)
-        # writelines hands the header and the caller's bitset to the
-        # transport as separate buffers — no concatenation copy — and
-        # both parts enqueue in one synchronous call, so concurrent
-        # requests cannot interleave their bytes.
-        self._writer.writelines(
-            protocol.encode_request_parts(
-                packed,
-                grid.n_samples,
-                grid.dt,
-                mode=mode,
-                start_slot=start_slot,
-                limit=limit,
-                n_shards=n_shards,
-                request_id=request_id,
-                version=self._version,
+        async def issue():
+            request_id = next(self._request_ids)
+            entry = self._register(request_id)
+            # writelines hands the header and the caller's bitset to
+            # the transport as separate buffers — no concatenation copy
+            # — and both parts enqueue in one synchronous call, so
+            # concurrent requests cannot interleave their bytes.
+            self._writer.writelines(
+                protocol.encode_request_parts(
+                    packed,
+                    grid.n_samples,
+                    grid.dt,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
             )
-        )
-        await self._writer.drain()
-        shards, summary = await entry.future
-        shards.sort(key=lambda shard: shard["row_start"])
-        return shards, summary
+            await self._writer.drain()
+            shards, summary = await entry.future
+            shards.sort(key=lambda shard: shard["row_start"])
+            return shards, summary
+
+        return await self._retrying(issue)
 
     async def _corpus_round_trip(
         self, corpus, row_start, row_stop, *, mode,
         start_slot=0, limit=None, n_shards=0,
     ):
-        request_id = next(self._request_ids)
-        entry = self._register(request_id)
-        self._writer.write(
-            protocol.encode_corpus_query(
-                corpus,
-                row_start,
-                row_stop,
-                mode=mode,
-                start_slot=start_slot,
-                limit=limit,
-                n_shards=n_shards,
-                request_id=request_id,
-                version=self._version,
+        async def issue():
+            request_id = next(self._request_ids)
+            entry = self._register(request_id)
+            self._writer.write(
+                protocol.encode_corpus_query(
+                    corpus,
+                    row_start,
+                    row_stop,
+                    mode=mode,
+                    start_slot=start_slot,
+                    limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
             )
-        )
-        await self._writer.drain()
-        shards, summary = await entry.future
-        shards.sort(key=lambda shard: shard["row_start"])
-        return shards, summary
+            await self._writer.drain()
+            shards, summary = await entry.future
+            shards.sort(key=lambda shard: shard["row_start"])
+            return shards, summary
+
+        return await self._retrying(issue)
 
     async def _read_loop(self) -> None:
         """Demux every inbound frame to its request's inflight entry."""
@@ -675,8 +896,8 @@ class AsyncServingClient:
             while True:
                 data = await self._reader.read(1024 * 1024)
                 if not data:
-                    raise ProtocolError(
-                        protocol.ERR_BAD_FRAME,
+                    raise ConnectionLostError(
+                        protocol.ERR_RETRYABLE,
                         "connection closed with requests in flight",
                     )
                 for frame in self._frames.feed(data):

@@ -104,6 +104,7 @@ class ClusterStatsBlock:
         self._positions_raw = _MP.RawArray("q", self.workers)
         self._pids_raw = _MP.RawArray("q", self.workers)
         self._ports_raw = _MP.RawArray("q", self.workers)
+        self._respawns_raw = _MP.RawArray("q", 1)
         self.counters = np.frombuffer(self._counters_raw, dtype=np.int64).reshape(
             self.workers, len(_COUNTER_FIELDS)
         )
@@ -113,8 +114,13 @@ class ClusterStatsBlock:
         self.positions = np.frombuffer(self._positions_raw, dtype=np.int64)
         self.pids = np.frombuffer(self._pids_raw, dtype=np.int64)
         # Workers publish their accepting port here after start (the
-        # proxy fallback reads it; informational under SO_REUSEPORT).
+        # proxy fallback reads it *live*, so a respawned worker's new
+        # port takes effect; informational under SO_REUSEPORT).
         self.ports = np.frombuffer(self._ports_raw, dtype=np.int64)
+        # How many worker respawns the supervisor performed, cluster
+        # lifetime.  Written by the parent's monitor thread, read by
+        # any worker answering a cluster-scope STATS request.
+        self.respawns = np.frombuffer(self._respawns_raw, dtype=np.int64)
 
     def record_latency(self, index: int, seconds: float) -> None:
         """Push one request wall time onto worker ``index``'s ring."""
@@ -163,6 +169,7 @@ class ClusterStatsBlock:
                 ),
                 "scope": "cluster",
                 "workers": self.workers,
+                "respawns": int(self.respawns[0]),
                 "per_worker": [
                     dict(
                         {"pid": int(self.pids[index])},
@@ -195,7 +202,8 @@ class ClusterStatsBlock:
             f"{stats['pool_path_requests']} pool, "
             f"{stats['coalesced_requests']} coalesced in "
             f"{stats['coalesced_batches']} batches), "
-            f"{stats['errors']} errors, {latency}"
+            f"{stats['errors']} errors, {stats['respawns']} worker "
+            f"respawn(s), {latency}"
         )
 
 
@@ -209,12 +217,30 @@ class WorkerStats(ServerStats):
     server knowing it runs clustered.  The latency deque stays local
     (it feeds the *local*-scope snapshot); :meth:`record` additionally
     pushes onto the shared ring for cluster aggregation.
+
+    ``preserve=True`` (a *respawned* worker taking over a dead
+    sibling's row) skips the counter zeroing in
+    :meth:`~repro.serving.server.ServerStats._reset_counters` — the
+    predecessor's served-request counts survive the crash, keeping the
+    cluster-wide STATS aggregate monotonic across respawns.
     """
 
-    def __init__(self, block: ClusterStatsBlock, index: int) -> None:
+    def __init__(
+        self,
+        block: ClusterStatsBlock,
+        index: int,
+        *,
+        preserve: bool = False,
+    ) -> None:
         self._block = block
         self._index = int(index)
+        self._preserve = bool(preserve)
         super().__init__(window=block.window)
+
+    def _reset_counters(self) -> None:
+        if self._preserve:
+            return
+        super()._reset_counters()
 
     def record(self, transport: str, seconds: float) -> None:
         super().record(transport, seconds)
@@ -266,20 +292,28 @@ def _worker_main(
     sockets: Optional[List[socket.socket]],
     block: ClusterStatsBlock,
     ready,
+    preserve_stats: bool = False,
 ) -> None:
     """Process entry of worker ``index`` (runs in the forked child)."""
     sock = None
     if sockets is not None:
-        # Each worker owns exactly one of the pre-bound listeners;
-        # holding a sibling's socket open would strand the connections
-        # the kernel hashes to it.
+        # Each worker serves exactly one of the pre-bound listeners;
+        # the sibling fds close here so this child cannot accept a
+        # connection the kernel hashed to another worker's socket.
+        # (The *parent* keeps every fd open on purpose — same kernel
+        # socket, never accepted on — so a respawned child can inherit
+        # the dead worker's listener and drain what queued on it.)
         sock = sockets[index]
         for other_index, other in enumerate(sockets):
             if other_index != index:
                 other.close()
     log.configure()  # rebind the handler to this pid
     try:
-        asyncio.run(_worker_serve(index, config, artifact, sock, block, ready))
+        asyncio.run(
+            _worker_serve(
+                index, config, artifact, sock, block, ready, preserve_stats
+            )
+        )
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         pass
 
@@ -291,6 +325,7 @@ async def _worker_serve(
     sock: Optional[socket.socket],
     block: ClusterStatsBlock,
     ready,
+    preserve_stats: bool = False,
 ) -> None:
     """One worker's lifetime: attach, serve until signalled, drain."""
     logger = log.get_logger("worker")
@@ -298,7 +333,7 @@ async def _worker_serve(
     server = SpikeServer(
         config,
         sock=sock,
-        stats=WorkerStats(block, index),
+        stats=WorkerStats(block, index, preserve=preserve_stats),
         stats_aggregator=block.aggregate,
         basis=basis,
     )
@@ -329,12 +364,20 @@ class _FrontProxy:
     port.  Purely byte-level: the REPB framing passes through intact,
     so a proxied cluster behaves exactly like a reuseport one (plus
     one copy per chunk).
+
+    ``targets`` is the cluster's **live** shared port table
+    (:attr:`ClusterStatsBlock.ports`), not a frozen copy: a respawned
+    worker rebinds an ephemeral port and publishes it to the table, and
+    the proxy's next pick reads the new value.  A refused connect (the
+    gap between a worker dying and its replacement publishing) rotates
+    to the next worker instead of dropping the client.
     """
 
-    def __init__(self, host: str, port: int, targets: List[int]) -> None:
+    def __init__(self, host: str, port: int, targets) -> None:
         self._host = host
         self._port = port
-        self._targets = itertools.cycle(list(targets))
+        self._ports = targets
+        self._rr = itertools.count()
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -379,12 +422,17 @@ class _FrontProxy:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        target = next(self._targets)
-        try:
-            up_reader, up_writer = await asyncio.open_connection(
-                "127.0.0.1", target
-            )
-        except OSError:
+        up_reader = up_writer = None
+        for _ in range(max(1, len(self._ports))):
+            target = int(self._ports[next(self._rr) % len(self._ports)])
+            try:
+                up_reader, up_writer = await asyncio.open_connection(
+                    "127.0.0.1", target
+                )
+                break
+            except OSError:
+                continue  # dead worker's port: rotate to a live sibling
+        if up_writer is None:
             writer.close()
             return
         try:
@@ -461,6 +509,13 @@ class ServerCluster:
         self._proxy: Optional[_FrontProxy] = None
         self._port: Optional[int] = None
         self.block = ClusterStatsBlock(self.workers)
+        # Respawn machinery: the spawn inputs outlive start() so the
+        # monitor thread can fork a replacement worker at any time.
+        self._worker_config: Optional[ServerConfig] = None
+        self._artifact: Optional[BasisArtifact] = None
+        self._sockets: Optional[List[socket.socket]] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._closing = threading.Event()
 
     @property
     def host(self) -> str:
@@ -474,47 +529,60 @@ class ServerCluster:
             raise ServingError(protocol.ERR_INTERNAL, "cluster not started")
         return self._port
 
+    def _spawn_worker(self, index: int, *, preserve_stats: bool = False):
+        """Fork worker ``index`` and return its readiness event.
+
+        Used both at start-up and by the monitor thread respawning a
+        crashed worker: a respawn re-forks from the parent, so the
+        child re-inherits the pre-fork basis arena pages, its stats-row
+        (preserved, not zeroed) and — under ``SO_REUSEPORT`` — the dead
+        worker's still-open listener fd.
+        """
+        ready = _MP.Event()
+        process = _MP.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self._worker_config,
+                self._artifact,
+                self._sockets,
+                self.block,
+                ready,
+                preserve_stats,
+            ),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return process, ready
+
     def start(self, ready_timeout: float = 120.0) -> "ServerCluster":
         """Build shared state, fork the workers, wait for readiness."""
         self._arena = SharedArena()
+        self._closing.clear()
         try:
             basis = build_serving_basis(self.config)
-            artifact = basis.to_artifact(self._arena)
-            worker_config = replace(self.config, workers=1)
-            sockets: Optional[List[socket.socket]] = None
+            self._artifact = basis.to_artifact(self._arena)
+            self._worker_config = replace(self.config, workers=1)
             if self._use_reuseport:
-                sockets = _reuseport_sockets(
+                self._sockets = _reuseport_sockets(
                     self.config.host, self.config.port, self.workers
                 )
-                self._parent_sockets = list(sockets)
-                self._port = sockets[0].getsockname()[1]
+                # The parent keeps its fds open for the cluster's whole
+                # life: they are the same kernel sockets the children
+                # accept on (never accepted on here), and a respawned
+                # child can only inherit a listener that still exists.
+                self._parent_sockets = list(self._sockets)
+                self._port = self._sockets[0].getsockname()[1]
             else:
-                worker_config = replace(
-                    worker_config, host="127.0.0.1", port=0
+                self._worker_config = replace(
+                    self._worker_config, host="127.0.0.1", port=0
                 )
-            events = [_MP.Event() for _ in range(self.workers)]
+            events = []
             for index in range(self.workers):
-                process = _MP.Process(
-                    target=_worker_main,
-                    args=(
-                        index,
-                        worker_config,
-                        artifact,
-                        sockets,
-                        self.block,
-                        events[index],
-                    ),
-                    name=f"repro-serve-worker-{index}",
-                    daemon=True,
-                )
-                process.start()
+                process, ready = self._spawn_worker(index)
                 self._processes.append(process)
-            if sockets is not None:
-                # The children hold the listeners now; the parent's
-                # copies would only steal kernel-hashed connections.
-                for sock in sockets:
-                    sock.close()
-                self._parent_sockets = []
+                events.append(ready)
             for index, event in enumerate(events):
                 if not event.wait(timeout=ready_timeout):
                     raise ServingError(
@@ -526,13 +594,58 @@ class ServerCluster:
                 self._proxy = _FrontProxy(
                     self.config.host,
                     self.config.port,
-                    [int(p) for p in self.block.ports],
+                    self.block.ports,
                 ).start()
                 self._port = self._proxy.port
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                name="repro-serve-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
         except BaseException:
             self.close()
             raise
         return self
+
+    def _monitor_loop(self, poll_interval: float = 0.2) -> None:
+        """Supervise the workers: respawn any that die unexpectedly.
+
+        Runs in a parent daemon thread.  A worker exiting while the
+        cluster is not shutting down (crash, OOM kill, SIGKILL) is
+        replaced at the same index — re-forked from the parent so it
+        re-attaches the pre-fork basis arena and takes over the dead
+        worker's stats row without zeroing it.  Every respawn bumps the
+        shared ``respawns`` counter that cluster STATS reports.
+        """
+        logger = log.get_logger("cluster")
+        while not self._closing.wait(poll_interval):
+            for index, process in enumerate(self._processes):
+                if process.is_alive() or self._closing.is_set():
+                    continue
+                logger.warning(
+                    "worker %d (pid %s) died with exitcode %s; respawning",
+                    index,
+                    process.pid,
+                    process.exitcode,
+                )
+                replacement, ready = self._spawn_worker(
+                    index, preserve_stats=True
+                )
+                self._processes[index] = replacement
+                self.block.respawns[0] += 1
+                if not ready.wait(timeout=60.0):
+                    logger.error(
+                        "respawned worker %d failed to become ready in 60s",
+                        index,
+                    )
+                else:
+                    logger.info(
+                        "worker %d respawned as pid %d (port %d)",
+                        index,
+                        replacement.pid,
+                        int(self.block.ports[index]),
+                    )
 
     def aggregate(self) -> dict:
         """The cluster-wide STATS payload (parent-side convenience)."""
@@ -541,17 +654,19 @@ class ServerCluster:
     def close(self, join_timeout: float = 60.0) -> dict:
         """Coordinated shutdown; returns the final aggregated stats.
 
-        Order matters: stop admitting (proxy first, where present),
-        signal every worker, let each drain gracefully, join them all,
-        and only then unlink the startup arena the workers' bases were
-        attached to.
+        Order matters: stop supervising (or the monitor would respawn
+        the workers being shut down), stop admitting (proxy first,
+        where present), signal every worker, let each drain gracefully,
+        join them all, and only then unlink the startup arena the
+        workers' bases were attached to.
         """
+        self._closing.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=30.0)
+            self._monitor = None
         if self._proxy is not None:
             self._proxy.close()
             self._proxy = None
-        for sock in self._parent_sockets:  # failed-startup cleanup only
-            sock.close()
-        self._parent_sockets = []
         for process in self._processes:
             if process.is_alive() and process.pid is not None:
                 try:
@@ -564,6 +679,11 @@ class ServerCluster:
                 process.terminate()
                 process.join(timeout=5.0)
         self._processes = []
+        # The kept listener fds close only now, with every worker gone.
+        for sock in self._parent_sockets:
+            sock.close()
+        self._parent_sockets = []
+        self._sockets = None
         stats = self.block.aggregate()
         if self._arena is not None:
             self._arena.close()

@@ -43,6 +43,7 @@ from ..backend.batch import SharedBatchHandle, SpikeTrainBatch
 from ..errors import ServingError
 from ..hyperspace.basis import HyperspaceBasis
 from ..logic.correlator import CoincidenceCorrelator
+from ..testing import faults
 from ..units import SimulationGrid
 from .protocol import ERR_INTERNAL
 
@@ -152,6 +153,7 @@ def installed_basis(token: str) -> HyperspaceBasis:
 
 def run_shard(task: ShardTask) -> dict:
     """Pool target: attach the shard's rows and compute its payload."""
+    faults.maybe_fire("serving.run_shard")
     rows = SpikeTrainBatch.from_shared(
         task.wires, rows=(task.row_start, task.row_stop)
     )
@@ -189,6 +191,7 @@ def compute_shard(
     the integration tests (and any auditing client) verify the bitset
     was computed on directly — ``raster`` must come back False.
     """
+    faults.maybe_fire("serving.compute_shard")
     started = time.perf_counter()
     correlator = CoincidenceCorrelator(basis)
     if mode == "identify":

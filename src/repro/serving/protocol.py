@@ -44,12 +44,23 @@ also adds the ``FRAME_PING`` health probe, answered with a tiny JSON
 version (new frame types are not themselves a version break; the
 header bump marks the corpus-query payload layout).
 
+Version 4 assigns the frame header's reserved ``u32`` — the escape
+hatch versions 1-3 kept zero — as ``deadline_ms``: a per-request
+deadline in milliseconds (0: none).  A server drops expired work and
+answers :data:`ERR_DEADLINE` instead of computing a result nobody is
+waiting for; the field is meaningful on request frames only and every
+response frame keeps it zero.  Version 4 also adds the two *typed
+retry* error codes — :data:`ERR_DEADLINE` and :data:`ERR_RETRYABLE` —
+and :data:`RETRYABLE_CODES`, the executable half of the client retry
+contract (``docs/fault_tolerance.md``).
+
 Version policy: ``PROTOCOL_VERSION`` bumps on any incompatible header
 or payload change; a decoder rejects frames whose version it does not
 implement (not in :data:`SUPPORTED_VERSIONS`) with
 :data:`ERR_BAD_VERSION` (the magic never changes, so a version
-mismatch is always reportable).  ``flags`` and the ``reserved`` fields
-must be zero in versions 1-3.
+mismatch is always reportable).  ``flags`` must be zero in versions
+1-4; the header ``reserved`` field must be zero in versions 1-3 and
+carries ``deadline_ms`` in version 4.
 """
 
 from __future__ import annotations
@@ -63,7 +74,7 @@ from typing import Deque, Dict, List, Optional
 import numpy as np
 
 from ..backend import packed as packed_kernels
-from ..errors import ProtocolError
+from ..errors import ProtocolError, ServingError
 from ..units import SimulationGrid
 
 __all__ = [
@@ -92,7 +103,11 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_INTERNAL",
     "ERR_NO_CORPUS",
+    "ERR_DEADLINE",
+    "ERR_RETRYABLE",
     "ERROR_NAMES",
+    "RETRYABLE_CODES",
+    "MAX_DEADLINE_MS",
     "Frame",
     "Request",
     "CorpusQuery",
@@ -119,13 +134,14 @@ __all__ = [
 MAGIC = b"REPB"
 
 #: Current protocol version; bumped on incompatible layout changes.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: Versions this build decodes.  Version 1 responses are JSON,
 #: versions 2+ responses are binary result frames; version 3 adds the
-#: corpus-query request layout.  Bitset request layout is identical in
-#: all three.
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: corpus-query request layout; version 4 assigns the frame header's
+#: reserved field as the request deadline.  Bitset request layout is
+#: identical in all four.
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 # Frame types.  Requests sit below 0x80, responses at or above it, so a
 # misdirected frame is caught by the type check rather than a payload
@@ -172,6 +188,8 @@ ERR_BAD_GRID = 6
 ERR_OVERLOADED = 7
 ERR_INTERNAL = 8
 ERR_NO_CORPUS = 9
+ERR_DEADLINE = 10
+ERR_RETRYABLE = 11
 
 #: code → symbolic name, echoed in error payloads for human readers.
 ERROR_NAMES: Dict[int, str] = {
@@ -184,7 +202,25 @@ ERROR_NAMES: Dict[int, str] = {
     ERR_OVERLOADED: "OVERLOADED",
     ERR_INTERNAL: "INTERNAL",
     ERR_NO_CORPUS: "NO_CORPUS",
+    ERR_DEADLINE: "DEADLINE",
+    ERR_RETRYABLE: "RETRYABLE",
 }
+
+#: Codes whose failures are transient: re-issuing the same idempotent
+#: request (after reconnecting if need be) could succeed.  Everything
+#: else is structural — the identical request would fail identically
+#: forever — and a client must surface it instead of retrying.
+#: ``DEADLINE`` is here because expiry measures transient load, not
+#: the request; ``OVERLOADED`` is **not** — it is reserved for
+#: requests that could never fit the server's whole budget.
+RETRYABLE_CODES = frozenset({ERR_DEADLINE, ERR_RETRYABLE})
+
+# The codes live here; ServingError.retryable consults them (the
+# reverse assignment would invert the import direction).
+ServingError.RETRYABLE_CODES = RETRYABLE_CODES
+
+#: Largest encodable request deadline (the reserved field is u32).
+MAX_DEADLINE_MS = 2**32 - 1
 
 #: ``u32 length`` prefix framing each body.
 _LENGTH = struct.Struct("<I")
@@ -235,6 +271,10 @@ class Frame:
     request_id: int
     payload: bytes
     flags: int = 0
+    #: Version-4 request deadline in milliseconds (0: none).  Rides in
+    #: the header field versions 1-3 reserve as zero; always 0 on
+    #: response frames.
+    deadline_ms: int = 0
 
 
 @dataclass(frozen=True)
@@ -257,6 +297,10 @@ class Request:
     #: Protocol version of the request frame — the response encoding
     #: the client asked for (1: JSON shards, 2: binary result frames).
     version: int = PROTOCOL_VERSION
+    #: Request deadline in milliseconds (version 4; 0: none).  The
+    #: budget starts when the server *parses* the frame — clocks are
+    #: never compared across hosts.
+    deadline_ms: int = 0
 
     @property
     def n_wires(self) -> int:
@@ -286,6 +330,8 @@ class CorpusQuery:
     limit: Optional[int]
     n_shards: int
     version: int = PROTOCOL_VERSION
+    #: Request deadline in milliseconds (version 4; 0: none).
+    deadline_ms: int = 0
 
     @property
     def n_wires(self) -> int:
@@ -302,19 +348,38 @@ def request_nbytes(n_wires: int, n_samples: int) -> int:
     )
 
 
+def _check_deadline_ms(deadline_ms: int, version: int) -> int:
+    """Validate a deadline for encoding at ``version``."""
+    deadline_ms = int(deadline_ms)
+    if not (0 <= deadline_ms <= MAX_DEADLINE_MS):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"deadline_ms {deadline_ms} outside uint32"
+        )
+    if deadline_ms and version < 4:
+        raise ProtocolError(
+            ERR_BAD_VERSION,
+            f"deadlines need protocol version >= 4, got {version}",
+        )
+    return deadline_ms
+
+
 def encode_frame(
     frame_type: int,
     request_id: int,
     payload: bytes,
     *,
     version: int = PROTOCOL_VERSION,
+    deadline_ms: int = 0,
 ) -> bytes:
     """Assemble one length-prefixed frame from its parts."""
     if not (0 <= request_id < 2**32):
         raise ProtocolError(
             ERR_BAD_FRAME, f"request_id {request_id} outside uint32"
         )
-    header = _HEADER.pack(MAGIC, version, frame_type, 0, request_id, 0)
+    deadline_ms = _check_deadline_ms(deadline_ms, version)
+    header = _HEADER.pack(
+        MAGIC, version, frame_type, 0, request_id, deadline_ms
+    )
     return _LENGTH.pack(len(header) + len(payload)) + header + payload
 
 
@@ -329,6 +394,7 @@ def encode_request_parts(
     n_shards: int = 0,
     request_id: int = 0,
     version: int = PROTOCOL_VERSION,
+    deadline_ms: int = 0,
 ) -> List[memoryview]:
     """Encode one request frame as ``[prefix, bitset]`` buffer parts.
 
@@ -341,7 +407,10 @@ def encode_request_parts(
     ``uint8`` transport form (e.g.
     :meth:`~repro.backend.batch.SpikeTrainBatch.packbits`).  ``n_shards``
     0 asks the server to use its own default; ``limit`` bounds a
-    membership scan (None: the whole grid).
+    membership scan (None: the whole grid); ``deadline_ms`` (version 4
+    only) asks the server to abandon the request once that many
+    milliseconds have passed since it parsed the frame (0: no
+    deadline).
     """
     if mode not in _TYPE_BY_MODE:
         raise ProtocolError(ERR_BAD_TYPE, f"unknown request mode {mode!r}")
@@ -373,12 +442,13 @@ def encode_request_parts(
         raise ProtocolError(
             ERR_BAD_FRAME, f"request_id {request_id} outside uint32"
         )
+    deadline_ms = _check_deadline_ms(deadline_ms, version)
     body = _REQUEST.pack(
         packed.shape[0], n_samples, float(dt), start_slot, wire_limit,
         n_shards, 0,
     )
     header = _HEADER.pack(
-        MAGIC, version, _TYPE_BY_MODE[mode], 0, request_id, 0
+        MAGIC, version, _TYPE_BY_MODE[mode], 0, request_id, deadline_ms
     )
     length = _LENGTH.pack(len(header) + len(body) + packed.nbytes)
     view = memoryview(packed).cast("B")
@@ -397,6 +467,7 @@ def encode_request(
     n_shards: int = 0,
     request_id: int = 0,
     version: int = PROTOCOL_VERSION,
+    deadline_ms: int = 0,
 ) -> bytes:
     """Encode one request frame around an ``np.packbits`` bitset.
 
@@ -415,6 +486,7 @@ def encode_request(
             n_shards=n_shards,
             request_id=request_id,
             version=version,
+            deadline_ms=deadline_ms,
         )
     )
 
@@ -477,6 +549,7 @@ def parse_request(frame: Frame) -> Request:
         limit=None if limit == LIMIT_FULL else int(limit),
         n_shards=int(n_shards),
         version=frame.version,
+        deadline_ms=frame.deadline_ms,
     )
 
 
@@ -491,6 +564,7 @@ def encode_corpus_query(
     n_shards: int = 0,
     request_id: int = 0,
     version: int = PROTOCOL_VERSION,
+    deadline_ms: int = 0,
 ) -> bytes:
     """Encode one corpus-query frame (version 3+).
 
@@ -534,7 +608,11 @@ def encode_corpus_query(
         start_slot, wire_limit, n_shards, 0,
     )
     return encode_frame(
-        FRAME_CORPUS_QUERY, request_id, body + name, version=version
+        FRAME_CORPUS_QUERY,
+        request_id,
+        body + name,
+        version=version,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -608,6 +686,7 @@ def parse_corpus_query(frame: Frame) -> CorpusQuery:
         limit=None if limit == LIMIT_FULL else int(limit),
         n_shards=int(n_shards),
         version=frame.version,
+        deadline_ms=frame.deadline_ms,
     )
 
 
@@ -1073,10 +1152,14 @@ class FrameReader:
                 f"unsupported protocol version {version} "
                 f"(this build speaks {SUPPORTED_VERSIONS})",
             )
-        if flags != 0 or reserved != 0:
+        if flags != 0:
+            raise ProtocolError(
+                ERR_BAD_FRAME, "header flags must be zero in versions 1-4"
+            )
+        if reserved != 0 and version < 4:
             raise ProtocolError(
                 ERR_BAD_FRAME,
-                "reserved header fields must be zero in versions 1 and 2",
+                "reserved header field must be zero in versions 1-3",
             )
         return Frame(
             version=version,
@@ -1084,6 +1167,7 @@ class FrameReader:
             request_id=request_id,
             payload=body[_LENGTH.size + HEADER_BYTES :].toreadonly(),
             flags=flags,
+            deadline_ms=reserved if version >= 4 else 0,
         )
 
     # -- read-into ingestion (asyncio.BufferedProtocol shape) ----------

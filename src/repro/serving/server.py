@@ -73,6 +73,7 @@ behind ``repro serve``.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import pathlib
 import socket
 import sys
@@ -92,6 +93,7 @@ from ..orthogonator.demux import DemuxOrthogonator
 from ..pipeline.corpus import CorpusStore
 from ..pipeline.runner import Runner
 from ..spikes.generators import poisson_train
+from ..testing import faults
 from ..units import paper_white_grid
 from . import dispatch, log, protocol
 
@@ -158,6 +160,18 @@ class ServerConfig:
     workers: int = 1
     corpus: Optional[str] = None
     corpus_chunk_rows: int = 4096
+    #: Seconds a connection may sit with no bytes arriving and no
+    #: request in flight before the server closes it (0: never) — a
+    #: dead client must not pin receive buffers forever.
+    idle_timeout: float = 0.0
+    #: Per-attempt timeout awaiting one pool shard's result.  The
+    #: backstop for a hung worker; a *dead* worker is detected within
+    #: a probe interval regardless (see
+    #: :meth:`repro.pipeline.runner.Runner.await_result`).
+    shard_timeout: float = 120.0
+    #: Pool attempts for a lost shard before it degrades to in-process
+    #: execution (:meth:`repro.pipeline.runner.Runner.submit_supervised`).
+    shard_retries: int = 2
 
 
 def build_serving_basis(config: ServerConfig) -> HyperspaceBasis:
@@ -187,13 +201,19 @@ class ServerStats:
     """
 
     def __init__(self, window: int = 1024) -> None:
+        self._reset_counters()
+        self._latencies: Deque[float] = deque(maxlen=int(window))
+
+    def _reset_counters(self) -> None:
+        """Zero every counter; subclasses backed by shared memory that
+        must survive a process respawn override this to preserve the
+        predecessor's counts (cluster STATS stays monotonic)."""
         self.requests_served = 0
         self.fast_path_requests = 0
         self.pool_path_requests = 0
         self.coalesced_requests = 0
         self.coalesced_batches = 0
         self.errors = 0
-        self._latencies: Deque[float] = deque(maxlen=int(window))
 
     def record(self, transport: str, seconds: float) -> None:
         """Count one served request and its wall time."""
@@ -477,6 +497,7 @@ class _Connection(asyncio.BufferedProtocol):
         self._can_write.set()
         self._closed = asyncio.get_running_loop().create_future()
         self._poisoned = False
+        self._idle_timer: Optional[asyncio.TimerHandle] = None
 
     # -- transport callbacks -------------------------------------------
 
@@ -493,12 +514,14 @@ class _Connection(asyncio.BufferedProtocol):
                 socket.SOL_SOCKET, socket.SO_RCVBUF, 4 * 1024 * 1024
             )
         self._server._writers.add(self)
+        self._touch_idle()
 
     def get_buffer(self, sizehint: int) -> memoryview:
         return self._frames.get_buffer(sizehint)
 
     def buffer_updated(self, nbytes: int) -> None:
-        if self._poisoned or self._server._closing:
+        self._touch_idle()
+        if self._poisoned:
             return
         try:
             complete = self._frames.buffer_updated(nbytes)
@@ -518,10 +541,40 @@ class _Connection(asyncio.BufferedProtocol):
         return True
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
         self._server._writers.discard(self)
         self._can_write.set()  # unblock drains; they raise on the check
         if not self._closed.done():
             self._closed.set_result(None)
+
+    # -- idle-connection reaping ---------------------------------------
+
+    def _touch_idle(self) -> None:
+        """(Re)arm the idle timer: bytes arrived or the check deferred."""
+        timeout = self._server.config.idle_timeout
+        if timeout <= 0:
+            return
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+        self._idle_timer = asyncio.get_running_loop().call_later(
+            timeout, self._idle_expired
+        )
+
+    def _idle_expired(self) -> None:
+        """Close the connection unless a request is still in flight.
+
+        A slow *response* (long shard compute, flow-controlled write)
+        keeps its task alive — only a connection with nothing in
+        flight and nothing arriving is dead weight pinning its receive
+        buffers, which is exactly what the timeout exists to reap.
+        """
+        self._idle_timer = None
+        if self._tasks:
+            self._touch_idle()
+            return
+        self.close()
 
     def pause_writing(self) -> None:
         self._can_write.clear()
@@ -736,11 +789,14 @@ class SpikeServer:
         """Graceful shutdown: drain, release worker attachments, stop.
 
         Stops accepting, waits up to ``drain_timeout`` seconds for
-        in-flight requests (their arenas) to finish, closes the
-        remaining connections, then broadcasts the basis discard and
-        the end-of-run attachment release over the pool so workers
-        drop every mapping of this serving session before the runner
-        (if owned) tears down.
+        in-flight requests (their arenas) to finish — then **forcibly
+        cancels** whatever is still running (logging a summary of what
+        was cut down) rather than leaking stuck tasks: shutdown must
+        terminate even when a request hangs.  Closes the remaining
+        connections, then broadcasts the basis discard and the
+        end-of-run attachment release over the pool so workers drop
+        every mapping of this serving session before the runner (if
+        owned) tears down.
         """
         self._closing = True
         if self._server is not None:
@@ -749,17 +805,30 @@ class SpikeServer:
         if self._coalescer is not None:
             await self._coalescer.close()
         if self._tasks:
-            try:
-                await asyncio.wait_for(
-                    asyncio.gather(*list(self._tasks), return_exceptions=True),
+            _done, stuck = await asyncio.wait(
+                list(self._tasks), timeout=drain_timeout
+            )
+            if stuck:
+                # Forced cancel: a request that did not finish inside
+                # the drain window is cut down so shutdown terminates;
+                # its budget bytes release through the cancel's finally.
+                for task in stuck:
+                    task.cancel()
+                await asyncio.gather(*stuck, return_exceptions=True)
+                log.get_logger("server").warning(
+                    "shutdown drain expired after %.1fs: force-cancelled "
+                    "%d in-flight request task(s)",
                     drain_timeout,
+                    len(stuck),
                 )
-            except asyncio.TimeoutError:  # pragma: no cover - stuck request
-                pass
         try:
             await asyncio.wait_for(self._budget.drained(), drain_timeout)
-        except asyncio.TimeoutError:  # pragma: no cover - stuck shard
-            pass
+        except asyncio.TimeoutError:
+            log.get_logger("server").warning(
+                "shutdown proceeding with %d byte(s) still pinned in the "
+                "in-flight budget (stuck shard work)",
+                self._budget.in_flight,
+            )
         for writer in list(self._writers):
             writer.close()
         if self._runner is not None:
@@ -782,6 +851,13 @@ class SpikeServer:
 
     async def _send(self, writer: "_Connection", frame: bytes) -> None:
         """Write one encoded frame and respect the transport's flow control."""
+        fault = faults.maybe_fire("serving.send_frame")
+        if fault is not None and fault.action == "truncate":
+            # Chaos harness: deliver a prefix of the frame and drop the
+            # connection — the mid-write crash a client must survive.
+            writer.write(bytes(frame[: fault.param_int]))
+            writer.close()
+            raise ConnectionResetError("fault injected: frame truncated")
         writer.write(frame)
         await writer.drain()
 
@@ -840,6 +916,25 @@ class SpikeServer:
                 ),
             )
             return
+        if self._closing:
+            # A typed refusal instead of silence: the request is
+            # retryable by definition (it never started computing), and
+            # answering it is what lets a client fail over to a healthy
+            # worker instead of hanging until its own timeout.
+            try:
+                await self._send(
+                    writer,
+                    protocol.encode_error(
+                        frame.request_id,
+                        protocol.ERR_RETRYABLE,
+                        "server is draining for shutdown; retry the request",
+                        version=frame.version,
+                    ),
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
+        faults.maybe_fire("serving.handle_frame")
         if frame.frame_type == protocol.FRAME_CORPUS_QUERY:
             await self._handle_corpus_query(frame, writer)
             return
@@ -854,18 +949,21 @@ class SpikeServer:
                 ),
             )
             return
+        deadline = self._deadline_at(request.deadline_ms)
         try:
             self._check_grid(request)
             transport = self._route(request)
             if transport == "sharded":
-                await self._budget.acquire(request.packed.nbytes)
+                await self._acquire_budget(request.packed.nbytes, deadline)
                 try:
-                    await self._process(request, writer)
+                    await self._process(request, writer, deadline)
                 finally:
                     await self._budget.release(request.packed.nbytes)
             elif transport == "coalesced":
+                self._check_deadline(deadline, "before coalescing")
                 await self._process_coalesced(request, writer)
             else:
+                self._check_deadline(deadline, "before compute")
                 await self._process_fast(request, writer)
         except (ConnectionResetError, BrokenPipeError):
             raise
@@ -920,6 +1018,67 @@ class SpikeServer:
                 f"dt={request.dt}) does not match the serving basis grid "
                 f"(n_samples={grid.n_samples}, dt={grid.dt})",
             )
+
+    # ------------------------------------------------------------------
+    # Deadlines (protocol version 4)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deadline_at(deadline_ms: int) -> Optional[float]:
+        """The request's absolute loop-time deadline (None: none).
+
+        The budget starts the moment the server looks at the request —
+        client and server clocks are never compared, only the duration
+        crosses the wire.
+        """
+        if not deadline_ms:
+            return None
+        return asyncio.get_running_loop().time() + deadline_ms / 1000.0
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float], where: str) -> None:
+        """Abandon the request once its deadline passed.
+
+        Called between pipeline stages (never inside a kernel): expired
+        work stops at the next stage boundary, its budget bytes release
+        through the caller's ``finally``, and the client gets the typed
+        :data:`~repro.serving.protocol.ERR_DEADLINE` instead of a
+        result it has stopped waiting for.
+        """
+        if (
+            deadline is not None
+            and asyncio.get_running_loop().time() >= deadline
+        ):
+            raise ServingError(
+                protocol.ERR_DEADLINE, f"request deadline expired {where}"
+            )
+
+    async def _acquire_budget(
+        self, nbytes: int, deadline: Optional[float]
+    ) -> None:
+        """Budget admission bounded by the request deadline.
+
+        A request whose deadline expires while *queued* is the cheapest
+        possible deadline miss — nothing was computed, nothing pinned
+        (the cancelled acquire retracts its ticket), and the waiters
+        behind it move up.
+        """
+        if deadline is None:
+            await self._budget.acquire(nbytes)
+            return
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining > 0:
+            try:
+                await asyncio.wait_for(
+                    self._budget.acquire(nbytes), remaining
+                )
+                return
+            except asyncio.TimeoutError:
+                pass
+        raise ServingError(
+            protocol.ERR_DEADLINE,
+            "request deadline expired waiting for the in-flight budget",
+        )
 
     # ------------------------------------------------------------------
     # Request processing
@@ -1002,7 +1161,10 @@ class SpikeServer:
         )
 
     async def _process(
-        self, request: protocol.Request, writer: "_Connection"
+        self,
+        request: protocol.Request,
+        writer: "_Connection",
+        deadline: Optional[float] = None,
     ) -> str:
         """Run one budget-admitted request through the sharded pipeline."""
         loop = asyncio.get_running_loop()
@@ -1011,11 +1173,13 @@ class SpikeServer:
         bounds = self._shard_bounds(request)
         if self._use_pool():
             transport = "shared-arena"
-            shards = await self._dispatch_pool(request, batch, bounds, writer)
+            shards = await self._dispatch_pool(
+                request, batch, bounds, writer, deadline
+            )
         else:
             transport = "in-process"
             shards = await self._dispatch_inline(
-                request, batch, bounds, writer
+                request, batch, bounds, writer, deadline
             )
         await self._send_done(
             request,
@@ -1115,7 +1279,9 @@ class SpikeServer:
             return
         try:
             self._check_corpus(query)
-            await self._process_corpus(query, writer)
+            await self._process_corpus(
+                query, writer, self._deadline_at(query.deadline_ms)
+            )
         except (ConnectionResetError, BrokenPipeError):
             raise
         except ServingError as exc:
@@ -1199,7 +1365,10 @@ class SpikeServer:
         )
 
     async def _process_corpus(
-        self, query: protocol.CorpusQuery, writer: "_Connection"
+        self,
+        query: protocol.CorpusQuery,
+        writer: "_Connection",
+        deadline: Optional[float] = None,
     ) -> None:
         """Stream one corpus query's chunks, then the DONE summary.
 
@@ -1207,12 +1376,15 @@ class SpikeServer:
         frames reach the client as the scan advances (first results
         after one chunk, not after the whole range) and at no point is
         more than one window's pages plus one result frame in flight.
+        The deadline is checked before each chunk — an expired scan
+        stops mapping windows instead of burning the rest of the range.
         """
         loop = asyncio.get_running_loop()
         started = loop.time()
         bounds = self._corpus_bounds(query)
         residency = {"packed": False, "csr": False, "raster": False}
         for lo, hi in zip(bounds[:-1], bounds[1:]):
+            self._check_deadline(deadline, "while scanning the corpus")
             payload = await asyncio.to_thread(
                 self._compute_corpus_chunk, query, int(lo), int(hi)
             )
@@ -1244,32 +1416,77 @@ class SpikeServer:
             ),
         )
 
-    async def _dispatch_pool(self, request, batch, bounds, writer):
-        """Shard over the worker pool through a per-request arena."""
+    async def _dispatch_pool(self, request, batch, bounds, writer, deadline):
+        """Shard over the worker pool through a per-request arena.
+
+        Each shard's getter is *supervised*: if its result times out or
+        its worker dies mid-shard, the shard re-runs through the
+        runner's supervision ladder (resubmit, pool restart, in-process
+        floor) while the arena is still alive — so the recovered shard
+        reads the same operands and the streamed results stay
+        bit-identical to an undisturbed run.
+        """
         with SharedArena() as arena:
             handle = batch.to_shared(arena)
-            pending = [
-                self._runner.submit(
-                    dispatch.run_shard,
-                    dispatch.ShardTask(
-                        token=self._basis_token,
-                        wires=handle,
-                        row_start=int(lo),
-                        row_stop=int(hi),
-                        mode=request.mode,
-                        start_slot=request.start_slot,
-                        limit=request.limit,
-                    ),
+            tasks = [
+                dispatch.ShardTask(
+                    token=self._basis_token,
+                    wires=handle,
+                    row_start=int(lo),
+                    row_stop=int(hi),
+                    mode=request.mode,
+                    start_slot=request.start_slot,
+                    limit=request.limit,
                 )
                 for lo, hi in zip(bounds[:-1], bounds[1:])
             ]
+            pending = [
+                self._runner.submit(dispatch.run_shard, task)
+                for task in tasks
+            ]
+            baseline = None
+            if hasattr(self._runner, "worker_pids"):
+                baseline = self._runner.worker_pids()
+            getters = [
+                lambda r=r, t=t, b=baseline: self._supervised_get(r, t, b)
+                for r, t in zip(pending, tasks)
+            ]
             return await self._stream_shards(
-                request, [lambda r=r: r.get() for r in pending], writer
+                request, getters, writer, deadline
             )
         # Arena closed here: segments unlink once the last worker
         # detaches (the runner's release broadcast covers shutdown).
 
-    async def _dispatch_inline(self, request, batch, bounds, writer):
+    def _supervised_get(self, handle, task, baseline):
+        """One shard's result, recovered if its worker was lost.
+
+        Runs off-loop (inside ``asyncio.to_thread``).  The fast signal
+        is the runner's worker pid-set changing against ``baseline``;
+        the backstop is ``shard_timeout``.  Either way the shard rides
+        ``submit_supervised``'s ladder down to the in-process floor, so
+        a served request never hangs on a dead pool.
+        """
+        await_result = getattr(self._runner, "await_result", None)
+        try:
+            if await_result is not None:
+                return await_result(
+                    handle,
+                    timeout=self.config.shard_timeout,
+                    baseline=baseline,
+                )
+            return handle.get(self.config.shard_timeout)
+        except (multiprocessing.TimeoutError, OSError, EOFError):
+            recover = getattr(self._runner, "submit_supervised", None)
+            if recover is None:
+                return dispatch.run_shard(task)
+            return recover(
+                dispatch.run_shard,
+                task,
+                timeout=self.config.shard_timeout,
+                retries=self.config.shard_retries,
+            )
+
+    async def _dispatch_inline(self, request, batch, bounds, writer, deadline):
         """Run the same shards in-process, off the event loop."""
         jobs = []
         for lo, hi in zip(bounds[:-1], bounds[1:]):
@@ -1291,12 +1508,19 @@ class SpikeServer:
                     )
                 )
             )
-        return await self._stream_shards(request, jobs, writer)
+        return await self._stream_shards(request, jobs, writer, deadline)
 
-    async def _stream_shards(self, request, getters, writer):
-        """Await each shard result off-loop and stream it as a frame."""
+    async def _stream_shards(self, request, getters, writer, deadline=None):
+        """Await each shard result off-loop and stream it as a frame.
+
+        The deadline is checked between shards: once it passes, no
+        further shard is awaited or streamed — the request fails with
+        ``ERR_DEADLINE`` and its budget bytes release through the
+        caller's ``finally``.
+        """
         shards = []
         for get in getters:
+            self._check_deadline(deadline, "while streaming shards")
             payload = await asyncio.to_thread(get)
             shards.append(payload)
             await self._send(writer, self._shard_frame(request, payload))

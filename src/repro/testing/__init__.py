@@ -1,0 +1,12 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness: named
+fault points compiled into the pipeline and serving tiers, armed via
+the ``REPRO_FAULT`` environment variable (which crosses fork and
+spawn boundaries for free).  Production code pays one dict lookup per
+point when no fault is armed.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,219 @@
+"""Fault injection for chaos tests (armed via ``REPRO_FAULT``).
+
+The production code is compiled with named **fault points** — one
+:func:`maybe_fire` call at each place a process can plausibly die or a
+byte stream can plausibly break (a pool worker entering shard compute,
+a serving worker about to write a frame, a corpus segment about to be
+read).  With nothing armed a point costs one dict lookup; the chaos
+suite arms faults through the ``REPRO_FAULT`` environment variable,
+which crosses ``fork``/``spawn``/subprocess boundaries for free — the
+whole reason this is an env protocol and not a monkeypatch.
+
+Spec grammar (``;``-separated specs)::
+
+    REPRO_FAULT="point=action[:param][:n=K][:p=F][:every=N][@claimfile]"
+
+- ``point`` — the name passed to :func:`maybe_fire` at the call site.
+- ``action`` — ``kill`` (SIGKILL the calling process, the hard-crash
+  everything must survive), ``delay`` (sleep ``param`` milliseconds —
+  turns a fast path into a hung one), or a caller-interpreted data
+  action such as ``truncate`` / ``corrupt`` (``maybe_fire`` returns
+  the fault and the call site applies it to its bytes).
+- ``n=K`` — fire only on the K-th hit of the point (1-based).
+  ``every=N`` — fire on every N-th hit.  ``p=F`` — fire each hit with
+  probability F (the bench's 1 % kill rate).  Default: every hit.
+- ``@claimfile`` — exactly-once across *processes*: the fault only
+  fires if atomically creating ``claimfile`` succeeds, so "kill one
+  pool worker" kills one even though all of them hit the point.
+
+Hit counters are per-process (a forked worker starts at zero), and the
+parsed table is cached per ``(pid, spec)`` so workers forked after an
+:func:`arm` see the new spec without any plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ENV_VAR",
+    "Fault",
+    "maybe_fire",
+    "arm",
+    "disarm",
+    "reset",
+    "parse_spec",
+]
+
+ENV_VAR = "REPRO_FAULT"
+
+#: Actions maybe_fire executes itself; anything else is returned to
+#: the call site to interpret (truncate, corrupt, ...).
+_SIDE_EFFECT_ACTIONS = ("kill", "delay")
+
+
+@dataclass
+class Fault:
+    """One armed fault: where, what, and when to fire."""
+
+    point: str
+    action: str
+    param: Optional[str] = None
+    nth: Optional[int] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    claim_path: Optional[str] = None
+    hits: int = field(default=0, compare=False)
+
+    @property
+    def param_int(self) -> int:
+        """The parameter as an integer (0 when absent)."""
+        return int(self.param) if self.param is not None else 0
+
+    def _due(self) -> bool:
+        """Account one hit; True when the schedule says fire."""
+        self.hits += 1
+        if self.nth is not None:
+            return self.hits == self.nth
+        if self.every is not None:
+            return self.hits % self.every == 0
+        if self.probability is not None:
+            return random.random() < self.probability
+        return True
+
+    def _claim(self) -> bool:
+        """Atomically claim the fire (True exactly once per claim file)."""
+        if self.claim_path is None:
+            return True
+        try:
+            fd = os.open(
+                self.claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{self.point} pid={os.getpid()}\n")
+        return True
+
+    def fire(self) -> "Fault":
+        """Execute a side-effecting action (kill/delay); no-op otherwise."""
+        if self.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.action == "delay":
+            time.sleep(self.param_int / 1000.0)
+        return self
+
+
+def parse_spec(spec: str) -> List[Fault]:
+    """Parse one ``REPRO_FAULT`` value into its faults.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a malformed
+    spec — a chaos run with a typo'd fault must fail loudly, not run
+    fault-free and "pass".
+    """
+    faults: List[Fault] = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigurationError(
+                f"fault spec {part!r} has no '=' (expected point=action)"
+            )
+        point, _, rest = part.partition("=")
+        claim_path = None
+        if "@" in rest:
+            rest, _, claim_path = rest.rpartition("@")
+        fields = rest.split(":")
+        action = fields[0].strip()
+        if not point.strip() or not action:
+            raise ConfigurationError(
+                f"fault spec {part!r} needs a point and an action"
+            )
+        fault = Fault(
+            point=point.strip(), action=action, claim_path=claim_path
+        )
+        for token in fields[1:]:
+            token = token.strip()
+            try:
+                if token.startswith("n="):
+                    fault.nth = int(token[2:])
+                elif token.startswith("every="):
+                    fault.every = int(token[6:])
+                elif token.startswith("p="):
+                    fault.probability = float(token[2:])
+                elif fault.param is None:
+                    fault.param = token
+                else:
+                    raise ValueError(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad fault modifier {token!r} in {part!r}"
+                ) from None
+        if fault.probability is not None and not (
+            0.0 <= fault.probability <= 1.0
+        ):
+            raise ConfigurationError(
+                f"fault probability {fault.probability} outside [0, 1]"
+            )
+        faults.append(fault)
+    return faults
+
+
+# Parsed table cache, keyed per (pid, spec) so forked workers re-parse
+# with fresh hit counters and arm()/disarm() invalidate instantly.
+_cache_key: Optional[tuple] = None
+_cache_table: Dict[str, List[Fault]] = {}
+
+
+def _table() -> Dict[str, List[Fault]]:
+    global _cache_key, _cache_table
+    spec = os.environ.get(ENV_VAR, "")
+    key = (os.getpid(), spec)
+    if key != _cache_key:
+        table: Dict[str, List[Fault]] = {}
+        for fault in parse_spec(spec):
+            table.setdefault(fault.point, []).append(fault)
+        _cache_key, _cache_table = key, table
+    return _cache_table
+
+
+def maybe_fire(point: str) -> Optional[Fault]:
+    """Fire any armed fault at ``point``; the production-code hook.
+
+    Side-effecting actions (``kill``, ``delay``) execute here; data
+    actions are returned for the call site to apply (``truncate``,
+    ``corrupt``).  Returns the fault that fired, or None.  With no
+    spec armed this is one dict lookup.
+    """
+    faults = _table().get(point)
+    if not faults:
+        return None
+    for fault in faults:
+        if fault._due() and fault._claim():
+            return fault.fire()
+    return None
+
+
+def arm(spec: str) -> None:
+    """Arm ``spec`` for this process and everything forked after it."""
+    parse_spec(spec)  # validate before exporting a broken spec
+    os.environ[ENV_VAR] = spec
+
+
+def disarm() -> None:
+    """Remove every armed fault."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def reset() -> None:
+    """Zero hit counters (keeps the armed spec)."""
+    global _cache_key
+    _cache_key = None

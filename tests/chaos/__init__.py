@@ -1,0 +1,1 @@
+"""Chaos suite: injected-fault recovery tests (docs/fault_tolerance.md)."""

@@ -1,0 +1,122 @@
+"""Unit tests of the fault-injection harness itself.
+
+The chaos suite's credibility rests on the harness: a typo'd spec must
+fail loudly, schedules must fire exactly when they claim, and the claim
+file must admit exactly one firing across processes.  Nothing here
+kills anything — the side-effecting actions are exercised end-to-end
+by ``test_chaos_recovery.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.disarm()
+    faults.reset()
+    yield
+    faults.disarm()
+    faults.reset()
+
+
+class TestParseSpec:
+    def test_simple_spec(self):
+        (fault,) = faults.parse_spec("serving.send_frame=truncate:8")
+        assert fault.point == "serving.send_frame"
+        assert fault.action == "truncate"
+        assert fault.param_int == 8
+
+    def test_modifiers_and_claim(self, tmp_path):
+        claim = tmp_path / "claim"
+        (fault,) = faults.parse_spec(f"p=kill:n=3@{claim}")
+        assert fault.action == "kill"
+        assert fault.nth == 3
+        assert fault.claim_path == str(claim)
+
+    def test_multiple_specs_semicolon_separated(self):
+        parsed = faults.parse_spec("a=kill;b=delay:10:every=2")
+        assert [fault.point for fault in parsed] == ["a", "b"]
+        assert parsed[1].every == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no-equals",
+            "=kill",
+            "point=",
+            "point=kill:n=notanint",
+            "point=kill:p=1.5",
+            "point=delay:10:20:30",
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, bad):
+        with pytest.raises(ConfigurationError):
+            faults.parse_spec(bad)
+
+    def test_arm_validates_before_exporting(self):
+        with pytest.raises(ConfigurationError):
+            faults.arm("broken spec")
+        assert faults.ENV_VAR not in os.environ
+
+
+class TestSchedules:
+    def test_default_fires_every_hit(self):
+        faults.arm("point=trip")
+        assert faults.maybe_fire("point") is not None
+        assert faults.maybe_fire("point") is not None
+
+    def test_unarmed_point_is_silent(self):
+        faults.arm("other=trip")
+        assert faults.maybe_fire("point") is None
+
+    def test_nth_fires_exactly_once(self):
+        faults.arm("point=trip:n=2")
+        fired = [faults.maybe_fire("point") is not None for _ in range(5)]
+        assert fired == [False, True, False, False, False]
+
+    def test_every_fires_periodically(self):
+        faults.arm("point=trip:every=3")
+        fired = [faults.maybe_fire("point") is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, True]
+
+    def test_claim_file_admits_one_firing(self, tmp_path):
+        claim = tmp_path / "claim"
+        faults.arm(f"point=trip@{claim}")
+        assert faults.maybe_fire("point") is not None
+        assert claim.exists()
+        # Claimed: later hits (here or in any other process) stay quiet.
+        assert faults.maybe_fire("point") is None
+
+    def test_reset_restarts_hit_counters(self):
+        faults.arm("point=trip:n=1")
+        assert faults.maybe_fire("point") is not None
+        assert faults.maybe_fire("point") is None
+        faults.reset()
+        assert faults.maybe_fire("point") is not None
+
+    def test_disarm_clears_everything(self):
+        faults.arm("point=trip")
+        faults.disarm()
+        assert faults.maybe_fire("point") is None
+
+    def test_delay_action_sleeps(self):
+        import time
+
+        faults.arm("point=delay:30")
+        start = time.monotonic()
+        fault = faults.maybe_fire("point")
+        elapsed = time.monotonic() - start
+        assert fault is not None and fault.action == "delay"
+        assert elapsed >= 0.025
+
+    def test_data_actions_return_to_call_site(self):
+        faults.arm("point=truncate:16")
+        fault = faults.maybe_fire("point")
+        assert fault is not None
+        assert fault.action == "truncate"
+        assert fault.param_int == 16
