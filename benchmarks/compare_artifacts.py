@@ -13,11 +13,18 @@ Volatile wall-time fields inside result payloads (``wall_seconds``,
 ``build_seconds`` — the fields the pipeline already documents as the
 intentionally non-deterministic ones) are skipped everywhere.
 
+``--require NAME`` (repeatable) pins an experiment into the gate: the
+comparison fails if NAME is absent from **either** side.  Without it a
+brand-new experiment silently rides through as "(new artifact, not in
+baseline)" — CI lists every spec it expects so the gate cannot skip
+one that stopped being produced.
+
 Usage::
 
     python benchmarks/compare_artifacts.py baseline_dir/ candidate_dir/
     python benchmarks/compare_artifacts.py old/table1.json new/table1.json
     python benchmarks/compare_artifacts.py a/ b/ --rtol 1e-6 --atol 1e-12
+    python benchmarks/compare_artifacts.py a/ b/ --require logicnet
 
 The default tolerances (``rtol 1e-9``, ``atol 0``) flag anything beyond
 float round-off; loosen them for cross-platform comparisons where BLAS
@@ -99,9 +106,19 @@ def compare(
     rtol: float,
     atol: float,
     max_report: int = 8,
+    require: Sequence[str] = (),
 ) -> List[str]:
-    """Compare two result maps; returns the list of drift messages."""
+    """Compare two result maps; returns the list of drift messages.
+
+    ``require`` names experiments that must be present on both sides —
+    absence anywhere is drift, not a footnote.
+    """
     drifts: List[str] = []
+    for name in require:
+        for side, results in (("baseline", baseline), ("candidate", candidate)):
+            if name not in results:
+                drifts.append(f"{name}: required but missing from {side}")
+                print(f"{name:<28s} REQUIRED, missing from {side}")
     for name in sorted(baseline):
         if name not in candidate:
             drifts.append(f"{name}: missing from candidate")
@@ -143,6 +160,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.0,
         help="absolute tolerance for numeric leaves (default 0)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="experiment that must exist on both sides (repeatable); "
+        "absence is a failure, not a note",
+    )
     args = parser.parse_args(argv)
     if args.rtol < 0 or args.atol < 0:
         parser.error("tolerances must be >= 0")
@@ -152,6 +177,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         load_results(args.candidate),
         args.rtol,
         args.atol,
+        require=args.require,
     )
     if drifts:
         print(f"\n{len(drifts)} drifted value(s)", file=sys.stderr)

@@ -56,6 +56,7 @@ __all__ = [
     "unpack_rows",
     "unpack_coords",
     "bitwise_not",
+    "gate_table_words",
     "row_popcounts",
     "coincidence_counts",
     "row_chunk_bounds",
@@ -284,6 +285,57 @@ def bitwise_not(words: np.ndarray, n_samples: int) -> np.ndarray:
     own; complement is the one primitive that must re-mask.
     """
     return ~words & tail_mask_words(n_samples)
+
+
+def gate_table_words(
+    op_ids: np.ndarray,
+    a_words: np.ndarray,
+    b_words: np.ndarray,
+    n_samples: int,
+) -> np.ndarray:
+    """Row-wise 2-input truth-table gates on packed words.
+
+    ``op_ids[i]`` selects which of the 16 Boolean functions row ``i``
+    computes from ``a_words[i]`` and ``b_words[i]``, in the
+    conventional enumeration (0 False, 1 AND, 6 XOR, 7 OR, 8 NOR,
+    14 NAND, 15 True, ...): bit ``3 - (2a + b)`` of the id is the
+    gate's output for inputs ``(a, b)``.  Every function is evaluated
+    at once as a minterm sum —
+
+        out = (a & b) & m11 | (a & ~b) & m10 | (~a & b) & m01
+            | ~(a | b) & m00
+
+    — with ``m..`` per-row all-ones/all-zeros masks broadcast from the
+    id bits, so a whole heterogeneous layer of gates costs a few wide
+    word-ops regardless of which functions it mixes.  Only the
+    ``~(a | b)`` minterm can set bits beyond ``n_samples``, so clean
+    operands cost exactly one tail re-mask of the last word column.
+    Chunked over rows to bound the broadcast temporaries.
+    """
+    a_words = np.ascontiguousarray(a_words, dtype=np.uint64)
+    b_words = np.ascontiguousarray(b_words, dtype=np.uint64)
+    n_rows, n_words = a_words.shape
+    ops = np.asarray(op_ids, dtype=np.uint64).reshape(n_rows, 1)
+    out = np.empty((n_rows, n_words), dtype=np.uint64)
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    one = np.uint64(1)
+    step = max(1, _CHUNK_BYTES // max(1, n_words * 8))
+    for lo in range(0, n_rows, step):
+        hi = min(lo + step, n_rows)
+        a, b, op = a_words[lo:hi], b_words[lo:hi], ops[lo:hi]
+        m11 = (op & one) * full
+        m10 = ((op >> one) & one) * full
+        m01 = ((op >> np.uint64(2)) & one) * full
+        m00 = ((op >> np.uint64(3)) & one) * full
+        ab = a & b
+        block = ab & m11
+        block |= (a ^ ab) & m10
+        block |= (b ^ ab) & m01
+        block |= ~(a | b) & m00
+        out[lo:hi] = block
+    if n_words:
+        out[:, n_words - 1] &= tail_mask_words(n_samples)[-1]
+    return out
 
 
 def row_popcounts(words: np.ndarray) -> np.ndarray:

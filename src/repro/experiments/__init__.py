@@ -18,6 +18,7 @@ C7         Ref [2] search claim                           :func:`run_search`
 C8         Ref [2] verification claim                     :func:`run_verification`
 C9         Sec. 1-2 resilience claim                      :func:`run_robustness`
 S1         ROADMAP serving workload (sharded identify)    :func:`run_identify`
+N1         ROADMAP gate networks at batch scale           :func:`run_logicnet`
 =========  =============================================  ==================
 
 Importing this package has a deliberate side effect: every module
@@ -40,6 +41,7 @@ from .figures import (
 )
 from .gates import GatesConfig, GatesResult, run_gates
 from .identify import IdentifyConfig, IdentifyResult, run_identify
+from .logicnet import LogicNetConfig, LogicNetResult, run_logicnet
 from .progressive import ProgressiveConfig, ProgressiveResult, run_progressive
 from .robustness import (
     RobustnessConfig,
@@ -101,4 +103,7 @@ __all__ = [
     "run_identify",
     "IdentifyConfig",
     "IdentifyResult",
+    "run_logicnet",
+    "LogicNetConfig",
+    "LogicNetResult",
 ]

@@ -1,0 +1,300 @@
+"""Batched random logic networks evaluated on packed words.
+
+:class:`LogicNetBatch` holds N same-shaped feed-forward networks of
+2-input truth-table gates — per-gate 16-way op ids plus fixed random
+wiring — and evaluates all of them at once, layer by layer, directly on
+the packed uint64 substrate (:mod:`repro.backend.packed`).  This is the
+SNIPPETS ``LogicLayer`` model lifted onto the bitset backend: where the
+exemplar evaluates one network's layer as 16 masked tensor ops, here a
+whole layer of G gates across N networks × T slots is one
+:func:`~repro.backend.packed.gate_table_words` call — a handful of wide
+word-ops plus a gather on the wiring — and the dense ``(N, G, T)``
+boolean raster is never materialised.
+
+Evaluation follows the simulator's phase structure:
+
+* **phase 0 — input write**: the shared input lines arrive as a clean
+  packed ``(n_inputs, n_words)`` array (typically a
+  :class:`~repro.backend.batch.SpikeTrainBatch`'s ``packed_words()``);
+* **phase 1 — wiring lookup**: each gate gathers its two fan-in rows
+  (layer 0 indexes the shared inputs, deeper layers the previous
+  layer's G gate outputs);
+* **phase 2 — gate eval**: one ``gate_table_words`` call per layer
+  evaluates every gate's truth table in parallel;
+* **phase 3 — output collection**: the final layer's words are the
+  network outputs, reduced to per-gate spike counts and per-network
+  checksums without unpacking.
+
+Determinism.  :meth:`LogicNetBatch.random` draws network ``i``'s tables
+from ``spawn_rng(seed, i)`` — the per-key `SeedSequence` spawn streams
+of :mod:`repro.noise.synthesis` — so any contiguous network range can
+be rebuilt bit-identically by any process from ``(seed, shape)`` alone.
+That property is what lets the ``logicnet`` experiment shard over the
+network axis (serial ≡ sharded) and lets serving workers rebuild their
+shard's networks from a 20-byte request instead of shipping tables.
+
+The correctness contract for all of this is
+:mod:`repro.testing.differential`: the batched path must be
+bit-identical to the obvious single-gate reference evaluator built on
+:mod:`repro.logic.gates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..backend import packed
+from ..backend.shared import SharedArena, SharedArraySpec, attach_array
+from ..noise.synthesis import spawn_rng
+
+__all__ = [
+    "LogicNetBatch",
+    "LogicNetHandle",
+    "evaluate_outputs",
+    "output_summary",
+]
+
+
+@dataclass(frozen=True)
+class LogicNetHandle:
+    """Picklable shared-memory locator of one exported batch.
+
+    The gate tables live in two arena segments; the handle carries
+    their specs plus the input arity.  Workers attach with
+    :meth:`LogicNetBatch.from_shared` — the networks are shipped once
+    through the run arena, never per shard.
+    """
+
+    op_ids: SharedArraySpec
+    wiring: SharedArraySpec
+    n_inputs: int
+
+
+class LogicNetBatch:
+    """N fixed random logic networks with identical shape.
+
+    ``op_ids`` is ``(N, depth, G)`` uint8 in ``[0, 16)`` — per-gate
+    truth-table ids in the conventional enumeration
+    (:func:`~repro.backend.packed.gate_table_words`).  ``wiring`` is
+    ``(N, depth, G, 2)`` int32 fan-in indices: layer 0 entries index
+    the ``n_inputs`` shared input lines, deeper layers index the
+    previous layer's ``G`` gate outputs.
+    """
+
+    def __init__(
+        self, op_ids: np.ndarray, wiring: np.ndarray, n_inputs: int
+    ) -> None:
+        op_ids = np.asarray(op_ids, dtype=np.uint8)
+        wiring = np.asarray(wiring, dtype=np.int32)
+        if op_ids.ndim != 3:
+            raise ValueError("op_ids must be (n_networks, depth, n_gates)")
+        if wiring.shape != op_ids.shape + (2,):
+            raise ValueError(
+                f"wiring shape {wiring.shape} does not match op_ids "
+                f"{op_ids.shape} + (2,)"
+            )
+        if int(n_inputs) < 1:
+            raise ValueError("a network needs at least one input line")
+        if op_ids.size and int(op_ids.max()) > 15:
+            raise ValueError("op ids must be < 16")
+        self.op_ids = op_ids
+        self.wiring = wiring
+        self.n_inputs = int(n_inputs)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        n_networks: int,
+        n_gates: int,
+        depth: int,
+        n_inputs: int,
+        seed: int,
+        *,
+        net_start: int = 0,
+    ) -> "LogicNetBatch":
+        """Networks ``net_start .. net_start + n_networks`` of a family.
+
+        Network ``i`` (absolute index) draws from ``spawn_rng(seed, i)``
+        in one fixed order — ops, then layer-0 wiring, then deep
+        wiring — so the family is a pure function of
+        ``(seed, n_gates, depth, n_inputs)`` and any contiguous range
+        of it rebuilds bit-identically anywhere.
+        """
+        if n_gates < 1 or depth < 1:
+            raise ValueError("networks need n_gates >= 1 and depth >= 1")
+        n_networks = int(n_networks)
+        op_ids = np.empty((n_networks, depth, n_gates), dtype=np.uint8)
+        wiring = np.empty((n_networks, depth, n_gates, 2), dtype=np.int32)
+        for row, index in enumerate(
+            range(int(net_start), int(net_start) + n_networks)
+        ):
+            rng = spawn_rng(seed, index)
+            op_ids[row] = rng.integers(
+                0, 16, size=(depth, n_gates), dtype=np.uint8
+            )
+            wiring[row, 0] = rng.integers(
+                0, n_inputs, size=(n_gates, 2), dtype=np.int32
+            )
+            if depth > 1:
+                wiring[row, 1:] = rng.integers(
+                    0, n_gates, size=(depth - 1, n_gates, 2), dtype=np.int32
+                )
+        return cls(op_ids, wiring, n_inputs)
+
+    # ------------------------------------------------------------------
+    # Shape and slicing
+    # ------------------------------------------------------------------
+
+    @property
+    def n_networks(self) -> int:
+        return self.op_ids.shape[0]
+
+    @property
+    def depth(self) -> int:
+        return self.op_ids.shape[1]
+
+    @property
+    def n_gates(self) -> int:
+        return self.op_ids.shape[2]
+
+    def select_networks(self, start: int, stop: int) -> "LogicNetBatch":
+        """The sub-batch of networks ``[start, stop)`` (views, no copy)."""
+        return LogicNetBatch(
+            self.op_ids[start:stop], self.wiring[start:stop], self.n_inputs
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+
+    def to_shared(self, arena: SharedArena) -> LogicNetHandle:
+        """Export the gate tables into ``arena``; returns the handle."""
+        return LogicNetHandle(
+            op_ids=arena.share_array(self.op_ids),
+            wiring=arena.share_array(self.wiring),
+            n_inputs=self.n_inputs,
+        )
+
+    @classmethod
+    def from_shared(
+        cls,
+        handle: LogicNetHandle,
+        *,
+        networks: Optional[Tuple[int, int]] = None,
+    ) -> "LogicNetBatch":
+        """Attach an exported batch (optionally one network range)."""
+        op_ids = attach_array(handle.op_ids)
+        wiring = attach_array(handle.wiring)
+        if networks is not None:
+            start, stop = networks
+            op_ids = op_ids[start:stop]
+            wiring = wiring[start:stop]
+        return cls(op_ids, wiring, handle.n_inputs)
+
+    # ------------------------------------------------------------------
+    # Evaluation (phases 0-3)
+    # ------------------------------------------------------------------
+
+    #: Target bytes of one word-column block's layer state.  The whole
+    #: depth runs on each block while it is cache-resident, so the
+    #: per-layer gathers and word-ops read warm lines instead of
+    #: streaming the full ``(N, G, n_words)`` state from DRAM once per
+    #: layer.  Purely a traversal order: results are bit-identical for
+    #: any value.
+    _BLOCK_BYTES = 1 << 22
+
+    def evaluate_words(
+        self, input_words: np.ndarray, n_samples: int
+    ) -> np.ndarray:
+        """Final-layer outputs as packed words, ``(N, G, n_words)``.
+
+        ``input_words`` is the clean packed ``(n_inputs, n_words)``
+        form of the shared input lines; every network reads the same
+        lines.  Layer ``l`` gathers its fan-in rows (phase 1) and
+        evaluates all ``N × G`` gates in one
+        :func:`~repro.backend.packed.gate_table_words` call (phase 2);
+        the loop carries only the packed ``(N, G, n_words)`` state —
+        no raster exists at any point.
+
+        The wiring is identical for every word column, so the word
+        axis is blocked: each column block runs all ``depth`` layers
+        while its state fits in cache (``_BLOCK_BYTES``), then the
+        final layer's block lands in the output.  Tail masking applies
+        exactly once, to the block holding the last word.
+        """
+        input_words = np.ascontiguousarray(input_words, dtype=np.uint64)
+        if input_words.shape[0] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input lines, "
+                f"got {input_words.shape[0]}"
+            )
+        n_nets, depth, n_gates = self.op_ids.shape
+        n_words = input_words.shape[1]
+        out = np.empty((n_nets, n_gates, n_words), dtype=np.uint64)
+        net_rows = np.arange(n_nets)[:, None]
+        ops = [self.op_ids[:, layer].reshape(-1) for layer in range(depth)]
+        block = max(1, self._BLOCK_BYTES // (8 * max(1, n_nets * n_gates)))
+        for w_lo in range(0, n_words, block):
+            w_hi = min(w_lo + block, n_words)
+            # Samples covered by this block — full words except in the
+            # block holding the overall tail, where the real sample
+            # count drives the one tail mask.
+            block_samples = min((w_hi - w_lo) * 64, n_samples - w_lo * 64)
+            inputs = input_words[:, w_lo:w_hi]
+            state = np.empty((0, n_gates, 0), dtype=np.uint64)
+            for layer in range(depth):
+                fan_in = self.wiring[:, layer]  # (N, G, 2)
+                if layer == 0:
+                    a = inputs[fan_in[:, :, 0]]
+                    b = inputs[fan_in[:, :, 1]]
+                else:
+                    a = state[net_rows, fan_in[:, :, 0]]
+                    b = state[net_rows, fan_in[:, :, 1]]
+                flat = packed.gate_table_words(
+                    ops[layer],
+                    a.reshape(n_nets * n_gates, w_hi - w_lo),
+                    b.reshape(n_nets * n_gates, w_hi - w_lo),
+                    block_samples,
+                )
+                state = flat.reshape(n_nets, n_gates, w_hi - w_lo)
+            out[:, :, w_lo:w_hi] = state
+        return out
+
+    def evaluate(
+        self, input_words: np.ndarray, n_samples: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate and collect outputs (phase 3).
+
+        Returns ``(popcounts, checksums)``: per-gate output spike
+        counts ``(N, G)`` int64 and per-network uint64 checksums —
+        the XOR fold of the final layer's words, a whole-output
+        fingerprint that any bit flip perturbs.  Both reductions read
+        the packed words directly.
+        """
+        outputs = self.evaluate_words(input_words, n_samples)
+        return output_summary(outputs)
+
+
+def evaluate_outputs(
+    nets: LogicNetBatch, input_words: np.ndarray, n_samples: int
+) -> np.ndarray:
+    """Module-level alias of :meth:`LogicNetBatch.evaluate_words`."""
+    return nets.evaluate_words(input_words, n_samples)
+
+
+def output_summary(outputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(popcounts (N, G) int64, checksums (N,) uint64)`` of outputs."""
+    popcounts = packed.popcount(outputs).sum(axis=-1, dtype=np.int64)
+    checksums = np.bitwise_xor.reduce(
+        outputs.reshape(outputs.shape[0], -1), axis=-1
+    ) if outputs.shape[0] and outputs.size else np.zeros(
+        outputs.shape[0], dtype=np.uint64
+    )
+    return popcounts, np.asarray(checksums, dtype=np.uint64)

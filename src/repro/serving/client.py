@@ -25,8 +25,11 @@ Version 3 adds the *corpus* methods (``corpus_identify`` /
 ``corpus_membership``): instead of shipping a bitset, they name a
 corpus the server hosts (``repro serve --corpus``) plus a row range,
 and the server streams back chunk results computed straight off its
-memmap — the reply merges exactly like a bitset request's.  ``ping()``
-is the one-frame health probe.
+memmap — the reply merges exactly like a bitset request's.  Version 5
+adds ``logicnet()``: a 20-byte query naming a seeded network family
+and a network range; the server rebuilds and evaluates the networks
+against its own basis and streams back per-network summaries.
+``ping()`` is the one-frame health probe.
 
 Usage::
 
@@ -60,6 +63,7 @@ __all__ = [
     "RetryPolicy",
     "IdentifyReply",
     "MembershipReply",
+    "LogicNetReply",
 ]
 
 
@@ -141,6 +145,24 @@ class MembershipReply:
     summary: dict
 
 
+@dataclass(frozen=True)
+class LogicNetReply:
+    """A merged logicnet response (network order).
+
+    ``popcounts`` is the ``(N, G)`` int64 matrix of output spike
+    counts and ``checksums`` the ``(N,)`` uint64 XOR folds — the same
+    summaries :meth:`~repro.logic.netbatch.LogicNetBatch.evaluate`
+    returns locally, so served-vs-local equality is two array
+    compares.
+    """
+
+    popcounts: np.ndarray
+    checksums: np.ndarray
+    labels: List[str]
+    shards: List[dict]
+    summary: dict
+
+
 def _parse_response(frame: protocol.Frame) -> dict:
     """Decode one response frame's payload, either encoding."""
     if frame.frame_type == protocol.FRAME_RESULT:
@@ -171,6 +193,27 @@ def _membership_reply(shards: List[dict], summary: dict) -> MembershipReply:
     return MembershipReply(
         membership=_merged(shards, "membership").astype(bool),
         first_slots=_merged(shards, "first_slots"),
+        labels=list(summary.get("labels", [])),
+        shards=shards,
+        summary=summary,
+    )
+
+
+def _logicnet_reply(shards: List[dict], summary: dict) -> LogicNetReply:
+    n_gates = int(summary.get("n_gates", 0))
+    if shards:
+        popcounts = np.concatenate(
+            [np.asarray(s["popcounts"], dtype=np.int64) for s in shards]
+        )
+        checksums = np.concatenate(
+            [np.asarray(s["checksums"], dtype=np.uint64) for s in shards]
+        )
+    else:
+        popcounts = np.empty((0, n_gates), dtype=np.int64)
+        checksums = np.empty(0, dtype=np.uint64)
+    return LogicNetReply(
+        popcounts=popcounts,
+        checksums=checksums,
         labels=list(summary.get("labels", [])),
         shards=shards,
         summary=summary,
@@ -344,6 +387,32 @@ class ServingClient:
         )
         return _membership_reply(shards, summary)
 
+    def logicnet(
+        self,
+        seed: int,
+        net_start: int,
+        net_stop: int,
+        *,
+        n_gates: int,
+        depth: int,
+        n_shards: int = 0,
+    ) -> LogicNetReply:
+        """Evaluate networks ``[net_start, net_stop)`` of a seeded family.
+
+        The request is 20 bytes — no bitset leaves this process.  The
+        server rebuilds each network from its ``spawn_rng(seed, i)``
+        spawn key, evaluates it against the serving basis's packed
+        input lines, and streams per-network output popcounts and
+        checksums; the merged reply is bit-identical to building and
+        evaluating the same range locally.  Needs protocol version 5
+        (the client default).
+        """
+        shards, summary = self._logicnet_round_trip(
+            seed, net_start, net_stop,
+            n_gates=n_gates, depth=depth, n_shards=n_shards,
+        )
+        return _logicnet_reply(shards, summary)
+
     def ping(self) -> dict:
         """One PING/PONG health round-trip (the load-balancer probe).
 
@@ -482,6 +551,30 @@ class ServingClient:
                     mode=mode,
                     start_slot=start_slot,
                     limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
+            )
+            return self._collect(request_id)
+
+        return self._retrying(issue)
+
+    def _logicnet_round_trip(
+        self, seed, net_start, net_stop, *, n_gates, depth, n_shards=0
+    ):
+        """Send one logicnet query, collect shard frames until done/error."""
+
+        def issue():
+            request_id = next(self._request_ids)
+            self._sock.sendall(
+                protocol.encode_logicnet_query(
+                    seed,
+                    net_start,
+                    net_stop,
+                    n_gates=n_gates,
+                    depth=depth,
                     n_shards=n_shards,
                     request_id=request_id,
                     version=self._version,
@@ -747,6 +840,23 @@ class AsyncServingClient:
         )
         return _membership_reply(shards, summary)
 
+    async def logicnet(
+        self,
+        seed: int,
+        net_start: int,
+        net_stop: int,
+        *,
+        n_gates: int,
+        depth: int,
+        n_shards: int = 0,
+    ) -> LogicNetReply:
+        """Evaluate a seeded network family's range (pipelined)."""
+        shards, summary = await self._logicnet_round_trip(
+            seed, net_start, net_stop,
+            n_gates=n_gates, depth=depth, n_shards=n_shards,
+        )
+        return _logicnet_reply(shards, summary)
+
     async def ping(self) -> dict:
         """One PING/PONG health round-trip (shares the pipelined demux)."""
 
@@ -877,6 +987,32 @@ class AsyncServingClient:
                     mode=mode,
                     start_slot=start_slot,
                     limit=limit,
+                    n_shards=n_shards,
+                    request_id=request_id,
+                    version=self._version,
+                    deadline_ms=self._deadline_ms,
+                )
+            )
+            await self._writer.drain()
+            shards, summary = await entry.future
+            shards.sort(key=lambda shard: shard["row_start"])
+            return shards, summary
+
+        return await self._retrying(issue)
+
+    async def _logicnet_round_trip(
+        self, seed, net_start, net_stop, *, n_gates, depth, n_shards=0
+    ):
+        async def issue():
+            request_id = next(self._request_ids)
+            entry = self._register(request_id)
+            self._writer.write(
+                protocol.encode_logicnet_query(
+                    seed,
+                    net_start,
+                    net_stop,
+                    n_gates=n_gates,
+                    depth=depth,
                     n_shards=n_shards,
                     request_id=request_id,
                     version=self._version,

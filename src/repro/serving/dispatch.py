@@ -43,6 +43,7 @@ from ..backend.batch import SharedBatchHandle, SpikeTrainBatch
 from ..errors import ServingError
 from ..hyperspace.basis import HyperspaceBasis
 from ..logic.correlator import CoincidenceCorrelator
+from ..logic.netbatch import LogicNetBatch
 from ..testing import faults
 from ..units import SimulationGrid
 from .protocol import ERR_INTERNAL
@@ -50,12 +51,15 @@ from .protocol import ERR_INTERNAL
 __all__ = [
     "BasisTable",
     "ShardTask",
+    "LogicNetShardTask",
     "export_basis",
     "install_basis",
     "discard_basis",
     "installed_basis",
     "run_shard",
     "compute_shard",
+    "run_logicnet_shard",
+    "compute_logicnet_shard",
 ]
 
 
@@ -94,6 +98,24 @@ class ShardTask:
     mode: str
     start_slot: int = 0
     limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LogicNetShardTask:
+    """One logicnet serving shard: a network range of a seeded family.
+
+    Unlike :class:`ShardTask` there is no shared payload at all — the
+    input lines are the installed basis (referenced by token) and the
+    networks rebuild from ``spawn_rng(seed, i)`` spawn keys, so the
+    task pickles as a handful of integers.
+    """
+
+    token: str
+    seed: int
+    n_gates: int
+    depth: int
+    net_start: int
+    net_stop: int
 
 
 #: token → installed basis, per process.  Populated in the server
@@ -222,3 +244,68 @@ def compute_shard(
         },
     )
     return body
+
+
+def run_logicnet_shard(task: LogicNetShardTask) -> dict:
+    """Pool target: rebuild the shard's networks and evaluate them.
+
+    Fires the same ``serving.run_shard`` fault point as bitset shards,
+    so the supervision ladder (resubmit → respawn → inline) covers
+    logicnet traffic identically.
+    """
+    faults.maybe_fire("serving.run_shard")
+    return compute_logicnet_shard(
+        installed_basis(task.token),
+        seed=task.seed,
+        n_gates=task.n_gates,
+        depth=task.depth,
+        net_start=task.net_start,
+        net_stop=task.net_stop,
+    )
+
+
+def compute_logicnet_shard(
+    basis: HyperspaceBasis,
+    *,
+    seed: int,
+    n_gates: int,
+    depth: int,
+    net_start: int,
+    net_stop: int,
+) -> dict:
+    """Evaluate networks ``[net_start, net_stop)`` against ``basis``.
+
+    The common core of the pool and in-process logicnet paths.  The
+    basis batch's packed words are the shared input lines (one per
+    basis element); the shard's networks rebuild from their spawn keys,
+    so equal tasks produce equal payloads in any process.  As with
+    :func:`compute_shard`, the ``residency`` block records the input
+    batch's representations after the pass — ``raster`` must come back
+    False, proving the layer evaluation ran on packed words.
+    """
+    faults.maybe_fire("serving.compute_shard")
+    started = time.perf_counter()
+    inputs = basis.as_batch()
+    nets = LogicNetBatch.random(
+        net_stop - net_start,
+        n_gates,
+        depth,
+        inputs.n_trains,
+        seed,
+        net_start=net_start,
+    )
+    popcounts, checksums = nets.evaluate(
+        inputs.packed_words(), inputs.grid.n_samples
+    )
+    return {
+        "popcounts": popcounts,
+        "checksums": checksums,
+        "row_start": int(net_start),
+        "row_stop": int(net_stop),
+        "wall_seconds": time.perf_counter() - started,
+        "residency": {
+            "packed": inputs.packed_materialised,
+            "csr": inputs.csr_materialised,
+            "raster": inputs.raster_materialised,
+        },
+    }

@@ -54,13 +54,24 @@ retry* error codes — :data:`ERR_DEADLINE` and :data:`ERR_RETRYABLE` —
 and :data:`RETRYABLE_CODES`, the executable half of the client retry
 contract (``docs/fault_tolerance.md``).
 
+Version 5 adds the *logicnet* request (``FRAME_LOGICNET``): a fixed
+20-byte query header asking the server to evaluate a contiguous range
+of a deterministic random-logic-network family
+(:class:`~repro.logic.netbatch.LogicNetBatch`, keyed by seed and
+shape) against its hosted basis lines.  Like a corpus query it ships
+no bitset — the inputs already live on the server and the networks
+rebuild from `SeedSequence` spawn keys — so a gate-choice sweep costs
+a few dozen request bytes per slice.  Responses reuse the binary
+result-frame encoding with a third mode: per-gate output spike counts
+(i64) plus per-network uint64 checksums.
+
 Version policy: ``PROTOCOL_VERSION`` bumps on any incompatible header
 or payload change; a decoder rejects frames whose version it does not
 implement (not in :data:`SUPPORTED_VERSIONS`) with
 :data:`ERR_BAD_VERSION` (the magic never changes, so a version
 mismatch is always reportable).  ``flags`` must be zero in versions
-1-4; the header ``reserved`` field must be zero in versions 1-3 and
-carries ``deadline_ms`` in version 4.
+1-5; the header ``reserved`` field must be zero in versions 1-3 and
+carries ``deadline_ms`` from version 4 on.
 """
 
 from __future__ import annotations
@@ -84,6 +95,7 @@ __all__ = [
     "FRAME_IDENTIFY",
     "FRAME_MEMBERSHIP",
     "FRAME_CORPUS_QUERY",
+    "FRAME_LOGICNET",
     "FRAME_STATS",
     "FRAME_PING",
     "FRAME_SHARD",
@@ -111,6 +123,7 @@ __all__ = [
     "Frame",
     "Request",
     "CorpusQuery",
+    "LogicNetQuery",
     "FrameReader",
     "encode_frame",
     "encode_request",
@@ -118,6 +131,8 @@ __all__ = [
     "parse_request",
     "encode_corpus_query",
     "parse_corpus_query",
+    "encode_logicnet_query",
+    "parse_logicnet_query",
     "encode_ping",
     "encode_json_frame",
     "parse_json_frame",
@@ -134,14 +149,15 @@ __all__ = [
 MAGIC = b"REPB"
 
 #: Current protocol version; bumped on incompatible layout changes.
-PROTOCOL_VERSION = 4
+PROTOCOL_VERSION = 5
 
 #: Versions this build decodes.  Version 1 responses are JSON,
 #: versions 2+ responses are binary result frames; version 3 adds the
 #: corpus-query request layout; version 4 assigns the frame header's
-#: reserved field as the request deadline.  Bitset request layout is
-#: identical in all four.
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: reserved field as the request deadline; version 5 adds the logicnet
+#: query layout and result mode.  Bitset request layout is identical
+#: in all five.
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 
 # Frame types.  Requests sit below 0x80, responses at or above it, so a
 # misdirected frame is caught by the type check rather than a payload
@@ -149,6 +165,7 @@ SUPPORTED_VERSIONS = (1, 2, 3, 4)
 FRAME_IDENTIFY = 0x01
 FRAME_MEMBERSHIP = 0x02
 FRAME_CORPUS_QUERY = 0x03
+FRAME_LOGICNET = 0x04
 FRAME_STATS = 0x10
 FRAME_PING = 0x11
 FRAME_SHARD = 0x81
@@ -241,17 +258,23 @@ _RESULT = struct.Struct("<BBHIIId")
 #: followed by ``name_len`` bytes of UTF-8 corpus name.  No bitset.
 _CORPUS_QUERY = struct.Struct("<BBHIIIIHH")
 
+#: Logicnet-query header (version 5): seed, net_start, net_stop,
+#: n_gates, depth, n_shards.  The whole payload — no bitset, no name;
+#: the family rebuilds from the seed and the server's basis lines.
+_LOGICNET_QUERY = struct.Struct("<IIIIHH")
+
 HEADER_BYTES = _HEADER.size  # 16
 REQUEST_HEADER_BYTES = _REQUEST.size  # 28
 RESULT_HEADER_BYTES = _RESULT.size  # 24
 CORPUS_QUERY_HEADER_BYTES = _CORPUS_QUERY.size  # 24
+LOGICNET_QUERY_BYTES = _LOGICNET_QUERY.size  # 20
 
 #: Residency bits of the binary result header.
 _RES_PACKED = 0x01
 _RES_CSR = 0x02
 _RES_RASTER = 0x04
 
-_MODE_CODES = {"identify": 1, "membership": 2}
+_MODE_CODES = {"identify": 1, "membership": 2, "logicnet": 3}
 _MODE_BY_CODE = {code: mode for mode, code in _MODE_CODES.items()}
 
 
@@ -337,6 +360,39 @@ class CorpusQuery:
     def n_wires(self) -> int:
         """Number of corpus rows the query covers."""
         return int(self.row_stop - self.row_start)
+
+
+@dataclass(frozen=True)
+class LogicNetQuery:
+    """A parsed logicnet-query frame (version 5).
+
+    Names networks ``[net_start, net_stop)`` of the deterministic
+    random-network family keyed by ``(seed, n_gates, depth)`` — the
+    server evaluates them against its hosted basis lines, rebuilding
+    each shard's tables from `SeedSequence` spawn keys.  No bitset, no
+    corpus: the whole request is the 20-byte query header.
+    """
+
+    request_id: int
+    seed: int
+    net_start: int
+    net_stop: int
+    n_gates: int
+    depth: int
+    n_shards: int
+    version: int = PROTOCOL_VERSION
+    #: Request deadline in milliseconds (version 4; 0: none).
+    deadline_ms: int = 0
+
+    @property
+    def n_networks(self) -> int:
+        """Number of networks the query covers."""
+        return int(self.net_stop - self.net_start)
+
+    @property
+    def mode(self) -> str:
+        """The result mode this query's response frames carry."""
+        return "logicnet"
 
 
 def request_nbytes(n_wires: int, n_samples: int) -> int:
@@ -690,6 +746,113 @@ def parse_corpus_query(frame: Frame) -> CorpusQuery:
     )
 
 
+def encode_logicnet_query(
+    seed: int,
+    net_start: int,
+    net_stop: int,
+    *,
+    n_gates: int,
+    depth: int,
+    n_shards: int = 0,
+    request_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+    deadline_ms: int = 0,
+) -> bytes:
+    """Encode one logicnet-query frame (version 5).
+
+    Asks the server to evaluate networks ``[net_start, net_stop)`` of
+    the family ``(seed, n_gates, depth)`` against its hosted basis —
+    the request is 20 bytes of query header, nothing else.
+    ``n_shards`` 0 lets the server pick its configured split.
+    """
+    if version not in SUPPORTED_VERSIONS or version < 5:
+        raise ProtocolError(
+            ERR_BAD_VERSION,
+            f"logicnet queries need protocol version >= 5, got {version}",
+        )
+    net_start, net_stop = int(net_start), int(net_stop)
+    if not (0 <= net_start < net_stop < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"logicnet network range [{net_start}, {net_stop}) is empty "
+            f"or outside uint32",
+        )
+    if not (0 <= int(seed) < 2**32):
+        raise ProtocolError(ERR_BAD_FRAME, f"seed {seed} outside uint32")
+    if not (1 <= int(n_gates) < 2**32):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"n_gates {n_gates} must be in [1, 2**32)"
+        )
+    if not (1 <= int(depth) < 2**16):
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"depth {depth} must be in [1, 65536)"
+        )
+    if not (0 <= n_shards < 2**16):
+        raise ProtocolError(ERR_BAD_FRAME, f"n_shards {n_shards} outside uint16")
+    body = _LOGICNET_QUERY.pack(
+        int(seed), net_start, net_stop, int(n_gates), int(depth), int(n_shards)
+    )
+    return encode_frame(
+        FRAME_LOGICNET,
+        request_id,
+        body,
+        version=version,
+        deadline_ms=deadline_ms,
+    )
+
+
+def parse_logicnet_query(frame: Frame) -> LogicNetQuery:
+    """Parse (and validate) one logicnet-query frame.
+
+    The payload is exactly the 20-byte query header; truncation and
+    trailing bytes are both :data:`ERR_BAD_FRAME`.  Whether the range
+    and shape fit the server's limits is the server's call.
+    """
+    if frame.frame_type != FRAME_LOGICNET:
+        raise ProtocolError(
+            ERR_BAD_TYPE,
+            f"frame type 0x{frame.frame_type:02x} is not a logicnet query",
+        )
+    if frame.version < 5:
+        raise ProtocolError(
+            ERR_BAD_VERSION,
+            f"logicnet queries need protocol version >= 5, "
+            f"got {frame.version}",
+        )
+    if len(frame.payload) != LOGICNET_QUERY_BYTES:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"logicnet-query payload is {len(frame.payload)} bytes, "
+            f"expected exactly {LOGICNET_QUERY_BYTES}",
+        )
+    seed, net_start, net_stop, n_gates, depth, n_shards = (
+        _LOGICNET_QUERY.unpack_from(frame.payload)
+    )
+    if net_stop <= net_start:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"a logicnet query needs at least one network: "
+            f"[{net_start}, {net_stop})",
+        )
+    if n_gates < 1 or depth < 1:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"logicnet shape needs n_gates >= 1 and depth >= 1, "
+            f"got {n_gates} x {depth}",
+        )
+    return LogicNetQuery(
+        request_id=frame.request_id,
+        seed=int(seed),
+        net_start=int(net_start),
+        net_stop=int(net_stop),
+        n_gates=int(n_gates),
+        depth=int(depth),
+        n_shards=int(n_shards),
+        version=frame.version,
+        deadline_ms=frame.deadline_ms,
+    )
+
+
 def encode_ping(
     request_id: int = 0,
     *,
@@ -788,8 +951,12 @@ def encode_result_frame(
     ``elements`` (i32), ``decision_slots`` (i64) and
     ``spikes_inspected`` (i64), one entry per row; membership results
     as the ``np.packbits`` bits of the ``(n_rows, M)`` membership
-    matrix followed by the ``first_slots`` i64 matrix.  No JSON, no
-    Python lists — the arrays' own buffers are the payload.
+    matrix followed by the ``first_slots`` i64 matrix; logicnet
+    results (version 5) as the ``(n_rows, G)`` per-gate ``popcounts``
+    i64 matrix followed by the per-network ``checksums`` u64 vector,
+    with the row range counting networks and ``n_cols`` carrying G.
+    No JSON, no Python lists — the arrays' own buffers are the
+    payload.
     """
     if mode not in _MODE_CODES:
         raise ProtocolError(ERR_BAD_TYPE, f"unknown result mode {mode!r}")
@@ -810,6 +977,21 @@ def encode_result_frame(
             )
         n_cols = 0
         blob = elements.tobytes() + slots.tobytes() + inspected.tobytes()
+    elif mode == "logicnet":
+        popcounts = np.ascontiguousarray(payload["popcounts"], dtype="<i8")
+        checksums = np.ascontiguousarray(payload["checksums"], dtype="<u8")
+        if (
+            popcounts.ndim != 2
+            or popcounts.shape[0] != n_rows
+            or checksums.shape != (n_rows,)
+        ):
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"logicnet arrays {popcounts.shape}/{checksums.shape} do "
+                f"not match networks [{row_start}, {row_stop})",
+            )
+        n_cols = popcounts.shape[1]
+        blob = popcounts.tobytes() + checksums.tobytes()
     else:
         membership = np.ascontiguousarray(
             payload["membership"], dtype=np.bool_
@@ -912,6 +1094,20 @@ def parse_result_frame(frame: Frame) -> dict:
         )
         payload["spikes_inspected"] = np.frombuffer(
             body, dtype="<i8", count=n_rows, offset=12 * n_rows
+        )
+    elif mode == "logicnet":
+        expected = n_rows * n_cols * 8 + n_rows * 8
+        if len(body) != expected:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"logicnet result payload is {len(body)} bytes, expected "
+                f"{expected} for {n_rows} networks x {n_cols} gates",
+            )
+        payload["popcounts"] = np.frombuffer(
+            body, dtype="<i8", count=n_rows * n_cols
+        ).reshape(n_rows, n_cols)
+        payload["checksums"] = np.frombuffer(
+            body, dtype="<u8", count=n_rows, offset=n_rows * n_cols * 8
         )
     else:
         mask_bytes = n_rows * ((n_cols + 7) // 8)
@@ -1154,7 +1350,7 @@ class FrameReader:
             )
         if flags != 0:
             raise ProtocolError(
-                ERR_BAD_FRAME, "header flags must be zero in versions 1-4"
+                ERR_BAD_FRAME, "header flags must be zero in versions 1-5"
             )
         if reserved != 0 and version < 4:
             raise ProtocolError(

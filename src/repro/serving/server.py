@@ -938,6 +938,9 @@ class SpikeServer:
         if frame.frame_type == protocol.FRAME_CORPUS_QUERY:
             await self._handle_corpus_query(frame, writer)
             return
+        if frame.frame_type == protocol.FRAME_LOGICNET:
+            await self._handle_logicnet(frame, writer)
+            return
         try:
             request = protocol.parse_request(frame)
         except ProtocolError as exc:
@@ -1415,6 +1418,190 @@ class SpikeServer:
                 version=query.version,
             ),
         )
+
+    async def _handle_logicnet(
+        self, frame: protocol.Frame, writer: "_Connection"
+    ) -> None:
+        """Parse, validate and serve one logicnet-query frame."""
+        try:
+            query = protocol.parse_logicnet_query(frame)
+        except ProtocolError as exc:
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    frame.request_id, exc.code, str(exc), version=frame.version
+                ),
+            )
+            return
+        try:
+            self._check_logicnet(query)
+            await self._process_logicnet(
+                query, writer, self._deadline_at(query.deadline_ms)
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except ServingError as exc:
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    query.request_id,
+                    exc.code,
+                    str(exc),
+                    version=query.version,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                protocol.encode_error(
+                    query.request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    version=query.version,
+                ),
+            )
+
+    #: Cap on evaluated gates per logicnet request (networks × depth ×
+    #: gates) — bounds the packed working set the same way the frame
+    #: size cap bounds bitset requests.
+    _LOGICNET_MAX_GATES = 1 << 24
+
+    def _check_logicnet(self, query: protocol.LogicNetQuery) -> None:
+        """The query's shape must fit the server's compute budget."""
+        total = query.n_networks * query.depth * query.n_gates
+        if total > self._LOGICNET_MAX_GATES:
+            raise ServingError(
+                protocol.ERR_OVERLOADED,
+                f"logicnet query evaluates {total} gates, over this "
+                f"server's cap of {self._LOGICNET_MAX_GATES}; "
+                f"split the network range across requests",
+            )
+
+    def _logicnet_bounds(self, query: protocol.LogicNetQuery) -> np.ndarray:
+        """Shard boundaries of one logicnet query (network axis).
+
+        A pure function of the query and the config, like every other
+        shard plan — which is what keeps a served sweep bit-identical
+        however many workers execute it.
+        """
+        n_shards = query.n_shards or self.config.n_shards or 1
+        n_chunks = min(max(int(n_shards), 1), query.n_networks)
+        return np.linspace(
+            query.net_start, query.net_stop, n_chunks + 1
+        ).astype(np.int64)
+
+    async def _process_logicnet(
+        self,
+        query: protocol.LogicNetQuery,
+        writer: "_Connection",
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Stream one logicnet query's shards, then the DONE summary.
+
+        The request ships no payload, so there is no arena and no byte
+        budget: each shard task is a few integers, and workers rebuild
+        their networks from spawn keys against the basis they already
+        hold installed.  Pool dispatch rides the same supervised
+        getters as bitset shards — a killed worker's shard re-runs
+        down the recovery ladder and the stream stays bit-identical.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        bounds = self._logicnet_bounds(query)
+        tasks = [
+            dispatch.LogicNetShardTask(
+                token=self._basis_token,
+                seed=query.seed,
+                n_gates=query.n_gates,
+                depth=query.depth,
+                net_start=int(lo),
+                net_stop=int(hi),
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        if self._use_pool():
+            transport = "seed-rebuild"
+            pending = [
+                self._runner.submit(dispatch.run_logicnet_shard, task)
+                for task in tasks
+            ]
+            baseline = None
+            if hasattr(self._runner, "worker_pids"):
+                baseline = self._runner.worker_pids()
+            getters = [
+                lambda r=r, t=t, b=baseline: self._supervised_logicnet_get(
+                    r, t, b
+                )
+                for r, t in zip(pending, tasks)
+            ]
+        else:
+            transport = "in-process"
+            getters = [
+                lambda t=t: dispatch.compute_logicnet_shard(
+                    self.basis,
+                    seed=t.seed,
+                    n_gates=t.n_gates,
+                    depth=t.depth,
+                    net_start=t.net_start,
+                    net_stop=t.net_stop,
+                )
+                for t in tasks
+            ]
+        shards = await self._stream_shards(query, getters, writer, deadline)
+        residency = {"packed": False, "csr": False, "raster": False}
+        for payload in shards:
+            for key in residency:
+                residency[key] |= bool(payload["residency"][key])
+        summary = {
+            "kind": "done",
+            "mode": query.mode,
+            "n_networks": query.n_networks,
+            "n_gates": query.n_gates,
+            "depth": query.depth,
+            "n_shards": len(shards),
+            "labels": list(self.basis.labels),
+            "transport": transport,
+            "wall_seconds": loop.time() - started,
+            "server_residency": residency,
+            "row_start": query.net_start,
+            "row_stop": query.net_stop,
+        }
+        # Same ordering contract as _send_done: count, then reply.
+        self.stats.record(transport, summary["wall_seconds"])
+        await self._send(
+            writer,
+            protocol.encode_json_frame(
+                protocol.FRAME_DONE,
+                query.request_id,
+                summary,
+                version=query.version,
+            ),
+        )
+
+    def _supervised_logicnet_get(self, handle, task, baseline):
+        """Logicnet twin of :meth:`_supervised_get` (same ladder)."""
+        await_result = getattr(self._runner, "await_result", None)
+        try:
+            if await_result is not None:
+                return await_result(
+                    handle,
+                    timeout=self.config.shard_timeout,
+                    baseline=baseline,
+                )
+            return handle.get(self.config.shard_timeout)
+        except (multiprocessing.TimeoutError, OSError, EOFError):
+            recover = getattr(self._runner, "submit_supervised", None)
+            if recover is None:
+                return dispatch.run_logicnet_shard(task)
+            return recover(
+                dispatch.run_logicnet_shard,
+                task,
+                timeout=self.config.shard_timeout,
+                retries=self.config.shard_retries,
+            )
 
     async def _dispatch_pool(self, request, batch, bounds, writer, deadline):
         """Shard over the worker pool through a per-request arena.

@@ -37,14 +37,22 @@ SMALL_OVERRIDES = {
     "verification": {"basis_sizes": (4,), "n_pairs": 4},
     "robustness": {"trials": 1},
     "identify": {"n_wires": 32, "n_trials": 3, "n_shards": 2},
+    "logicnet": {
+        "n_networks": 8,
+        "n_gates": 6,
+        "depth": 2,
+        "basis_size": 4,
+        "n_shards": 2,
+    },
 }
 
 
 class TestRegistry:
     def test_fourteen_paper_specs_plus_serving(self):
         names = spec_names()
-        assert len(names) == 15
+        assert len(names) == 16
         assert "identify" in names
+        assert "logicnet" in names
 
     def test_get_spec_unknown_name_raises_with_available(self):
         with pytest.raises(PipelineError, match="table1"):

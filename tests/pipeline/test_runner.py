@@ -31,6 +31,13 @@ SHARDABLE_SMALL = {
     "table2": {"n_samples": 16384},
     "aliasing": {},
     "scaling": {"max_inputs": 3},
+    "logicnet": {
+        "n_networks": 8,
+        "n_gates": 6,
+        "depth": 2,
+        "basis_size": 4,
+        "n_shards": 3,
+    },
 }
 
 

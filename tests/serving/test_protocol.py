@@ -317,14 +317,14 @@ class TestVersionNegotiation:
         assert request.version == 1
         assert np.array_equal(request.packed, packed)
 
-    def test_requests_default_to_version_4(self):
+    def test_requests_default_to_current_version(self):
         rng = np.random.default_rng(8)
         packed, grid, _batch = random_packed(rng, 3, 100)
         wire = protocol.encode_request(packed, grid.n_samples, grid.dt)
         request = protocol.parse_request(
             protocol.FrameReader().feed(wire)[0]
         )
-        assert request.version == protocol.PROTOCOL_VERSION == 4
+        assert request.version == protocol.PROTOCOL_VERSION == 5
 
     def test_version_2_requests_still_decode(self):
         rng = np.random.default_rng(8)
@@ -341,7 +341,7 @@ class TestVersionNegotiation:
     def test_unsupported_version_rejected_on_encode(self):
         with pytest.raises(ProtocolError) as err:
             protocol.encode_request(
-                np.zeros((1, 8), dtype=np.uint8), 64, 1e-9, version=5
+                np.zeros((1, 8), dtype=np.uint8), 64, 1e-9, version=6
             )
         assert err.value.code == protocol.ERR_BAD_VERSION
 

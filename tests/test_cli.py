@@ -154,6 +154,7 @@ class TestRun:
             "table1", "table2", "figure1", "figure2", "figure3",
             "speed", "aliasing", "scaling", "progressive", "energy",
             "gates", "search", "verification", "robustness", "identify",
+            "logicnet",
         }
 
 

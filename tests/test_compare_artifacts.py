@@ -148,6 +148,37 @@ class TestCompareArtifacts:
         new = _write_dir(tmp_path / "new", {"a": {"label": "pink"}})
         assert compare_artifacts.main([str(old), str(new)]) == 1
 
+    def test_require_missing_from_both_sides_fails(self, tmp_path):
+        old = _write_dir(tmp_path / "old", {"a": {"x": 1}})
+        new = _write_dir(tmp_path / "new", {"a": {"x": 1}})
+        assert (
+            compare_artifacts.main(
+                [str(old), str(new), "--require", "logicnet"]
+            )
+            == 1
+        )
+
+    def test_require_missing_from_one_side_fails(self, tmp_path):
+        old = _write_dir(tmp_path / "old", {"a": {"x": 1}})
+        new = _write_dir(tmp_path / "new", {"a": {"x": 1}, "b": {"y": 2}})
+        # Without --require, "b" rides through as a new artifact ...
+        assert compare_artifacts.main([str(old), str(new)]) == 0
+        # ... with it, the baseline's silence is a failure.
+        assert (
+            compare_artifacts.main([str(old), str(new), "--require", "b"])
+            == 1
+        )
+
+    def test_require_present_on_both_sides_passes(self, tmp_path):
+        old = _write_dir(tmp_path / "old", {"a": {"x": 1}, "b": {"y": 2}})
+        new = _write_dir(tmp_path / "new", {"a": {"x": 1}, "b": {"y": 2}})
+        assert (
+            compare_artifacts.main(
+                [str(old), str(new), "--require", "a", "--require", "b"]
+            )
+            == 0
+        )
+
     def test_single_files_compare(self, tmp_path):
         old = tmp_path / "old.json"
         new = tmp_path / "new.json"
